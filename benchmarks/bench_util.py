@@ -1,0 +1,58 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Scale: the paper pretrains with up to 900 samples/device for 150 epochs and
+averages over several trials; on one CPU core we run a reduced-but-faithful
+configuration (set ``REPRO_BENCH_SCALE=full`` for paper-scale settings).
+Absolute Spearman values are therefore a few points below the paper's; the
+*comparisons* inside each table (which row wins, where trends go) are what
+each benchmark reproduces and prints.
+"""
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.transfer.pipeline import NASFLATPipeline, PipelineConfig
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+if SCALE == "full":  # paper Table 20 settings
+    PRETRAIN = PretrainConfig(samples_per_device=512, epochs=150, batch_size=16)
+    FINETUNE = FinetuneConfig(epochs=40)
+    N_TEST = 2000
+    TRIALS = 3
+else:
+    PRETRAIN = PretrainConfig(samples_per_device=96, epochs=10, batch_size=16)
+    FINETUNE = FinetuneConfig(epochs=30)
+    N_TEST = 400
+    TRIALS = 2
+
+
+def bench_config(**overrides) -> PipelineConfig:
+    cfg = PipelineConfig(pretrain=PRETRAIN, finetune=FINETUNE, n_test=N_TEST)
+    return replace(cfg, **overrides)
+
+
+def task_mean(pipe: NASFLATPipeline, devices=None) -> float:
+    """Mean transfer Spearman over a task's test devices."""
+    devices = devices or pipe.task.test_devices
+    return float(np.mean([pipe.transfer(d).spearman for d in devices]))
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Aligned text table, echoed into the benchmark log."""
+    out = ["", f"=== {title} ==="]
+    widths = [max(len(str(header[i])), max((len(_fmt(r[i])) for r in rows), default=0)) for i in range(len(header))]
+    out.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        out.append("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+    print("\n".join(out))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}"
+    return str(v)

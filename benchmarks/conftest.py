@@ -1,0 +1,12 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one table or figure of the paper at a scaled-down
+but shape-preserving configuration (see ``bench_util.SCALE``), prints the
+rows the paper reports, and times the end-to-end experiment via
+pytest-benchmark (single round — these are experiment harnesses, not
+microbenchmarks).
+"""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

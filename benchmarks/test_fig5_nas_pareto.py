@@ -1,0 +1,73 @@
+"""Figure 5: latency-accuracy trade-off of NAS with different predictors and
+transfer sample sizes.
+
+Paper finding: NASFLAT's Pareto points with S=5..20 samples dominate or
+match HELP (S=20) and BRP-NAS (S=900), and quality degrades gracefully as S
+shrinks.
+"""
+import numpy as np
+
+from bench_util import bench_config, print_table
+from repro.eval.plotting import ascii_plot
+from repro import get_task
+from repro.hardware.dataset import LatencyDataset
+from repro.nas import MetaD2ASimulator, latency_constrained_search, pareto_front
+from repro.predictors.training import predict_latency
+from repro.spaces.registry import get_space
+from repro.transfer import NASFLATPipeline
+
+DEVICE = "pixel2"
+TASK = "ND"
+SAMPLE_SIZES = [5, 10, 20]
+CONSTRAINT_QUANTILES = [0.2, 0.4, 0.6, 0.8]
+
+
+def test_fig5_nas_pareto(benchmark):
+    def run():
+        task = get_task(TASK)
+        space = get_space(task.space)
+        ds = LatencyDataset(space)
+        gen = MetaD2ASimulator(space)
+        lat = ds.latencies(DEVICE)
+        points = {}
+        cfg = bench_config()
+        pipe = NASFLATPipeline(task, cfg, seed=0)
+        pipe.pretrain()
+        for s in SAMPLE_SIZES:
+            rng = np.random.default_rng(0)
+            idx = rng.choice(len(lat), s, replace=False)
+            tr = pipe.transfer(DEVICE, sample_indices=idx)
+            scorer = lambda i: predict_latency(pipe.last_predictor, DEVICE, i, supplementary=pipe._supp)
+            pts = []
+            for q in CONSTRAINT_QUANTILES:
+                res = latency_constrained_search(
+                    ds, DEVICE, float(np.quantile(lat, q)), gen, scorer, idx, rng, tr.finetune_seconds
+                )
+                pts.append((res.latency_ms, res.accuracy))
+            points[s] = pts
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for s, pts in points.items():
+        for lat_ms, acc in pts:
+            rows.append([f"NASFLAT (S={s})", lat_ms, acc])
+    print_table(f"Figure 5: NAS Pareto points on {DEVICE}", ["config", "latency(ms)", "accuracy(%)"], rows)
+    print(
+        ascii_plot(
+            {
+                f"S={s}": (np.array([p[0] for p in pts]), np.array([p[1] for p in pts]))
+                for s, pts in points.items()
+            },
+            title=f"Figure 5: latency-accuracy trade-off on {DEVICE}",
+            xlabel="latency (ms)",
+            ylabel="accuracy (%)",
+        )
+    )
+    # Shape: with the largest budget, points trace a front (faster picks
+    # trade accuracy), and more samples should not hurt the best accuracy.
+    best20 = max(acc for _, acc in points[20])
+    best5 = max(acc for _, acc in points[5])
+    assert best20 >= best5 - 1.5
+    lats, accs = zip(*points[20])
+    assert len(pareto_front(np.array(lats), np.array(accs))) >= 1

@@ -1,0 +1,83 @@
+"""Figure 7 + appendix Tables 10-19: TA-GATES predictor-design ablations.
+
+Regenerates the appendix study that motivated NASFLAT's simplified
+architecture: the effect of iterative-refinement timesteps, replacing the
+backward GCN with a small MLP (BMLP), and the BYI/BOpE update inputs —
+evaluated as accuracy predictors (Kendall tau) on cell spaces.
+"""
+import numpy as np
+
+from bench_util import print_table
+from repro.eval import kendall
+from repro.nas.accuracy_surrogate import accuracy_table
+from repro.predictors import TAGATESConfig, TAGATESPredictor
+from repro.spaces import GenericCellSpace
+
+SPACES = ["nb101", "enas"]
+TIMESTEPS = [1, 2, 3]
+TRAIN_SAMPLES = 128
+
+
+def _fit_kdt(space, cfg: TAGATESConfig, seed: int = 0) -> float:
+    rng = np.random.default_rng(seed)
+    acc = accuracy_table(space)
+    model = TAGATESPredictor(space, rng, config=cfg)
+    train = rng.choice(space.num_architectures(), TRAIN_SAMPLES, replace=False)
+    model.fit(acc[train], train, rng, epochs=15)
+    test = np.setdiff1d(np.arange(space.num_architectures()), train)[:300]
+    return kendall(model.predict(test), acc[test])
+
+
+def test_fig7_tagates_ablation(benchmark):
+    def run():
+        spaces = {name: GenericCellSpace(name, table_size=800) for name in SPACES}
+        timestep_results = {
+            (name, t): _fit_kdt(spaces[name], TAGATESConfig(timesteps=t, backward="mlp"))
+            for name in SPACES
+            for t in TIMESTEPS
+        }
+        backward_results = {
+            (name, mode): _fit_kdt(
+                spaces[name], TAGATESConfig(timesteps=2, backward=mode) if mode != "none" else TAGATESConfig(timesteps=1, backward="none")
+            )
+            for name in SPACES
+            for mode in ("none", "gcn", "mlp")
+        }
+        # Tables 16-19: gradient-detachment modes for the BMLP update.
+        detach_results = {
+            (name, mode): _fit_kdt(spaces[name], TAGATESConfig(timesteps=2, backward="mlp", detach=mode))
+            for name in SPACES
+            for mode in ("def", "all", "none")
+        }
+        return timestep_results, backward_results, detach_results
+
+    timestep_results, backward_results, detach_results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name] + [timestep_results[(name, t)] for t in TIMESTEPS] for name in SPACES]
+    print_table("Figure 7: KDT vs refinement timesteps (BMLP backward)", ["space"] + [f"T={t}" for t in TIMESTEPS], rows)
+    rows = [[name] + [backward_results[(name, m)] for m in ("none", "gcn", "mlp")] for name in SPACES]
+    print_table(
+        "Tables 12-15 (condensed): backward module at T=2",
+        ["space", "no backward (T=1)", "backward GCN", "BMLP"],
+        rows,
+    )
+    rows = [[name] + [detach_results[(name, m)] for m in ("def", "all", "none")] for name in SPACES]
+    print_table(
+        "Tables 16-19 (condensed): BMLP gradient detachment modes at T=2",
+        ["space", "default (detach BOpE)", "detach all", "detach none"],
+        rows,
+    )
+    # Paper: no clear detach winner, but 'def' and 'none' are the safe
+    # choices — detaching everything is never the clear best.
+    for name in SPACES:
+        best = max(detach_results[(name, m)] for m in ("def", "all", "none"))
+        safe = max(detach_results[(name, "def")], detach_results[(name, "none")])
+        assert safe >= best - 0.08
+    # Honesty note (EXPERIMENTS.md): the paper's timestep/BMLP deltas were
+    # measured against *real trained accuracies*, whose noise structure the
+    # iterative refinement exploits. Our analytic accuracy surrogate is
+    # smooth, so refinement mostly adds optimization difficulty and T=1 can
+    # win here. We therefore assert learnability for every variant (the
+    # ablation harness works end to end) and report the deltas as measured.
+    for (name, _), kdt in {**timestep_results, **backward_results, **detach_results}.items():
+        assert kdt > 0.2, name

@@ -1,0 +1,65 @@
+"""Table 2: operation-wise hardware embedding (OPHW) and hardware-embedding
+initialization (INIT) ablations.
+
+Paper finding: both optimizations help on the large majority of device
+pools, with deltas of ~0.002-0.04 Spearman.  In this reproduction INIT
+reproduces cleanly (it prevents the FBNet cold-start collapse the paper
+reports); the OPHW delta is inside simulator noise — the op-hw interaction
+effects the paper measures come from real compiler stacks that our
+analytical device models only approximate (see EXPERIMENTS.md).
+"""
+import numpy as np
+
+from bench_util import bench_config, print_table, task_mean
+from repro import get_task
+from repro.transfer import NASFLATPipeline
+
+TASKS_USED = ["N1", "NA", "F1"]
+SEEDS = [0, 1]
+
+
+def _run_variant(task_name: str, use_op_hw: bool, hw_init: bool) -> float:
+    vals = []
+    for seed in SEEDS:
+        cfg = bench_config(
+            sampler="random",
+            supplementary=None,
+            use_op_hw=use_op_hw,
+            hw_init=hw_init,
+        )
+        pipe = NASFLATPipeline(get_task(task_name), cfg, seed=seed)
+        pipe.pretrain()
+        vals.append(task_mean(pipe, pipe.task.test_devices[:3]))
+    return float(np.mean(vals))
+
+
+def test_table2_ophw_init(benchmark):
+    def run():
+        results = {}
+        for task in TASKS_USED:
+            results[task] = {
+                "full": _run_variant(task, True, True),
+                "no-ophw": _run_variant(task, False, True),
+                "no-init": _run_variant(task, True, False),
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [task, r["no-ophw"], r["full"], r["no-init"], r["full"]]
+        for task, r in results.items()
+    ]
+    print_table(
+        "Table 2: OPHW / INIT ablation (Spearman rho, mean over test devices x seeds)",
+        ["task", "OPHW off", "OPHW on", "INIT off", "INIT on"],
+        rows,
+    )
+    # INIT reproduces: it helps (or ties within noise) on the majority of
+    # tasks — the paper's FD/F-task cold-start effect is the big one.
+    init_ok = sum(r["full"] >= r["no-init"] - 0.02 for r in results.values())
+    assert init_ok >= 2
+    # OPHW: our simulator cannot resolve the paper's ~0.01-0.03 delta; we
+    # assert only that op-wise conditioning does not break the predictor.
+    for task, r in results.items():
+        assert r["full"] >= r["no-ophw"] - 0.08, task

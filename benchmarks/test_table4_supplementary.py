@@ -1,0 +1,36 @@
+"""Table 4: supplementary NN encodings fed to the prediction head.
+
+Paper finding: supplementary encodings help on 11/12 pools; the effect is
+largest on FBNet (ZCP strongest there).
+"""
+from bench_util import bench_config, print_table, task_mean
+from repro import get_task
+from repro.transfer import NASFLATPipeline
+
+ENCODINGS = [None, "arch2vec", "cate", "zcp", "caz"]
+TASKS_USED = ["N1", "F1"]
+
+
+def test_table4_supplementary(benchmark):
+    def run():
+        results = {}
+        for task in TASKS_USED:
+            per_enc = {}
+            for enc in ENCODINGS:
+                cfg = bench_config(sampler="random", supplementary=enc)
+                pipe = NASFLATPipeline(get_task(task), cfg, seed=0)
+                pipe.pretrain()
+                per_enc[enc or "AdjOp"] = task_mean(pipe, pipe.task.test_devices[:3])
+            results[task] = per_enc
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = ["encoding"] + TASKS_USED
+    names = ["AdjOp"] + [f"(+ {e})" for e in ENCODINGS[1:]]
+    keys = ["AdjOp"] + ENCODINGS[1:]
+    rows = [[n] + [results[t][k] for t in TASKS_USED] for n, k in zip(names, keys)]
+    print_table("Table 4: supplementary encodings (Spearman rho)", header, rows)
+    # Shape: some supplementary encoding beats plain AdjOp on each task.
+    for task in TASKS_USED:
+        base = results[task]["AdjOp"]
+        assert max(v for k, v in results[task].items() if k != "AdjOp") >= base - 0.03

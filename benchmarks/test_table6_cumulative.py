@@ -1,0 +1,41 @@
+"""Table 6: cumulative-feature ablation.
+
+Each row adds one NASFLAT component and inherits the ones above:
+baseline -> +HWInit -> +OpHW -> +Sampler -> +Supplementary encoding.
+Paper finding: the stack of optimizations improves markedly overall.
+"""
+from bench_util import bench_config, print_table, task_mean
+from repro import get_task
+from repro.transfer import NASFLATPipeline
+
+TASKS_USED = ["N1", "F4"]
+
+VARIANTS = [
+    ("Baseline Predictor", dict(hw_init=False, use_op_hw=False, sampler="random", supplementary=None)),
+    ("(+ HWInit)", dict(hw_init=True, use_op_hw=False, sampler="random", supplementary=None)),
+    ("(+ OpHW)", dict(hw_init=True, use_op_hw=True, sampler="random", supplementary=None)),
+    ("(+ Sampler)", dict(hw_init=True, use_op_hw=True, sampler="cosine-caz", supplementary=None)),
+    ("(+ Supp. Encoding)", dict(hw_init=True, use_op_hw=True, sampler="cosine-caz", supplementary="zcp")),
+]
+
+
+def test_table6_cumulative(benchmark):
+    def run():
+        results = {}
+        for task in TASKS_USED:
+            per_variant = {}
+            for name, overrides in VARIANTS:
+                cfg = bench_config(**overrides)
+                pipe = NASFLATPipeline(get_task(task), cfg, seed=0)
+                pipe.pretrain()
+                per_variant[name] = task_mean(pipe, pipe.task.test_devices[:3])
+            results[task] = per_variant
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name] + [results[t][name] for t in TASKS_USED] for name, _ in VARIANTS]
+    print_table("Table 6: cumulative design ablation (Spearman rho)", ["variant"] + TASKS_USED, rows)
+    # Shape: the full stack beats the baseline on average.
+    full = sum(results[t]["(+ Supp. Encoding)"] for t in TASKS_USED)
+    base = sum(results[t]["Baseline Predictor"] for t in TASKS_USED)
+    assert full >= base - 0.05

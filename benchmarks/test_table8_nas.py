@@ -1,0 +1,98 @@
+"""Table 8: latency-constrained NAS with MetaD2A + different latency models.
+
+Paper finding: NASFLAT matches or beats HELP's found accuracy/latency with
+the same 20 target samples while being much cheaper than BRP-NAS (900
+samples) and faster in predictor build + query wall-clock.
+"""
+import time
+
+import numpy as np
+
+from bench_util import PRETRAIN, bench_config, print_table
+from repro import get_task
+from repro.hardware.dataset import LatencyDataset
+from repro.hardware.registry import measure_seconds
+from repro.nas import MetaD2ASimulator, latency_constrained_search
+from repro.predictors import BRPNASPredictor, HELPPredictor
+from repro.predictors.training import predict_latency
+from repro.spaces.registry import get_space
+from repro.transfer import NASFLATPipeline
+
+DEVICE = "pixel2"  # the paper's headline unseen device (Google Pixel2)
+TASK = "ND"  # pixel2 is a test device of ND
+BRPNAS_SAMPLES = 300 if PRETRAIN.epochs < 100 else 900
+
+
+def test_table8_nas(benchmark):
+    def run():
+        task = get_task(TASK)
+        space = get_space(task.space)
+        ds = LatencyDataset(space)
+        gen = MetaD2ASimulator(space)
+        rng = np.random.default_rng(0)
+        lat = ds.latencies(DEVICE)
+        constraint = float(np.quantile(lat, 0.35))
+        rows = {}
+
+        # --- BRP-NAS: train from scratch on many target samples.
+        t0 = time.perf_counter()
+        brp = BRPNASPredictor(space, np.random.default_rng(0))
+        brp_idx = rng.choice(len(lat), BRPNAS_SAMPLES, replace=False)
+        brp.fit(ds, DEVICE, brp_idx, rng, epochs=20)
+        brp_build = time.perf_counter() - t0
+        res = latency_constrained_search(
+            ds, DEVICE, constraint, gen, lambda i: brp.predict(i), brp_idx, rng, brp_build
+        )
+        rows["BRP-NAS"] = res
+
+        # --- HELP: meta-learned MLP, 20 samples (10 refs + 10 tune).
+        t0 = time.perf_counter()
+        help_model = HELPPredictor(space, np.random.default_rng(0), n_ref=10)
+        help_model.meta_train(ds, list(task.train_devices), rng, samples_per_device=96, meta_iters=60)
+        tune_idx = rng.choice(len(lat), 10, replace=False)
+        t1 = time.perf_counter()
+        vec = help_model.transfer(ds, DEVICE, tune_idx, rng, steps=30)
+        help_build = time.perf_counter() - t1
+        measured = np.concatenate([help_model.ref_archs, tune_idx])
+        res = latency_constrained_search(
+            ds, DEVICE, constraint, gen, lambda i: help_model.predict(i, vec), measured, rng, help_build
+        )
+        rows["HELP"] = res
+
+        # --- NASFLAT: this paper.
+        cfg = bench_config()
+        pipe = NASFLATPipeline(task, cfg, seed=0)
+        pipe.pretrain()
+        tr = pipe.transfer(DEVICE)
+        scorer = lambda i: predict_latency(pipe.last_predictor, DEVICE, i, supplementary=pipe._supp)
+        measured = rng.choice(len(lat), 20, replace=False)
+        res = latency_constrained_search(
+            ds, DEVICE, constraint, gen, scorer, measured, rng, tr.finetune_seconds
+        )
+        rows["NASFLAT"] = res
+        return rows, constraint
+
+    rows, constraint = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for method, res in rows.items():
+        table.append(
+            [
+                method,
+                res.latency_ms,
+                res.accuracy,
+                res.cost.n_samples,
+                f"{res.cost.sample_seconds:.0f}s",
+                f"{res.cost.build_seconds:.1f}s",
+                f"{res.cost.total_seconds:.0f}s",
+            ]
+        )
+    print_table(
+        f"Table 8: NAS on unseen device {DEVICE}, constraint {constraint:.1f} ms",
+        ["method", "latency(ms)", "accuracy(%)", "samples", "sample-time", "build", "total"],
+        table,
+    )
+    # Paper shape: NASFLAT needs far fewer samples than BRP-NAS and is
+    # cheaper end-to-end; its found accuracy is competitive.
+    assert rows["NASFLAT"].cost.n_samples < rows["BRP-NAS"].cost.n_samples / 10
+    assert rows["NASFLAT"].cost.total_seconds < rows["BRP-NAS"].cost.total_seconds
+    assert rows["NASFLAT"].accuracy >= rows["HELP"].accuracy - 2.0

@@ -1,0 +1,49 @@
+"""Table 9: cosine-similarity vs KMeans selection for encoding samplers.
+
+Paper finding: cosine consistently outperforms KMeans; KMeans occasionally
+fails to segment the space at all (NaN entries on FBNet).
+"""
+import numpy as np
+
+from bench_util import bench_config, print_table
+from repro import get_task
+from repro.samplers import make_sampler
+from repro.samplers.encoding_based import SamplerFailure
+from repro.transfer import NASFLATPipeline
+
+ENCODINGS = ["zcp", "arch2vec", "cate", "caz"]
+TASK = "N3"  # the paper's Table 9 task
+SIZES = [10, 20]
+
+
+def test_table9_cosine_kmeans(benchmark):
+    def run():
+        cfg = bench_config(sampler="random", supplementary=None)
+        pipe = NASFLATPipeline(get_task(TASK), cfg, seed=0)
+        pipe.pretrain()
+        device = pipe.task.test_devices[0]
+        results = {}
+        for size in SIZES:
+            for method in ("cosine", "kmeans"):
+                for enc in ENCODINGS:
+                    rng = np.random.default_rng(0)
+                    sampler = make_sampler(f"{method}-{enc}")
+                    try:
+                        idx = sampler.select(pipe.space, size, rng)
+                        rho = pipe.transfer(device, sample_indices=idx).spearman
+                    except SamplerFailure:
+                        rho = float("nan")
+                    results[(size, method, enc)] = rho
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for size in SIZES:
+        rows = [
+            [method] + [results[(size, method, enc)] for enc in ENCODINGS]
+            for method in ("cosine", "kmeans")
+        ]
+        print_table(f"Table 9: selection rule, {size} samples, task {TASK}", ["method"] + ENCODINGS, rows)
+    # Paper shape: cosine >= kmeans on average.
+    cos = np.nanmean([results[(s, "cosine", e)] for s in SIZES for e in ENCODINGS])
+    km = np.nanmean([results[(s, "kmeans", e)] for s in SIZES for e in ENCODINGS])
+    assert cos >= km - 0.03

@@ -1,0 +1,51 @@
+"""Energy-aware deployment: latency is not the whole story.
+
+The paper motivates co-optimizing accuracy with deployment cost; on battery
+-powered devices that cost is energy.  This example uses the simulator's
+per-inference energy tables to show how the latency-optimal and
+energy-optimal architectures differ on a phone vs. a desktop GPU, and picks
+an architecture under a joint latency + energy budget.
+
+Run:  python examples/energy_aware.py
+"""
+import numpy as np
+
+from repro.hardware.dataset import LatencyDataset
+from repro.nas import accuracy_table, pareto_front
+from repro.spaces.registry import get_space
+
+
+def main() -> None:
+    space = get_space("nasbench201")
+    dataset = LatencyDataset(space)
+    acc = accuracy_table(space)
+    rng = np.random.default_rng(0)
+    pool = rng.choice(space.num_architectures(), 2000, replace=False)
+
+    for device in ("pixel3", "1080ti_1"):
+        lat = dataset.latency_of(device, pool)
+        eng = dataset.energy_of(device, pool)
+        rho = np.corrcoef(np.argsort(np.argsort(lat)), np.argsort(np.argsort(eng)))[0, 1]
+        print(f"\n{device}: latency-energy rank correlation = {rho:.3f}")
+
+        lat_front = pool[pareto_front(lat, acc[pool])]
+        eng_front = pool[pareto_front(eng, acc[pool])]
+        shared = len(set(lat_front) & set(eng_front))
+        print(f"  latency-accuracy Pareto front: {len(lat_front)} archs")
+        print(f"  energy-accuracy Pareto front:  {len(eng_front)} archs ({shared} shared)")
+
+        # Joint budget: among the fastest 30% AND the thriftiest 30%.
+        feasible = (lat <= np.quantile(lat, 0.3)) & (eng <= np.quantile(eng, 0.3))
+        if feasible.any():
+            best = pool[feasible][np.argmax(acc[pool][feasible])]
+            print(
+                f"  best under joint budget: arch #{best} "
+                f"acc={acc[best]:.2f}% lat={dataset.latencies(device)[best]:.2f}ms "
+                f"energy={dataset.energies(device)[best]:.2f}mJ"
+            )
+        else:
+            print("  no architecture satisfies the joint budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Quickstart: few-shot latency prediction on an unseen device.
+
+Pretrains the NASFLAT predictor on task N1's source pool (edge accelerators
+and a phone), then adapts it to a desktop GPU with just 20 latency samples,
+reporting the Spearman rank correlation on held-out architectures.
+
+Run:  python examples/quickstart.py
+"""
+from repro import get_task
+from repro.transfer import NASFLATPipeline
+from repro.transfer.pipeline import quick_config
+
+
+def main() -> None:
+    task = get_task("N1")
+    print(f"Task {task.name} ({task.space})")
+    print(f"  sources: {', '.join(task.train_devices)}")
+    print(f"  targets: {', '.join(task.test_devices)}")
+
+    # quick_config scales pretraining for a laptop CPU; swap in
+    # PipelineConfig() for the paper-scale recipe (Table 20).
+    pipeline = NASFLATPipeline(task, quick_config(), seed=0)
+    print("\nPretraining on the source-device pool ...")
+    pipeline.pretrain()
+
+    for device in task.test_devices[:3]:
+        result = pipeline.transfer(device)
+        print(
+            f"  {device:<14} spearman={result.spearman:.3f}  "
+            f"({result.n_samples} samples, init from {result.init_device}, "
+            f"fine-tune {result.finetune_seconds:.1f}s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

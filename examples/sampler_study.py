@@ -1,0 +1,46 @@
+"""Which architectures should you measure? A sampler comparison.
+
+With a tiny measurement budget (5 architectures), the *choice* of which
+architectures to profile on the target device decides transfer quality.
+Compares random selection against the paper's encoding-based cosine
+sampler and the latency-oracle upper bound.
+
+Run:  python examples/sampler_study.py
+"""
+import numpy as np
+
+from repro import get_task
+from repro.samplers import make_sampler
+from repro.transfer import NASFLATPipeline
+from repro.transfer.pipeline import quick_config
+
+BUDGET = 5
+SAMPLERS = ["random", "params", "cosine-zcp", "cosine-caz", "latency-oracle"]
+
+
+def main() -> None:
+    task = get_task("N1")
+    pipeline = NASFLATPipeline(task, quick_config(), seed=0)
+    print("Pretraining ...")
+    pipeline.pretrain()
+    device = task.test_devices[0]
+    print(f"Transferring to {device} with only {BUDGET} measurements:\n")
+
+    for spec in SAMPLERS:
+        rhos = []
+        for trial in range(3):
+            rng = np.random.default_rng(trial)
+            sampler = make_sampler(
+                spec,
+                dataset=pipeline.dataset,
+                target_device=device,
+                reference_devices=list(task.train_devices),
+            )
+            idx = sampler.select(pipeline.space, BUDGET, rng)
+            rhos.append(pipeline.transfer(device, sample_indices=idx).spearman)
+        note = " (upper bound — uses true target latencies)" if spec == "latency-oracle" else ""
+        print(f"  {spec:<16} spearman = {np.mean(rhos):.3f} ± {np.std(rhos):.3f}{note}")
+
+
+if __name__ == "__main__":
+    main()

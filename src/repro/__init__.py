@@ -1,0 +1,25 @@
+"""repro — reproduction of "On Latency Predictors for Neural Architecture
+Search" (Akhauri & Abdelfattah, MLSys 2024): the NASFLAT few-shot latency
+predictor, its substrates, baselines, and the full benchmark suite.
+
+Quickstart::
+
+    from repro.tasks import get_task
+    from repro.transfer import NASFLATPipeline
+    from repro.transfer.pipeline import quick_config
+
+    pipeline = NASFLATPipeline(get_task("N1"), quick_config(), seed=0)
+    results = pipeline.run()
+    for device, res in results.items():
+        print(device, res.spearman)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+__version__ = "1.0.0"
+
+from repro.spaces.registry import get_space
+from repro.tasks.devsets import TASKS, get_task
+from repro.transfer.pipeline import NASFLATPipeline, PipelineConfig
+
+__all__ = ["get_space", "TASKS", "get_task", "NASFLATPipeline", "PipelineConfig", "__version__"]

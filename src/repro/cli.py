@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``tasks``      list the 12 device-set tasks and their pools.
+``devices``    list simulated devices (optionally per space).
+``transfer``   pretrain on a task's source pool and adapt to target devices.
+``nas``        run a latency-constrained NAS on an unseen device.
+``partition``  run Algorithm 1 over a device list.
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_tasks(args) -> int:
+    from repro.tasks import TASKS
+
+    for name, task in sorted(TASKS.items()):
+        print(f"{name:<4} [{task.space}]")
+        print(f"     train: {', '.join(task.train_devices)}")
+        print(f"     test:  {', '.join(task.test_devices)}")
+    return 0
+
+
+def _cmd_devices(args) -> int:
+    from repro.hardware.registry import devices_for_space, get_device, list_devices
+
+    names = devices_for_space(args.space) if args.space else list_devices()
+    for name in names:
+        dev = get_device(name)
+        print(f"{name:<36} family={dev.family:<16} batch={dev.batch_size}")
+    return 0
+
+
+def _cmd_transfer(args) -> int:
+    from repro import get_task
+    from repro.transfer import NASFLATPipeline
+    from repro.transfer.pipeline import PipelineConfig, quick_config
+
+    cfg = (
+        PipelineConfig(sampler=args.sampler, supplementary=args.supplementary, n_transfer_samples=args.samples)
+        if args.full_scale
+        else quick_config(
+            sampler=args.sampler, supplementary=args.supplementary, n_transfer_samples=args.samples
+        )
+    )
+    pipe = NASFLATPipeline(get_task(args.task), cfg, seed=args.seed)
+    print(f"Pretraining on {args.task} sources ...", flush=True)
+    pipe.pretrain()
+    devices = args.devices or list(pipe.task.test_devices)
+    for device in devices:
+        res = pipe.transfer(device)
+        print(
+            f"{device:<34} spearman={res.spearman:.3f} samples={res.n_samples} "
+            f"init={res.init_device or '-'} finetune={res.finetune_seconds:.1f}s"
+        )
+    return 0
+
+
+def _cmd_nas(args) -> int:
+    from repro import get_task
+    from repro.hardware.dataset import LatencyDataset
+    from repro.nas import MetaD2ASimulator, latency_constrained_search
+    from repro.predictors.training import predict_latency
+    from repro.spaces.registry import get_space
+    from repro.transfer import NASFLATPipeline
+    from repro.transfer.pipeline import quick_config
+
+    task = get_task(args.task)
+    if args.device not in task.test_devices:
+        print(f"error: {args.device} is not a test device of {args.task}", file=sys.stderr)
+        return 2
+    pipe = NASFLATPipeline(task, quick_config(), seed=args.seed)
+    print("Pretraining ...", flush=True)
+    pipe.pretrain()
+    tr = pipe.transfer(args.device)
+    print(f"Adapted to {args.device}: spearman={tr.spearman:.3f}")
+    ds = pipe.dataset
+    gen = MetaD2ASimulator(pipe.space)
+    rng = np.random.default_rng(args.seed)
+    lat = ds.latencies(args.device)
+    constraint = float(np.quantile(lat, args.constraint_quantile))
+    measured = rng.choice(len(ds), tr.n_samples, replace=False)
+    scorer = lambda idx: predict_latency(pipe.last_predictor, args.device, idx, supplementary=pipe._supp)
+    res = latency_constrained_search(
+        ds, args.device, constraint, gen, scorer, measured, rng, tr.finetune_seconds
+    )
+    print(f"constraint={constraint:.2f}ms  found: arch #{res.chosen_index} "
+          f"latency={res.latency_ms:.2f}ms accuracy={res.accuracy:.2f}%")
+    print(f"cost: {res.cost.n_samples} samples, {res.cost.total_seconds:.1f}s total")
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.hardware.dataset import LatencyDataset
+    from repro.spaces.registry import get_space
+    from repro.tasks import partition_devices
+
+    ds = LatencyDataset(get_space(args.space))
+    train, test = partition_devices(ds, args.devices, m=args.train_size, n=args.test_size, seed=args.seed)
+    print("train:", ", ".join(train))
+    print("test: ", ", ".join(test))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tasks", help="list device-set tasks").set_defaults(func=_cmd_tasks)
+
+    p = sub.add_parser("devices", help="list simulated devices")
+    p.add_argument("--space", choices=["nasbench201", "fbnet"], default=None)
+    p.set_defaults(func=_cmd_devices)
+
+    p = sub.add_parser("transfer", help="pretrain + few-shot transfer on a task")
+    p.add_argument("--task", required=True)
+    p.add_argument("--devices", nargs="*", default=None, help="target devices (default: all test devices)")
+    p.add_argument("--sampler", default="cosine-caz")
+    p.add_argument("--supplementary", default="zcp")
+    p.add_argument("--samples", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--full-scale", action="store_true", help="paper-scale training (slow)")
+    p.set_defaults(func=_cmd_transfer)
+
+    p = sub.add_parser("nas", help="latency-constrained NAS on an unseen device")
+    p.add_argument("--task", default="ND")
+    p.add_argument("--device", required=True)
+    p.add_argument("--constraint-quantile", type=float, default=0.4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_nas)
+
+    p = sub.add_parser("partition", help="Algorithm 1 device partitioning")
+    p.add_argument("--space", default="nasbench201")
+    p.add_argument("--devices", nargs="+", required=True)
+    p.add_argument("--train-size", type=int, required=True)
+    p.add_argument("--test-size", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_partition)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""NN architecture encodings.
+
+Five encodings from the paper:
+
+* ``adjop`` — flattened adjacency + one-hot operations (White et al., 2020);
+* ``zcp`` — 13-dim zero-cost-proxy vector;
+* ``arch2vec`` — 32-dim latent of a variational graph autoencoder trained
+  unsupervised to reconstruct the adjacency-operation matrix;
+* ``cate`` — 32-dim latent of a transformer trained with masked op modeling
+  on computationally-similar architecture pairs;
+* ``caz`` — concatenation of CATE, Arch2Vec, and ZCP (the paper's combined
+  encoding).
+
+All encoders implement :class:`~repro.encodings.base.Encoder` (``fit`` once
+per space, then ``encode`` arbitrary architecture indices) and results are
+memoized per space via :func:`~repro.encodings.base.get_encoding`.
+"""
+from repro.encodings.base import Encoder, get_encoding, ENCODER_FACTORIES, clear_encoding_cache
+from repro.encodings.adjop import AdjOpEncoder
+from repro.encodings.zcp_encoding import ZCPEncoder
+from repro.encodings.arch2vec import Arch2VecEncoder
+from repro.encodings.cate import CATEEncoder
+from repro.encodings.caz import CAZEncoder
+
+__all__ = [
+    "Encoder",
+    "get_encoding",
+    "clear_encoding_cache",
+    "ENCODER_FACTORIES",
+    "AdjOpEncoder",
+    "ZCPEncoder",
+    "Arch2VecEncoder",
+    "CATEEncoder",
+    "CAZEncoder",
+]

@@ -1,0 +1,35 @@
+"""Flattened adjacency + one-hot operation encoding (White et al., 2020)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.spaces.base import SearchSpace
+
+
+class AdjOpEncoder(Encoder):
+    """The baseline structural encoding every predictor in the paper sees."""
+
+    name = "adjop"
+
+    def __init__(self):
+        self._table: np.ndarray | None = None
+
+    def fit(self, space: SearchSpace, seed: int = 0) -> "AdjOpEncoder":
+        rows = [space.encode_adjop(a) for a in space.all_architectures()]
+        self._table = np.asarray(rows)
+        return self
+
+    def encode(self, indices) -> np.ndarray:
+        if self._table is None:
+            raise RuntimeError("call fit() before encode()")
+        return self._table[np.asarray(indices, dtype=np.int64)]
+
+    @property
+    def dim(self) -> int:
+        if self._table is None:
+            raise RuntimeError("call fit() before dim")
+        return self._table.shape[1]
+
+
+ENCODER_FACTORIES["adjop"] = AdjOpEncoder

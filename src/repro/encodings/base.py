@@ -1,0 +1,56 @@
+"""Encoder protocol and the per-space encoding cache."""
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.spaces.base import SearchSpace
+
+
+class Encoder:
+    """Maps architecture-table indices to fixed-size vectors.
+
+    Learned encoders (Arch2Vec, CATE) train once per space in ``fit``;
+    analytic encoders implement ``fit`` as a no-op table build.
+    """
+
+    name: str = "abstract"
+
+    def fit(self, space: SearchSpace, seed: int = 0) -> "Encoder":
+        raise NotImplementedError
+
+    def encode(self, indices) -> np.ndarray:
+        """(len(indices), dim) encoding matrix."""
+        raise NotImplementedError
+
+    @property
+    def dim(self) -> int:
+        raise NotImplementedError
+
+
+# Filled in by each encoder module at import time (see package __init__).
+ENCODER_FACTORIES: dict[str, Callable[[], Encoder]] = {}
+
+_ENCODING_CACHE: dict[tuple[str, str], np.ndarray] = {}
+
+
+def get_encoding(space: SearchSpace, encoder_name: str, seed: int = 0) -> np.ndarray:
+    """Full-table encoding matrix for a space, fit-once-then-memoized.
+
+    Learned encoders are deterministic given ``seed``, so the cache key is
+    (space, encoder) for the default seed.  Use the encoder classes directly
+    for custom seeds.
+    """
+    key = (space.name, encoder_name)
+    if key not in _ENCODING_CACHE:
+        if encoder_name not in ENCODER_FACTORIES:
+            raise KeyError(f"unknown encoder {encoder_name!r}; available: {sorted(ENCODER_FACTORIES)}")
+        encoder = ENCODER_FACTORIES[encoder_name]()
+        encoder.fit(space, seed=seed)
+        _ENCODING_CACHE[key] = encoder.encode(np.arange(space.num_architectures()))
+    return _ENCODING_CACHE[key]
+
+
+def clear_encoding_cache() -> None:
+    _ENCODING_CACHE.clear()

@@ -1,0 +1,176 @@
+"""CATE: computation-aware transformer encoding (Yan et al., 2021).
+
+CATE pairs computationally similar architectures (clustered by FLOPs /
+parameter count), masks operation tokens in one of the pair, and trains a
+transformer to recover them given the partner — so the learned latent
+clusters architectures with similar computational profiles.  We implement
+the same masked-op objective with a compact transformer (1 block, 2 heads,
+32-dim) sized for CPU training; the encoding is the mean hidden state over
+the architecture's op tokens.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.hardware.features import compute_features
+from repro.nnlib import (
+    Adam,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    cross_entropy_loss,
+    no_grad,
+)
+from repro.spaces.base import SearchSpace
+
+LATENT_DIM = 32  # the paper generates 32-dimensional CATE vectors
+
+
+class _SelfAttention(Module):
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % heads:
+            raise ValueError("dim must be divisible by heads")
+        self.heads = heads
+        self.dh = dim // heads
+        self.wq = Linear(dim, dim, rng)
+        self.wk = Linear(dim, dim, rng)
+        self.wv = Linear(dim, dim, rng)
+        self.wo = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, s, d = x.shape
+        def split(t: Tensor) -> Tensor:
+            return t.reshape(b, s, self.heads, self.dh).transpose(0, 2, 1, 3)
+
+        q, k, v = split(self.wq(x)), split(self.wk(x)), split(self.wv(x))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.dh))
+        attn = scores.softmax(axis=-1)
+        out = (attn @ v).transpose(0, 2, 1, 3).reshape(b, s, d)
+        return self.wo(out)
+
+
+class _Block(Module):
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator):
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = _SelfAttention(dim, heads, rng)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = Sequential(Linear(dim, 2 * dim, rng), ReLU(), Linear(2 * dim, dim, rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        return x + self.mlp(self.ln2(x))
+
+
+class _CATEModel(Module):
+    def __init__(self, vocab: int, seq_len: int, dim: int, heads: int, rng: np.random.Generator):
+        super().__init__()
+        self.tok = Embedding(vocab, dim, rng)
+        self.pos = Embedding(seq_len, dim, rng)
+        self.block = _Block(dim, heads, rng)
+        self.ln = LayerNorm(dim)
+        self.head = Linear(dim, vocab, rng)
+
+    def hidden(self, tokens: np.ndarray) -> Tensor:
+        b, s = tokens.shape
+        x = self.tok(tokens) + self.pos(np.broadcast_to(np.arange(s), (b, s)))
+        return self.ln(self.block(x))
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        return self.head(self.hidden(tokens))
+
+
+class CATEEncoder(Encoder):
+    """32-dim masked-op transformer latent over computationally-similar pairs."""
+
+    name = "cate"
+
+    def __init__(
+        self,
+        steps: int = 500,
+        batch_size: int = 16,
+        mask_frac: float = 0.3,
+        n_buckets: int = 20,
+        train_samples: int = 1500,
+    ):
+        self.steps = steps
+        self.batch_size = batch_size
+        self.mask_frac = mask_frac
+        self.n_buckets = n_buckets
+        self.train_samples = train_samples
+        self._table: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, space: SearchSpace, seed: int = 0) -> "CATEEncoder":
+        rng = np.random.default_rng(seed)
+        n = space.num_architectures()
+        ops = np.asarray([a.ops for a in space.all_architectures()])  # (n, nodes)
+        vocab = space.num_ops
+        mask_tok, sep_tok = vocab, vocab + 1
+        seq_len = 2 * ops.shape[1] + 1
+
+        # Computational clustering: bucket by total FLOPs rank (the paper
+        # clusters by similar FLOPs or parameter count).
+        feats = compute_features(space)
+        order = np.argsort(feats.total_flops)
+        bucket_of = np.empty(n, dtype=np.int64)
+        bucket_of[order] = np.arange(n) * self.n_buckets // n
+        buckets = [np.nonzero(bucket_of == b)[0] for b in range(self.n_buckets)]
+
+        train_pool = rng.choice(n, size=min(self.train_samples, n), replace=False)
+        model = _CATEModel(vocab + 2, seq_len, LATENT_DIM, heads=2, rng=rng)
+        opt = Adam(model.parameters(), lr=2e-3)
+        node_slots = ops.shape[1] - 2  # maskable op positions (not input/output)
+
+        for _ in range(self.steps):
+            idx = rng.choice(train_pool, size=self.batch_size)
+            pairs = np.array([rng.choice(buckets[bucket_of[i]]) for i in idx])
+            tokens = np.concatenate(
+                [ops[idx], np.full((self.batch_size, 1), sep_tok), ops[pairs]], axis=1
+            )
+            targets = tokens.copy()
+            mask = np.zeros_like(tokens, dtype=bool)
+            for r in range(self.batch_size):
+                k = max(1, int(self.mask_frac * node_slots))
+                pos = rng.choice(node_slots, size=k, replace=False) + 1  # skip input node
+                mask[r, pos] = True
+            tokens = np.where(mask, mask_tok, tokens)
+            opt.zero_grad()
+            logits = model(tokens)
+            loss = cross_entropy_loss(logits, targets, mask=mask)
+            loss.backward()
+            opt.step()
+
+        # Encoding pass: arch paired with itself, no masking; mean over the
+        # first copy's op tokens.
+        model.eval()
+        out = np.empty((n, LATENT_DIM))
+        arch_cols = ops.shape[1]
+        with no_grad():
+            for start in range(0, n, 512):
+                chunk = ops[start : start + 512]
+                tokens = np.concatenate(
+                    [chunk, np.full((len(chunk), 1), sep_tok), chunk], axis=1
+                )
+                hidden = model.hidden(tokens).numpy()
+                out[start : start + 512] = hidden[:, :arch_cols].mean(axis=1)
+        self._table = out
+        return self
+
+    def encode(self, indices) -> np.ndarray:
+        if self._table is None:
+            raise RuntimeError("call fit() before encode()")
+        return self._table[np.asarray(indices, dtype=np.int64)]
+
+    @property
+    def dim(self) -> int:
+        return LATENT_DIM
+
+
+ENCODER_FACTORIES["cate"] = CATEEncoder

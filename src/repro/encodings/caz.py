@@ -1,0 +1,48 @@
+"""CAZ: the paper's combined CATE + Arch2Vec + ZCP encoding."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.arch2vec import Arch2VecEncoder
+from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.encodings.cate import CATEEncoder
+from repro.encodings.zcp_encoding import ZCPEncoder
+from repro.spaces.base import SearchSpace
+
+
+class CAZEncoder(Encoder):
+    """Concatenation of CATE, Arch2Vec, and ZCP (77 dims total)."""
+
+    name = "caz"
+
+    def __init__(self):
+        self.cate = CATEEncoder()
+        self.arch2vec = Arch2VecEncoder()
+        self.zcp = ZCPEncoder()
+
+    def fit(self, space: SearchSpace, seed: int = 0) -> "CAZEncoder":
+        # Reuse globally-cached component encodings when available so CAZ
+        # never retrains components that another experiment already fit.
+        from repro.encodings.base import get_encoding
+
+        self._table = np.concatenate(
+            [
+                get_encoding(space, "cate", seed=seed),
+                get_encoding(space, "arch2vec", seed=seed),
+                get_encoding(space, "zcp", seed=seed),
+            ],
+            axis=1,
+        )
+        return self
+
+    def encode(self, indices) -> np.ndarray:
+        if getattr(self, "_table", None) is None:
+            raise RuntimeError("call fit() before encode()")
+        return self._table[np.asarray(indices, dtype=np.int64)]
+
+    @property
+    def dim(self) -> int:
+        return self._table.shape[1]
+
+
+ENCODER_FACTORIES["caz"] = CAZEncoder

@@ -1,0 +1,31 @@
+"""Zero-cost-proxy encoding: the 13-proxy vector as an architecture code."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.proxies import PROXY_NAMES, zcp_matrix
+from repro.spaces.base import SearchSpace
+
+
+class ZCPEncoder(Encoder):
+    name = "zcp"
+
+    def __init__(self):
+        self._table: np.ndarray | None = None
+
+    def fit(self, space: SearchSpace, seed: int = 0) -> "ZCPEncoder":
+        self._table = zcp_matrix(space, standardize=True)
+        return self
+
+    def encode(self, indices) -> np.ndarray:
+        if self._table is None:
+            raise RuntimeError("call fit() before encode()")
+        return self._table[np.asarray(indices, dtype=np.int64)]
+
+    @property
+    def dim(self) -> int:
+        return len(PROXY_NAMES)
+
+
+ENCODER_FACTORIES["zcp"] = ZCPEncoder

@@ -1,0 +1,5 @@
+"""Evaluation utilities: rank metrics and the multi-trial experiment runner."""
+from repro.eval.metrics import spearman, kendall, geometric_mean
+from repro.eval.experiment import TrialResult, run_trials, summarize
+
+__all__ = ["spearman", "kendall", "geometric_mean", "TrialResult", "run_trials", "summarize"]

@@ -1,0 +1,55 @@
+"""Multi-trial experiment runner.
+
+The paper reports mean and standard deviation over several trials per
+(task, configuration) cell.  ``run_trials`` executes a trial function with
+per-trial seeds and ``summarize`` formats mean/std the way the paper's
+tables do (mean with std subscript).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class TrialResult:
+    """Mean/std summary of one experiment cell."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values)) if self.values else float("nan")
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f}±{self.std:.3f}"
+
+
+def run_trials(fn: Callable[[int], float], n_trials: int, base_seed: int = 0, name: str = "") -> TrialResult:
+    """Run ``fn(seed)`` for ``n_trials`` distinct seeds and collect results.
+
+    NaN results (e.g. a KMeans sampler failing to segment the space, which
+    the paper reports as NaN entries) are kept so callers can surface them.
+    """
+    result = TrialResult(name=name)
+    for t in range(n_trials):
+        result.values.append(float(fn(base_seed + 1000 * t)))
+    return result
+
+
+def summarize(results: dict[str, TrialResult], title: str = "") -> str:
+    """Render a dict of results as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((len(k) for k in results), default=10)
+    for key, res in results.items():
+        lines.append(f"  {key:<{width}}  {res}")
+    return "\n".join(lines)

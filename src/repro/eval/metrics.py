@@ -1,0 +1,37 @@
+"""Rank-correlation metrics used throughout the paper's evaluation."""
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def spearman(pred, target) -> float:
+    """Spearman rank correlation; the paper's primary predictor metric."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if len(pred) < 2 or np.all(pred == pred[0]) or np.all(target == target[0]):
+        return 0.0
+    rho, _ = stats.spearmanr(pred, target)
+    return float(rho)
+
+
+def kendall(pred, target) -> float:
+    """Kendall tau; used in the appendix predictor-design ablations."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if len(pred) < 2 or np.all(pred == pred[0]) or np.all(target == target[0]):
+        return 0.0
+    tau, _ = stats.kendalltau(pred, target)
+    return float(tau)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive correlations (Table 7's GM column).
+
+    Non-positive entries are clipped to a small epsilon, matching the usual
+    convention when aggregating correlations that are expected positive.
+    """
+    vals = np.clip(np.asarray(values, dtype=np.float64), 1e-6, None)
+    return float(np.exp(np.mean(np.log(vals))))

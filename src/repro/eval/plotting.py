@@ -1,0 +1,77 @@
+"""Terminal (ASCII) plotting for the figure benchmarks.
+
+The paper's Figures 4-7 are line/scatter plots; in a no-display environment
+the benchmarks render them as compact ASCII charts so trends are visible
+directly in the benchmark log.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+_MARKS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, size: int) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    pos = (np.asarray(values, dtype=np.float64) - lo) / span * (size - 1)
+    return np.clip(np.round(pos).astype(int), 0, size - 1)
+
+
+def ascii_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets its own marker; a legend maps markers to names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    all_x = np.concatenate([np.asarray(x, dtype=np.float64) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=np.float64) for _, y in series.values()])
+    if len(all_x) == 0:
+        raise ValueError("series are empty")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, (xs, ys)) in zip(_MARKS, series.items()):
+        cols = _scale(np.asarray(xs), x_lo, x_hi, width)
+        rows = _scale(np.asarray(ys), y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.3g}"
+    y_bot = f"{y_lo:.3g}"
+    pad = max(len(y_top), len(y_bot))
+    for i, row in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |{''.join(row)}|")
+    lines.append(f"{'':>{pad}} +{'-' * width}+")
+    x_axis = f"{x_lo:.3g}".ljust(width - 6) + f"{x_hi:.3g}"
+    lines.append(f"{'':>{pad}}  {x_axis}")
+    if xlabel or ylabel:
+        lines.append(f"{'':>{pad}}  x: {xlabel}   y: {ylabel}")
+    legend = "   ".join(f"{m}={name}" for m, (name, _) in zip(_MARKS, series.items()))
+    lines.append(f"{'':>{pad}}  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(values: dict[str, float], width: int = 40, title: str = "") -> str:
+    """Horizontal bar chart for named scalar values."""
+    if not values:
+        raise ValueError("need at least one value")
+    lines = [title] if title else []
+    vmax = max(abs(v) for v in values.values()) or 1.0
+    namew = max(len(k) for k in values)
+    for name, v in values.items():
+        bar = "#" * max(1, int(round(abs(v) / vmax * width)))
+        lines.append(f"{name:>{namew}} |{bar} {v:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Hardware latency simulation substrate.
+
+The paper evaluates on measured latency tables (HW-NAS-Bench + EAGLE) for
+~40 device/batch-size combinations.  Those tables are not available offline,
+so this package provides an analytical simulator with per-family cost models
+(roofline compute/memory terms, per-op dispatch overheads, batch
+amortization, pipelining across parallel branches, operator fusion, and
+accelerator-specific op affinities) that reproduces the *cross-device
+correlation structure* reported in the paper's Tables 21-22 — the property
+the predictor transfer problem actually depends on.
+
+Entry points:
+
+* :func:`~repro.hardware.registry.get_device` / ``DEVICE_REGISTRY`` — the
+  full paper device roster by canonical name.
+* :class:`~repro.hardware.dataset.LatencyDataset` — (space × device) latency
+  tables with frozen measurement noise.
+"""
+from repro.hardware.features import ArchFeatures, compute_features
+from repro.hardware.device import DeviceModel, FAMILY_ARCHETYPES
+from repro.hardware.registry import (
+    DEVICE_REGISTRY,
+    get_device,
+    list_devices,
+    devices_for_space,
+)
+from repro.hardware.dataset import LatencyDataset
+
+__all__ = [
+    "ArchFeatures",
+    "compute_features",
+    "DeviceModel",
+    "FAMILY_ARCHETYPES",
+    "DEVICE_REGISTRY",
+    "get_device",
+    "list_devices",
+    "devices_for_space",
+    "LatencyDataset",
+]

@@ -1,0 +1,87 @@
+"""Latency tables: the simulated analogue of HW-NAS-Bench / EAGLE.
+
+A :class:`LatencyDataset` lazily materializes, per device, the latency of
+every architecture in a search space's table, with *frozen* multiplicative
+measurement noise (seeded from the (space, device) pair) so the table
+behaves like a fixed measured dataset across runs.
+"""
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.hardware.device import _stable_seed
+from repro.hardware.features import ArchFeatures, compute_features
+from repro.hardware.registry import devices_for_space, get_device
+from repro.spaces.base import SearchSpace
+
+
+class LatencyDataset:
+    """(space × devices) latency table with lazy per-device generation."""
+
+    def __init__(self, space: SearchSpace, devices: list[str] | None = None):
+        self.space = space
+        self.devices = list(devices) if devices is not None else devices_for_space(space.name)
+        unknown = [d for d in self.devices if get_device(d) is None]
+        assert not unknown
+        self._features: ArchFeatures | None = None
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def features(self) -> ArchFeatures:
+        if self._features is None:
+            self._features = compute_features(self.space)
+        return self._features
+
+    def __len__(self) -> int:
+        return self.space.num_architectures()
+
+    # ----------------------------------------------------------------- table
+    def latencies(self, device: str) -> np.ndarray:
+        """Full latency vector (ms) for one device, with frozen noise."""
+        if device not in self._cache:
+            model = get_device(device)
+            seed = _stable_seed("latency", self.space.name, device)
+            self._cache[device] = model.latency(self.features, noise_seed=seed)
+        return self._cache[device]
+
+    def latency_of(self, device: str, indices) -> np.ndarray:
+        return self.latencies(device)[np.asarray(indices, dtype=np.int64)]
+
+    def energies(self, device: str) -> np.ndarray:
+        """Full per-inference energy vector (mJ) for one device."""
+        key = f"energy::{device}"
+        if key not in self._cache:
+            model = get_device(device)
+            seed = _stable_seed("energy", self.space.name, device)
+            self._cache[key] = model.energy(self.features, noise_seed=seed)
+        return self._cache[key]
+
+    def energy_of(self, device: str, indices) -> np.ndarray:
+        return self.energies(device)[np.asarray(indices, dtype=np.int64)]
+
+    def matrix(self, devices: list[str] | None = None) -> np.ndarray:
+        """(n_archs, n_devices) latency matrix."""
+        devices = devices if devices is not None else self.devices
+        return np.stack([self.latencies(d) for d in devices], axis=1)
+
+    # ----------------------------------------------------------- correlation
+    def correlation_matrix(
+        self,
+        devices: list[str] | None = None,
+        sample: int | None = 2000,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Pairwise Spearman correlation between device latency ranks.
+
+        ``sample`` architectures are used (the full 15 625-arch Spearman is
+        unnecessary for a stable estimate and this keeps partitioning fast).
+        """
+        devices = devices if devices is not None else self.devices
+        mat = self.matrix(devices)
+        if sample is not None and sample < len(mat):
+            rng = np.random.default_rng(seed)
+            mat = mat[rng.choice(len(mat), size=sample, replace=False)]
+        rho, _ = stats.spearmanr(mat)
+        rho = np.atleast_2d(rho)
+        return rho

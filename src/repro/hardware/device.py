@@ -1,0 +1,418 @@
+"""Analytical device cost models.
+
+Each :class:`DeviceModel` maps the per-architecture feature matrices of
+:mod:`repro.hardware.features` to a latency vector via a roofline-style cost
+model:
+
+``latency = base + dispatch + overlap(compute)``
+
+* **dispatch** — per-op-instance launch/scheduling overhead, amortized over
+  the batch (this is what makes batch-1 GPU latency correlate with op
+  *counts* while batch-256 latency correlates with FLOPs, as in the paper's
+  correlation tables);
+* **compute** — per-op-class ``max(flops/rate, mem/bandwidth)`` roofline
+  terms; accelerators get class-specific rates (e.g. systolic arrays are
+  extremely fast at convs but fall back to a slow host path for pools);
+* **overlap** — parallel cell branches can overlap on pipelined devices
+  (FPGA/ASIC), controlled by ``pipeline_eff`` and the arch's depth/active
+  ratio; FPGAs additionally pay a per-pipeline-stage fill cost.
+
+Family archetypes below are calibrated so that the simulated cross-device
+Spearman correlations match the ranges in the paper's Tables 21-22.
+"""
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.hardware.features import OP_CLASSES, ArchFeatures
+
+_CLASS_IDX = {c: i for i, c in enumerate(OP_CLASSES)}
+
+
+def _stable_seed(*parts: str) -> int:
+    digest = hashlib.sha256("/".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _standardized_features(feats: ArchFeatures) -> np.ndarray:
+    """Standardized per-arch feature matrix feeding the quirk function."""
+    cols = np.column_stack(
+        [
+            feats.flops,
+            feats.counts,
+            feats.depth,
+            feats.n_active,
+            feats.total_mem,
+        ]
+    )
+    std = cols.std(axis=0)
+    std[std == 0] = 1.0
+    return (cols - cols.mean(axis=0)) / std
+
+
+def _random_smooth_function(z: np.ndarray, seed: int, hidden: int = 8) -> np.ndarray:
+    """A fixed random 2-layer tanh network mapping features to a scalar.
+
+    The output is standardized over the table so ``quirk_sigma`` directly
+    controls the log-latency perturbation magnitude.
+    """
+    rng = np.random.default_rng(seed)
+    w1 = rng.normal(0.0, 1.0 / np.sqrt(z.shape[1]), size=(z.shape[1], hidden))
+    w2 = rng.normal(0.0, 1.0, size=hidden)
+    g = np.tanh(z @ w1) @ w2
+    g_std = g.std()
+    return (g - g.mean()) / (g_std if g_std > 0 else 1.0)
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A single hardware device (one batch size) with a fixed cost model.
+
+    Rates are in MFLOPs/ms, bandwidth in KB/ms, overheads in ms.  All values
+    are in arbitrary-but-consistent units; only relative structure matters
+    for rank-correlation experiments.
+    """
+
+    name: str
+    family: str
+    compute_rate: dict[str, float]
+    dispatch_ms: dict[str, float]
+    mem_bandwidth: float
+    pipeline_eff: float = 0.0
+    fusion_frac: float = 0.5
+    base_ms: float = 0.5
+    depth_cost_ms: float = 0.0
+    batch_size: int = 1
+    noise_rel: float = 0.03
+    # Magnitude of per-device, per-op-class idiosyncrasy within the family
+    # (compiler/op-support quirks). Desktop GPUs are nearly identical chips;
+    # mobile SoCs differ a lot device to device.
+    op_sigma: float = 0.2
+    # Magnitude of the smooth arch-dependent "quirk" term: a random function
+    # of architecture features modeling compiler tiling cliffs, cache
+    # behaviour, and scheduler pathologies that re-rank architectures in
+    # device-specific ways.  Chips within a family share the family-level
+    # quirk and add a chip-level one, so siblings stay correlated.
+    quirk_sigma: float = 0.1
+    # Seed key for the chip-level quirk; batch variants of one chip share it.
+    quirk_key: str = ""
+
+    def latency(self, feats: ArchFeatures, noise_seed: int | None = None) -> np.ndarray:
+        """Per-image latency (ms) for every architecture in ``feats``.
+
+        ``noise_seed`` freezes the multiplicative measurement noise so a
+        simulated table behaves like a fixed measured dataset.
+        """
+        rate = np.array([self.compute_rate.get(c, 1.0) for c in OP_CLASSES])
+        disp = np.array([self.dispatch_ms.get(c, 0.0) for c in OP_CLASSES])
+        flops = feats.flops.copy()
+        mem = feats.mem.copy()
+        counts = feats.counts.copy()
+        # Operator fusion removes dispatch + memory traffic of fusable ops.
+        skip = _CLASS_IDX["skip"]
+        counts[:, skip] *= 1.0 - self.fusion_frac
+        mem[:, skip] *= 1.0 - self.fusion_frac
+
+        # Batch effects: dispatch and invocation base cost are paid once per
+        # batch; large batches also improve compute utilization (up to ~1.6x
+        # at batch 256). A small per-image floor survives amortization.
+        batch_util = 1.0 + 0.3 * np.log2(max(self.batch_size, 1)) / 4.0
+        dispatch = (counts @ disp) / self.batch_size
+        base = self.base_ms / self.batch_size + 0.05 * self.base_ms
+
+        compute_cls = np.maximum(flops / (rate * batch_util), mem / self.mem_bandwidth)
+        compute = compute_cls.sum(axis=1)
+        serial = feats.depth / np.maximum(feats.n_active, 1.0)
+        overlap = serial + (1.0 - serial) * (1.0 - self.pipeline_eff)
+        lat = base + dispatch + compute * overlap + self.depth_cost_ms * feats.depth
+        if self.quirk_sigma > 0:
+            z = _standardized_features(feats)
+            fam = _random_smooth_function(z, _stable_seed("quirk", self.family))
+            chip = _random_smooth_function(z, _stable_seed("quirk", self.quirk_key or self.name))
+            lat = lat * np.exp(self.quirk_sigma * (0.8 * fam + 0.6 * chip))
+        if noise_seed is not None and self.noise_rel > 0:
+            rng = np.random.default_rng(noise_seed)
+            lat = lat * rng.lognormal(0.0, self.noise_rel, size=lat.shape)
+        return lat
+
+    def energy(self, feats: ArchFeatures, noise_seed: int | None = None) -> np.ndarray:
+        """Per-inference energy (mJ) for every architecture in ``feats``.
+
+        Energy = latency x (idle power + dynamic power x utilization), with
+        utilization proxied by the arch's compute intensity relative to the
+        table's heaviest architecture.  This mirrors how HW-NAS-Bench energy
+        numbers behave: strongly but not perfectly rank-correlated with
+        latency (heavy-compute cells draw more power per ms).
+        """
+        idle_w, dyn_w = FAMILY_POWER.get(self.family, (2.0, 4.0))
+        lat = self.latency(feats, noise_seed=None)
+        intensity = feats.total_flops / np.maximum(lat, 1e-9)
+        peak = intensity.max() if intensity.max() > 0 else 1.0
+        util = intensity / peak
+        energy = lat * (idle_w + dyn_w * util)
+        if noise_seed is not None and self.noise_rel > 0:
+            rng = np.random.default_rng(noise_seed)
+            energy = energy * rng.lognormal(0.0, self.noise_rel, size=energy.shape)
+        return energy
+
+    def with_batch(self, batch_size: int, name: str | None = None) -> "DeviceModel":
+        return replace(self, batch_size=batch_size, name=name or f"{self.name}_{batch_size}")
+
+    def perturbed(self, name: str, sigma: float = 0.18) -> "DeviceModel":
+        """A sibling device: same archetype, lognormal-jittered parameters.
+
+        Scalar parameters get overall-speed jitter (``sigma``), while compute
+        rates and dispatch overheads additionally get *per-op-class* jitter
+        of magnitude ``self.op_sigma``.  The class-specific jitter is what
+        separates devices within a family: it re-weights how pools, convs and
+        skips trade off, so siblings correlate highly but not perfectly —
+        tightly for near-identical desktop GPUs (small ``op_sigma``), loosely
+        for heterogeneous mobile SoCs, matching paper Tables 21-22.
+        """
+        rng = np.random.default_rng(_stable_seed("device", name))
+        jit = lambda v: float(v * rng.lognormal(0.0, sigma))
+        op_jit = lambda v: float(v * rng.lognormal(0.0, self.op_sigma))
+        return replace(
+            self,
+            name=name,
+            compute_rate={k: op_jit(v) for k, v in self.compute_rate.items()},
+            dispatch_ms={k: op_jit(v) for k, v in self.dispatch_ms.items()},
+            mem_bandwidth=jit(self.mem_bandwidth),
+            base_ms=jit(self.base_ms),
+            depth_cost_ms=jit(self.depth_cost_ms) if self.depth_cost_ms else 0.0,
+            quirk_key=name,
+        )
+
+
+# (idle watts, dynamic watts at full utilization) per family, for the
+# energy model. Edge devices idle low and peak low; desktop parts the
+# opposite.
+FAMILY_POWER: dict[str, tuple[float, float]] = {
+    "desktop_gpu": (55.0, 180.0),
+    "server_cpu": (40.0, 110.0),
+    "desktop_cpu": (30.0, 80.0),
+    "mobile_cpu": (0.8, 3.2),
+    "mobile_cpu_int8": (0.7, 2.8),
+    "mobile_gpu": (0.9, 3.5),
+    "mobile_dsp": (0.4, 1.6),
+    "embedded_tpu": (0.5, 2.0),
+    "embedded_gpu": (2.5, 7.5),
+    "embedded_cpu": (2.0, 4.0),
+    "fpga": (5.0, 12.0),
+    "asic": (0.15, 0.45),
+}
+
+
+def _rates(conv, pointwise, depthwise, pool, skip=1e9, fixed=200.0):
+    return {
+        "conv": conv,
+        "pointwise": pointwise,
+        "depthwise": depthwise,
+        "pool": pool,
+        "skip": skip,
+        "fixed": fixed,
+    }
+
+
+def _disp(conv, pointwise=None, depthwise=None, pool=None, skip=None, fixed=0.0):
+    pointwise = conv if pointwise is None else pointwise
+    depthwise = conv if depthwise is None else depthwise
+    pool = conv if pool is None else pool
+    skip = conv * 0.5 if skip is None else skip
+    return {
+        "conv": conv,
+        "pointwise": pointwise,
+        "depthwise": depthwise,
+        "pool": pool,
+        "skip": skip,
+        "fixed": fixed,
+    }
+
+
+# Family archetypes. Every named device is a perturbed instance of one of
+# these (optionally with a batch-size override).  Bandwidths are set so the
+# conv-like classes are compute-bound on every family except the explicitly
+# memory-starved embedded CPU; pools and skips are priced by dispatch +
+# bandwidth, which is where families disagree and ranks decorrelate.
+FAMILY_ARCHETYPES: dict[str, DeviceModel] = {
+    # Desktop GPUs: per-kernel launch overhead dominates at batch 1 (latency
+    # ranks follow op *counts*); at batch 256 dispatch amortizes away and
+    # ranks follow FLOPs. Depthwise convs underutilize the SMs.
+    "desktop_gpu": DeviceModel(
+        name="desktop_gpu",
+        family="desktop_gpu",
+        compute_rate=_rates(conv=800.0, pointwise=600.0, depthwise=150.0, pool=400.0),
+        dispatch_ms=_disp(0.55, pool=0.50, skip=0.25),
+        mem_bandwidth=40000.0,
+        pipeline_eff=0.15,
+        fusion_frac=0.8,
+        base_ms=0.8,
+        noise_rel=0.02,
+        op_sigma=0.06,
+        quirk_sigma=0.04,
+    ),
+    # Server CPUs: strong vectorized conv kernels, low dispatch; ranks track
+    # FLOPs with a mild op-count term.
+    "server_cpu": DeviceModel(
+        name="server_cpu",
+        family="server_cpu",
+        compute_rate=_rates(conv=200.0, pointwise=180.0, depthwise=90.0, pool=120.0),
+        dispatch_ms=_disp(0.12, pool=0.08, skip=0.03),
+        mem_bandwidth=15000.0,
+        pipeline_eff=0.0,
+        fusion_frac=0.6,
+        base_ms=0.6,
+        noise_rel=0.02,
+        op_sigma=0.15,
+        quirk_sigma=0.06,
+    ),
+    # Desktop CPU (EAGLE core i7): like server CPU, a bit slower.
+    "desktop_cpu": DeviceModel(
+        name="desktop_cpu",
+        family="desktop_cpu",
+        compute_rate=_rates(conv=150.0, pointwise=140.0, depthwise=70.0, pool=90.0),
+        dispatch_ms=_disp(0.10, pool=0.07, skip=0.03),
+        mem_bandwidth=12000.0,
+        fusion_frac=0.6,
+        base_ms=0.7,
+        noise_rel=0.02,
+        op_sigma=0.15,
+        quirk_sigma=0.08,
+    ),
+    # Mobile CPUs (fp32 TFLite): compute-bound, pools comparatively cheap,
+    # thermal-throttling measurement jitter.
+    "mobile_cpu": DeviceModel(
+        name="mobile_cpu",
+        family="mobile_cpu",
+        compute_rate=_rates(conv=55.0, pointwise=60.0, depthwise=75.0, pool=45.0),
+        dispatch_ms=_disp(0.06, pool=0.04, skip=0.02),
+        mem_bandwidth=6000.0,
+        fusion_frac=0.5,
+        base_ms=1.5,
+        noise_rel=0.05,
+        op_sigma=0.35,
+        quirk_sigma=0.12,
+    ),
+    # Mobile CPUs running int8 (EAGLE kryo/cortex): 2-3x faster convs, pools
+    # relatively more expensive after quantization.
+    "mobile_cpu_int8": DeviceModel(
+        name="mobile_cpu_int8",
+        family="mobile_cpu_int8",
+        compute_rate=_rates(conv=150.0, pointwise=160.0, depthwise=170.0, pool=50.0),
+        dispatch_ms=_disp(0.05, pool=0.08, skip=0.02),
+        mem_bandwidth=8000.0,
+        fusion_frac=0.5,
+        base_ms=1.0,
+        noise_rel=0.05,
+        op_sigma=0.35,
+        quirk_sigma=0.15,
+    ),
+    # Mobile GPUs int8 (adreno): decent conv throughput, kernel launches via
+    # the driver cost real time (count + flops mix).
+    "mobile_gpu": DeviceModel(
+        name="mobile_gpu",
+        family="mobile_gpu",
+        compute_rate=_rates(conv=140.0, pointwise=420.0, depthwise=90.0, pool=110.0),
+        dispatch_ms=_disp(0.25, pool=0.18, skip=0.08),
+        mem_bandwidth=10000.0,
+        fusion_frac=0.6,
+        base_ms=1.2,
+        noise_rel=0.03,
+        op_sigma=0.45,
+        quirk_sigma=0.25,
+    ),
+    # Mobile DSPs int8 (hexagon): HVX crushes convs; pools and elementwise
+    # ops fall back to scalar units with heavy per-op cost.
+    "mobile_dsp": DeviceModel(
+        name="mobile_dsp",
+        family="mobile_dsp",
+        compute_rate=_rates(conv=900.0, pointwise=700.0, depthwise=400.0, pool=40.0),
+        dispatch_ms=_disp(0.15, pool=0.55, skip=0.20),
+        mem_bandwidth=15000.0,
+        fusion_frac=0.5,
+        base_ms=1.5,
+        noise_rel=0.03,
+        op_sigma=0.4,
+        quirk_sigma=0.25,
+    ),
+    # Edge TPU int8: the systolic array makes convs nearly free (whole graph
+    # compiled into one invocation), while unsupported ops (pools, identity
+    # branches) pay a host round-trip.  Its ranks are driven by pool/skip
+    # counts, which is why it correlates so weakly with every other family
+    # (0.11-0.30 in paper Table 21).
+    "embedded_tpu": DeviceModel(
+        name="embedded_tpu",
+        family="embedded_tpu",
+        compute_rate=_rates(conv=6000.0, pointwise=5000.0, depthwise=1500.0, pool=20.0),
+        dispatch_ms=_disp(0.01, pool=1.40, skip=1.00),
+        mem_bandwidth=30000.0,
+        fusion_frac=0.0,
+        base_ms=1.0,
+        noise_rel=0.03,
+        op_sigma=0.3,
+        quirk_sigma=0.45,
+    ),
+    # Embedded GPUs (jetson nano): scaled-down desktop GPU with relatively
+    # higher launch overhead and weaker depthwise support.
+    "embedded_gpu": DeviceModel(
+        name="embedded_gpu",
+        family="embedded_gpu",
+        compute_rate=_rates(conv=300.0, pointwise=60.0, depthwise=60.0, pool=140.0),
+        dispatch_ms=_disp(0.45, pool=0.25, skip=0.12),
+        mem_bandwidth=12000.0,
+        pipeline_eff=0.1,
+        fusion_frac=0.65,
+        base_ms=1.0,
+        noise_rel=0.03,
+        op_sigma=0.45,
+        quirk_sigma=0.3,
+    ),
+    # Embedded CPU (raspi4): slow and genuinely memory bound.
+    "embedded_cpu": DeviceModel(
+        name="embedded_cpu",
+        family="embedded_cpu",
+        compute_rate=_rates(conv=25.0, pointwise=28.0, depthwise=35.0, pool=20.0),
+        dispatch_ms=_disp(0.05, pool=0.03, skip=0.02),
+        mem_bandwidth=1500.0,
+        fusion_frac=0.4,
+        base_ms=2.0,
+        noise_rel=0.05,
+        op_sigma=0.3,
+        quirk_sigma=0.12,
+    ),
+    # FPGA dataflow accelerator: deep pipelining overlaps parallel branches,
+    # but each pipeline stage adds fill latency, so cell depth matters.
+    "fpga": DeviceModel(
+        name="fpga",
+        family="fpga",
+        compute_rate=_rates(conv=120.0, pointwise=110.0, depthwise=90.0, pool=70.0),
+        dispatch_ms=_disp(0.04, pool=0.03, skip=0.01),
+        mem_bandwidth=8000.0,
+        pipeline_eff=0.85,
+        fusion_frac=0.8,
+        base_ms=1.0,
+        depth_cost_ms=0.35,
+        noise_rel=0.03,
+        op_sigma=0.3,
+        quirk_sigma=0.12,
+    ),
+    # Eyeriss-style ASIC: row-stationary dataflow with efficient convs but a
+    # weight-reload cost per layer and poor identity/pool handling.
+    "asic": DeviceModel(
+        name="asic",
+        family="asic",
+        compute_rate=_rates(conv=450.0, pointwise=90.0, depthwise=250.0, pool=45.0),
+        dispatch_ms=_disp(0.50, pool=0.80, skip=0.22),
+        mem_bandwidth=10000.0,
+        pipeline_eff=0.5,
+        fusion_frac=0.3,
+        base_ms=1.2,
+        depth_cost_ms=0.25,
+        noise_rel=0.03,
+        op_sigma=0.4,
+        quirk_sigma=0.25,
+    ),
+}

@@ -1,0 +1,110 @@
+"""The paper's device roster (Table 23), by canonical name.
+
+HELP / HW-NAS-Bench devices exist for both NASBench-201 and FBNet; the
+EAGLE devices (snapdragon int8 variants, edge TPU, jetson, eyeriss-class
+dgpu) exist for NASBench-201 only.  GPU latency at different batch sizes is
+treated as a distinct device (e.g. ``1080ti_1`` vs ``1080ti_256``), exactly
+as the paper does, because batch-1 and batch-256 ranks correlate weakly.
+"""
+from __future__ import annotations
+
+from repro.hardware.device import FAMILY_ARCHETYPES, DeviceModel
+
+# GPU base chips available in HW-NAS-Bench, with their batch variants.
+_GPU_CHIPS = ("1080ti", "2080ti", "titan_rtx", "titanx", "titanxp")
+_GPU_BATCHES = (1, 32, 64, 256)
+
+# (name, family) pairs for non-batched HW-NAS-Bench devices.
+_HWNB_DEVICES = (
+    ("gold_6240", "server_cpu"),
+    ("silver_4114", "server_cpu"),
+    ("silver_4210r", "server_cpu"),
+    ("gold_6226", "server_cpu"),
+    ("samsung_a50", "mobile_cpu"),
+    ("pixel3", "mobile_cpu"),
+    ("samsung_s7", "mobile_cpu"),
+    ("essential_ph_1", "mobile_cpu"),
+    ("pixel2", "mobile_cpu"),
+    ("fpga", "fpga"),
+    ("raspi4", "embedded_cpu"),
+    ("eyeriss", "asic"),
+)
+
+# EAGLE devices (NASBench-201 only).
+_EAGLE_DEVICES = (
+    ("core_i7_7820x_fp32", "desktop_cpu"),
+    ("snapdragon_675_kryo_460_int8", "mobile_cpu_int8"),
+    ("snapdragon_855_kryo_485_int8", "mobile_cpu_int8"),
+    ("snapdragon_450_cortex_a53_int8", "mobile_cpu_int8"),
+    ("edge_tpu_int8", "embedded_tpu"),
+    ("gtx_1080ti_fp32", "desktop_gpu"),
+    ("jetson_nano_fp16", "embedded_gpu"),
+    ("jetson_nano_fp32", "embedded_gpu"),
+    ("snapdragon_855_adreno_640_int8", "mobile_gpu"),
+    ("snapdragon_450_adreno_506_int8", "mobile_gpu"),
+    ("snapdragon_675_adreno_612_int8", "mobile_gpu"),
+    ("snapdragon_675_hexagon_685_int8", "mobile_dsp"),
+    ("snapdragon_855_hexagon_690_int8", "mobile_dsp"),
+)
+
+# Typical seconds to compile + measure one architecture on the device; used
+# by the NAS cost accounting of Table 8. Edge devices are slow to cycle.
+_MEASURE_SECONDS = {
+    "desktop_gpu": 0.55,
+    "server_cpu": 0.55,
+    "desktop_cpu": 0.6,
+    "mobile_cpu": 1.25,
+    "mobile_cpu_int8": 1.3,
+    "mobile_gpu": 1.3,
+    "mobile_dsp": 1.4,
+    "embedded_tpu": 2.0,
+    "embedded_gpu": 1.1,
+    "embedded_cpu": 1.6,
+    "fpga": 3.0,
+    "asic": 2.5,
+}
+
+
+def _build_registry() -> dict[str, DeviceModel]:
+    registry: dict[str, DeviceModel] = {}
+    for chip in _GPU_CHIPS:
+        base = FAMILY_ARCHETYPES["desktop_gpu"].perturbed(chip)
+        for batch in _GPU_BATCHES:
+            name = f"{chip}_{batch}"
+            registry[name] = base.with_batch(batch, name=name)
+    for name, family in _HWNB_DEVICES + _EAGLE_DEVICES:
+        registry[name] = FAMILY_ARCHETYPES[family].perturbed(name)
+    return registry
+
+
+DEVICE_REGISTRY: dict[str, DeviceModel] = _build_registry()
+
+_EAGLE_NAMES = frozenset(name for name, _ in _EAGLE_DEVICES)
+
+
+def get_device(name: str) -> DeviceModel:
+    """Look up a device by canonical name; raises with suggestions."""
+    try:
+        return DEVICE_REGISTRY[name]
+    except KeyError:
+        close = [d for d in DEVICE_REGISTRY if name.split("_")[0] in d]
+        raise KeyError(f"unknown device {name!r}; similar: {close[:6]}") from None
+
+
+def list_devices() -> list[str]:
+    return sorted(DEVICE_REGISTRY)
+
+
+def devices_for_space(space_name: str) -> list[str]:
+    """Device names with latency tables for a given search space.
+
+    Mirrors paper Table 23: EAGLE devices are NASBench-201 only.
+    """
+    if space_name == "nasbench201":
+        return list_devices()
+    return sorted(d for d in DEVICE_REGISTRY if d not in _EAGLE_NAMES)
+
+
+def measure_seconds(name: str) -> float:
+    """Simulated wall-clock seconds to measure one architecture on-device."""
+    return _MEASURE_SECONDS[get_device(name).family]

@@ -1,0 +1,23 @@
+"""Hardware-aware NAS (paper §6.8, Table 8, Fig. 5).
+
+The paper plugs its latency predictor into the HELP NAS system with MetaD2A
+as the accuracy search algorithm.  Offline substitutions (DESIGN.md): a
+deterministic analytic accuracy surrogate stands in for NB201's trained
+CIFAR-100 accuracies, and a surrogate-guided candidate generator stands in
+for the meta-trained MetaD2A generator.  All latency predictors are compared
+against the *same* candidate stream and accuracy oracle, preserving the
+comparison the paper makes.
+"""
+from repro.nas.accuracy_surrogate import accuracy_table
+from repro.nas.metad2a import MetaD2ASimulator
+from repro.nas.search import NASResult, latency_constrained_search, LatencyCostModel
+from repro.nas.pareto import pareto_front
+
+__all__ = [
+    "accuracy_table",
+    "MetaD2ASimulator",
+    "NASResult",
+    "latency_constrained_search",
+    "LatencyCostModel",
+    "pareto_front",
+]

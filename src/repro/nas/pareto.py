@@ -1,0 +1,41 @@
+"""Pareto-front utilities for latency/accuracy trade-off plots (Fig. 5)."""
+from __future__ import annotations
+
+import numpy as np
+
+
+def pareto_front(latency: np.ndarray, accuracy: np.ndarray) -> np.ndarray:
+    """Indices of the (min-latency, max-accuracy) Pareto-optimal points.
+
+    A point dominates another if it is no slower *and* no less accurate,
+    and strictly better on at least one axis.  Returned indices are sorted
+    by latency.
+    """
+    lat = np.asarray(latency, dtype=np.float64)
+    acc = np.asarray(accuracy, dtype=np.float64)
+    if lat.shape != acc.shape:
+        raise ValueError(f"shape mismatch: {lat.shape} vs {acc.shape}")
+    # Sort by latency, breaking ties by highest accuracy first so that of
+    # several equal-latency points only the most accurate reaches the front.
+    order = np.lexsort((-acc, lat))
+    front: list[int] = []
+    best_acc = -np.inf
+    for i in order:
+        if acc[i] > best_acc:
+            front.append(int(i))
+            best_acc = acc[i]
+    return np.asarray(front, dtype=np.int64)
+
+
+def dominates_fraction(
+    lat_a: np.ndarray, acc_a: np.ndarray, lat_b: np.ndarray, acc_b: np.ndarray
+) -> float:
+    """Fraction of B's points dominated by at least one point of A.
+
+    Summarizes "A's Pareto curve dominates B's" claims numerically.
+    """
+    count = 0
+    for lb, ab in zip(lat_b, acc_b):
+        if np.any((lat_a <= lb) & (acc_a >= ab) & ((lat_a < lb) | (acc_a > ab))):
+            count += 1
+    return count / max(len(lat_b), 1)

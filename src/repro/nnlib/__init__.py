@@ -1,0 +1,66 @@
+"""Minimal reverse-mode autodiff neural-network library on numpy.
+
+``repro.nnlib`` stands in for PyTorch in this reproduction: it provides a
+:class:`~repro.nnlib.tensor.Tensor` with reverse-mode automatic
+differentiation, standard neural-network modules (:class:`Linear`,
+:class:`Embedding`, :class:`LayerNorm`, :class:`MLP`), optimizers
+(:class:`Adam`, :class:`SGD`), and the loss functions used by the paper
+(MSE and the pairwise hinge ranking loss of Ning et al., 2022).
+
+The engine is intentionally small but exact: every op's gradient is verified
+against central finite differences in ``tests/nnlib/test_gradcheck.py``.
+"""
+from repro.nnlib.tensor import Tensor, concat, stack, no_grad
+from repro.nnlib.modules import (
+    Module,
+    Parameter,
+    Linear,
+    MLP,
+    Embedding,
+    LayerNorm,
+    Sequential,
+    ReLU,
+    LeakyReLU,
+    Sigmoid,
+    Tanh,
+    Dropout,
+)
+from repro.nnlib.optim import SGD, Adam, Optimizer
+from repro.nnlib.losses import (
+    mse_loss,
+    cross_entropy_loss,
+    l1_loss,
+    bce_with_logits_loss,
+    pairwise_hinge_loss,
+    gaussian_kl_loss,
+)
+from repro.nnlib import init
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Embedding",
+    "LayerNorm",
+    "Sequential",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "mse_loss",
+    "cross_entropy_loss",
+    "l1_loss",
+    "bce_with_logits_loss",
+    "pairwise_hinge_loss",
+    "gaussian_kl_loss",
+    "init",
+]

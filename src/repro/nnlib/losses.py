@@ -1,0 +1,89 @@
+"""Loss functions.
+
+``pairwise_hinge_loss`` is the ranking loss from TA-GATES (Ning et al., 2022)
+that the paper uses for all predictor training (Table 20, "Loss Type:
+Pairwise Hinge Loss"): for every pair (i, j) with target_i > target_j the
+predictor is penalised unless pred_i exceeds pred_j by a margin.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nnlib.tensor import Tensor
+
+
+def _coerce(x) -> Tensor:
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    target = _coerce(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target) -> Tensor:
+    target = _coerce(target)
+    return (pred - target).abs().mean()
+
+
+def bce_with_logits_loss(logits: Tensor, target) -> Tensor:
+    """Numerically stable binary cross-entropy on logits."""
+    target = _coerce(target)
+    # log(1 + exp(-|x|)) + max(x, 0) - x*t
+    neg_abs = -logits.abs()
+    loss = logits.clip_min(0.0) - logits * target + (neg_abs.exp() + 1.0).log()
+    return loss.mean()
+
+
+def pairwise_hinge_loss(pred: Tensor, target, margin: float = 0.1) -> Tensor:
+    """Pairwise ranking hinge loss over all ordered pairs in a batch.
+
+    For each pair where ``target[i] > target[j]`` the loss term is
+    ``max(0, margin - (pred[i] - pred[j]))``.  Implemented with broadcast
+    difference matrices so the whole batch is one vectorized expression.
+    """
+    target_np = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=np.float64)
+    if pred.ndim != 1:
+        pred = pred.reshape(-1)
+    target_np = target_np.reshape(-1)
+    n = len(target_np)
+    if n < 2:
+        return (pred * 0.0).sum()
+    # mask[i, j] = 1 where target i should rank above target j
+    mask = (target_np[:, None] > target_np[None, :]).astype(np.float64)
+    n_pairs = mask.sum()
+    if n_pairs == 0:
+        return (pred * 0.0).sum()
+    diff = pred.reshape(n, 1) - pred.reshape(1, n)  # pred_i - pred_j
+    hinge = (Tensor(margin) - diff).clip_min(0.0)
+    return (hinge * Tensor(mask)).sum() / n_pairs
+
+
+def cross_entropy_loss(logits: Tensor, targets, mask=None) -> Tensor:
+    """Mean cross-entropy over integer class targets.
+
+    ``logits`` has shape ``(..., V)``; ``targets`` is an integer array of
+    shape ``(...)``.  ``mask`` (same shape as targets, optional) selects the
+    positions that contribute — used for masked-token prediction in CATE.
+    """
+    targets_np = np.asarray(targets, dtype=np.int64)
+    v = logits.shape[-1]
+    onehot = np.zeros(targets_np.shape + (v,))
+    np.put_along_axis(onehot, targets_np[..., None], 1.0, axis=-1)
+    log_probs = logits.log_softmax(axis=-1)
+    nll = -(log_probs * Tensor(onehot)).sum(axis=-1)
+    if mask is not None:
+        mask_np = np.asarray(mask, dtype=np.float64)
+        denom = max(mask_np.sum(), 1.0)
+        return (nll * Tensor(mask_np)).sum() / denom
+    return nll.mean()
+
+
+def gaussian_kl_loss(mu: Tensor, logvar: Tensor) -> Tensor:
+    """KL(q(z)=N(mu, exp(logvar)) || N(0, I)), averaged over the batch.
+
+    Used by the Arch2Vec variational graph autoencoder.
+    """
+    kl = (mu * mu + logvar.exp() - logvar - 1.0) * 0.5
+    return kl.sum(axis=-1).mean()

@@ -1,0 +1,256 @@
+"""Neural-network modules built on :class:`repro.nnlib.tensor.Tensor`.
+
+The module system mirrors the familiar torch.nn API surface (``parameters()``,
+``state_dict()``, ``train()``/``eval()``) at the scale this reproduction
+needs.  Submodules and parameters are discovered by attribute inspection, so
+plain attribute assignment is all that is required to register them.
+"""
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.nnlib import init as init_mod
+from repro.nnlib.tensor import Tensor, concat
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with parameter registration, modes, and state dicts."""
+
+    def __init__(self):
+        self._training = True
+
+    # ------------------------------------------------------------- discovery
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for attr, value in vars(self).items():
+            if attr.startswith("_") and attr != "_modules_list":
+                continue
+            full = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ----------------------------------------------------------------- modes
+    def train(self) -> "Module":
+        for m in self.modules():
+            m._training = True
+        return self
+
+    def eval(self) -> "Module":
+        for m in self.modules():
+            m._training = False
+        return self
+
+    @property
+    def training(self) -> bool:
+        return self._training
+
+    # ------------------------------------------------------------------ grad
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ----------------------------------------------------------------- state
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, p in own.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}")
+            p.data = state[name].copy()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ call
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init_mod.kaiming_uniform(rng, in_features, out_features), name="weight")
+        self.bias = Parameter(init_mod.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self._training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+class Sequential(Module):
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation.
+
+    ``dims`` lists hidden sizes; the final ``Linear`` to ``out_features`` has
+    no activation, matching the predictor heads in the paper (Table 20 uses
+    MLP dims [200, 200, 200]).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        dims: list[int],
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        acts: dict[str, Callable[[], Module]] = {
+            "relu": ReLU,
+            "leaky_relu": LeakyReLU,
+            "sigmoid": Sigmoid,
+            "tanh": Tanh,
+        }
+        if activation not in acts:
+            raise ValueError(f"unknown activation {activation!r}; choose from {sorted(acts)}")
+        layers: list[Module] = []
+        prev = in_features
+        for dim in dims:
+            layers.append(Linear(prev, dim, rng))
+            layers.append(acts[activation]())
+            if dropout > 0:
+                layers.append(Dropout(dropout, rng))
+            prev = dim
+        layers.append(Linear(prev, out_features, rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer indices to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: np.random.Generator, std: float = 0.1):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init_mod.normal(rng, (num_embeddings, embedding_dim), std=std), name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        idx = np.asarray(indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range: [{idx.min()}, {idx.max()}] for table of size {self.num_embeddings}"
+            )
+        return self.weight.gather_rows(idx)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(init_mod.ones((dim,)), name="gamma")
+        self.beta = Parameter(init_mod.zeros((dim,)), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps) ** 0.5
+        return normed * self.gamma + self.beta

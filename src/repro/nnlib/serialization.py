@@ -1,0 +1,43 @@
+"""Checkpointing: save/load module state dicts as ``.npz`` archives.
+
+Pretraining is the expensive stage of the NASFLAT workflow; persisting the
+pretrained checkpoint lets a deployment adapt to new devices later without
+repeating it (the paper's "train once on reference devices" premise).
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nnlib.modules import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> None:
+    """Write ``module.state_dict()`` (and optional JSON metadata) to .npz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_checkpoint(module: Module, path: str | Path) -> dict:
+    """Load a checkpoint into ``module``; returns the stored metadata.
+
+    Raises if parameter names or shapes do not match the module (the usual
+    state-dict contract).
+    """
+    with np.load(Path(path)) as archive:
+        meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    module.load_state_dict(state)
+    return json.loads(meta_raw)

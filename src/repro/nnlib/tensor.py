@@ -1,0 +1,520 @@
+"""Reverse-mode autodiff tensor on top of numpy.
+
+The design follows the classic tape-based approach: each :class:`Tensor`
+records the tensors it was computed from and a closure that accumulates
+gradients into them.  ``backward()`` topologically sorts the tape and runs the
+closures in reverse.  Broadcasting is handled by summing gradients over
+broadcast axes (:func:`_unbroadcast`).
+"""
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over the axes that were added or broadcast to reach it.
+
+    If ``a`` with shape ``shape`` was broadcast to ``grad.shape`` during the
+    forward pass, the gradient w.r.t. ``a`` is the sum of ``grad`` over every
+    broadcast dimension.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove leading axes that were prepended by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes where the original size was 1 but grad's is larger.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            return value.astype(np.float64)
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy-backed tensor supporting reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; stored as ``float64`` for gradcheck fidelity.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __array_priority__ = 100  # so np scalars defer to our __radd__ etc.
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # --------------------------------------------------------------- plumbing
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], backward) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._prev = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (scalar loss convention).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+        if grad is None:
+            grad = np.ones_like(self.data)
+        self._accumulate(_as_array(grad))
+        for node in reversed(topo):
+            if node._backward is not None:
+                node._backward()
+                # Free the tape eagerly so long training loops don't leak.
+                node._backward = None
+                node._prev = ()
+
+    # ------------------------------------------------------------- arithmetic
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-out.grad * self.data / (other.data**2), other.shape)
+                )
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward():
+            g = out.grad
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    grad_self = np.multiply.outer(g, other.data) if self.data.ndim > 1 else g * other.data
+                    if self.data.ndim == 2 and g.ndim == 1:
+                        grad_self = np.outer(g, other.data)
+                    self._accumulate(_unbroadcast(grad_self.reshape(self.shape), self.shape))
+                else:
+                    swap = np.swapaxes(other.data, -1, -2)
+                    if g.ndim == 1:  # vector @ matrix
+                        grad_self = g @ swap
+                    else:
+                        grad_self = g @ swap
+                    self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    if g.ndim == 1:
+                        grad_other = np.outer(self.data, g)
+                    else:
+                        grad_other = np.multiply.outer(self.data, g)
+                    other._accumulate(_unbroadcast(grad_other.reshape(other.shape), other.shape))
+                else:
+                    swap = np.swapaxes(self.data, -1, -2)
+                    if g.ndim == 1:
+                        grad_other = swap @ g
+                    else:
+                        grad_other = swap @ g
+                    other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    # ------------------------------------------------------------ elementwise
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * sign)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out_data**2))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, 0.0)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, negative_slope * self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * np.where(mask, 1.0, negative_slope))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def clip_min(self, low: float) -> "Tensor":
+        """Elementwise max(self, low); gradient is zero where clipped."""
+        mask = self.data > low
+        out_data = np.where(mask, self.data, low)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # -------------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward():
+            if self.requires_grad:
+                g = out.grad
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis)
+                self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward():
+            if self.requires_grad:
+                g = out.grad
+                o = out_data
+                if axis is not None and not keepdims:
+                    g = np.expand_dims(g, axis)
+                    o = np.expand_dims(o, axis)
+                mask = self.data == o
+                # Split gradient evenly among ties (matches subgradient choice).
+                counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+                self._accumulate(np.where(mask, g, 0.0) / counts)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward():
+            if self.requires_grad:
+                g = out.grad
+                dot = (g * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate(out_data * (g - dot))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - logsumexp
+        softmax = np.exp(out_data)
+
+        def backward():
+            if self.requires_grad:
+                g = out.grad
+                self._accumulate(g - softmax * g.sum(axis=axis, keepdims=True))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------ shape
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward():
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+
+        out = Tensor._make(np.array(out_data, copy=True), (self,), backward)
+        return out
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Embedding-style row lookup: ``out[i] = self[indices[i]]``.
+
+        ``indices`` may be any integer array; the result has shape
+        ``indices.shape + self.shape[1:]``.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[idx]
+
+        def backward():
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, idx, out.grad)
+                self._accumulate(grad)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward():
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                sl = [slice(None)] * out_data.ndim
+                sl[axis] = slice(start, stop)
+                t._accumulate(out.grad[tuple(sl)])
+
+    out = Tensor._make(out_data, tensors, backward)
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (differentiable)."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward():
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(np.take(out.grad, i, axis=axis))
+
+    out = Tensor._make(out_data, tensors, backward)
+    return out

@@ -1,0 +1,53 @@
+"""Latency predictors: NASFLAT and the baselines it is compared against.
+
+* :class:`~repro.predictors.nasflat.NASFLATPredictor` — the paper's model:
+  operation + hardware embedding tables, an op-hw refinement GNN, a main
+  DGF/GAT (or ensemble) GNN over the architecture DAG, optional
+  supplementary encodings, and an MLP regression head.
+* Baselines (:mod:`repro.predictors.baselines`): BRP-NAS GCN trained from
+  scratch, HELP-style meta-learned MLP, MultiPredict unified-encoding MLP,
+  layer-wise LUT, and the FLOPs proxy.
+* :class:`~repro.predictors.tagates.TAGATESPredictor` — the configurable
+  TA-GATES-style model used by the appendix predictor-design ablations.
+* :mod:`repro.predictors.training` — pretraining / fine-tuning loops
+  (pairwise hinge loss, per-device target standardization).
+"""
+from repro.predictors.space_tensors import SpaceTensors
+from repro.predictors.gnn import DGFLayer, GATLayer, GNNStack
+from repro.predictors.nasflat import NASFLATPredictor, NASFLATConfig
+from repro.predictors.tagates import TAGATESPredictor, TAGATESConfig
+from repro.predictors.baselines import (
+    BRPNASPredictor,
+    HELPPredictor,
+    MultiPredictPredictor,
+    LayerwisePredictor,
+    FLOPsPredictor,
+)
+from repro.predictors.training import (
+    PretrainConfig,
+    FinetuneConfig,
+    pretrain_multidevice,
+    finetune_on_device,
+    predict_latency,
+)
+
+__all__ = [
+    "SpaceTensors",
+    "DGFLayer",
+    "GATLayer",
+    "GNNStack",
+    "NASFLATPredictor",
+    "NASFLATConfig",
+    "TAGATESPredictor",
+    "TAGATESConfig",
+    "BRPNASPredictor",
+    "HELPPredictor",
+    "MultiPredictPredictor",
+    "LayerwisePredictor",
+    "FLOPsPredictor",
+    "PretrainConfig",
+    "FinetuneConfig",
+    "pretrain_multidevice",
+    "finetune_on_device",
+    "predict_latency",
+]

@@ -1,0 +1,362 @@
+"""Baseline latency predictors the paper compares against.
+
+* :class:`BRPNASPredictor` — Dudziak et al. (2020): a GCN latency predictor
+  trained *from scratch* on the target device; accurate but needs ~900
+  on-device samples.
+* :class:`HELPPredictor` — Lee et al. (2021): an MLP conditioned on a
+  hardware descriptor (latencies of fixed reference architectures),
+  meta-learned across source devices and adapted with a few gradient steps.
+  We use first-order Reptile in place of HELP's second-order MAML (the
+  second-order term is what makes HELP slow to fine-tune — Table 8's
+  wall-clock comparison captures exactly this; see DESIGN.md).
+* :class:`MultiPredictPredictor` — Akhauri & Abdelfattah (2023): an MLP on a
+  unified ZCP encoding plus a learnable hardware embedding, pretrained on
+  source devices and fine-tuned on the target.
+* :class:`LayerwisePredictor` — classic LUT baseline: latency as a
+  non-negative sum of per-op-class costs fit on target samples.
+* :class:`FLOPsPredictor` — the FLOPs-as-proxy baseline.
+"""
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.encodings.base import get_encoding
+from repro.hardware.dataset import LatencyDataset
+from repro.hardware.features import compute_features
+from repro.nnlib import MLP, Adam, Embedding, Module, Tensor, concat, no_grad, pairwise_hinge_loss
+from repro.predictors.gnn import GNNStack
+from repro.predictors.space_tensors import SpaceTensors
+from repro.predictors.training import _standardize_log
+from repro.spaces.base import SearchSpace
+
+
+class BRPNASPredictor(Module):
+    """GCN predictor trained from scratch on a single target device."""
+
+    def __init__(self, space: SearchSpace, rng: np.random.Generator, emb_dim: int = 48, gnn_dims=(128, 128, 128, 128)):
+        super().__init__()
+        self.space = space
+        self.op_emb = Embedding(space.num_ops, emb_dim, rng)
+        self.gnn = GNNStack(emb_dim, tuple(gnn_dims), op_dim=emb_dim, rng=rng, kind="dgf")
+        self.head = MLP(self.gnn.out_dim, [128], 1, rng)
+
+    def forward(self, adj: np.ndarray, ops: np.ndarray) -> Tensor:
+        op_vecs = self.op_emb(ops)
+        h = self.gnn(op_vecs, Tensor(adj), op_vecs)
+        return self.head(h[:, -1, :]).reshape(len(ops))
+
+    def fit(
+        self,
+        dataset: LatencyDataset,
+        device: str,
+        indices: np.ndarray,
+        rng: np.random.Generator,
+        epochs: int = 60,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+    ) -> "BRPNASPredictor":
+        tensors = SpaceTensors.for_space(self.space)
+        idx = np.asarray(indices, dtype=np.int64)
+        target = _standardize_log(dataset.latency_of(device, idx))
+        opt = Adam(self.parameters(), lr=lr, weight_decay=1e-5)
+        for _ in range(epochs):
+            order = rng.permutation(len(idx))
+            for start in range(0, len(order), batch_size):
+                sel = order[start : start + batch_size]
+                if len(sel) < 2:
+                    continue
+                adj, ops = tensors.batch(idx[sel])
+                opt.zero_grad()
+                loss = pairwise_hinge_loss(self(adj, ops), target[sel])
+                loss.backward()
+                opt.step()
+        return self
+
+    def predict(self, indices: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        tensors = SpaceTensors.for_space(self.space)
+        idx = np.asarray(indices, dtype=np.int64)
+        outs = []
+        self.eval()
+        with no_grad():
+            for start in range(0, len(idx), batch_size):
+                adj, ops = tensors.batch(idx[start : start + batch_size])
+                outs.append(self(adj, ops).numpy())
+        self.train()
+        return np.concatenate(outs)
+
+
+class HELPPredictor(Module):
+    """Meta-learned MLP with a latency-vector hardware descriptor.
+
+    The hardware descriptor of a device is the standardized log-latency of
+    ``n_ref`` fixed reference architectures measured on that device; at
+    transfer time measuring these references consumes part of the target
+    sample budget, as in the original method.
+    """
+
+    def __init__(self, space: SearchSpace, rng: np.random.Generator, n_ref: int = 10, hidden=(256, 256)):
+        super().__init__()
+        self.space = space
+        self.n_ref = n_ref
+        self.ref_archs = rng.choice(space.num_architectures(), size=n_ref, replace=False)
+        # Lazily built from the adjop encoding table.
+        self._enc: np.ndarray | None = None
+        in_dim = space.adjop_dim() + n_ref
+        self.mlp = MLP(in_dim, list(hidden), 1, rng)
+
+    def _encoding(self) -> np.ndarray:
+        if self._enc is None:
+            self._enc = get_encoding(self.space, "adjop")
+        return self._enc
+
+    def _device_vec(self, dataset: LatencyDataset, device: str) -> np.ndarray:
+        return _standardize_log(dataset.latency_of(device, self.ref_archs))
+
+    def forward(self, arch_enc: np.ndarray, device_vec: np.ndarray) -> Tensor:
+        dev = np.broadcast_to(device_vec, (len(arch_enc), self.n_ref))
+        return self.mlp(Tensor(np.concatenate([arch_enc, dev], axis=1))).reshape(len(arch_enc))
+
+    def _inner_steps(self, enc, target, device_vec, steps: int, lr: float, rng: np.random.Generator):
+        opt = Adam(self.parameters(), lr=lr)
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = pairwise_hinge_loss(self(enc, device_vec), target)
+            loss.backward()
+            opt.step()
+
+    def meta_train(
+        self,
+        dataset: LatencyDataset,
+        source_devices: list[str],
+        rng: np.random.Generator,
+        samples_per_device: int = 512,
+        meta_iters: int = 120,
+        inner_steps: int = 4,
+        inner_lr: float = 1e-3,
+        meta_lr: float = 0.5,
+        batch_size: int = 32,
+    ) -> "HELPPredictor":
+        """First-order Reptile over the source-device pool."""
+        enc_table = self._encoding()
+        n = self.space.num_architectures()
+        tasks = []
+        for dev in source_devices:
+            idx = rng.choice(n, size=min(samples_per_device, n), replace=False)
+            tasks.append((self._device_vec(dataset, dev), idx, _standardize_log(dataset.latency_of(dev, idx))))
+        for _ in range(meta_iters):
+            device_vec, idx, target = tasks[rng.integers(len(tasks))]
+            before = self.state_dict()
+            sel = rng.choice(len(idx), size=min(batch_size, len(idx)), replace=False)
+            self._inner_steps(enc_table[idx[sel]], target[sel], device_vec, inner_steps, inner_lr, rng)
+            after = self.state_dict()
+            # Reptile outer update: move meta-params toward the adapted ones.
+            self.load_state_dict(
+                {k: before[k] + meta_lr * (after[k] - before[k]) for k in before}
+            )
+        return self
+
+    def transfer(
+        self,
+        dataset: LatencyDataset,
+        device: str,
+        indices: np.ndarray,
+        rng: np.random.Generator,
+        steps: int = 40,
+        lr: float = 1e-3,
+    ) -> np.ndarray:
+        """Adapt to a new device; returns its hardware descriptor.
+
+        The total measurement budget is ``n_ref`` reference archs plus
+        ``len(indices)`` fine-tuning samples.
+        """
+        device_vec = self._device_vec(dataset, device)
+        idx = np.asarray(indices, dtype=np.int64)
+        target = _standardize_log(dataset.latency_of(device, idx))
+        self._inner_steps(self._encoding()[idx], target, device_vec, steps, lr, rng)
+        return device_vec
+
+    def predict(self, indices: np.ndarray, device_vec: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        enc = self._encoding()[idx]
+        outs = []
+        self.eval()
+        with no_grad():
+            for start in range(0, len(idx), batch_size):
+                outs.append(self(enc[start : start + batch_size], device_vec).numpy())
+        self.train()
+        return np.concatenate(outs)
+
+
+class MultiPredictPredictor(Module):
+    """MLP on a unified encoding with a learnable hardware embedding.
+
+    MultiPredict's unified encodings are either the zero-cost-proxy vector
+    (``encoding="zcp"``, the default) or a vector of latencies measured on a
+    fixed set of reference devices (``encoding="latency"``), which is what
+    enables its cross-search-space transfer.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        devices: list[str],
+        rng: np.random.Generator,
+        hw_dim: int = 32,
+        hidden=(200, 200, 200),
+        encoding: str = "zcp",
+        reference_devices: list[str] | None = None,
+        dataset: "LatencyDataset | None" = None,
+    ):
+        super().__init__()
+        if encoding not in ("zcp", "latency"):
+            raise ValueError(f"unknown unified encoding {encoding!r}")
+        self.space = space
+        self.encoding = encoding
+        self.device_index = {d: i for i, d in enumerate(devices)}
+        self._rng = rng
+        self.hw_emb = Embedding(len(devices), hw_dim, rng)
+        self._enc: np.ndarray | None = None
+        if encoding == "latency":
+            if not reference_devices or dataset is None:
+                raise ValueError("latency encoding needs reference_devices and a dataset")
+            self._reference_devices = list(reference_devices)
+            self._dataset = dataset
+            enc_dim = len(self._reference_devices)
+        else:
+            from repro.proxies import PROXY_NAMES
+
+            enc_dim = len(PROXY_NAMES)
+        self.mlp = MLP(enc_dim + hw_dim, list(hidden), 1, rng)
+
+    def _encoding(self) -> np.ndarray:
+        if self._enc is None:
+            if self.encoding == "latency":
+                cols = [
+                    _standardize_log(self._dataset.latencies(d)) for d in self._reference_devices
+                ]
+                self._enc = np.stack(cols, axis=1)
+            else:
+                self._enc = get_encoding(self.space, "zcp")
+        return self._enc
+
+    def add_device(self, name: str) -> int:
+        idx = len(self.device_index)
+        table = self.hw_emb.weight.data
+        self.hw_emb.weight.data = np.vstack([table, self._rng.normal(0.0, 0.1, size=table.shape[1])])
+        self.hw_emb.num_embeddings += 1
+        self.device_index[name] = idx
+        return idx
+
+    def forward(self, enc: np.ndarray, device_idx: np.ndarray) -> Tensor:
+        hw = self.hw_emb(np.asarray(device_idx))
+        return self.mlp(concat([Tensor(enc), hw], axis=-1)).reshape(len(enc))
+
+    def pretrain(
+        self,
+        dataset: LatencyDataset,
+        source_devices: list[str],
+        rng: np.random.Generator,
+        samples_per_device: int = 512,
+        epochs: int = 60,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+    ) -> "MultiPredictPredictor":
+        enc_table = self._encoding()
+        n = self.space.num_architectures()
+        per_dev = []
+        for dev in source_devices:
+            idx = rng.choice(n, size=min(samples_per_device, n), replace=False)
+            per_dev.append((self.device_index[dev], idx, _standardize_log(dataset.latency_of(dev, idx))))
+        opt = Adam(self.parameters(), lr=lr, weight_decay=1e-5)
+        for _ in range(epochs):
+            batches = []
+            for didx, idx, target in per_dev:
+                order = rng.permutation(len(idx))
+                for start in range(0, len(order), batch_size):
+                    sel = order[start : start + batch_size]
+                    if len(sel) >= 2:
+                        batches.append((didx, idx[sel], target[sel]))
+            rng.shuffle(batches)
+            for didx, b_idx, b_target in batches:
+                opt.zero_grad()
+                pred = self(enc_table[b_idx], np.full(len(b_idx), didx))
+                loss = pairwise_hinge_loss(pred, b_target)
+                loss.backward()
+                opt.step()
+        return self
+
+    def finetune(
+        self,
+        dataset: LatencyDataset,
+        device: str,
+        indices: np.ndarray,
+        rng: np.random.Generator,
+        epochs: int = 40,
+        lr: float = 3e-3,
+    ) -> "MultiPredictPredictor":
+        if device not in self.device_index:
+            self.add_device(device)
+        idx = np.asarray(indices, dtype=np.int64)
+        target = _standardize_log(dataset.latency_of(device, idx))
+        enc = self._encoding()[idx]
+        didx = np.full(len(idx), self.device_index[device])
+        opt = Adam(self.parameters(), lr=lr, weight_decay=1e-5)
+        for _ in range(epochs):
+            opt.zero_grad()
+            loss = pairwise_hinge_loss(self(enc, didx), target)
+            loss.backward()
+            opt.step()
+        return self
+
+    def predict(self, indices: np.ndarray, device: str, batch_size: int = 512) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        enc = self._encoding()[idx]
+        didx = self.device_index[device]
+        outs = []
+        self.eval()
+        with no_grad():
+            for start in range(0, len(idx), batch_size):
+                chunk = enc[start : start + batch_size]
+                outs.append(self(chunk, np.full(len(chunk), didx)).numpy())
+        self.train()
+        return np.concatenate(outs)
+
+
+class LayerwisePredictor:
+    """Latency = non-negative sum of per-op-class costs (LUT baseline).
+
+    Fits per-class cost coefficients on target-device samples via
+    non-negative least squares over (count, flops, mem) features — the
+    statistical equivalent of measuring each op in isolation and summing,
+    which is exactly why it misses pipelining/fusion effects.
+    """
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+        self._coef: np.ndarray | None = None
+        feats = compute_features(space)
+        self._design = np.concatenate([feats.counts, feats.flops, feats.mem], axis=1)
+        self._design = np.concatenate([self._design, np.ones((len(self._design), 1))], axis=1)
+
+    def fit(self, dataset: LatencyDataset, device: str, indices: np.ndarray) -> "LayerwisePredictor":
+        idx = np.asarray(indices, dtype=np.int64)
+        target = dataset.latency_of(device, idx)
+        self._coef, _ = nnls(self._design[idx], target)
+        return self
+
+    def predict(self, indices: np.ndarray) -> np.ndarray:
+        if self._coef is None:
+            raise RuntimeError("call fit() before predict()")
+        idx = np.asarray(indices, dtype=np.int64)
+        return self._design[idx] @ self._coef
+
+
+class FLOPsPredictor:
+    """Zero-sample proxy: rank architectures by total FLOPs."""
+
+    def __init__(self, space: SearchSpace):
+        self._flops = compute_features(space).total_flops
+
+    def predict(self, indices: np.ndarray) -> np.ndarray:
+        return self._flops[np.asarray(indices, dtype=np.int64)]

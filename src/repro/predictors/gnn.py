@@ -1,0 +1,115 @@
+"""GNN modules: Dense Graph Flow (Eq. 1) and Graph Attention (Eqs. 2-3).
+
+DGF (GATES, Ning et al., 2023) keeps a residual path to fight
+over-smoothing:
+
+    X_{l+1} = sigma(O W_o) * (A X_l W_f) + X_l W_f + b_f            (1)
+
+GAT (Velickovic et al., 2018, as adapted by the paper) replaces the linear
+aggregation with attention over in-neighbours, gated by the same operation
+attention and stabilized with LayerNorm:
+
+    Attn_j(X) = S(L(A_j . a(W_p X ⊙ W_p X_j))) ⊙ W_p X_j            (2)
+    X_{l+1}  = LayerNorm(sigma(O W_o) ⊙ sum_j Attn_j(X))            (3)
+
+Both layers consume the operation-feature tensor ``op`` for the
+sigma(O W_o) gate, which is how hardware information (already concatenated
+into the op embedding upstream) modulates message passing.  The paper's
+final model uses an *ensemble* of a DGF stack and a GAT stack
+(:class:`GNNStack` with ``kind="ensemble"``).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nnlib import LayerNorm, Linear, Module, Parameter, Tensor, concat, init
+
+_NEG_INF = -1e9
+
+
+class DGFLayer(Module):
+    """Dense Graph Flow layer (Eq. 1)."""
+
+    def __init__(self, in_dim: int, out_dim: int, op_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.w_f = Linear(in_dim, out_dim, rng)  # bias acts as b_f
+        self.w_o = Linear(op_dim, out_dim, rng, bias=False)
+
+    def forward(self, x: Tensor, adj: Tensor, op: Tensor) -> Tensor:
+        xw = self.w_f(x)  # (B, N, out)
+        # adj[i, j] = 1 means i -> j, so adj^T aggregates predecessors.
+        agg = adj.transpose(0, 2, 1) @ xw
+        gate = self.w_o(op).sigmoid()
+        return gate * agg + xw
+
+
+class GATLayer(Module):
+    """Graph attention layer with operation gating and LayerNorm (Eqs. 2-3)."""
+
+    def __init__(self, in_dim: int, out_dim: int, op_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.w_p = Linear(in_dim, out_dim, rng, bias=False)
+        self.attn_vec = Parameter(init.normal(rng, (out_dim,), std=0.1), name="attn")
+        self.w_o = Linear(op_dim, out_dim, rng, bias=False)
+        self.norm = LayerNorm(out_dim)
+
+    def forward(self, x: Tensor, adj: Tensor, op: Tensor) -> Tensor:
+        h = self.w_p(x)  # (B, N, out)
+        # e[b, u, v] = a . (h_u ⊙ h_v): pairwise interaction scores.
+        scores = ((h * self.attn_vec) @ h.transpose(0, 2, 1)).leaky_relu(0.2)
+        # Node u attends over predecessors v (adj[v, u] = 1) and itself.
+        adj_np = adj.numpy()
+        eye = np.eye(adj_np.shape[-1])
+        mask = np.minimum(np.swapaxes(adj_np, -1, -2) + eye, 1.0)
+        masked = scores * Tensor(mask) + Tensor((1.0 - mask) * _NEG_INF)
+        alpha = masked.softmax(axis=-1)
+        out = alpha @ h
+        gate = self.w_o(op).sigmoid()
+        return self.norm(gate * out)
+
+
+class GNNStack(Module):
+    """A stack of DGF or GAT layers, or a parallel ensemble of both.
+
+    For ``kind="ensemble"`` the DGF and GAT branches run on the same inputs
+    and their outputs are concatenated (``out_features = 2 * dims[-1]``),
+    matching the paper's use of a DGF+GAT ensemble module.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        dims: tuple[int, ...],
+        op_dim: int,
+        rng: np.random.Generator,
+        kind: str = "ensemble",
+    ):
+        super().__init__()
+        if kind not in ("dgf", "gat", "ensemble"):
+            raise ValueError(f"unknown GNN kind {kind!r}")
+        self.kind = kind
+        self.dims = tuple(dims)
+        branches = []
+        wanted = ("dgf", "gat") if kind == "ensemble" else (kind,)
+        for branch_kind in wanted:
+            layer_cls = DGFLayer if branch_kind == "dgf" else GATLayer
+            layers = []
+            prev = in_dim
+            for dim in dims:
+                layers.append(layer_cls(prev, dim, op_dim, rng))
+                prev = dim
+            branches.append(layers)
+        self.branches = branches
+
+    @property
+    def out_dim(self) -> int:
+        return self.dims[-1] * len(self.branches)
+
+    def forward(self, x: Tensor, adj: Tensor, op: Tensor) -> Tensor:
+        outs = []
+        for layers in self.branches:
+            h = x
+            for layer in layers:
+                h = layer(h, adj, op).relu()
+            outs.append(h)
+        return outs[0] if len(outs) == 1 else concat(outs, axis=-1)

@@ -1,0 +1,190 @@
+"""NASFLAT: the paper's few-shot multi-device latency predictor (Fig. 3).
+
+Data flow (matching Fig. 3 and appendix A.4.5):
+
+1. Per-node operation embeddings are looked up from a table; the device's
+   hardware embedding is concatenated onto every node (operation-specific
+   hardware embedding, §5.1).
+2. A small op-hw GNN refines the joint embedding over the architecture DAG,
+   and an MLP maps it back to the operation-embedding width.
+3. The main GNN (DGF / GAT / ensemble) runs on [node embedding ‖ refined
+   op-hw embedding], gated by the refined embedding.
+4. The output node's representation, optionally concatenated with
+   supplementary encodings (Arch2Vec / CATE / ZCP / CAZ), feeds the MLP
+   prediction head.
+
+Hardware-embedding initialization for new devices (§5.2) copies the row of
+the most-correlated known device (see ``add_device``).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nnlib import MLP, Embedding, Module, Tensor, concat, no_grad
+from repro.predictors.gnn import GNNStack
+from repro.spaces.base import SearchSpace
+
+# Hyperparameters from paper Table 20 (found via their Optuna search).
+_OP_EMB_DIM = 48
+_NODE_EMB_DIM = 48
+_HW_EMB_DIM = 48
+_OPHW_GNN_DIMS = (128, 128)
+_OPHW_MLP_DIMS = (128,)
+_GNN_DIMS = (128, 128, 128)
+_HEAD_DIMS = (200, 200, 200)
+
+
+@dataclass
+class NASFLATConfig:
+    """Architecture hyperparameters (defaults = paper Table 20)."""
+
+    op_emb_dim: int = _OP_EMB_DIM
+    node_emb_dim: int = _NODE_EMB_DIM
+    hw_emb_dim: int = _HW_EMB_DIM
+    gnn_kind: str = "ensemble"  # "dgf" | "gat" | "ensemble"
+    gnn_dims: tuple[int, ...] = _GNN_DIMS
+    ophw_gnn_dims: tuple[int, ...] = _OPHW_GNN_DIMS
+    ophw_mlp_dims: tuple[int, ...] = _OPHW_MLP_DIMS
+    head_dims: tuple[int, ...] = _HEAD_DIMS
+    supplementary_dim: int = 0
+    # Ablation switch (Table 2): with operation-wise hardware embeddings the
+    # device vector is concatenated onto every node's op embedding before
+    # the op-hw refinement GNN; without, the device vector conditions only
+    # the prediction head (the global hardware embedding of MultiPredict,
+    # which is the baseline the paper ablates against).
+    use_op_hw: bool = True
+
+
+class NASFLATPredictor(Module):
+    """Multi-device latency predictor with op-specific hardware embeddings."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        devices: list[str],
+        rng: np.random.Generator,
+        config: NASFLATConfig | None = None,
+    ):
+        super().__init__()
+        if not devices:
+            raise ValueError("need at least one device")
+        self.space = space
+        self.config = config or NASFLATConfig()
+        cfg = self.config
+        self.device_index: dict[str, int] = {d: i for i, d in enumerate(devices)}
+        self._rng = rng
+
+        self.op_emb = Embedding(space.num_ops, cfg.op_emb_dim, rng)
+        self.hw_emb = Embedding(len(devices), cfg.hw_emb_dim, rng)
+        self.node_emb = Embedding(space.num_nodes, cfg.node_emb_dim, rng)
+
+        ophw_in = cfg.op_emb_dim + (cfg.hw_emb_dim if cfg.use_op_hw else 0)
+        self.ophw_gnn = GNNStack(ophw_in, cfg.ophw_gnn_dims, op_dim=ophw_in, rng=rng, kind="dgf")
+        self.ophw_mlp = MLP(self.ophw_gnn.out_dim, list(cfg.ophw_mlp_dims), cfg.op_emb_dim, rng)
+
+        main_in = cfg.node_emb_dim + cfg.op_emb_dim
+        self.gnn = GNNStack(main_in, cfg.gnn_dims, op_dim=cfg.op_emb_dim, rng=rng, kind=cfg.gnn_kind)
+        head_in = self.gnn.out_dim + cfg.supplementary_dim
+        if not cfg.use_op_hw:
+            head_in += cfg.hw_emb_dim  # global device conditioning instead
+        self.head = MLP(head_in, list(cfg.head_dims), 1, rng)
+
+    # --------------------------------------------------------------- devices
+    @property
+    def devices(self) -> list[str]:
+        return list(self.device_index)
+
+    def add_device(self, name: str, init_from: str | None = None) -> int:
+        """Register a new device row in the hardware-embedding table.
+
+        ``init_from`` implements the paper's §5.2 initialization: the new
+        device's embedding starts as a copy of the most-correlated known
+        device's (avoiding a cold start).  Without it the row is random.
+        """
+        if name in self.device_index:
+            raise ValueError(f"device {name!r} already registered")
+        if init_from is not None and init_from not in self.device_index:
+            raise KeyError(f"unknown init device {init_from!r}")
+        idx = len(self.device_index)
+        table = self.hw_emb.weight.data
+        if init_from is not None:
+            new_row = table[self.device_index[init_from]].copy()
+        else:
+            new_row = self._rng.normal(0.0, 0.1, size=table.shape[1])
+        self.hw_emb.weight.data = np.vstack([table, new_row])
+        self.hw_emb.num_embeddings += 1
+        self.device_index[name] = idx
+        return idx
+
+    # --------------------------------------------------------------- forward
+    def forward(
+        self,
+        adj: np.ndarray,
+        ops: np.ndarray,
+        device_idx: np.ndarray,
+        supplementary: np.ndarray | None = None,
+    ) -> Tensor:
+        """Predict (standardized) latency for a batch of architectures.
+
+        Parameters
+        ----------
+        adj: (B, N, N) adjacency matrices.
+        ops: (B, N) integer op indices.
+        device_idx: (B,) integer device rows (see ``device_index``).
+        supplementary: (B, S) encoding matrix iff the config declared
+            ``supplementary_dim > 0``.
+        """
+        cfg = self.config
+        b, n = ops.shape
+        adj_t = Tensor(adj)
+        op_vecs = self.op_emb(ops)  # (B, N, op_dim)
+        if cfg.use_op_hw:
+            hw_rows = self.hw_emb(np.repeat(np.asarray(device_idx), n).reshape(b, n))
+            joint = concat([op_vecs, hw_rows], axis=-1)
+        else:
+            joint = op_vecs
+        refined = self.ophw_mlp(self.ophw_gnn(joint, adj_t, joint))  # (B, N, op_dim)
+
+        node_vecs = self.node_emb(np.broadcast_to(np.arange(n), (b, n)))
+        x = concat([node_vecs, refined], axis=-1)
+        h = self.gnn(x, adj_t, refined)  # (B, N, out)
+        out_node = h[:, -1, :]  # DAG convention: last node is the output
+        if not cfg.use_op_hw:
+            # Global hardware embedding at the head (the ablation baseline).
+            out_node = concat([out_node, self.hw_emb(np.asarray(device_idx))], axis=-1)
+        if cfg.supplementary_dim:
+            if supplementary is None:
+                raise ValueError("config declares supplementary encodings but none were passed")
+            if supplementary.shape != (b, cfg.supplementary_dim):
+                raise ValueError(
+                    f"supplementary shape {supplementary.shape} != {(b, cfg.supplementary_dim)}"
+                )
+            out_node = concat([out_node, Tensor(supplementary)], axis=-1)
+        elif supplementary is not None:
+            raise ValueError("supplementary encodings passed but config.supplementary_dim == 0")
+        return self.head(out_node).reshape(b)
+
+    def predict(
+        self,
+        adj: np.ndarray,
+        ops: np.ndarray,
+        device: str,
+        supplementary: np.ndarray | None = None,
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Inference helper: predict scores for one device, in chunks."""
+        if device not in self.device_index:
+            raise KeyError(f"unknown device {device!r}; call add_device first")
+        didx = self.device_index[device]
+        outs = []
+        self.eval()
+        with no_grad():
+            for start in range(0, len(ops), batch_size):
+                sl = slice(start, start + batch_size)
+                supp = supplementary[sl] if supplementary is not None else None
+                dev = np.full(len(ops[sl]), didx)
+                outs.append(self.forward(adj[sl], ops[sl], dev, supp).numpy())
+        self.train()
+        return np.concatenate(outs)

@@ -1,0 +1,37 @@
+"""Precomputed dense tensors (adjacency / op-index tables) for a space.
+
+Predictor training repeatedly assembles minibatches of (adjacency, ops)
+arrays; this helper materializes them once per space so batch assembly is a
+fancy-index away.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spaces.base import SearchSpace
+
+_CACHE: dict[str, "SpaceTensors"] = {}
+
+
+class SpaceTensors:
+    """Dense per-space tables: ``adj`` (n, N, N) and ``ops`` (n, N)."""
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+        n = space.num_architectures()
+        big_n = space.num_nodes
+        self.adj = np.zeros((n, big_n, big_n), dtype=np.float64)
+        self.ops = np.zeros((n, big_n), dtype=np.int64)
+        for i, arch in enumerate(space.all_architectures()):
+            self.adj[i] = arch.adjacency
+            self.ops[i] = arch.ops
+
+    @classmethod
+    def for_space(cls, space: SearchSpace) -> "SpaceTensors":
+        if space.name not in _CACHE or _CACHE[space.name].space is not space:
+            _CACHE[space.name] = cls(space)
+        return _CACHE[space.name]
+
+    def batch(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        idx = np.asarray(indices, dtype=np.int64)
+        return self.adj[idx], self.ops[idx]

@@ -1,0 +1,156 @@
+"""TA-GATES-style predictor for the appendix predictor-design ablations.
+
+The paper's appendix (Fig. 7, Tables 10-19) dissects TA-GATES (Ning et al.,
+2022): the training-analogous iterative refinement of operation embeddings
+over ``T`` timesteps, the backward GCN vs. a small backward MLP (BMLP), the
+inputs to the update MLP (``BYI`` = the forward pass's output encoding,
+``BOpE`` = the operation embedding itself), gradient-detachment modes, and
+unrolled variants.  Those ablations motivated the simplified NASFLAT
+architecture, so this class exposes each design axis as a switch.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nnlib import MLP, Adam, Embedding, Module, Tensor, concat, no_grad, pairwise_hinge_loss
+from repro.predictors.gnn import GNNStack
+from repro.predictors.space_tensors import SpaceTensors
+from repro.spaces.base import SearchSpace
+
+
+@dataclass
+class TAGATESConfig:
+    """Design axes from the appendix ablations.
+
+    ``timesteps``: number of iterative op-embedding refinements (Fig. 7).
+    ``backward``: "gcn" (original), "mlp" (BMLP variant), or "none".
+    ``use_byi`` / ``use_bope``: inputs fed to the op-update MLP.
+    ``detach``: "def" (TA-GATES default: detach BOpE, keep BYI),
+    "all", or "none" (Tables 16-19).
+    ``all_node_encoding``: feed every node's features (not just the output
+    node's) to the backward module (Table 10).
+    """
+
+    timesteps: int = 2
+    backward: str = "mlp"
+    use_byi: bool = True
+    use_bope: bool = True
+    detach: str = "none"
+    all_node_encoding: bool = False
+    emb_dim: int = 32
+    gnn_dims: tuple[int, ...] = (96, 96)
+    head_dims: tuple[int, ...] = (128, 128)
+
+    def __post_init__(self):
+        if self.backward not in ("gcn", "mlp", "none"):
+            raise ValueError(f"unknown backward mode {self.backward!r}")
+        if self.detach not in ("def", "all", "none"):
+            raise ValueError(f"unknown detach mode {self.detach!r}")
+        if self.timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+
+
+class TAGATESPredictor(Module):
+    """Iterative-refinement GNN predictor (accuracy or latency)."""
+
+    def __init__(self, space: SearchSpace, rng: np.random.Generator, config: TAGATESConfig | None = None):
+        super().__init__()
+        self.space = space
+        self.config = config or TAGATESConfig()
+        cfg = self.config
+        self.op_emb = Embedding(space.num_ops, cfg.emb_dim, rng)
+        self.node_emb = Embedding(space.num_nodes, cfg.emb_dim, rng)
+        self.fwd_gnn = GNNStack(2 * cfg.emb_dim, cfg.gnn_dims, op_dim=cfg.emb_dim, rng=rng, kind="dgf")
+        hidden = self.fwd_gnn.out_dim
+        if cfg.backward == "gcn":
+            self.bwd_gnn = GNNStack(hidden, (cfg.emb_dim,), op_dim=cfg.emb_dim, rng=rng, kind="dgf")
+            bwd_out = cfg.emb_dim
+        elif cfg.backward == "mlp":
+            bwd_in = hidden * (space.num_nodes if cfg.all_node_encoding else 1)
+            self.bmlp = MLP(bwd_in, [64], cfg.emb_dim, rng)
+            bwd_out = cfg.emb_dim
+        else:
+            bwd_out = 0
+        update_in = cfg.emb_dim  # previous op embedding always included
+        if cfg.use_byi and cfg.backward != "none":
+            update_in += bwd_out
+        if cfg.use_bope:
+            update_in += cfg.emb_dim
+        self.update_mlp = MLP(update_in, [64], cfg.emb_dim, rng)
+        self.head = MLP(hidden, list(cfg.head_dims), 1, rng)
+
+    # --------------------------------------------------------------- forward
+    def forward(self, adj: np.ndarray, ops: np.ndarray) -> Tensor:
+        cfg = self.config
+        b, n = ops.shape
+        adj_t = Tensor(adj)
+        op_e = self.op_emb(ops)
+        node_e = self.node_emb(np.broadcast_to(np.arange(n), (b, n)))
+        h = None
+        for t in range(cfg.timesteps):
+            x = concat([node_e, op_e], axis=-1)
+            h = self.fwd_gnn(x, adj_t, op_e)  # (B, N, hidden)
+            if cfg.backward == "none" or t == cfg.timesteps - 1:
+                continue
+            # Backward signal.
+            if cfg.backward == "gcn":
+                bwd_adj = Tensor(np.swapaxes(adj, -1, -2))
+                byi = self.bwd_gnn(h, bwd_adj, op_e)  # (B, N, emb)
+            else:
+                enc = h.reshape(b, -1) if cfg.all_node_encoding else h[:, -1, :]
+                byi_flat = self.bmlp(enc)  # (B, emb)
+                byi = byi_flat.reshape(b, 1, cfg.emb_dim) * Tensor(np.ones((b, n, 1)))
+            parts = [op_e]
+            if cfg.use_byi:
+                parts.append(byi.detach() if cfg.detach == "all" else byi)
+            if cfg.use_bope:
+                bope = op_e
+                if cfg.detach in ("def", "all"):
+                    bope = bope.detach()
+                parts.append(bope)
+            op_e = self.update_mlp(concat(parts, axis=-1))
+        return self.head(h[:, -1, :]).reshape(b)
+
+    # ------------------------------------------------------------------ fit
+    def fit(
+        self,
+        targets: np.ndarray,
+        indices: np.ndarray,
+        rng: np.random.Generator,
+        epochs: int = 60,
+        batch_size: int = 16,
+        lr: float = 1e-3,
+    ) -> "TAGATESPredictor":
+        """Train on (arch index, target) pairs with the ranking loss."""
+        tensors = SpaceTensors.for_space(self.space)
+        idx = np.asarray(indices, dtype=np.int64)
+        t = np.asarray(targets, dtype=np.float64)
+        std = t.std()
+        t = (t - t.mean()) / (std if std > 0 else 1.0)
+        opt = Adam(self.parameters(), lr=lr, weight_decay=1e-5)
+        for _ in range(epochs):
+            order = rng.permutation(len(idx))
+            for start in range(0, len(order), batch_size):
+                sel = order[start : start + batch_size]
+                if len(sel) < 2:
+                    continue
+                adj, ops = tensors.batch(idx[sel])
+                opt.zero_grad()
+                loss = pairwise_hinge_loss(self(adj, ops), t[sel])
+                loss.backward()
+                opt.step()
+        return self
+
+    def predict(self, indices: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        tensors = SpaceTensors.for_space(self.space)
+        idx = np.asarray(indices, dtype=np.int64)
+        outs = []
+        self.eval()
+        with no_grad():
+            for start in range(0, len(idx), batch_size):
+                adj, ops = tensors.batch(idx[start : start + batch_size])
+                outs.append(self(adj, ops).numpy())
+        self.train()
+        return np.concatenate(outs)

@@ -1,0 +1,159 @@
+"""Training loops for multi-device latency predictors.
+
+Pretraining (paper §3.4): mix minibatches from every source device; the
+pairwise hinge ranking loss (Table 20) is computed *within* a batch, so each
+batch contains samples from one device only — cross-device latency scales
+never mix.  Targets are log-latencies standardized per device.
+
+Fine-tuning: the learning rate is re-initialized and a fresh optimizer runs
+a few epochs on the handful of target-device samples, exactly as in
+MultiPredict/the paper.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.dataset import LatencyDataset
+from repro.nnlib import Adam, mse_loss, pairwise_hinge_loss
+from repro.predictors.nasflat import NASFLATPredictor
+from repro.predictors.space_tensors import SpaceTensors
+
+
+@dataclass
+class PretrainConfig:
+    """Defaults follow paper Table 20."""
+
+    samples_per_device: int = 512
+    epochs: int = 150
+    batch_size: int = 16
+    lr: float = 1e-3
+    weight_decay: float = 1e-5
+    loss: str = "hinge"  # "hinge" | "mse"
+    hinge_margin: float = 0.1
+
+
+@dataclass
+class FinetuneConfig:
+    """Defaults follow paper Table 20 (NB201 values)."""
+
+    epochs: int = 40
+    lr: float = 3e-3
+    weight_decay: float = 1e-5
+    loss: str = "hinge"
+    hinge_margin: float = 0.1
+
+
+def _standardize_log(lat: np.ndarray) -> np.ndarray:
+    logl = np.log(lat)
+    std = logl.std()
+    return (logl - logl.mean()) / (std if std > 0 else 1.0)
+
+
+def _loss_fn(name: str, margin: float):
+    if name == "hinge":
+        return lambda pred, target: pairwise_hinge_loss(pred, target, margin=margin)
+    if name == "mse":
+        return lambda pred, target: mse_loss(pred, target)
+    raise ValueError(f"unknown loss {name!r}")
+
+
+def pretrain_multidevice(
+    model: NASFLATPredictor,
+    dataset: LatencyDataset,
+    source_devices: list[str],
+    rng: np.random.Generator,
+    config: PretrainConfig | None = None,
+    supplementary: np.ndarray | None = None,
+    sample_indices: dict[str, np.ndarray] | None = None,
+) -> NASFLATPredictor:
+    """Pretrain on many samples from each source device.
+
+    ``sample_indices`` optionally pins which architectures are used per
+    device (for reproducible ablations); otherwise each device gets an
+    independent uniform sample of ``config.samples_per_device``.
+    """
+    cfg = config or PretrainConfig()
+    missing = [d for d in source_devices if d not in model.device_index]
+    if missing:
+        raise KeyError(f"devices not registered in the predictor: {missing}")
+    tensors = SpaceTensors.for_space(model.space)
+    n = model.space.num_architectures()
+    per_device: list[tuple[int, np.ndarray, np.ndarray]] = []
+    for dev in source_devices:
+        if sample_indices is not None and dev in sample_indices:
+            idx = np.asarray(sample_indices[dev], dtype=np.int64)
+        else:
+            idx = rng.choice(n, size=min(cfg.samples_per_device, n), replace=False)
+        target = _standardize_log(dataset.latency_of(dev, idx))
+        per_device.append((model.device_index[dev], idx, target))
+
+    opt = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+    loss_fn = _loss_fn(cfg.loss, cfg.hinge_margin)
+    for _ in range(cfg.epochs):
+        batches: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for didx, idx, target in per_device:
+            order = rng.permutation(len(idx))
+            for start in range(0, len(order), cfg.batch_size):
+                sel = order[start : start + cfg.batch_size]
+                if len(sel) >= 2:  # ranking loss needs pairs
+                    batches.append((didx, idx[sel], target[sel]))
+        rng.shuffle(batches)
+        for didx, b_idx, b_target in batches:
+            adj, ops = tensors.batch(b_idx)
+            supp = supplementary[b_idx] if supplementary is not None else None
+            opt.zero_grad()
+            pred = model(adj, ops, np.full(len(b_idx), didx), supp)
+            loss = loss_fn(pred, b_target)
+            loss.backward()
+            opt.step()
+    return model
+
+
+def finetune_on_device(
+    model: NASFLATPredictor,
+    dataset: LatencyDataset,
+    device: str,
+    indices: np.ndarray,
+    rng: np.random.Generator,
+    config: FinetuneConfig | None = None,
+    supplementary: np.ndarray | None = None,
+) -> NASFLATPredictor:
+    """Few-shot adaptation to a target device (must be registered already).
+
+    A fresh Adam optimizer is created (learning-rate re-initialization as in
+    §3.4); each epoch runs one full-batch step over the k samples.
+    """
+    cfg = config or FinetuneConfig()
+    if device not in model.device_index:
+        raise KeyError(f"target device {device!r} not registered; call add_device first")
+    tensors = SpaceTensors.for_space(model.space)
+    idx = np.asarray(indices, dtype=np.int64)
+    target = _standardize_log(dataset.latency_of(device, idx))
+    adj, ops = tensors.batch(idx)
+    supp = supplementary[idx] if supplementary is not None else None
+    didx = np.full(len(idx), model.device_index[device])
+    opt = Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+    loss_fn = _loss_fn(cfg.loss, cfg.hinge_margin)
+    for _ in range(cfg.epochs):
+        opt.zero_grad()
+        pred = model(adj, ops, didx, supp)
+        loss = loss_fn(pred, target)
+        loss.backward()
+        opt.step()
+    return model
+
+
+def predict_latency(
+    model: NASFLATPredictor,
+    device: str,
+    indices: np.ndarray,
+    supplementary: np.ndarray | None = None,
+) -> np.ndarray:
+    """Predicted (standardized) latency scores for table indices."""
+    tensors = SpaceTensors.for_space(model.space)
+    idx = np.asarray(indices, dtype=np.int64)
+    adj, ops = tensors.batch(idx)
+    supp = supplementary[idx] if supplementary is not None else None
+    return model.predict(adj, ops, device, supp)

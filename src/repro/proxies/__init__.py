@@ -1,0 +1,11 @@
+"""Zero-cost proxies (ZCP).
+
+The paper uses 13 zero-cost proxies from NAS-Bench-Suite-Zero as one of its
+NN encodings.  Real proxies require instantiating and back-propagating
+through each network; offline we compute a faithful analytic stand-in per
+proxy from the architecture's graph/work features (see
+:mod:`repro.proxies.zcp` for the substitution details).
+"""
+from repro.proxies.zcp import PROXY_NAMES, zcp_matrix, zcp_vector
+
+__all__ = ["PROXY_NAMES", "zcp_matrix", "zcp_vector"]

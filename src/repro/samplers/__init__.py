@@ -1,0 +1,32 @@
+"""Architecture samplers for few-shot predictor transfer (paper §4).
+
+Given a budget of k on-device measurements, a sampler picks which k
+architectures to measure on the target device:
+
+* :class:`RandomSampler` — uniform (the HELP baseline);
+* :class:`ParamsSampler` — stratified over parameter-count quantiles;
+* :class:`CosineSampler` — greedy minimum-average-cosine-similarity
+  selection over an encoding (the paper's preferred selection rule);
+* :class:`KMeansSampler` — cluster the encoding, take each cluster's medoid
+  (can fail to segment the space — surfaces NaN as in the paper's Table 9);
+* :class:`LatencyOracleSampler` — stratified over true target-device
+  latency quantiles (the "Latency (Oracle)" upper-bound row of Table 3);
+* :class:`ReferenceLatencySampler` — MAPLE-Edge style: cluster latencies on
+  the *training* devices (needs no target measurements beyond the chosen k).
+"""
+from repro.samplers.base import Sampler
+from repro.samplers.simple import RandomSampler, ParamsSampler
+from repro.samplers.encoding_based import CosineSampler, KMeansSampler
+from repro.samplers.latency_based import LatencyOracleSampler, ReferenceLatencySampler
+from repro.samplers.factory import make_sampler
+
+__all__ = [
+    "Sampler",
+    "RandomSampler",
+    "ParamsSampler",
+    "CosineSampler",
+    "KMeansSampler",
+    "LatencyOracleSampler",
+    "ReferenceLatencySampler",
+    "make_sampler",
+]

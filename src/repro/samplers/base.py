@@ -1,0 +1,24 @@
+"""Sampler protocol."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spaces.base import SearchSpace
+
+
+class Sampler:
+    """Selects architecture-table indices to measure on a target device."""
+
+    name: str = "abstract"
+
+    def select(self, space: SearchSpace, k: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``k`` distinct architecture indices."""
+        raise NotImplementedError
+
+    def _validate(self, space: SearchSpace, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"sample budget must be positive, got {k}")
+        if k > space.num_architectures():
+            raise ValueError(
+                f"budget {k} exceeds table size {space.num_architectures()} for {space.name}"
+            )

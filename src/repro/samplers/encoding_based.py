@@ -1,0 +1,106 @@
+"""Encoding-based samplers (paper §4.2): cosine-similarity and KMeans.
+
+Both operate on any architecture encoding (ZCP / Arch2Vec / CATE / CAZ) and
+need *no* latency measurements, which is the paper's point: diversity can be
+read off the encoding space instead of reference-device latencies.
+"""
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.vq import kmeans2
+
+from repro.encodings.base import get_encoding
+from repro.samplers.base import Sampler
+from repro.spaces.base import SearchSpace
+
+
+class SamplerFailure(RuntimeError):
+    """Raised when a sampler cannot produce the requested budget.
+
+    Mirrors the NaN entries the paper reports for KMeans on FBNet ("KMeans
+    was occasionally unable to segment the space adequately").
+    """
+
+
+def _pool(space: SearchSpace, rng: np.random.Generator, pool_size: int | None) -> np.ndarray:
+    n = space.num_architectures()
+    if pool_size is None or pool_size >= n:
+        return np.arange(n)
+    return rng.choice(n, size=pool_size, replace=False)
+
+
+class CosineSampler(Sampler):
+    """Greedy minimum-average-cosine-similarity selection.
+
+    Starting from a random seed architecture, repeatedly add the candidate
+    whose average cosine similarity to the already-selected set is lowest —
+    favouring 'outlier' architectures and wide design-space coverage.
+    """
+
+    def __init__(self, encoding: str, pool_size: int | None = 3000):
+        self.encoding = encoding
+        self.pool_size = pool_size
+        self.name = f"cosine-{encoding}"
+
+    def select(self, space: SearchSpace, k: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(space, k)
+        pool = _pool(space, rng, self.pool_size)
+        emb = get_encoding(space, self.encoding)[pool]
+        # Center before normalizing: cosine similarity on uncentered learned
+        # encodings is positive almost everywhere, so minimizing it would
+        # just chase a few antipodal outliers instead of spreading coverage.
+        emb = emb - emb.mean(axis=0)
+        norms = np.linalg.norm(emb, axis=1)
+        norms[norms == 0] = 1.0
+        unit = emb / norms[:, None]
+        selected = [int(rng.integers(len(pool)))]
+        # sim_sum[i] accumulates cosine similarity of candidate i to the set.
+        sim_sum = unit @ unit[selected[0]]
+        chosen_mask = np.zeros(len(pool), dtype=bool)
+        chosen_mask[selected[0]] = True
+        while len(selected) < k:
+            avg_sim = np.where(chosen_mask, np.inf, sim_sum / len(selected))
+            nxt = int(np.argmin(avg_sim))
+            selected.append(nxt)
+            chosen_mask[nxt] = True
+            sim_sum = sim_sum + unit @ unit[nxt]
+        return pool[np.array(selected, dtype=np.int64)]
+
+
+class KMeansSampler(Sampler):
+    """KMeans clustering of the encoding; selects each cluster's medoid.
+
+    If KMeans produces empty clusters the budget cannot be met; by default
+    this raises :class:`SamplerFailure` (the paper reports these cells as
+    NaN).  With ``strict=False`` the shortfall is filled uniformly.
+    """
+
+    def __init__(self, encoding: str, pool_size: int | None = 3000, strict: bool = True):
+        self.encoding = encoding
+        self.pool_size = pool_size
+        self.strict = strict
+        self.name = f"kmeans-{encoding}"
+
+    def select(self, space: SearchSpace, k: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(space, k)
+        pool = _pool(space, rng, self.pool_size)
+        emb = get_encoding(space, self.encoding)[pool]
+        seed = int(rng.integers(0, 2**31 - 1))
+        centroids, labels = kmeans2(emb.astype(np.float64), k, seed=seed, minit="points")
+        selected: list[int] = []
+        for c in range(k):
+            members = np.nonzero(labels == c)[0]
+            if len(members) == 0:
+                continue
+            dists = np.linalg.norm(emb[members] - centroids[c], axis=1)
+            selected.append(int(members[np.argmin(dists)]))
+        selected = list(dict.fromkeys(selected))
+        if len(selected) < k:
+            if self.strict:
+                raise SamplerFailure(
+                    f"kmeans-{self.encoding} produced {len(selected)}/{k} clusters on {space.name}"
+                )
+            remaining = np.setdiff1d(np.arange(len(pool)), selected)
+            fill = rng.choice(remaining, size=k - len(selected), replace=False)
+            selected.extend(int(i) for i in fill)
+        return pool[np.array(selected[:k], dtype=np.int64)]

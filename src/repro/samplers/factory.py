@@ -1,0 +1,48 @@
+"""Sampler construction by spec string, e.g. ``"cosine-caz"``."""
+from __future__ import annotations
+
+from repro.hardware.dataset import LatencyDataset
+from repro.samplers.base import Sampler
+from repro.samplers.encoding_based import CosineSampler, KMeansSampler
+from repro.samplers.latency_based import LatencyOracleSampler, ReferenceLatencySampler
+from repro.samplers.simple import ParamsSampler, RandomSampler
+
+_ENCODINGS = ("zcp", "arch2vec", "cate", "caz", "adjop")
+
+
+def make_sampler(
+    spec: str,
+    dataset: LatencyDataset | None = None,
+    target_device: str | None = None,
+    reference_devices: list[str] | None = None,
+    strict_kmeans: bool = True,
+) -> Sampler:
+    """Build a sampler from a spec string.
+
+    Specs: ``random``, ``params``, ``cosine-<enc>``, ``kmeans-<enc>``,
+    ``latency-oracle`` (needs dataset + target device),
+    ``reference-latency`` (needs dataset + reference devices).
+    """
+    if spec == "random":
+        return RandomSampler()
+    if spec == "params":
+        return ParamsSampler()
+    if spec.startswith("cosine-"):
+        enc = spec.removeprefix("cosine-")
+        if enc not in _ENCODINGS:
+            raise ValueError(f"unknown encoding {enc!r} in sampler spec {spec!r}")
+        return CosineSampler(enc)
+    if spec.startswith("kmeans-"):
+        enc = spec.removeprefix("kmeans-")
+        if enc not in _ENCODINGS:
+            raise ValueError(f"unknown encoding {enc!r} in sampler spec {spec!r}")
+        return KMeansSampler(enc, strict=strict_kmeans)
+    if spec == "latency-oracle":
+        if dataset is None or target_device is None:
+            raise ValueError("latency-oracle sampler needs dataset and target_device")
+        return LatencyOracleSampler(dataset, target_device)
+    if spec == "reference-latency":
+        if dataset is None or not reference_devices:
+            raise ValueError("reference-latency sampler needs dataset and reference_devices")
+        return ReferenceLatencySampler(dataset, reference_devices)
+    raise ValueError(f"unknown sampler spec {spec!r}")

@@ -1,0 +1,74 @@
+"""Latency-based samplers: the oracle upper bound and the MAPLE-Edge style
+reference-device sampler."""
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.vq import kmeans2
+
+from repro.hardware.dataset import LatencyDataset
+from repro.samplers.base import Sampler
+from repro.spaces.base import SearchSpace
+
+
+class LatencyOracleSampler(Sampler):
+    """Stratified over *target-device* latency quantiles.
+
+    This is the "Latency (Oracle)" row of Table 3: it cheats by consulting
+    the very latencies the predictor is supposed to estimate, so it serves
+    as an upper bound rather than a deployable sampler.
+    """
+
+    def __init__(self, dataset: LatencyDataset, target_device: str):
+        self.dataset = dataset
+        self.target_device = target_device
+        self.name = "latency-oracle"
+
+    def select(self, space: SearchSpace, k: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(space, k)
+        lat = self.dataset.latencies(self.target_device)
+        order = np.argsort(lat)
+        bins = np.array_split(order, k)
+        return np.array([rng.choice(b) for b in bins if len(b)], dtype=np.int64)
+
+
+class ReferenceLatencySampler(Sampler):
+    """MAPLE-Edge (Nair et al., 2022): diversity from training-device
+    latencies.
+
+    Architectures are described by their latency vector across the source
+    (training) devices — already measured during pretraining — then KMeans
+    medoids pick computationally distinct networks.  Unlike the oracle, no
+    target-device information is used.
+    """
+
+    def __init__(self, dataset: LatencyDataset, reference_devices: list[str], pool_size: int | None = 3000):
+        if not reference_devices:
+            raise ValueError("need at least one reference device")
+        self.dataset = dataset
+        self.reference_devices = list(reference_devices)
+        self.pool_size = pool_size
+        self.name = "reference-latency"
+
+    def select(self, space: SearchSpace, k: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(space, k)
+        n = space.num_architectures()
+        if self.pool_size is not None and self.pool_size < n:
+            pool = rng.choice(n, size=self.pool_size, replace=False)
+        else:
+            pool = np.arange(n)
+        mat = np.log(self.dataset.matrix(self.reference_devices)[pool])
+        mat = (mat - mat.mean(axis=0)) / (mat.std(axis=0) + 1e-9)
+        seed = int(rng.integers(0, 2**31 - 1))
+        centroids, labels = kmeans2(mat, k, seed=seed, minit="points")
+        selected: list[int] = []
+        for c in range(k):
+            members = np.nonzero(labels == c)[0]
+            if len(members) == 0:
+                continue
+            dists = np.linalg.norm(mat[members] - centroids[c], axis=1)
+            selected.append(int(members[np.argmin(dists)]))
+        if len(selected) < k:
+            remaining = np.setdiff1d(np.arange(len(pool)), selected)
+            fill = rng.choice(remaining, size=k - len(selected), replace=False)
+            selected.extend(int(i) for i in fill)
+        return pool[np.array(selected[:k], dtype=np.int64)]

@@ -1,0 +1,35 @@
+"""Random and parameter-stratified samplers."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.features import compute_features
+from repro.samplers.base import Sampler
+from repro.spaces.base import SearchSpace
+
+
+class RandomSampler(Sampler):
+    """Uniform random selection — the baseline used by HELP/MultiPredict."""
+
+    name = "random"
+
+    def select(self, space: SearchSpace, k: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(space, k)
+        return rng.choice(space.num_architectures(), size=k, replace=False)
+
+
+class ParamsSampler(Sampler):
+    """Stratified sampling over parameter-count quantiles.
+
+    Splits the table into ``k`` equal-rank bins by parameter count and picks
+    one architecture per bin, guaranteeing coverage of the size spectrum.
+    """
+
+    name = "params"
+
+    def select(self, space: SearchSpace, k: int, rng: np.random.Generator) -> np.ndarray:
+        self._validate(space, k)
+        params = compute_features(space).total_params
+        order = np.argsort(params)
+        bins = np.array_split(order, k)
+        return np.array([rng.choice(b) for b in bins if len(b)], dtype=np.int64)

@@ -1,0 +1,32 @@
+"""Neural architecture search spaces.
+
+Two primary spaces from the paper:
+
+* :class:`~repro.spaces.nasbench201.NASBench201Space` — the micro cell space
+  (4 intermediate nodes, 6 op-edges, 5 candidate ops, 15 625 architectures).
+* :class:`~repro.spaces.fbnet.FBNetSpace` — the macro space (22 positions,
+  9 candidate blocks); as in HW-NAS-Bench, a fixed 5 000-architecture table
+  is sampled from the ~10^21 space.
+
+Both are represented uniformly as DAGs with operations on nodes (the
+BRP-NAS/paper convention), exposed via :class:`~repro.spaces.base.Architecture`.
+A :class:`~repro.spaces.generic.GenericCellSpace` supports the appendix
+predictor-design ablations (NB101/ENAS/PNAS-like cells).
+"""
+from repro.spaces.base import Architecture, OpWork, SearchSpace
+from repro.spaces.nasbench201 import NASBench201Space
+from repro.spaces.nasbench101 import NASBench101Space
+from repro.spaces.fbnet import FBNetSpace
+from repro.spaces.generic import GenericCellSpace
+from repro.spaces.registry import get_space
+
+__all__ = [
+    "Architecture",
+    "OpWork",
+    "SearchSpace",
+    "NASBench201Space",
+    "NASBench101Space",
+    "FBNetSpace",
+    "GenericCellSpace",
+    "get_space",
+]

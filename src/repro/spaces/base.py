@@ -1,0 +1,174 @@
+"""Common architecture representation shared by all search spaces.
+
+Every space models an architecture as a DAG with *operations on nodes*
+(the BRP-NAS convention the paper follows): a binary adjacency matrix
+``A[i, j] = 1`` meaning node ``i`` feeds node ``j`` (upper-triangular, node 0
+is the input, node ``n-1`` the output), plus an integer op index per node.
+
+Work profiles (:class:`OpWork`) attach the compute/memory footprint of each
+op instance when the cell is instantiated in the space's macro skeleton;
+the hardware simulator consumes these to produce latency.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OpWork:
+    """Compute/memory footprint of one op instance in the full network.
+
+    Attributes
+    ----------
+    op_name:
+        Canonical op name (e.g. ``"conv3x3"``, ``"skip"``).
+    flops:
+        Multiply-accumulate count (in MFLOPs) summed over all macro
+        repetitions of this cell position.
+    params:
+        Parameter count (in K) for this op instance.
+    mem_bytes:
+        Activation + weight traffic (in KB) for a roofline memory term.
+    fusable:
+        Whether a compiler would typically fuse this op into its producer
+        (elementwise/skip/ReLU-like ops).
+    """
+
+    op_name: str
+    flops: float
+    params: float
+    mem_bytes: float
+    fusable: bool = False
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A single architecture: op-on-node DAG plus its source-space spec.
+
+    ``spec`` is the space-native genotype (e.g. the 6 edge-op choices for
+    NASBench-201) and uniquely identifies the architecture within its space.
+    """
+
+    space: str
+    spec: tuple[int, ...]
+    adjacency: np.ndarray
+    ops: np.ndarray
+    index: int = -1
+
+    def __post_init__(self):
+        adj = self.adjacency
+        if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {adj.shape}")
+        if len(self.ops) != adj.shape[0]:
+            raise ValueError(f"ops length {len(self.ops)} != num nodes {adj.shape[0]}")
+        if np.any(np.tril(adj) != 0):
+            raise ValueError("adjacency must be strictly upper-triangular (DAG, topo-sorted)")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    def key(self) -> tuple:
+        return (self.space, self.spec)
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __eq__(self, other):
+        return isinstance(other, Architecture) and self.key() == other.key()
+
+
+class SearchSpace:
+    """Abstract search space.
+
+    Subclasses must provide the op vocabulary, a way to materialize
+    architectures from specs, and per-op work profiles used by the hardware
+    simulator and the FLOPs/params proxies.
+    """
+
+    name: str = "abstract"
+    op_names: Sequence[str] = ()
+    num_nodes: int = 0
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.op_names)
+
+    # ---------------------------------------------------------------- archs
+    def num_architectures(self) -> int:
+        raise NotImplementedError
+
+    def architecture(self, index: int) -> Architecture:
+        """Materialize the architecture with table index ``index``."""
+        raise NotImplementedError
+
+    def all_architectures(self) -> Iterator[Architecture]:
+        for i in range(self.num_architectures()):
+            yield self.architecture(i)
+
+    def sample(self, rng: np.random.Generator, n: int, replace: bool = False) -> list[Architecture]:
+        """Sample ``n`` architectures uniformly from the table."""
+        total = self.num_architectures()
+        if not replace and n > total:
+            raise ValueError(f"cannot sample {n} unique architectures from a table of {total}")
+        idx = rng.choice(total, size=n, replace=replace)
+        return [self.architecture(int(i)) for i in idx]
+
+    # ----------------------------------------------------------------- work
+    def work_profile(self, arch: Architecture) -> list[OpWork]:
+        """Per-node work profile for the full macro network."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- encoding
+    def encode_adjop(self, arch: Architecture) -> np.ndarray:
+        """Flattened adjacency + one-hot-op encoding (White et al., 2020)."""
+        n = arch.num_nodes
+        onehot = np.zeros((n, self.num_ops))
+        onehot[np.arange(n), arch.ops] = 1.0
+        triu = arch.adjacency[np.triu_indices(n, k=1)]
+        return np.concatenate([triu.astype(np.float64), onehot.reshape(-1)])
+
+    def adjop_dim(self) -> int:
+        n = self.num_nodes
+        return n * (n - 1) // 2 + n * self.num_ops
+
+    # ------------------------------------------------------- aggregate stats
+    def total_flops(self, arch: Architecture) -> float:
+        return float(sum(w.flops for w in self.work_profile(arch)))
+
+    def total_params(self, arch: Architecture) -> float:
+        return float(sum(w.params for w in self.work_profile(arch)))
+
+
+def validate_dag(adjacency: np.ndarray) -> bool:
+    """True if ``adjacency`` is a strictly upper-triangular binary matrix."""
+    return (
+        adjacency.ndim == 2
+        and adjacency.shape[0] == adjacency.shape[1]
+        and np.all((adjacency == 0) | (adjacency == 1))
+        and not np.any(np.tril(adjacency))
+    )
+
+
+def longest_path_length(adjacency: np.ndarray, active: np.ndarray | None = None) -> int:
+    """Longest path (in edges) from node 0 to node n-1 through active nodes.
+
+    ``active`` marks nodes that perform real compute (skip/none excluded);
+    inactive intermediate nodes pass data through without adding depth.
+    Used by the hardware simulator's pipelining model.
+    """
+    n = adjacency.shape[0]
+    if active is None:
+        active = np.ones(n, dtype=bool)
+    depth = np.full(n, -(10**9))
+    depth[0] = 0
+    for j in range(1, n):
+        preds = np.nonzero(adjacency[:, j])[0]
+        if len(preds) == 0:
+            continue
+        best = max(depth[i] for i in preds)
+        depth[j] = best + (1 if active[j] else 0)
+    return int(max(depth[n - 1], 0))

@@ -1,0 +1,163 @@
+"""FBNet macro search space (Wu et al., 2019).
+
+A fixed MobileNet-style skeleton with 22 searchable positions; each position
+chooses one of 9 candidate blocks (inverted residual MBConv variants with
+kernel in {3, 5}, expansion in {1, 3, 6}, optional group-2 pointwise convs,
+plus ``skip``).  The full space has ~10^21 members; as in HW-NAS-Bench the
+latency tables cover a fixed 5 000-architecture sample, which this class
+reproduces deterministically from a seed.
+
+As a DAG the architecture is a 24-node chain (input + 22 block nodes +
+output), matching the paper's statement that "FBNet can be cell-represented
+with 22 operational edges".
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spaces.base import Architecture, OpWork, SearchSpace
+
+# Candidate blocks: (name, kernel, expansion, groups). ``skip`` is identity.
+BLOCKS: tuple[tuple[str, int, int, int], ...] = (
+    ("k3_e1", 3, 1, 1),
+    ("k3_e1_g2", 3, 1, 2),
+    ("k3_e3", 3, 3, 1),
+    ("k3_e6", 3, 6, 1),
+    ("k5_e1", 5, 1, 1),
+    ("k5_e1_g2", 5, 1, 2),
+    ("k5_e3", 5, 3, 1),
+    ("k5_e6", 5, 6, 1),
+    ("skip", 0, 0, 0),
+)
+BLOCK_NAMES = tuple(b[0] for b in BLOCKS)
+NODE_OPS: tuple[str, ...] = ("input",) + BLOCK_NAMES + ("output",)
+
+# Macro skeleton stages: (num_positions, C_out, stride_of_first_position).
+# Input is a 224x224x3 image; stem conv (stride 2) outputs 16 channels @112.
+STAGE_CONFIG: tuple[tuple[int, int, int], ...] = (
+    (1, 16, 1),
+    (4, 24, 2),
+    (4, 32, 2),
+    (4, 64, 2),
+    (4, 112, 1),
+    (4, 184, 2),
+    (1, 352, 1),
+)
+NUM_POSITIONS = sum(s[0] for s in STAGE_CONFIG)  # 22
+DEFAULT_TABLE_SIZE = 5000
+_TABLE_SEED = 20240304  # arXiv date of the paper; fixed for reproducibility
+
+
+def _position_layout() -> list[tuple[int, int, int, int]]:
+    """Per-position (C_in, C_out, stride, output_spatial)."""
+    layout = []
+    c_in, spatial = 16, 112
+    for n_pos, c_out, first_stride in STAGE_CONFIG:
+        for i in range(n_pos):
+            stride = first_stride if i == 0 else 1
+            spatial = spatial // stride
+            layout.append((c_in, c_out, stride, spatial))
+            c_in = c_out
+    return layout
+
+
+POSITION_LAYOUT = _position_layout()
+
+
+def _block_work(block_idx: int, c_in: int, c_out: int, stride: int, spatial: int):
+    """(MFLOPs, Kparams, KB) for one candidate block at one position."""
+    name, k, e, g = BLOCKS[block_idx]
+    hw = spatial * spatial
+    act_kb = c_out * hw * 4 / 1024.0
+    if name == "skip":
+        if stride == 1 and c_in == c_out:
+            return 0.0, 0.0, act_kb  # true identity: data movement only
+        # Dimension-changing skip degrades to a strided 1x1 projection.
+        flops = c_in * c_out * hw / 1e6
+        params = c_in * c_out / 1e3
+        return flops, params, act_kb * 2 + params * 4
+    mid = c_in * e
+    # expansion 1x1 (skipped when e == 1), depthwise kxk, projection 1x1
+    flops = 0.0
+    params = 0.0
+    if e != 1:
+        flops += (c_in * mid // g) * hw * stride * stride / 1e6
+        params += (c_in * mid // g) / 1e3
+    flops += k * k * mid * hw / 1e6
+    params += (k * k * mid) / 1e3
+    flops += (mid * c_out // g) * hw / 1e6
+    params += (mid * c_out // g) / 1e3
+    params += 2 * (mid + c_out) / 1e3  # BN
+    mem = act_kb * 2 + c_in * hw * stride * stride * 4 / 1024.0 + params * 4
+    return flops, params, mem
+
+
+class FBNetSpace(SearchSpace):
+    """FBNet space restricted to a deterministic 5 000-architecture table."""
+
+    name = "fbnet"
+    op_names = NODE_OPS
+    num_nodes = NUM_POSITIONS + 2  # 24: input + 22 block nodes + output
+
+    def __init__(self, table_size: int = DEFAULT_TABLE_SIZE, seed: int = _TABLE_SEED):
+        # Distinct table sizes are distinct spaces for caching purposes
+        # (features/encodings memoize per space name).
+        if table_size != DEFAULT_TABLE_SIZE or seed != _TABLE_SEED:
+            self.name = f"fbnet-{table_size}-{seed}"
+        n = self.num_nodes
+        adj = np.zeros((n, n), dtype=np.int8)
+        for i in range(n - 1):
+            adj[i, i + 1] = 1
+        self._adjacency = adj
+        self._input_token = NODE_OPS.index("input")
+        self._output_token = NODE_OPS.index("output")
+        self.table_size = table_size
+        rng = np.random.default_rng(seed)
+        seen: set[tuple[int, ...]] = set()
+        table: list[tuple[int, ...]] = []
+        while len(table) < table_size:
+            spec = tuple(int(x) for x in rng.integers(0, len(BLOCKS), size=NUM_POSITIONS))
+            if spec not in seen:
+                seen.add(spec)
+                table.append(spec)
+        self._table = table
+        self._spec_to_index = {spec: i for i, spec in enumerate(table)}
+
+    # ------------------------------------------------------------------ archs
+    def num_architectures(self) -> int:
+        return self.table_size
+
+    def architecture(self, index: int) -> Architecture:
+        if not 0 <= index < self.table_size:
+            raise IndexError(f"architecture index {index} out of range")
+        spec = self._table[index]
+        ops = np.empty(self.num_nodes, dtype=np.int64)
+        ops[0] = self._input_token
+        ops[-1] = self._output_token
+        for pos, block in enumerate(spec):
+            ops[1 + pos] = 1 + block
+        return Architecture(
+            space=self.name,
+            spec=spec,
+            adjacency=self._adjacency.copy(),
+            ops=ops,
+            index=index,
+        )
+
+    def index_from_spec(self, spec: tuple[int, ...]) -> int:
+        return self._spec_to_index[tuple(spec)]
+
+    # ------------------------------------------------------------------- work
+    def work_profile(self, arch: Architecture) -> list[OpWork]:
+        profile: list[OpWork] = []
+        # Stem: 3x3 conv stride 2, 3->16 @112.
+        profile.append(OpWork("input", 9 * 3 * 16 * 112 * 112 / 1e6, 0.432, 1200.0))
+        for pos, block in enumerate(arch.spec):
+            c_in, c_out, stride, spatial = POSITION_LAYOUT[pos]
+            flops, params, mem = _block_work(block, c_in, c_out, stride, spatial)
+            profile.append(
+                OpWork(BLOCK_NAMES[block], flops, params, mem, fusable=BLOCK_NAMES[block] == "skip")
+            )
+        # Head: 1x1 conv 352->1504, pool, classifier (fixed).
+        profile.append(OpWork("output", 352 * 1504 * 49 / 1e6, 352 * 1.504 + 1.504, 2200.0))
+        return profile

@@ -1,0 +1,132 @@
+"""Generic cell space for the appendix predictor-design ablations.
+
+The paper's appendix (Fig. 7, Tables 10-19) ablates TA-GATES-style predictor
+components on NB101/NB201/ENAS/PNAS-like cell spaces.  This class generates
+random op-on-node DAG cells with a configurable node count and op vocabulary,
+mimicking those spaces' shapes: NB101-like (7 nodes, 3 ops), ENAS/PNAS-like
+(larger cells, 5-8 ops).  Architectures come from a seeded table so runs are
+reproducible.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spaces.base import Architecture, OpWork, SearchSpace
+
+# Per-op relative work used for the analytic accuracy/latency surrogates.
+# Ordered so vocabulary prefixes match the real spaces: NB101's 3 ops are
+# conv3x3 / conv1x1 / maxpool3x3, and 5-op spaces add separable convs and
+# skips — giving every preset the op-class diversity (conv vs pool vs skip)
+# that hardware families disagree about.
+_GENERIC_OP_POOL: tuple[tuple[str, float, float], ...] = (
+    ("conv3x3", 9.0, 9.0),
+    ("conv1x1", 1.0, 1.0),
+    ("maxpool3x3", 0.4, 0.0),
+    ("sep_conv3x3", 2.2, 2.2),
+    ("skip", 0.0, 0.0),
+    ("sep_conv5x5", 5.4, 5.4),
+    ("avgpool3x3", 0.4, 0.0),
+    ("dil_conv3x3", 4.5, 4.5),
+)
+
+PRESETS: dict[str, tuple[int, int]] = {
+    # (num intermediate nodes, op vocabulary size)
+    "nb101": (5, 3),
+    "nb201": (6, 5),
+    "enas": (7, 5),
+    "pnas": (8, 8),
+    "amoeba": (8, 8),
+    "darts": (8, 8),
+    "nasnet": (9, 8),
+}
+
+
+class GenericCellSpace(SearchSpace):
+    """Random-DAG cell space parameterized by a preset name or explicit sizes."""
+
+    def __init__(
+        self,
+        preset: str | None = "nb101",
+        num_intermediate: int | None = None,
+        num_edge_ops: int | None = None,
+        table_size: int = 2000,
+        seed: int = 7,
+    ):
+        if preset is not None:
+            if preset not in PRESETS:
+                raise ValueError(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}")
+            num_intermediate, num_edge_ops = PRESETS[preset]
+            self.name = f"generic-{preset}"
+        else:
+            if num_intermediate is None or num_edge_ops is None:
+                raise ValueError("provide either a preset or explicit sizes")
+            self.name = f"generic-{num_intermediate}n{num_edge_ops}o"
+        # Distinct tables are distinct spaces for caching purposes.
+        if table_size != 2000 or seed != 7:
+            self.name += f"-{table_size}-{seed}"
+        if num_edge_ops > len(_GENERIC_OP_POOL):
+            raise ValueError(f"at most {len(_GENERIC_OP_POOL)} ops supported")
+        self._edge_ops = _GENERIC_OP_POOL[:num_edge_ops]
+        self.op_names = ("input",) + tuple(o[0] for o in self._edge_ops) + ("output",)
+        self.num_nodes = num_intermediate + 2
+        self.table_size = table_size
+        self._input_token = 0
+        self._output_token = len(self.op_names) - 1
+        rng = np.random.default_rng(seed)
+        seen: set[tuple] = set()
+        table: list[tuple[np.ndarray, np.ndarray]] = []
+        n = self.num_nodes
+        while len(table) < table_size:
+            adj = np.triu((rng.random((n, n)) < 0.45).astype(np.int8), k=1)
+            # Guarantee connectivity: every non-input node has a predecessor,
+            # every non-output node a successor.
+            for j in range(1, n):
+                if adj[:j, j].sum() == 0:
+                    adj[int(rng.integers(0, j)), j] = 1
+            for i in range(n - 1):
+                if adj[i, i + 1 :].sum() == 0:
+                    adj[i, int(rng.integers(i + 1, n))] = 1
+            ops = np.empty(n, dtype=np.int64)
+            ops[0] = self._input_token
+            ops[-1] = self._output_token
+            ops[1:-1] = rng.integers(1, 1 + len(self._edge_ops), size=n - 2)
+            key = (adj.tobytes(), ops.tobytes())
+            if key in seen:
+                continue
+            seen.add(key)
+            table.append((adj, ops))
+        self._table = table
+
+    def num_architectures(self) -> int:
+        return self.table_size
+
+    def architecture(self, index: int) -> Architecture:
+        if not 0 <= index < self.table_size:
+            raise IndexError(f"architecture index {index} out of range")
+        adj, ops = self._table[index]
+        return Architecture(
+            space=self.name,
+            spec=tuple(int(x) for x in ops[1:-1]) + tuple(int(b) for b in adj[np.triu_indices(self.num_nodes, 1)]),
+            adjacency=adj.copy(),
+            ops=ops.copy(),
+            index=index,
+        )
+
+    def work_profile(self, arch: Architecture) -> list[OpWork]:
+        # Nominal cell instantiated at 64 channels, 16x16 spatial, repeated
+        # 12 times in the macro skeleton (like NB201's 15 cell repetitions),
+        # so cell-level op choices dominate fixed overheads on every device.
+        c, hw, cells = 64, 256, 12
+        profile = [OpWork("input", 1.0, 0.5, 64.0)]
+        for op_idx in arch.ops[1:-1]:
+            name, fmul, pmul = self._edge_ops[op_idx - 1]
+            flops = cells * fmul * c * c * hw / 1e6
+            params = cells * pmul * c * c / 1e3
+            mem = cells * (c * hw * 4 / 1024.0 * 2) + params * 4
+            if name in ("maxpool3x3", "avgpool3x3"):
+                flops = cells * 9 * c * hw / 1e6
+            if name == "skip":
+                mem = cells * c * hw * 4 / 1024.0
+            profile.append(OpWork(name, flops, params, mem, fusable=name == "skip"))
+        profile.append(OpWork("output", 0.5, 1.0, 32.0))
+        return profile

@@ -1,0 +1,118 @@
+"""NASBench-101 cell space (Ying et al., 2019).
+
+Cells have up to 7 nodes (input, output, and up to 5 intermediate ops from
+{conv3x3-bn-relu, conv1x1-bn-relu, maxpool3x3}) and at most 9 edges; every
+node must lie on an input→output path.  The full space has 423k unique
+cells; as with FBNet we expose a deterministic sampled table (the appendix
+predictor-design ablations train on a few hundred cells anyway).
+
+The macro skeleton follows the original: 3 stacks of 3 cells at channels
+64/128/256 with downsampling between stacks.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.spaces.base import Architecture, OpWork, SearchSpace
+
+NODE_OPS: tuple[str, ...] = ("input", "conv3x3", "conv1x1", "maxpool3x3", "output")
+MAX_NODES = 7
+MAX_EDGES = 9
+# Macro: (channels, spatial) per stack, 3 cells each.
+STACKS: tuple[tuple[int, int], ...] = ((64, 28), (128, 14), (256, 7))
+CELLS_PER_STACK = 3
+
+
+def _prune_mask(adj: np.ndarray) -> np.ndarray:
+    """Nodes on some input->output path (NB101 prunes the rest)."""
+    n = adj.shape[0]
+    fwd = np.zeros(n, dtype=bool)
+    fwd[0] = True
+    for j in range(1, n):
+        fwd[j] = bool(np.any(adj[:j, j] & fwd[:j]))
+    bwd = np.zeros(n, dtype=bool)
+    bwd[n - 1] = True
+    for i in range(n - 2, -1, -1):
+        bwd[i] = bool(np.any(adj[i, i + 1 :] & bwd[i + 1 :]))
+    return fwd & bwd
+
+
+def _is_valid(adj: np.ndarray) -> bool:
+    """NB101 validity: <=9 edges, all nodes on an input->output path."""
+    if adj.sum() > MAX_EDGES:
+        return False
+    return bool(_prune_mask(adj).all())
+
+
+class NASBench101Space(SearchSpace):
+    """Deterministic sampled table of valid NASBench-101 cells."""
+
+    name = "nasbench101"
+    op_names = NODE_OPS
+    num_nodes = MAX_NODES
+
+    def __init__(self, table_size: int = 2000, seed: int = 101):
+        if table_size != 2000 or seed != 101:
+            self.name = f"nasbench101-{table_size}-{seed}"
+        rng = np.random.default_rng(seed)
+        seen: set[bytes] = set()
+        table: list[tuple[np.ndarray, np.ndarray]] = []
+        n = MAX_NODES
+        attempts = 0
+        while len(table) < table_size:
+            attempts += 1
+            if attempts > 500 * table_size:
+                raise RuntimeError("could not sample enough valid NB101 cells")
+            adj = np.triu((rng.random((n, n)) < 0.38).astype(np.int8), k=1)
+            if not _is_valid(adj):
+                continue
+            ops = np.empty(n, dtype=np.int64)
+            ops[0] = 0
+            ops[-1] = len(NODE_OPS) - 1
+            ops[1:-1] = rng.integers(1, len(NODE_OPS) - 1, size=n - 2)
+            key = adj.tobytes() + ops.tobytes()
+            if key in seen:
+                continue
+            seen.add(key)
+            table.append((adj, ops))
+        self._table = table
+        self.table_size = table_size
+
+    def num_architectures(self) -> int:
+        return self.table_size
+
+    def architecture(self, index: int) -> Architecture:
+        if not 0 <= index < self.table_size:
+            raise IndexError(f"architecture index {index} out of range")
+        adj, ops = self._table[index]
+        return Architecture(
+            space=self.name,
+            spec=tuple(int(x) for x in ops) + tuple(int(b) for b in adj[np.triu_indices(MAX_NODES, 1)]),
+            adjacency=adj.copy(),
+            ops=ops.copy(),
+            index=index,
+        )
+
+    def work_profile(self, arch: Architecture) -> list[OpWork]:
+        # NB101 splits each node's input channels among its in-edges; we use
+        # the simpler full-channel model (a fixed-factor approximation that
+        # preserves op-mix ordering).
+        profile = [OpWork("input", 30.0, 2.0, 700.0)]  # stem conv 3x3 @28
+        for op_idx in arch.ops[1:-1]:
+            name = NODE_OPS[op_idx]
+            flops = params = mem = 0.0
+            for c, s in STACKS:
+                hw = s * s
+                act_kb = c * hw * 4 / 1024.0
+                if name == "conv3x3":
+                    f, p = 9 * c * c * hw / 1e6, 9 * c * c / 1e3
+                elif name == "conv1x1":
+                    f, p = c * c * hw / 1e6, c * c / 1e3
+                else:  # maxpool3x3
+                    f, p = 9 * c * hw / 1e6, 0.0
+                flops += f * CELLS_PER_STACK
+                params += p * CELLS_PER_STACK
+                mem += (act_kb * 2 + p * 4) * CELLS_PER_STACK
+            profile.append(OpWork(name, flops, params, mem))
+        profile.append(OpWork("output", 1.0, 2.5, 50.0))
+        return profile

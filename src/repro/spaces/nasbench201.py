@@ -1,0 +1,190 @@
+"""NASBench-201 micro cell search space (Dong & Yang, 2020).
+
+The cell has 4 activation nodes and 6 op-edges; each edge takes one of 5
+operations (``none``, ``skip_connect``, ``nor_conv_1x1``, ``nor_conv_3x3``,
+``avg_pool_3x3``), giving 5^6 = 15 625 architectures.  Following BRP-NAS and
+the paper, the cell is re-expressed as an 8-node op-on-node DAG (input node,
+one node per edge-op, output node) for the GNN predictor.
+
+The macro skeleton (stem, 3 stages of 5 cell repetitions at channels
+16/32/64 and spatial 32/16/8, residual reduction blocks, classifier) is used
+to derive per-op work profiles for the hardware latency simulator.
+"""
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.spaces.base import Architecture, OpWork, SearchSpace
+
+# Edge order convention of NASBench-201: (src, dst) pairs in the 4-node cell.
+CELL_EDGES: tuple[tuple[int, int], ...] = ((0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3))
+EDGE_OPS: tuple[str, ...] = ("none", "skip_connect", "nor_conv_1x1", "nor_conv_3x3", "avg_pool_3x3")
+
+# Node-op vocabulary for the DAG form: input/output tokens + the 5 edge ops.
+NODE_OPS: tuple[str, ...] = ("input",) + EDGE_OPS + ("output",)
+
+# Macro skeleton: (channels, spatial) per stage, each repeated N_CELLS times.
+STAGES: tuple[tuple[int, int], ...] = ((16, 32), (32, 16), (64, 8))
+N_CELLS_PER_STAGE = 5
+
+
+def _edge_op_work(op: str, channels: int, spatial: int) -> tuple[float, float, float]:
+    """(MFLOPs, Kparams, KB memory traffic) for one edge op at one site."""
+    c, hw = channels, spatial * spatial
+    act_kb = c * hw * 4 / 1024.0  # fp32 activations
+    if op == "nor_conv_3x3":
+        flops = 9 * c * c * hw / 1e6
+        params = (9 * c * c + 2 * c) / 1e3  # conv + BN
+        mem = act_kb * 2 + params * 4
+    elif op == "nor_conv_1x1":
+        flops = c * c * hw / 1e6
+        params = (c * c + 2 * c) / 1e3
+        mem = act_kb * 2 + params * 4
+    elif op == "avg_pool_3x3":
+        flops = 9 * c * hw / 1e6
+        params = 0.0
+        mem = act_kb * 2
+    elif op == "skip_connect":
+        flops = 0.0
+        params = 0.0
+        mem = act_kb  # pure data movement
+    else:  # none
+        flops = 0.0
+        params = 0.0
+        mem = 0.0
+    return flops, params, mem
+
+
+class NASBench201Space(SearchSpace):
+    """The 15 625-architecture NASBench-201 space."""
+
+    name = "nasbench201"
+    op_names = NODE_OPS
+    num_nodes = len(CELL_EDGES) + 2  # 8: input + 6 edge nodes + output
+
+    def __init__(self):
+        # Static DAG skeleton shared by every architecture: connectivity is
+        # fixed; only the op label per edge-node changes.
+        n = self.num_nodes
+        adj = np.zeros((n, n), dtype=np.int8)
+        # Map each cell edge to DAG node index 1..6 (in CELL_EDGES order).
+        for e, (src, dst) in enumerate(CELL_EDGES):
+            node = 1 + e
+            if src == 0:
+                adj[0, node] = 1
+            else:
+                # Receives from every edge-node whose destination == src.
+                for e2, (_, dst2) in enumerate(CELL_EDGES):
+                    if dst2 == src:
+                        adj[1 + e2, node] = 1
+            if dst == 3:
+                adj[node, n - 1] = 1
+        self._adjacency = adj
+        self._input_token = NODE_OPS.index("input")
+        self._output_token = NODE_OPS.index("output")
+
+    # ------------------------------------------------------------------ archs
+    def num_architectures(self) -> int:
+        return len(EDGE_OPS) ** len(CELL_EDGES)
+
+    def spec_from_index(self, index: int) -> tuple[int, ...]:
+        """Base-5 digits of ``index`` as the 6 edge-op choices."""
+        if not 0 <= index < self.num_architectures():
+            raise IndexError(f"architecture index {index} out of range")
+        digits = []
+        for _ in range(len(CELL_EDGES)):
+            digits.append(index % len(EDGE_OPS))
+            index //= len(EDGE_OPS)
+        return tuple(digits)
+
+    def index_from_spec(self, spec: tuple[int, ...]) -> int:
+        index = 0
+        for digit in reversed(spec):
+            index = index * len(EDGE_OPS) + digit
+        return index
+
+    def architecture(self, index: int) -> Architecture:
+        spec = self.spec_from_index(index)
+        ops = np.empty(self.num_nodes, dtype=np.int64)
+        ops[0] = self._input_token
+        ops[-1] = self._output_token
+        for e, op_choice in enumerate(spec):
+            ops[1 + e] = 1 + op_choice  # edge ops occupy vocab slots 1..5
+        return Architecture(
+            space=self.name,
+            spec=spec,
+            adjacency=self._adjacency.copy(),
+            ops=ops,
+            index=index,
+        )
+
+    def arch_str(self, arch: Architecture) -> str:
+        """Genotype string in the NASBench-201 ``|op~src|`` format."""
+        parts = []
+        e = 0
+        for dst in (1, 2, 3):
+            seg = []
+            for src in range(dst):
+                seg.append(f"{EDGE_OPS[arch.spec[e]]}~{src}")
+                e += 1
+            parts.append("|" + "|".join(seg) + "|")
+        return "+".join(parts)
+
+    # ------------------------------------------------------------------- work
+    def active_edges(self, spec: tuple[int, ...]) -> np.ndarray:
+        """Boolean mask of edges on a live input→output path.
+
+        An edge is live only if its source is reachable from cell node 0 and
+        its destination reaches cell node 3 through non-``none`` edges.
+        """
+        none_idx = EDGE_OPS.index("none")
+        # Cell-level reachability over 4 nodes.
+        fwd = {0}
+        changed = True
+        while changed:
+            changed = False
+            for e, (src, dst) in enumerate(CELL_EDGES):
+                if spec[e] != none_idx and src in fwd and dst not in fwd:
+                    fwd.add(dst)
+                    changed = True
+        bwd = {3}
+        changed = True
+        while changed:
+            changed = False
+            for e, (src, dst) in enumerate(CELL_EDGES):
+                if spec[e] != none_idx and dst in bwd and src not in bwd:
+                    bwd.add(src)
+                    changed = True
+        mask = np.zeros(len(CELL_EDGES), dtype=bool)
+        for e, (src, dst) in enumerate(CELL_EDGES):
+            mask[e] = spec[e] != none_idx and src in fwd and dst in bwd
+        return mask
+
+    def work_profile(self, arch: Architecture) -> list[OpWork]:
+        live = self.active_edges(arch.spec)
+        profile: list[OpWork] = []
+        # Stem: 3x3 conv 3->16 at 32x32 plus classifier, folded into the
+        # input/output nodes so every architecture shares this fixed cost.
+        stem_flops = 9 * 3 * 16 * 32 * 32 / 1e6
+        profile.append(OpWork("input", stem_flops, 0.448, 80.0))
+        for e, op_choice in enumerate(arch.spec):
+            op = EDGE_OPS[op_choice]
+            flops = params = mem = 0.0
+            if live[e]:
+                for channels, spatial in STAGES:
+                    f, p, m = _edge_op_work(op, channels, spatial)
+                    flops += f * N_CELLS_PER_STAGE
+                    params += p * N_CELLS_PER_STAGE
+                    mem += m * N_CELLS_PER_STAGE
+            profile.append(
+                OpWork(op, flops, params, mem, fusable=op in ("skip_connect", "none"))
+            )
+        # Classifier: global avg pool + 64->num_classes linear.
+        profile.append(OpWork("output", 64 * 100 / 1e6, 6.5, 26.0))
+        return profile
+
+    def all_specs(self):
+        """Iterate every spec in index order (cheap; no Architecture objects)."""
+        return itertools.product(range(len(EDGE_OPS)), repeat=len(CELL_EDGES))

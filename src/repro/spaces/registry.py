@@ -1,0 +1,34 @@
+"""Space construction by name, with instance caching.
+
+Several layers (encodings, features, SpaceTensors) memoize per space name,
+so sharing one instance per name keeps every cache coherent.
+"""
+from __future__ import annotations
+
+from repro.spaces.base import SearchSpace
+from repro.spaces.fbnet import FBNetSpace
+from repro.spaces.generic import GenericCellSpace, PRESETS
+from repro.spaces.nasbench101 import NASBench101Space
+from repro.spaces.nasbench201 import NASBench201Space
+
+_INSTANCES: dict[str, SearchSpace] = {}
+
+
+def get_space(name: str) -> SearchSpace:
+    """Shared space instance for ``name``.
+
+    Accepted names: ``nasbench201``, ``fbnet``, and the generic presets
+    (``generic-nb101``, ``generic-enas``, ...).
+    """
+    if name not in _INSTANCES:
+        if name == "nasbench201":
+            _INSTANCES[name] = NASBench201Space()
+        elif name == "nasbench101":
+            _INSTANCES[name] = NASBench101Space()
+        elif name == "fbnet":
+            _INSTANCES[name] = FBNetSpace()
+        elif name.startswith("generic-") and name.removeprefix("generic-") in PRESETS:
+            _INSTANCES[name] = GenericCellSpace(name.removeprefix("generic-"))
+        else:
+            raise KeyError(f"unknown space {name!r}")
+    return _INSTANCES[name]

@@ -1,0 +1,24 @@
+"""Latency-prediction tasks: device-set definitions and partitioning.
+
+* :mod:`repro.tasks.devsets` — the 12 named tasks of the paper (Table 1 /
+  Tables 24-26): ND, N1-N4, NA on NASBench-201 and FD, F1-F4, FA on FBNet.
+* :mod:`repro.tasks.partition` — Algorithm 1: automated train/test device
+  partitioning via Kernighan-Lin bisection on the negative-correlation
+  graph, with iterative trimming to the requested pool sizes.
+"""
+from repro.tasks.devsets import Task, TASKS, get_task, nasbench201_tasks, fbnet_tasks
+from repro.tasks.partition import partition_devices, correlation_graph
+from repro.tasks.analysis import TaskDifficulty, analyze_task, difficulty_report
+
+__all__ = [
+    "Task",
+    "TASKS",
+    "get_task",
+    "nasbench201_tasks",
+    "fbnet_tasks",
+    "partition_devices",
+    "correlation_graph",
+    "TaskDifficulty",
+    "analyze_task",
+    "difficulty_report",
+]

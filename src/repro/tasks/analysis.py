@@ -1,0 +1,92 @@
+"""Task-difficulty analysis.
+
+The paper frames predictor-transfer difficulty by the latency-rank
+correlation between a task's training and test device pools (MultiPredict's
+observation that legacy sets like ND were cherry-picked to be easy).  This
+module computes those statistics for any task, reproducing the quantities
+behind the paper's Tables 21-22 and giving users a way to gauge how hard a
+new device pool will be before spending measurements.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.dataset import LatencyDataset
+from repro.spaces.registry import get_space
+from repro.tasks.devsets import Task
+
+
+@dataclass(frozen=True)
+class TaskDifficulty:
+    """Correlation summary of a task's device pools.
+
+    ``train_test_mean`` is the paper's headline difficulty number: the mean
+    Spearman correlation between every (train device, test device) pair —
+    low values mean the sources carry little information about the targets.
+    """
+
+    task: str
+    train_test_mean: float
+    train_test_min: float
+    train_test_max: float
+    train_intra_mean: float
+    test_intra_mean: float
+    # Per test device: its best correlation with any training device — the
+    # quantity hardware-embedding initialization (§5.2) exploits.
+    best_source_correlation: dict[str, float]
+
+    @property
+    def hardness(self) -> str:
+        """Coarse difficulty bucket matching the paper's narrative."""
+        if self.train_test_mean >= 0.8:
+            return "easy"
+        if self.train_test_mean >= 0.5:
+            return "moderate"
+        return "hard"
+
+
+def analyze_task(task: Task, sample: int = 1000, seed: int = 0) -> TaskDifficulty:
+    """Compute the correlation summary for one task."""
+    dataset = LatencyDataset(get_space(task.space))
+    devices = list(task.train_devices) + list(task.test_devices)
+    corr = dataset.correlation_matrix(devices, sample=sample, seed=seed)
+    k = len(task.train_devices)
+    cross = corr[:k, k:]
+    train_block = corr[:k, :k]
+    test_block = corr[k:, k:]
+
+    def _off_diag_mean(block: np.ndarray) -> float:
+        n = block.shape[0]
+        if n < 2:
+            return 1.0
+        return float(np.mean(block[np.triu_indices(n, 1)]))
+
+    best = {
+        dev: float(cross[:, j].max()) for j, dev in enumerate(task.test_devices)
+    }
+    return TaskDifficulty(
+        task=task.name,
+        train_test_mean=float(cross.mean()),
+        train_test_min=float(cross.min()),
+        train_test_max=float(cross.max()),
+        train_intra_mean=_off_diag_mean(train_block),
+        test_intra_mean=_off_diag_mean(test_block),
+        best_source_correlation=best,
+    )
+
+
+def difficulty_report(tasks: list[Task], sample: int = 800, seed: int = 0) -> str:
+    """Aligned text report over several tasks, hardest first."""
+    results = sorted(
+        (analyze_task(t, sample=sample, seed=seed) for t in tasks),
+        key=lambda d: d.train_test_mean,
+    )
+    lines = [f"{'task':<6} {'train-test':>10} {'min':>7} {'max':>7} {'hardness':>9}"]
+    for d in results:
+        lines.append(
+            f"{d.task:<6} {d.train_test_mean:>10.3f} {d.train_test_min:>7.3f} "
+            f"{d.train_test_max:>7.3f} {d.hardness:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""The paper's 12 device-set tasks (Tables 24, 25, 26).
+
+``ND``/``FD`` are the legacy high-train-test-correlation sets from
+HELP; ``NA``/``FA`` the adversarial sets from MultiPredict; ``N1-N4`` /
+``F1-F4`` the new algorithmically-partitioned sets (Algorithm 1).  Device
+names follow :mod:`repro.hardware.registry`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Task:
+    """A latency-prediction task: source (train) and target (test) pools."""
+
+    name: str
+    space: str  # "nasbench201" | "fbnet"
+    train_devices: tuple[str, ...]
+    test_devices: tuple[str, ...]
+
+    def __post_init__(self):
+        overlap = set(self.train_devices) & set(self.test_devices)
+        if overlap:
+            raise ValueError(f"task {self.name}: devices in both pools: {sorted(overlap)}")
+
+
+TASKS: dict[str, Task] = {
+    # ----------------------------------------------------------- NASBench-201
+    "ND": Task(
+        "ND",
+        "nasbench201",
+        train_devices=(
+            "1080ti_1",
+            "1080ti_32",
+            "1080ti_256",
+            "silver_4114",
+            "silver_4210r",
+            "samsung_a50",
+            "pixel3",
+            "essential_ph_1",
+            "samsung_s7",
+        ),
+        test_devices=("titan_rtx_256", "gold_6226", "fpga", "pixel2", "raspi4", "eyeriss"),
+    ),
+    "N1": Task(
+        "N1",
+        "nasbench201",
+        train_devices=(
+            "edge_tpu_int8",
+            "eyeriss",
+            "snapdragon_675_adreno_612_int8",
+            "snapdragon_855_adreno_640_int8",
+            "pixel3",
+        ),
+        test_devices=("1080ti_1", "titan_rtx_32", "titanxp_1", "2080ti_32", "titan_rtx_1"),
+    ),
+    "N2": Task(
+        "N2",
+        "nasbench201",
+        train_devices=("1080ti_1", "1080ti_32", "titanx_32", "titanxp_1", "titanxp_32"),
+        test_devices=(
+            "jetson_nano_fp16",
+            "edge_tpu_int8",
+            "snapdragon_675_hexagon_685_int8",
+            "snapdragon_855_hexagon_690_int8",
+            "pixel3",
+        ),
+    ),
+    "N3": Task(
+        "N3",
+        "nasbench201",
+        train_devices=(
+            "gtx_1080ti_fp32",
+            "jetson_nano_fp16",
+            "eyeriss",
+            "snapdragon_675_hexagon_685_int8",
+            "snapdragon_855_adreno_640_int8",
+        ),
+        test_devices=("1080ti_1", "2080ti_1", "titanxp_1", "2080ti_32", "titanxp_32"),
+    ),
+    "N4": Task(
+        "N4",
+        "nasbench201",
+        train_devices=(
+            "core_i7_7820x_fp32",
+            "jetson_nano_fp32",
+            "edge_tpu_int8",
+            "eyeriss",
+            "snapdragon_855_kryo_485_int8",
+            "snapdragon_675_hexagon_685_int8",
+            "snapdragon_855_hexagon_690_int8",
+            "snapdragon_675_adreno_612_int8",
+            "snapdragon_855_adreno_640_int8",
+            "pixel2",
+        ),
+        test_devices=("1080ti_1", "2080ti_1", "titan_rtx_1"),
+    ),
+    "NA": Task(
+        "NA",
+        "nasbench201",
+        train_devices=(
+            "titan_rtx_1",
+            "titan_rtx_32",
+            "titanxp_1",
+            "2080ti_1",
+            "titanx_1",
+            "1080ti_1",
+            "titanx_32",
+            "titanxp_32",
+            "2080ti_32",
+            "1080ti_32",
+            "gold_6226",
+            "samsung_s7",
+            "silver_4114",
+            "gold_6240",
+            "silver_4210r",
+            "samsung_a50",
+            "pixel2",
+        ),
+        test_devices=("eyeriss", "gtx_1080ti_fp32", "edge_tpu_int8"),
+    ),
+    # ----------------------------------------------------------------- FBNet
+    "FD": Task(
+        "FD",
+        "fbnet",
+        train_devices=(
+            "1080ti_1",
+            "1080ti_32",
+            "1080ti_64",
+            "silver_4114",
+            "silver_4210r",
+            "samsung_a50",
+            "pixel3",
+            "essential_ph_1",
+            "samsung_s7",
+        ),
+        test_devices=("fpga", "raspi4", "eyeriss"),
+    ),
+    "F1": Task(
+        "F1",
+        "fbnet",
+        train_devices=("2080ti_1", "essential_ph_1", "silver_4114", "titan_rtx_1", "titan_rtx_32"),
+        test_devices=("eyeriss", "fpga", "raspi4", "samsung_a50", "samsung_s7"),
+    ),
+    "F2": Task(
+        "F2",
+        "fbnet",
+        train_devices=("essential_ph_1", "gold_6226", "gold_6240", "pixel3", "raspi4"),
+        test_devices=("1080ti_1", "1080ti_32", "2080ti_32", "titan_rtx_1", "titanxp_1"),
+    ),
+    "F3": Task(
+        "F3",
+        "fbnet",
+        train_devices=("essential_ph_1", "pixel2", "pixel3", "raspi4", "samsung_s7"),
+        test_devices=("1080ti_1", "1080ti_32", "2080ti_1", "titan_rtx_1", "titan_rtx_32"),
+    ),
+    "F4": Task(
+        "F4",
+        "fbnet",
+        train_devices=(
+            "1080ti_64",
+            "2080ti_1",
+            "eyeriss",
+            "gold_6226",
+            "gold_6240",
+            "raspi4",
+            "samsung_s7",
+            "silver_4210r",
+            "titan_rtx_1",
+            "titan_rtx_32",
+        ),
+        test_devices=("1080ti_1", "pixel2", "essential_ph_1"),
+    ),
+    "FA": Task(
+        "FA",
+        "fbnet",
+        train_devices=(
+            "1080ti_1",
+            "1080ti_32",
+            "1080ti_64",
+            "2080ti_1",
+            "2080ti_32",
+            "2080ti_64",
+            "titan_rtx_1",
+            "titan_rtx_32",
+            "titan_rtx_64",
+            "titanx_1",
+            "titanx_32",
+            "titanx_64",
+            "titanxp_1",
+            "titanxp_32",
+            "titanxp_64",
+        ),
+        test_devices=("gold_6226", "essential_ph_1", "samsung_s7", "pixel2"),
+    ),
+}
+
+
+def get_task(name: str) -> Task:
+    try:
+        return TASKS[name]
+    except KeyError:
+        raise KeyError(f"unknown task {name!r}; available: {sorted(TASKS)}") from None
+
+
+def nasbench201_tasks() -> list[Task]:
+    return [t for t in TASKS.values() if t.space == "nasbench201"]
+
+
+def fbnet_tasks() -> list[Task]:
+    return [t for t in TASKS.values() if t.space == "fbnet"]

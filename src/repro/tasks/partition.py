@@ -1,0 +1,73 @@
+"""Algorithm 1: automated train/test device-set partitioning.
+
+The paper replaces hand-picked device sets with an objective procedure:
+
+1. compute pairwise Spearman correlations between all devices' latencies;
+2. build a complete graph whose edge weights are the *negative*
+   correlations;
+3. Kernighan-Lin bisection minimizes the weight of the cut, i.e. it keeps
+   strongly *anti*-correlated pairs apart and groups devices with minimal
+   intra-group correlation;
+4. iteratively trim each side to the requested sizes (m, n), always
+   removing the node with the highest total correlation to its own side.
+"""
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.hardware.dataset import LatencyDataset
+
+
+def correlation_graph(dataset: LatencyDataset, devices: list[str], sample: int = 2000, seed: int = 0) -> nx.Graph:
+    """Complete graph over devices with edge weight = -Spearman(latencies)."""
+    corr = dataset.correlation_matrix(devices, sample=sample, seed=seed)
+    g = nx.Graph()
+    g.add_nodes_from(devices)
+    for i, a in enumerate(devices):
+        for j in range(i + 1, len(devices)):
+            g.add_edge(a, devices[j], weight=-float(corr[i, j]), correlation=float(corr[i, j]))
+    return g
+
+
+def _side_correlation(g: nx.Graph, node: str, side: set[str]) -> float:
+    """Total correlation of ``node`` to the other members of its side."""
+    return sum(g.edges[node, other]["correlation"] for other in side if other != node)
+
+
+def partition_devices(
+    dataset: LatencyDataset,
+    devices: list[str],
+    m: int,
+    n: int,
+    seed: int = 0,
+    sample: int = 2000,
+) -> tuple[list[str], list[str]]:
+    """Partition ``devices`` into pools of size (m, n) per Algorithm 1.
+
+    Returns (train_pool, test_pool) with low intra-pool latency-rank
+    correlation — the property that makes a prediction task *hard*.
+    """
+    if m + n > len(devices):
+        raise ValueError(f"cannot draw pools of {m}+{n} from {len(devices)} devices")
+    if m <= 0 or n <= 0:
+        raise ValueError("pool sizes must be positive")
+    g = correlation_graph(dataset, devices, sample=sample, seed=seed)
+    left, right = nx.algorithms.community.kernighan_lin_bisection(g, weight="weight", seed=seed)
+    left, right = set(left), set(right)
+    # Keep the larger requested pool on the larger side for fewer removals.
+    if (len(left) >= len(right)) != (m >= n):
+        m, n = n, m
+    while len(left) != m or len(right) != n:
+        if len(left) > m:
+            worst = max(left, key=lambda d: _side_correlation(g, d, left))
+            left.remove(worst)
+        if len(right) > n:
+            worst = max(right, key=lambda d: _side_correlation(g, d, right))
+            right.remove(worst)
+        if len(left) < m or len(right) < n:
+            raise RuntimeError(
+                "bisection produced sides smaller than the requested pools; "
+                "request smaller pools or provide more devices"
+            )
+    return sorted(left), sorted(right)

@@ -1,0 +1,6 @@
+"""Predictor transfer: pretraining, hardware-embedding init, and the
+end-to-end NASFLAT pipeline used by every experiment."""
+from repro.transfer.hw_init import select_init_device
+from repro.transfer.pipeline import NASFLATPipeline, PipelineConfig, TransferResult
+
+__all__ = ["select_init_device", "NASFLATPipeline", "PipelineConfig", "TransferResult"]

@@ -1,0 +1,30 @@
+"""Hardware-embedding initialization (paper §5.2).
+
+When a new target device arrives, its hardware embedding is initialized
+from the *most latency-correlated* source device, computed on exactly the
+few architectures already measured on the target — no extra measurements.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.metrics import spearman
+from repro.hardware.dataset import LatencyDataset
+
+
+def select_init_device(
+    dataset: LatencyDataset,
+    target_device: str,
+    sample_indices: np.ndarray,
+    source_devices: list[str],
+) -> str:
+    """Source device whose latency ranks best match the target's samples."""
+    if not source_devices:
+        raise ValueError("need at least one source device")
+    target_lat = dataset.latency_of(target_device, sample_indices)
+    best_device, best_rho = source_devices[0], -np.inf
+    for dev in source_devices:
+        rho = spearman(dataset.latency_of(dev, sample_indices), target_lat)
+        if rho > best_rho:
+            best_device, best_rho = dev, rho
+    return best_device

@@ -1,0 +1,231 @@
+"""The end-to-end NASFLAT pipeline (Fig. 2): sample → pretrain → transfer.
+
+One :class:`NASFLATPipeline` instance owns a task (source/target device
+pools on one search space), a predictor configuration, a sampler spec, and
+the supplementary-encoding choice; ``pretrain()`` then ``transfer(device)``
+reproduce the paper's two-phase workflow, and ``run()`` sweeps every target
+device in the task.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.encodings.base import get_encoding
+from repro.eval.metrics import spearman
+from repro.hardware.dataset import LatencyDataset
+from repro.predictors.nasflat import NASFLATConfig, NASFLATPredictor
+from repro.predictors.training import (
+    FinetuneConfig,
+    PretrainConfig,
+    finetune_on_device,
+    predict_latency,
+    pretrain_multidevice,
+)
+from repro.samplers.factory import make_sampler
+from repro.spaces.registry import get_space
+from repro.tasks.devsets import Task
+from repro.transfer.hw_init import select_init_device
+
+
+@dataclass
+class PipelineConfig:
+    """Everything that varies across the paper's ablations.
+
+    The defaults are the full NASFLAT recipe of Table 7: CAZ cosine sampler,
+    ZCP supplementary encoding, op-wise hardware embeddings, correlated
+    hardware-embedding initialization, and the DGF+GAT ensemble.
+    """
+
+    sampler: str = "cosine-caz"
+    supplementary: str | None = "zcp"
+    hw_init: bool = True
+    n_transfer_samples: int = 20
+    gnn_kind: str = "ensemble"
+    use_op_hw: bool = True
+    pretrain: PretrainConfig = field(default_factory=PretrainConfig)
+    finetune: FinetuneConfig = field(default_factory=FinetuneConfig)
+    n_test: int = 1000  # held-out archs for Spearman evaluation
+
+
+@dataclass
+class TransferResult:
+    """Outcome of adapting the predictor to one target device."""
+
+    device: str
+    spearman: float
+    n_samples: int
+    init_device: str | None
+    finetune_seconds: float
+    predict_seconds: float
+
+
+class NASFLATPipeline:
+    """Owns the predictor lifecycle for one task."""
+
+    def __init__(self, task: Task, config: PipelineConfig | None = None, seed: int = 0):
+        self.task = task
+        self.config = config or PipelineConfig()
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.space = get_space(task.space)
+        self.dataset = LatencyDataset(self.space)
+        self._supp: np.ndarray | None = None
+        if self.config.supplementary is not None:
+            self._supp = get_encoding(self.space, self.config.supplementary)
+        model_cfg = NASFLATConfig(
+            gnn_kind=self.config.gnn_kind,
+            use_op_hw=self.config.use_op_hw,
+            supplementary_dim=self._supp.shape[1] if self._supp is not None else 0,
+        )
+        self.predictor = NASFLATPredictor(
+            self.space, list(task.train_devices), self.rng, config=model_cfg
+        )
+        self._pretrained = False
+        self._pretrained_state: dict | None = None
+        # The most recent device-adapted predictor (set by transfer()).
+        self.last_predictor: NASFLATPredictor | None = None
+
+    # ------------------------------------------------------------- pretrain
+    def pretrain(self) -> "NASFLATPipeline":
+        pretrain_multidevice(
+            self.predictor,
+            self.dataset,
+            list(self.task.train_devices),
+            self.rng,
+            config=self.config.pretrain,
+            supplementary=self._supp,
+        )
+        self._pretrained = True
+        self._pretrained_state = self.predictor.state_dict()
+        return self
+
+    def _clone_pretrained(self) -> NASFLATPredictor:
+        """Fresh predictor loaded with the pretrained weights.
+
+        Each target device is adapted from the *same* pretrained checkpoint
+        (Fig. 2: one pretrained predictor fans out to per-device predictors);
+        fine-tuning must not leak between test devices.
+        """
+        clone = NASFLATPredictor(
+            self.space, list(self.task.train_devices), np.random.default_rng(self.seed), config=self.predictor.config
+        )
+        clone.load_state_dict(self._pretrained_state)
+        return clone
+
+    # ------------------------------------------------------------- transfer
+    def _select_samples(self, device: str) -> np.ndarray:
+        sampler = make_sampler(
+            self.config.sampler,
+            dataset=self.dataset,
+            target_device=device,
+            reference_devices=list(self.task.train_devices),
+        )
+        return sampler.select(self.space, self.config.n_transfer_samples, self.rng)
+
+    def transfer(self, device: str, sample_indices: np.ndarray | None = None) -> TransferResult:
+        """Few-shot adaptation to one target device of the task."""
+        if not self._pretrained:
+            raise RuntimeError("call pretrain() before transfer()")
+        if device not in self.task.test_devices:
+            raise KeyError(f"{device!r} is not a test device of task {self.task.name}")
+        idx = sample_indices if sample_indices is not None else self._select_samples(device)
+        idx = np.asarray(idx, dtype=np.int64)
+        predictor = self._clone_pretrained()
+        init_device: str | None = None
+        if self.config.hw_init:
+            init_device = select_init_device(self.dataset, device, idx, list(self.task.train_devices))
+        predictor.add_device(device, init_from=init_device)
+        t0 = time.perf_counter()
+        finetune_on_device(
+            predictor,
+            self.dataset,
+            device,
+            idx,
+            self.rng,
+            config=self.config.finetune,
+            supplementary=self._supp,
+        )
+        finetune_seconds = time.perf_counter() - t0
+
+        test_idx = self._test_indices(exclude=idx)
+        t1 = time.perf_counter()
+        pred = predict_latency(predictor, device, test_idx, supplementary=self._supp)
+        predict_seconds = time.perf_counter() - t1
+        rho = spearman(pred, self.dataset.latency_of(device, test_idx))
+        self.last_predictor = predictor  # exposed for NAS experiments
+        return TransferResult(
+            device=device,
+            spearman=rho,
+            n_samples=len(idx),
+            init_device=init_device,
+            finetune_seconds=finetune_seconds,
+            predict_seconds=predict_seconds,
+        )
+
+    def _test_indices(self, exclude: np.ndarray) -> np.ndarray:
+        n = self.space.num_architectures()
+        n_test = min(self.config.n_test, n - len(exclude))
+        candidates = np.setdiff1d(np.arange(n), exclude)
+        return self.rng.choice(candidates, size=n_test, replace=False)
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> dict[str, TransferResult]:
+        """Pretrain once, then transfer to every test device of the task."""
+        if not self._pretrained:
+            self.pretrain()
+        return {dev: self.transfer(dev) for dev in self.task.test_devices}
+
+    # ---------------------------------------------------------- persistence
+    def save_pretrained(self, path) -> None:
+        """Persist the pretrained checkpoint (pretraining is the expensive
+        stage; adaptation to future devices can reuse it)."""
+        if not self._pretrained:
+            raise RuntimeError("nothing to save: call pretrain() first")
+        from repro.nnlib.serialization import save_checkpoint
+
+        save_checkpoint(
+            self.predictor,
+            path,
+            metadata={
+                "task": self.task.name,
+                "space": self.task.space,
+                "train_devices": list(self.task.train_devices),
+                "seed": self.seed,
+            },
+        )
+
+    def load_pretrained(self, path) -> dict:
+        """Load a pretrained checkpoint saved by :meth:`save_pretrained`.
+
+        Returns the checkpoint metadata; raises if the checkpoint's task
+        does not match this pipeline's.
+        """
+        from repro.nnlib.serialization import load_checkpoint
+
+        meta = load_checkpoint(self.predictor, path)
+        if meta.get("task") not in (None, self.task.name):
+            raise ValueError(
+                f"checkpoint was pretrained for task {meta.get('task')!r}, not {self.task.name!r}"
+            )
+        self._pretrained = True
+        self._pretrained_state = self.predictor.state_dict()
+        return meta
+
+
+def quick_config(n_transfer_samples: int = 20, **overrides) -> PipelineConfig:
+    """A CPU-friendly configuration for tests and benchmarks.
+
+    Scales down pretraining (128 samples/device, 12 epochs) while keeping
+    the full model; experiment *shapes* are preserved, wall-clock drops by
+    an order of magnitude versus the paper-scale defaults.
+    """
+    cfg = PipelineConfig(
+        n_transfer_samples=n_transfer_samples,
+        pretrain=PretrainConfig(samples_per_device=128, epochs=12, batch_size=16),
+        finetune=FinetuneConfig(epochs=30),
+        n_test=500,
+    )
+    return replace(cfg, **overrides)

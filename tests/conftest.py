@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+Heavy shared objects (spaces, latency datasets) are session-scoped; tests
+must treat them as read-only.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.dataset import LatencyDataset
+from repro.spaces import FBNetSpace, GenericCellSpace, NASBench201Space
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def nb201():
+    return NASBench201Space()
+
+
+@pytest.fixture(scope="session")
+def fbnet_small():
+    """A 400-architecture FBNet table — fast to featurize and encode."""
+    return FBNetSpace(table_size=400)
+
+
+@pytest.fixture(scope="session")
+def tiny_space():
+    """A small generic cell space for predictor/encoder unit tests."""
+    return GenericCellSpace("nb101", table_size=300)
+
+
+@pytest.fixture(scope="session")
+def nb201_dataset(nb201):
+    return LatencyDataset(nb201)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_space):
+    return LatencyDataset(tiny_space)

@@ -1,0 +1,98 @@
+"""Encoder behaviour: shapes, caching, error paths, and informativeness."""
+import numpy as np
+import pytest
+
+from repro.encodings import (
+    AdjOpEncoder,
+    Arch2VecEncoder,
+    CATEEncoder,
+    CAZEncoder,
+    ZCPEncoder,
+    get_encoding,
+)
+from repro.encodings.base import ENCODER_FACTORIES, clear_encoding_cache
+
+
+class TestAdjOp:
+    def test_shape_and_determinism(self, tiny_space):
+        enc = AdjOpEncoder().fit(tiny_space)
+        out = enc.encode([0, 1, 2])
+        assert out.shape == (3, enc.dim)
+        np.testing.assert_allclose(out, AdjOpEncoder().fit(tiny_space).encode([0, 1, 2]))
+
+    def test_encode_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AdjOpEncoder().encode([0])
+
+    def test_distinct_archs_distinct_codes(self, tiny_space):
+        enc = AdjOpEncoder().fit(tiny_space)
+        all_codes = enc.encode(np.arange(tiny_space.num_architectures()))
+        assert len(np.unique(all_codes, axis=0)) == tiny_space.num_architectures()
+
+
+class TestZCP:
+    def test_dim_is_13(self, tiny_space):
+        enc = ZCPEncoder().fit(tiny_space)
+        assert enc.dim == 13
+        assert enc.encode([0]).shape == (1, 13)
+
+
+class TestArch2Vec:
+    def test_shape(self, tiny_space):
+        enc = Arch2VecEncoder(epochs=3, train_samples=100).fit(tiny_space, seed=0)
+        out = enc.encode(np.arange(10))
+        assert out.shape == (10, 32)
+
+    def test_latent_not_collapsed(self, tiny_space):
+        enc = Arch2VecEncoder(epochs=8, train_samples=200).fit(tiny_space, seed=0)
+        out = enc.encode(np.arange(tiny_space.num_architectures()))
+        # Per-arch variation must exist (the encoder is not constant).
+        assert np.unique(out.round(6), axis=0).shape[0] > 0.5 * len(out)
+
+    def test_seed_determinism(self, tiny_space):
+        a = Arch2VecEncoder(epochs=2, train_samples=64).fit(tiny_space, seed=1).encode([0, 1])
+        b = Arch2VecEncoder(epochs=2, train_samples=64).fit(tiny_space, seed=1).encode([0, 1])
+        np.testing.assert_allclose(a, b)
+
+
+class TestCATE:
+    def test_shape(self, tiny_space):
+        enc = CATEEncoder(steps=30, train_samples=100).fit(tiny_space, seed=0)
+        assert enc.encode([0, 1]).shape == (2, 32)
+
+    def test_computationally_similar_archs_closer(self, tiny_space):
+        """CATE's defining property: FLOPs-similar archs cluster."""
+        from repro.hardware.features import compute_features
+
+        enc = CATEEncoder(steps=150, train_samples=300).fit(tiny_space, seed=0)
+        feats = compute_features(tiny_space)
+        order = np.argsort(feats.total_flops)
+        codes = enc.encode(order)
+        n = len(order)
+        # Distance between FLOPs-neighbours vs random pairs.
+        near = np.linalg.norm(codes[:-1] - codes[1:], axis=1).mean()
+        rng = np.random.default_rng(0)
+        ri, rj = rng.integers(0, n, 500), rng.integers(0, n, 500)
+        far = np.linalg.norm(codes[ri] - codes[rj], axis=1).mean()
+        assert near < far
+
+
+class TestCAZ:
+    def test_concatenates_components(self, tiny_space):
+        enc = CAZEncoder()
+        enc.fit(tiny_space, seed=0)
+        assert enc.dim == 32 + 32 + 13
+
+
+class TestCache:
+    def test_get_encoding_memoizes(self, tiny_space):
+        a = get_encoding(tiny_space, "adjop")
+        b = get_encoding(tiny_space, "adjop")
+        assert a is b
+
+    def test_unknown_encoder(self, tiny_space):
+        with pytest.raises(KeyError, match="unknown encoder"):
+            get_encoding(tiny_space, "word2vec")
+
+    def test_factories_registered(self):
+        assert {"adjop", "zcp", "arch2vec", "cate", "caz"} <= set(ENCODER_FACTORIES)

@@ -1,0 +1,33 @@
+"""Extra coverage for the multi-trial experiment runner with NaN handling."""
+import math
+
+import numpy as np
+
+from repro.eval import TrialResult, run_trials, summarize
+
+
+class TestNaNHandling:
+    def test_nan_trials_kept_visible(self):
+        """KMeans-failure NaNs must survive aggregation (paper reports NaN
+        cells rather than silently dropping them)."""
+        res = run_trials(lambda s: float("nan") if s == 0 else 0.5, n_trials=2)
+        assert any(math.isnan(v) for v in res.values)
+        assert math.isnan(res.mean)
+
+    def test_seed_spacing(self):
+        seeds = []
+        run_trials(lambda s: seeds.append(s) or 0.0, n_trials=3, base_seed=5)
+        assert seeds == [5, 1005, 2005]
+
+
+class TestSummarize:
+    def test_multiple_rows_aligned(self):
+        out = summarize(
+            {"short": TrialResult("a", [0.1]), "a-much-longer-name": TrialResult("b", [0.2])}
+        )
+        lines = out.splitlines()
+        # Means start at the same column.
+        assert lines[0].index("0.100") == lines[1].index("0.200")
+
+    def test_empty_dict(self):
+        assert summarize({}) == ""

@@ -1,0 +1,53 @@
+"""Rank metrics and the experiment runner."""
+import numpy as np
+import pytest
+
+from repro.eval import TrialResult, geometric_mean, kendall, run_trials, spearman, summarize
+
+
+class TestSpearman:
+    def test_perfect(self):
+        assert spearman([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_inverted(self):
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert spearman([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+
+class TestKendall:
+    def test_perfect(self):
+        assert kendall([1, 2, 3], [4, 5, 6]) == pytest.approx(1.0)
+
+    def test_one_swap(self):
+        assert 0 < kendall([1, 3, 2], [1, 2, 3]) < 1
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([0.25, 1.0]) == pytest.approx(0.5)
+
+    def test_clips_nonpositive(self):
+        assert geometric_mean([0.5, -1.0]) > 0
+
+
+class TestRunner:
+    def test_distinct_seeds(self):
+        seen = []
+        res = run_trials(lambda s: seen.append(s) or s, n_trials=3)
+        assert len(set(seen)) == 3
+        assert res.mean == pytest.approx(np.mean(seen))
+
+    def test_summary_format(self):
+        r = TrialResult("x", [0.5, 0.7])
+        assert "0.600" in str(r)
+        out = summarize({"row": r}, title="T")
+        assert out.startswith("T") and "row" in out
+
+    def test_empty_result_nan(self):
+        assert np.isnan(TrialResult("x").mean)

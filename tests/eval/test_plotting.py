@@ -1,0 +1,48 @@
+"""ASCII plotting utilities."""
+import numpy as np
+import pytest
+
+from repro.eval.plotting import ascii_bars, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_all_series_markers(self):
+        out = ascii_plot(
+            {
+                "a": (np.array([0, 1, 2]), np.array([1.0, 2.0, 3.0])),
+                "b": (np.array([0, 1, 2]), np.array([3.0, 2.0, 1.0])),
+            },
+            title="T",
+        )
+        assert "T" in out and "o=a" in out and "x=b" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot({"s": (np.array([0.0, 1.0]), np.array([0.0, 1.0]))}, xlabel="samples", ylabel="rho")
+        assert "x: samples" in out and "y: rho" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_plot({"s": (np.array([1.0, 2.0]), np.array([5.0, 5.0]))})
+        assert "|" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_extreme_points_on_grid_edges(self):
+        out = ascii_plot({"s": (np.array([0, 10]), np.array([0.0, 1.0]))}, width=20, height=5)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "o" in lines[0]  # max y on top row
+        assert "o" in lines[-1]  # min y on bottom row
+
+
+class TestAsciiBars:
+    def test_proportional(self):
+        out = ascii_bars({"a": 1.0, "b": 0.5})
+        a_len = out.splitlines()[0].count("#")
+        b_len = out.splitlines()[1].count("#")
+        assert a_len == 2 * b_len
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})

@@ -1,0 +1,49 @@
+"""Latency tables."""
+import numpy as np
+import pytest
+
+from repro.hardware.dataset import LatencyDataset
+
+
+class TestTable:
+    def test_full_vector_length(self, nb201_dataset):
+        lat = nb201_dataset.latencies("pixel3")
+        assert len(lat) == 15625
+
+    def test_frozen_across_instances(self, nb201):
+        a = LatencyDataset(nb201).latencies("pixel3")
+        b = LatencyDataset(nb201).latencies("pixel3")
+        np.testing.assert_allclose(a, b)
+
+    def test_latency_of_indexing(self, nb201_dataset):
+        idx = np.array([5, 10, 20])
+        np.testing.assert_allclose(
+            nb201_dataset.latency_of("fpga", idx), nb201_dataset.latencies("fpga")[idx]
+        )
+
+    def test_matrix_shape(self, nb201_dataset):
+        mat = nb201_dataset.matrix(["pixel3", "fpga"])
+        assert mat.shape == (15625, 2)
+
+    def test_positive(self, nb201_dataset):
+        assert (nb201_dataset.latencies("edge_tpu_int8") > 0).all()
+
+
+class TestCorrelations:
+    def test_matrix_symmetric_unit_diag(self, nb201_dataset):
+        devs = ["pixel3", "fpga", "1080ti_1"]
+        c = nb201_dataset.correlation_matrix(devs, sample=500)
+        np.testing.assert_allclose(c, c.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(c), np.ones(3))
+
+    def test_same_family_high_cross_family_spread(self, nb201_dataset):
+        devs = ["1080ti_1", "titanxp_1", "edge_tpu_int8"]
+        c = nb201_dataset.correlation_matrix(devs, sample=1000)
+        assert c[0, 1] > 0.9  # sibling desktop GPUs
+        assert c[0, 2] < 0.5  # GPU vs edge TPU: weak, as in paper Table 21
+
+    def test_sample_determinism(self, nb201_dataset):
+        devs = ["pixel3", "fpga"]
+        a = nb201_dataset.correlation_matrix(devs, sample=500, seed=3)
+        b = nb201_dataset.correlation_matrix(devs, sample=500, seed=3)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,89 @@
+"""Device cost-model behaviour."""
+import numpy as np
+import pytest
+
+from repro.hardware.device import FAMILY_ARCHETYPES, DeviceModel
+from repro.hardware.features import compute_features
+
+
+@pytest.fixture(scope="module")
+def nb201_module():
+    from repro.spaces import NASBench201Space
+
+    return NASBench201Space()
+
+
+@pytest.fixture(scope="module")
+def nb_feats(nb201_module):
+    return compute_features(nb201_module)
+
+
+class TestLatency:
+    def test_positive(self, nb_feats):
+        for fam, dev in FAMILY_ARCHETYPES.items():
+            lat = dev.latency(nb_feats)
+            assert (lat > 0).all(), fam
+
+    def test_noise_frozen_by_seed(self, nb_feats):
+        dev = FAMILY_ARCHETYPES["mobile_cpu"]
+        a = dev.latency(nb_feats, noise_seed=1)
+        b = dev.latency(nb_feats, noise_seed=1)
+        c = dev.latency(nb_feats, noise_seed=2)
+        np.testing.assert_allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_batch_amortizes_dispatch(self, nb_feats):
+        gpu = FAMILY_ARCHETYPES["desktop_gpu"]
+        lat1 = gpu.with_batch(1).latency(nb_feats)
+        lat256 = gpu.with_batch(256).latency(nb_feats)
+        # Per-image latency falls dramatically with batch.
+        assert lat256.mean() < lat1.mean() / 3
+
+    def test_batch_changes_ranking(self, nb_feats):
+        from scipy import stats
+
+        gpu = FAMILY_ARCHETYPES["desktop_gpu"].perturbed("testchip")
+        lat1 = gpu.with_batch(1).latency(nb_feats)
+        lat256 = gpu.with_batch(256).latency(nb_feats)
+        rho = stats.spearmanr(lat1[:2000], lat256[:2000]).statistic
+        assert 0.5 < rho < 0.995  # correlated but not identical ranks
+
+    def test_more_flops_more_latency_on_cpu(self, nb_feats, nb201_module):
+        cpu = FAMILY_ARCHETYPES["mobile_cpu"]
+        lat = cpu.latency(nb_feats)
+        dense = nb201_module.index_from_spec(tuple([3] * 6))
+        empty = nb201_module.index_from_spec(tuple([0] * 6))
+        assert lat[dense] > lat[empty]
+
+    def test_edge_tpu_pools_expensive(self, nb_feats, nb201_module):
+        tpu = FAMILY_ARCHETYPES["embedded_tpu"]
+        lat = tpu.latency(nb_feats)
+        pools = nb201_module.index_from_spec(tuple([4] * 6))  # all avg_pool
+        convs = nb201_module.index_from_spec(tuple([3] * 6))  # all conv3x3
+        assert lat[pools] > lat[convs]
+
+
+class TestPerturbed:
+    def test_deterministic(self):
+        base = FAMILY_ARCHETYPES["mobile_cpu"]
+        a = base.perturbed("devX")
+        b = base.perturbed("devX")
+        assert a.compute_rate == b.compute_rate
+
+    def test_distinct_devices_differ(self):
+        base = FAMILY_ARCHETYPES["mobile_cpu"]
+        assert base.perturbed("devX").compute_rate != base.perturbed("devY").compute_rate
+
+    def test_quirk_key_set(self):
+        dev = FAMILY_ARCHETYPES["mobile_cpu"].perturbed("devX")
+        assert dev.quirk_key == "devX"
+
+    def test_batch_variants_share_quirk_key(self):
+        chip = FAMILY_ARCHETYPES["desktop_gpu"].perturbed("chipZ")
+        b1, b32 = chip.with_batch(1), chip.with_batch(32)
+        assert b1.quirk_key == b32.quirk_key == "chipZ"
+        assert b1.name != b32.name
+
+    def test_family_preserved(self):
+        dev = FAMILY_ARCHETYPES["fpga"].perturbed("fpga2")
+        assert dev.family == "fpga"

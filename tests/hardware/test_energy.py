@@ -1,0 +1,55 @@
+"""Energy model: per-inference energy tables."""
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.hardware.device import FAMILY_ARCHETYPES, FAMILY_POWER
+from repro.hardware.features import compute_features
+
+
+@pytest.fixture(scope="module")
+def nb_feats():
+    from repro.spaces import NASBench201Space
+
+    return compute_features(NASBench201Space())
+
+
+class TestEnergyModel:
+    def test_positive(self, nb_feats):
+        for fam, dev in FAMILY_ARCHETYPES.items():
+            assert (dev.energy(nb_feats) > 0).all(), fam
+
+    def test_all_families_have_power_profiles(self):
+        assert set(FAMILY_POWER) == set(FAMILY_ARCHETYPES)
+
+    def test_correlates_with_latency_but_not_identical(self, nb_feats):
+        dev = FAMILY_ARCHETYPES["mobile_cpu"].perturbed("edev")
+        lat = dev.latency(nb_feats)[:3000]
+        eng = dev.energy(nb_feats)[:3000]
+        rho = stats.spearmanr(lat, eng).statistic
+        assert rho > 0.8  # HW-NAS-Bench-like: strongly coupled
+        assert not np.allclose(np.argsort(lat), np.argsort(eng))  # but not equal ranks
+
+    def test_mobile_less_energy_than_desktop(self, nb_feats):
+        gpu = FAMILY_ARCHETYPES["desktop_gpu"].energy(nb_feats).mean()
+        phone = FAMILY_ARCHETYPES["mobile_cpu"].energy(nb_feats).mean()
+        # Desktop GPUs are faster but burn vastly more power per inference.
+        assert gpu > phone
+
+    def test_noise_frozen(self, nb_feats):
+        dev = FAMILY_ARCHETYPES["asic"]
+        np.testing.assert_allclose(dev.energy(nb_feats, noise_seed=4), dev.energy(nb_feats, noise_seed=4))
+
+
+class TestDatasetEnergy:
+    def test_energy_table_cached_and_indexed(self, nb201_dataset):
+        a = nb201_dataset.energies("pixel3")
+        b = nb201_dataset.energies("pixel3")
+        assert a is b
+        idx = np.array([1, 2, 3])
+        np.testing.assert_allclose(nb201_dataset.energy_of("pixel3", idx), a[idx])
+
+    def test_energy_differs_from_latency_cache(self, nb201_dataset):
+        eng = nb201_dataset.energies("fpga")
+        lat = nb201_dataset.latencies("fpga")
+        assert not np.allclose(eng, lat)

@@ -1,0 +1,52 @@
+"""Architecture feature extraction."""
+import numpy as np
+import pytest
+
+from repro.hardware.features import OP_CLASSES, ArchFeatures, compute_features, op_class
+
+
+class TestOpClassMap:
+    def test_known_ops(self):
+        assert op_class("nor_conv_3x3") == "conv"
+        assert op_class("k5_e6") == "depthwise"
+        assert op_class("skip_connect") == "skip"
+        assert op_class("input") == "fixed"
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError, match="extend"):
+            op_class("warp_drive_conv")
+
+
+class TestComputeFeatures:
+    def test_shapes(self, tiny_space):
+        f = compute_features(tiny_space)
+        n = tiny_space.num_architectures()
+        assert f.flops.shape == (n, len(OP_CLASSES))
+        assert f.depth.shape == (n,)
+        assert len(f) == n
+
+    def test_totals_consistent(self, tiny_space):
+        f = compute_features(tiny_space)
+        np.testing.assert_allclose(f.total_flops, f.flops.sum(axis=1))
+        np.testing.assert_allclose(f.total_mem, f.mem.sum(axis=1))
+
+    def test_memoized(self, tiny_space):
+        assert compute_features(tiny_space) is compute_features(tiny_space)
+
+    def test_nb201_dead_arch_features(self, nb201):
+        f = compute_features(nb201)
+        all_none = nb201.index_from_spec(tuple([0] * 6))
+        assert f.n_active[all_none] == 0
+        assert f.total_flops[all_none] == pytest.approx(
+            f.flops[all_none, OP_CLASSES.index("fixed")]
+        )
+
+    def test_nb201_depth_bounds(self, nb201):
+        f = compute_features(nb201)
+        assert f.depth.max() <= 3  # longest cell path: 0->1->2->3
+        assert f.depth.min() >= 0
+
+    def test_nonnegative(self, nb201):
+        f = compute_features(nb201)
+        for arr in (f.flops, f.mem, f.counts, f.total_params):
+            assert (arr >= 0).all()

@@ -1,0 +1,65 @@
+"""Device registry: paper roster coverage."""
+import pytest
+
+from repro.hardware.registry import (
+    DEVICE_REGISTRY,
+    devices_for_space,
+    get_device,
+    list_devices,
+    measure_seconds,
+)
+
+
+class TestRoster:
+    def test_gpu_batch_variants_exist(self):
+        for chip in ("1080ti", "2080ti", "titan_rtx", "titanx", "titanxp"):
+            for batch in (1, 32, 64, 256):
+                assert f"{chip}_{batch}" in DEVICE_REGISTRY
+
+    def test_hwnasbench_devices_exist(self):
+        for name in ("gold_6226", "pixel2", "fpga", "raspi4", "eyeriss", "samsung_s7"):
+            assert name in DEVICE_REGISTRY
+
+    def test_eagle_devices_exist(self):
+        for name in (
+            "edge_tpu_int8",
+            "jetson_nano_fp16",
+            "snapdragon_855_hexagon_690_int8",
+            "core_i7_7820x_fp32",
+        ):
+            assert name in DEVICE_REGISTRY
+
+    def test_batch_variants_share_chip_model(self):
+        b1 = get_device("1080ti_1")
+        b256 = get_device("1080ti_256")
+        assert b1.compute_rate == b256.compute_rate
+        assert b1.batch_size == 1 and b256.batch_size == 256
+
+
+class TestLookup:
+    def test_unknown_device_suggests(self):
+        with pytest.raises(KeyError, match="similar"):
+            get_device("1080ti_batch1")
+
+    def test_list_sorted(self):
+        devices = list_devices()
+        assert devices == sorted(devices)
+
+
+class TestSpaceFilter:
+    def test_nb201_gets_everything(self):
+        assert set(devices_for_space("nasbench201")) == set(list_devices())
+
+    def test_fbnet_excludes_eagle(self):
+        fb = set(devices_for_space("fbnet"))
+        assert "edge_tpu_int8" not in fb
+        assert "jetson_nano_fp16" not in fb
+        assert "1080ti_64" in fb and "eyeriss" in fb
+
+
+class TestMeasureSeconds:
+    def test_edge_devices_slower_to_measure(self):
+        assert measure_seconds("fpga") > measure_seconds("1080ti_1")
+
+    def test_positive(self):
+        assert all(measure_seconds(d) > 0 for d in list_devices())

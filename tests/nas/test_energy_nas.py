@@ -1,0 +1,28 @@
+"""Energy/latency co-optimization sanity (the paper's motivating setting)."""
+import numpy as np
+import pytest
+
+from repro.nas import accuracy_table, pareto_front
+
+
+class TestEnergyLatencyFronts:
+    def test_fronts_differ_between_objectives(self, nb201_dataset):
+        acc = accuracy_table(nb201_dataset.space)
+        rng = np.random.default_rng(0)
+        pool = rng.choice(15625, 1500, replace=False)
+        lat = nb201_dataset.latency_of("pixel3", pool)
+        eng = nb201_dataset.energy_of("pixel3", pool)
+        lat_front = set(pool[pareto_front(lat, acc[pool])].tolist())
+        eng_front = set(pool[pareto_front(eng, acc[pool])].tolist())
+        # Correlated objectives -> overlapping but not identical fronts.
+        assert lat_front != eng_front
+        assert lat_front & eng_front
+
+    def test_joint_budget_feasible_on_real_devices(self, nb201_dataset):
+        rng = np.random.default_rng(1)
+        pool = rng.choice(15625, 1000, replace=False)
+        for device in ("pixel3", "eyeriss"):
+            lat = nb201_dataset.latency_of(device, pool)
+            eng = nb201_dataset.energy_of(device, pool)
+            feasible = (lat <= np.quantile(lat, 0.3)) & (eng <= np.quantile(eng, 0.3))
+            assert feasible.any(), device

@@ -1,0 +1,121 @@
+"""NAS components: accuracy surrogate, generator, search, Pareto."""
+import numpy as np
+import pytest
+
+from repro.nas import (
+    MetaD2ASimulator,
+    accuracy_table,
+    latency_constrained_search,
+    pareto_front,
+)
+from repro.nas.pareto import dominates_fraction
+from repro.nas.search import calibrate_to_ms
+
+
+class TestAccuracySurrogate:
+    def test_deterministic(self, nb201):
+        np.testing.assert_allclose(accuracy_table(nb201), accuracy_table(nb201))
+
+    def test_range(self, nb201):
+        acc = accuracy_table(nb201)
+        assert acc.min() >= 1.0 and acc.max() <= 77.0
+
+    def test_dense_beats_empty(self, nb201):
+        acc = accuracy_table(nb201)
+        dense = nb201.index_from_spec(tuple([3] * 6))
+        empty = nb201.index_from_spec(tuple([0] * 6))
+        assert acc[dense] > acc[empty] + 10
+
+    def test_dead_archs_near_floor(self, nb201):
+        from repro.hardware.features import compute_features
+
+        acc = accuracy_table(nb201)
+        feats = compute_features(nb201)
+        dead = feats.n_active == 0
+        assert acc[dead].mean() < acc[~dead].mean() - 10
+
+
+class TestMetaD2A:
+    def test_candidates_biased_to_high_accuracy(self, nb201, rng):
+        gen = MetaD2ASimulator(nb201)
+        cand = gen.candidates(100, rng)
+        acc = accuracy_table(nb201)
+        assert acc[cand].mean() > np.median(acc) + 1.0
+
+    def test_candidate_count_and_uniqueness(self, nb201, rng):
+        cand = MetaD2ASimulator(nb201).candidates(50, rng)
+        assert len(cand) == 50 and len(np.unique(cand)) == 50
+
+    def test_invalid_n(self, nb201, rng):
+        with pytest.raises(ValueError):
+            MetaD2ASimulator(nb201).candidates(0, rng)
+
+
+class TestCalibration:
+    def test_monotone_map(self):
+        scores = np.array([0.0, 1.0, 2.0])
+        measured_scores = np.array([0.0, 1.0, 2.0, 3.0])
+        measured_ms = np.exp(np.array([1.0, 2.0, 3.0, 4.0]))
+        ms = calibrate_to_ms(scores, measured_scores, measured_ms)
+        assert (np.diff(ms) > 0).all()
+        np.testing.assert_allclose(ms, np.exp([1.0, 2.0, 3.0]), rtol=1e-6)
+
+    def test_negative_slope_falls_back(self):
+        scores = np.array([0.0, 1.0])
+        ms = calibrate_to_ms(scores, np.array([2.0, 1.0]), np.array([1.0, 10.0]))
+        assert ms[0] == pytest.approx(ms[1])  # constant fallback
+
+
+class TestSearch:
+    def test_constraint_steering(self, nb201_dataset, rng):
+        """Tighter constraints must produce faster chosen architectures."""
+        space = nb201_dataset.space
+        gen = MetaD2ASimulator(space)
+        device = "pixel3"
+        lat = nb201_dataset.latencies(device)
+        scorer = lambda idx: np.log(lat[np.asarray(idx, dtype=np.int64)])  # oracle scorer
+        measured = rng.choice(15625, 20, replace=False)
+        tight = latency_constrained_search(
+            nb201_dataset, device, float(np.quantile(lat, 0.15)), gen, scorer, measured, rng, 1.0
+        )
+        loose = latency_constrained_search(
+            nb201_dataset, device, float(np.quantile(lat, 0.9)), gen, scorer, measured, rng, 1.0
+        )
+        assert tight.latency_ms <= loose.latency_ms
+        assert loose.accuracy >= tight.accuracy - 1.0  # looser budget, better archs
+
+    def test_cost_accounting(self, nb201_dataset, rng):
+        space = nb201_dataset.space
+        gen = MetaD2ASimulator(space)
+        lat = nb201_dataset.latencies("fpga")
+        scorer = lambda idx: np.log(lat[np.asarray(idx, dtype=np.int64)])
+        measured = rng.choice(15625, 20, replace=False)
+        res = latency_constrained_search(
+            nb201_dataset, "fpga", 10.0, gen, scorer, measured, rng, build_seconds=2.5
+        )
+        assert res.cost.n_samples == 20
+        assert res.cost.sample_seconds == pytest.approx(20 * 3.0)  # fpga measure cost
+        assert res.cost.build_seconds == 2.5
+        assert res.cost.total_seconds > res.cost.sample_seconds
+
+
+class TestPareto:
+    def test_front_members_undominated(self):
+        lat = np.array([1.0, 2.0, 3.0, 4.0])
+        acc = np.array([60.0, 70.0, 65.0, 72.0])
+        front = pareto_front(lat, acc)
+        np.testing.assert_array_equal(front, [0, 1, 3])
+
+    def test_duplicate_latencies(self):
+        front = pareto_front(np.array([1.0, 1.0, 2.0]), np.array([60.0, 65.0, 64.0]))
+        assert 1 in front and 2 not in front
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto_front(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_dominates_fraction(self):
+        lat_a, acc_a = np.array([1.0, 2.0]), np.array([70.0, 75.0])
+        lat_b, acc_b = np.array([1.5, 2.5]), np.array([65.0, 70.0])
+        assert dominates_fraction(lat_a, acc_a, lat_b, acc_b) == 1.0
+        assert dominates_fraction(lat_b, acc_b, lat_a, acc_a) == 0.0

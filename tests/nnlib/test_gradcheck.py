@@ -1,0 +1,141 @@
+"""Finite-difference gradient checks for every differentiable op.
+
+Central differences with float64 give ~1e-7 accuracy; tolerances are set
+accordingly.  This is the ground-truth test for the autodiff engine all
+predictors are built on.
+"""
+import numpy as np
+import pytest
+
+from repro.nnlib import Tensor, concat, stack
+
+EPS = 1e-6
+RTOL = 1e-4
+ATOL = 1e-6
+
+
+def numeric_grad(fn, x: np.ndarray) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        hi = fn(x)
+        flat[i] = orig - EPS
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * EPS)
+    return grad
+
+
+def check(build, x: np.ndarray):
+    """``build`` maps a Tensor to a Tensor; compares autodiff vs numeric."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t)
+    out.sum().backward()
+    num = numeric_grad(lambda arr: build(Tensor(arr)).sum().item(), x.copy())
+    np.testing.assert_allclose(t.grad, num, rtol=RTOL, atol=ATOL)
+
+
+RNG = np.random.default_rng(42)
+X23 = RNG.normal(size=(2, 3))
+XPOS = np.abs(RNG.normal(size=(2, 3))) + 0.5
+
+
+@pytest.mark.parametrize(
+    "build,x",
+    [
+        (lambda t: t + Tensor(X23 * 2), X23),
+        (lambda t: t * Tensor(X23 + 2), X23),
+        (lambda t: t / Tensor(XPOS), X23),
+        (lambda t: Tensor(X23) / t, XPOS),
+        (lambda t: t**3, X23),
+        (lambda t: t.exp(), X23),
+        (lambda t: t.log(), XPOS),
+        (lambda t: t.sqrt(), XPOS),
+        (lambda t: t.abs(), XPOS),  # away from the kink
+        (lambda t: t.tanh(), X23),
+        (lambda t: t.sigmoid(), X23),
+        (lambda t: t.relu() * Tensor(X23), XPOS),
+        (lambda t: t.leaky_relu(0.1) * Tensor(X23), XPOS),
+        (lambda t: t.clip_min(0.0) * Tensor(X23), XPOS),
+        (lambda t: t.softmax(axis=-1) * Tensor(X23), X23),
+        (lambda t: t.log_softmax(axis=-1) * Tensor(X23), X23),
+        (lambda t: t.sum(axis=0), X23),
+        (lambda t: t.mean(axis=1) * Tensor(np.arange(2.0) + 1), X23),
+        (lambda t: t.reshape(3, 2) * Tensor(np.arange(6.0).reshape(3, 2)), X23),
+        (lambda t: t.transpose() * Tensor(np.arange(6.0).reshape(3, 2)), X23),
+        (lambda t: t[0] * Tensor(np.arange(3.0)), X23),
+        (lambda t: t.gather_rows(np.array([0, 1, 1])) * Tensor(np.ones((3, 3))), X23),
+    ],
+)
+def test_unary_ops(build, x):
+    check(build, x)
+
+
+def test_max_gradient():
+    # No ties so the subgradient is unique.
+    x = np.array([[1.0, 5.0, 2.0], [7.0, 3.0, 4.0]])
+    check(lambda t: t.max(axis=1) * Tensor(np.array([2.0, 3.0])), x)
+
+
+def test_matmul_grads_both_sides():
+    a = RNG.normal(size=(3, 4))
+    b = RNG.normal(size=(4, 2))
+    check(lambda t: t @ Tensor(b), a)
+    check(lambda t: Tensor(a) @ t, b)
+
+
+def test_matmul_batched_grads():
+    a = RNG.normal(size=(2, 3, 4))
+    b = RNG.normal(size=(2, 4, 2))
+    check(lambda t: t @ Tensor(b), a)
+    check(lambda t: Tensor(a) @ t, b)
+
+
+def test_matmul_broadcast_weight_grad():
+    a = RNG.normal(size=(2, 3, 4))
+    w = RNG.normal(size=(4, 2))
+    check(lambda t: Tensor(a) @ t, w)
+    check(lambda t: t @ Tensor(w), a)
+
+
+def test_broadcast_add_grad():
+    bias = RNG.normal(size=(3,))
+    check(lambda t: Tensor(X23) * (Tensor(X23) + t), bias)
+
+
+def test_concat_grad():
+    a = RNG.normal(size=(2, 2))
+    check(lambda t: concat([t, Tensor(X23)], axis=1) * Tensor(np.ones((2, 5))), a)
+
+
+def test_stack_grad():
+    a = RNG.normal(size=(3,))
+    check(lambda t: stack([t, Tensor(np.ones(3))], axis=0) * Tensor(np.arange(6.0).reshape(2, 3)), a)
+
+
+def test_mlp_end_to_end_gradcheck():
+    """Composite check through Linear+activation+reduction."""
+    from repro.nnlib import MLP, mse_loss
+
+    rng = np.random.default_rng(0)
+    model = MLP(3, [5], 1, rng, activation="tanh")
+    x = rng.normal(size=(4, 3))
+    y = rng.normal(size=4)
+    loss = mse_loss(model(Tensor(x)).reshape(-1), y)
+    loss.backward()
+    for name, p in model.named_parameters():
+        analytic = p.grad.copy()
+        num = np.zeros_like(p.data)
+        flat, nflat = p.data.reshape(-1), num.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + EPS
+            hi = mse_loss(model(Tensor(x)).reshape(-1), y).item()
+            flat[i] = orig - EPS
+            lo = mse_loss(model(Tensor(x)).reshape(-1), y).item()
+            flat[i] = orig
+            nflat[i] = (hi - lo) / (2 * EPS)
+        np.testing.assert_allclose(analytic, num, rtol=1e-4, atol=1e-6, err_msg=name)

@@ -1,0 +1,104 @@
+"""Loss-function semantics."""
+import numpy as np
+import pytest
+
+from repro.nnlib import (
+    Tensor,
+    bce_with_logits_loss,
+    cross_entropy_loss,
+    gaussian_kl_loss,
+    l1_loss,
+    mse_loss,
+    pairwise_hinge_loss,
+)
+
+
+class TestMSEAndL1:
+    def test_mse_zero_at_target(self):
+        p = Tensor([1.0, 2.0])
+        assert mse_loss(p, np.array([1.0, 2.0])).item() == 0.0
+
+    def test_mse_value(self):
+        assert mse_loss(Tensor([0.0, 0.0]), np.array([1.0, 3.0])).item() == pytest.approx(5.0)
+
+    def test_l1_value(self):
+        assert l1_loss(Tensor([0.0, 0.0]), np.array([1.0, -3.0])).item() == pytest.approx(2.0)
+
+
+class TestBCE:
+    def test_matches_reference(self):
+        logits = np.array([-2.0, 0.0, 3.0])
+        targets = np.array([0.0, 1.0, 1.0])
+        ref = -(targets * np.log(1 / (1 + np.exp(-logits))) + (1 - targets) * np.log(1 - 1 / (1 + np.exp(-logits))))
+        got = bce_with_logits_loss(Tensor(logits), targets).item()
+        assert got == pytest.approx(ref.mean(), rel=1e-9)
+
+    def test_extreme_logits_finite(self):
+        loss = bce_with_logits_loss(Tensor([1000.0, -1000.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestPairwiseHinge:
+    def test_zero_when_well_separated(self):
+        pred = Tensor([0.0, 1.0, 2.0])
+        target = np.array([0.0, 1.0, 2.0])
+        assert pairwise_hinge_loss(pred, target, margin=0.1).item() == 0.0
+
+    def test_penalizes_inversions(self):
+        good = pairwise_hinge_loss(Tensor([0.0, 1.0]), np.array([0.0, 1.0])).item()
+        bad = pairwise_hinge_loss(Tensor([1.0, 0.0]), np.array([0.0, 1.0])).item()
+        assert bad > good
+
+    def test_single_sample_is_zero(self):
+        loss = pairwise_hinge_loss(Tensor([5.0], requires_grad=True), np.array([1.0]))
+        assert loss.item() == 0.0
+        loss.backward()  # should not crash
+
+    def test_all_equal_targets_zero(self):
+        loss = pairwise_hinge_loss(Tensor([1.0, 2.0], requires_grad=True), np.array([3.0, 3.0]))
+        assert loss.item() == 0.0
+
+    def test_margin_effect(self):
+        pred = Tensor([0.0, 0.05])
+        target = np.array([0.0, 1.0])
+        small = pairwise_hinge_loss(pred, target, margin=0.01).item()
+        large = pairwise_hinge_loss(pred, target, margin=1.0).item()
+        assert large > small
+
+    def test_gradient_flows(self):
+        pred = Tensor([1.0, 0.0], requires_grad=True)
+        pairwise_hinge_loss(pred, np.array([0.0, 1.0])).backward()
+        assert pred.grad is not None and np.any(pred.grad != 0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        assert cross_entropy_loss(logits, np.array([0, 1])).item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_logits(self):
+        logits = Tensor(np.zeros((2, 4)))
+        assert cross_entropy_loss(logits, np.array([0, 3])).item() == pytest.approx(np.log(4))
+
+    def test_mask_selects_positions(self):
+        logits = Tensor(np.zeros((1, 2, 4)))
+        targets = np.array([[0, 3]])
+        mask = np.array([[True, False]])
+        assert cross_entropy_loss(logits, targets, mask=mask).item() == pytest.approx(np.log(4))
+
+    def test_empty_mask_no_nan(self):
+        logits = Tensor(np.zeros((1, 2, 4)), requires_grad=True)
+        loss = cross_entropy_loss(logits, np.array([[0, 1]]), mask=np.zeros((1, 2), dtype=bool))
+        assert loss.item() == 0.0
+
+
+class TestGaussianKL:
+    def test_standard_normal_is_zero(self):
+        mu = Tensor(np.zeros((3, 4)))
+        logvar = Tensor(np.zeros((3, 4)))
+        assert gaussian_kl_loss(mu, logvar).item() == pytest.approx(0.0)
+
+    def test_positive_otherwise(self):
+        mu = Tensor(np.ones((3, 4)))
+        logvar = Tensor(np.full((3, 4), -1.0))
+        assert gaussian_kl_loss(mu, logvar).item() > 0

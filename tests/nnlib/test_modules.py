@@ -1,0 +1,179 @@
+"""Module system: registration, modes, state dicts, layer behaviour."""
+import numpy as np
+import pytest
+
+from repro.nnlib import (
+    MLP,
+    Adam,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(4, 7, rng)
+        out = layer(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 7, rng, bias=False)
+        assert layer.bias is None
+        np.testing.assert_allclose(layer(Tensor(np.zeros((2, 4)))).numpy(), np.zeros((2, 7)))
+
+    def test_batched_3d_input(self, rng):
+        layer = Linear(4, 7, rng)
+        out = layer(Tensor(np.ones((2, 5, 4))))
+        assert out.shape == (2, 5, 7)
+
+
+class TestMLP:
+    def test_depth_and_output(self, rng):
+        m = MLP(4, [8, 8], 2, rng)
+        assert m(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_unknown_activation(self, rng):
+        with pytest.raises(ValueError, match="unknown activation"):
+            MLP(4, [8], 1, rng, activation="swishh")
+
+    def test_no_hidden_layers(self, rng):
+        m = MLP(4, [], 2, rng)
+        assert m(Tensor(np.ones((1, 4)))).shape == (1, 2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 6, rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_out_of_range(self, rng):
+        emb = Embedding(10, 6, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_accumulates_per_row(self, rng):
+        emb = Embedding(5, 3, rng)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], 2 * np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[2], np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        ln = LayerNorm(8)
+        x = rng.normal(3.0, 5.0, size=(4, 8))
+        out = ln(Tensor(x)).numpy()
+        np.testing.assert_allclose(out.mean(-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.std(-1), np.ones(4), atol=1e-3)
+
+    def test_affine_params_learnable(self, rng):
+        ln = LayerNorm(4)
+        assert {"gamma", "beta"} <= {n.split(".")[-1] for n, _ in ln.named_parameters()}
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        d = Dropout(0.5, rng)
+        d.eval()
+        x = np.ones((4, 4))
+        np.testing.assert_allclose(d(Tensor(x)).numpy(), x)
+
+    def test_train_scales(self, rng):
+        d = Dropout(0.5, rng)
+        out = d(Tensor(np.ones((100, 100)))).numpy()
+        # Inverted dropout preserves the mean.
+        assert abs(out.mean() - 1.0) < 0.05
+        assert set(np.unique(out)) <= {0.0, 2.0}
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestModuleSystem:
+    def test_named_parameters_nested(self, rng):
+        m = MLP(2, [3], 1, rng)
+        names = [n for n, _ in m.named_parameters()]
+        assert len(names) == 4  # two Linears x (weight, bias)
+        assert all("net.layers" in n for n in names)
+
+    def test_parameters_in_list_attribute(self, rng):
+        class WithList(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+        assert len(WithList().parameters()) == 4
+
+    def test_state_dict_roundtrip(self, rng):
+        m1 = MLP(3, [4], 1, rng)
+        m2 = MLP(3, [4], 1, np.random.default_rng(99))
+        m2.load_state_dict(m1.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(m1(x).numpy(), m2(x).numpy())
+
+    def test_state_dict_mismatch_raises(self, rng):
+        m1 = MLP(3, [4], 1, rng)
+        state = m1.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            m1.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        m1 = MLP(3, [4], 1, rng)
+        state = m1.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            m1.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        m = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        m.eval()
+        assert not m[1].training
+        m.train()
+        assert m[1].training
+
+    def test_zero_grad(self, rng):
+        m = Linear(2, 2, rng)
+        m(Tensor(np.ones((1, 2)))).sum().backward()
+        assert m.weight.grad is not None
+        m.zero_grad()
+        assert m.weight.grad is None
+
+    def test_num_parameters(self, rng):
+        m = Linear(3, 4, rng)
+        assert m.num_parameters() == 3 * 4 + 4
+
+    def test_optimizer_trains_to_target(self, rng):
+        m = MLP(2, [16], 1, rng)
+        opt = Adam(m.parameters(), lr=1e-2)
+        x = rng.normal(size=(64, 2))
+        y = x[:, 0] * x[:, 1]
+        from repro.nnlib import mse_loss
+
+        first = None
+        for _ in range(150):
+            opt.zero_grad()
+            loss = mse_loss(m(Tensor(x)).reshape(-1), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.2

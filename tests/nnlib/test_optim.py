@@ -1,0 +1,85 @@
+"""Optimizers: convergence, hyperparameter plumbing, edge cases."""
+import numpy as np
+import pytest
+
+from repro.nnlib import SGD, Adam, Parameter, Tensor, mse_loss
+
+
+def quadratic_step(opt, p, target=3.0):
+    opt.zero_grad()
+    loss = (p - target) * (p - target)
+    loss.sum().backward()
+    opt.step()
+    return loss.sum().item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_step(opt, p)
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-3)
+
+    def test_momentum_faster_than_plain(self):
+        def run(momentum):
+            p = Parameter(np.array([0.0]))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                last = quadratic_step(opt, p)
+            return last
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * Tensor([0.0])).sum().backward()
+        opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            quadratic_step(opt, p)
+        np.testing.assert_allclose(p.data, [3.0], atol=1e-2)
+
+    def test_skips_params_without_grad(self):
+        p1, p2 = Parameter(np.array([1.0])), Parameter(np.array([1.0]))
+        opt = Adam([p1, p2], lr=0.1)
+        (p1 * p1).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p2.data, [1.0])
+        assert p1.data[0] != 1.0
+
+    def test_set_lr(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=0.1)
+        opt.set_lr(0.5)
+        assert opt.lr == 0.5
+        with pytest.raises(ValueError):
+            opt.set_lr(-1.0)
+
+    def test_reset_state(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        quadratic_step(opt, p)
+        assert opt._t == 1
+        opt.reset_state()
+        assert opt._t == 0
+        assert np.all(opt._m[0] == 0) and np.all(opt._v[0] == 0)
+
+    def test_decoupled_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        opt = Adam([p], lr=0.01, weight_decay=0.1)
+        opt.zero_grad()
+        (p * Tensor([0.0])).sum().backward()
+        opt.step()
+        assert p.data[0] < 2.0

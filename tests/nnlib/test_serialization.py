@@ -1,0 +1,51 @@
+"""Checkpoint save/load round trips."""
+import numpy as np
+import pytest
+
+from repro.nnlib import MLP, Tensor
+from repro.nnlib.serialization import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture
+def model():
+    return MLP(4, [8], 2, np.random.default_rng(0))
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_outputs(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path, metadata={"task": "N1", "epochs": 10})
+        other = MLP(4, [8], 2, np.random.default_rng(99))
+        meta = load_checkpoint(other, path)
+        assert meta == {"task": "N1", "epochs": 10}
+        x = Tensor(np.ones((3, 4)))
+        np.testing.assert_allclose(model(x).numpy(), other(x).numpy())
+
+    def test_no_metadata(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        assert load_checkpoint(model, path) == {}
+
+    def test_mismatched_model_raises(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        wrong = MLP(4, [16], 2, np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(wrong, path)
+
+    def test_creates_parent_dirs(self, model, tmp_path):
+        path = tmp_path / "deep" / "nested" / "ckpt.npz"
+        save_checkpoint(model, path)
+        assert path.exists()
+
+    def test_nasflat_checkpoint(self, tmp_path, tiny_space, rng):
+        from repro.predictors import NASFLATConfig, NASFLATPredictor
+
+        cfg = NASFLATConfig(op_emb_dim=8, node_emb_dim=8, hw_emb_dim=8, gnn_dims=(16,), ophw_gnn_dims=(16,), ophw_mlp_dims=(16,), head_dims=(16,))
+        model = NASFLATPredictor(tiny_space, ["a", "b"], rng, config=cfg)
+        path = tmp_path / "nasflat.npz"
+        save_checkpoint(model, path, metadata={"devices": model.devices})
+        clone = NASFLATPredictor(tiny_space, ["a", "b"], np.random.default_rng(5), config=cfg)
+        meta = load_checkpoint(clone, path)
+        assert meta["devices"] == ["a", "b"]
+        np.testing.assert_allclose(clone.hw_emb.weight.data, model.hw_emb.weight.data)

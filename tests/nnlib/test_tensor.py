@@ -1,0 +1,170 @@
+"""Forward-pass correctness of Tensor ops against plain numpy."""
+import numpy as np
+import pytest
+
+from repro.nnlib import Tensor, concat, stack, no_grad
+
+
+class TestArithmetic:
+    def test_add(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).numpy(), [4.0, 6.0])
+
+    def test_add_scalar_and_radd(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1.0).numpy(), [2.0, 3.0])
+        np.testing.assert_allclose((1.0 + a).numpy(), [2.0, 3.0])
+
+    def test_broadcast_add(self):
+        a = Tensor(np.ones((3, 4)))
+        b = Tensor(np.arange(4.0))
+        np.testing.assert_allclose((a + b).numpy(), 1.0 + np.arange(4.0) * np.ones((3, 4)))
+
+    def test_mul_div_sub_neg(self):
+        a, b = Tensor([2.0, 4.0]), Tensor([4.0, 2.0])
+        np.testing.assert_allclose((a * b).numpy(), [8.0, 8.0])
+        np.testing.assert_allclose((a / b).numpy(), [0.5, 2.0])
+        np.testing.assert_allclose((a - b).numpy(), [-2.0, 2.0])
+        np.testing.assert_allclose((-a).numpy(), [-2.0, -4.0])
+        np.testing.assert_allclose((3.0 - a).numpy(), [1.0, -1.0])
+        np.testing.assert_allclose((8.0 / a).numpy(), [4.0, 2.0])
+
+    def test_pow(self):
+        a = Tensor([2.0, 3.0])
+        np.testing.assert_allclose((a**2).numpy(), [4.0, 9.0])
+        with pytest.raises(TypeError):
+            a ** Tensor([1.0])
+
+    def test_matmul_2d(self):
+        a = np.random.default_rng(0).normal(size=(3, 4))
+        b = np.random.default_rng(1).normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).numpy(), a @ b)
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).numpy(), a @ b)
+
+    def test_matmul_broadcast_matrix(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(2, 3, 4))
+        w = rng.normal(size=(4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(w)).numpy(), a @ w)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "method,ref",
+        [
+            ("exp", np.exp),
+            ("log", np.log),
+            ("tanh", np.tanh),
+            ("sqrt", np.sqrt),
+            ("abs", np.abs),
+        ],
+    )
+    def test_unary(self, method, ref):
+        x = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(getattr(Tensor(x), method)().numpy(), ref(x))
+
+    def test_sigmoid(self):
+        x = np.array([-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(Tensor(x).sigmoid().numpy(), 1 / (1 + np.exp(-x)))
+
+    def test_relu_leaky_clip(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(Tensor(x).relu().numpy(), [0.0, 0.0, 3.0])
+        np.testing.assert_allclose(Tensor(x).leaky_relu(0.1).numpy(), [-0.2, 0.0, 3.0])
+        np.testing.assert_allclose(Tensor(x).clip_min(0.5).numpy(), [0.5, 0.5, 3.0])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self):
+        x = np.arange(6.0).reshape(2, 3)
+        np.testing.assert_allclose(Tensor(x).sum().numpy(), 15.0)
+        np.testing.assert_allclose(Tensor(x).sum(axis=0).numpy(), x.sum(0))
+        np.testing.assert_allclose(Tensor(x).sum(axis=1, keepdims=True).numpy(), x.sum(1, keepdims=True))
+
+    def test_mean_max(self):
+        x = np.arange(6.0).reshape(2, 3)
+        np.testing.assert_allclose(Tensor(x).mean(axis=1).numpy(), x.mean(1))
+        np.testing.assert_allclose(Tensor(x).max(axis=0).numpy(), x.max(0))
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        s = Tensor(x).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(s.sum(-1), np.ones(4))
+        np.testing.assert_allclose(s, np.exp(x) / np.exp(x).sum(-1, keepdims=True))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        np.testing.assert_allclose(
+            Tensor(x).log_softmax(-1).numpy(), np.log(Tensor(x).softmax(-1).numpy()), atol=1e-12
+        )
+
+    def test_softmax_large_values_stable(self):
+        s = Tensor(np.array([1000.0, 1001.0])).softmax().numpy()
+        assert np.isfinite(s).all()
+
+    def test_reshape_transpose(self):
+        x = np.arange(24.0).reshape(2, 3, 4)
+        np.testing.assert_allclose(Tensor(x).reshape(6, 4).numpy(), x.reshape(6, 4))
+        np.testing.assert_allclose(Tensor(x).reshape(-1).numpy(), x.reshape(-1))
+        np.testing.assert_allclose(Tensor(x).transpose(0, 2, 1).numpy(), x.transpose(0, 2, 1))
+        np.testing.assert_allclose(Tensor(x.reshape(6, 4)).T.numpy(), x.reshape(6, 4).T)
+
+    def test_getitem(self):
+        x = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose(Tensor(x)[1].numpy(), x[1])
+        np.testing.assert_allclose(Tensor(x)[:, 2].numpy(), x[:, 2])
+
+    def test_gather_rows(self):
+        x = np.arange(12.0).reshape(4, 3)
+        idx = np.array([[0, 2], [3, 3]])
+        np.testing.assert_allclose(Tensor(x).gather_rows(idx).numpy(), x[idx])
+
+
+class TestConcatStack:
+    def test_concat(self):
+        a, b = np.ones((2, 3)), np.zeros((2, 2))
+        np.testing.assert_allclose(concat([Tensor(a), Tensor(b)], axis=1).numpy(), np.concatenate([a, b], 1))
+
+    def test_stack(self):
+        a, b = np.ones(3), np.zeros(3)
+        np.testing.assert_allclose(stack([Tensor(a), Tensor(b)], axis=0).numpy(), np.stack([a, b]))
+
+
+class TestAutogradBasics:
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        assert (a * 2).requires_grad
+        assert not (Tensor([1.0]) * 2).requires_grad
+
+    def test_backward_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_backward_without_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_no_grad_context(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.numpy() is a.numpy()
+
+    def test_shared_subexpression_gradient(self):
+        # y = x*x + x*x -> dy/dx = 4x
+        x = Tensor([3.0], requires_grad=True)
+        y = x * x
+        (y + y).backward()
+        np.testing.assert_allclose(x.grad, [12.0])

@@ -1,0 +1,105 @@
+"""Baseline predictors: each trains and ranks better than chance."""
+import numpy as np
+import pytest
+
+from repro.eval import spearman
+from repro.predictors import (
+    BRPNASPredictor,
+    FLOPsPredictor,
+    HELPPredictor,
+    LayerwisePredictor,
+    MultiPredictPredictor,
+)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    from repro.hardware.dataset import LatencyDataset
+    from repro.spaces import GenericCellSpace
+
+    return LatencyDataset(GenericCellSpace("nb101", table_size=300))
+
+
+class TestBRPNAS:
+    def test_from_scratch_training(self, ds):
+        rng = np.random.default_rng(0)
+        model = BRPNASPredictor(ds.space, rng, emb_dim=8, gnn_dims=(16, 16))
+        train = rng.choice(300, 150, replace=False)
+        model.fit(ds, "pixel3", train, rng, epochs=15)
+        test = np.setdiff1d(np.arange(300), train)
+        rho = spearman(model.predict(test), ds.latency_of("pixel3", test))
+        assert rho > 0.5
+
+
+class TestHELP:
+    def test_meta_train_and_transfer(self, ds):
+        rng = np.random.default_rng(0)
+        model = HELPPredictor(ds.space, rng, n_ref=5, hidden=(32, 32))
+        sources = ["pixel3", "pixel2", "gold_6226"]
+        model.meta_train(ds, sources, rng, samples_per_device=64, meta_iters=25, inner_steps=2)
+        target = "fpga"
+        transfer_idx = rng.choice(300, 20, replace=False)
+        device_vec = model.transfer(ds, target, transfer_idx, rng, steps=20)
+        assert device_vec.shape == (5,)
+        test = np.setdiff1d(np.arange(300), transfer_idx)[:150]
+        rho = spearman(model.predict(test, device_vec), ds.latency_of(target, test))
+        assert rho > 0.2  # HELP struggles on low-correlation transfers
+
+    def test_device_vec_standardized(self, ds):
+        rng = np.random.default_rng(0)
+        model = HELPPredictor(ds.space, rng, n_ref=8, hidden=(16,))
+        vec = model._device_vec(ds, "pixel3")
+        assert abs(vec.mean()) < 1e-9 and abs(vec.std() - 1.0) < 1e-6
+
+
+class TestMultiPredict:
+    def test_pretrain_finetune_predict(self, ds):
+        rng = np.random.default_rng(0)
+        sources = ["pixel3", "pixel2"]
+        model = MultiPredictPredictor(ds.space, sources, rng, hw_dim=8, hidden=(32, 32))
+        model.pretrain(ds, sources, rng, samples_per_device=64, epochs=10)
+        target = "fpga"
+        idx = rng.choice(300, 20, replace=False)
+        model.finetune(ds, target, idx, rng, epochs=20)
+        test = np.setdiff1d(np.arange(300), idx)[:150]
+        rho = spearman(model.predict(test, target), ds.latency_of(target, test))
+        assert rho > 0.2
+
+    def test_add_device_automatic(self, ds):
+        rng = np.random.default_rng(0)
+        model = MultiPredictPredictor(ds.space, ["pixel3"], rng, hw_dim=4, hidden=(8,))
+        model.finetune(ds, "fpga", np.arange(10), rng, epochs=1)
+        assert "fpga" in model.device_index
+
+
+class TestLayerwise:
+    def test_fit_predict(self, ds):
+        model = LayerwisePredictor(ds.space)
+        rng = np.random.default_rng(0)
+        train = rng.choice(300, 200, replace=False)
+        model.fit(ds, "pixel3", train)
+        test = np.setdiff1d(np.arange(300), train)
+        rho = spearman(model.predict(test), ds.latency_of("pixel3", test))
+        assert rho > 0.5  # good on an additive device...
+
+    def test_predict_before_fit(self, ds):
+        with pytest.raises(RuntimeError):
+            LayerwisePredictor(ds.space).predict(np.arange(5))
+
+    def test_nonnegative_coefficients(self, ds):
+        model = LayerwisePredictor(ds.space).fit(ds, "pixel3", np.arange(200))
+        assert (model._coef >= 0).all()
+
+
+class TestFLOPs:
+    def test_ranks_by_flops(self, ds):
+        model = FLOPsPredictor(ds.space)
+        from repro.hardware.features import compute_features
+
+        feats = compute_features(ds.space)
+        np.testing.assert_allclose(model.predict(np.arange(50)), feats.total_flops[:50])
+
+    def test_correlates_with_compute_bound_device(self, ds):
+        model = FLOPsPredictor(ds.space)
+        rho = spearman(model.predict(np.arange(300)), ds.latencies("pixel3"))
+        assert rho > 0.4

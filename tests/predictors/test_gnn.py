@@ -1,0 +1,96 @@
+"""GNN layer semantics: DGF equation fidelity, GAT masking, ensemble."""
+import numpy as np
+import pytest
+
+from repro.nnlib import Tensor
+from repro.predictors.gnn import DGFLayer, GATLayer, GNNStack
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def batch(rng):
+    b, n, d = 2, 4, 6
+    x = rng.normal(size=(b, n, d))
+    adj = np.zeros((b, n, n))
+    adj[:, 0, 1] = adj[:, 1, 2] = adj[:, 0, 2] = adj[:, 2, 3] = 1
+    op = rng.normal(size=(b, n, d))
+    return x, adj, op
+
+
+class TestDGF:
+    def test_equation_matches_manual(self, rng, batch):
+        """X' = sigma(O W_o) * (A^T X W_f) + X W_f + b_f, elementwise."""
+        x, adj, op = batch
+        layer = DGFLayer(6, 5, 6, rng)
+        out = layer(Tensor(x), Tensor(adj), Tensor(op)).numpy()
+        w_f, b_f = layer.w_f.weight.data, layer.w_f.bias.data
+        w_o = layer.w_o.weight.data
+        xw = x @ w_f + b_f
+        gate = 1 / (1 + np.exp(-(op @ w_o)))
+        manual = gate * (np.swapaxes(adj, 1, 2) @ xw) + xw
+        np.testing.assert_allclose(out, manual, rtol=1e-10)
+
+    def test_gradients_flow(self, rng, batch):
+        x, adj, op = batch
+        layer = DGFLayer(6, 5, 6, rng)
+        out = layer(Tensor(x), Tensor(adj), Tensor(op))
+        out.sum().backward()
+        assert layer.w_f.weight.grad is not None
+        assert layer.w_o.weight.grad is not None
+
+
+class TestGAT:
+    def test_output_shape(self, rng, batch):
+        x, adj, op = batch
+        layer = GATLayer(6, 5, 6, rng)
+        assert layer(Tensor(x), Tensor(adj), Tensor(op)).shape == (2, 4, 5)
+
+    def test_attention_respects_adjacency(self, rng):
+        """A node with no predecessors attends only to itself."""
+        b, n, d = 1, 3, 4
+        x = rng.normal(size=(b, n, d))
+        adj = np.zeros((b, n, n))
+        adj[:, 0, 2] = 1  # only 0 -> 2; node 1 is isolated
+        layer = GATLayer(d, d, d, rng)
+        h = (Tensor(x) @ layer.w_p.weight).numpy()
+        scores = np.einsum("bud,d,bvd->buv", h, layer.attn_vec.data, h)
+        scores = np.where(scores > 0, scores, 0.2 * scores)
+        mask = np.minimum(np.swapaxes(adj, 1, 2) + np.eye(n), 1.0)
+        masked = scores * mask + (1 - mask) * -1e9
+        e = np.exp(masked - masked.max(-1, keepdims=True))
+        alpha = e / e.sum(-1, keepdims=True)
+        # Node 1's attention must be entirely on itself.
+        np.testing.assert_allclose(alpha[0, 1], [0.0, 1.0, 0.0], atol=1e-6)
+        # Node 2 attends to node 0 and itself only.
+        assert alpha[0, 2, 1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_layernorm_applied(self, rng, batch):
+        x, adj, op = batch
+        layer = GATLayer(6, 5, 6, rng)
+        out = layer(Tensor(x), Tensor(adj), Tensor(op)).numpy()
+        # LayerNorm with default affine ~ zero mean on last axis.
+        np.testing.assert_allclose(out.mean(-1), np.zeros((2, 4)), atol=1e-6)
+
+
+class TestGNNStack:
+    def test_kinds_and_out_dims(self, rng, batch):
+        x, adj, op = batch
+        for kind, factor in (("dgf", 1), ("gat", 1), ("ensemble", 2)):
+            stack = GNNStack(6, (8, 8), op_dim=6, rng=rng, kind=kind)
+            assert stack.out_dim == 8 * factor
+            out = stack(Tensor(x), Tensor(adj), Tensor(op))
+            assert out.shape == (2, 4, stack.out_dim)
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValueError):
+            GNNStack(6, (8,), op_dim=6, rng=rng, kind="transformer")
+
+    def test_ensemble_differs_from_branches(self, rng, batch):
+        x, adj, op = batch
+        ens = GNNStack(6, (8,), op_dim=6, rng=rng, kind="ensemble")
+        out = ens(Tensor(x), Tensor(adj), Tensor(op)).numpy()
+        assert not np.allclose(out[..., :8], out[..., 8:])

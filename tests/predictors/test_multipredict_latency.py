@@ -1,0 +1,58 @@
+"""MultiPredict's latency-vector unified encoding variant."""
+import numpy as np
+import pytest
+
+from repro.eval import spearman
+from repro.predictors import MultiPredictPredictor
+
+
+@pytest.fixture(scope="module")
+def ds():
+    from repro.hardware.dataset import LatencyDataset
+    from repro.spaces import GenericCellSpace
+
+    return LatencyDataset(GenericCellSpace("nb101", table_size=300))
+
+
+class TestLatencyEncoding:
+    def test_requires_references_and_dataset(self, ds):
+        with pytest.raises(ValueError, match="latency encoding"):
+            MultiPredictPredictor(ds.space, ["pixel3"], np.random.default_rng(0), encoding="latency")
+
+    def test_unknown_encoding(self, ds):
+        with pytest.raises(ValueError, match="unified encoding"):
+            MultiPredictPredictor(ds.space, ["pixel3"], np.random.default_rng(0), encoding="flops")
+
+    def test_latency_encoding_trains(self, ds):
+        rng = np.random.default_rng(0)
+        sources = ["pixel3", "pixel2"]
+        model = MultiPredictPredictor(
+            ds.space,
+            sources,
+            np.random.default_rng(0),
+            hw_dim=8,
+            hidden=(32, 32),
+            encoding="latency",
+            reference_devices=sources,
+            dataset=ds,
+        )
+        model.pretrain(ds, sources, rng, samples_per_device=64, epochs=10)
+        target = "gold_6226"
+        idx = rng.choice(300, 20, replace=False)
+        model.finetune(ds, target, idx, rng, epochs=20)
+        test = np.setdiff1d(np.arange(300), idx)[:150]
+        rho = spearman(model.predict(test, target), ds.latency_of(target, test))
+        # Reference latencies are a strong encoding when the target
+        # correlates with the references.
+        assert rho > 0.5
+
+    def test_encoding_matrix_shape(self, ds):
+        model = MultiPredictPredictor(
+            ds.space,
+            ["pixel3"],
+            np.random.default_rng(0),
+            encoding="latency",
+            reference_devices=["pixel3", "pixel2", "fpga"],
+            dataset=ds,
+        )
+        assert model._encoding().shape == (300, 3)

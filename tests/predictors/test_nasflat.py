@@ -1,0 +1,115 @@
+"""NASFLAT predictor: forward contract, device management, ablation switches."""
+import numpy as np
+import pytest
+
+from repro.predictors import NASFLATConfig, NASFLATPredictor, SpaceTensors
+
+
+@pytest.fixture
+def small_cfg():
+    return NASFLATConfig(
+        op_emb_dim=8,
+        node_emb_dim=8,
+        hw_emb_dim=8,
+        gnn_dims=(16, 16),
+        ophw_gnn_dims=(16,),
+        ophw_mlp_dims=(16,),
+        head_dims=(32,),
+    )
+
+
+@pytest.fixture
+def model(tiny_space, small_cfg, rng):
+    return NASFLATPredictor(tiny_space, ["devA", "devB"], rng, config=small_cfg)
+
+
+@pytest.fixture
+def batch(tiny_space):
+    tensors = SpaceTensors.for_space(tiny_space)
+    return tensors.batch([0, 1, 2])
+
+
+class TestForward:
+    def test_output_shape(self, model, batch):
+        adj, ops = batch
+        out = model(adj, ops, np.zeros(3, dtype=int))
+        assert out.shape == (3,)
+
+    def test_device_conditioning_changes_output(self, model, batch, rng):
+        adj, ops = batch
+        a = model(adj, ops, np.zeros(3, dtype=int)).numpy()
+        b = model(adj, ops, np.ones(3, dtype=int)).numpy()
+        assert not np.allclose(a, b)
+
+    def test_no_ophw_moves_device_signal_to_head(self, tiny_space, small_cfg, rng, batch):
+        """Without OPHW the device still conditions the head (global
+        hardware embedding), but not the per-op refinement GNN."""
+        import dataclasses
+
+        cfg = dataclasses.replace(small_cfg, use_op_hw=False)
+        model = NASFLATPredictor(tiny_space, ["devA", "devB"], rng, config=cfg)
+        adj, ops = batch
+        a = model(adj, ops, np.zeros(3, dtype=int)).numpy()
+        b = model(adj, ops, np.ones(3, dtype=int)).numpy()
+        assert not np.allclose(a, b)  # global conditioning present
+        # The op-hw refinement path sees only the op embedding width.
+        with_ophw = NASFLATPredictor(tiny_space, ["devA"], rng, config=small_cfg)
+        assert model.ophw_gnn.branches[0][0].w_f.in_features == cfg.op_emb_dim
+        assert with_ophw.ophw_gnn.branches[0][0].w_f.in_features == cfg.op_emb_dim + cfg.hw_emb_dim
+
+    def test_supplementary_validation(self, tiny_space, small_cfg, rng, batch):
+        import dataclasses
+
+        adj, ops = batch
+        cfg = dataclasses.replace(small_cfg, supplementary_dim=5)
+        model = NASFLATPredictor(tiny_space, ["devA"], rng, config=cfg)
+        with pytest.raises(ValueError, match="none were passed"):
+            model(adj, ops, np.zeros(3, dtype=int))
+        with pytest.raises(ValueError, match="shape"):
+            model(adj, ops, np.zeros(3, dtype=int), supplementary=np.zeros((3, 4)))
+        out = model(adj, ops, np.zeros(3, dtype=int), supplementary=np.zeros((3, 5)))
+        assert out.shape == (3,)
+
+    def test_unexpected_supplementary_rejected(self, model, batch):
+        adj, ops = batch
+        with pytest.raises(ValueError, match="supplementary"):
+            model(adj, ops, np.zeros(3, dtype=int), supplementary=np.zeros((3, 5)))
+
+
+class TestDevices:
+    def test_add_device_grows_table(self, model):
+        before = model.hw_emb.weight.data.shape[0]
+        idx = model.add_device("devC")
+        assert model.hw_emb.weight.data.shape[0] == before + 1
+        assert model.device_index["devC"] == idx
+
+    def test_add_device_init_from_copies_row(self, model):
+        model.add_device("devC", init_from="devA")
+        table = model.hw_emb.weight.data
+        np.testing.assert_allclose(table[model.device_index["devC"]], table[model.device_index["devA"]])
+
+    def test_duplicate_device_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_device("devA")
+
+    def test_unknown_init_device(self, model):
+        with pytest.raises(KeyError):
+            model.add_device("devC", init_from="devZ")
+
+    def test_empty_device_list_rejected(self, tiny_space, small_cfg, rng):
+        with pytest.raises(ValueError):
+            NASFLATPredictor(tiny_space, [], rng, config=small_cfg)
+
+
+class TestPredict:
+    def test_predict_batches_match_forward(self, model, tiny_space):
+        tensors = SpaceTensors.for_space(tiny_space)
+        adj, ops = tensors.batch(np.arange(10))
+        chunked = model.predict(adj, ops, "devA", batch_size=3)
+        whole = model.predict(adj, ops, "devA", batch_size=100)
+        np.testing.assert_allclose(chunked, whole)
+
+    def test_predict_unknown_device(self, model, batch):
+        adj, ops = batch
+        with pytest.raises(KeyError):
+            model.predict(adj, ops, "devZ")

@@ -1,0 +1,30 @@
+"""SpaceTensors cache and batch assembly."""
+import numpy as np
+import pytest
+
+from repro.predictors import SpaceTensors
+
+
+class TestSpaceTensors:
+    def test_batch_matches_architectures(self, tiny_space):
+        tensors = SpaceTensors.for_space(tiny_space)
+        adj, ops = tensors.batch([3, 7])
+        a3 = tiny_space.architecture(3)
+        a7 = tiny_space.architecture(7)
+        np.testing.assert_array_equal(adj[0], a3.adjacency)
+        np.testing.assert_array_equal(ops[1], a7.ops)
+
+    def test_cached_per_space(self, tiny_space):
+        assert SpaceTensors.for_space(tiny_space) is SpaceTensors.for_space(tiny_space)
+
+    def test_shapes(self, tiny_space):
+        tensors = SpaceTensors.for_space(tiny_space)
+        n = tiny_space.num_architectures()
+        big_n = tiny_space.num_nodes
+        assert tensors.adj.shape == (n, big_n, big_n)
+        assert tensors.ops.shape == (n, big_n)
+
+    def test_nb201_shared_adjacency(self, nb201):
+        tensors = SpaceTensors.for_space(nb201)
+        # Every NB201 architecture shares the fixed 8-node skeleton.
+        np.testing.assert_array_equal(tensors.adj[0], tensors.adj[12345])

@@ -1,0 +1,58 @@
+"""TA-GATES ablation model: config axes and training."""
+import numpy as np
+import pytest
+
+from repro.eval import kendall
+from repro.nas.accuracy_surrogate import accuracy_table
+from repro.predictors import SpaceTensors, TAGATESConfig, TAGATESPredictor
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TAGATESConfig(backward="hypergcn")
+        with pytest.raises(ValueError):
+            TAGATESConfig(detach="some")
+        with pytest.raises(ValueError):
+            TAGATESConfig(timesteps=0)
+
+
+@pytest.mark.parametrize(
+    "cfg",
+    [
+        TAGATESConfig(timesteps=1, backward="none"),
+        TAGATESConfig(timesteps=2, backward="mlp", use_byi=True, use_bope=True),
+        TAGATESConfig(timesteps=2, backward="mlp", use_byi=False, use_bope=True),
+        TAGATESConfig(timesteps=2, backward="gcn", use_byi=True, use_bope=False),
+        TAGATESConfig(timesteps=3, backward="mlp", detach="def"),
+        TAGATESConfig(timesteps=2, backward="mlp", detach="all"),
+        TAGATESConfig(timesteps=2, backward="mlp", all_node_encoding=True),
+    ],
+    ids=["t1-none", "t2-mlp", "t2-mlp-nobyi", "t2-gcn-nobope", "t3-def", "t2-all", "t2-allnodes"],
+)
+def test_forward_shapes_all_configs(tiny_space, cfg):
+    rng = np.random.default_rng(0)
+    model = TAGATESPredictor(tiny_space, rng, config=cfg)
+    adj, ops = SpaceTensors.for_space(tiny_space).batch([0, 1, 2, 3])
+    out = model(adj, ops)
+    assert out.shape == (4,)
+
+
+def test_backward_flows_through_timesteps(tiny_space):
+    rng = np.random.default_rng(0)
+    model = TAGATESPredictor(tiny_space, rng, config=TAGATESConfig(timesteps=2, backward="mlp"))
+    adj, ops = SpaceTensors.for_space(tiny_space).batch([0, 1])
+    model(adj, ops).sum().backward()
+    assert model.update_mlp.parameters()[0].grad is not None
+    assert model.bmlp.parameters()[0].grad is not None
+
+
+def test_learns_accuracy_ranks(tiny_space):
+    rng = np.random.default_rng(0)
+    acc = accuracy_table(tiny_space)
+    model = TAGATESPredictor(tiny_space, rng)
+    train = rng.choice(300, 128, replace=False)
+    model.fit(acc[train], train, rng, epochs=20)
+    test = np.setdiff1d(np.arange(300), train)[:120]
+    kdt = kendall(model.predict(test), acc[test])
+    assert kdt > 0.3

@@ -1,0 +1,54 @@
+"""Zero-cost proxy matrix properties."""
+import numpy as np
+import pytest
+
+from repro.hardware.features import compute_features
+from repro.proxies import PROXY_NAMES, zcp_matrix, zcp_vector
+
+
+class TestMatrix:
+    def test_shape(self, tiny_space):
+        m = zcp_matrix(tiny_space)
+        assert m.shape == (tiny_space.num_architectures(), 13)
+
+    def test_thirteen_proxies(self):
+        assert len(PROXY_NAMES) == 13
+
+    def test_deterministic(self, tiny_space):
+        np.testing.assert_allclose(zcp_matrix(tiny_space), zcp_matrix(tiny_space))
+
+    def test_standardized(self, tiny_space):
+        m = zcp_matrix(tiny_space, standardize=True)
+        np.testing.assert_allclose(m.mean(axis=0), np.zeros(13), atol=1e-9)
+        np.testing.assert_allclose(m.std(axis=0), np.ones(13), atol=1e-9)
+
+    def test_params_flops_columns_exact(self, tiny_space):
+        m = zcp_matrix(tiny_space, standardize=True)
+        feats = compute_features(tiny_space)
+        from scipy import stats
+
+        rho_p = stats.spearmanr(m[:, PROXY_NAMES.index("params")], feats.total_params).statistic
+        rho_f = stats.spearmanr(m[:, PROXY_NAMES.index("flops")], feats.total_flops).statistic
+        assert rho_p > 0.95 and rho_f > 0.95
+
+    def test_columns_not_collinear(self, tiny_space):
+        m = zcp_matrix(tiny_space)
+        corr = np.abs(np.corrcoef(m.T))
+        # flops and params are legitimately near-collinear (conv-dominated
+        # cells have a fixed param/flop ratio); every other pair must be
+        # meaningfully distinct, and the matrix must have full rank.
+        i_f, i_p = PROXY_NAMES.index("flops"), PROXY_NAMES.index("params")
+        corr[i_f, i_p] = corr[i_p, i_f] = 0.0
+        off_diag = corr[~np.eye(13, dtype=bool)]
+        assert off_diag.max() < 0.999
+        assert np.linalg.matrix_rank(m, tol=1e-6) == 13
+
+    def test_distinct_archs_distinct_vectors(self, tiny_space):
+        m = zcp_matrix(tiny_space)
+        assert len(np.unique(m.round(9), axis=0)) > 0.9 * len(m)
+
+
+class TestVector:
+    def test_indexing(self, tiny_space):
+        v = zcp_vector(tiny_space, [0, 5])
+        np.testing.assert_allclose(v, zcp_matrix(tiny_space)[[0, 5]])

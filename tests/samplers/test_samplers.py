@@ -1,0 +1,139 @@
+"""Sampler semantics: budgets, uniqueness, diversity properties."""
+import numpy as np
+import pytest
+
+from repro.hardware.features import compute_features
+from repro.samplers import (
+    CosineSampler,
+    KMeansSampler,
+    LatencyOracleSampler,
+    ParamsSampler,
+    RandomSampler,
+    ReferenceLatencySampler,
+    make_sampler,
+)
+from repro.samplers.encoding_based import SamplerFailure
+
+
+def _check_valid(idx, space, k):
+    assert len(idx) == k
+    assert len(np.unique(idx)) == k
+    assert idx.min() >= 0 and idx.max() < space.num_architectures()
+
+
+class TestRandom:
+    def test_budget_and_uniqueness(self, tiny_space, rng):
+        _check_valid(RandomSampler().select(tiny_space, 10, rng), tiny_space, 10)
+
+    def test_invalid_budget(self, tiny_space, rng):
+        with pytest.raises(ValueError):
+            RandomSampler().select(tiny_space, 0, rng)
+        with pytest.raises(ValueError):
+            RandomSampler().select(tiny_space, 10**6, rng)
+
+    def test_seeded_determinism(self, tiny_space):
+        a = RandomSampler().select(tiny_space, 10, np.random.default_rng(7))
+        b = RandomSampler().select(tiny_space, 10, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestParams:
+    def test_covers_size_spectrum(self, tiny_space, rng):
+        idx = ParamsSampler().select(tiny_space, 10, rng)
+        _check_valid(idx, tiny_space, 10)
+        params = compute_features(tiny_space).total_params
+        sel = np.sort(params[idx])
+        # Stratification: the selection spans most of the parameter range.
+        assert sel[-1] - sel[0] > 0.7 * (params.max() - params.min())
+
+
+class TestCosine:
+    def test_valid_selection(self, tiny_space, rng):
+        idx = CosineSampler("zcp", pool_size=None).select(tiny_space, 12, rng)
+        _check_valid(idx, tiny_space, 12)
+
+    def test_more_diverse_than_random(self, tiny_space):
+        from repro.encodings import get_encoding
+
+        emb = get_encoding(tiny_space, "zcp")
+        unit = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+
+        def avg_sim(indices):
+            u = unit[indices]
+            sims = u @ u.T
+            return (sims.sum() - len(indices)) / (len(indices) * (len(indices) - 1))
+
+        cos_sims, rnd_sims = [], []
+        for t in range(5):
+            rng = np.random.default_rng(t)
+            cos_sims.append(avg_sim(CosineSampler("zcp", pool_size=None).select(tiny_space, 10, rng)))
+            rnd_sims.append(avg_sim(RandomSampler().select(tiny_space, 10, np.random.default_rng(t))))
+        assert np.mean(cos_sims) < np.mean(rnd_sims)
+
+
+class TestKMeans:
+    def test_valid_selection(self, tiny_space, rng):
+        idx = KMeansSampler("zcp", pool_size=None).select(tiny_space, 8, rng)
+        _check_valid(idx, tiny_space, 8)
+
+    def test_non_strict_fills(self, tiny_space, rng):
+        idx = KMeansSampler("zcp", pool_size=None, strict=False).select(tiny_space, 40, rng)
+        _check_valid(idx, tiny_space, 40)
+
+    def test_strict_failure_raises(self, tiny_space):
+        # Inject an encoding with massive duplication: KMeans cannot produce
+        # k distinct medoids, reproducing the paper's NaN-on-FBNet behaviour.
+        from repro.encodings.base import _ENCODING_CACHE
+
+        key = (tiny_space.name, "adjop")
+        original = _ENCODING_CACHE.get(key)
+        dup = np.zeros((tiny_space.num_architectures(), 4))
+        dup[:5] = np.arange(20).reshape(5, 4)  # only 6 distinct rows
+        _ENCODING_CACHE[key] = dup
+        try:
+            sampler = KMeansSampler("adjop", pool_size=None, strict=True)
+            with pytest.raises(SamplerFailure):
+                sampler.select(tiny_space, 50, np.random.default_rng(0))
+        finally:
+            if original is not None:
+                _ENCODING_CACHE[key] = original
+            else:
+                _ENCODING_CACHE.pop(key, None)
+
+
+class TestLatencyBased:
+    def test_oracle_spans_latency_range(self, tiny_dataset, tiny_space, rng):
+        dev = tiny_dataset.devices[0]
+        idx = LatencyOracleSampler(tiny_dataset, dev).select(tiny_space, 10, rng)
+        _check_valid(idx, tiny_space, 10)
+        lat = tiny_dataset.latencies(dev)
+        sel = lat[idx]
+        assert sel.max() > np.quantile(lat, 0.85)
+        assert sel.min() < np.quantile(lat, 0.15)
+
+    def test_reference_sampler(self, tiny_dataset, tiny_space, rng):
+        refs = tiny_dataset.devices[:3]
+        idx = ReferenceLatencySampler(tiny_dataset, refs, pool_size=None).select(tiny_space, 8, rng)
+        _check_valid(idx, tiny_space, 8)
+
+    def test_reference_needs_devices(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            ReferenceLatencySampler(tiny_dataset, [])
+
+
+class TestFactory:
+    def test_specs(self, tiny_dataset):
+        assert make_sampler("random").name == "random"
+        assert make_sampler("params").name == "params"
+        assert make_sampler("cosine-caz").name == "cosine-caz"
+        assert make_sampler("kmeans-zcp").name == "kmeans-zcp"
+        s = make_sampler("latency-oracle", dataset=tiny_dataset, target_device=tiny_dataset.devices[0])
+        assert s.name == "latency-oracle"
+
+    def test_bad_specs(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            make_sampler("cosine-bogus")
+        with pytest.raises(ValueError):
+            make_sampler("latency-oracle")
+        with pytest.raises(ValueError):
+            make_sampler("quantum")

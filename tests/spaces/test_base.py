@@ -1,0 +1,86 @@
+"""Architecture representation invariants."""
+import numpy as np
+import pytest
+
+from repro.spaces.base import Architecture, longest_path_length, validate_dag
+
+
+def make_arch(adj, ops):
+    return Architecture(space="t", spec=tuple(ops), adjacency=np.array(adj, dtype=np.int8), ops=np.array(ops))
+
+
+class TestArchitecture:
+    def test_valid(self):
+        a = make_arch([[0, 1], [0, 0]], [0, 1])
+        assert a.num_nodes == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            make_arch([[0, 1, 0], [0, 0, 0]], [0, 1])
+
+    def test_rejects_lower_triangular_entries(self):
+        with pytest.raises(ValueError, match="upper-triangular"):
+            make_arch([[0, 0], [1, 0]], [0, 1])
+
+    def test_rejects_ops_length_mismatch(self):
+        with pytest.raises(ValueError, match="ops length"):
+            make_arch([[0, 1], [0, 0]], [0, 1, 2])
+
+    def test_equality_and_hash_by_spec(self):
+        a = make_arch([[0, 1], [0, 0]], [0, 1])
+        b = make_arch([[0, 1], [0, 0]], [0, 1])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestValidateDag:
+    def test_accepts_binary_triu(self):
+        assert validate_dag(np.array([[0, 1], [0, 0]]))
+
+    def test_rejects_nonbinary(self):
+        assert not validate_dag(np.array([[0, 2], [0, 0]]))
+
+    def test_rejects_cycle_entries(self):
+        assert not validate_dag(np.array([[0, 1], [1, 0]]))
+
+
+class TestLongestPath:
+    def test_chain(self):
+        adj = np.triu(np.eye(4, k=1))
+        assert longest_path_length(adj) == 3
+
+    def test_diamond_takes_longer_branch(self):
+        #   0 -> 1 -> 3 and 0 -> 2 -> 3 plus 1 -> 2 making 0-1-2-3
+        adj = np.zeros((4, 4))
+        adj[0, 1] = adj[1, 3] = adj[0, 2] = adj[2, 3] = adj[1, 2] = 1
+        assert longest_path_length(adj) == 3
+
+    def test_inactive_nodes_add_no_depth(self):
+        adj = np.triu(np.ones((4, 4)), k=1)
+        active = np.array([True, False, False, True])
+        assert longest_path_length(adj, active) == 1
+
+    def test_disconnected_output(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = 1  # nothing reaches node 2
+        assert longest_path_length(adj) == 0
+
+
+class TestSearchSpaceHelpers:
+    def test_encode_adjop_dim(self, nb201):
+        a = nb201.architecture(0)
+        enc = nb201.encode_adjop(a)
+        assert enc.shape == (nb201.adjop_dim(),)
+
+    def test_encode_adjop_onehot_sums(self, nb201):
+        a = nb201.architecture(123)
+        enc = nb201.encode_adjop(a)
+        onehot = enc[-nb201.num_nodes * nb201.num_ops :].reshape(nb201.num_nodes, nb201.num_ops)
+        np.testing.assert_allclose(onehot.sum(axis=1), np.ones(nb201.num_nodes))
+
+    def test_sample_unique(self, nb201, rng):
+        archs = nb201.sample(rng, 50)
+        assert len({a.index for a in archs}) == 50
+
+    def test_sample_too_many_raises(self, tiny_space, rng):
+        with pytest.raises(ValueError):
+            tiny_space.sample(rng, tiny_space.num_architectures() + 1)

@@ -1,0 +1,82 @@
+"""FBNet macro space semantics."""
+import numpy as np
+import pytest
+
+from repro.spaces.fbnet import BLOCKS, NUM_POSITIONS, POSITION_LAYOUT, FBNetSpace
+
+
+class TestTable:
+    def test_deterministic(self):
+        a = FBNetSpace(table_size=50)
+        b = FBNetSpace(table_size=50)
+        assert a.architecture(7).spec == b.architecture(7).spec
+
+    def test_unique_specs(self, fbnet_small):
+        specs = {fbnet_small.architecture(i).spec for i in range(fbnet_small.num_architectures())}
+        assert len(specs) == fbnet_small.num_architectures()
+
+    def test_custom_size_changes_name(self):
+        assert FBNetSpace(table_size=50).name != "fbnet"
+
+    def test_index_roundtrip(self, fbnet_small):
+        spec = fbnet_small.architecture(13).spec
+        assert fbnet_small.index_from_spec(spec) == 13
+
+    def test_out_of_range(self, fbnet_small):
+        with pytest.raises(IndexError):
+            fbnet_small.architecture(fbnet_small.num_architectures())
+
+
+class TestStructure:
+    def test_chain_topology(self, fbnet_small):
+        a = fbnet_small.architecture(0)
+        assert a.num_nodes == NUM_POSITIONS + 2 == 24
+        expected = np.zeros((24, 24))
+        for i in range(23):
+            expected[i, i + 1] = 1
+        np.testing.assert_allclose(a.adjacency, expected)
+
+    def test_layout_has_22_positions(self):
+        assert len(POSITION_LAYOUT) == 22
+
+    def test_layout_spatial_monotone_decreasing(self):
+        spatials = [p[3] for p in POSITION_LAYOUT]
+        assert all(a >= b for a, b in zip(spatials, spatials[1:]))
+        assert spatials[0] == 112 and spatials[-1] == 7
+
+    def test_channels_follow_stage_config(self):
+        c_outs = [p[1] for p in POSITION_LAYOUT]
+        assert c_outs[0] == 16 and c_outs[-1] == 352
+
+
+class TestWork:
+    def test_skip_identity_cheapest(self, fbnet_small):
+        skip_idx = [i for i, b in enumerate(BLOCKS) if b[0] == "skip"][0]
+        e6_idx = [i for i, b in enumerate(BLOCKS) if b[0] == "k5_e6"][0]
+        # Find archs differing at a stride-1 same-channel position.
+        from repro.spaces.fbnet import _block_work
+
+        c_in, c_out, stride, spatial = POSITION_LAYOUT[2]  # inside stage 2
+        f_skip, p_skip, _ = _block_work(skip_idx, c_in, c_out, stride, spatial)
+        f_e6, p_e6, _ = _block_work(e6_idx, c_in, c_out, stride, spatial)
+        assert f_e6 > f_skip and p_e6 > p_skip
+
+    def test_expansion_scales_flops(self):
+        from repro.spaces.fbnet import _block_work
+
+        c_in, c_out, stride, spatial = POSITION_LAYOUT[5]
+        f_e1, *_ = _block_work(0, c_in, c_out, stride, spatial)  # k3_e1
+        f_e6, *_ = _block_work(3, c_in, c_out, stride, spatial)  # k3_e6
+        assert f_e6 > 3 * f_e1
+
+    def test_total_flops_in_mobile_range(self, fbnet_small):
+        flops = [fbnet_small.total_flops(fbnet_small.architecture(i)) for i in range(20)]
+        assert all(100 < f < 2000 for f in flops)  # MFLOPs, MobileNet scale
+
+    def test_grouped_conv_cheaper(self):
+        from repro.spaces.fbnet import _block_work
+
+        c_in, c_out, stride, spatial = POSITION_LAYOUT[5]
+        f_g1, *_ = _block_work(0, c_in, c_out, stride, spatial)  # k3_e1
+        f_g2, *_ = _block_work(1, c_in, c_out, stride, spatial)  # k3_e1_g2
+        assert f_g2 < f_g1

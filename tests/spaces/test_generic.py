@@ -1,0 +1,49 @@
+"""Generic cell space used by the appendix ablations."""
+import numpy as np
+import pytest
+
+from repro.spaces.generic import PRESETS, GenericCellSpace
+
+
+class TestConstruction:
+    def test_all_presets_build(self):
+        for preset in PRESETS:
+            sp = GenericCellSpace(preset, table_size=20)
+            assert sp.num_architectures() == 20
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            GenericCellSpace("nb999")
+
+    def test_explicit_sizes(self):
+        sp = GenericCellSpace(preset=None, num_intermediate=4, num_edge_ops=3, table_size=10)
+        assert sp.num_nodes == 6
+
+    def test_missing_sizes(self):
+        with pytest.raises(ValueError):
+            GenericCellSpace(preset=None)
+
+    def test_deterministic_table(self):
+        a = GenericCellSpace("enas", table_size=30, seed=5)
+        b = GenericCellSpace("enas", table_size=30, seed=5)
+        np.testing.assert_array_equal(a.architecture(3).ops, b.architecture(3).ops)
+
+
+class TestConnectivity:
+    def test_every_node_reachable(self, tiny_space):
+        for i in range(0, tiny_space.num_architectures(), 37):
+            adj = tiny_space.architecture(i).adjacency
+            n = adj.shape[0]
+            assert all(adj[:j, j].sum() > 0 for j in range(1, n)), f"arch {i}: orphan node"
+            assert all(adj[i_, i_ + 1 :].sum() > 0 for i_ in range(n - 1)), f"arch {i}: dead end"
+
+    def test_unique_archs(self, tiny_space):
+        keys = set()
+        for i in range(tiny_space.num_architectures()):
+            a = tiny_space.architecture(i)
+            keys.add((a.adjacency.tobytes(), a.ops.tobytes()))
+        assert len(keys) == tiny_space.num_architectures()
+
+    def test_work_profile_positive(self, tiny_space):
+        total = tiny_space.total_flops(tiny_space.architecture(0))
+        assert total > 0

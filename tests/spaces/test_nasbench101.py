@@ -1,0 +1,74 @@
+"""NASBench-101 space: validity rules and table determinism."""
+import numpy as np
+import pytest
+
+from repro.spaces.nasbench101 import MAX_EDGES, NASBench101Space, _is_valid, _prune_mask
+
+
+@pytest.fixture(scope="module")
+def nb101():
+    return NASBench101Space(table_size=150)
+
+
+class TestValidity:
+    def test_edge_budget_enforced(self, nb101):
+        for i in range(nb101.num_architectures()):
+            assert nb101.architecture(i).adjacency.sum() <= MAX_EDGES
+
+    def test_all_nodes_on_a_path(self, nb101):
+        for i in range(0, nb101.num_architectures(), 17):
+            adj = nb101.architecture(i).adjacency
+            assert _prune_mask(adj).all()
+
+    def test_invalid_graphs_rejected(self):
+        n = 7
+        dangling = np.zeros((n, n), dtype=np.int8)
+        dangling[0, 6] = 1  # nodes 1..5 are off-path
+        assert not _is_valid(dangling)
+        too_many = np.triu(np.ones((n, n), dtype=np.int8), k=1)
+        assert not _is_valid(too_many)
+
+    def test_chain_is_valid(self):
+        n = 7
+        chain = np.zeros((n, n), dtype=np.int8)
+        for i in range(n - 1):
+            chain[i, i + 1] = 1
+        assert _is_valid(chain)
+
+
+class TestTable:
+    def test_deterministic(self):
+        a = NASBench101Space(table_size=40)
+        b = NASBench101Space(table_size=40)
+        np.testing.assert_array_equal(a.architecture(7).ops, b.architecture(7).ops)
+
+    def test_unique(self, nb101):
+        keys = set()
+        for i in range(nb101.num_architectures()):
+            a = nb101.architecture(i)
+            keys.add(a.adjacency.tobytes() + a.ops.tobytes())
+        assert len(keys) == nb101.num_architectures()
+
+    def test_three_ops_plus_io(self, nb101):
+        assert nb101.num_ops == 5
+        a = nb101.architecture(0)
+        assert a.ops[0] == 0 and a.ops[-1] == 4
+        assert set(a.ops[1:-1]) <= {1, 2, 3}
+
+
+class TestWork:
+    def test_conv3x3_heaviest(self, nb101):
+        from repro.spaces.nasbench101 import NODE_OPS
+
+        profiles = {}
+        for i in range(nb101.num_architectures()):
+            for w in nb101.work_profile(nb101.architecture(i))[1:-1]:
+                profiles.setdefault(w.op_name, w.flops)
+            if len(profiles) == 3:
+                break
+        assert profiles["conv3x3"] > profiles["conv1x1"] > profiles["maxpool3x3"]
+
+    def test_registry_integration(self):
+        from repro.spaces.registry import get_space
+
+        assert get_space("nasbench101").num_architectures() == 2000

@@ -1,0 +1,114 @@
+"""NASBench-201 space semantics."""
+import numpy as np
+import pytest
+
+from repro.spaces.nasbench201 import CELL_EDGES, EDGE_OPS, NASBench201Space
+
+
+class TestEnumeration:
+    def test_size(self, nb201):
+        assert nb201.num_architectures() == 5**6 == 15625
+
+    def test_spec_index_roundtrip(self, nb201):
+        for idx in [0, 1, 5, 12345, 15624]:
+            spec = nb201.spec_from_index(idx)
+            assert nb201.index_from_spec(spec) == idx
+
+    def test_index_out_of_range(self, nb201):
+        with pytest.raises(IndexError):
+            nb201.spec_from_index(15625)
+
+    def test_all_specs_count(self, nb201):
+        assert sum(1 for _ in nb201.all_specs()) == 15625
+
+
+class TestDAGForm:
+    def test_eight_nodes(self, nb201):
+        a = nb201.architecture(0)
+        assert a.num_nodes == 8
+
+    def test_input_output_tokens(self, nb201):
+        a = nb201.architecture(777)
+        assert a.ops[0] == 0
+        assert a.ops[-1] == nb201.num_ops - 1
+
+    def test_adjacency_matches_cell_topology(self, nb201):
+        a = nb201.architecture(0)
+        adj = a.adjacency
+        # Edge nodes fed by the cell input: edges with src == 0.
+        for e, (src, dst) in enumerate(CELL_EDGES):
+            if src == 0:
+                assert adj[0, 1 + e] == 1
+            if dst == 3:
+                assert adj[1 + e, 7] == 1
+        # Edge (1,2) [index 2] receives from edge (0,1) [index 0].
+        assert adj[1, 3] == 1
+
+    def test_arch_str_format(self, nb201):
+        a = nb201.architecture(0)
+        s = nb201.arch_str(a)
+        assert s.count("+") == 2
+        assert s.count("~") == 6
+        assert all(op in s for op in ("none",))
+
+
+class TestActiveEdges:
+    def space(self):
+        return NASBench201Space()
+
+    def test_all_none_has_no_active(self, nb201):
+        spec = tuple([EDGE_OPS.index("none")] * 6)
+        assert not nb201.active_edges(spec).any()
+
+    def test_all_conv_all_active(self, nb201):
+        spec = tuple([EDGE_OPS.index("nor_conv_3x3")] * 6)
+        assert nb201.active_edges(spec).all()
+
+    def test_dead_branch_pruned(self, nb201):
+        # Only edge 0->3 (index 3) is non-none: paths via nodes 1,2 dead.
+        none = EDGE_OPS.index("none")
+        conv = EDGE_OPS.index("nor_conv_3x3")
+        spec = [none] * 6
+        spec[3] = conv  # edge (0, 3)
+        mask = nb201.active_edges(tuple(spec))
+        assert mask[3] and mask.sum() == 1
+
+    def test_edge_into_dead_node_is_dead(self, nb201):
+        # 0->1 conv but nothing leaves node 1: edge is dead.
+        none = EDGE_OPS.index("none")
+        conv = EDGE_OPS.index("nor_conv_3x3")
+        spec = [none] * 6
+        spec[0] = conv  # edge (0, 1)
+        spec[3] = conv  # edge (0, 3) keeps the graph alive
+        mask = nb201.active_edges(tuple(spec))
+        assert not mask[0] and mask[3]
+
+
+class TestWorkProfile:
+    def test_profile_length(self, nb201):
+        a = nb201.architecture(100)
+        assert len(nb201.work_profile(a)) == 8
+
+    def test_none_edges_carry_no_work(self, nb201):
+        spec_idx = nb201.index_from_spec(tuple([0] * 6))  # all none
+        a = nb201.architecture(spec_idx)
+        profile = nb201.work_profile(a)
+        for w in profile[1:-1]:
+            assert w.flops == 0 and w.params == 0
+
+    def test_conv3x3_heavier_than_1x1(self, nb201):
+        conv3 = nb201.index_from_spec(tuple([3] * 6))
+        conv1 = nb201.index_from_spec(tuple([2] * 6))
+        assert nb201.total_flops(nb201.architecture(conv3)) > nb201.total_flops(nb201.architecture(conv1))
+
+    def test_flops_range_realistic(self, nb201):
+        # Full conv3x3 cell is on the order of hundreds of MFLOPs.
+        dense = nb201.total_flops(nb201.architecture(nb201.index_from_spec(tuple([3] * 6))))
+        assert 50 < dense < 500
+
+    def test_skip_contributes_memory_only(self, nb201):
+        skip_spec = [0] * 6
+        skip_spec[3] = EDGE_OPS.index("skip_connect")
+        a = nb201.architecture(nb201.index_from_spec(tuple(skip_spec)))
+        w = nb201.work_profile(a)[4]
+        assert w.flops == 0 and w.mem_bytes > 0 and w.fusable

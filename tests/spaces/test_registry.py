@@ -1,0 +1,22 @@
+"""Space registry: shared instances and name validation."""
+import pytest
+
+from repro.spaces.registry import get_space
+
+
+class TestGetSpace:
+    def test_shared_instance(self):
+        assert get_space("nasbench201") is get_space("nasbench201")
+
+    def test_generic_presets(self):
+        sp = get_space("generic-nb101")
+        assert sp.name == "generic-nb101"
+
+    def test_fbnet(self):
+        assert get_space("fbnet").num_architectures() == 5000
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_space("nasbench999")
+        with pytest.raises(KeyError):
+            get_space("generic-bogus")

@@ -1,0 +1,52 @@
+"""Task-difficulty analysis (the paper's Tables 21-22 quantities)."""
+import numpy as np
+import pytest
+
+from repro.tasks import TASKS
+from repro.tasks.analysis import TaskDifficulty, analyze_task, difficulty_report
+
+
+@pytest.fixture(scope="module")
+def nd_difficulty():
+    return analyze_task(TASKS["ND"], sample=600)
+
+
+@pytest.fixture(scope="module")
+def n2_difficulty():
+    return analyze_task(TASKS["N2"], sample=600)
+
+
+class TestAnalyzeTask:
+    def test_bounds(self, nd_difficulty):
+        d = nd_difficulty
+        assert -1.0 <= d.train_test_min <= d.train_test_mean <= d.train_test_max <= 1.0
+
+    def test_best_source_covers_all_test_devices(self, nd_difficulty):
+        assert set(nd_difficulty.best_source_correlation) == set(TASKS["ND"].test_devices)
+
+    def test_best_source_at_least_mean(self, nd_difficulty):
+        # Each device's best source correlates at least as well as average.
+        assert min(nd_difficulty.best_source_correlation.values()) >= nd_difficulty.train_test_min
+
+    def test_paper_difficulty_ordering(self, nd_difficulty, n2_difficulty):
+        """ND is the legacy easy set; N2 (GPUs -> edge accelerators) is hard."""
+        assert nd_difficulty.train_test_mean > n2_difficulty.train_test_mean
+
+    def test_hardness_buckets(self):
+        easy = TaskDifficulty("x", 0.9, 0.8, 1.0, 0.9, 0.9, {})
+        hard = TaskDifficulty("y", 0.3, 0.1, 0.5, 0.4, 0.4, {})
+        assert easy.hardness == "easy" and hard.hardness == "hard"
+
+    def test_deterministic(self):
+        a = analyze_task(TASKS["N4"], sample=400, seed=3)
+        b = analyze_task(TASKS["N4"], sample=400, seed=3)
+        assert a == b
+
+
+class TestReport:
+    def test_sorted_hardest_first(self):
+        report = difficulty_report([TASKS["ND"], TASKS["N2"]], sample=400)
+        lines = report.splitlines()
+        assert lines[0].startswith("task")
+        assert lines[1].split()[0] == "N2"  # harder task listed first
+        assert lines[2].split()[0] == "ND"

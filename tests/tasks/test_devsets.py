@@ -1,0 +1,60 @@
+"""Device-set task definitions mirror the paper's tables."""
+import pytest
+
+from repro.hardware.registry import devices_for_space
+from repro.tasks import TASKS, Task, get_task, fbnet_tasks, nasbench201_tasks
+
+
+class TestRoster:
+    def test_twelve_tasks(self):
+        assert len(TASKS) == 12
+
+    def test_six_per_space(self):
+        assert len(nasbench201_tasks()) == 6
+        assert len(fbnet_tasks()) == 6
+
+    def test_pools_disjoint(self):
+        for task in TASKS.values():
+            assert not set(task.train_devices) & set(task.test_devices), task.name
+
+    def test_all_devices_exist_for_their_space(self):
+        for task in TASKS.values():
+            available = set(devices_for_space(task.space))
+            missing = (set(task.train_devices) | set(task.test_devices)) - available
+            assert not missing, f"{task.name}: {missing}"
+
+    def test_paper_pool_sizes(self):
+        # Table 24-26 rosters.
+        assert len(TASKS["ND"].train_devices) == 9 and len(TASKS["ND"].test_devices) == 6
+        assert len(TASKS["N4"].train_devices) == 10 and len(TASKS["N4"].test_devices) == 3
+        assert len(TASKS["NA"].train_devices) == 17 and len(TASKS["NA"].test_devices) == 3
+        assert len(TASKS["FA"].train_devices) == 15 and len(TASKS["FA"].test_devices) == 4
+
+    def test_n2_tests_on_accelerators(self):
+        t = TASKS["N2"]
+        assert all("ti" in d or "titan" in d for d in t.train_devices)
+        assert "edge_tpu_int8" in t.test_devices
+
+    def test_get_task_unknown(self):
+        with pytest.raises(KeyError):
+            get_task("N9")
+
+    def test_overlapping_pools_rejected(self):
+        with pytest.raises(ValueError):
+            Task("bad", "nasbench201", ("pixel3",), ("pixel3",))
+
+
+class TestTaskDifficulty:
+    """The adversarial tasks must actually be adversarial in our simulator."""
+
+    def test_nd_easier_than_n2(self, nb201_dataset):
+        import numpy as np
+
+        def mean_train_test_corr(task):
+            devs = list(task.train_devices) + list(task.test_devices)
+            c = nb201_dataset.correlation_matrix(devs, sample=800)
+            k = len(task.train_devices)
+            return float(np.mean(c[:k, k:]))
+
+        assert mean_train_test_corr(TASKS["ND"]) > mean_train_test_corr(TASKS["N2"])
+        assert mean_train_test_corr(TASKS["ND"]) > mean_train_test_corr(TASKS["NA"])

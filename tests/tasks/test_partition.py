@@ -1,0 +1,73 @@
+"""Algorithm 1: automated device-set partitioning."""
+import numpy as np
+import pytest
+
+from repro.tasks import correlation_graph, partition_devices
+
+
+@pytest.fixture(scope="module")
+def small_ds():
+    from repro.hardware.dataset import LatencyDataset
+    from repro.spaces import GenericCellSpace
+
+    return LatencyDataset(GenericCellSpace("nb101", table_size=300))
+
+
+DEVICES = [
+    "1080ti_1",
+    "titanxp_1",
+    "1080ti_256",
+    "gold_6226",
+    "pixel3",
+    "pixel2",
+    "raspi4",
+    "fpga",
+    "eyeriss",
+    "edge_tpu_int8",
+]
+
+
+class TestCorrelationGraph:
+    def test_complete_graph_with_negative_weights(self, nb201_dataset):
+        g = correlation_graph(nb201_dataset, DEVICES[:4], sample=300)
+        assert g.number_of_edges() == 6
+        for _, _, data in g.edges(data=True):
+            assert data["weight"] == pytest.approx(-data["correlation"])
+
+
+class TestPartition:
+    def test_requested_sizes(self, nb201_dataset):
+        train, test = partition_devices(nb201_dataset, DEVICES, m=5, n=3, sample=300)
+        assert len(train) == 5 and len(test) == 3
+        assert not set(train) & set(test)
+
+    def test_all_members_from_input(self, nb201_dataset):
+        train, test = partition_devices(nb201_dataset, DEVICES, m=4, n=4, sample=300)
+        assert set(train) | set(test) <= set(DEVICES)
+
+    def test_lower_intra_correlation_than_random(self, nb201_dataset):
+        """Algorithm 1's objective: pools with low internal correlation."""
+        train, test = partition_devices(nb201_dataset, DEVICES, m=5, n=5, sample=500)
+
+        def intra(devs):
+            c = nb201_dataset.correlation_matrix(list(devs), sample=500)
+            return float(np.mean(c[np.triu_indices(len(devs), 1)]))
+
+        algo = (intra(train) + intra(test)) / 2
+        rng = np.random.default_rng(0)
+        rand_vals = []
+        for _ in range(10):
+            perm = rng.permutation(DEVICES)
+            rand_vals.append((intra(perm[:5]) + intra(perm[5:])) / 2)
+        assert algo <= np.mean(rand_vals)
+
+    def test_invalid_sizes(self, nb201_dataset):
+        with pytest.raises(ValueError):
+            partition_devices(nb201_dataset, DEVICES, m=8, n=8)
+        with pytest.raises(ValueError):
+            partition_devices(nb201_dataset, DEVICES, m=0, n=2)
+
+    def test_deterministic_given_seed(self, nb201_dataset):
+        a = partition_devices(nb201_dataset, DEVICES, m=4, n=3, seed=5, sample=300)
+        b = partition_devices(nb201_dataset, DEVICES, m=4, n=3, seed=5, sample=300)
+        assert a == b

@@ -1,0 +1,54 @@
+"""CLI surface: parsing, listings, and error paths (no heavy training)."""
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_transfer_args(self):
+        args = build_parser().parse_args(["transfer", "--task", "N1", "--samples", "10"])
+        assert args.task == "N1" and args.samples == 10 and args.sampler == "cosine-caz"
+
+    def test_partition_args(self):
+        args = build_parser().parse_args(
+            ["partition", "--devices", "pixel3", "fpga", "--train-size", "1", "--test-size", "1"]
+        )
+        assert args.devices == ["pixel3", "fpga"]
+
+
+class TestListings:
+    def test_tasks_lists_all(self, capsys):
+        assert main(["tasks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ND", "N1", "FA"):
+            assert name in out
+
+    def test_devices_space_filter(self, capsys):
+        assert main(["devices", "--space", "fbnet"]) == 0
+        out = capsys.readouterr().out
+        assert "eyeriss" in out and "edge_tpu_int8" not in out
+
+    def test_devices_all(self, capsys):
+        assert main(["devices"]) == 0
+        assert "edge_tpu_int8" in capsys.readouterr().out
+
+
+class TestNASValidation:
+    def test_rejects_non_test_device(self, capsys):
+        assert main(["nas", "--task", "ND", "--device", "pixel3"]) == 2
+        assert "not a test device" in capsys.readouterr().err
+
+
+class TestPartitionCommand:
+    def test_partitions(self, capsys):
+        devices = ["1080ti_1", "titanxp_1", "pixel3", "pixel2", "fpga", "eyeriss"]
+        rc = main(
+            ["partition", "--devices", *devices, "--train-size", "3", "--test-size", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("train:") == 1 and out.count("test:") == 1

@@ -1,0 +1,80 @@
+"""Cross-module integration tests: the paper's workflows end to end."""
+import numpy as np
+import pytest
+
+from repro import get_task
+from repro.eval import spearman
+from repro.hardware.dataset import LatencyDataset
+from repro.nas import MetaD2ASimulator, latency_constrained_search
+from repro.predictors.training import FinetuneConfig, PretrainConfig, predict_latency
+from repro.transfer import NASFLATPipeline, PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def mini_cfg():
+    return PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        pretrain=PretrainConfig(samples_per_device=64, epochs=6, batch_size=16),
+        finetune=FinetuneConfig(epochs=20),
+        n_test=400,
+    )
+
+
+@pytest.mark.slow
+class TestNB201TaskEndToEnd:
+    def test_n1_transfer_beats_chance_comfortably(self, mini_cfg):
+        pipe = NASFLATPipeline(get_task("N1"), mini_cfg, seed=0)
+        pipe.pretrain()
+        res = pipe.transfer("1080ti_1")
+        assert res.spearman > 0.6
+
+    def test_easy_task_beats_hard_task(self, mini_cfg):
+        rhos = {}
+        for name, dev in (("ND", "gold_6226"), ("N2", "edge_tpu_int8")):
+            pipe = NASFLATPipeline(get_task(name), mini_cfg, seed=0)
+            pipe.pretrain()
+            rhos[name] = pipe.transfer(dev).spearman
+        assert rhos["ND"] > rhos["N2"]
+
+
+@pytest.mark.slow
+class TestNASEndToEnd:
+    def test_predictor_driven_search_steers_latency(self, mini_cfg):
+        task = get_task("ND")
+        pipe = NASFLATPipeline(task, mini_cfg, seed=0)
+        pipe.pretrain()
+        device = "pixel2"
+        res = pipe.transfer(device)
+        ds = pipe.dataset
+        gen = MetaD2ASimulator(pipe.space)
+        scorer = lambda idx: predict_latency(pipe.last_predictor, device, idx, supplementary=pipe._supp)
+        rng = np.random.default_rng(0)
+        measured = rng.choice(len(ds), 20, replace=False)
+        lat = ds.latencies(device)
+        tight_c = float(np.quantile(lat, 0.2))
+        loose_c = float(np.quantile(lat, 0.95))
+        tight = latency_constrained_search(
+            ds, device, tight_c, gen, scorer, measured, rng, build_seconds=res.finetune_seconds
+        )
+        loose = latency_constrained_search(
+            ds, device, loose_c, gen, scorer, measured, rng, build_seconds=res.finetune_seconds
+        )
+        # An imperfect predictor (mini-scale pretrain, rho ~0.8) cannot hit
+        # the constraint exactly, but it must steer the search: the tightly
+        # constrained pick must be much faster, at some accuracy cost.
+        assert tight.latency_ms < loose.latency_ms
+        assert tight.latency_ms <= float(np.quantile(lat, 0.8))
+        assert loose.accuracy >= tight.accuracy - 0.5
+        assert tight.cost.total_seconds > 0
+        assert tight.accuracy > 55.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self, mini_cfg):
+        def run():
+            pipe = NASFLATPipeline(get_task("N4"), mini_cfg, seed=7)
+            pipe.pretrain()
+            return pipe.transfer("1080ti_1").spearman
+
+        assert run() == pytest.approx(run())

@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval.metrics import geometric_mean, spearman
+from repro.nas.pareto import pareto_front
+from repro.nnlib import Tensor, concat, pairwise_hinge_loss
+from repro.nnlib.tensor import _unbroadcast
+from repro.spaces.base import longest_path_length
+
+finite_floats = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+class TestTensorProperties:
+    @given(hnp.arrays(np.float64, hnp.array_shapes(max_dims=3, max_side=5), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, x):
+        a, b = Tensor(x), Tensor(x * 0.5)
+        np.testing.assert_allclose((a + b).numpy(), (b + a).numpy())
+
+    @given(hnp.arrays(np.float64, hnp.array_shapes(max_dims=2, max_side=6), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_grad_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+    @given(
+        hnp.arrays(
+            np.float64, st.tuples(st.integers(2, 6), st.integers(2, 6)), elements=finite_floats
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_simplex(self, x):
+        s = Tensor(x).softmax(axis=-1).numpy()
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(-1), np.ones(len(x)), rtol=1e-9)
+
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(1, 4)), elements=finite_floats),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, x, reps):
+        broadcast = np.broadcast_to(x, (reps,) + x.shape)
+        result = _unbroadcast(np.array(broadcast), x.shape)
+        np.testing.assert_allclose(result, x * reps)
+
+    @given(st.lists(hnp.arrays(np.float64, (2, 3), elements=finite_floats), min_size=2, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_concat_preserves_content(self, arrays):
+        out = concat([Tensor(a) for a in arrays], axis=1).numpy()
+        np.testing.assert_allclose(out, np.concatenate(arrays, axis=1))
+
+
+class TestLossProperties:
+    @given(hnp.arrays(np.float64, st.integers(2, 12), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_hinge_nonnegative(self, target):
+        pred = Tensor(np.zeros_like(target))
+        assert pairwise_hinge_loss(pred, target).item() >= 0.0
+
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 10), elements=st.floats(-10, 10, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hinge_zero_iff_margin_ranked(self, target):
+        # Predicting an amplified version of the target always satisfies a
+        # small margin (strict inequalities scale up).
+        pred = Tensor(target * 100.0)
+        unique_gaps = np.abs(np.subtract.outer(target, target))
+        min_gap = unique_gaps[unique_gaps > 0].min() if (unique_gaps > 0).any() else None
+        if min_gap is not None and min_gap * 100 > 0.1:
+            assert pairwise_hinge_loss(pred, target, margin=0.1).item() == pytest.approx(0.0)
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.floats(0.01, 1.0), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_geometric_mean_bounds(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(3, 30),
+            # Quantize to avoid float-precision tie collapses under the
+            # affine transform (ties must stay ties, gaps stay gaps).
+            elements=st.floats(-100, 100, allow_nan=False).map(lambda v: round(v, 3)),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_spearman_invariant_to_monotone_transform(self, x):
+        y = np.arange(len(x), dtype=np.float64)
+        a = spearman(x, y)
+        b = spearman(3.0 * x + 7.0, y)  # strictly monotone affine transform
+        assert a == pytest.approx(b, abs=1e-9)
+
+
+class TestParetoProperties:
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30), elements=st.floats(0.1, 100, allow_nan=False)),
+        st.randoms(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_front_is_mutually_nondominating(self, lat, rnd):
+        acc = np.array([rnd.uniform(50, 80) for _ in lat])
+        front = pareto_front(lat, acc)
+        assert len(front) >= 1
+        for i in front:
+            for j in front:
+                if i != j:
+                    dominates = lat[j] <= lat[i] and acc[j] >= acc[i] and (
+                        lat[j] < lat[i] or acc[j] > acc[i]
+                    )
+                    assert not dominates
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 20), elements=st.floats(0.1, 100, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_point_dominated_by_front(self, lat):
+        acc = 100.0 - lat  # anti-correlated: all points on the front
+        front = set(pareto_front(lat, acc).tolist())
+        for k in range(len(lat)):
+            if k not in front:
+                assert any(
+                    lat[f] <= lat[k] and acc[f] >= acc[k] for f in front
+                )
+
+
+class TestGraphProperties:
+    @given(st.integers(2, 8), st.randoms())
+    @settings(max_examples=50, deadline=None)
+    def test_longest_path_bounded_by_nodes(self, n, rnd):
+        adj = np.triu(np.array([[rnd.random() < 0.5 for _ in range(n)] for _ in range(n)]), k=1)
+        depth = longest_path_length(adj.astype(np.int8))
+        assert 0 <= depth <= n - 1
+
+
+class TestSamplerProperties:
+    @given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_sampler_contract(self, k, seed):
+        from repro.samplers import RandomSampler
+        from repro.spaces import GenericCellSpace
+
+        space = GenericCellSpace("nb101", table_size=300)
+        idx = RandomSampler().select(space, k, np.random.default_rng(seed))
+        assert len(idx) == k == len(np.unique(idx))
+        assert idx.min() >= 0 and idx.max() < 300

@@ -1,0 +1,61 @@
+"""Pipeline checkpoint save/load."""
+import numpy as np
+import pytest
+
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.tasks import Task
+from repro.transfer import NASFLATPipeline, PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def mini_task():
+    from repro.spaces import GenericCellSpace
+    from repro.spaces.registry import _INSTANCES
+
+    sp = GenericCellSpace("nb101", table_size=300)
+    _INSTANCES[sp.name] = sp
+    return Task("T-ckpt", sp.name, train_devices=("pixel3", "pixel2"), test_devices=("fpga",))
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        pretrain=PretrainConfig(samples_per_device=32, epochs=3, batch_size=16),
+        finetune=FinetuneConfig(epochs=8),
+        n_test=100,
+    )
+
+
+class TestPipelineCheckpoint:
+    def test_save_before_pretrain_rejected(self, mini_task, cfg, tmp_path):
+        pipe = NASFLATPipeline(mini_task, cfg, seed=0)
+        with pytest.raises(RuntimeError):
+            pipe.save_pretrained(tmp_path / "ckpt.npz")
+
+    def test_roundtrip_transfers_identically(self, mini_task, cfg, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        pipe1 = NASFLATPipeline(mini_task, cfg, seed=0)
+        pipe1.pretrain()
+        pipe1.save_pretrained(path)
+        res1 = pipe1.transfer("fpga", sample_indices=np.arange(12))
+
+        pipe2 = NASFLATPipeline(mini_task, cfg, seed=0)
+        meta = pipe2.load_pretrained(path)
+        assert meta["task"] == "T-ckpt" and meta["train_devices"] == ["pixel3", "pixel2"]
+        res2 = pipe2.transfer("fpga", sample_indices=np.arange(12))
+        # Same checkpoint + same samples => identical adapted weights.
+        for key, val in pipe2.last_predictor.state_dict().items():
+            np.testing.assert_array_equal(val, pipe1.last_predictor.state_dict()[key])
+        assert res1.init_device == res2.init_device
+
+    def test_task_mismatch_rejected(self, mini_task, cfg, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        pipe = NASFLATPipeline(mini_task, cfg, seed=0)
+        pipe.pretrain()
+        pipe.save_pretrained(path)
+        other_task = Task("T-other", mini_task.space, ("pixel3", "pixel2"), ("eyeriss",))
+        other = NASFLATPipeline(other_task, cfg, seed=0)
+        with pytest.raises(ValueError, match="pretrained for task"):
+            other.load_pretrained(path)

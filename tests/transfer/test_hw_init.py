@@ -1,0 +1,23 @@
+"""Hardware-embedding initialization selection (§5.2)."""
+import numpy as np
+import pytest
+
+from repro.transfer import select_init_device
+
+
+class TestSelectInit:
+    def test_picks_most_correlated(self, nb201_dataset, rng):
+        idx = rng.choice(15625, 30, replace=False)
+        # titanxp_1 should be chosen for 1080ti_1 over edge accelerators.
+        chosen = select_init_device(
+            nb201_dataset, "1080ti_1", idx, ["titanxp_1", "edge_tpu_int8", "fpga"]
+        )
+        assert chosen == "titanxp_1"
+
+    def test_single_source(self, nb201_dataset, rng):
+        idx = rng.choice(15625, 10, replace=False)
+        assert select_init_device(nb201_dataset, "pixel3", idx, ["fpga"]) == "fpga"
+
+    def test_empty_sources_rejected(self, nb201_dataset):
+        with pytest.raises(ValueError):
+            select_init_device(nb201_dataset, "pixel3", np.arange(5), [])

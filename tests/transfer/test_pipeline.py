@@ -1,0 +1,90 @@
+"""End-to-end pipeline orchestration."""
+import numpy as np
+import pytest
+
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.tasks import Task
+from repro.transfer import NASFLATPipeline, PipelineConfig
+from repro.transfer.pipeline import quick_config
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    from repro.spaces import GenericCellSpace
+    from repro.spaces.registry import _INSTANCES
+
+    sp = GenericCellSpace("nb101", table_size=300)
+    _INSTANCES[sp.name] = sp  # register so the pipeline can look it up
+    return Task(
+        "T-mini",
+        sp.name,
+        train_devices=("pixel3", "pixel2", "gold_6226"),
+        test_devices=("fpga", "eyeriss"),
+    )
+
+
+@pytest.fixture(scope="module")
+def mini_cfg():
+    return PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        pretrain=PretrainConfig(samples_per_device=48, epochs=6, batch_size=16),
+        finetune=FinetuneConfig(epochs=15),
+        n_test=150,
+    )
+
+
+class TestPipeline:
+    def test_transfer_before_pretrain_rejected(self, small_task, mini_cfg):
+        pipe = NASFLATPipeline(small_task, mini_cfg, seed=0)
+        with pytest.raises(RuntimeError):
+            pipe.transfer("fpga")
+
+    def test_transfer_to_non_test_device_rejected(self, small_task, mini_cfg):
+        pipe = NASFLATPipeline(small_task, mini_cfg, seed=0)
+        pipe.pretrain()
+        with pytest.raises(KeyError):
+            pipe.transfer("pixel3")
+
+    def test_run_covers_all_test_devices(self, small_task, mini_cfg):
+        pipe = NASFLATPipeline(small_task, mini_cfg, seed=0)
+        results = pipe.run()
+        assert set(results) == {"fpga", "eyeriss"}
+        for res in results.values():
+            assert -1.0 <= res.spearman <= 1.0
+            assert res.n_samples == mini_cfg.n_transfer_samples
+            assert res.finetune_seconds > 0
+
+    def test_hw_init_records_device(self, small_task, mini_cfg):
+        import dataclasses
+
+        cfg = dataclasses.replace(mini_cfg, hw_init=True)
+        pipe = NASFLATPipeline(small_task, cfg, seed=0)
+        pipe.pretrain()
+        res = pipe.transfer("fpga")
+        assert res.init_device in small_task.train_devices
+
+    def test_no_hw_init(self, small_task, mini_cfg):
+        import dataclasses
+
+        cfg = dataclasses.replace(mini_cfg, hw_init=False)
+        pipe = NASFLATPipeline(small_task, cfg, seed=0)
+        pipe.pretrain()
+        assert pipe.transfer("fpga").init_device is None
+
+    def test_explicit_sample_indices(self, small_task, mini_cfg):
+        pipe = NASFLATPipeline(small_task, mini_cfg, seed=0)
+        pipe.pretrain()
+        res = pipe.transfer("fpga", sample_indices=np.arange(12))
+        assert res.n_samples == 12
+
+
+class TestQuickConfig:
+    def test_returns_scaled_down(self):
+        cfg = quick_config()
+        assert cfg.pretrain.samples_per_device < PretrainConfig().samples_per_device
+        assert cfg.pretrain.epochs < PretrainConfig().epochs
+
+    def test_overrides(self):
+        cfg = quick_config(sampler="params", supplementary=None)
+        assert cfg.sampler == "params" and cfg.supplementary is None
