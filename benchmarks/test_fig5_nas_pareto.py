@@ -37,7 +37,7 @@ def test_fig5_nas_pareto(benchmark):
             rng = np.random.default_rng(0)
             idx = rng.choice(len(lat), s, replace=False)
             tr = pipe.transfer(DEVICE, sample_indices=idx)
-            scorer = lambda i: predict_latency(pipe.last_predictor, DEVICE, i, supplementary=pipe._supp)
+            scorer = lambda i: predict_latency(pipe.last_predictor, DEVICE, i, supplementary=pipe.supplementary)
             pts = []
             for q in CONSTRAINT_QUANTILES:
                 res = latency_constrained_search(

@@ -1,0 +1,63 @@
+"""Serving-layer benchmark: ``PredictorSession.predict_batch`` vs the
+training-path loop.
+
+Acceptance check for the serving subsystem: once a device is adapted, a
+batched query through the session must beat re-running the experiment path
+(``pipeline.transfer`` + per-query prediction) by a wide margin, because
+the session amortizes adaptation and memoizes encoded batches.  We print
+per-query latency and the speedup, and assert the session wins by ≥ 10×
+(the measured gap is orders of magnitude).
+"""
+import time
+
+import numpy as np
+
+from bench_util import bench_config
+from repro import get_task
+from repro.serving import PredictorSession
+from repro.transfer import NASFLATPipeline
+
+TASK = "N1"
+N_QUERIES = 5
+BATCH = 128
+
+
+def _measure(fn, n):
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - t0) / n
+
+
+def test_serving_session_beats_transfer_loop(benchmark):
+    cfg = bench_config(n_transfer_samples=10)
+    task = get_task(TASK)
+    device = task.test_devices[0]
+    rng = np.random.default_rng(0)
+    query = rng.choice(15625, size=BATCH, replace=False)
+
+    def run():
+        # Training path: every query pays clone + finetune + predict.
+        pipe = NASFLATPipeline(task, cfg, seed=0)
+        pipe.pretrain()
+
+        def via_transfer():
+            res = pipe.transfer(device)
+            pipe.last_predictor.predict(device, query)
+            return res
+
+        cold_per_query = _measure(via_transfer, N_QUERIES)
+
+        # Serving path: one session over the same checkpoint, device adapted
+        # once, batched queries after.
+        session = PredictorSession.from_pipeline(pipe)
+        session.adapt(device)  # pay adaptation once, up front
+
+        hot_per_query = _measure(lambda: session.predict_batch(device, query), N_QUERIES)
+        return cold_per_query, hot_per_query, session.stats
+
+    cold, hot, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = cold / hot
+    print(f"\nper-query: transfer-loop={cold * 1e3:.1f}ms  session-hot={hot * 1e3:.2f}ms")
+    print(f"speedup: {speedup:.0f}x  (stats: {stats})")
+    assert speedup >= 10.0, f"serving session only {speedup:.1f}x faster than transfer loop"

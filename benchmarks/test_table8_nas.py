@@ -64,7 +64,7 @@ def test_table8_nas(benchmark):
         pipe = NASFLATPipeline(task, cfg, seed=0)
         pipe.pretrain()
         tr = pipe.transfer(DEVICE)
-        scorer = lambda i: predict_latency(pipe.last_predictor, DEVICE, i, supplementary=pipe._supp)
+        scorer = lambda i: predict_latency(pipe.last_predictor, DEVICE, i, supplementary=pipe.supplementary)
         measured = rng.choice(len(lat), 20, replace=False)
         res = latency_constrained_search(
             ds, DEVICE, constraint, gen, scorer, measured, rng, tr.finetune_seconds

@@ -31,7 +31,7 @@ def main() -> None:
     generator = MetaD2ASimulator(pipeline.space)
     rng = np.random.default_rng(0)
     measured = rng.choice(len(dataset), 20, replace=False)
-    scorer = lambda idx: predict_latency(pipeline.last_predictor, DEVICE, idx, supplementary=pipeline._supp)
+    scorer = lambda idx: predict_latency(pipeline.last_predictor, DEVICE, idx, supplementary=pipeline.supplementary)
 
     latencies = dataset.latencies(DEVICE)
     print(f"{'constraint':>12} {'found lat':>10} {'accuracy':>9} {'total cost':>11}")

@@ -2,24 +2,47 @@
 Search" (Akhauri & Abdelfattah, MLSys 2024): the NASFLAT few-shot latency
 predictor, its substrates, baselines, and the full benchmark suite.
 
-Quickstart::
+Quickstart (fluent builder API)::
 
-    from repro.tasks import get_task
-    from repro.transfer import NASFLATPipeline
-    from repro.transfer.pipeline import quick_config
+    from repro import Pipeline
 
-    pipeline = NASFLATPipeline(get_task("N1"), quick_config(), seed=0)
+    pipeline = Pipeline.for_task("N1").sampler("cosine-caz").supplementary("zcp").quick().build()
     results = pipeline.run()
     for device, res in results.items():
         print(device, res.spearman)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured results of every table and figure.
-"""
-__version__ = "1.0.0"
+Serving (batched queries against a pretrained checkpoint)::
 
+    from repro.serving import PredictorSession
+
+    session = PredictorSession.from_checkpoint("n1.npz")
+    scores = session.predict_batch("titan_rtx_32", [0, 42, 15624])
+
+See README.md for installation, the CLI tour, and the architecture
+overview; every component family (spaces, samplers, encodings, devices)
+resolves through :class:`repro.core.Registry`, and every predictor speaks
+the :class:`repro.core.LatencyEstimator` protocol.
+"""
+__version__ = "1.1.0"
+
+from repro.core import LatencyEstimator, Registry
 from repro.spaces.registry import get_space
 from repro.tasks.devsets import TASKS, get_task
+from repro.transfer.builder import PipelineBuilder
 from repro.transfer.pipeline import NASFLATPipeline, PipelineConfig
 
-__all__ = ["get_space", "TASKS", "get_task", "NASFLATPipeline", "PipelineConfig", "__version__"]
+# Preferred alias for the fluent API (``Pipeline.for_task(...)``).
+Pipeline = NASFLATPipeline
+
+__all__ = [
+    "get_space",
+    "TASKS",
+    "get_task",
+    "NASFLATPipeline",
+    "Pipeline",
+    "PipelineBuilder",
+    "PipelineConfig",
+    "Registry",
+    "LatencyEstimator",
+    "__version__",
+]

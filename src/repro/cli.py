@@ -5,6 +5,7 @@ Commands
 ``tasks``      list the 12 device-set tasks and their pools.
 ``devices``    list simulated devices (optionally per space).
 ``transfer``   pretrain on a task's source pool and adapt to target devices.
+``predict``    serve batched latency predictions via a PredictorSession.
 ``nas``        run a latency-constrained NAS on an unseen device.
 ``partition``  run Algorithm 1 over a device list.
 """
@@ -61,12 +62,49 @@ def _cmd_transfer(args) -> int:
     return 0
 
 
+def _cmd_predict(args) -> int:
+    from repro.serving import PredictorSession
+    from repro.transfer.pipeline import quick_config
+
+    cfg = quick_config(n_transfer_samples=args.samples)
+    if args.checkpoint:
+        session = PredictorSession.from_checkpoint(args.checkpoint, task=args.task, config=cfg)
+    else:
+        if not args.task:
+            print("error: --task is required without --checkpoint", file=sys.stderr)
+            return 2
+        session = PredictorSession(args.task, cfg, seed=args.seed)
+
+    # Validate the query before any (expensive) pretraining.
+    indices = np.asarray(args.indices, dtype=np.int64)
+    n = session.pipeline.space.num_architectures()
+    bad = indices[(indices < 0) | (indices >= n)]
+    if len(bad):
+        print(f"error: architecture indices out of range [0, {n}): {bad.tolist()}", file=sys.stderr)
+        return 2
+
+    if not session.pipeline.is_pretrained:
+        print(f"No checkpoint given: pretraining a quick session on {args.task} ...", flush=True)
+        session.pretrain()
+    if args.save_checkpoint:
+        session.save(args.save_checkpoint)
+        print(f"checkpoint saved to {args.save_checkpoint}")
+    for device in args.devices:
+        scores = session.predict_batch(device, indices)
+        for i, s in zip(indices, scores):
+            print(f"{device:<34} arch #{i:<6} score={s:+.4f}")
+    stats = session.stats
+    print(
+        f"[session] adapts={stats.adapt_calls} device-hits={stats.device_hits} "
+        f"queries={stats.queries} archs={stats.architectures_scored}"
+    )
+    return 0
+
+
 def _cmd_nas(args) -> int:
     from repro import get_task
-    from repro.hardware.dataset import LatencyDataset
     from repro.nas import MetaD2ASimulator, latency_constrained_search
     from repro.predictors.training import predict_latency
-    from repro.spaces.registry import get_space
     from repro.transfer import NASFLATPipeline
     from repro.transfer.pipeline import quick_config
 
@@ -85,7 +123,7 @@ def _cmd_nas(args) -> int:
     lat = ds.latencies(args.device)
     constraint = float(np.quantile(lat, args.constraint_quantile))
     measured = rng.choice(len(ds), tr.n_samples, replace=False)
-    scorer = lambda idx: predict_latency(pipe.last_predictor, args.device, idx, supplementary=pipe._supp)
+    scorer = lambda idx: predict_latency(pipe.last_predictor, args.device, idx, supplementary=pipe.supplementary)
     res = latency_constrained_search(
         ds, args.device, constraint, gen, scorer, measured, rng, tr.finetune_seconds
     )
@@ -108,7 +146,10 @@ def _cmd_partition(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tasks", help="list device-set tasks").set_defaults(func=_cmd_tasks)
@@ -126,6 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--full-scale", action="store_true", help="paper-scale training (slow)")
     p.set_defaults(func=_cmd_transfer)
+
+    p = sub.add_parser("predict", help="batched latency predictions via a serving session")
+    p.add_argument("--task", default=None, help="task name (read from checkpoint metadata if omitted)")
+    p.add_argument("--devices", nargs="+", required=True, help="target devices to adapt and query")
+    p.add_argument("--indices", nargs="+", type=int, required=True, help="architecture table indices")
+    p.add_argument("--checkpoint", default=None, help="pretrained checkpoint (.npz) to serve from")
+    p.add_argument("--save-checkpoint", default=None, help="persist the checkpoint after pretraining")
+    p.add_argument("--samples", type=int, default=20, help="on-device samples for adaptation")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_predict)
 
     p = sub.add_parser("nas", help="latency-constrained NAS on an unseen device")
     p.add_argument("--task", default="ND")

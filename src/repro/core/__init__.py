@@ -1,0 +1,12 @@
+"""Core abstractions shared by every subsystem.
+
+* :class:`~repro.core.registry.Registry` — the one component registry class
+  behind spaces, samplers, encodings, and devices.
+* :class:`~repro.core.estimator.LatencyEstimator` — the protocol every
+  latency predictor (NASFLAT and the baselines) conforms to, so benchmarks,
+  NAS search, serving, and the CLI can swap predictors uniformly.
+"""
+from repro.core.registry import Registry, UnknownComponentError
+from repro.core.estimator import LatencyEstimator
+
+__all__ = ["Registry", "UnknownComponentError", "LatencyEstimator"]

@@ -1,0 +1,54 @@
+"""The latency-estimator protocol every predictor conforms to.
+
+The paper compares NASFLAT against four baseline predictors, each grown in
+its own module with its own method names (``meta_train``, ``pretrain``,
+``finetune``, ``transfer``, ...).  Benchmarks, NAS search, the serving
+layer, and the CLI all want to swap predictors without caring which one
+they hold, so they program against this protocol instead:
+
+* ``fit(dataset, devices)`` — one-time training on the source-device pool
+  (pretraining / meta-learning; a no-op for analytic predictors);
+* ``adapt(device, indices)`` — few-shot adaptation to one target device
+  using the latencies of ``indices`` measured on it.  An estimator may be
+  adapted to many devices; adaptations must not interfere;
+* ``predict(device, indices)`` — latency *scores* for architecture table
+  indices on an adapted (or source) device.  Scores are rank-faithful but
+  not calibrated to milliseconds (the paper's ranking-loss convention);
+* ``save(path)`` / ``load(path)`` — persist and restore the fitted state.
+
+Conformance is structural (:func:`typing.runtime_checkable`): any object
+with the five methods satisfies ``isinstance(obj, LatencyEstimator)``.
+"""
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # import-light: hardware imports core, not vice versa
+    from repro.hardware.dataset import LatencyDataset
+
+
+@runtime_checkable
+class LatencyEstimator(Protocol):
+    """Structural protocol for few-shot multi-device latency predictors."""
+
+    def fit(self, dataset: "LatencyDataset", devices: Sequence[str]) -> "LatencyEstimator":
+        """Train on the source-device pool; returns self for chaining."""
+        ...
+
+    def adapt(self, device: str, indices: np.ndarray) -> "LatencyEstimator":
+        """Few-shot adaptation to ``device``; returns self for chaining."""
+        ...
+
+    def predict(self, device: str, indices: np.ndarray) -> np.ndarray:
+        """Predicted latency scores for ``indices`` on ``device``."""
+        ...
+
+    def save(self, path) -> None:
+        """Persist fitted state to ``path``."""
+        ...
+
+    def load(self, path) -> dict:
+        """Restore state saved by :meth:`save`; returns stored metadata."""
+        ...

@@ -1,0 +1,151 @@
+"""The one generic component registry.
+
+Four component families (search spaces, samplers, encodings, devices) used
+to each roll their own lookup idiom — an if/elif chain, a spec-string
+parser, a module-level factory dict, and a hand-built mapping.  They all
+resolve through :class:`Registry` now:
+
+* decorator-based registration: ``@REG.register("name")``;
+* lazy factories: components are built on first lookup, never at import;
+* dynamic names: a *resolver* turns patterned names (``generic-nb101``,
+  ``cosine-zcp``) into factories on demand;
+* per-name instance caching for families whose instances must be shared
+  (spaces, devices) so downstream memoization stays coherent;
+* unknown names raise :class:`UnknownComponentError` listing the valid
+  choices and close matches.
+"""
+from __future__ import annotations
+
+import difflib
+from typing import Any, Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+Factory = Callable[..., T]
+# A resolver maps a dynamic name to a factory, or None if it does not match.
+Resolver = Callable[[str], "Factory | None"]
+
+
+class UnknownComponentError(KeyError, ValueError):
+    """Unknown component name.
+
+    Subclasses both ``KeyError`` and ``ValueError`` so call sites that
+    historically raised either keep their contract through the migration.
+    """
+
+    def __init__(self, kind: str, name: str, choices: list[str]):
+        self.kind = kind
+        self.name = name
+        self.choices = choices
+        msg = f"unknown {kind} {name!r}"
+        if choices:
+            msg += f"; available: {choices}"
+        similar = difflib.get_close_matches(name, choices, n=6, cutoff=0.4)
+        if not similar:
+            head = name.split("-")[0].split("_")[0]
+            similar = [c for c in choices if head and head in c][:6]
+        if similar:
+            msg += f"; similar: {similar}"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError wraps args in repr; keep it readable
+        return self.args[0]
+
+
+class Registry(Generic[T]):
+    """Name → factory mapping with optional per-name instance caching.
+
+    Parameters
+    ----------
+    kind: human-readable component family name, used in error messages
+        (``"search space"``, ``"sampler"``, ...).
+    cache: when true, ``get(name)`` builds each component once and returns
+        the shared instance afterwards.  Lookups that pass construction
+        arguments are never cached (the arguments select the instance).
+    """
+
+    def __init__(self, kind: str, *, cache: bool = False):
+        self.kind = kind
+        self.cache = cache
+        self.factories: dict[str, Factory] = {}
+        self._resolvers: list[Resolver] = []
+        self._instances: dict[str, T] = {}
+
+    # ---------------------------------------------------------- registration
+    def register(self, name: str, factory: Factory | None = None):
+        """Register a factory, as a decorator or a direct call.
+
+        ``@REG.register("name")`` on a class or function, or
+        ``REG.register("name", factory)`` imperatively.
+        """
+
+        def _add(fn: Factory) -> Factory:
+            if name in self.factories:
+                raise ValueError(f"{self.kind} {name!r} is already registered")
+            self.factories[name] = fn
+            return fn
+
+        return _add(factory) if factory is not None else _add
+
+    def register_resolver(self, resolver: Resolver) -> Resolver:
+        """Register a dynamic-name resolver (also usable as a decorator).
+
+        Resolvers handle patterned names that cannot be enumerated up front;
+        they return a factory for a matching name, or ``None``.
+        """
+        self._resolvers.append(resolver)
+        return resolver
+
+    # ---------------------------------------------------------------- lookup
+    def factory(self, name: str) -> Factory:
+        """The factory behind ``name``; raises :class:`UnknownComponentError`."""
+        if name in self.factories:
+            return self.factories[name]
+        for resolver in self._resolvers:
+            fn = resolver(name)
+            if fn is not None:
+                return fn
+        raise UnknownComponentError(self.kind, name, self.names())
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> T:
+        """Always build a fresh instance, bypassing the cache."""
+        return self.factory(name)(*args, **kwargs)
+
+    def get(self, name: str, *args: Any, **kwargs: Any) -> T:
+        """Look up (and possibly build) the component for ``name``.
+
+        With ``cache=True`` and no construction arguments the instance is
+        shared across calls, keeping per-name downstream caches coherent.
+        """
+        if self.cache and not args and not kwargs:
+            if name not in self._instances:
+                self._instances[name] = self.create(name)
+            return self._instances[name]
+        return self.create(name, *args, **kwargs)
+
+    # ------------------------------------------------------------ inspection
+    def names(self) -> list[str]:
+        """Sorted statically-registered names (resolver-only names excluded)."""
+        return sorted(self.factories)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.factory(name)
+        except (KeyError, ValueError):
+            # Resolvers may reject a matching-prefix-but-invalid name with
+            # their own error; membership tests must not propagate it.
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self.factories)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {len(self.factories)} registered, cache={self.cache})"
+
+    def clear_instances(self) -> None:
+        """Drop cached instances (tests that need fresh components)."""
+        self._instances.clear()

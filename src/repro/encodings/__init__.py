@@ -15,7 +15,7 @@ All encoders implement :class:`~repro.encodings.base.Encoder` (``fit`` once
 per space, then ``encode`` arbitrary architecture indices) and results are
 memoized per space via :func:`~repro.encodings.base.get_encoding`.
 """
-from repro.encodings.base import Encoder, get_encoding, ENCODER_FACTORIES, clear_encoding_cache
+from repro.encodings.base import Encoder, get_encoding, ENCODERS, ENCODER_FACTORIES, clear_encoding_cache
 from repro.encodings.adjop import AdjOpEncoder
 from repro.encodings.zcp_encoding import ZCPEncoder
 from repro.encodings.arch2vec import Arch2VecEncoder
@@ -26,6 +26,7 @@ __all__ = [
     "Encoder",
     "get_encoding",
     "clear_encoding_cache",
+    "ENCODERS",
     "ENCODER_FACTORIES",
     "AdjOpEncoder",
     "ZCPEncoder",

@@ -3,10 +3,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.encodings.base import ENCODERS, Encoder
 from repro.spaces.base import SearchSpace
 
 
+@ENCODERS.register("adjop")
 class AdjOpEncoder(Encoder):
     """The baseline structural encoding every predictor in the paper sees."""
 
@@ -31,5 +32,3 @@ class AdjOpEncoder(Encoder):
             raise RuntimeError("call fit() before dim")
         return self._table.shape[1]
 
-
-ENCODER_FACTORIES["adjop"] = AdjOpEncoder

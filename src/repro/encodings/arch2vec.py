@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.encodings.base import ENCODERS, Encoder
 from repro.nnlib import (
     Adam,
     Linear,
@@ -48,6 +48,7 @@ class _VGAE(Module):
         return self.decoder(z), mu, logvar
 
 
+@ENCODERS.register("arch2vec")
 class Arch2VecEncoder(Encoder):
     """32-dim VGAE latent, trained unsupervised on the space's own table."""
 
@@ -95,5 +96,3 @@ class Arch2VecEncoder(Encoder):
     def dim(self) -> int:
         return LATENT_DIM
 
-
-ENCODER_FACTORIES["arch2vec"] = Arch2VecEncoder

@@ -1,10 +1,9 @@
 """Encoder protocol and the per-space encoding cache."""
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
+from repro.core.registry import Registry
 from repro.spaces.base import SearchSpace
 
 
@@ -29,8 +28,13 @@ class Encoder:
         raise NotImplementedError
 
 
-# Filled in by each encoder module at import time (see package __init__).
-ENCODER_FACTORIES: dict[str, Callable[[], Encoder]] = {}
+# Encoder factories by name; each encoder module registers itself at import
+# time (see package __init__).
+ENCODERS: Registry[Encoder] = Registry("encoder")
+
+# Legacy alias: the registry's live factory mapping, so historical
+# ``ENCODER_FACTORIES[name] = cls`` registration still works.
+ENCODER_FACTORIES = ENCODERS.factories
 
 _ENCODING_CACHE: dict[tuple[str, str], np.ndarray] = {}
 
@@ -44,9 +48,7 @@ def get_encoding(space: SearchSpace, encoder_name: str, seed: int = 0) -> np.nda
     """
     key = (space.name, encoder_name)
     if key not in _ENCODING_CACHE:
-        if encoder_name not in ENCODER_FACTORIES:
-            raise KeyError(f"unknown encoder {encoder_name!r}; available: {sorted(ENCODER_FACTORIES)}")
-        encoder = ENCODER_FACTORIES[encoder_name]()
+        encoder = ENCODERS.create(encoder_name)
         encoder.fit(space, seed=seed)
         _ENCODING_CACHE[key] = encoder.encode(np.arange(space.num_architectures()))
     return _ENCODING_CACHE[key]

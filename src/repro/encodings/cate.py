@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.encodings.base import ENCODERS, Encoder
 from repro.hardware.features import compute_features
 from repro.nnlib import (
     Adam,
@@ -86,6 +86,7 @@ class _CATEModel(Module):
         return self.head(self.hidden(tokens))
 
 
+@ENCODERS.register("cate")
 class CATEEncoder(Encoder):
     """32-dim masked-op transformer latent over computationally-similar pairs."""
 
@@ -172,5 +173,3 @@ class CATEEncoder(Encoder):
     def dim(self) -> int:
         return LATENT_DIM
 
-
-ENCODER_FACTORIES["cate"] = CATEEncoder

@@ -4,12 +4,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.encodings.arch2vec import Arch2VecEncoder
-from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.encodings.base import ENCODERS, Encoder
 from repro.encodings.cate import CATEEncoder
 from repro.encodings.zcp_encoding import ZCPEncoder
 from repro.spaces.base import SearchSpace
 
 
+@ENCODERS.register("caz")
 class CAZEncoder(Encoder):
     """Concatenation of CATE, Arch2Vec, and ZCP (77 dims total)."""
 
@@ -44,5 +45,3 @@ class CAZEncoder(Encoder):
     def dim(self) -> int:
         return self._table.shape[1]
 
-
-ENCODER_FACTORIES["caz"] = CAZEncoder

@@ -3,11 +3,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.encodings.base import ENCODER_FACTORIES, Encoder
+from repro.encodings.base import ENCODERS, Encoder
 from repro.proxies import PROXY_NAMES, zcp_matrix
 from repro.spaces.base import SearchSpace
 
 
+@ENCODERS.register("zcp")
 class ZCPEncoder(Encoder):
     name = "zcp"
 
@@ -27,5 +28,3 @@ class ZCPEncoder(Encoder):
     def dim(self) -> int:
         return len(PROXY_NAMES)
 
-
-ENCODER_FACTORIES["zcp"] = ZCPEncoder

@@ -8,6 +8,9 @@ as the paper does, because batch-1 and batch-256 ranks correlate weakly.
 """
 from __future__ import annotations
 
+from collections.abc import Mapping
+
+from repro.core.registry import Registry, UnknownComponentError
 from repro.hardware.device import FAMILY_ARCHETYPES, DeviceModel
 
 # GPU base chips available in HW-NAS-Bench, with their batch variants.
@@ -65,34 +68,63 @@ _MEASURE_SECONDS = {
 }
 
 
-def _build_registry() -> dict[str, DeviceModel]:
-    registry: dict[str, DeviceModel] = {}
-    for chip in _GPU_CHIPS:
-        base = FAMILY_ARCHETYPES["desktop_gpu"].perturbed(chip)
-        for batch in _GPU_BATCHES:
-            name = f"{chip}_{batch}"
-            registry[name] = base.with_batch(batch, name=name)
-    for name, family in _HWNB_DEVICES + _EAGLE_DEVICES:
-        registry[name] = FAMILY_ARCHETYPES[family].perturbed(name)
-    return registry
+DEVICES: Registry[DeviceModel] = Registry("device", cache=True)
 
 
-DEVICE_REGISTRY: dict[str, DeviceModel] = _build_registry()
+def _gpu_variant(chip: str, batch: int):
+    def build() -> DeviceModel:
+        name = f"{chip}_{batch}"
+        return _gpu_base(chip).with_batch(batch, name=name)
+
+    return build
+
+
+_GPU_BASES: dict[str, DeviceModel] = {}
+
+
+def _gpu_base(chip: str) -> DeviceModel:
+    # Batch variants of one chip must share the perturbed base model
+    # (test contract: 1080ti_1 and 1080ti_256 have equal compute_rate).
+    if chip not in _GPU_BASES:
+        _GPU_BASES[chip] = FAMILY_ARCHETYPES["desktop_gpu"].perturbed(chip)
+    return _GPU_BASES[chip]
+
+
+for _chip in _GPU_CHIPS:
+    for _batch in _GPU_BATCHES:
+        DEVICES.register(f"{_chip}_{_batch}", _gpu_variant(_chip, _batch))
+for _name, _family in _HWNB_DEVICES + _EAGLE_DEVICES:
+    DEVICES.register(_name, (lambda n, f: lambda: FAMILY_ARCHETYPES[f].perturbed(n))(_name, _family))
+
+
+class _DeviceMapping(Mapping):
+    """Legacy dict-style view over ``DEVICES`` (lazily materializing)."""
+
+    def __getitem__(self, name: str) -> DeviceModel:
+        try:
+            return DEVICES.get(name)
+        except UnknownComponentError:
+            raise KeyError(name) from None
+
+    def __iter__(self):
+        return iter(DEVICES.names())
+
+    def __len__(self) -> int:
+        return len(DEVICES)
+
+
+DEVICE_REGISTRY: Mapping = _DeviceMapping()
 
 _EAGLE_NAMES = frozenset(name for name, _ in _EAGLE_DEVICES)
 
 
 def get_device(name: str) -> DeviceModel:
     """Look up a device by canonical name; raises with suggestions."""
-    try:
-        return DEVICE_REGISTRY[name]
-    except KeyError:
-        close = [d for d in DEVICE_REGISTRY if name.split("_")[0] in d]
-        raise KeyError(f"unknown device {name!r}; similar: {close[:6]}") from None
+    return DEVICES.get(name)
 
 
 def list_devices() -> list[str]:
-    return sorted(DEVICE_REGISTRY)
+    return DEVICES.names()
 
 
 def devices_for_space(space_name: str) -> list[str]:

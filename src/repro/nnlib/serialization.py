@@ -30,6 +30,53 @@ def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = No
     np.savez(path, **payload)
 
 
+def read_checkpoint_metadata(path: str | Path) -> dict:
+    """Read just the JSON metadata of a checkpoint, without loading weights."""
+    with np.load(Path(path)) as archive:
+        if _META_KEY not in archive:
+            return {}
+        return json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+
+
+def save_state_bundle(
+    path: str | Path, bundles: dict[str, dict[str, np.ndarray]], metadata: dict | None = None
+) -> None:
+    """Write several named state dicts to one ``.npz`` archive.
+
+    Estimators that hold more than one parameter set (a meta state plus
+    per-device adapted states, say) flatten them here as ``bundle::param``
+    keys; :func:`load_state_bundle` reassembles the nesting.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {}
+    for bundle, state in bundles.items():
+        if "::" in bundle:
+            raise ValueError(f"bundle name {bundle!r} may not contain '::'")
+        for key, value in state.items():
+            payload[f"{bundle}::{key}"] = value
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_state_bundle(path: str | Path) -> tuple[dict[str, dict[str, np.ndarray]], dict]:
+    """Read an archive written by :func:`save_state_bundle`.
+
+    Returns ``(bundles, metadata)``.
+    """
+    bundles: dict[str, dict[str, np.ndarray]] = {}
+    with np.load(Path(path)) as archive:
+        meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
+        for key in archive.files:
+            if key == _META_KEY:
+                continue
+            bundle, _, param = key.partition("::")
+            bundles.setdefault(bundle, {})[param] = archive[key]
+    return bundles, json.loads(meta_raw)
+
+
 def load_checkpoint(module: Module, path: str | Path) -> dict:
     """Load a checkpoint into ``module``; returns the stored metadata.
 

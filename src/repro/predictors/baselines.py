@@ -8,7 +8,7 @@
   meta-learned across source devices and adapted with a few gradient steps.
   We use first-order Reptile in place of HELP's second-order MAML (the
   second-order term is what makes HELP slow to fine-tune — Table 8's
-  wall-clock comparison captures exactly this; see DESIGN.md).
+  wall-clock comparison captures exactly this).
 * :class:`MultiPredictPredictor` — Akhauri & Abdelfattah (2023): an MLP on a
   unified ZCP encoding plus a learnable hardware embedding, pretrained on
   source devices and fine-tuned on the target.
@@ -17,6 +17,8 @@
 * :class:`FLOPsPredictor` — the FLOPs-as-proxy baseline.
 """
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 from scipy.optimize import nnls
@@ -40,6 +42,11 @@ class BRPNASPredictor(Module):
         self.op_emb = Embedding(space.num_ops, emb_dim, rng)
         self.gnn = GNNStack(emb_dim, tuple(gnn_dims), op_dim=emb_dim, rng=rng, kind="dgf")
         self.head = MLP(self.gnn.out_dim, [128], 1, rng)
+        self._rng = rng
+        self._ctor = {"emb_dim": emb_dim, "gnn_dims": tuple(gnn_dims)}
+        self._dataset: LatencyDataset | None = None
+        # Per-device from-scratch models for the LatencyEstimator protocol.
+        self._adapted: dict[str, "BRPNASPredictor"] = {}
 
     def forward(self, adj: np.ndarray, ops: np.ndarray) -> Tensor:
         op_vecs = self.op_emb(ops)
@@ -49,14 +56,20 @@ class BRPNASPredictor(Module):
     def fit(
         self,
         dataset: LatencyDataset,
-        device: str,
-        indices: np.ndarray,
-        rng: np.random.Generator,
+        device=None,
+        indices: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
         epochs: int = 60,
         batch_size: int = 32,
         lr: float = 1e-3,
     ) -> "BRPNASPredictor":
+        if indices is None:
+            # LatencyEstimator form fit(dataset, devices): BRP-NAS has no
+            # pretraining stage — bind the dataset and wait for adapt().
+            self._dataset = dataset
+            return self
         tensors = SpaceTensors.for_space(self.space)
+        rng = rng if rng is not None else self._rng
         idx = np.asarray(indices, dtype=np.int64)
         target = _standardize_log(dataset.latency_of(device, idx))
         opt = Adam(self.parameters(), lr=lr, weight_decay=1e-5)
@@ -73,7 +86,12 @@ class BRPNASPredictor(Module):
                 opt.step()
         return self
 
-    def predict(self, indices: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    def predict(self, indices, arch_indices=None, batch_size: int = 256) -> np.ndarray:
+        if isinstance(indices, str):  # LatencyEstimator form: (device, indices)
+            device = indices
+            if device not in self._adapted:
+                raise KeyError(f"device {device!r} not adapted; call adapt(device, indices) first")
+            return self._adapted[device].predict(arch_indices, batch_size=batch_size)
         tensors = SpaceTensors.for_space(self.space)
         idx = np.asarray(indices, dtype=np.int64)
         outs = []
@@ -84,6 +102,47 @@ class BRPNASPredictor(Module):
                 outs.append(self(adj, ops).numpy())
         self.train()
         return np.concatenate(outs)
+
+    # ------------------------------------------- LatencyEstimator protocol
+    def adapt(self, device: str, indices: np.ndarray, rng=None, **fit_kwargs) -> "BRPNASPredictor":
+        """Train a fresh from-scratch model on the target device's samples.
+
+        The per-device model is initialized from a seed derived from the
+        device name, so :meth:`load` can rebuild the identical module.
+        """
+        if self._dataset is None:
+            raise RuntimeError("no dataset bound; call fit(dataset, devices) first")
+        rng = rng if rng is not None else self._rng
+        sub = self._device_model(device)
+        sub.fit(self._dataset, device, indices, rng, **fit_kwargs)
+        self._adapted[device] = sub
+        return self
+
+    def _device_model(self, device: str) -> "BRPNASPredictor":
+        return BRPNASPredictor(
+            self.space, np.random.default_rng(zlib.crc32(device.encode())), **self._ctor
+        )
+
+    def save(self, path, metadata: dict | None = None) -> None:
+        from repro.nnlib.serialization import save_state_bundle
+
+        bundles = {"model": self.state_dict()}
+        for dev, sub in self._adapted.items():
+            bundles[f"device:{dev}"] = sub.state_dict()
+        save_state_bundle(
+            path, bundles, metadata={"devices": sorted(self._adapted), **(metadata or {})}
+        )
+
+    def load(self, path) -> dict:
+        from repro.nnlib.serialization import load_state_bundle
+
+        bundles, meta = load_state_bundle(path)
+        self.load_state_dict(bundles["model"])
+        for dev in meta.get("devices", []):
+            sub = self._device_model(dev)
+            sub.load_state_dict(bundles[f"device:{dev}"])
+            self._adapted[dev] = sub
+        return meta
 
 
 class HELPPredictor(Module):
@@ -104,6 +163,12 @@ class HELPPredictor(Module):
         self._enc: np.ndarray | None = None
         in_dim = space.adjop_dim() + n_ref
         self.mlp = MLP(in_dim, list(hidden), 1, rng)
+        self._rng = rng
+        # LatencyEstimator state: meta weights plus per-device adaptations.
+        self._dataset: LatencyDataset | None = None
+        self._meta_state: dict | None = None
+        self._device_vecs: dict[str, np.ndarray] = {}
+        self._adapted_states: dict[str, dict] = {}
 
     def _encoding(self) -> np.ndarray:
         if self._enc is None:
@@ -176,7 +241,13 @@ class HELPPredictor(Module):
         self._inner_steps(self._encoding()[idx], target, device_vec, steps, lr, rng)
         return device_vec
 
-    def predict(self, indices: np.ndarray, device_vec: np.ndarray, batch_size: int = 512) -> np.ndarray:
+    def predict(self, indices, device_vec=None, batch_size: int = 512) -> np.ndarray:
+        if isinstance(indices, str):  # LatencyEstimator form: (device, indices)
+            device, indices = indices, device_vec
+            if device not in self._device_vecs:
+                raise KeyError(f"device {device!r} not adapted; call adapt(device, indices) first")
+            self.load_state_dict(self._adapted_states[device])
+            device_vec = self._device_vecs[device]
         idx = np.asarray(indices, dtype=np.int64)
         enc = self._encoding()[idx]
         outs = []
@@ -186,6 +257,55 @@ class HELPPredictor(Module):
                 outs.append(self(enc[start : start + batch_size], device_vec).numpy())
         self.train()
         return np.concatenate(outs)
+
+    # ------------------------------------------- LatencyEstimator protocol
+    def fit(self, dataset: LatencyDataset, devices, rng=None, **meta_kwargs) -> "HELPPredictor":
+        """Meta-train on the source pool and snapshot the meta weights."""
+        self._dataset = dataset
+        self.meta_train(dataset, list(devices), rng if rng is not None else self._rng, **meta_kwargs)
+        self._meta_state = self.state_dict()
+        return self
+
+    def adapt(self, device: str, indices: np.ndarray, rng=None, **transfer_kwargs) -> "HELPPredictor":
+        """Adapt from the meta weights; adaptations are independent per device."""
+        if self._dataset is None:
+            raise RuntimeError("no dataset bound; call fit(dataset, devices) first")
+        if self._meta_state is not None:
+            self.load_state_dict(self._meta_state)
+        vec = self.transfer(
+            self._dataset, device, indices, rng if rng is not None else self._rng, **transfer_kwargs
+        )
+        self._device_vecs[device] = vec
+        self._adapted_states[device] = self.state_dict()
+        return self
+
+    def save(self, path, metadata: dict | None = None) -> None:
+        from repro.nnlib.serialization import save_state_bundle
+
+        bundles = {
+            "model": self.state_dict(),
+            "refs": {"ref_archs": np.asarray(self.ref_archs)},
+        }
+        if self._meta_state is not None:
+            bundles["meta"] = self._meta_state
+        for dev in self._device_vecs:
+            bundles[f"vec:{dev}"] = {"device_vec": self._device_vecs[dev]}
+            bundles[f"device:{dev}"] = self._adapted_states[dev]
+        save_state_bundle(
+            path, bundles, metadata={"devices": sorted(self._device_vecs), **(metadata or {})}
+        )
+
+    def load(self, path) -> dict:
+        from repro.nnlib.serialization import load_state_bundle
+
+        bundles, meta = load_state_bundle(path)
+        self.load_state_dict(bundles["model"])
+        self.ref_archs = bundles["refs"]["ref_archs"]
+        self._meta_state = bundles.get("meta")
+        for dev in meta.get("devices", []):
+            self._device_vecs[dev] = bundles[f"vec:{dev}"]["device_vec"]
+            self._adapted_states[dev] = bundles[f"device:{dev}"]
+        return meta
 
 
 class MultiPredictPredictor(Module):
@@ -309,7 +429,9 @@ class MultiPredictPredictor(Module):
             opt.step()
         return self
 
-    def predict(self, indices: np.ndarray, device: str, batch_size: int = 512) -> np.ndarray:
+    def predict(self, indices, device=None, batch_size: int = 512) -> np.ndarray:
+        if isinstance(indices, str):  # LatencyEstimator form: (device, indices)
+            indices, device = device, indices
         idx = np.asarray(indices, dtype=np.int64)
         enc = self._encoding()[idx]
         didx = self.device_index[device]
@@ -321,6 +443,46 @@ class MultiPredictPredictor(Module):
                 outs.append(self(chunk, np.full(len(chunk), didx)).numpy())
         self.train()
         return np.concatenate(outs)
+
+    # ------------------------------------------- LatencyEstimator protocol
+    def fit(self, dataset: LatencyDataset, devices, rng=None, **pretrain_kwargs) -> "MultiPredictPredictor":
+        self._fit_dataset = dataset
+        return self.pretrain(
+            dataset, list(devices), rng if rng is not None else self._rng, **pretrain_kwargs
+        )
+
+    def adapt(self, device: str, indices: np.ndarray, rng=None, **finetune_kwargs) -> "MultiPredictPredictor":
+        dataset = getattr(self, "_fit_dataset", None)
+        if dataset is None:
+            raise RuntimeError("no dataset bound; call fit(dataset, devices) first")
+        return self.finetune(
+            dataset, device, indices, rng if rng is not None else self._rng, **finetune_kwargs
+        )
+
+    def save(self, path, metadata: dict | None = None) -> None:
+        from repro.nnlib.serialization import save_state_bundle
+
+        # device_index iterates in registration (= row) order.
+        meta = {"devices": list(self.device_index), "encoding": self.encoding}
+        save_state_bundle(path, {"model": self.state_dict()}, metadata={**meta, **(metadata or {})})
+
+    def load(self, path) -> dict:
+        from repro.nnlib.serialization import load_state_bundle
+
+        bundles, meta = load_state_bundle(path)
+        ckpt_devices = meta.get("devices", [])
+        for dev in ckpt_devices:
+            if dev not in self.device_index:
+                self.add_device(dev)
+        if ckpt_devices and list(self.device_index)[: len(ckpt_devices)] != list(ckpt_devices):
+            # Hardware-embedding rows are positional; mismatched order would
+            # silently swap devices' embeddings.
+            raise ValueError(
+                f"device roster order mismatch: checkpoint has {list(ckpt_devices)}, "
+                f"predictor has {list(self.device_index)}"
+            )
+        self.load_state_dict(bundles["model"])
+        return meta
 
 
 class LayerwisePredictor:
@@ -335,21 +497,60 @@ class LayerwisePredictor:
     def __init__(self, space: SearchSpace):
         self.space = space
         self._coef: np.ndarray | None = None
+        self._dataset: LatencyDataset | None = None
+        self._per_device: dict[str, np.ndarray] = {}
         feats = compute_features(space)
         self._design = np.concatenate([feats.counts, feats.flops, feats.mem], axis=1)
         self._design = np.concatenate([self._design, np.ones((len(self._design), 1))], axis=1)
 
-    def fit(self, dataset: LatencyDataset, device: str, indices: np.ndarray) -> "LayerwisePredictor":
+    def fit(self, dataset: LatencyDataset, device=None, indices=None) -> "LayerwisePredictor":
+        if indices is None:
+            # LatencyEstimator form fit(dataset, devices): the LUT is fit
+            # per target device in adapt() — just bind the dataset.
+            self._dataset = dataset
+            return self
         idx = np.asarray(indices, dtype=np.int64)
         target = dataset.latency_of(device, idx)
         self._coef, _ = nnls(self._design[idx], target)
+        self._per_device[device] = self._coef
         return self
 
-    def predict(self, indices: np.ndarray) -> np.ndarray:
+    def adapt(self, device: str, indices: np.ndarray) -> "LayerwisePredictor":
+        if self._dataset is None:
+            raise RuntimeError("no dataset bound; call fit(dataset, devices) first")
+        return self.fit(self._dataset, device, indices)
+
+    def predict(self, indices, arch_indices=None) -> np.ndarray:
+        if isinstance(indices, str):  # LatencyEstimator form: (device, indices)
+            device = indices
+            if device not in self._per_device:
+                raise KeyError(f"device {device!r} not adapted; call adapt(device, indices) first")
+            idx = np.asarray(arch_indices, dtype=np.int64)
+            return self._design[idx] @ self._per_device[device]
         if self._coef is None:
             raise RuntimeError("call fit() before predict()")
         idx = np.asarray(indices, dtype=np.int64)
         return self._design[idx] @ self._coef
+
+    def save(self, path, metadata: dict | None = None) -> None:
+        from repro.nnlib.serialization import save_state_bundle
+
+        bundles = {f"device:{dev}": {"coef": coef} for dev, coef in self._per_device.items()}
+        if self._coef is not None:
+            bundles["last"] = {"coef": self._coef}
+        save_state_bundle(
+            path, bundles, metadata={"devices": sorted(self._per_device), **(metadata or {})}
+        )
+
+    def load(self, path) -> dict:
+        from repro.nnlib.serialization import load_state_bundle
+
+        bundles, meta = load_state_bundle(path)
+        for dev in meta.get("devices", []):
+            self._per_device[dev] = bundles[f"device:{dev}"]["coef"]
+        if "last" in bundles:
+            self._coef = bundles["last"]["coef"]
+        return meta
 
 
 class FLOPsPredictor:
@@ -358,5 +559,25 @@ class FLOPsPredictor:
     def __init__(self, space: SearchSpace):
         self._flops = compute_features(space).total_flops
 
-    def predict(self, indices: np.ndarray) -> np.ndarray:
+    def fit(self, dataset: LatencyDataset | None = None, devices=None) -> "FLOPsPredictor":
+        return self  # nothing to train
+
+    def adapt(self, device: str | None = None, indices=None) -> "FLOPsPredictor":
+        return self  # device-agnostic proxy
+
+    def predict(self, indices, arch_indices=None) -> np.ndarray:
+        if isinstance(indices, str):  # LatencyEstimator form: (device, indices)
+            indices = arch_indices
         return self._flops[np.asarray(indices, dtype=np.int64)]
+
+    def save(self, path, metadata: dict | None = None) -> None:
+        from repro.nnlib.serialization import save_state_bundle
+
+        save_state_bundle(path, {"flops": {"total_flops": self._flops}}, metadata=metadata)
+
+    def load(self, path) -> dict:
+        from repro.nnlib.serialization import load_state_bundle
+
+        bundles, meta = load_state_bundle(path)
+        self._flops = bundles["flops"]["total_flops"]
+        return meta

@@ -91,6 +91,11 @@ class NASFLATPredictor(Module):
             head_in += cfg.hw_emb_dim  # global device conditioning instead
         self.head = MLP(head_in, list(cfg.head_dims), 1, rng)
 
+        # LatencyEstimator state, populated by fit()/adapt().
+        self._dataset = None
+        self._supplementary: np.ndarray | None = None
+        self._source_devices: list[str] = list(devices)
+
     # --------------------------------------------------------------- devices
     @property
     def devices(self) -> list[str]:
@@ -168,13 +173,20 @@ class NASFLATPredictor(Module):
 
     def predict(
         self,
-        adj: np.ndarray,
-        ops: np.ndarray,
-        device: str,
+        adj: np.ndarray | str,
+        ops: np.ndarray | None = None,
+        device: str | None = None,
         supplementary: np.ndarray | None = None,
         batch_size: int = 256,
     ) -> np.ndarray:
-        """Inference helper: predict scores for one device, in chunks."""
+        """Inference helper: predict scores for one device, in chunks.
+
+        Two call forms: the legacy tensor form ``predict(adj, ops, device)``
+        and the :class:`~repro.core.estimator.LatencyEstimator` form
+        ``predict(device, indices)`` over architecture table indices.
+        """
+        if isinstance(adj, str):  # protocol form: (device, indices)
+            return self._predict_indices(adj, ops, batch_size=batch_size)
         if device not in self.device_index:
             raise KeyError(f"unknown device {device!r}; call add_device first")
         didx = self.device_index[device]
@@ -188,3 +200,129 @@ class NASFLATPredictor(Module):
                 outs.append(self.forward(adj[sl], ops[sl], dev, supp).numpy())
         self.train()
         return np.concatenate(outs)
+
+    # ------------------------------------------- LatencyEstimator protocol
+    def fit(
+        self,
+        dataset,
+        devices=None,
+        *,
+        rng: np.random.Generator | None = None,
+        config=None,
+        supplementary: np.ndarray | None = None,
+        sample_indices: dict[str, np.ndarray] | None = None,
+    ) -> "NASFLATPredictor":
+        """Pretrain on the source-device pool (§3.4).
+
+        ``supplementary`` is the *full-table* encoding matrix matching
+        ``config.supplementary_dim``; it is retained for :meth:`adapt` and
+        the index form of :meth:`predict`.
+        """
+        from repro.predictors.training import pretrain_multidevice
+
+        devices = list(devices) if devices is not None else list(self._source_devices)
+        self._dataset = dataset
+        self._supplementary = supplementary
+        self._source_devices = devices
+        pretrain_multidevice(
+            self,
+            dataset,
+            devices,
+            rng if rng is not None else self._rng,
+            config=config,
+            supplementary=supplementary,
+            sample_indices=sample_indices,
+        )
+        return self
+
+    def adapt(
+        self,
+        device: str,
+        indices: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        config=None,
+        init_from: str | None = "auto",
+    ) -> "NASFLATPredictor":
+        """Few-shot adaptation to one target device.
+
+        ``init_from="auto"`` picks the most-correlated source device for the
+        hardware-embedding initialization (§5.2); pass ``None`` to disable.
+        """
+        from repro.predictors.training import finetune_on_device
+
+        dataset = self._require_dataset()
+        idx = np.asarray(indices, dtype=np.int64)
+        if device not in self.device_index:
+            if init_from == "auto":
+                from repro.transfer.hw_init import select_init_device
+
+                init_from = select_init_device(dataset, device, idx, self._source_devices)
+            self.add_device(device, init_from=init_from)
+        finetune_on_device(
+            self,
+            dataset,
+            device,
+            idx,
+            rng if rng is not None else self._rng,
+            config=config,
+            supplementary=self._supplementary,
+        )
+        return self
+
+    def _predict_indices(self, device: str, indices, batch_size: int = 256) -> np.ndarray:
+        from repro.predictors.space_tensors import SpaceTensors
+
+        idx = np.asarray(indices, dtype=np.int64)
+        adj, ops = SpaceTensors.for_space(self.space).batch(idx)
+        supp = None
+        if self.config.supplementary_dim:
+            if self._supplementary is None:
+                raise RuntimeError(
+                    "config declares supplementary encodings; fit() with the "
+                    "encoding table before index-based predict()"
+                )
+            supp = self._supplementary[idx]
+        return self.predict(adj, ops, device, supp, batch_size=batch_size)
+
+    def _require_dataset(self):
+        if self._dataset is None:
+            raise RuntimeError("no dataset bound; call fit(dataset, devices) first")
+        return self._dataset
+
+    def save(self, path, metadata: dict | None = None) -> None:
+        """Persist parameters plus enough metadata to rebuild the roster."""
+        from repro.nnlib.serialization import save_checkpoint
+
+        meta = {
+            "space": self.space.name,
+            "devices": self.devices,
+            "source_devices": list(self._source_devices),
+            "supplementary_dim": self.config.supplementary_dim,
+        }
+        save_checkpoint(self, path, metadata={**meta, **(metadata or {})})
+
+    def load(self, path) -> dict:
+        """Load parameters saved by :meth:`save`; returns stored metadata.
+
+        Devices present in the checkpoint but missing from this predictor's
+        roster are registered first so the embedding-table shapes line up.
+        """
+        from repro.nnlib.serialization import load_checkpoint, read_checkpoint_metadata
+
+        meta = read_checkpoint_metadata(path)
+        ckpt_devices = meta.get("devices", [])
+        for dev in ckpt_devices:
+            if dev not in self.device_index:
+                self.add_device(dev)
+        if ckpt_devices and self.devices[: len(ckpt_devices)] != list(ckpt_devices):
+            # Embedding rows are positional: a roster in a different order
+            # would load silently but swap devices' hardware embeddings.
+            raise ValueError(
+                f"device roster order mismatch: checkpoint has {list(ckpt_devices)}, "
+                f"predictor has {self.devices}; construct the predictor with the "
+                "checkpoint's device order"
+            )
+        if meta.get("source_devices"):
+            self._source_devices = list(meta["source_devices"])
+        return load_checkpoint(self, path)

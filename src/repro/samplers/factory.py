@@ -1,6 +1,15 @@
-"""Sampler construction by spec string, e.g. ``"cosine-caz"``."""
+"""Sampler construction by spec string, e.g. ``"cosine-caz"``.
+
+Specs resolve through the shared :class:`~repro.core.registry.Registry`:
+fixed names (``random``, ``params``, ``latency-oracle``,
+``reference-latency``) are registered statically; ``cosine-<enc>`` /
+``kmeans-<enc>`` names are handled by a resolver over the encoding roster.
+Samplers are parameterized by runtime context (dataset, target device), so
+this registry does not cache instances.
+"""
 from __future__ import annotations
 
+from repro.core.registry import Registry
 from repro.hardware.dataset import LatencyDataset
 from repro.samplers.base import Sampler
 from repro.samplers.encoding_based import CosineSampler, KMeansSampler
@@ -8,6 +17,40 @@ from repro.samplers.latency_based import LatencyOracleSampler, ReferenceLatencyS
 from repro.samplers.simple import ParamsSampler, RandomSampler
 
 _ENCODINGS = ("zcp", "arch2vec", "cate", "caz", "adjop")
+
+SAMPLERS: Registry[Sampler] = Registry("sampler")
+
+SAMPLERS.register("random", lambda **_: RandomSampler())
+SAMPLERS.register("params", lambda **_: ParamsSampler())
+
+
+@SAMPLERS.register("latency-oracle")
+def _latency_oracle(*, dataset=None, target_device=None, **_) -> Sampler:
+    if dataset is None or target_device is None:
+        raise ValueError("latency-oracle sampler needs dataset and target_device")
+    return LatencyOracleSampler(dataset, target_device)
+
+
+@SAMPLERS.register("reference-latency")
+def _reference_latency(*, dataset=None, reference_devices=None, **_) -> Sampler:
+    if dataset is None or not reference_devices:
+        raise ValueError("reference-latency sampler needs dataset and reference_devices")
+    return ReferenceLatencySampler(dataset, reference_devices)
+
+
+@SAMPLERS.register_resolver
+def _encoding_based(spec: str):
+    """``cosine-<enc>`` / ``kmeans-<enc>`` over the encoding roster."""
+    for prefix, build in (
+        ("cosine-", lambda enc, **_: CosineSampler(enc)),
+        ("kmeans-", lambda enc, *, strict_kmeans=True, **_: KMeansSampler(enc, strict=strict_kmeans)),
+    ):
+        if spec.startswith(prefix):
+            enc = spec.removeprefix(prefix)
+            if enc not in _ENCODINGS:
+                raise ValueError(f"unknown encoding {enc!r} in sampler spec {spec!r}")
+            return lambda **kwargs: build(enc, **kwargs)
+    return None
 
 
 def make_sampler(
@@ -17,32 +60,16 @@ def make_sampler(
     reference_devices: list[str] | None = None,
     strict_kmeans: bool = True,
 ) -> Sampler:
-    """Build a sampler from a spec string.
+    """Build a sampler from a spec string (legacy shim for ``SAMPLERS.get``).
 
     Specs: ``random``, ``params``, ``cosine-<enc>``, ``kmeans-<enc>``,
     ``latency-oracle`` (needs dataset + target device),
     ``reference-latency`` (needs dataset + reference devices).
     """
-    if spec == "random":
-        return RandomSampler()
-    if spec == "params":
-        return ParamsSampler()
-    if spec.startswith("cosine-"):
-        enc = spec.removeprefix("cosine-")
-        if enc not in _ENCODINGS:
-            raise ValueError(f"unknown encoding {enc!r} in sampler spec {spec!r}")
-        return CosineSampler(enc)
-    if spec.startswith("kmeans-"):
-        enc = spec.removeprefix("kmeans-")
-        if enc not in _ENCODINGS:
-            raise ValueError(f"unknown encoding {enc!r} in sampler spec {spec!r}")
-        return KMeansSampler(enc, strict=strict_kmeans)
-    if spec == "latency-oracle":
-        if dataset is None or target_device is None:
-            raise ValueError("latency-oracle sampler needs dataset and target_device")
-        return LatencyOracleSampler(dataset, target_device)
-    if spec == "reference-latency":
-        if dataset is None or not reference_devices:
-            raise ValueError("reference-latency sampler needs dataset and reference_devices")
-        return ReferenceLatencySampler(dataset, reference_devices)
-    raise ValueError(f"unknown sampler spec {spec!r}")
+    return SAMPLERS.get(
+        spec,
+        dataset=dataset,
+        target_device=target_device,
+        reference_devices=reference_devices,
+        strict_kmeans=strict_kmeans,
+    )

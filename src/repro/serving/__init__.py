@@ -1,0 +1,13 @@
+"""Serving layer: long-lived predictor sessions for query traffic.
+
+The training-side objects (pipeline, predictors) are built for experiments:
+every ``transfer`` re-clones and re-finetunes, every ``predict`` re-batches
+tensors.  :class:`~repro.serving.session.PredictorSession` is the first
+serving-side brick: it pins one pretrained checkpoint in memory, keeps an
+LRU of per-device adapted predictors, memoizes encoded architecture
+batches, and answers ``predict_batch(device, indices)`` without touching
+the training path.
+"""
+from repro.serving.session import PredictorSession, SessionStats
+
+__all__ = ["PredictorSession", "SessionStats"]

@@ -1,0 +1,213 @@
+"""A long-lived serving session over one pretrained NASFLAT checkpoint.
+
+Serving traffic looks nothing like the benchmark loop: the same few target
+devices are queried over and over with fresh architecture batches.  A
+:class:`PredictorSession` therefore caches three things:
+
+1. the pretrained checkpoint state (loaded or trained once);
+2. per-device *adapted* predictors, in an LRU keyed by device name —
+   adaptation (few-shot fine-tuning) happens once per device, not per
+   query;
+3. encoded architecture batches — the (adjacency, ops, supplementary)
+   tensors for recent index sets, so repeat queries skip re-gathering.
+
+``predict_batch`` then runs one vectorized forward pass over the whole
+batch.  Adapting a device is deterministic in ``(seed, device)``, so two
+sessions restored from the same checkpoint serve identical predictions.
+"""
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.predictors.nasflat import NASFLATPredictor
+from repro.predictors.space_tensors import SpaceTensors
+from repro.samplers.factory import make_sampler
+from repro.tasks.devsets import Task, get_task
+from repro.transfer.pipeline import NASFLATPipeline, PipelineConfig, quick_config
+
+
+@dataclass
+class SessionStats:
+    """Cache-effectiveness counters for observability."""
+
+    adapt_calls: int = 0
+    device_hits: int = 0
+    device_evictions: int = 0
+    encode_hits: int = 0
+    encode_misses: int = 0
+    queries: int = 0
+    architectures_scored: int = 0
+
+
+class PredictorSession:
+    """Batched latency-prediction serving over one pretrained checkpoint.
+
+    Parameters
+    ----------
+    task: task name or :class:`Task`; fixes the search space and pools.
+    config: pipeline configuration; defaults to :func:`quick_config`.
+    seed: controls pretraining and the per-device adaptation streams.
+    max_hot_devices: LRU capacity for adapted predictors.
+    max_cached_batches: LRU capacity for encoded architecture batches.
+    """
+
+    def __init__(
+        self,
+        task: Task | str | None = None,
+        config: PipelineConfig | None = None,
+        seed: int = 0,
+        max_hot_devices: int = 8,
+        max_cached_batches: int = 32,
+        *,
+        pipeline: NASFLATPipeline | None = None,
+    ):
+        if pipeline is not None:
+            self.pipeline = pipeline
+            self.task = pipeline.task
+            self.seed = pipeline.seed
+        else:
+            if task is None:
+                raise ValueError("pass a task (or a pipeline) to PredictorSession")
+            self.task = get_task(task) if isinstance(task, str) else task
+            self.seed = seed
+            self.pipeline = NASFLATPipeline(self.task, config or quick_config(), seed=seed)
+        self.max_hot_devices = max_hot_devices
+        self.max_cached_batches = max_cached_batches
+        self.stats = SessionStats()
+        self._hot: OrderedDict[str, NASFLATPredictor] = OrderedDict()
+        self._batches: OrderedDict[bytes, tuple] = OrderedDict()
+        self._tensors = SpaceTensors.for_space(self.pipeline.space)
+
+    # -------------------------------------------------------------- lifecycle
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        task: Task | str | None = None,
+        config: PipelineConfig | None = None,
+        **kwargs,
+    ) -> "PredictorSession":
+        """Open a session over a checkpoint saved by :meth:`save`.
+
+        The checkpoint metadata names its task and seed; pass ``task`` only
+        to override (it must match the checkpoint's, as usual).
+        """
+        from repro.nnlib.serialization import read_checkpoint_metadata
+
+        meta = read_checkpoint_metadata(path)
+        if task is None:
+            if "task" not in meta:
+                raise ValueError(f"checkpoint {path} has no task metadata; pass task=")
+            task = meta["task"]
+        session = cls(task, config=config, seed=int(meta.get("seed", 0)), **kwargs)
+        session.pipeline.load_pretrained(path)
+        return session
+
+    @classmethod
+    def from_pipeline(cls, pipeline: NASFLATPipeline, **kwargs) -> "PredictorSession":
+        """Serve from an existing (ideally pretrained) pipeline instance."""
+        return cls(pipeline=pipeline, **kwargs)
+
+    def pretrain(self) -> "PredictorSession":
+        """Pretrain the checkpoint in-process (when none was loaded)."""
+        self.pipeline.pretrain()
+        return self
+
+    def save(self, path) -> None:
+        """Persist the pretrained checkpoint this session serves from."""
+        self.pipeline.save_pretrained(path)
+
+    @property
+    def hot_devices(self) -> list[str]:
+        """Adapted devices currently resident, least-recent first."""
+        return list(self._hot)
+
+    # ------------------------------------------------------------- adaptation
+    def _device_rng(self, device: str) -> np.random.Generator:
+        # Independent of call order: a fresh stream per (seed, device).
+        return np.random.default_rng((self.seed << 32) ^ zlib.crc32(device.encode()))
+
+    def adapt(self, device: str, indices: np.ndarray | None = None) -> NASFLATPredictor:
+        """Few-shot adapt the pretrained predictor to ``device`` (cached).
+
+        ``indices`` pins which architectures are measured on the device;
+        by default the pipeline's sampler picks them.  Re-adapting an
+        already-hot device with explicit ``indices`` refreshes its entry.
+        """
+        if device in self._hot and indices is None:
+            self.stats.device_hits += 1
+            self._hot.move_to_end(device)
+            return self._hot[device]
+        if not self.pipeline.is_pretrained:
+            raise RuntimeError("no pretrained checkpoint: call pretrain() or from_checkpoint()")
+        rng = self._device_rng(device)
+        if indices is None:
+            sampler = make_sampler(
+                self.pipeline.config.sampler,
+                dataset=self.pipeline.dataset,
+                target_device=device,
+                reference_devices=list(self.task.train_devices),
+            )
+            indices = sampler.select(
+                self.pipeline.space, self.pipeline.config.n_transfer_samples, rng
+            )
+        idx = np.asarray(indices, dtype=np.int64)
+        predictor = self.pipeline._clone_pretrained()
+        init_device = None
+        if self.pipeline.config.hw_init:
+            from repro.transfer.hw_init import select_init_device
+
+            init_device = select_init_device(
+                self.pipeline.dataset, device, idx, list(self.task.train_devices)
+            )
+        predictor.adapt(
+            device, idx, rng=rng, config=self.pipeline.config.finetune, init_from=init_device
+        )
+        self.stats.adapt_calls += 1
+        self._hot[device] = predictor
+        self._hot.move_to_end(device)
+        while len(self._hot) > self.max_hot_devices:
+            self._hot.popitem(last=False)
+            self.stats.device_evictions += 1
+        return predictor
+
+    # -------------------------------------------------------------- inference
+    def _encode_batch(self, idx: np.ndarray) -> tuple:
+        key = idx.tobytes()
+        if key in self._batches:
+            self.stats.encode_hits += 1
+            self._batches.move_to_end(key)
+            return self._batches[key]
+        self.stats.encode_misses += 1
+        adj, ops = self._tensors.batch(idx)
+        supp = self.pipeline.supplementary
+        encoded = (adj, ops, supp[idx] if supp is not None else None)
+        self._batches[key] = encoded
+        while len(self._batches) > self.max_cached_batches:
+            self._batches.popitem(last=False)
+        return encoded
+
+    def predict_batch(self, device: str, indices) -> np.ndarray:
+        """Latency scores for ``indices`` on ``device``, one forward pass.
+
+        Adapts the device on first use (sampler-chosen measurement set),
+        then serves from the hot predictor.  The whole batch runs as a
+        single vectorized chunk.
+        """
+        predictor = self.adapt(device)
+        idx = np.asarray(indices, dtype=np.int64)
+        self.stats.queries += 1
+        self.stats.architectures_scored += len(idx)
+        if len(idx) == 0:
+            return np.empty(0)
+        adj, ops, supp = self._encode_batch(idx)
+        return predictor.predict(adj, ops, device, supp, batch_size=len(idx))
+
+    # LatencyEstimator-flavoured alias so serving call sites and benchmark
+    # harnesses can treat the session itself as an estimator.
+    def predict(self, device: str, indices) -> np.ndarray:
+        return self.predict_batch(device, indices)

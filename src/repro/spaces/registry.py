@@ -1,34 +1,43 @@
 """Space construction by name, with instance caching.
 
 Several layers (encodings, features, SpaceTensors) memoize per space name,
-so sharing one instance per name keeps every cache coherent.
+so sharing one instance per name keeps every cache coherent — ``SPACES``
+is a caching :class:`~repro.core.registry.Registry`.
 """
 from __future__ import annotations
 
+from repro.core.registry import Registry
 from repro.spaces.base import SearchSpace
 from repro.spaces.fbnet import FBNetSpace
 from repro.spaces.generic import GenericCellSpace, PRESETS
 from repro.spaces.nasbench101 import NASBench101Space
 from repro.spaces.nasbench201 import NASBench201Space
 
-_INSTANCES: dict[str, SearchSpace] = {}
+SPACES: Registry[SearchSpace] = Registry("space", cache=True)
+
+SPACES.register("nasbench201", NASBench201Space)
+SPACES.register("nasbench101", NASBench101Space)
+SPACES.register("fbnet", FBNetSpace)
+
+
+# Legacy alias: the live instance cache.  Tests (and some experiments)
+# inject synthetic spaces by name through this mapping.
+_INSTANCES = SPACES._instances
+
+
+@SPACES.register_resolver
+def _generic_preset(name: str):
+    """``generic-<preset>`` names map onto :class:`GenericCellSpace`."""
+    preset = name.removeprefix("generic-")
+    if name.startswith("generic-") and preset in PRESETS:
+        return lambda: GenericCellSpace(preset)
+    return None
 
 
 def get_space(name: str) -> SearchSpace:
-    """Shared space instance for ``name``.
+    """Shared space instance for ``name`` (legacy shim for ``SPACES.get``).
 
-    Accepted names: ``nasbench201``, ``fbnet``, and the generic presets
-    (``generic-nb101``, ``generic-enas``, ...).
+    Accepted names: ``nasbench201``, ``nasbench101``, ``fbnet``, and the
+    generic presets (``generic-nb101``, ``generic-enas``, ...).
     """
-    if name not in _INSTANCES:
-        if name == "nasbench201":
-            _INSTANCES[name] = NASBench201Space()
-        elif name == "nasbench101":
-            _INSTANCES[name] = NASBench101Space()
-        elif name == "fbnet":
-            _INSTANCES[name] = FBNetSpace()
-        elif name.startswith("generic-") and name.removeprefix("generic-") in PRESETS:
-            _INSTANCES[name] = GenericCellSpace(name.removeprefix("generic-"))
-        else:
-            raise KeyError(f"unknown space {name!r}")
-    return _INSTANCES[name]
+    return SPACES.get(name)

@@ -1,6 +1,19 @@
 """Predictor transfer: pretraining, hardware-embedding init, and the
 end-to-end NASFLAT pipeline used by every experiment."""
+from repro.transfer.builder import PipelineBuilder
 from repro.transfer.hw_init import select_init_device
-from repro.transfer.pipeline import NASFLATPipeline, PipelineConfig, TransferResult
+from repro.transfer.pipeline import NASFLATPipeline, PipelineConfig, TransferResult, quick_config
 
-__all__ = ["select_init_device", "NASFLATPipeline", "PipelineConfig", "TransferResult"]
+# ``Pipeline`` is the preferred public alias for the fluent API:
+# ``Pipeline.for_task("N1").sampler("cosine-caz").quick().build()``.
+Pipeline = NASFLATPipeline
+
+__all__ = [
+    "select_init_device",
+    "NASFLATPipeline",
+    "Pipeline",
+    "PipelineBuilder",
+    "PipelineConfig",
+    "TransferResult",
+    "quick_config",
+]

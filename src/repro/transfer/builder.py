@@ -1,0 +1,122 @@
+"""Fluent construction of :class:`~repro.transfer.pipeline.NASFLATPipeline`.
+
+The builder replaces the ``PipelineConfig`` / ``quick_config`` split with
+one chain::
+
+    pipe = (
+        NASFLATPipeline.for_task("N1")
+        .sampler("cosine-caz")
+        .supplementary("zcp")
+        .quick()
+        .seed(3)
+        .build()
+    )
+
+``quick()`` applies the CPU-friendly scale-down used by tests and
+benchmarks; without it the paper-scale defaults of Table 20 apply.  Every
+setter returns the builder, and ``build()`` may be called repeatedly (each
+call constructs a fresh pipeline).
+"""
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.tasks.devsets import Task
+
+
+class PipelineBuilder:
+    """Accumulates pipeline options, then builds the pipeline."""
+
+    def __init__(self, task: Task | str, seed: int = 0):
+        from repro.tasks.devsets import get_task
+
+        self._task = get_task(task) if isinstance(task, str) else task
+        self._seed = seed
+        self._quick = False
+        self._overrides: dict = {}
+
+    # ----------------------------------------------------------- components
+    def sampler(self, spec: str) -> "PipelineBuilder":
+        """Transfer-sample selection spec, e.g. ``"cosine-caz"``."""
+        self._overrides["sampler"] = spec
+        return self
+
+    def supplementary(self, encoding: str | None) -> "PipelineBuilder":
+        """Supplementary encoding fed to the prediction head (or ``None``)."""
+        self._overrides["supplementary"] = encoding
+        return self
+
+    def gnn(self, kind: str) -> "PipelineBuilder":
+        """Main GNN flavour: ``"dgf"``, ``"gat"``, or ``"ensemble"``."""
+        self._overrides["gnn_kind"] = kind
+        return self
+
+    # -------------------------------------------------------------- budgets
+    def samples(self, n: int) -> "PipelineBuilder":
+        """On-device measurement budget per target device."""
+        self._overrides["n_transfer_samples"] = n
+        return self
+
+    def test_pool(self, n: int) -> "PipelineBuilder":
+        """Held-out architectures scored per device for Spearman."""
+        self._overrides["n_test"] = n
+        return self
+
+    # -------------------------------------------------------------- toggles
+    def hw_init(self, enabled: bool = True) -> "PipelineBuilder":
+        """Correlation-based hardware-embedding initialization (§5.2)."""
+        self._overrides["hw_init"] = enabled
+        return self
+
+    def op_hw(self, enabled: bool = True) -> "PipelineBuilder":
+        """Operation-wise hardware embeddings (§5.1 / Table 2 ablation)."""
+        self._overrides["use_op_hw"] = enabled
+        return self
+
+    # ------------------------------------------------------ training scales
+    def quick(self) -> "PipelineBuilder":
+        """CPU-friendly scale-down (same shape, ~10× less wall-clock)."""
+        self._quick = True
+        return self
+
+    def full_scale(self) -> "PipelineBuilder":
+        """Paper-scale training budgets (Table 20 defaults)."""
+        self._quick = False
+        return self
+
+    def pretrain(self, **kwargs) -> "PipelineBuilder":
+        """Override :class:`PretrainConfig` fields, e.g. ``epochs=20``."""
+        self._overrides["pretrain"] = kwargs
+        return self
+
+    def finetune(self, **kwargs) -> "PipelineBuilder":
+        """Override :class:`FinetuneConfig` fields, e.g. ``lr=1e-3``."""
+        self._overrides["finetune"] = kwargs
+        return self
+
+    def seed(self, seed: int) -> "PipelineBuilder":
+        self._seed = seed
+        return self
+
+    # ---------------------------------------------------------------- build
+    def to_config(self):
+        """The :class:`PipelineConfig` this builder denotes."""
+        from repro.transfer.pipeline import PipelineConfig, quick_config
+
+        overrides = dict(self._overrides)
+        pretrain_kw = overrides.pop("pretrain", None)
+        finetune_kw = overrides.pop("finetune", None)
+        cfg = quick_config() if self._quick else PipelineConfig()
+        cfg = replace(cfg, **overrides)
+        if pretrain_kw:
+            cfg = replace(cfg, pretrain=replace(cfg.pretrain, **pretrain_kw))
+        if finetune_kw:
+            cfg = replace(cfg, finetune=replace(cfg.finetune, **finetune_kw))
+        return cfg
+
+    def build(self):
+        """Construct the pipeline (repeatable; each call is fresh)."""
+        from repro.transfer.pipeline import NASFLATPipeline
+
+        return NASFLATPipeline(self._task, self.to_config(), seed=self._seed)

@@ -5,6 +5,16 @@ pools on one search space), a predictor configuration, a sampler spec, and
 the supplementary-encoding choice; ``pretrain()`` then ``transfer(device)``
 reproduce the paper's two-phase workflow, and ``run()`` sweeps every target
 device in the task.
+
+The pipeline is a thin orchestrator over the
+:class:`~repro.core.estimator.LatencyEstimator` protocol: it picks samples,
+calls ``fit`` / ``adapt`` / ``predict`` on the predictor, and scores the
+result.  Prefer building pipelines fluently::
+
+    NASFLATPipeline.for_task("N1").sampler("cosine-caz").supplementary("zcp").quick().build()
+
+The ``NASFLATPipeline(task, config)`` constructor and :func:`quick_config`
+remain as the legacy surface.
 """
 from __future__ import annotations
 
@@ -17,13 +27,7 @@ from repro.encodings.base import get_encoding
 from repro.eval.metrics import spearman
 from repro.hardware.dataset import LatencyDataset
 from repro.predictors.nasflat import NASFLATConfig, NASFLATPredictor
-from repro.predictors.training import (
-    FinetuneConfig,
-    PretrainConfig,
-    finetune_on_device,
-    predict_latency,
-    pretrain_multidevice,
-)
+from repro.predictors.training import FinetuneConfig, PretrainConfig
 from repro.samplers.factory import make_sampler
 from repro.spaces.registry import get_space
 from repro.tasks.devsets import Task
@@ -88,13 +92,30 @@ class NASFLATPipeline:
         # The most recent device-adapted predictor (set by transfer()).
         self.last_predictor: NASFLATPredictor | None = None
 
+    # ------------------------------------------------------------ builder
+    @classmethod
+    def for_task(cls, task: "Task | str", seed: int = 0) -> "PipelineBuilder":
+        """Start a fluent :class:`~repro.transfer.builder.PipelineBuilder`."""
+        from repro.transfer.builder import PipelineBuilder
+
+        return PipelineBuilder(task, seed=seed)
+
+    @property
+    def supplementary(self) -> np.ndarray | None:
+        """The full-table supplementary encoding matrix, or ``None``."""
+        return self._supp
+
+    @property
+    def is_pretrained(self) -> bool:
+        """Whether a pretrained checkpoint is loaded or trained."""
+        return self._pretrained
+
     # ------------------------------------------------------------- pretrain
     def pretrain(self) -> "NASFLATPipeline":
-        pretrain_multidevice(
-            self.predictor,
+        self.predictor.fit(
             self.dataset,
             list(self.task.train_devices),
-            self.rng,
+            rng=self.rng,
             config=self.config.pretrain,
             supplementary=self._supp,
         )
@@ -113,6 +134,9 @@ class NASFLATPipeline:
             self.space, list(self.task.train_devices), np.random.default_rng(self.seed), config=self.predictor.config
         )
         clone.load_state_dict(self._pretrained_state)
+        clone._dataset = self.dataset
+        clone._supplementary = self._supp
+        clone._source_devices = list(self.task.train_devices)
         return clone
 
     # ------------------------------------------------------------- transfer
@@ -137,22 +161,13 @@ class NASFLATPipeline:
         init_device: str | None = None
         if self.config.hw_init:
             init_device = select_init_device(self.dataset, device, idx, list(self.task.train_devices))
-        predictor.add_device(device, init_from=init_device)
         t0 = time.perf_counter()
-        finetune_on_device(
-            predictor,
-            self.dataset,
-            device,
-            idx,
-            self.rng,
-            config=self.config.finetune,
-            supplementary=self._supp,
-        )
+        predictor.adapt(device, idx, rng=self.rng, config=self.config.finetune, init_from=init_device)
         finetune_seconds = time.perf_counter() - t0
 
         test_idx = self._test_indices(exclude=idx)
         t1 = time.perf_counter()
-        pred = predict_latency(predictor, device, test_idx, supplementary=self._supp)
+        pred = predictor.predict(device, test_idx)
         predict_seconds = time.perf_counter() - t1
         rho = spearman(pred, self.dataset.latency_of(device, test_idx))
         self.last_predictor = predictor  # exposed for NAS experiments
@@ -203,13 +218,16 @@ class NASFLATPipeline:
         Returns the checkpoint metadata; raises if the checkpoint's task
         does not match this pipeline's.
         """
-        from repro.nnlib.serialization import load_checkpoint
+        from repro.nnlib.serialization import load_checkpoint, read_checkpoint_metadata
 
-        meta = load_checkpoint(self.predictor, path)
+        meta = read_checkpoint_metadata(path)
         if meta.get("task") not in (None, self.task.name):
+            # Check before touching weights: a wrong-task checkpoint would
+            # otherwise die on an opaque embedding-shape mismatch.
             raise ValueError(
                 f"checkpoint was pretrained for task {meta.get('task')!r}, not {self.task.name!r}"
             )
+        load_checkpoint(self.predictor, path)
         self._pretrained = True
         self._pretrained_state = self.predictor.state_dict()
         return meta

@@ -1,0 +1,130 @@
+"""The generic component registry: registration, caching, errors."""
+import pytest
+
+from repro.core.registry import Registry, UnknownComponentError
+
+
+@pytest.fixture
+def reg():
+    r = Registry("widget", cache=True)
+    r.register("a", lambda: object())
+    r.register("b", lambda: object())
+    return r
+
+
+class TestRegistration:
+    def test_decorator_form(self):
+        r = Registry("widget")
+
+        @r.register("thing")
+        class Thing:
+            pass
+
+        assert r.create("thing").__class__ is Thing
+
+    def test_duplicate_rejected(self, reg):
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("a", lambda: None)
+
+    def test_names_sorted(self, reg):
+        reg.register("0th", lambda: None)
+        assert reg.names() == sorted(reg.names())
+
+    def test_contains_and_iter(self, reg):
+        assert "a" in reg and "missing" not in reg
+        assert list(reg) == reg.names()
+
+
+class TestCaching:
+    def test_cached_instance_shared(self, reg):
+        assert reg.get("a") is reg.get("a")
+
+    def test_create_bypasses_cache(self, reg):
+        assert reg.create("a") is not reg.get("a")
+
+    def test_args_bypass_cache(self):
+        r = Registry("widget", cache=True)
+        r.register("w", lambda tag=None: (tag, object()))
+        assert r.get("w", tag=1) is not r.get("w", tag=1)
+
+    def test_clear_instances(self, reg):
+        first = reg.get("a")
+        reg.clear_instances()
+        assert reg.get("a") is not first
+
+    def test_uncached_registry_builds_fresh(self):
+        r = Registry("widget")
+        r.register("w", lambda: object())
+        assert r.get("w") is not r.get("w")
+
+
+class TestResolvers:
+    def test_dynamic_names(self, reg):
+        reg.register_resolver(
+            lambda name: (lambda: name.upper()) if name.startswith("dyn-") else None
+        )
+        assert reg.get("dyn-x") == "DYN-X"
+        assert "dyn-x" in reg
+
+    def test_dynamic_instances_cached(self, reg):
+        reg.register_resolver(lambda name: (lambda: object()) if name == "dyn" else None)
+        assert reg.get("dyn") is reg.get("dyn")
+
+
+class TestUnknownName:
+    def test_error_is_keyerror_and_valueerror(self, reg):
+        with pytest.raises(KeyError):
+            reg.get("missing")
+        with pytest.raises(ValueError):
+            reg.get("missing")
+
+    def test_message_names_kind_and_choices(self, reg):
+        with pytest.raises(UnknownComponentError) as exc:
+            reg.get("missing")
+        msg = str(exc.value)
+        assert "unknown widget 'missing'" in msg
+        assert "'a'" in msg and "'b'" in msg
+
+    def test_message_suggests_close_match(self):
+        r = Registry("device")
+        r.register("pixel3", lambda: None)
+        r.register("pixel2", lambda: None)
+        with pytest.raises(UnknownComponentError, match="similar"):
+            r.get("pixel4")
+
+
+class TestFamilyMigrations:
+    """All four component families resolve through the one Registry class."""
+
+    def test_families_are_registries(self):
+        from repro.encodings.base import ENCODERS
+        from repro.hardware.registry import DEVICES
+        from repro.samplers.factory import SAMPLERS
+        from repro.spaces.registry import SPACES
+
+        for family in (SPACES, SAMPLERS, ENCODERS, DEVICES):
+            assert isinstance(family, Registry)
+
+    def test_space_unknown_lists_choices(self):
+        from repro.spaces.registry import SPACES
+
+        with pytest.raises(UnknownComponentError, match="nasbench201"):
+            SPACES.get("nasbench999")
+
+    def test_device_unknown_suggests(self):
+        from repro.hardware.registry import DEVICES
+
+        with pytest.raises(UnknownComponentError, match="similar"):
+            DEVICES.get("1080ti_batch1")
+
+    def test_encoder_unknown_message(self):
+        from repro.encodings.base import ENCODERS
+
+        with pytest.raises(KeyError, match="unknown encoder"):
+            ENCODERS.factory("bogus")
+
+    def test_sampler_unknown_is_valueerror(self):
+        from repro.samplers.factory import SAMPLERS
+
+        with pytest.raises(ValueError, match="unknown sampler"):
+            SAMPLERS.get("quantum")

@@ -1,0 +1,116 @@
+"""PredictorSession: checkpoint roundtrip, device LRU, batch memoization."""
+import numpy as np
+import pytest
+
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.serving import PredictorSession
+from repro.tasks import Task
+from repro.transfer.pipeline import PipelineConfig
+
+
+@pytest.fixture(scope="module")
+def mini_task():
+    from repro.spaces import GenericCellSpace
+    from repro.spaces.registry import _INSTANCES
+
+    sp = GenericCellSpace("nb101", table_size=300)
+    _INSTANCES[sp.name] = sp
+    return Task(
+        "T-serve",
+        sp.name,
+        train_devices=("pixel3", "pixel2"),
+        test_devices=("fpga", "eyeriss", "raspi4"),
+    )
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        n_transfer_samples=8,
+        pretrain=PretrainConfig(samples_per_device=24, epochs=2, batch_size=16),
+        finetune=FinetuneConfig(epochs=4),
+        n_test=50,
+    )
+
+
+@pytest.fixture(scope="module")
+def session(mini_task, cfg):
+    return PredictorSession(mini_task, cfg, seed=0).pretrain()
+
+
+class TestServing:
+    def test_requires_pretraining(self, mini_task, cfg):
+        fresh = PredictorSession(mini_task, cfg, seed=0)
+        with pytest.raises(RuntimeError, match="pretrain"):
+            fresh.predict_batch("fpga", [0, 1])
+
+    def test_predict_batch_shape_and_determinism(self, session):
+        idx = np.arange(20)
+        a = session.predict_batch("fpga", idx)
+        b = session.predict_batch("fpga", idx)
+        assert a.shape == (20,)
+        np.testing.assert_allclose(a, b)
+
+    def test_adapt_cached_per_device(self, session):
+        before = session.stats.adapt_calls
+        session.predict_batch("fpga", [0, 1, 2])
+        session.predict_batch("fpga", [3, 4, 5])
+        assert session.stats.adapt_calls == before  # already hot from prior test
+
+    def test_encode_cache_hits(self, session):
+        idx = np.arange(7)
+        misses_before = session.stats.encode_misses
+        session.predict_batch("fpga", idx)
+        hits_before = session.stats.encode_hits
+        session.predict_batch("fpga", idx)
+        assert session.stats.encode_hits == hits_before + 1
+        assert session.stats.encode_misses == misses_before + 1
+
+    def test_empty_batch(self, session):
+        assert session.predict_batch("fpga", []).shape == (0,)
+
+
+class TestDeviceLRU:
+    def test_eviction_order(self, mini_task, cfg):
+        s = PredictorSession(mini_task, cfg, seed=0, max_hot_devices=2).pretrain()
+        s.predict_batch("fpga", [0])
+        s.predict_batch("eyeriss", [0])
+        s.predict_batch("fpga", [1])  # refresh fpga
+        s.predict_batch("raspi4", [0])  # evicts eyeriss (least recent)
+        assert s.hot_devices == ["fpga", "raspi4"]
+        assert s.stats.device_evictions == 1
+
+    def test_readapting_evicted_device_is_deterministic(self, mini_task, cfg):
+        s = PredictorSession(mini_task, cfg, seed=0, max_hot_devices=1).pretrain()
+        first = s.predict_batch("fpga", np.arange(10))
+        s.predict_batch("eyeriss", [0])  # evicts fpga
+        again = s.predict_batch("fpga", np.arange(10))  # re-adapts, same rng stream
+        np.testing.assert_allclose(first, again)
+
+
+class TestCheckpointRoundtrip:
+    def test_roundtrip_preserves_predictions(self, session, mini_task, cfg, tmp_path):
+        path = tmp_path / "session.npz"
+        idx = np.arange(30)
+        expected = session.predict_batch("fpga", idx)
+        session.save(path)
+
+        restored = PredictorSession.from_checkpoint(path, task=mini_task, config=cfg)
+        np.testing.assert_allclose(restored.predict_batch("fpga", idx), expected)
+
+    def test_from_checkpoint_reads_task_metadata(self, session, mini_task, cfg, tmp_path):
+        path = tmp_path / "session2.npz"
+        session.save(path)
+        # The mini task is synthetic (not in TASKS), so metadata-driven
+        # resolution must fail loudly rather than guess.
+        with pytest.raises(KeyError):
+            PredictorSession.from_checkpoint(path, config=cfg)
+
+    def test_from_pipeline_shares_checkpoint(self, session, mini_task, cfg):
+        clone = PredictorSession.from_pipeline(session.pipeline)
+        idx = np.arange(12)
+        np.testing.assert_allclose(
+            clone.predict_batch("fpga", idx), session.predict_batch("fpga", idx)
+        )

@@ -1,0 +1,109 @@
+"""Legacy entry points keep working through the registry/API redesign."""
+import warnings
+
+import numpy as np
+import pytest
+
+
+class TestImportsCleanly:
+    def test_legacy_surface_imports_without_warnings(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro import NASFLATPipeline, PipelineConfig, get_space  # noqa: F401
+            from repro.encodings import ENCODER_FACTORIES, get_encoding  # noqa: F401
+            from repro.hardware.registry import DEVICE_REGISTRY, get_device  # noqa: F401
+            from repro.samplers import make_sampler  # noqa: F401
+            from repro.spaces.registry import _INSTANCES  # noqa: F401
+            from repro.transfer.pipeline import quick_config  # noqa: F401
+
+
+class TestSpaceShims:
+    def test_get_space_is_registry_backed(self):
+        from repro.spaces.registry import SPACES, get_space
+
+        assert get_space("nasbench201") is SPACES.get("nasbench201")
+
+    def test_instances_alias_is_live(self):
+        from repro.spaces.registry import _INSTANCES, SPACES, get_space
+
+        sentinel = object()
+        _INSTANCES["shim-test-space"] = sentinel
+        try:
+            assert get_space("shim-test-space") is sentinel
+        finally:
+            del SPACES._instances["shim-test-space"]
+
+
+class TestSamplerShims:
+    def test_make_sampler_specs(self):
+        from repro.samplers import make_sampler
+
+        assert make_sampler("random").name == "random"
+        assert make_sampler("cosine-zcp").name == "cosine-zcp"
+
+    def test_error_contract(self):
+        from repro.samplers import make_sampler
+
+        with pytest.raises(ValueError):
+            make_sampler("cosine-bogus")
+        with pytest.raises(ValueError):
+            make_sampler("nope")
+
+
+class TestEncoderShims:
+    def test_factory_dict_is_registry_view(self):
+        from repro.encodings.base import ENCODER_FACTORIES, ENCODERS
+
+        assert ENCODER_FACTORIES is ENCODERS.factories
+
+    def test_dict_style_registration_still_registers(self):
+        from repro.encodings.base import ENCODER_FACTORIES, ENCODERS
+
+        ENCODER_FACTORIES["shim-test-enc"] = lambda: "built"
+        try:
+            assert ENCODERS.create("shim-test-enc") == "built"
+        finally:
+            del ENCODER_FACTORIES["shim-test-enc"]
+
+
+class TestDeviceShims:
+    def test_mapping_view(self):
+        from repro.hardware.registry import DEVICE_REGISTRY, get_device
+
+        assert "pixel3" in DEVICE_REGISTRY
+        assert DEVICE_REGISTRY["pixel3"] is get_device("pixel3")
+        assert len(DEVICE_REGISTRY) == len(list(DEVICE_REGISTRY))
+
+    def test_missing_is_keyerror(self):
+        from repro.hardware.registry import DEVICE_REGISTRY
+
+        with pytest.raises(KeyError):
+            DEVICE_REGISTRY["nope"]
+
+
+class TestPipelineShims:
+    def test_ctor_and_quick_config(self):
+        from repro import NASFLATPipeline, get_task
+        from repro.transfer.pipeline import quick_config
+
+        cfg = quick_config(n_transfer_samples=5, sampler="random", supplementary=None)
+        pipe = NASFLATPipeline(get_task("N1"), cfg, seed=0)
+        assert pipe.config.n_transfer_samples == 5
+        assert pipe.supplementary is None
+
+    def test_builder_matches_legacy_config(self):
+        from repro.transfer import Pipeline
+        from repro.transfer.pipeline import quick_config
+
+        built = (
+            Pipeline.for_task("N1").sampler("random").supplementary(None).quick().samples(5)
+        ).to_config()
+        assert built == quick_config(n_transfer_samples=5, sampler="random", supplementary=None)
+
+    def test_supplementary_is_public(self):
+        from repro import NASFLATPipeline, get_task
+        from repro.transfer.pipeline import quick_config
+
+        pipe = NASFLATPipeline(get_task("N1"), quick_config(), seed=0)
+        assert pipe.supplementary is not None
+        assert pipe.supplementary.shape[0] == pipe.space.num_architectures()
