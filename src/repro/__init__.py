@@ -23,7 +23,7 @@ overview; every component family (spaces, samplers, encodings, devices)
 resolves through :class:`repro.core.Registry`, and every predictor speaks
 the :class:`repro.core.LatencyEstimator` protocol.
 """
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core import LatencyEstimator, Registry
 from repro.spaces.registry import get_space

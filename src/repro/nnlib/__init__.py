@@ -3,9 +3,12 @@
 ``repro.nnlib`` stands in for PyTorch in this reproduction: it provides a
 :class:`~repro.nnlib.tensor.Tensor` with reverse-mode automatic
 differentiation, standard neural-network modules (:class:`Linear`,
-:class:`Embedding`, :class:`LayerNorm`, :class:`MLP`), optimizers
-(:class:`Adam`, :class:`SGD`), and the loss functions used by the paper
-(MSE and the pairwise hinge ranking loss of Ning et al., 2022).
+:class:`Embedding`, :class:`LayerNorm`, :class:`MLP`), module containers
+(:class:`ModuleList`, :class:`ModuleDict`) with fully recursive parameter
+discovery, optimizers (:class:`Adam`, :class:`SGD`), versioned ``.npz``
+checkpointing (:mod:`repro.nnlib.serialization`), and the loss functions
+used by the paper (MSE and the pairwise hinge ranking loss of Ning et
+al., 2022).
 
 The engine is intentionally small but exact: every op's gradient is verified
 against central finite differences in ``tests/nnlib/test_gradcheck.py``.
@@ -14,6 +17,7 @@ from repro.nnlib.tensor import Tensor, concat, stack, no_grad
 from repro.nnlib.modules import (
     Module,
     Parameter,
+    LoadResult,
     Linear,
     MLP,
     Embedding,
@@ -25,6 +29,7 @@ from repro.nnlib.modules import (
     Tanh,
     Dropout,
 )
+from repro.nnlib.containers import ModuleList, ModuleDict
 from repro.nnlib.optim import SGD, Adam, Optimizer
 from repro.nnlib.losses import (
     mse_loss,
@@ -43,6 +48,9 @@ __all__ = [
     "no_grad",
     "Module",
     "Parameter",
+    "LoadResult",
+    "ModuleList",
+    "ModuleDict",
     "Linear",
     "MLP",
     "Embedding",

@@ -1,0 +1,176 @@
+"""Module containers: :class:`ModuleList` and :class:`ModuleDict`.
+
+Plain attribute assignment registers a single :class:`~repro.nnlib.modules.Module`
+or :class:`~repro.nnlib.modules.Parameter`; these containers register a
+*collection* of them while keeping list/dict ergonomics.  Discovery
+(``named_parameters`` / ``named_modules`` / ``state_dict``) recurses through
+them with positional (``layers.0.weight``) or keyed (``branches.dgf.0.w_f``)
+names, exactly like the torch containers they mirror.
+
+Containers exist because ad-hoc nesting is how parameters get lost: the GNN
+ensemble used to keep its branches in a bare list of lists, which the old
+single-level discovery silently skipped — the branches were never trained or
+checkpointed.  Discovery now recurses arbitrary nesting of lists, tuples and
+dicts (see ``Module.named_parameters``), but the containers remain the
+first-class way to hold submodule collections: they validate what goes in
+and make the nesting explicit.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.nnlib.modules import Module, Parameter
+
+
+def _check_member(value, where: str):
+    if not isinstance(value, (Module, Parameter)):
+        raise TypeError(
+            f"{where} holds Module or Parameter entries, got {type(value).__name__}"
+        )
+    return value
+
+
+class ModuleList(Module):
+    """A list of submodules that is visible to parameter discovery.
+
+    Entries may be :class:`Module` or :class:`Parameter` instances (including
+    other containers, so ``ModuleList(ModuleList(...) for ...)`` nests).
+    Supports ``append`` / ``extend`` / ``insert``, integer and slice
+    indexing, iteration, and ``len``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nnlib import Linear, ModuleList
+    >>> rng = np.random.default_rng(0)
+    >>> stack = ModuleList(Linear(4, 4, rng) for _ in range(3))
+    >>> sorted(stack.state_dict())[:2]
+    ['0.bias', '0.weight']
+    >>> len(list(stack.parameters()))
+    6
+    """
+
+    def __init__(self, modules: Iterable[Module | Parameter] | None = None):
+        super().__init__()
+        self._items: list[Module | Parameter] = []
+        if modules is not None:
+            self.extend(modules)
+
+    # ------------------------------------------------------------- discovery
+    def _children(self) -> Iterator[tuple[str, object]]:
+        for i, item in enumerate(self._items):
+            yield str(i), item
+
+    # ------------------------------------------------------------- mutation
+    def append(self, module: Module | Parameter) -> "ModuleList":
+        self._items.append(_check_member(module, "ModuleList"))
+        return self
+
+    def extend(self, modules: Iterable[Module | Parameter]) -> "ModuleList":
+        for m in modules:
+            self.append(m)
+        return self
+
+    def insert(self, index: int, module: Module | Parameter) -> "ModuleList":
+        self._items.insert(index, _check_member(module, "ModuleList"))
+        return self
+
+    def __iadd__(self, modules: Iterable[Module | Parameter]) -> "ModuleList":
+        return self.extend(modules)
+
+    def __setitem__(self, index: int, module: Module | Parameter) -> None:
+        self._items[index] = _check_member(module, "ModuleList")
+
+    # -------------------------------------------------------------- access
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ModuleList(self._items[index])
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Module | Parameter]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return f"ModuleList({self._items!r})"
+
+
+class ModuleDict(Module):
+    """A string-keyed mapping of submodules visible to parameter discovery.
+
+    Keys become name components (``branches.dgf.0.w_f.weight``), so they must
+    be non-empty strings without ``.`` (which delimits name paths) or ``::``
+    (reserved by the checkpoint bundle format).  Preserves insertion order,
+    like ``dict``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nnlib import Linear, ModuleDict
+    >>> rng = np.random.default_rng(0)
+    >>> heads = ModuleDict({"lat": Linear(8, 1, rng), "acc": Linear(8, 1, rng)})
+    >>> sorted(heads.state_dict())
+    ['acc.bias', 'acc.weight', 'lat.bias', 'lat.weight']
+    >>> "lat" in heads and len(heads) == 2
+    True
+    """
+
+    def __init__(self, modules: Mapping[str, Module | Parameter] | None = None):
+        super().__init__()
+        self._items: dict[str, Module | Parameter] = {}
+        if modules is not None:
+            self.update(modules)
+
+    @staticmethod
+    def _check_key(key) -> str:
+        if not isinstance(key, str) or not key:
+            raise TypeError(f"ModuleDict keys must be non-empty strings, got {key!r}")
+        if "." in key or "::" in key:
+            raise ValueError(f"ModuleDict key {key!r} may not contain '.' or '::'")
+        return key
+
+    # ------------------------------------------------------------- discovery
+    def _children(self) -> Iterator[tuple[str, object]]:
+        yield from self._items.items()
+
+    # ------------------------------------------------------------- mutation
+    def __setitem__(self, key: str, module: Module | Parameter) -> None:
+        self._items[self._check_key(key)] = _check_member(module, "ModuleDict")
+
+    def __delitem__(self, key: str) -> None:
+        del self._items[key]
+
+    def update(self, modules: Mapping[str, Module | Parameter]) -> "ModuleDict":
+        for key, m in modules.items():
+            self[key] = m
+        return self
+
+    def pop(self, key: str) -> Module | Parameter:
+        return self._items.pop(key)
+
+    # -------------------------------------------------------------- access
+    def __getitem__(self, key: str) -> Module | Parameter:
+        return self._items[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._items)
+
+    def keys(self):
+        return self._items.keys()
+
+    def values(self):
+        return self._items.values()
+
+    def items(self):
+        return self._items.items()
+
+    def __repr__(self) -> str:
+        return f"ModuleDict({self._items!r})"

@@ -4,10 +4,17 @@ The module system mirrors the familiar torch.nn API surface (``parameters()``,
 ``state_dict()``, ``train()``/``eval()``) at the scale this reproduction
 needs.  Submodules and parameters are discovered by attribute inspection, so
 plain attribute assignment is all that is required to register them.
+
+Discovery is *fully recursive*: a :class:`Parameter` or :class:`Module` is
+found no matter how deeply it sits inside nested lists, tuples and dicts
+(``self.branches = [[DGFLayer(...), ...], [GATLayer(...), ...]]`` works).
+For collections of submodules prefer the explicit containers in
+:mod:`repro.nnlib.containers` (:class:`ModuleList` / :class:`ModuleDict`),
+which validate their entries.
 """
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterator, NamedTuple
 
 import numpy as np
 
@@ -22,6 +29,47 @@ class Parameter(Tensor):
         super().__init__(data, requires_grad=True, name=name)
 
 
+def _join(prefix: str, name: str) -> str:
+    return f"{prefix}.{name}" if prefix else name
+
+
+def _walk(value, prefix: str, seen: set[int] | None = None) -> Iterator[tuple[str, object]]:
+    """Yield ``(name, member)`` for every Parameter and Module under ``value``.
+
+    Recurses through Modules (via their :meth:`Module._children` hook) and
+    arbitrary nesting of lists, tuples and dicts.  Modules are yielded
+    *before* their contents (pre-order), so ``named_modules`` lists parents
+    first.  Each Parameter/Module is visited once, under the first name it
+    is reached by — a tied weight registers (and is optimized) once, and a
+    back-reference to an ancestor cannot recurse forever.
+    """
+    if seen is None:
+        seen = set()
+    if isinstance(value, (Parameter, Module)):
+        if id(value) in seen:
+            return
+        seen.add(id(value))
+    if isinstance(value, Parameter):
+        yield prefix, value
+    elif isinstance(value, Module):
+        yield prefix, value
+        for name, child in value._children():
+            yield from _walk(child, _join(prefix, name), seen)
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            yield from _walk(item, _join(prefix, str(i)), seen)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            yield from _walk(item, _join(prefix, str(key)), seen)
+
+
+class LoadResult(NamedTuple):
+    """Outcome of a non-strict :meth:`Module.load_state_dict`."""
+
+    missing: list[str]  # parameters of the module absent from the state dict
+    unexpected: list[str]  # state-dict keys the module has no parameter for
+
+
 class Module:
     """Base class with parameter registration, modes, and state dicts."""
 
@@ -29,42 +77,51 @@ class Module:
         self._training = True
 
     # ------------------------------------------------------------- discovery
-    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+    def _children(self) -> Iterator[tuple[str, object]]:
+        """Named direct sub-objects searched for parameters and submodules.
+
+        The default walks public instance attributes; containers override it
+        to expose their privately-stored entries under positional or keyed
+        names.
+        """
         for attr, value in vars(self).items():
-            if attr.startswith("_") and attr != "_modules_list":
-                continue
-            full = f"{prefix}{attr}"
-            if isinstance(value, Parameter):
-                yield full, value
-            elif isinstance(value, Module):
-                yield from value.named_parameters(prefix=f"{full}.")
-            elif isinstance(value, (list, tuple)):
-                for i, item in enumerate(value):
-                    if isinstance(item, Module):
-                        yield from item.named_parameters(prefix=f"{full}.{i}.")
-                    elif isinstance(item, Parameter):
-                        yield f"{full}.{i}", item
+            if not attr.startswith("_"):
+                yield attr, value
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """All ``(name, Parameter)`` pairs, recursing through any nesting.
+
+        Names are dotted paths (``head.net.layers.0.weight``); list/tuple
+        positions and dict keys become path components.
+        """
+        for name, member in _walk(self, ""):
+            if isinstance(member, Parameter):
+                yield f"{prefix}{name}", member
 
     def parameters(self) -> list[Parameter]:
+        """All trainable parameters (the values of :meth:`named_parameters`)."""
         return [p for _, p in self.named_parameters()]
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """All ``(name, Module)`` pairs, self first under the name ``""``."""
+        for name, member in _walk(self, ""):
+            if isinstance(member, Module):
+                yield f"{prefix}{name}", member
+
     def modules(self) -> Iterator["Module"]:
-        yield self
-        for value in vars(self).values():
-            if isinstance(value, Module):
-                yield from value.modules()
-            elif isinstance(value, (list, tuple)):
-                for item in value:
-                    if isinstance(item, Module):
-                        yield from item.modules()
+        """Self plus every nested submodule (containers included)."""
+        for _, m in self.named_modules():
+            yield m
 
     # ----------------------------------------------------------------- modes
     def train(self) -> "Module":
+        """Switch self and all submodules to training mode; returns self."""
         for m in self.modules():
             m._training = True
         return self
 
     def eval(self) -> "Module":
+        """Switch self and all submodules to inference mode; returns self."""
         for m in self.modules():
             m._training = False
         return self
@@ -75,29 +132,45 @@ class Module:
 
     # ------------------------------------------------------------------ grad
     def zero_grad(self) -> None:
+        """Clear accumulated gradients on every parameter."""
         for p in self.parameters():
             p.zero_grad()
 
     # ----------------------------------------------------------------- state
     def state_dict(self) -> dict[str, np.ndarray]:
+        """Copies of all parameter arrays, keyed by their dotted names."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> LoadResult:
+        """Copy ``state`` into this module's parameters.
+
+        With ``strict=True`` (default) any missing or unexpected key raises
+        ``KeyError``.  With ``strict=False`` the intersection is loaded and
+        the mismatches are reported in the returned :class:`LoadResult`
+        (parameters absent from ``state`` keep their current values — how
+        pre-v2 checkpoints, saved before GNN branches were discoverable,
+        stay loadable).  A shape mismatch on a loaded key always raises.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
-        if missing or unexpected:
-            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
-        for name, p in own.items():
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={missing} unexpected={unexpected}")
+        to_load = [(name, p) for name, p in own.items() if name in state]
+        for name, p in to_load:  # validate everything before touching anything
             if p.data.shape != state[name].shape:
                 raise ValueError(f"shape mismatch for {name}: {p.data.shape} vs {state[name].shape}")
+        for name, p in to_load:
             p.data = state[name].copy()
+        return LoadResult(missing=missing, unexpected=unexpected)
 
     def num_parameters(self) -> int:
+        """Total scalar parameter count across all nested parameters."""
         return sum(p.size for p in self.parameters())
 
     # ------------------------------------------------------------------ call
     def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
@@ -122,11 +195,15 @@ class Linear(Module):
 
 
 class ReLU(Module):
+    """Elementwise ``max(x, 0)``."""
+
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
 
 
 class LeakyReLU(Module):
+    """Elementwise ``x if x > 0 else slope * x``."""
+
     def __init__(self, negative_slope: float = 0.01):
         super().__init__()
         self.slope = negative_slope
@@ -136,11 +213,15 @@ class LeakyReLU(Module):
 
 
 class Sigmoid(Module):
+    """Elementwise logistic sigmoid."""
+
     def forward(self, x: Tensor) -> Tensor:
         return x.sigmoid()
 
 
 class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
 
@@ -163,14 +244,21 @@ class Dropout(Module):
 
 
 class Sequential(Module):
+    """Chain of layers applied in order; stored in a :class:`ModuleList`."""
+
     def __init__(self, *layers: Module):
         super().__init__()
-        self.layers = list(layers)
+        from repro.nnlib.containers import ModuleList  # import cycle: containers build on Module
+
+        self.layers = ModuleList(layers)
 
     def forward(self, x: Tensor) -> Tensor:
         for layer in self.layers:
             x = layer(x)
         return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
 
     def __iter__(self):
         return iter(self.layers)

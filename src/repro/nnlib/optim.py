@@ -12,6 +12,13 @@ from repro.nnlib.modules import Parameter
 
 
 class Optimizer:
+    """Base class: holds the parameter list and the learning rate.
+
+    Parameters are captured by reference at construction time — build the
+    optimizer from ``module.parameters()`` *after* the module is fully
+    assembled so every (possibly container-nested) parameter is included.
+    """
+
     def __init__(self, params: list[Parameter], lr: float):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
@@ -19,6 +26,7 @@ class Optimizer:
         self.lr = lr
 
     def zero_grad(self) -> None:
+        """Clear gradients on every tracked parameter."""
         for p in self.params:
             p.zero_grad()
 
@@ -29,10 +37,13 @@ class Optimizer:
         self.lr = lr
 
     def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
         raise NotImplementedError
 
 
 class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and L2 decay."""
+
     def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
         super().__init__(params, lr)
         self.momentum = momentum

@@ -3,17 +3,85 @@
 Pretraining is the expensive stage of the NASFLAT workflow; persisting the
 pretrained checkpoint lets a deployment adapt to new devices later without
 repeating it (the paper's "train once on reference devices" premise).
+
+Format versions
+---------------
+Archives carry a format-version tag (``FORMAT_VERSION``, stored under a
+reserved key):
+
+* **v1** (no tag): written before parameter discovery recursed nested
+  containers — GNN branch weights (``gnn.branches.*``) are *absent* from
+  these archives.  They load leniently: missing parameters keep their
+  freshly-initialized values (with a warning naming them), which reproduces
+  the v1-era behaviour of random GNN features, so old serving checkpoints
+  keep working.  Leniency covers only missing keys — unexpected keys or a
+  zero-overlap archive (a wrong-model checkpoint) still raise.
+* **v2** (current): complete state dicts, loaded strictly.
 """
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-from repro.nnlib.modules import Module
+from repro.nnlib.modules import LoadResult, Module
 
 _META_KEY = "__repro_meta__"
+_VERSION_KEY = "__repro_format__"
+_RESERVED = (_META_KEY, _VERSION_KEY)
+
+#: Current checkpoint schema version (see module docstring for history).
+FORMAT_VERSION = 2
+
+
+def _encode_meta(metadata: dict | None) -> np.ndarray:
+    return np.frombuffer(json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
+
+
+def checkpoint_format_version(path: str | Path) -> int:
+    """The schema version of an archive; 1 for pre-versioning archives."""
+    with np.load(Path(path)) as archive:
+        if _VERSION_KEY not in archive:
+            return 1
+        return int(archive[_VERSION_KEY])
+
+
+def load_module_state(
+    module: Module, state: dict[str, np.ndarray], version: int, path=""
+) -> LoadResult:
+    """Version-aware state-dict load: v2+ is strict, v1 is lenient.
+
+    A genuine v1 archive of the right model can only be *missing* keys
+    (pre-container discovery wrote a subset of today's parameter names), so
+    leniency stops there: unexpected keys, or an archive with no overlap at
+    all, still raise — a wrong-model checkpoint must not "load" silently.
+    When keys are missing, a warning names them.
+    """
+    if version >= FORMAT_VERSION:
+        return module.load_state_dict(state)
+    own = {name for name, _ in module.named_parameters()}
+    unexpected = sorted(set(state) - own)
+    missing = sorted(own - set(state))
+    if unexpected:  # checked before any parameter is touched
+        raise KeyError(
+            f"checkpoint {path} (format v{version}) does not match the module: "
+            f"unexpected keys {unexpected}"
+        )
+    if own and len(missing) == len(own):
+        raise KeyError(
+            f"checkpoint {path} (format v{version}) shares no parameter names "
+            "with the module: wrong checkpoint?"
+        )
+    if missing:
+        warnings.warn(
+            f"checkpoint {path} uses format v{version} (pre-container "
+            f"discovery): {len(missing)} parameter(s) absent from the "
+            f"archive keep their initial values: {missing}",
+            stacklevel=3,
+        )
+    return module.load_state_dict(state, strict=False)
 
 
 def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = None) -> None:
@@ -21,12 +89,12 @@ def save_checkpoint(module: Module, path: str | Path, metadata: dict | None = No
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     state = module.state_dict()
-    if _META_KEY in state:
-        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    reserved = [k for k in _RESERVED if k in state]
+    if reserved:
+        raise ValueError(f"parameter names {reserved!r} are reserved")
     payload = dict(state)
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
+    payload[_META_KEY] = _encode_meta(metadata)
+    payload[_VERSION_KEY] = np.array(FORMAT_VERSION)
     np.savez(path, **payload)
 
 
@@ -55,36 +123,50 @@ def save_state_bundle(
             raise ValueError(f"bundle name {bundle!r} may not contain '::'")
         for key, value in state.items():
             payload[f"{bundle}::{key}"] = value
-    payload[_META_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
+    payload[_META_KEY] = _encode_meta(metadata)
+    payload[_VERSION_KEY] = np.array(FORMAT_VERSION)
     np.savez(path, **payload)
 
 
-def load_state_bundle(path: str | Path) -> tuple[dict[str, dict[str, np.ndarray]], dict]:
+def load_state_bundle(
+    path: str | Path,
+) -> tuple[dict[str, dict[str, np.ndarray]], dict, int]:
     """Read an archive written by :func:`save_state_bundle`.
 
-    Returns ``(bundles, metadata)``.
+    Returns ``(bundles, metadata, format_version)``; pass the version to
+    :func:`load_module_state` to load each bundle's state dict with the
+    right strictness for its era.
     """
     bundles: dict[str, dict[str, np.ndarray]] = {}
+    version = 1
     with np.load(Path(path)) as archive:
         meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
+        if _VERSION_KEY in archive:
+            version = int(archive[_VERSION_KEY])
         for key in archive.files:
-            if key == _META_KEY:
+            if key in _RESERVED:
                 continue
             bundle, _, param = key.partition("::")
             bundles.setdefault(bundle, {})[param] = archive[key]
-    return bundles, json.loads(meta_raw)
+    return bundles, json.loads(meta_raw), version
 
 
-def load_checkpoint(module: Module, path: str | Path) -> dict:
+def load_checkpoint(module: Module, path: str | Path, strict: bool | None = None) -> dict:
     """Load a checkpoint into ``module``; returns the stored metadata.
 
-    Raises if parameter names or shapes do not match the module (the usual
-    state-dict contract).
+    ``strict=None`` (default) derives strictness from the archive's format
+    version: v2 checkpoints must match the module exactly; v1 checkpoints
+    (written before nested-container discovery) load leniently with a
+    warning — see the module docstring.  Pass ``strict=True``/``False`` to
+    override.
     """
-    with np.load(Path(path)) as archive:
+    path = Path(path)
+    with np.load(path) as archive:
         meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
-    module.load_state_dict(state)
+        version = int(archive[_VERSION_KEY]) if _VERSION_KEY in archive else 1
+        state = {k: archive[k] for k in archive.files if k not in _RESERVED}
+    if strict is None:
+        load_module_state(module, state, version, path)
+    else:
+        module.load_state_dict(state, strict=strict)
     return json.loads(meta_raw)

@@ -134,13 +134,13 @@ class BRPNASPredictor(Module):
         )
 
     def load(self, path) -> dict:
-        from repro.nnlib.serialization import load_state_bundle
+        from repro.nnlib.serialization import load_module_state, load_state_bundle
 
-        bundles, meta = load_state_bundle(path)
-        self.load_state_dict(bundles["model"])
+        bundles, meta, version = load_state_bundle(path)
+        load_module_state(self, bundles["model"], version, path)
         for dev in meta.get("devices", []):
             sub = self._device_model(dev)
-            sub.load_state_dict(bundles[f"device:{dev}"])
+            load_module_state(sub, bundles[f"device:{dev}"], version, path)
             self._adapted[dev] = sub
         return meta
 
@@ -296,10 +296,10 @@ class HELPPredictor(Module):
         )
 
     def load(self, path) -> dict:
-        from repro.nnlib.serialization import load_state_bundle
+        from repro.nnlib.serialization import load_module_state, load_state_bundle
 
-        bundles, meta = load_state_bundle(path)
-        self.load_state_dict(bundles["model"])
+        bundles, meta, version = load_state_bundle(path)
+        load_module_state(self, bundles["model"], version, path)
         self.ref_archs = bundles["refs"]["ref_archs"]
         self._meta_state = bundles.get("meta")
         for dev in meta.get("devices", []):
@@ -467,9 +467,9 @@ class MultiPredictPredictor(Module):
         save_state_bundle(path, {"model": self.state_dict()}, metadata={**meta, **(metadata or {})})
 
     def load(self, path) -> dict:
-        from repro.nnlib.serialization import load_state_bundle
+        from repro.nnlib.serialization import load_module_state, load_state_bundle
 
-        bundles, meta = load_state_bundle(path)
+        bundles, meta, version = load_state_bundle(path)
         ckpt_devices = meta.get("devices", [])
         for dev in ckpt_devices:
             if dev not in self.device_index:
@@ -481,7 +481,7 @@ class MultiPredictPredictor(Module):
                 f"device roster order mismatch: checkpoint has {list(ckpt_devices)}, "
                 f"predictor has {list(self.device_index)}"
             )
-        self.load_state_dict(bundles["model"])
+        load_module_state(self, bundles["model"], version, path)
         return meta
 
 
@@ -545,7 +545,7 @@ class LayerwisePredictor:
     def load(self, path) -> dict:
         from repro.nnlib.serialization import load_state_bundle
 
-        bundles, meta = load_state_bundle(path)
+        bundles, meta, _ = load_state_bundle(path)
         for dev in meta.get("devices", []):
             self._per_device[dev] = bundles[f"device:{dev}"]["coef"]
         if "last" in bundles:
@@ -578,6 +578,6 @@ class FLOPsPredictor:
     def load(self, path) -> dict:
         from repro.nnlib.serialization import load_state_bundle
 
-        bundles, meta = load_state_bundle(path)
+        bundles, meta, _ = load_state_bundle(path)
         self._flops = bundles["flops"]["total_flops"]
         return meta

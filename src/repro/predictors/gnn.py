@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nnlib import LayerNorm, Linear, Module, Parameter, Tensor, concat, init
+from repro.nnlib import LayerNorm, Linear, Module, ModuleDict, ModuleList, Parameter, Tensor, concat, init
 
 _NEG_INF = -1e9
 
@@ -74,6 +74,14 @@ class GNNStack(Module):
     For ``kind="ensemble"`` the DGF and GAT branches run on the same inputs
     and their outputs are concatenated (``out_features = 2 * dims[-1]``),
     matching the paper's use of a DGF+GAT ensemble module.
+
+    Branches live in a ``ModuleDict`` of ``ModuleList`` stacks
+    (``branches.dgf.0.w_f.weight``, ...), so every layer is reached by
+    ``parameters()`` / ``state_dict()`` — trained by the optimizer and
+    checkpointed.  (Pre-v2 the branches sat in a bare list of lists that
+    parameter discovery skipped; those layers acted as fixed random feature
+    extractors, and pre-v2 checkpoints therefore lack the ``branches.*``
+    keys — see :mod:`repro.nnlib.serialization` for the compatibility path.)
     """
 
     def __init__(
@@ -89,17 +97,16 @@ class GNNStack(Module):
             raise ValueError(f"unknown GNN kind {kind!r}")
         self.kind = kind
         self.dims = tuple(dims)
-        branches = []
+        self.branches = ModuleDict()
         wanted = ("dgf", "gat") if kind == "ensemble" else (kind,)
         for branch_kind in wanted:
             layer_cls = DGFLayer if branch_kind == "dgf" else GATLayer
-            layers = []
+            layers = ModuleList()
             prev = in_dim
             for dim in dims:
                 layers.append(layer_cls(prev, dim, op_dim, rng))
                 prev = dim
-            branches.append(layers)
-        self.branches = branches
+            self.branches[branch_kind] = layers
 
     @property
     def out_dim(self) -> int:
@@ -107,7 +114,7 @@ class GNNStack(Module):
 
     def forward(self, x: Tensor, adj: Tensor, op: Tensor) -> Tensor:
         outs = []
-        for layers in self.branches:
+        for layers in self.branches.values():
             h = x
             for layer in layers:
                 h = layer(h, adj, op).relu()

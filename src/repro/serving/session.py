@@ -207,7 +207,8 @@ class PredictorSession:
         adj, ops, supp = self._encode_batch(idx)
         return predictor.predict(adj, ops, device, supp, batch_size=len(idx))
 
-    # LatencyEstimator-flavoured alias so serving call sites and benchmark
-    # harnesses can treat the session itself as an estimator.
     def predict(self, device: str, indices) -> np.ndarray:
+        """Alias of :meth:`predict_batch` matching the
+        :class:`~repro.core.estimator.LatencyEstimator` signature, so the
+        session itself can stand in for an estimator."""
         return self.predict_batch(device, indices)

@@ -1,0 +1,84 @@
+"""The docs layer must not rot.
+
+Three guarantees, enforced in CI by the docs job:
+
+1. every ``>>>`` example in ``docs/*.md`` runs and produces its shown
+   output (doctest over the whole file, one shared namespace per file —
+   later blocks may reuse names defined in earlier ones);
+2. every fenced ``python`` block in README.md and ``docs/*.md`` at least
+   compiles (blocks that pretrain models are not executed, but they cannot
+   drift into syntax errors or survive API renames that doctests cover);
+3. every intra-repo markdown link (relative path, optional ``#anchor``)
+   points at an existing file, and anchors resolve to a heading.
+"""
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted((REPO / "docs").glob("*.md"))
+MD_FILES = [REPO / "README.md", REPO / "ROADMAP.md", *DOC_FILES]
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _doctest_file(path: Path) -> None:
+    text = path.read_text()
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(text, {"__name__": "__main__"}, path.name, str(path), 0)
+    if not test.examples:
+        pytest.skip(f"{path.name} has no doctest examples")
+    runner = doctest.DocTestRunner(optionflags=doctest.ELLIPSIS)
+    runner.run(test)
+    results = runner.summarize(verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {path.name}"
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_doc_examples_run(path):
+    _doctest_file(path)
+
+
+@pytest.mark.parametrize("path", MD_FILES, ids=lambda p: p.name)
+def test_python_blocks_compile(path):
+    blocks = _FENCE.findall(path.read_text())
+    for i, block in enumerate(blocks):
+        if block.lstrip().startswith(">>>"):
+            continue  # executed by the doctest pass instead
+        try:
+            compile(block, f"{path.name}[python block {i}]", "exec")
+        except SyntaxError as e:
+            pytest.fail(f"unparseable python block {i} in {path.name}: {e}")
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, punctuation dropped."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    return {_github_slug(h) for h in _HEADING.findall(path.read_text())}
+
+
+@pytest.mark.parametrize("path", MD_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(path):
+    broken = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        rel, _, anchor = target.partition("#")
+        dest = (path.parent / rel).resolve() if rel else path
+        if not dest.exists():
+            broken.append(f"{target} (missing file)")
+        elif anchor and dest.suffix == ".md" and _github_slug(anchor) not in _anchors(dest):
+            broken.append(f"{target} (missing anchor)")
+    assert not broken, f"broken links in {path.name}: {broken}"

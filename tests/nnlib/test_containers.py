@@ -1,0 +1,237 @@
+"""Container subsystem: ModuleList/ModuleDict and recursive discovery."""
+import numpy as np
+import pytest
+
+from repro.nnlib import (
+    Adam,
+    Linear,
+    Module,
+    ModuleDict,
+    ModuleList,
+    Parameter,
+    Tensor,
+    mse_loss,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModuleList:
+    def test_registers_parameters(self, rng):
+        ml = ModuleList([Linear(2, 2, rng), Linear(2, 2, rng)])
+        names = [n for n, _ in ml.named_parameters()]
+        assert names == ["0.weight", "0.bias", "1.weight", "1.bias"]
+
+    def test_list_protocol(self, rng):
+        ml = ModuleList()
+        a, b, c = Linear(2, 2, rng), Linear(2, 2, rng), Linear(2, 2, rng)
+        ml.append(a)
+        ml.extend([b])
+        ml.insert(0, c)
+        assert len(ml) == 3
+        assert ml[0] is c and ml[-1] is b
+        assert list(ml) == [c, a, b]
+        ml[0] = a
+        assert ml[0] is a
+
+    def test_slice_returns_modulelist(self, rng):
+        ml = ModuleList(Linear(2, 2, rng) for _ in range(4))
+        head = ml[:2]
+        assert isinstance(head, ModuleList)
+        assert len(head) == 2
+
+    def test_rejects_non_modules(self):
+        with pytest.raises(TypeError, match="Module or Parameter"):
+            ModuleList([42])
+
+    def test_accepts_bare_parameters(self, rng):
+        ml = ModuleList([Parameter(np.zeros(3))])
+        assert [n for n, _ in ml.named_parameters()] == ["0"]
+
+    def test_nested_modulelists(self, rng):
+        nested = ModuleList([ModuleList([Linear(2, 2, rng)]), ModuleList([Linear(2, 2, rng)])])
+        names = [n for n, _ in nested.named_parameters()]
+        assert names == ["0.0.weight", "0.0.bias", "1.0.weight", "1.0.bias"]
+
+    def test_train_eval_propagates(self, rng):
+        ml = ModuleList([Linear(2, 2, rng)])
+        ml.eval()
+        assert not ml[0].training
+        ml.train()
+        assert ml[0].training
+
+
+class TestModuleDict:
+    def test_registers_parameters(self, rng):
+        md = ModuleDict({"a": Linear(2, 2, rng), "b": Linear(2, 2, rng)})
+        assert [n for n, _ in md.named_parameters()] == ["a.weight", "a.bias", "b.weight", "b.bias"]
+
+    def test_mapping_protocol(self, rng):
+        md = ModuleDict()
+        lin = Linear(2, 2, rng)
+        md["x"] = lin
+        assert "x" in md and len(md) == 1
+        assert md["x"] is lin
+        assert list(md) == ["x"] and list(md.keys()) == ["x"]
+        assert list(md.values()) == [lin]
+        del md["x"]
+        assert "x" not in md
+
+    def test_preserves_insertion_order(self, rng):
+        md = ModuleDict({"z": Linear(1, 1, rng), "a": Linear(1, 1, rng)})
+        assert list(md) == ["z", "a"]
+        assert list(md.state_dict())[:2] == ["z.weight", "z.bias"]
+
+    def test_rejects_bad_keys(self, rng):
+        md = ModuleDict()
+        with pytest.raises(ValueError, match="may not contain"):
+            md["a.b"] = Linear(1, 1, rng)
+        with pytest.raises(ValueError, match="may not contain"):
+            md["a::b"] = Linear(1, 1, rng)
+        with pytest.raises(TypeError):
+            md[3] = Linear(1, 1, rng)
+
+    def test_rejects_non_modules(self):
+        with pytest.raises(TypeError, match="Module or Parameter"):
+            ModuleDict({"a": "not a module"})
+
+
+class TestRecursiveDiscovery:
+    """Arbitrary nesting of plain lists/tuples/dicts is also discovered."""
+
+    def _model(self, rng):
+        class Nested(Module):
+            def __init__(self):
+                super().__init__()
+                self.grid = [[Linear(2, 2, rng)], [Linear(2, 2, rng), Linear(2, 2, rng)]]
+                self.pair = (Linear(2, 2, rng, bias=False),)
+                self.by_name = {"deep": [Parameter(np.zeros((2, 2)))]}
+
+        return Nested()
+
+    def test_list_of_lists(self, rng):
+        names = {n for n, _ in self._model(rng).named_parameters()}
+        assert {"grid.0.0.weight", "grid.1.0.weight", "grid.1.1.bias"} <= names
+
+    def test_tuple_and_dict_members(self, rng):
+        names = {n for n, _ in self._model(rng).named_parameters()}
+        assert "pair.0.weight" in names
+        assert "by_name.deep.0" in names
+
+    def test_state_dict_covers_everything(self, rng):
+        m = self._model(rng)
+        assert set(m.state_dict()) == {n for n, _ in m.named_parameters()}
+        assert len(m.state_dict()) == 8
+
+    def test_state_dict_roundtrip(self, rng):
+        m1, m2 = self._model(rng), self._model(np.random.default_rng(9))
+        m2.load_state_dict(m1.state_dict())
+        for (_, a), (_, b) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_named_modules(self, rng):
+        m = self._model(rng)
+        names = dict(m.named_modules())
+        assert names[""] is m
+        assert {"grid.0.0", "grid.1.1", "pair.0"} <= set(names)
+
+    def test_non_strict_load_reports_mismatches(self, rng):
+        m = self._model(rng)
+        state = m.state_dict()
+        state.pop("pair.0.weight")
+        state["extra"] = np.zeros(1)
+        result = m.load_state_dict(state, strict=False)
+        assert result.missing == ["pair.0.weight"]
+        assert result.unexpected == ["extra"]
+
+    def test_non_strict_load_still_checks_shapes(self, rng):
+        m = self._model(rng)
+        state = m.state_dict()
+        state["pair.0.weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            m.load_state_dict(state, strict=False)
+
+    def test_failed_load_leaves_module_untouched(self, rng):
+        """Shape validation runs over the whole state dict before any copy,
+        so a rejected load cannot leave a half-loaded module behind."""
+        m = self._model(rng)
+        before = m.state_dict()
+        bad = {k: np.full_like(v, 9.0) for k, v in before.items()}
+        bad["pair.0.weight"] = np.zeros((5, 5))  # one mismatched shape
+        with pytest.raises(ValueError, match="shape mismatch"):
+            m.load_state_dict(bad)
+        for key, val in m.state_dict().items():
+            np.testing.assert_array_equal(val, before[key])
+
+
+class TestSharedAndCyclicStructure:
+    def test_tied_module_registers_once(self, rng):
+        class Tied(Module):
+            def __init__(self):
+                super().__init__()
+                self.encoder = Linear(2, 2, rng)
+                self.decoder = self.encoder  # weight tying
+
+        m = Tied()
+        names = [n for n, _ in m.named_parameters()]
+        # The shared Linear appears under its first name only, so the
+        # optimizer holds each tensor exactly once.
+        assert names == ["encoder.weight", "encoder.bias"]
+        assert len(m.parameters()) == 2
+        assert sum(1 for _ in m.modules()) == 2  # Tied + the one Linear
+
+    def test_tied_parameter_registers_once(self, rng):
+        class TiedParam(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones((2, 2)))
+                self.w_alias = self.w
+
+        assert [n for n, _ in TiedParam().named_parameters()] == ["w"]
+
+    def test_back_reference_does_not_recurse_forever(self, rng):
+        class Child(Module):
+            def __init__(self, parent):
+                super().__init__()
+                self.parent = parent
+                self.lin = Linear(2, 2, rng)
+
+        class Parent(Module):
+            def __init__(self):
+                super().__init__()
+                self.child = Child(self)
+
+        m = Parent()
+        assert [n for n, _ in m.named_parameters()] == ["child.lin.weight", "child.lin.bias"]
+        m.eval()  # modules() traversal must terminate too
+        assert not m.child.lin.training
+
+
+class TestOptimizerThroughContainers:
+    def test_adam_updates_every_nested_parameter(self, rng):
+        class Tower(Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = ModuleDict(
+                    {"a": ModuleList([Linear(3, 3, rng), Linear(3, 3, rng)])}
+                )
+
+            def forward(self, x):
+                for layer in self.blocks["a"]:
+                    x = layer(x).relu()
+                return x
+
+        m = Tower()
+        before = m.state_dict()
+        assert len(before) == 4  # 2 Linears x (weight, bias), all under blocks.a.*
+        opt = Adam(m.parameters(), lr=1e-2)
+        x = rng.normal(size=(8, 3))
+        opt.zero_grad()
+        mse_loss(m(Tensor(x)).reshape(-1), np.ones(8 * 3)).backward()
+        opt.step()
+        after = m.state_dict()
+        for key in before:
+            assert not np.allclose(before[key], after[key]), f"{key} was not updated"

@@ -1,14 +1,36 @@
-"""Checkpoint save/load round trips."""
+"""Checkpoint save/load round trips, including v1→v2 format migration."""
 import numpy as np
 import pytest
 
 from repro.nnlib import MLP, Tensor
-from repro.nnlib.serialization import load_checkpoint, save_checkpoint
+from repro.nnlib.serialization import (
+    FORMAT_VERSION,
+    checkpoint_format_version,
+    load_checkpoint,
+    load_state_bundle,
+    save_checkpoint,
+    save_state_bundle,
+)
 
 
 @pytest.fixture
 def model():
     return MLP(4, [8], 2, np.random.default_rng(0))
+
+
+def downgrade_to_v1(path, drop_prefixes=()):
+    """Rewrite an archive as the pre-versioning (v1) format.
+
+    v1 archives have no format tag and predate nested-container discovery,
+    so keys under ``drop_prefixes`` (e.g. ``gnn.branches.``) do not exist.
+    """
+    with np.load(path) as archive:
+        payload = {
+            k: archive[k]
+            for k in archive.files
+            if k != "__repro_format__" and not any(k.startswith(p) for p in drop_prefixes)
+        }
+    np.savez(path, **payload)
 
 
 class TestCheckpoint:
@@ -38,6 +60,14 @@ class TestCheckpoint:
         save_checkpoint(model, path)
         assert path.exists()
 
+    def test_writes_current_format_version(self, model, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(model, path)
+        assert checkpoint_format_version(path) == FORMAT_VERSION == 2
+        save_state_bundle(tmp_path / "bundle.npz", {"m": model.state_dict()})
+        bundles, meta, version = load_state_bundle(tmp_path / "bundle.npz")
+        assert version == 2 and meta == {} and set(bundles) == {"m"}
+
     def test_nasflat_checkpoint(self, tmp_path, tiny_space, rng):
         from repro.predictors import NASFLATConfig, NASFLATPredictor
 
@@ -49,3 +79,134 @@ class TestCheckpoint:
         meta = load_checkpoint(clone, path)
         assert meta["devices"] == ["a", "b"]
         np.testing.assert_allclose(clone.hw_emb.weight.data, model.hw_emb.weight.data)
+
+    def test_checkpoint_contains_gnn_branches(self, tmp_path, tiny_space, rng):
+        """v2 checkpoints persist the (now trainable) GNN branch weights."""
+        from repro.predictors import NASFLATConfig, NASFLATPredictor
+
+        cfg = NASFLATConfig(op_emb_dim=8, node_emb_dim=8, hw_emb_dim=8, gnn_dims=(16,), ophw_gnn_dims=(16,), ophw_mlp_dims=(16,), head_dims=(16,))
+        model = NASFLATPredictor(tiny_space, ["a"], rng, config=cfg)
+        path = tmp_path / "nasflat.npz"
+        save_checkpoint(model, path)
+        with np.load(path) as archive:
+            branch_keys = [k for k in archive.files if ".branches." in k]
+        assert any(k.startswith("gnn.branches.dgf.") for k in branch_keys)
+        assert any(k.startswith("gnn.branches.gat.") for k in branch_keys)
+        assert any(k.startswith("ophw_gnn.branches.") for k in branch_keys)
+
+
+class TestV1Migration:
+    """Pre-versioning archives (no GNN branch keys) must keep loading."""
+
+    def _nasflat(self, tiny_space, seed):
+        from repro.predictors import NASFLATConfig, NASFLATPredictor
+
+        cfg = NASFLATConfig(op_emb_dim=8, node_emb_dim=8, hw_emb_dim=8, gnn_dims=(16,), ophw_gnn_dims=(16,), ophw_mlp_dims=(16,), head_dims=(16,))
+        return NASFLATPredictor(tiny_space, ["a", "b"], np.random.default_rng(seed), config=cfg)
+
+    def test_version_of_v1_archive_is_1(self, model, tmp_path):
+        path = tmp_path / "old.npz"
+        save_checkpoint(model, path)
+        downgrade_to_v1(path)
+        assert checkpoint_format_version(path) == 1
+
+    def test_v1_loads_with_warning_and_keeps_init_for_missing(self, tmp_path, tiny_space):
+        src = self._nasflat(tiny_space, 0)
+        path = tmp_path / "old.npz"
+        save_checkpoint(src, path, metadata={"task": "T"})
+        downgrade_to_v1(path, drop_prefixes=("gnn.branches.", "ophw_gnn.branches."))
+
+        dst = self._nasflat(tiny_space, 7)
+        init_branch = dst.gnn.branches["dgf"][0].w_f.weight.data.copy()
+        with pytest.warns(UserWarning, match="format v1"):
+            meta = load_checkpoint(dst, path)
+        assert meta == {"task": "T"}
+        # Saved keys were loaded; missing branch keys kept their init values.
+        np.testing.assert_array_equal(dst.op_emb.weight.data, src.op_emb.weight.data)
+        np.testing.assert_array_equal(dst.gnn.branches["dgf"][0].w_f.weight.data, init_branch)
+
+    def test_v2_load_stays_strict(self, tmp_path, tiny_space):
+        src = self._nasflat(tiny_space, 0)
+        path = tmp_path / "new.npz"
+        save_checkpoint(src, path)
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files if ".branches." not in k}
+        np.savez(path, **payload)  # v2 tag kept, branch keys removed: corrupt
+        with pytest.raises(KeyError, match="missing"):
+            load_checkpoint(self._nasflat(tiny_space, 7), path)
+
+    def test_v1_bundle_roundtrip_via_baseline(self, tmp_path, tiny_space):
+        """A BRP-NAS bundle saved pre-v2 (no branch keys) still loads."""
+        from repro.predictors.baselines import BRPNASPredictor
+
+        src = BRPNASPredictor(tiny_space, np.random.default_rng(0), emb_dim=8, gnn_dims=(8,))
+        path = tmp_path / "brp.npz"
+        src.save(path)
+        downgrade_to_v1(path, drop_prefixes=("model::gnn.branches.",))
+        dst = BRPNASPredictor(tiny_space, np.random.default_rng(3), emb_dim=8, gnn_dims=(8,))
+        with pytest.warns(UserWarning, match="format v1"):
+            dst.load(path)
+        np.testing.assert_array_equal(dst.op_emb.weight.data, src.op_emb.weight.data)
+
+    def test_v1_wrong_model_still_rejected(self, model, tmp_path):
+        """Leniency does not extend to wrong-model v1 checkpoints."""
+        path = tmp_path / "old.npz"
+        save_checkpoint(model, path)  # MLP(4, [8], 2)
+        downgrade_to_v1(path)
+        wrong = MLP(4, [16], 2, np.random.default_rng(0))  # shape mismatch
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_checkpoint(wrong, path)
+
+        from repro.nnlib import Linear, Module
+
+        class Disjoint(Module):
+            def __init__(self):
+                super().__init__()
+                self.other = Linear(3, 3, np.random.default_rng(0))
+
+        with pytest.raises(KeyError, match="unexpected keys"):
+            load_checkpoint(Disjoint(), path)
+
+    def test_v1_no_overlap_rejected(self, model, tmp_path):
+        """A v1 archive sharing no names with the module must not 'load'."""
+        path = tmp_path / "old.npz"
+        save_state = {"completely.unrelated": np.zeros(2)}
+        np.savez(path, **save_state)  # no version tag -> v1
+        with pytest.raises(KeyError):
+            load_checkpoint(model, path)
+
+    def test_complete_v1_archive_loads_without_warning(self, model, tmp_path):
+        """v1 archives of container-free models are complete: no warning."""
+        import warnings as _warnings
+
+        path = tmp_path / "old.npz"
+        save_checkpoint(model, path, metadata={"task": "T"})
+        downgrade_to_v1(path)
+        other = MLP(4, [8], 2, np.random.default_rng(5))
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # any warning fails the test
+            meta = load_checkpoint(other, path)
+        assert meta == {"task": "T"}
+        np.testing.assert_array_equal(
+            other.net.layers[0].weight.data, model.net.layers[0].weight.data
+        )
+
+    def test_v1_to_v2_resave_upgrades(self, tmp_path, tiny_space):
+        """Loading a v1 checkpoint and saving again produces a full v2 one."""
+        src = self._nasflat(tiny_space, 0)
+        path = tmp_path / "old.npz"
+        save_checkpoint(src, path)
+        downgrade_to_v1(path, drop_prefixes=("gnn.branches.", "ophw_gnn.branches."))
+
+        dst = self._nasflat(tiny_space, 7)
+        with pytest.warns(UserWarning):
+            load_checkpoint(dst, path)
+        new_path = tmp_path / "upgraded.npz"
+        save_checkpoint(dst, new_path)
+        assert checkpoint_format_version(new_path) == 2
+        clone = self._nasflat(tiny_space, 11)
+        load_checkpoint(clone, new_path)  # strict: full key set present
+        np.testing.assert_array_equal(
+            clone.gnn.branches["gat"][0].w_p.weight.data,
+            dst.gnn.branches["gat"][0].w_p.weight.data,
+        )

@@ -54,8 +54,8 @@ class TestForward:
         assert not np.allclose(a, b)  # global conditioning present
         # The op-hw refinement path sees only the op embedding width.
         with_ophw = NASFLATPredictor(tiny_space, ["devA"], rng, config=small_cfg)
-        assert model.ophw_gnn.branches[0][0].w_f.in_features == cfg.op_emb_dim
-        assert with_ophw.ophw_gnn.branches[0][0].w_f.in_features == cfg.op_emb_dim + cfg.hw_emb_dim
+        assert model.ophw_gnn.branches["dgf"][0].w_f.in_features == cfg.op_emb_dim
+        assert with_ophw.ophw_gnn.branches["dgf"][0].w_f.in_features == cfg.op_emb_dim + cfg.hw_emb_dim
 
     def test_supplementary_validation(self, tiny_space, small_cfg, rng, batch):
         import dataclasses

@@ -108,6 +108,22 @@ class TestCheckpointRoundtrip:
         with pytest.raises(KeyError):
             PredictorSession.from_checkpoint(path, config=cfg)
 
+    def test_v1_checkpoint_still_serves(self, session, mini_task, cfg, tmp_path):
+        """Checkpoints written before format v2 (no GNN branch weights) keep
+        serving: they load leniently and the branches stay at their init."""
+        from tests.nnlib.test_serialization import downgrade_to_v1
+
+        path = tmp_path / "legacy.npz"
+        session.save(path)
+        downgrade_to_v1(path, drop_prefixes=("gnn.branches.", "ophw_gnn.branches."))
+
+        with pytest.warns(UserWarning, match="format v1"):
+            restored = PredictorSession.from_checkpoint(path, task=mini_task, config=cfg)
+        idx = np.arange(16)
+        scores = restored.predict_batch("fpga", idx)
+        assert scores.shape == (16,)
+        np.testing.assert_allclose(scores, restored.predict_batch("fpga", idx))
+
     def test_from_pipeline_shares_checkpoint(self, session, mini_task, cfg):
         clone = PredictorSession.from_pipeline(session.pipeline)
         idx = np.arange(12)
