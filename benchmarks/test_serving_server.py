@@ -1,0 +1,144 @@
+"""Serving-server benchmark: dynamic micro-batching under concurrent load.
+
+A closed-loop load generator drives the HTTP server end-to-end (real
+sockets, persistent connections): first one client issuing requests
+back-to-back — the serial one-request-at-a-time baseline, where every
+forward carries a single request — then ``N_CLIENTS`` concurrent clients,
+whose requests the :class:`~repro.serving.server.MicroBatcher` coalesces
+into shared vectorized forwards.
+
+Acceptance (ISSUE 3): concurrent throughput >= 3x the serial baseline, and
+``/metrics`` must show a mean batch size > 1 request during the concurrent
+phase — i.e. the speedup demonstrably comes from coalescing, not noise.
+We print throughput, p50/p99 request latency, and the batching stats.
+"""
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.serving import PredictorServer, PredictorSession
+from repro.tasks import Task
+from repro.transfer.pipeline import PipelineConfig
+
+N_CLIENTS = 16
+REQS_PER_CLIENT = 8
+SERIAL_REQS = 24
+REQ_INDICES = 4  # architectures per request; small, so per-forward overhead dominates
+
+
+def _make_session() -> PredictorSession:
+    from repro.spaces import GenericCellSpace
+    from repro.spaces.registry import _INSTANCES
+
+    sp = GenericCellSpace("nb101", table_size=400)
+    _INSTANCES[sp.name] = sp
+    task = Task(
+        "T-load",
+        sp.name,
+        train_devices=("pixel3", "pixel2"),
+        test_devices=("fpga", "eyeriss"),
+    )
+    cfg = PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        n_transfer_samples=8,
+        pretrain=PretrainConfig(samples_per_device=32, epochs=2, batch_size=16),
+        finetune=FinetuneConfig(epochs=4),
+        n_test=50,
+    )
+    return PredictorSession(task, cfg, seed=0).pretrain()
+
+
+class _Client:
+    """One closed-loop client on a persistent HTTP/1.1 connection."""
+
+    def __init__(self, host: str, port: int, seed: int):
+        self.conn = http.client.HTTPConnection(host, port, timeout=60)
+        self.rng = np.random.default_rng(seed)
+
+    def request(self, device: str) -> dict:
+        idx = self.rng.choice(400, size=REQ_INDICES, replace=False)
+        body = json.dumps({"device": device, "indices": [int(i) for i in idx]})
+        self.conn.request("POST", "/predict", body, {"Content-Type": "application/json"})
+        resp = self.conn.getresponse()
+        payload = json.loads(resp.read())
+        assert resp.status == 200, payload
+        assert payload["count"] == REQ_INDICES
+        return payload
+
+    def get(self, path: str) -> dict:
+        self.conn.request("GET", path)
+        resp = self.conn.getresponse()
+        return json.loads(resp.read())
+
+    def close(self):
+        self.conn.close()
+
+
+def test_micro_batching_beats_serial_requests(benchmark):
+    session = _make_session()
+    device = "fpga"
+
+    def run():
+        with PredictorServer(session, port=0, max_batch=256, max_wait_ms=5.0) as srv:
+            probe = _Client(srv.host, srv.port, seed=0)
+            probe.request(device)  # warm up: pays adaptation once, up front
+
+            # --- serial baseline: one client, one request at a time -------
+            t0 = time.perf_counter()
+            for _ in range(SERIAL_REQS):
+                probe.request(device)
+            serial_tp = SERIAL_REQS / (time.perf_counter() - t0)
+
+            before = probe.get("/metrics")
+
+            # --- concurrent phase: N closed-loop clients ------------------
+            clients = [_Client(srv.host, srv.port, seed=100 + i) for i in range(N_CLIENTS)]
+            errors = []
+            barrier = threading.Barrier(N_CLIENTS + 1)
+
+            def loop(client):
+                try:
+                    barrier.wait(30.0)
+                    for _ in range(REQS_PER_CLIENT):
+                        client.request(device)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=loop, args=(c,)) for c in clients]
+            for t in threads:
+                t.start()
+            barrier.wait(30.0)
+            t1 = time.perf_counter()
+            for t in threads:
+                t.join(300.0)
+            concurrent_tp = (N_CLIENTS * REQS_PER_CLIENT) / (time.perf_counter() - t1)
+            assert not errors, errors
+
+            after = probe.get("/metrics")
+            for c in clients:
+                c.close()
+            probe.close()
+        return serial_tp, concurrent_tp, before, after
+
+    serial_tp, concurrent_tp, before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    batches = after["batches_total"] - before["batches_total"]
+    coalesced = after["batched_requests_total"] - before["batched_requests_total"]
+    mean_batch = coalesced / batches if batches else 0.0
+    speedup = concurrent_tp / serial_tp
+    print(
+        f"\nserial: {serial_tp:.1f} req/s   "
+        f"concurrent ({N_CLIENTS} clients): {concurrent_tp:.1f} req/s   speedup: {speedup:.1f}x"
+    )
+    print(
+        f"concurrent phase: {batches} forwards for {coalesced} requests "
+        f"(mean batch {mean_batch:.1f} requests)   "
+        f"latency p50={after['p50_ms']:.1f}ms p99={after['p99_ms']:.1f}ms"
+    )
+    assert speedup >= 3.0, f"micro-batching speedup only {speedup:.2f}x (need >= 3x)"
+    assert mean_batch > 1.0, f"mean batch size {mean_batch:.2f} — requests were not coalesced"

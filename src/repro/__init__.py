@@ -18,12 +18,20 @@ Serving (batched queries against a pretrained checkpoint)::
     session = PredictorSession.from_checkpoint("n1.npz")
     scores = session.predict_batch("titan_rtx_32", [0, 42, 15624])
 
+Or over HTTP with dynamic micro-batching (``repro serve`` from the
+shell)::
+
+    from repro.serving import PredictorServer
+
+    with PredictorServer(session, port=8100) as server:
+        ...  # POST /predict, GET /devices /healthz /metrics
+
 See README.md for installation, the CLI tour, and the architecture
 overview; every component family (spaces, samplers, encodings, devices)
 resolves through :class:`repro.core.Registry`, and every predictor speaks
 the :class:`repro.core.LatencyEstimator` protocol.
 """
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core import LatencyEstimator, Registry
 from repro.spaces.registry import get_space

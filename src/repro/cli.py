@@ -6,6 +6,7 @@ Commands
 ``devices``    list simulated devices (optionally per space).
 ``transfer``   pretrain on a task's source pool and adapt to target devices.
 ``predict``    serve batched latency predictions via a PredictorSession.
+``serve``      run the HTTP serving layer with dynamic micro-batching.
 ``nas``        run a latency-constrained NAS on an unseen device.
 ``partition``  run Algorithm 1 over a device list.
 """
@@ -101,6 +102,44 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import PredictorSession, PredictorServer
+    from repro.transfer.pipeline import quick_config
+
+    cfg = quick_config(n_transfer_samples=args.samples)
+    if args.checkpoint:
+        session = PredictorSession.from_checkpoint(args.checkpoint, task=args.task, config=cfg)
+    else:
+        if not args.task:
+            print("error: --task is required without --checkpoint", file=sys.stderr)
+            return 2
+        session = PredictorSession(args.task, cfg, seed=args.seed)
+        print(f"No checkpoint given: pretraining a quick session on {args.task} ...", flush=True)
+        session.pretrain()
+
+    server = PredictorServer(
+        session,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    server.start()
+    print(f"Serving task {session.task.name} on {server.url}", flush=True)
+    print(
+        f"  POST {server.url}/predict   "
+        '{"device": "<name>", "indices": [0, 1, ...]}  '
+        f"(batching: max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms})"
+    )
+    print(f"  GET  {server.url}/devices | /healthz | /metrics   (Ctrl-C drains and exits)")
+    try:
+        server.wait()  # returns on Ctrl-C
+        print("\nShutting down: draining queued predictions ...", flush=True)
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _cmd_nas(args) -> int:
     from repro import get_task
     from repro.nas import MetaD2ASimulator, latency_constrained_search
@@ -177,6 +216,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=20, help="on-device samples for adaptation")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("serve", help="HTTP serving layer with dynamic micro-batching")
+    p.add_argument("--task", default=None, help="task name (read from checkpoint metadata if omitted)")
+    p.add_argument("--checkpoint", default=None, help="pretrained checkpoint (.npz) to serve from")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8100, help="bind port (0 picks a free one)")
+    p.add_argument("--max-batch", type=int, default=64, help="architectures coalesced per forward")
+    p.add_argument("--max-wait-ms", type=float, default=5.0, help="batch window after first request")
+    p.add_argument("--samples", type=int, default=20, help="on-device samples for adaptation")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("nas", help="latency-constrained NAS on an unseen device")
     p.add_argument("--task", default="ND")

@@ -13,7 +13,7 @@ al., 2022).
 The engine is intentionally small but exact: every op's gradient is verified
 against central finite differences in ``tests/nnlib/test_gradcheck.py``.
 """
-from repro.nnlib.tensor import Tensor, concat, stack, no_grad
+from repro.nnlib.tensor import Tensor, concat, stack, is_grad_enabled, no_grad
 from repro.nnlib.modules import (
     Module,
     Parameter,
@@ -46,6 +46,7 @@ __all__ = [
     "concat",
     "stack",
     "no_grad",
+    "is_grad_enabled",
     "Module",
     "Parameter",
     "LoadResult",

@@ -9,23 +9,44 @@ broadcast axes (:func:`_unbroadcast`).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    """Per-thread autodiff switch.
+
+    The flag must be thread-local, not process-global: a serving thread
+    running inference under :func:`no_grad` must not disable (or, on exit,
+    re-enable) tape construction for a concurrent training thread.
+    """
+
+    enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations record the autodiff tape in the calling thread."""
+    return _grad_mode.enabled
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    prev = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph construction (inference mode).
+
+    The effect is scoped to the calling thread; other threads keep building
+    tapes undisturbed.
+    """
+    prev = _grad_mode.enabled
+    _grad_mode.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = prev
+        _grad_mode.enabled = prev
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -73,7 +94,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_mode.enabled
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = ()
         self.name = name
@@ -115,7 +136,7 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"], backward) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _grad_mode.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._prev = tuple(parents)
             out._backward = backward

@@ -7,7 +7,21 @@ serving-side brick: it pins one pretrained checkpoint in memory, keeps an
 LRU of per-device adapted predictors, memoizes encoded architecture
 batches, and answers ``predict_batch(device, indices)`` without touching
 the training path.
+
+:mod:`repro.serving.server` is the network brick on top: a stdlib-only
+HTTP server that fronts a session with dynamic micro-batching
+(:class:`~repro.serving.server.MicroBatcher` coalesces concurrent
+``/predict`` requests into single vectorized forwards) and exposes
+``/healthz``, ``/devices`` and ``/metrics`` for operations.  See
+``docs/SERVING.md`` for the operator guide.
 """
+from repro.serving.server import MicroBatcher, PredictorServer, ServerMetrics
 from repro.serving.session import PredictorSession, SessionStats
 
-__all__ = ["PredictorSession", "SessionStats"]
+__all__ = [
+    "MicroBatcher",
+    "PredictorServer",
+    "PredictorSession",
+    "ServerMetrics",
+    "SessionStats",
+]

@@ -14,15 +14,24 @@ devices are queried over and over with fresh architecture batches.  A
 ``predict_batch`` then runs one vectorized forward pass over the whole
 batch.  Adapting a device is deterministic in ``(seed, device)``, so two
 sessions restored from the same checkpoint serve identical predictions.
+
+A session is **thread-safe**: a re-entrant lock serializes adaptation,
+cache mutation, and the forward pass, so N threads hammering one session
+get exactly the predictions a serial caller would (adaptation is
+deterministic in ``(seed, device)``, so arrival order cannot change
+results).  Inference runs under :func:`~repro.nnlib.no_grad` — served
+queries never build an autodiff tape.
 """
 from __future__ import annotations
 
+import threading
 import zlib
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.nnlib import no_grad
 from repro.predictors.nasflat import NASFLATPredictor
 from repro.predictors.space_tensors import SpaceTensors
 from repro.samplers.factory import make_sampler
@@ -41,6 +50,10 @@ class SessionStats:
     encode_misses: int = 0
     queries: int = 0
     architectures_scored: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of the counters (for ``/metrics`` serialization)."""
+        return asdict(self)
 
 
 class PredictorSession:
@@ -79,8 +92,17 @@ class PredictorSession:
         self.max_cached_batches = max_cached_batches
         self.stats = SessionStats()
         self._hot: OrderedDict[str, NASFLATPredictor] = OrderedDict()
+        # Lock-free snapshot of the hot-LRU keys: read-only introspection
+        # (/devices, hot_devices) must not stall behind a multi-second
+        # cold-device adaptation holding the session lock.
+        self._hot_names: tuple[str, ...] = ()
         self._batches: OrderedDict[bytes, tuple] = OrderedDict()
         self._tensors = SpaceTensors.for_space(self.pipeline.space)
+        # Re-entrant so predict_batch -> adapt -> _encode_batch nest freely.
+        # One lock covers both LRUs, the stats counters, and the forward
+        # pass itself (adapted predictors toggle train/eval state, which
+        # must not interleave across threads).
+        self._lock = threading.RLock()
 
     # -------------------------------------------------------------- lifecycle
     @classmethod
@@ -123,8 +145,12 @@ class PredictorSession:
 
     @property
     def hot_devices(self) -> list[str]:
-        """Adapted devices currently resident, least-recent first."""
-        return list(self._hot)
+        """Adapted devices currently resident, least-recent first.
+
+        Reads a snapshot, not the LRU itself, so it never blocks on the
+        session lock (which an in-flight adaptation may hold for seconds).
+        """
+        return list(self._hot_names)
 
     # ------------------------------------------------------------- adaptation
     def _device_rng(self, device: str) -> np.random.Generator:
@@ -138,74 +164,83 @@ class PredictorSession:
         by default the pipeline's sampler picks them.  Re-adapting an
         already-hot device with explicit ``indices`` refreshes its entry.
         """
-        if device in self._hot and indices is None:
-            self.stats.device_hits += 1
-            self._hot.move_to_end(device)
-            return self._hot[device]
-        if not self.pipeline.is_pretrained:
-            raise RuntimeError("no pretrained checkpoint: call pretrain() or from_checkpoint()")
-        rng = self._device_rng(device)
-        if indices is None:
-            sampler = make_sampler(
-                self.pipeline.config.sampler,
-                dataset=self.pipeline.dataset,
-                target_device=device,
-                reference_devices=list(self.task.train_devices),
-            )
-            indices = sampler.select(
-                self.pipeline.space, self.pipeline.config.n_transfer_samples, rng
-            )
-        idx = np.asarray(indices, dtype=np.int64)
-        predictor = self.pipeline._clone_pretrained()
-        init_device = None
-        if self.pipeline.config.hw_init:
-            from repro.transfer.hw_init import select_init_device
+        with self._lock:
+            if device in self._hot and indices is None:
+                self.stats.device_hits += 1
+                self._hot.move_to_end(device)
+                self._hot_names = tuple(self._hot)
+                return self._hot[device]
+            if not self.pipeline.is_pretrained:
+                raise RuntimeError("no pretrained checkpoint: call pretrain() or from_checkpoint()")
+            rng = self._device_rng(device)
+            if indices is None:
+                sampler = make_sampler(
+                    self.pipeline.config.sampler,
+                    dataset=self.pipeline.dataset,
+                    target_device=device,
+                    reference_devices=list(self.task.train_devices),
+                )
+                indices = sampler.select(
+                    self.pipeline.space, self.pipeline.config.n_transfer_samples, rng
+                )
+            idx = np.asarray(indices, dtype=np.int64)
+            predictor = self.pipeline._clone_pretrained()
+            init_device = None
+            if self.pipeline.config.hw_init:
+                from repro.transfer.hw_init import select_init_device
 
-            init_device = select_init_device(
-                self.pipeline.dataset, device, idx, list(self.task.train_devices)
+                init_device = select_init_device(
+                    self.pipeline.dataset, device, idx, list(self.task.train_devices)
+                )
+            predictor.adapt(
+                device, idx, rng=rng, config=self.pipeline.config.finetune, init_from=init_device
             )
-        predictor.adapt(
-            device, idx, rng=rng, config=self.pipeline.config.finetune, init_from=init_device
-        )
-        self.stats.adapt_calls += 1
-        self._hot[device] = predictor
-        self._hot.move_to_end(device)
-        while len(self._hot) > self.max_hot_devices:
-            self._hot.popitem(last=False)
-            self.stats.device_evictions += 1
-        return predictor
+            self.stats.adapt_calls += 1
+            self._hot[device] = predictor
+            self._hot.move_to_end(device)
+            while len(self._hot) > self.max_hot_devices:
+                self._hot.popitem(last=False)
+                self.stats.device_evictions += 1
+            self._hot_names = tuple(self._hot)
+            return predictor
 
     # -------------------------------------------------------------- inference
     def _encode_batch(self, idx: np.ndarray) -> tuple:
-        key = idx.tobytes()
-        if key in self._batches:
-            self.stats.encode_hits += 1
-            self._batches.move_to_end(key)
-            return self._batches[key]
-        self.stats.encode_misses += 1
-        adj, ops = self._tensors.batch(idx)
-        supp = self.pipeline.supplementary
-        encoded = (adj, ops, supp[idx] if supp is not None else None)
-        self._batches[key] = encoded
-        while len(self._batches) > self.max_cached_batches:
-            self._batches.popitem(last=False)
-        return encoded
+        with self._lock:
+            key = idx.tobytes()
+            if key in self._batches:
+                self.stats.encode_hits += 1
+                self._batches.move_to_end(key)
+                return self._batches[key]
+            self.stats.encode_misses += 1
+            adj, ops = self._tensors.batch(idx)
+            supp = self.pipeline.supplementary
+            encoded = (adj, ops, supp[idx] if supp is not None else None)
+            self._batches[key] = encoded
+            while len(self._batches) > self.max_cached_batches:
+                self._batches.popitem(last=False)
+            return encoded
 
     def predict_batch(self, device: str, indices) -> np.ndarray:
         """Latency scores for ``indices`` on ``device``, one forward pass.
 
         Adapts the device on first use (sampler-chosen measurement set),
         then serves from the hot predictor.  The whole batch runs as a
-        single vectorized chunk.
+        single vectorized chunk, under :func:`~repro.nnlib.no_grad` (served
+        queries must not pay for an autodiff tape they never run backward).
+        Safe to call from many threads; calls are serialized on the
+        session lock.
         """
-        predictor = self.adapt(device)
-        idx = np.asarray(indices, dtype=np.int64)
-        self.stats.queries += 1
-        self.stats.architectures_scored += len(idx)
-        if len(idx) == 0:
-            return np.empty(0)
-        adj, ops, supp = self._encode_batch(idx)
-        return predictor.predict(adj, ops, device, supp, batch_size=len(idx))
+        with self._lock:
+            predictor = self.adapt(device)
+            idx = np.asarray(indices, dtype=np.int64)
+            self.stats.queries += 1
+            self.stats.architectures_scored += len(idx)
+            if len(idx) == 0:
+                return np.empty(0)
+            adj, ops, supp = self._encode_batch(idx)
+            with no_grad():
+                return predictor.predict(adj, ops, device, supp, batch_size=len(idx))
 
     def predict(self, device: str, indices) -> np.ndarray:
         """Alias of :meth:`predict_batch` matching the

@@ -156,6 +156,41 @@ class TestAutogradBasics:
             out = a * 2
         assert not out.requires_grad
 
+    def test_is_grad_enabled_reflects_context(self):
+        from repro.nnlib import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_is_thread_local(self):
+        # A serving thread in no_grad() must not disable tape construction
+        # for a concurrently training thread (or re-enable it on exit).
+        import threading
+
+        inference_entered = threading.Event()
+        inference_done = threading.Event()
+        trainer_tape: list[bool] = []
+
+        def inference():
+            with no_grad():
+                inference_entered.set()
+                inference_done.wait(5.0)
+                assert not (Tensor([1.0], requires_grad=True) * 2).requires_grad
+
+        def trainer():
+            assert inference_entered.wait(5.0)
+            # Runs while the other thread sits inside no_grad().
+            trainer_tape.append((Tensor([1.0], requires_grad=True) * 2).requires_grad)
+            inference_done.set()
+
+        t1 = threading.Thread(target=inference)
+        t2 = threading.Thread(target=trainer)
+        t1.start(); t2.start()
+        t1.join(10.0); t2.join(10.0)
+        assert trainer_tape == [True]
+
     def test_detach(self):
         a = Tensor([1.0], requires_grad=True)
         d = a.detach()

@@ -1,4 +1,7 @@
-"""PredictorSession: checkpoint roundtrip, device LRU, batch memoization."""
+"""PredictorSession: checkpoint roundtrip, device LRU, batch memoization,
+thread safety, and the no-autodiff-tape serving guarantee."""
+import threading
+
 import numpy as np
 import pytest
 
@@ -130,3 +133,100 @@ class TestCheckpointRoundtrip:
         np.testing.assert_allclose(
             clone.predict_batch("fpga", idx), session.predict_batch("fpga", idx)
         )
+
+
+class TestNoGradServing:
+    def test_predict_batch_builds_no_tape(self, session, monkeypatch):
+        """Served queries must not pay for an autodiff tape (nor keep the
+        whole forward graph alive through `_prev` references)."""
+        import repro.nnlib.tensor as tensor_mod
+
+        grad_tensors = []
+        orig = tensor_mod.Tensor._make
+
+        def spy(data, parents, backward):
+            out = orig(data, parents, backward)
+            if out.requires_grad:
+                grad_tensors.append(out)
+            return out
+
+        monkeypatch.setattr(tensor_mod.Tensor, "_make", staticmethod(spy))
+        session.adapt("fpga")  # adaptation (training) legitimately builds tapes
+        grad_tensors.clear()
+        session.predict_batch("fpga", np.arange(10))
+        assert grad_tensors == []
+
+
+class TestThreadSafety:
+    N_THREADS = 8
+    ROUNDS = 4
+
+    def _workload(self, mini_task):
+        # (device, indices) pairs covering cache hits, misses, and overlap.
+        rng = np.random.default_rng(7)
+        work = []
+        for r in range(self.ROUNDS):
+            for device in mini_task.test_devices:
+                work.append((device, rng.choice(300, size=12, replace=False)))
+                work.append((device, np.arange(6)))  # repeated -> encode hits
+        return work
+
+    def test_concurrent_predictions_match_serial_bitwise(self, mini_task, cfg):
+        serial = PredictorSession(mini_task, cfg, seed=3).pretrain()
+        work = self._workload(mini_task)
+        expected = [serial.predict_batch(dev, idx) for dev, idx in work]
+
+        hammered = PredictorSession.from_pipeline(serial.pipeline)
+        outputs: dict[int, np.ndarray] = {}
+        errors: list[Exception] = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(tid):
+            try:
+                barrier.wait(10.0)
+                # Each thread walks the whole workload from a different
+                # offset, so adaptation and encoding order differ per run.
+                for k in range(len(work)):
+                    j = (k + tid * 3) % len(work)
+                    dev, idx = work[j]
+                    out = hammered.predict_batch(dev, idx)
+                    if j not in outputs:
+                        outputs[j] = out
+                    elif not np.array_equal(outputs[j], out):
+                        raise AssertionError(f"non-deterministic result for work item {j}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+        assert not errors, errors
+        for j, exp in enumerate(expected):
+            np.testing.assert_array_equal(outputs[j], exp)
+
+    def test_concurrent_use_keeps_lru_invariants(self, mini_task, cfg):
+        s = PredictorSession(mini_task, cfg, seed=5, max_hot_devices=2, max_cached_batches=4)
+        s.pretrain()
+        errors: list[Exception] = []
+
+        def worker(tid):
+            rng = np.random.default_rng(tid)
+            try:
+                for _ in range(6):
+                    device = mini_task.test_devices[rng.integers(len(mini_task.test_devices))]
+                    s.predict_batch(device, rng.choice(300, size=5, replace=False))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120.0)
+        assert not errors, errors
+        assert len(s._hot) <= 2
+        assert len(s._batches) <= 4
+        assert set(s.hot_devices) <= set(mini_task.test_devices)
+        assert s.stats.queries == 6 * 6

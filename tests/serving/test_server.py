@@ -1,0 +1,463 @@
+"""HTTP serving layer: micro-batching, endpoints, graceful shutdown.
+
+The :class:`MicroBatcher` and endpoint-validation tests run against stub
+predict functions (no training); one class exercises the full HTTP stack
+over a real pretrained :class:`PredictorSession`.
+"""
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.serving import MicroBatcher, PredictorServer, PredictorSession, ServerMetrics
+from repro.tasks import Task
+from repro.transfer.pipeline import PipelineConfig
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read())
+
+
+def _post(url: str, payload) -> tuple[int, dict]:
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as r:
+            return r.status, json.loads(r.read())
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read())
+
+
+class StubSession:
+    """Deterministic predict_batch with a tunable per-call delay."""
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.calls: list[tuple[str, int]] = []
+
+    def predict_batch(self, device, indices):
+        idx = np.asarray(indices, dtype=np.int64)
+        self.calls.append((device, len(idx)))
+        if self.delay:
+            time.sleep(self.delay)
+        if device == "broken":
+            raise KeyError("unknown device 'broken'")
+        return idx * 0.5
+
+
+class TestMicroBatcher:
+    def test_single_request_roundtrip(self):
+        mb = MicroBatcher(StubSession().predict_batch, max_batch=8, max_wait_ms=1).start()
+        try:
+            np.testing.assert_allclose(mb.submit("d", [2, 4]), [1.0, 2.0])
+        finally:
+            mb.stop()
+
+    def test_concurrent_requests_coalesce(self):
+        stub = StubSession(delay=0.02)
+        metrics = ServerMetrics()
+        mb = MicroBatcher(stub.predict_batch, max_batch=1000, max_wait_ms=50, metrics=metrics).start()
+        results = {}
+
+        def client(i):
+            results[i] = mb.submit("d", [i, i + 10])
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        mb.stop()
+        for i in range(8):
+            np.testing.assert_allclose(results[i], [i * 0.5, (i + 10) * 0.5])
+        # 8 clients, far fewer dispatches: the window coalesced them.
+        assert metrics.batches_total < 8
+        assert metrics.batched_requests_total == 8
+        assert metrics.batched_archs_total == 16
+
+    def test_groups_by_device_within_window(self):
+        stub = StubSession(delay=0.02)
+        mb = MicroBatcher(stub.predict_batch, max_batch=1000, max_wait_ms=50).start()
+        results = {}
+
+        def client(i, device):
+            results[(device, i)] = mb.submit(device, [i])
+
+        threads = [
+            threading.Thread(target=client, args=(i, dev))
+            for i in range(4)
+            for dev in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        mb.stop()
+        for (dev, i), res in results.items():
+            np.testing.assert_allclose(res, [i * 0.5])
+        # One predict call per device per window, never mixed devices.
+        assert all(n <= 4 for _, n in stub.calls)
+
+    def test_window_never_overshoots_max_batch(self):
+        # A near-full window plus one large rider must not exceed max_batch:
+        # the rider waits for the next window instead.
+        stub = StubSession(delay=0.02)
+        mb = MicroBatcher(stub.predict_batch, max_batch=10, max_wait_ms=50).start()
+        results = {}
+
+        def client(name, indices):
+            results[name] = mb.submit("d", indices)
+
+        threads = [
+            threading.Thread(target=client, args=("small", list(range(8)))),
+            threading.Thread(target=client, args=("rider", list(range(8, 16)))),
+        ]
+        threads[0].start()
+        time.sleep(0.005)
+        threads[1].start()
+        for t in threads:
+            t.join()
+        mb.stop()
+        assert len(results["small"]) == 8 and len(results["rider"]) == 8
+        assert all(n <= 10 for _, n in stub.calls), stub.calls
+
+    def test_timed_out_request_is_not_dispatched(self):
+        stub = StubSession(delay=0.2)
+        mb = MicroBatcher(stub.predict_batch, max_batch=1, max_wait_ms=0).start()
+        blocker = threading.Thread(target=lambda: mb.submit("d", [0]))
+        blocker.start()
+        time.sleep(0.02)  # dispatcher is busy with the blocker's forward
+        with pytest.raises(TimeoutError):
+            mb.submit("d", [1, 2], timeout=0.01)  # gives up while still queued
+        blocker.join()
+        mb.stop()
+        # The cancelled (2-index) request never reached predict_fn.
+        assert ("d", 2) not in stub.calls
+        assert ("d", 1) in stub.calls  # the blocker's own request did run
+
+    def test_oversized_request_dispatches_whole(self):
+        stub = StubSession()
+        mb = MicroBatcher(stub.predict_batch, max_batch=4, max_wait_ms=1).start()
+        try:
+            out = mb.submit("d", list(range(100)))
+            assert len(out) == 100
+            assert ("d", 100) in stub.calls
+        finally:
+            mb.stop()
+
+    def test_bad_request_does_not_poison_cobatched_neighbors(self):
+        def predict(device, idx):
+            idx = np.asarray(idx)
+            if (idx >= 100).any():
+                raise IndexError("index out of range")
+            return idx * 0.5
+
+        mb = MicroBatcher(predict, max_batch=1000, max_wait_ms=50).start()
+        outcomes = {}
+
+        def client(name, indices):
+            try:
+                outcomes[name] = mb.submit("d", indices)
+            except Exception as exc:
+                outcomes[name] = exc
+
+        threads = [
+            threading.Thread(target=client, args=("good", [1, 2])),
+            threading.Thread(target=client, args=("bad", [999])),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        mb.stop()
+        np.testing.assert_allclose(outcomes["good"], [0.5, 1.0])
+        assert isinstance(outcomes["bad"], IndexError)
+
+    def test_error_propagates_to_caller(self):
+        mb = MicroBatcher(StubSession().predict_batch, max_batch=8, max_wait_ms=1).start()
+        try:
+            with pytest.raises(KeyError, match="broken"):
+                mb.submit("broken", [1])
+        finally:
+            mb.stop()
+
+    def test_score_count_mismatch_is_runtime_error(self):
+        mb = MicroBatcher(lambda d, idx: np.zeros(len(idx) + 1), max_batch=8, max_wait_ms=1).start()
+        try:
+            with pytest.raises(RuntimeError, match="scores for"):
+                mb.submit("d", [1, 2])
+        finally:
+            mb.stop()
+
+    def test_scalar_return_does_not_kill_dispatcher(self):
+        # A predict_fn returning a 0-d scalar for a length-1 batch must not
+        # crash the dispatcher thread (which would hang every later submit).
+        mb = MicroBatcher(lambda d, idx: np.float64(1.5), max_batch=1, max_wait_ms=0).start()
+        try:
+            np.testing.assert_allclose(mb.submit("d", [7], timeout=10), [1.5])
+            np.testing.assert_allclose(mb.submit("d", [8], timeout=10), [1.5])  # still alive
+        finally:
+            mb.stop()
+
+    def test_stop_drains_queued_requests(self):
+        stub = StubSession(delay=0.05)
+        mb = MicroBatcher(stub.predict_batch, max_batch=1, max_wait_ms=0).start()
+        results = []
+        threads = [
+            threading.Thread(target=lambda i=i: results.append(mb.submit("d", [i])))
+            for i in range(5)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.01)  # let them enqueue
+        mb.stop()  # must block until every queued request was answered
+        for t in threads:
+            t.join(5.0)
+        assert len(results) == 5
+
+    def test_submit_after_stop_raises(self):
+        mb = MicroBatcher(StubSession().predict_batch, max_batch=8, max_wait_ms=1).start()
+        mb.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            mb.submit("d", [1])
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda d, i: i, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda d, i: i, max_wait_ms=-1)
+
+
+class TestEndpointsWithStub:
+    @pytest.fixture()
+    def server(self):
+        with PredictorServer(StubSession(), port=0, max_batch=64, max_wait_ms=2) as srv:
+            yield srv
+
+    def test_healthz(self, server):
+        status, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["queue_depth"] == 0
+
+    def test_predict_roundtrip(self, server):
+        status, body = _post(server.url + "/predict", {"device": "gpu", "indices": [2, 6]})
+        assert status == 200
+        assert body["device"] == "gpu" and body["count"] == 2
+        assert body["scores"] == [1.0, 3.0]
+
+    def test_predict_validation(self, server):
+        cases = [
+            ({"device": "", "indices": [1]}, "device"),
+            ({"indices": [1]}, "device"),
+            ({"device": "gpu"}, "indices"),
+            ({"device": "gpu", "indices": []}, "indices"),
+            ({"device": "gpu", "indices": [1.5]}, "integers"),
+            ({"device": "gpu", "indices": [True]}, "integers"),
+            ([1, 2], "JSON object"),
+        ]
+        for payload, needle in cases:
+            status, body = _post(server.url + "/predict", payload)
+            assert status == 400, payload
+            assert needle in body["error"]
+
+    def test_predict_rejects_oversized_index_list(self):
+        with PredictorServer(StubSession(), port=0, max_indices=10) as srv:
+            status, body = _post(srv.url + "/predict", {"device": "gpu", "indices": list(range(11))})
+            assert status == 400
+            assert "too many indices" in body["error"]
+
+    def test_non_finite_scores_are_500_not_invalid_json(self):
+        class NaNSession:
+            def predict_batch(self, device, indices):
+                return np.full(len(indices), np.nan)
+
+        with PredictorServer(NaNSession(), port=0) as srv:
+            status, body = _post(srv.url + "/predict", {"device": "gpu", "indices": [1]})
+            assert status == 500
+            assert "non-finite" in body["error"]
+
+    def test_predict_unknown_device_is_400(self, server):
+        status, body = _post(server.url + "/predict", {"device": "broken", "indices": [1]})
+        assert status == 400
+        assert "broken" in body["error"]
+
+    def test_unknown_paths_are_404(self, server):
+        status, _ = _get(server.url + "/nope")
+        assert status == 404
+        status, _ = _post(server.url + "/nope", {})
+        assert status == 404
+
+    def test_invalid_json_is_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/predict", data=b"{not json", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=30)
+        assert exc.value.code == 400
+
+    def test_chunked_body_is_411(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.putrequest("POST", "/predict")
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 411
+            assert "Content-Length" in json.loads(resp.read())["error"]
+        finally:
+            conn.close()
+
+    def test_malformed_content_length_is_400_not_reset(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.putrequest("POST", "/predict")
+            conn.putheader("Content-Length", "abc")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+            assert "Content-Length" in json.loads(resp.read())["error"]
+        finally:
+            conn.close()
+
+    def test_keepalive_survives_404_post_with_body(self, server):
+        # The body of a POST to an unknown path must be drained; otherwise a
+        # persistent connection parses the leftover bytes as the next request.
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.request("POST", "/nope", '{"a": 1}', {"Content-Type": "application/json"})
+            assert conn.getresponse().read() and True  # drain response
+            conn.request(
+                "POST", "/predict",
+                json.dumps({"device": "gpu", "indices": [4]}),
+                {"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert json.loads(resp.read())["scores"] == [2.0]
+        finally:
+            conn.close()
+
+    def test_metrics_counts_requests_and_batches(self, server):
+        for i in range(3):
+            _post(server.url + "/predict", {"device": "gpu", "indices": [i]})
+        _post(server.url + "/predict", {"device": "gpu", "indices": [1.5]})  # error
+        status, m = _get(server.url + "/metrics")
+        assert status == 200
+        assert m["requests_total"] == 4
+        assert m["errors_total"] == 1
+        assert m["batches_total"] >= 1
+        assert m["batched_archs_total"] == 3
+        assert m["p50_ms"] is not None
+        assert m["batching"] == {"max_batch": 64, "max_wait_ms": 2.0}
+        assert sum(m["batch_size_hist"].values()) == m["batches_total"]
+        assert sum(m["latency_hist_ms"].values()) == m["requests_total"]
+
+    def test_shutdown_drains_inflight_request(self):
+        stub = StubSession(delay=0.2)
+        srv = PredictorServer(stub, port=0, max_batch=4, max_wait_ms=1).start()
+        out = {}
+
+        def client():
+            out["resp"] = _post(srv.url + "/predict", {"device": "gpu", "indices": [4]})
+
+        t = threading.Thread(target=client)
+        t.start()
+        time.sleep(0.05)  # request is in flight / queued
+        srv.shutdown()
+        t.join(10.0)
+        assert out["resp"] == (200, {"device": "gpu", "count": 1, "scores": [2.0]})
+
+    def test_shutdown_is_idempotent(self):
+        srv = PredictorServer(StubSession(), port=0).start()
+        srv.shutdown()
+        srv.shutdown()  # second call is a no-op, not an error
+
+
+class TestRealSessionOverHTTP:
+    @pytest.fixture(scope="class")
+    def session(self):
+        from repro.spaces import GenericCellSpace
+        from repro.spaces.registry import _INSTANCES
+
+        sp = GenericCellSpace("nb101", table_size=300)
+        _INSTANCES[sp.name] = sp
+        task = Task(
+            "T-http",
+            sp.name,
+            train_devices=("pixel3", "pixel2"),
+            test_devices=("fpga", "eyeriss"),
+        )
+        cfg = PipelineConfig(
+            sampler="random",
+            supplementary=None,
+            n_transfer_samples=8,
+            pretrain=PretrainConfig(samples_per_device=24, epochs=2, batch_size=16),
+            finetune=FinetuneConfig(epochs=4),
+            n_test=50,
+        )
+        return PredictorSession(task, cfg, seed=0).pretrain()
+
+    @pytest.fixture(scope="class")
+    def server(self, session):
+        with PredictorServer(session, port=0, max_batch=128, max_wait_ms=2) as srv:
+            yield srv
+
+    def test_served_scores_match_direct_session(self, server, session):
+        status, body = _post(server.url + "/predict", {"device": "fpga", "indices": [0, 1, 2]})
+        assert status == 200
+        direct = session.predict_batch("fpga", [0, 1, 2])
+        np.testing.assert_allclose(body["scores"], direct, rtol=1e-12)
+
+    def test_out_of_range_indices_rejected_before_predict(self, server):
+        status, body = _post(server.url + "/predict", {"device": "fpga", "indices": [300]})
+        assert status == 400
+        assert "out of range" in body["error"]
+
+    def test_devices_endpoint_lists_space_and_hot(self, server, session):
+        _post(server.url + "/predict", {"device": "fpga", "indices": [0]})
+        status, body = _get(server.url + "/devices")
+        assert status == 200
+        assert body["space"] == session.pipeline.space.name
+        assert "fpga" in body["hot"]
+        assert "pixel3" in body["devices"]
+
+    def test_metrics_exposes_session_stats(self, server):
+        _post(server.url + "/predict", {"device": "fpga", "indices": [5, 6]})
+        status, m = _get(server.url + "/metrics")
+        assert status == 200
+        assert m["session"]["queries"] >= 1
+        assert m["session"]["architectures_scored"] >= 2
+
+    def test_concurrent_http_clients_get_exact_results(self, server, session):
+        expected = {i: session.predict_batch("fpga", [i, i + 1]) for i in range(12)}
+        out = {}
+
+        def client(i):
+            out[i] = _post(server.url + "/predict", {"device": "fpga", "indices": [i, i + 1]})
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(12):
+            status, body = out[i]
+            assert status == 200
+            np.testing.assert_allclose(body["scores"], expected[i], rtol=1e-12)

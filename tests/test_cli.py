@@ -19,6 +19,20 @@ class TestParser:
         )
         assert args.devices == ["pixel3", "fpga"]
 
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--task", "N1", "--port", "0", "--max-batch", "32", "--max-wait-ms", "3"]
+        )
+        assert args.task == "N1" and args.port == 0
+        assert args.max_batch == 32 and args.max_wait_ms == 3.0
+        assert args.host == "127.0.0.1"
+
+
+class TestServeValidation:
+    def test_requires_task_or_checkpoint(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--task is required" in capsys.readouterr().err
+
 
 class TestListings:
     def test_tasks_lists_all(self, capsys):
