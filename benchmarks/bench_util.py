@@ -9,8 +9,12 @@ each benchmark reproduces and prints.
 """
 from __future__ import annotations
 
+import inspect
+import json
 import os
+import time
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
@@ -18,6 +22,42 @@ from repro.predictors.training import FinetuneConfig, PretrainConfig
 from repro.transfer.pipeline import NASFLATPipeline, PipelineConfig
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def record_metric(name: str, value: float, unit: str, *, suite: str | None = None) -> Path:
+    """Persist one machine-readable benchmark metric to ``BENCH_<suite>.json``.
+
+    The artifact lands at the repo root so CI can upload it and the perf
+    trajectory across PRs is greppable.  ``suite`` defaults to the calling
+    benchmark module's name with its ``test_`` prefix stripped
+    (``test_serving_server.py`` -> ``BENCH_serving_server.json``).  Metrics
+    accumulate per suite file: re-recording a name overwrites that entry,
+    other entries survive, and the write is atomic (tmp + rename) so a
+    crashed run never leaves a torn artifact.
+    """
+    if suite is None:
+        caller = inspect.stack()[1].filename
+        suite = Path(caller).stem.removeprefix("test_")
+    path = _REPO_ROOT / f"BENCH_{suite}.json"
+    data = {"suite": suite, "scale": SCALE, "metrics": {}}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            pass  # a torn/stale artifact is replaced, not fatal
+    data.setdefault("metrics", {})[name] = {
+        "value": float(value),
+        "unit": unit,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    data["suite"] = suite
+    data["scale"] = SCALE
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
 
 if SCALE == "full":  # paper Table 20 settings
     PRETRAIN = PretrainConfig(samples_per_device=512, epochs=150, batch_size=16)

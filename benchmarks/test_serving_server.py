@@ -19,6 +19,7 @@ import time
 
 import numpy as np
 
+from bench_util import record_metric
 from repro.predictors.training import FinetuneConfig, PretrainConfig
 from repro.serving import PredictorServer, PredictorSession
 from repro.tasks import Task
@@ -140,5 +141,9 @@ def test_micro_batching_beats_serial_requests(benchmark):
         f"(mean batch {mean_batch:.1f} requests)   "
         f"latency p50={after['p50_ms']:.1f}ms p99={after['p99_ms']:.1f}ms"
     )
+    record_metric("serial_throughput", serial_tp, "req/s")
+    record_metric("concurrent_throughput", concurrent_tp, "req/s")
+    record_metric("mean_batch_requests", mean_batch, "requests/forward")
+    record_metric("batching_speedup", speedup, "x")
     assert speedup >= 3.0, f"micro-batching speedup only {speedup:.2f}x (need >= 3x)"
     assert mean_batch > 1.0, f"mean batch size {mean_batch:.2f} — requests were not coalesced"

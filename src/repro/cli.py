@@ -108,12 +108,14 @@ def _cmd_serve(args) -> int:
 
     cfg = quick_config(n_transfer_samples=args.samples)
     if args.checkpoint:
-        session = PredictorSession.from_checkpoint(args.checkpoint, task=args.task, config=cfg)
+        session = PredictorSession.from_checkpoint(
+            args.checkpoint, task=args.task, config=cfg, use_compiled=args.compiled
+        )
     else:
         if not args.task:
             print("error: --task is required without --checkpoint", file=sys.stderr)
             return 2
-        session = PredictorSession(args.task, cfg, seed=args.seed)
+        session = PredictorSession(args.task, cfg, seed=args.seed, use_compiled=args.compiled)
         print(f"No checkpoint given: pretraining a quick session on {args.task} ...", flush=True)
         session.pretrain()
 
@@ -125,7 +127,8 @@ def _cmd_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
     )
     server.start()
-    print(f"Serving task {session.task.name} on {server.url}", flush=True)
+    mode = "compiled plans" if args.compiled else "eager forwards"
+    print(f"Serving task {session.task.name} on {server.url} ({mode})", flush=True)
     print(
         f"  POST {server.url}/predict   "
         '{"device": "<name>", "indices": [0, 1, ...]}  '
@@ -226,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-wait-ms", type=float, default=5.0, help="batch window after first request")
     p.add_argument("--samples", type=int, default=20, help="on-device samples for adaptation")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--compiled",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve from traced replay plans (--no-compiled: eager forwards)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("nas", help="latency-constrained NAS on an unseen device")

@@ -14,6 +14,7 @@ The engine is intentionally small but exact: every op's gradient is verified
 against central finite differences in ``tests/nnlib/test_gradcheck.py``.
 """
 from repro.nnlib.tensor import Tensor, concat, stack, is_grad_enabled, no_grad
+from repro.nnlib.trace import CompiledPlan, TraceError, register_derived, trace, tracing
 from repro.nnlib.modules import (
     Module,
     Parameter,
@@ -47,6 +48,11 @@ __all__ = [
     "stack",
     "no_grad",
     "is_grad_enabled",
+    "CompiledPlan",
+    "TraceError",
+    "register_derived",
+    "trace",
+    "tracing",
     "Module",
     "Parameter",
     "LoadResult",

@@ -29,6 +29,21 @@ class _GradMode(threading.local):
 _grad_mode = _GradMode()
 
 
+class _TraceState(threading.local):
+    """Per-thread trace hook (installed by :mod:`repro.nnlib.trace`).
+
+    While a trace is active on a thread, every primitive op reports
+    ``(op_name, out_tensor, inputs, aux)`` to the hook so the tracer can
+    record a replayable plan.  ``None`` (the default) costs one attribute
+    read per op on the eager path.
+    """
+
+    hook = None
+
+
+_trace = _TraceState()
+
+
 def is_grad_enabled() -> bool:
     """Whether operations record the autodiff tape in the calling thread."""
     return _grad_mode.enabled
@@ -142,6 +157,27 @@ class Tensor:
             out._backward = backward
         return out
 
+    @staticmethod
+    def _make_traced(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward,
+        op: str,
+        aux: dict | None = None,
+    ) -> "Tensor":
+        """:meth:`_make` plus a report to the active tracer, if any.
+
+        ``op`` names the primitive and ``aux`` carries whatever the replay
+        kernel needs beyond the tensor operands (axes, indices, scalars).
+        Dispatches through ``Tensor._make`` dynamically so tests that patch
+        the classmethod still observe every tensor.
+        """
+        out = Tensor._make(data, parents, backward)
+        hook = _trace.hook
+        if hook is not None:
+            hook(op, out, parents, aux)
+        return out
+
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
             self.grad = np.zeros_like(self.data)
@@ -193,7 +229,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(out.grad, other.shape))
 
-        out = Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make_traced(out_data, (self, other), backward, "add")
         return out
 
     __radd__ = __add__
@@ -208,7 +244,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
 
-        out = Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make_traced(out_data, (self, other), backward, "mul")
         return out
 
     __rmul__ = __mul__
@@ -234,7 +270,7 @@ class Tensor:
                     _unbroadcast(-out.grad * self.data / (other.data**2), other.shape)
                 )
 
-        out = Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make_traced(out_data, (self, other), backward, "div")
         return out
 
     def __rtruediv__(self, other) -> "Tensor":
@@ -249,7 +285,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "pow", {"exponent": exponent})
         return out
 
     def __matmul__(self, other) -> "Tensor":
@@ -286,7 +322,7 @@ class Tensor:
                         grad_other = swap @ g
                     other._accumulate(_unbroadcast(grad_other, other.shape))
 
-        out = Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make_traced(out_data, (self, other), backward, "matmul")
         return out
 
     # ------------------------------------------------------------ elementwise
@@ -297,7 +333,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad * out_data)
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "exp")
         return out
 
     def log(self) -> "Tensor":
@@ -307,7 +343,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad / self.data)
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "log")
         return out
 
     def sqrt(self) -> "Tensor":
@@ -321,7 +357,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad * sign)
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "abs")
         return out
 
     def tanh(self) -> "Tensor":
@@ -331,7 +367,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad * (1.0 - out_data**2))
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "tanh")
         return out
 
     def sigmoid(self) -> "Tensor":
@@ -341,7 +377,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad * out_data * (1.0 - out_data))
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "sigmoid")
         return out
 
     def relu(self) -> "Tensor":
@@ -352,7 +388,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad * mask)
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "relu")
         return out
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
@@ -363,7 +399,9 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad * np.where(mask, 1.0, negative_slope))
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(
+            out_data, (self,), backward, "leaky_relu", {"negative_slope": negative_slope}
+        )
         return out
 
     def clip_min(self, low: float) -> "Tensor":
@@ -375,7 +413,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad * mask)
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "clip_min", {"low": low})
         return out
 
     # -------------------------------------------------------------- reductions
@@ -389,7 +427,9 @@ class Tensor:
                     g = np.expand_dims(g, axis)
                 self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(
+            out_data, (self,), backward, "sum", {"axis": axis, "keepdims": keepdims}
+        )
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -415,7 +455,9 @@ class Tensor:
                 counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
                 self._accumulate(np.where(mask, g, 0.0) / counts)
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(
+            out_data, (self,), backward, "max", {"axis": axis, "keepdims": keepdims}
+        )
         return out
 
     def softmax(self, axis: int = -1) -> "Tensor":
@@ -429,7 +471,7 @@ class Tensor:
                 dot = (g * out_data).sum(axis=axis, keepdims=True)
                 self._accumulate(out_data * (g - dot))
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "softmax", {"axis": axis})
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
@@ -443,7 +485,7 @@ class Tensor:
                 g = out.grad
                 self._accumulate(g - softmax * g.sum(axis=axis, keepdims=True))
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "log_softmax", {"axis": axis})
         return out
 
     # ------------------------------------------------------------------ shape
@@ -456,7 +498,9 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad.reshape(self.shape))
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(
+            out_data, (self,), backward, "reshape", {"shape": tuple(out_data.shape)}
+        )
         return out
 
     def transpose(self, *axes) -> "Tensor":
@@ -471,7 +515,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad.transpose(inverse))
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(out_data, (self,), backward, "transpose", {"axes": axes})
         return out
 
     @property
@@ -487,7 +531,9 @@ class Tensor:
                 np.add.at(grad, index, out.grad)
                 self._accumulate(grad)
 
-        out = Tensor._make(np.array(out_data, copy=True), (self,), backward)
+        out = Tensor._make_traced(
+            np.array(out_data, copy=True), (self,), backward, "getitem", {"index": index}
+        )
         return out
 
     def gather_rows(self, indices: np.ndarray) -> "Tensor":
@@ -505,7 +551,9 @@ class Tensor:
                 np.add.at(grad, idx, out.grad)
                 self._accumulate(grad)
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make_traced(
+            out_data, (self,), backward, "gather_rows", {"indices": idx}
+        )
         return out
 
 
@@ -523,7 +571,7 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
                 sl[axis] = slice(start, stop)
                 t._accumulate(out.grad[tuple(sl)])
 
-    out = Tensor._make(out_data, tensors, backward)
+    out = Tensor._make_traced(out_data, tensors, backward, "concat", {"axis": axis})
     return out
 
 
@@ -537,5 +585,5 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if t.requires_grad:
                 t._accumulate(np.take(out.grad, i, axis=axis))
 
-    out = Tensor._make(out_data, tensors, backward)
+    out = Tensor._make_traced(out_data, tensors, backward, "stack", {"axis": axis})
     return out

@@ -1,0 +1,726 @@
+"""Trace-and-replay compiled inference plans.
+
+Serving a fixed predictor is a shape-stable workload: the same dataflow graph
+runs over and over with fresh input arrays.  The eager engine pays for that
+generality on every call — a Python :class:`~repro.nnlib.tensor.Tensor`
+wrapper per op, a backward-closure allocation, ``Module.__call__`` dispatch,
+and rebuilt constant arrays.  This module removes all of it for inference:
+
+1. **Trace**: run a function of tensors once with example inputs while a
+   per-thread hook (see ``tensor._trace``) reports every primitive.  The
+   tracer assigns a *slot* to each array in flight and classifies every leaf:
+
+   * **input** — bound by identity to one of the named example arrays; replay
+     substitutes the caller's array for that name.
+   * **parameter** — bound to the :class:`~repro.nnlib.modules.Parameter`
+     *object*; replay reads ``param.data`` live, so in-place fine-tuning and
+     optimizer updates (which reassign ``.data``) are always picked up.
+   * **derived input** — an array a module computed *from* an input outside
+     tensor ops (e.g. the GAT predecessor mask) and registered via
+     :func:`register_derived`; replay recomputes it from the bound inputs.
+   * **constant** — everything else (eye matrices, scalar coefficients);
+     hoisted into the plan once.
+
+2. **Compile**: the flat, topologically ordered step list is lowered to
+   closures over pure numpy kernels with three optimizations: adjacent
+   single-consumer elementwise steps execute in place on their producer's
+   buffer (fusion), every kernel writes into a preallocated per-step buffer
+   reused across replays, and stacked ``(B, N, K) @ (K, M)`` matmuls (the
+   Linear layers) collapse into one ``(B*N, K) @ (K, M)`` GEMM instead of a
+   loop of B tiny ones.
+
+3. **Replay**: :meth:`CompiledPlan.replay` binds inputs, recomputes derived
+   arrays, and runs the closures — no ``Tensor`` objects, no tape checks, no
+   ``__call__`` chains.  Plans are shape-specialized: inputs must match the
+   traced shapes exactly (callers bucket/pad batches; see
+   :class:`repro.predictors.compiled.CompiledInference`).
+
+Replay is numerically faithful to the eager forward: each kernel performs the
+same numpy operations in the same order, so results agree to within a few
+ulps (the GEMM collapse may reorder blocked summation inside BLAS; the
+equivalence suite pins the error below 1e-6).
+"""
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+from repro.nnlib import tensor as _tensor_mod
+from repro.nnlib.modules import Module, Parameter
+from repro.nnlib.tensor import Tensor, no_grad
+
+
+class TraceError(RuntimeError):
+    """A forward could not be traced, or a plan was replayed incorrectly."""
+
+
+class Step(NamedTuple):
+    """One recorded primitive: ``out_slot = op(*in_slots, **aux)``."""
+
+    op: str
+    out: int
+    ins: tuple[int, ...]
+    aux: dict
+    shape: tuple[int, ...]
+
+
+class _ActiveTrace(threading.local):
+    tracer = None
+
+
+_active = _ActiveTrace()
+
+
+def tracing() -> bool:
+    """Whether a trace is being recorded on the calling thread."""
+    return _active.tracer is not None
+
+
+def register_derived(array: np.ndarray, fn: Callable, deps: tuple) -> None:
+    """Mark ``array`` as recomputable from other arrays at replay time.
+
+    Modules that derive helper arrays from their *inputs* in plain numpy
+    (outside tensor ops) must call this while computing them, otherwise a
+    trace would freeze the example batch's version as a constant.  ``fn``
+    receives the replay-time values of ``deps`` (arrays that must be plan
+    inputs, other derived arrays, or constants) and returns the array.
+
+    No-op when no trace is active, so modules call it unconditionally.
+    """
+    tracer = _active.tracer
+    if tracer is not None:
+        tracer.derived_fns[id(array)] = (fn, tuple(deps))
+        tracer.pins.append(array)
+
+
+class _Tracer:
+    """Records steps reported by ``Tensor._make_traced`` into slot form."""
+
+    def __init__(self, inputs: dict[str, np.ndarray], params_by_id: dict[int, Parameter]):
+        self.inputs = dict(inputs)
+        self.n_slots = 0
+        self.slot_shapes: dict[int, tuple[int, ...]] = {}
+        self.input_slots: dict[str, int] = {}
+        self._input_by_arrid: dict[int, int] = {}
+        for name, arr in self.inputs.items():
+            slot = self._new_slot()
+            self.input_slots[name] = slot
+            self._input_by_arrid[id(arr)] = slot
+            self.slot_shapes[slot] = np.shape(arr)
+        self.params_by_id = params_by_id
+        self.param_slots: list[tuple[int, Parameter]] = []
+        self.const_slots: list[tuple[int, np.ndarray]] = []
+        self._const_by_arrid: dict[int, int] = {}
+        self.derived_fns: dict[int, tuple[Callable, tuple]] = {}
+        self.derived_slots: list[tuple[int, Callable, tuple[int, ...]]] = []
+        self._derived_by_arrid: dict[int, int] = {}
+        self._tensor_slots: dict[int, int] = {}
+        self.steps: list[Step] = []
+        # Everything id()-keyed must stay alive for the duration of the trace.
+        self.pins: list = []
+
+    def _new_slot(self) -> int:
+        slot = self.n_slots
+        self.n_slots += 1
+        return slot
+
+    # ------------------------------------------------------------ leaf binding
+    def _tensor_slot(self, t: Tensor) -> int:
+        slot = self._tensor_slots.get(id(t))
+        if slot is not None:
+            return slot
+        if id(t) in self.params_by_id:
+            slot = self._new_slot()
+            self.param_slots.append((slot, t))
+            self.slot_shapes[slot] = t.data.shape
+        else:
+            slot = self._array_slot(t.data)
+        self._tensor_slots[id(t)] = slot
+        self.pins.append(t)
+        return slot
+
+    def _array_slot(self, arr: np.ndarray) -> int:
+        slot = self._input_by_arrid.get(id(arr))
+        if slot is not None:
+            return slot
+        slot = self._derived_by_arrid.get(id(arr))
+        if slot is not None:
+            return slot
+        if id(arr) in self.derived_fns:
+            fn, deps = self.derived_fns[id(arr)]
+            dep_slots = tuple(self._array_slot(d) for d in deps)
+            slot = self._new_slot()
+            self.derived_slots.append((slot, fn, dep_slots))
+            self._derived_by_arrid[id(arr)] = slot
+            self.slot_shapes[slot] = np.shape(arr)
+            self.pins.append(arr)
+            return slot
+        slot = self._const_by_arrid.get(id(arr))
+        if slot is not None:
+            return slot
+        slot = self._new_slot()
+        self.const_slots.append((slot, arr))
+        self._const_by_arrid[id(arr)] = slot
+        self.slot_shapes[slot] = np.shape(arr)
+        self.pins.append(arr)
+        return slot
+
+    # --------------------------------------------------------------- recording
+    def record(self, op: str, out: Tensor, ins, aux: dict | None) -> None:
+        in_slots = tuple(self._tensor_slot(t) for t in ins)
+        aux = dict(aux) if aux else {}
+        if op == "gather_rows":
+            # The index array is data, not a constant: bind it like any leaf
+            # so replay gathers with the caller's indices.
+            in_slots += (self._array_slot(aux.pop("indices")),)
+        out_slot = self._new_slot()
+        self._tensor_slots[id(out)] = out_slot
+        self.slot_shapes[out_slot] = out.data.shape
+        self.pins.append(out)
+        self.steps.append(Step(op, out_slot, in_slots, aux, out.data.shape))
+
+
+def trace(
+    fn: Callable[[dict[str, np.ndarray]], Tensor],
+    inputs: dict[str, np.ndarray],
+    module: Module | None = None,
+    params: list[Parameter] | None = None,
+) -> "CompiledPlan":
+    """Run ``fn(inputs)`` once, recording a replayable :class:`CompiledPlan`.
+
+    ``fn`` must consume the arrays in ``inputs`` *by identity* (wrap them in
+    ``Tensor``/pass them to ``gather_rows`` directly — no numpy preprocessing
+    inside ``fn``, that belongs in the caller's input-preparation step) and
+    return a single ``Tensor``.  ``module`` (or an explicit ``params`` list)
+    declares which leaves are live parameters rather than frozen constants.
+    """
+    if _active.tracer is not None:
+        raise TraceError("nested tracing is not supported")
+    if module is not None:
+        params_by_id = {id(p): p for _, p in module.named_parameters()}
+    elif params:
+        params_by_id = {id(p): p for p in params}
+    else:
+        params_by_id = {}
+    tracer = _Tracer(inputs, params_by_id)
+    _active.tracer = tracer
+    _tensor_mod._trace.hook = tracer.record
+    try:
+        with no_grad():
+            out = fn(inputs)
+    finally:
+        _active.tracer = None
+        _tensor_mod._trace.hook = None
+    if not isinstance(out, Tensor):
+        raise TraceError(f"traced function must return a Tensor, got {type(out).__name__}")
+    out_slot = tracer._tensor_slots.get(id(out))
+    if out_slot is None:
+        raise TraceError("traced function's output was not produced by tensor primitives")
+    return CompiledPlan(tracer, out_slot)
+
+
+# --------------------------------------------------------------------- kernels
+
+_BINARY_UFUNCS = {"add": np.add, "mul": np.multiply, "div": np.true_divide}
+_UNARY_UFUNCS = {"exp": np.exp, "log": np.log, "tanh": np.tanh, "abs": np.abs}
+# Ops that may legally execute in place on their producer's buffer.
+_INPLACE_OPS = frozenset(
+    ["exp", "log", "tanh", "abs", "relu", "clip_min", "pow", "sigmoid", "add", "mul", "div"]
+)
+# Ops whose output aliases their input; never a fusion target (mutating the
+# view would corrupt the aliased slot, which may be an input or still-needed
+# buffer).
+_VIEW_OPS = frozenset(["transpose", "reshape", "getitem"])
+
+
+def _reduced_shape(shape: tuple[int, ...], axis: int) -> tuple[int, ...]:
+    axis = axis % len(shape)
+    return tuple(1 if i == axis else s for i, s in enumerate(shape))
+
+
+class _BufferPool:
+    """Register-allocation-style buffer assignment at compile time.
+
+    Each step's output (and scratch) buffer is taken from a shape-keyed free
+    list and returned once every slot aliasing it is dead.  This keeps the
+    replay working set at the *live* activation set (a dozen arrays) instead
+    of one buffer per step — the difference between thrashing L2 on every
+    elementwise pass and staying cache-resident.
+    """
+
+    def __init__(self):
+        self.buffers: list[np.ndarray] = []
+        self._free: dict[tuple, list[int]] = {}
+
+    def alloc(self, shape: tuple[int, ...]) -> int:
+        free = self._free.get(shape)
+        if free:
+            return free.pop()
+        self.buffers.append(np.empty(shape))
+        return len(self.buffers) - 1
+
+    def release(self, bid: int) -> None:
+        self._free.setdefault(self.buffers[bid].shape, []).append(bid)
+
+
+def _scratch_shapes(st: Step, slot_shapes: dict[int, tuple]) -> list[tuple[int, ...]]:
+    """Shapes of the buffers a step needs beyond the slots themselves.
+
+    Index 0 is the step's output buffer; the rest are kernel scratch.  View
+    ops (and in-place fused steps) need none.
+    """
+    if st.op in _VIEW_OPS:
+        return []
+    if st.op == "matmul":
+        a_shape, b_shape = slot_shapes.get(st.ins[0]), slot_shapes.get(st.ins[1])
+        if a_shape is not None and b_shape is not None and len(a_shape) == 3 and len(b_shape) == 2:
+            bdim, n, _ = a_shape
+            return [(bdim * n, b_shape[1])]
+        return [st.shape]
+    if st.op == "softmax":
+        return [st.shape, _reduced_shape(st.shape, st.aux["axis"])]
+    if st.op == "log_softmax":
+        return [st.shape, st.shape, _reduced_shape(st.shape, st.aux["axis"])]
+    return [st.shape]
+
+
+def _make_kernel(
+    st: Step,
+    slot_shapes: dict,
+    inplace_on: int | None,
+    bufs: list[np.ndarray],
+    prenegated_sigmoid: bool = False,
+    negate_rhs: bool = False,
+):
+    """Lower one step to a ``run(slots)`` closure over numpy kernels.
+
+    ``bufs`` holds the preallocated buffers from :func:`_scratch_shapes`
+    (empty for view ops; ignored when ``inplace_on`` designates a producer
+    buffer to overwrite).  ``prenegated_sigmoid`` lowers sigmoid to the
+    three-pass ``1 / (1 + exp(x))`` because the producing matmul already
+    negated its weights (``negate_rhs``) — together they drop one full
+    elementwise pass per gate, bitwise-faithfully.
+    """
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+
+    if st.op == "sigmoid" and prenegated_sigmoid:
+        (a,) = st.ins
+        if inplace_on is not None:
+            def run(slots, a=a, o=o):
+                buf = slots[a]
+                np.exp(buf, out=buf)
+                np.add(buf, 1.0, out=buf)
+                np.divide(1.0, buf, out=buf)
+                slots[o] = buf
+        else:
+            def run(slots, a=a, o=o, buf=out_buf):
+                np.exp(slots[a], out=buf)
+                np.add(buf, 1.0, out=buf)
+                np.divide(1.0, buf, out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op == "matmul" and negate_rhs:
+        a, b = st.ins
+        a_shape = slot_shapes[a]
+        bdim, n, k = a_shape
+        cache: list = [None, None]
+
+        def run(slots, a=a, b=b, o=o, bdim=bdim, n=n, k=k, buf=out_buf, cache=cache):
+            w = slots[b]
+            if cache[0] is not w:
+                cache[0] = w
+                cache[1] = np.negative(w)
+            np.matmul(slots[a].reshape(bdim * n, k), cache[1], out=buf)
+            slots[o] = buf.reshape(bdim, n, buf.shape[1])
+
+        return run
+
+    if st.op in _BINARY_UFUNCS:
+        uf = _BINARY_UFUNCS[st.op]
+        a, b = st.ins
+        if inplace_on is not None:
+            def run(slots, uf=uf, a=a, b=b, o=o, t=inplace_on):
+                buf = slots[t]
+                uf(slots[a], slots[b], out=buf)
+                slots[o] = buf
+        else:
+            def run(slots, uf=uf, a=a, b=b, o=o, buf=out_buf):
+                uf(slots[a], slots[b], out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op in _UNARY_UFUNCS:
+        uf = _UNARY_UFUNCS[st.op]
+        (a,) = st.ins
+        if inplace_on is not None:
+            def run(slots, uf=uf, a=a, o=o):
+                buf = slots[a]
+                uf(buf, out=buf)
+                slots[o] = buf
+        else:
+            def run(slots, uf=uf, a=a, o=o, buf=out_buf):
+                uf(slots[a], out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op in ("relu", "clip_min"):
+        (a,) = st.ins
+        low = 0.0 if st.op == "relu" else st.aux["low"]
+        if inplace_on is not None:
+            def run(slots, a=a, o=o, low=low):
+                buf = slots[a]
+                np.maximum(buf, low, out=buf)
+                slots[o] = buf
+        else:
+            def run(slots, a=a, o=o, low=low, buf=out_buf):
+                np.maximum(slots[a], low, out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op == "leaky_relu":
+        (a,) = st.ins
+        slope = st.aux["negative_slope"]
+        if 0.0 <= slope <= 1.0:
+            # max(x, slope*x) == where(x > 0, x, slope*x) for slope in [0, 1].
+            def run(slots, a=a, o=o, slope=slope, buf=out_buf):
+                x = slots[a]
+                np.multiply(x, slope, out=buf)
+                np.maximum(x, buf, out=buf)
+                slots[o] = buf
+        else:  # pragma: no cover - no such slope in the repo's models
+            def run(slots, a=a, o=o, slope=slope, buf=out_buf):
+                x = slots[a]
+                np.multiply(x, slope, out=buf)
+                np.copyto(buf, x, where=x > 0)
+                slots[o] = buf
+        return run
+
+    if st.op == "sigmoid":
+        (a,) = st.ins
+        if inplace_on is not None:
+            def run(slots, a=a, o=o):
+                buf = slots[a]
+                np.negative(buf, out=buf)
+                np.exp(buf, out=buf)
+                np.add(buf, 1.0, out=buf)
+                np.divide(1.0, buf, out=buf)
+                slots[o] = buf
+        else:
+            def run(slots, a=a, o=o, buf=out_buf):
+                np.negative(slots[a], out=buf)
+                np.exp(buf, out=buf)
+                np.add(buf, 1.0, out=buf)
+                np.divide(1.0, buf, out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op == "pow":
+        (a,) = st.ins
+        e = st.aux["exponent"]
+        if inplace_on is not None:
+            def run(slots, a=a, o=o, e=e):
+                buf = slots[a]
+                if e == 2:
+                    np.multiply(buf, buf, out=buf)
+                elif e == 0.5:
+                    np.sqrt(buf, out=buf)
+                else:
+                    np.power(buf, e, out=buf)
+                slots[o] = buf
+        elif e == 2:
+            def run(slots, a=a, o=o, buf=out_buf):
+                x = slots[a]
+                np.multiply(x, x, out=buf)
+                slots[o] = buf
+        elif e == 0.5:
+            def run(slots, a=a, o=o, buf=out_buf):
+                np.sqrt(slots[a], out=buf)
+                slots[o] = buf
+        else:
+            def run(slots, a=a, o=o, e=e, buf=out_buf):
+                np.power(slots[a], e, out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op == "matmul":
+        a, b = st.ins
+        a_shape, b_shape = slot_shapes.get(a), slot_shapes.get(b)
+        if a_shape is not None and b_shape is not None and len(a_shape) == 3 and len(b_shape) == 2:
+            # Stacked (B, N, K) @ (K, M): one flattened GEMM beats numpy's
+            # loop of B tiny ones (N is ~8-24 in these graphs).
+            bdim, n, k = a_shape
+            m = b_shape[1]
+            def run(slots, a=a, b=b, o=o, k=k, bdim=bdim, n=n, m=m, buf=out_buf):
+                np.matmul(slots[a].reshape(bdim * n, k), slots[b], out=buf)
+                slots[o] = buf.reshape(bdim, n, m)
+        else:
+            def run(slots, a=a, b=b, o=o, buf=out_buf):
+                np.matmul(slots[a], slots[b], out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op == "softmax":
+        (a,) = st.ins
+        axis = st.aux["axis"]
+        red_buf = bufs[1]
+        def run(slots, a=a, o=o, axis=axis, buf=out_buf, red=red_buf):
+            x = slots[a]
+            np.max(x, axis=axis, keepdims=True, out=red)
+            np.subtract(x, red, out=buf)
+            np.exp(buf, out=buf)
+            np.sum(buf, axis=axis, keepdims=True, out=red)
+            np.divide(buf, red, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "log_softmax":
+        (a,) = st.ins
+        axis = st.aux["axis"]
+        exp_buf, red_buf = bufs[1], bufs[2]
+        def run(slots, a=a, o=o, axis=axis, buf=out_buf, ebuf=exp_buf, red=red_buf):
+            x = slots[a]
+            np.max(x, axis=axis, keepdims=True, out=red)
+            np.subtract(x, red, out=buf)  # shifted
+            np.exp(buf, out=ebuf)
+            np.sum(ebuf, axis=axis, keepdims=True, out=red)
+            np.log(red, out=red)
+            np.subtract(buf, red, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op in ("sum", "max"):
+        (a,) = st.ins
+        axis, keepdims = st.aux["axis"], st.aux["keepdims"]
+        reducer = np.sum if st.op == "sum" else np.max
+        def run(slots, a=a, o=o, reducer=reducer, axis=axis, keepdims=keepdims, buf=out_buf):
+            reducer(slots[a], axis=axis, keepdims=keepdims, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "reshape":
+        (a,) = st.ins
+        shape = st.aux["shape"]
+        def run(slots, a=a, o=o, shape=shape):
+            slots[o] = slots[a].reshape(shape)
+        return run
+
+    if st.op == "transpose":
+        (a,) = st.ins
+        axes = st.aux["axes"]
+        def run(slots, a=a, o=o, axes=axes):
+            slots[o] = slots[a].transpose(axes)
+        return run
+
+    if st.op == "getitem":
+        (a,) = st.ins
+        index = st.aux["index"]
+        def run(slots, a=a, o=o, index=index):
+            slots[o] = slots[a][index]
+        return run
+
+    if st.op == "gather_rows":
+        table, idx = st.ins
+        def run(slots, table=table, idx=idx, o=o, buf=out_buf):
+            np.take(slots[table], slots[idx], axis=0, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op in ("concat", "stack"):
+        ins = st.ins
+        axis = st.aux["axis"]
+        joiner = np.concatenate if st.op == "concat" else np.stack
+        def run(slots, ins=ins, o=o, joiner=joiner, axis=axis, buf=out_buf):
+            joiner([slots[s] for s in ins], axis=axis, out=buf)
+            slots[o] = buf
+        return run
+
+    raise TraceError(f"no replay kernel for traced op {st.op!r}")  # pragma: no cover
+
+
+class CompiledPlan:
+    """A flat, replayable numpy program captured from one traced forward.
+
+    Replay is thread-safe (a per-plan lock guards the reused buffers) and
+    shape-specialized: every named input must match the traced shape.
+    Parameters are read live from their ``Parameter`` objects at each
+    replay, so weight updates after compilation are honored; *structural*
+    changes (a different module graph) require re-tracing.
+    """
+
+    def __init__(self, tracer: _Tracer, output_slot: int):
+        self.input_slots = dict(tracer.input_slots)
+        self.input_shapes = {n: tuple(np.shape(tracer.inputs[n])) for n in tracer.inputs}
+        self.output_slot = output_slot
+        self.steps = list(tracer.steps)
+        self._params = list(tracer.param_slots)
+        self._derived = list(tracer.derived_slots)
+        self._template: list = [None] * tracer.n_slots
+        for slot, arr in tracer.const_slots:
+            self._template[slot] = arr
+        self.num_constants = len(tracer.const_slots)
+        self.num_parameters = len(self._params)
+        self._exec, self.num_fused, self._buffers = self._compile(tracer)
+        self.num_steps = len(self.steps)
+        self.num_buffers = len(self._buffers)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- compilation
+    def _sigmoid_fold_plan(self, use, consumers, leaf_rhs, slot_shapes):
+        """Find matmul→sigmoid pairs eligible for the negation fold.
+
+        ``sigmoid(x) = 1 / (1 + exp(-x))`` spends a full elementwise pass
+        on the negation; when ``x = a @ W`` with a stable leaf weight, the
+        sign moves into the weight (``a @ (-W)``, cached per weight array,
+        exact in floating point) and sigmoid becomes the three-pass
+        ``1 / (1 + exp(x))`` — one fewer pass per gate, bitwise-faithful.
+        Returns ``(negated_matmul_ids, prenegated_sigmoid_ids)``.
+        """
+        negated: set[int] = set()
+        prenegated: set[int] = set()
+        for st in self.steps:
+            if st.op != "matmul" or st.out == self.output_slot:
+                continue
+            a, b = st.ins
+            a_shape, b_shape = slot_shapes.get(a), slot_shapes.get(b)
+            if a_shape is None or b_shape is None or len(a_shape) != 3 or len(b_shape) != 2:
+                continue
+            if b not in leaf_rhs:  # weights must be stable leaves, not activations
+                continue
+            outs = consumers.get(st.out, ())
+            if use[st.out] == 1 and len(outs) == 1 and outs[0].op == "sigmoid":
+                negated.add(id(st))
+                prenegated.add(id(outs[0]))
+        return negated, prenegated
+
+    def _compile(self, tracer: _Tracer):
+        steps = self.steps
+        use = Counter()
+        last_use: dict[int, int] = {}
+        consumers: dict[int, list[Step]] = {}
+        for i, st in enumerate(steps):
+            for s in st.ins:
+                use[s] += 1
+                last_use[s] = i
+                consumers.setdefault(s, []).append(st)
+        use[self.output_slot] += 1
+        last_use[self.output_slot] = len(steps)  # the output never dies
+        for _, _, deps in self._derived:
+            for d in deps:
+                use[d] += 1
+        producers = {st.out: st for st in steps}
+
+        leaf_rhs = {slot for slot, _ in self._params}
+        leaf_rhs.update(slot for slot, arr in enumerate(self._template) if arr is not None)
+        negated, prenegated = self._sigmoid_fold_plan(
+            use, consumers, leaf_rhs, tracer.slot_shapes
+        )
+        self.num_folded_gates = len(negated)
+
+        pool = _BufferPool()
+        base_of: dict[int, int] = {}  # slot -> pooled buffer id backing it
+        refcount: dict[int, int] = {}
+        execs = []
+        fused = 0
+        for i, st in enumerate(steps):
+            target = self._fusion_target(st, use, producers)
+            if target is not None:
+                fused += 1
+                bufs: list[np.ndarray] = []
+                bid = base_of[target]
+            elif st.op in _VIEW_OPS:
+                bufs = []
+                bid = base_of.get(st.ins[0])  # None when viewing a leaf
+            else:
+                # Allocate the output first, then release dying operands, so
+                # a kernel's out buffer can never alias one of its inputs
+                # (np.matmul requires a disjoint out; elementwise aliasing is
+                # handled explicitly by the fusion path instead).
+                bids = [pool.alloc(shape) for shape in _scratch_shapes(st, tracer.slot_shapes)]
+                bufs = [pool.buffers[b] for b in bids]
+                bid = bids[0]
+                for scratch in bids[1:]:  # scratch lives only within the step
+                    pool.release(scratch)
+            if bid is not None:
+                base_of[st.out] = bid
+                refcount[bid] = refcount.get(bid, 0) + 1
+            execs.append(
+                _make_kernel(
+                    st,
+                    tracer.slot_shapes,
+                    target,
+                    bufs,
+                    prenegated_sigmoid=id(st) in prenegated,
+                    negate_rhs=id(st) in negated,
+                )
+            )
+            dying = {s for s in st.ins if last_use.get(s) == i}
+            if target is not None:
+                dying.add(target)
+            if use.get(st.out, 0) == 0 and st.out != self.output_slot:
+                dying.add(st.out)  # computed but never consumed
+            for s in dying:
+                b = base_of.get(s)
+                if b is not None:
+                    refcount[b] -= 1
+                    if refcount[b] == 0:
+                        pool.release(b)
+        return execs, fused, pool.buffers
+
+    def _fusion_target(self, st: Step, use, producers) -> int | None:
+        """The slot whose buffer ``st`` may overwrite in place, if any.
+
+        Eligible: the candidate is this step's only consumer of a non-view
+        producer's buffer with the output's exact shape (broadcast operands
+        stay read-only, so elementwise aliasing is well-defined).
+        """
+        if st.op not in _INPLACE_OPS or len(st.ins) > 2:
+            return None
+        for cand in st.ins:
+            prod = producers.get(cand)
+            if (
+                prod is not None
+                and use[cand] == 1
+                and prod.op not in _VIEW_OPS
+                and prod.shape == st.shape
+            ):
+                return cand
+        return None
+
+    # ------------------------------------------------------------------ replay
+    def replay(self, inputs: dict[str, np.ndarray]) -> np.ndarray:
+        """Execute the plan on ``inputs``; returns a fresh output array."""
+        for name, expected in self.input_shapes.items():
+            arr = inputs.get(name)
+            if arr is None:
+                raise TraceError(f"missing plan input {name!r}")
+            if np.shape(arr) != expected:
+                raise TraceError(
+                    f"plan input {name!r} has shape {np.shape(arr)}, expected {expected} "
+                    "(plans are shape-specialized; compile one per shape bucket)"
+                )
+        with self._lock:
+            slots = list(self._template)
+            for slot, param in self._params:
+                slots[slot] = param.data
+            for name, slot in self.input_slots.items():
+                slots[slot] = inputs[name]
+            for slot, fn, deps in self._derived:
+                slots[slot] = fn(*(slots[d] for d in deps))
+            for run in self._exec:
+                run(slots)
+            out = slots[self.output_slot]
+            return np.array(out, copy=True)
+
+    __call__ = replay
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlan(steps={self.num_steps}, fused={self.num_fused}, "
+            f"constants={self.num_constants}, parameters={self.num_parameters}, "
+            f"inputs={sorted(self.input_shapes)})"
+        )

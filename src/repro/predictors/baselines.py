@@ -27,13 +27,14 @@ from repro.encodings.base import get_encoding
 from repro.hardware.dataset import LatencyDataset
 from repro.hardware.features import compute_features
 from repro.nnlib import MLP, Adam, Embedding, Module, Tensor, concat, no_grad, pairwise_hinge_loss
+from repro.predictors.compiled import CompiledInference
 from repro.predictors.gnn import GNNStack
 from repro.predictors.space_tensors import SpaceTensors
 from repro.predictors.training import _standardize_log
 from repro.spaces.base import SearchSpace
 
 
-class BRPNASPredictor(Module):
+class BRPNASPredictor(CompiledInference, Module):
     """GCN predictor trained from scratch on a single target device."""
 
     def __init__(self, space: SearchSpace, rng: np.random.Generator, emb_dim: int = 48, gnn_dims=(128, 128, 128, 128)):
@@ -49,9 +50,36 @@ class BRPNASPredictor(Module):
         self._adapted: dict[str, "BRPNASPredictor"] = {}
 
     def forward(self, adj: np.ndarray, ops: np.ndarray) -> Tensor:
-        op_vecs = self.op_emb(ops)
-        h = self.gnn(op_vecs, Tensor(adj), op_vecs)
-        return self.head(h[:, -1, :]).reshape(len(ops))
+        return self._forward_core(self._plan_inputs(adj, ops))
+
+    def _plan_inputs(self, adj: np.ndarray, ops: np.ndarray) -> dict[str, np.ndarray]:
+        return {
+            "adj": np.asarray(adj, dtype=np.float64),
+            "ops": np.asarray(ops, dtype=np.int64),
+        }
+
+    def _forward_core(self, inp: dict[str, np.ndarray]) -> Tensor:
+        op_vecs = self.op_emb(inp["ops"])
+        h = self.gnn(op_vecs, Tensor(inp["adj"]), op_vecs)
+        return self.head(h[:, -1, :]).reshape(len(inp["ops"]))
+
+    def _example_batch(self, bucket: int) -> tuple:
+        n = self.space.num_nodes
+        return (np.zeros((bucket, n, n)), np.zeros((bucket, n), dtype=np.int64))
+
+    def compiled_predict(self, indices, arch_indices=None, batch_size: int = 256) -> np.ndarray:
+        """Compiled twin of :meth:`predict` (same call forms, replayed plans)."""
+        if isinstance(indices, str):  # LatencyEstimator form: (device, indices)
+            device = indices
+            if device not in self._adapted:
+                raise KeyError(f"device {device!r} not adapted; call adapt(device, indices) first")
+            return self._adapted[device].compiled_predict(arch_indices, batch_size=batch_size)
+        tensors = SpaceTensors.for_space(self.space)
+        idx = np.asarray(indices, dtype=np.int64)
+        outs = []
+        for start in range(0, len(idx), batch_size):
+            outs.append(self._replay_batch(tensors.batch(idx[start : start + batch_size])))
+        return np.concatenate(outs) if outs else np.empty(0)
 
     def fit(
         self,
@@ -308,7 +336,7 @@ class HELPPredictor(Module):
         return meta
 
 
-class MultiPredictPredictor(Module):
+class MultiPredictPredictor(CompiledInference, Module):
     """MLP on a unified encoding with a learnable hardware embedding.
 
     MultiPredict's unified encodings are either the zero-cost-proxy vector
@@ -347,6 +375,7 @@ class MultiPredictPredictor(Module):
             from repro.proxies import PROXY_NAMES
 
             enc_dim = len(PROXY_NAMES)
+        self.enc_dim = enc_dim
         self.mlp = MLP(enc_dim + hw_dim, list(hidden), 1, rng)
 
     def _encoding(self) -> np.ndarray:
@@ -369,8 +398,33 @@ class MultiPredictPredictor(Module):
         return idx
 
     def forward(self, enc: np.ndarray, device_idx: np.ndarray) -> Tensor:
-        hw = self.hw_emb(np.asarray(device_idx))
-        return self.mlp(concat([Tensor(enc), hw], axis=-1)).reshape(len(enc))
+        return self._forward_core(self._plan_inputs(enc, device_idx))
+
+    def _plan_inputs(self, enc: np.ndarray, device_idx: np.ndarray) -> dict[str, np.ndarray]:
+        return {
+            "enc": np.asarray(enc, dtype=np.float64),
+            "didx": np.asarray(device_idx, dtype=np.int64),
+        }
+
+    def _forward_core(self, inp: dict[str, np.ndarray]) -> Tensor:
+        hw = self.hw_emb(inp["didx"])
+        return self.mlp(concat([Tensor(inp["enc"]), hw], axis=-1)).reshape(len(inp["enc"]))
+
+    def _example_batch(self, bucket: int) -> tuple:
+        return (np.zeros((bucket, self.enc_dim)), np.zeros(bucket, dtype=np.int64))
+
+    def compiled_predict(self, indices, device=None, batch_size: int = 512) -> np.ndarray:
+        """Compiled twin of :meth:`predict` (same call forms, replayed plans)."""
+        if isinstance(indices, str):  # LatencyEstimator form: (device, indices)
+            indices, device = device, indices
+        idx = np.asarray(indices, dtype=np.int64)
+        enc = self._encoding()[idx]
+        didx = self.device_index[device]
+        outs = []
+        for start in range(0, len(idx), batch_size):
+            chunk = enc[start : start + batch_size]
+            outs.append(self._replay_batch((chunk, np.full(len(chunk), didx))))
+        return np.concatenate(outs) if outs else np.empty(0)
 
     def pretrain(
         self,

@@ -1,0 +1,125 @@
+"""Compiled (trace-and-replay) inference for predictors.
+
+:class:`CompiledInference` adds ``compile()`` / ``compiled_predict`` to any
+predictor whose forward is split into two hooks:
+
+* ``_plan_inputs(*raw_args) -> dict[str, np.ndarray]`` — pure-numpy input
+  preparation (index expansion, dtype normalization, validation).  Cheap,
+  rerun on every call, shared verbatim by the eager and compiled paths.
+* ``_forward_core(inputs) -> Tensor`` — the tensor program proper, which
+  must consume the prepared arrays *by identity* so the tracer can bind
+  them as plan inputs.
+
+Plans are specialized per **shape bucket** (powers of two).  An ``n``-row
+batch splits into its binary decomposition of exact power-of-two chunks
+(``100 -> 64 + 32 + 4``), so almost no padded rows are ever computed — a
+naive round-up-to-bucket would nearly double the work just above a power
+of two and hand the win back to the eager path.  Only a sub-``_MIN_CHUNK``
+tail is edge-padded (every per-architecture computation in these models is
+row-independent, so padding rows never perturb real rows; the pad is
+sliced off).  Buckets keep the number of plans per predictor logarithmic
+in the batch-size range while serving arbitrary batch lengths.
+
+Plans read parameters live (see :class:`~repro.nnlib.trace.CompiledPlan`),
+so fine-tuning after compilation is honored; they are memoized per
+predictor instance and die with it — a freshly adapted clone starts clean.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nnlib.trace import CompiledPlan, trace
+
+
+_MIN_CHUNK = 8  # below this, padding one small plan beats extra replays
+
+
+def bucket_for(n: int) -> int:
+    """Smallest power of two >= ``n`` (the plan-cache shape bucket)."""
+    if n < 1:
+        raise ValueError(f"batch size must be >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def plan_buckets(n: int) -> list[int]:
+    """Plan buckets covering an ``n``-row batch, largest chunk first.
+
+    The binary decomposition of ``n`` down to ``_MIN_CHUNK``; a smaller
+    remainder becomes one padded bucket.  ``sum(min(b, remaining))``
+    over the result always covers exactly ``n`` rows.
+    """
+    if n < 1:
+        raise ValueError(f"batch size must be >= 1, got {n}")
+    buckets = []
+    remaining = n
+    while remaining >= _MIN_CHUNK:
+        size = 1 << (remaining.bit_length() - 1)  # largest power of two <= remaining
+        buckets.append(size)
+        remaining -= size
+    if remaining:
+        buckets.append(bucket_for(remaining))
+    return buckets
+
+
+def _pad0(arr: np.ndarray | None, to: int) -> np.ndarray | None:
+    """Edge-pad ``arr`` along axis 0 to length ``to`` (replicates the last
+    row — always a valid architecture/device, unlike zero-filling)."""
+    if arr is None or len(arr) == to:
+        return arr
+    reps = np.repeat(arr[-1:], to - len(arr), axis=0)
+    return np.concatenate([arr, reps], axis=0)
+
+
+class CompiledInference:
+    """Mixin: trace-once/replay-many inference over shape buckets."""
+
+    # Subclass hook: raw forward args for a dummy batch of ``bucket`` rows.
+    def _example_batch(self, bucket: int) -> tuple:
+        raise NotImplementedError
+
+    def compile(self, batch_size: int) -> CompiledPlan:
+        """Build (and memoize) the replay plan for ``batch_size``'s bucket.
+
+        Tracing runs one eager forward on a dummy batch in eval mode; the
+        returned plan serves every batch whose bucket matches.
+        """
+        bucket = bucket_for(batch_size)
+        plans = self.__dict__.setdefault("_plans", {})
+        plan = plans.get(bucket)
+        if plan is None:
+            inputs = self._plan_inputs(*self._example_batch(bucket))
+            was_training = self.training
+            self.eval()
+            try:
+                plan = trace(self._forward_core, inputs, module=self)
+            finally:
+                if was_training:
+                    self.train()
+            plans[bucket] = plan
+        return plan
+
+    def clear_plans(self) -> None:
+        """Drop memoized plans (needed only after *structural* changes)."""
+        self.__dict__.pop("_plans", None)
+
+    def _replay_batch(self, raw_args: tuple) -> np.ndarray:
+        """Score an ``n``-row batch through its power-of-two plan chunks."""
+        n = len(raw_args[0])
+        outs = []
+        start = 0
+        for bucket in plan_buckets(n):
+            take = min(bucket, n - start)
+            plan = self.compile(bucket)
+            if take == n == bucket:
+                # Whole batch, exact bucket: keep the caller's arrays —
+                # slicing would mint fresh view objects and defeat
+                # identity-keyed caches downstream (the GAT mask cache).
+                chunk = raw_args
+            else:
+                chunk = tuple(
+                    None if a is None else _pad0(a[start : start + take], bucket)
+                    for a in raw_args
+                )
+            outs.append(plan.replay(self._plan_inputs(*chunk))[:take])
+            start += take
+        return outs[0] if len(outs) == 1 else np.concatenate(outs)

@@ -9,10 +9,15 @@ devices are queried over and over with fresh architecture batches.  A
    adaptation (few-shot fine-tuning) happens once per device, not per
    query;
 3. encoded architecture batches — the (adjacency, ops, supplementary)
-   tensors for recent index sets, so repeat queries skip re-gathering.
+   tensors for recent index sets, so repeat queries skip re-gathering;
+4. compiled replay plans — one traced
+   :class:`~repro.nnlib.trace.CompiledPlan` per (device, shape bucket),
+   so steady-state serving runs pure numpy kernels with no tensor-engine
+   overhead (``use_compiled=False`` falls back to the eager forward).
 
 ``predict_batch`` then runs one vectorized forward pass over the whole
-batch.  Adapting a device is deterministic in ``(seed, device)``, so two
+batch.  Plans are invalidated whenever their device's adapted predictor
+is replaced (re-adaptation with fresh indices) or evicted from the LRU.  Adapting a device is deterministic in ``(seed, device)``, so two
 sessions restored from the same checkpoint serve identical predictions.
 
 A session is **thread-safe**: a re-entrant lock serializes adaptation,
@@ -50,6 +55,10 @@ class SessionStats:
     encode_misses: int = 0
     queries: int = 0
     architectures_scored: int = 0
+    # Compiled-plan cache (one traced plan per (device, shape bucket)).
+    plan_hits: int = 0
+    plan_compiles: int = 0
+    plan_invalidations: int = 0
 
     def snapshot(self) -> dict:
         """Plain-dict copy of the counters (for ``/metrics`` serialization)."""
@@ -66,6 +75,10 @@ class PredictorSession:
     seed: controls pretraining and the per-device adaptation streams.
     max_hot_devices: LRU capacity for adapted predictors.
     max_cached_batches: LRU capacity for encoded architecture batches.
+    use_compiled: serve ``predict_batch`` from traced replay plans (one per
+        (device, shape bucket), cached alongside the adapted-predictor LRU
+        and invalidated with it) instead of the eager tensor engine.  The
+        two paths agree to within 1e-6; ``False`` is the escape hatch.
     """
 
     def __init__(
@@ -76,6 +89,7 @@ class PredictorSession:
         max_hot_devices: int = 8,
         max_cached_batches: int = 32,
         *,
+        use_compiled: bool = True,
         pipeline: NASFLATPipeline | None = None,
     ):
         if pipeline is not None:
@@ -90,8 +104,15 @@ class PredictorSession:
             self.pipeline = NASFLATPipeline(self.task, config or quick_config(), seed=seed)
         self.max_hot_devices = max_hot_devices
         self.max_cached_batches = max_cached_batches
+        self.use_compiled = bool(use_compiled)
         self.stats = SessionStats()
         self._hot: OrderedDict[str, NASFLATPredictor] = OrderedDict()
+        # (device, shape bucket) pairs whose compiled replay plan is resident
+        # (the plan object itself is memoized on the adapted predictor, which
+        # owns the Parameters it was traced from).  Entries for a device die
+        # with its hot-LRU entry (re-adapt or eviction) — a fresh clone means
+        # fresh parameters, so its plans must be re-traced.
+        self._plans: set[tuple[str, int]] = set()
         # Lock-free snapshot of the hot-LRU keys: read-only introspection
         # (/devices, hot_devices) must not stall behind a multi-second
         # cold-device adaptation holding the session lock.
@@ -170,6 +191,10 @@ class PredictorSession:
                 self._hot.move_to_end(device)
                 self._hot_names = tuple(self._hot)
                 return self._hot[device]
+            # Cold adapt (or explicit refresh): the device gets a freshly
+            # cloned predictor, so any plans traced from the old one are
+            # stale — they reference the old clone's parameters.
+            self._invalidate_plans(device)
             if not self.pipeline.is_pretrained:
                 raise RuntimeError("no pretrained checkpoint: call pretrain() or from_checkpoint()")
             rng = self._device_rng(device)
@@ -199,10 +224,17 @@ class PredictorSession:
             self._hot[device] = predictor
             self._hot.move_to_end(device)
             while len(self._hot) > self.max_hot_devices:
-                self._hot.popitem(last=False)
+                evicted, _ = self._hot.popitem(last=False)
                 self.stats.device_evictions += 1
+                self._invalidate_plans(evicted)
             self._hot_names = tuple(self._hot)
             return predictor
+
+    def _invalidate_plans(self, device: str) -> None:
+        """Drop compiled plans for ``device`` (caller holds the lock)."""
+        stale = {key for key in self._plans if key[0] == device}
+        self._plans -= stale
+        self.stats.plan_invalidations += len(stale)
 
     # -------------------------------------------------------------- inference
     def _encode_batch(self, idx: np.ndarray) -> tuple:
@@ -226,10 +258,12 @@ class PredictorSession:
 
         Adapts the device on first use (sampler-chosen measurement set),
         then serves from the hot predictor.  The whole batch runs as a
-        single vectorized chunk, under :func:`~repro.nnlib.no_grad` (served
-        queries must not pay for an autodiff tape they never run backward).
-        Safe to call from many threads; calls are serialized on the
-        session lock.
+        single vectorized chunk — by default a replayed
+        :class:`~repro.nnlib.trace.CompiledPlan` for the batch's shape
+        bucket (see ``use_compiled``), otherwise the eager path under
+        :func:`~repro.nnlib.no_grad` (served queries must not pay for an
+        autodiff tape they never run backward).  Safe to call from many
+        threads; calls are serialized on the session lock.
         """
         with self._lock:
             predictor = self.adapt(device)
@@ -239,8 +273,27 @@ class PredictorSession:
             if len(idx) == 0:
                 return np.empty(0)
             adj, ops, supp = self._encode_batch(idx)
+            if self.use_compiled:
+                self._plan_for(device, predictor, len(idx))
+                return predictor.compiled_predict(adj, ops, device, supp, batch_size=len(idx))
             with no_grad():
                 return predictor.predict(adj, ops, device, supp, batch_size=len(idx))
+
+    def _plan_for(self, device: str, predictor: NASFLATPredictor, n: int) -> None:
+        """Resolve the replay plans for an ``n``-row batch (caller holds the
+        lock).  An ``n``-row batch replays through its power-of-two chunk
+        buckets; each (device, bucket) plan is cached, and a miss traces the
+        adapted predictor once (an eager forward on a dummy batch)."""
+        from repro.predictors.compiled import plan_buckets
+
+        for bucket in set(plan_buckets(n)):
+            key = (device, bucket)
+            if key in self._plans:
+                self.stats.plan_hits += 1
+            else:
+                predictor.compile(bucket)
+                self._plans.add(key)
+                self.stats.plan_compiles += 1
 
     def predict(self, device: str, indices) -> np.ndarray:
         """Alias of :meth:`predict_batch` matching the

@@ -1,0 +1,175 @@
+"""Targeted finite-difference gradient checks for the nnlib primitives the
+GNN hot path leans on (ISSUE 4 satellite): batched ``softmax(axis=-1)``
+(attention rows), ``leaky_relu`` at the GAT slope, ``transpose`` with
+explicit axes, multi-tensor ``concat``, and the ``_unbroadcast``
+scalar-vs-batched edge cases that broadcasting gradients rely on."""
+import numpy as np
+import pytest
+
+from repro.nnlib import Tensor, concat
+from repro.nnlib.tensor import _unbroadcast
+
+EPS = 1e-6
+RTOL = 1e-4
+ATOL = 1e-6
+
+RNG = np.random.default_rng(7)
+
+
+def numeric_grad(fn, x: np.ndarray) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat, gflat = x.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        hi = fn(x)
+        flat[i] = orig - EPS
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * EPS)
+    return grad
+
+
+def check(build, x: np.ndarray):
+    t = Tensor(x.copy(), requires_grad=True)
+    build(t).sum().backward()
+    num = numeric_grad(lambda arr: build(Tensor(arr)).sum().item(), x.copy())
+    np.testing.assert_allclose(t.grad, num, rtol=RTOL, atol=ATOL)
+
+
+class TestSoftmax:
+    def test_batched_attention_rows(self):
+        # The GAT shape: (B, N, N) attention logits, softmax over the last
+        # axis.  Weight by a random tensor so the gradient is non-trivial
+        # (a bare sum of softmax outputs has near-zero gradient).
+        x = RNG.normal(size=(2, 3, 3))
+        w = Tensor(RNG.normal(size=(2, 3, 3)))
+        check(lambda t: t.softmax(axis=-1) * w, x)
+
+    def test_masked_logits_like_gat(self):
+        # Softmax after the -1e9 mask trick must still backprop cleanly
+        # through the surviving entries.
+        x = RNG.normal(size=(2, 4))
+        mask = np.array([[1.0, 1.0, 0.0, 1.0], [1.0, 0.0, 1.0, 1.0]])
+        w = Tensor(RNG.normal(size=(2, 4)))
+        check(lambda t: (t * Tensor(mask) + Tensor((1 - mask) * -1e9)).softmax(axis=-1) * w, x)
+
+    def test_rows_sum_to_one(self):
+        out = Tensor(RNG.normal(size=(3, 5))).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), atol=1e-12)
+
+
+class TestLeakyRelu:
+    @pytest.mark.parametrize("slope", [0.0, 0.01, 0.2, 0.9])
+    def test_slopes(self, slope):
+        # Away from the kink at 0 so central differences are valid.
+        x = RNG.normal(size=(3, 4))
+        x[np.abs(x) < 0.1] += 0.5
+        w = Tensor(RNG.normal(size=(3, 4)))
+        check(lambda t: t.leaky_relu(slope) * w, x)
+
+    def test_negative_side_scales_by_slope(self):
+        t = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        t.leaky_relu(0.2).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.2, 1.0])
+
+
+class TestTranspose:
+    def test_batched_axes_like_gat_scores(self):
+        # (B, N, F) -> (B, F, N): the attention-score transpose.
+        x = RNG.normal(size=(2, 3, 4))
+        w = Tensor(RNG.normal(size=(2, 4, 3)))
+        check(lambda t: t.transpose(0, 2, 1) * w, x)
+
+    def test_full_reversal_default(self):
+        x = RNG.normal(size=(2, 3, 4))
+        w = Tensor(RNG.normal(size=(4, 3, 2)))
+        check(lambda t: t.transpose() * w, x)
+
+    def test_axes_as_tuple(self):
+        x = RNG.normal(size=(2, 3, 4))
+        w = Tensor(RNG.normal(size=(3, 2, 4)))
+        check(lambda t: t.transpose((1, 0, 2)) * w, x)
+
+
+class TestConcat:
+    def test_three_way_feature_concat(self):
+        # The NASFLAT trunk concatenates [node ‖ refined ‖ supplementary].
+        a = RNG.normal(size=(2, 3))
+        b = Tensor(RNG.normal(size=(2, 2)))
+        c = Tensor(RNG.normal(size=(2, 4)))
+        w = Tensor(RNG.normal(size=(2, 9)))
+        check(lambda t: concat([t, b, c], axis=-1) * w, a)
+
+    def test_gradient_flows_to_every_input(self):
+        parts = [Tensor(RNG.normal(size=(2, 2)), requires_grad=True) for _ in range(3)]
+        (concat(parts, axis=0) * Tensor(np.arange(12.0).reshape(6, 2))).sum().backward()
+        for i, p in enumerate(parts):
+            np.testing.assert_allclose(
+                p.grad, np.arange(12.0).reshape(6, 2)[2 * i : 2 * i + 2]
+            )
+
+    def test_middle_position_batch_axis(self):
+        a = RNG.normal(size=(2, 3))
+        left, right = Tensor(RNG.normal(size=(1, 3))), Tensor(RNG.normal(size=(2, 3)))
+        w = Tensor(RNG.normal(size=(5, 3)))
+        check(lambda t: concat([left, t, right], axis=0) * w, a)
+
+
+class TestUnbroadcast:
+    """Direct unit coverage of the gradient-unbroadcasting rules."""
+
+    def test_identity_when_shapes_match(self):
+        g = RNG.normal(size=(3, 4))
+        assert _unbroadcast(g, (3, 4)) is g
+
+    def test_scalar_target_sums_everything(self):
+        g = RNG.normal(size=(2, 3, 4))
+        out = _unbroadcast(g, ())
+        assert out.shape == ()
+        np.testing.assert_allclose(out, g.sum())
+
+    def test_prepended_axes_are_summed(self):
+        g = RNG.normal(size=(5, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (3,)), g.sum(axis=0))
+
+    def test_kept_size1_axes_sum_with_keepdims(self):
+        g = RNG.normal(size=(4, 3))
+        np.testing.assert_allclose(_unbroadcast(g, (4, 1)), g.sum(axis=1, keepdims=True))
+        np.testing.assert_allclose(_unbroadcast(g, (1, 3)), g.sum(axis=0, keepdims=True))
+
+    def test_mixed_prepend_and_size1(self):
+        g = RNG.normal(size=(2, 5, 1, 3))
+        out = _unbroadcast(g, (1, 1, 3))
+        assert out.shape == (1, 1, 3)
+        np.testing.assert_allclose(out, g.sum(axis=(0, 1)).reshape(1, 1, 3))
+
+
+class TestBroadcastGradEndToEnd:
+    """scalar-vs-batched broadcasting through real ops (gradcheck)."""
+
+    def test_scalar_tensor_times_batch(self):
+        s = np.array(1.7)
+        w = Tensor(RNG.normal(size=(3, 4)))
+        check(lambda t: t * w + w, s)
+
+    def test_row_bias_against_batch(self):
+        bias = RNG.normal(size=(4,))
+        batch = Tensor(RNG.normal(size=(3, 4)))
+        check(lambda t: (batch + t) * batch, bias)
+
+    def test_column_vs_row_outer_broadcast(self):
+        col = RNG.normal(size=(3, 1))
+        row = Tensor(RNG.normal(size=(1, 4)))
+        check(lambda t: t * row, col)
+
+    def test_python_scalar_operand(self):
+        x = RNG.normal(size=(2, 3))
+        check(lambda t: (2.0 * t + 1.0) / 3.0, x)
+
+    def test_grad_shapes_match_leaves(self):
+        s = Tensor(np.array(2.0), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        (s * b).sum().backward()
+        assert s.grad.shape == ()
+        assert b.grad.shape == (2, 3)

@@ -1,0 +1,250 @@
+"""Trace-and-replay engine: recording, leaf binding, optimization passes,
+buffer safety, derived inputs, and concurrency."""
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nnlib import MLP, Linear, Tensor, concat
+from repro.nnlib.trace import CompiledPlan, TraceError, register_derived, trace, tracing
+
+
+def make_mlp(seed=0, din=6, dout=2):
+    return MLP(din, [8], dout, np.random.default_rng(seed))
+
+
+class TestTraceBasics:
+    def test_replay_matches_eager_bitwise(self):
+        m = make_mlp()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5, 6))
+        plan = trace(lambda i: m(Tensor(i["x"])), {"x": x}, module=m)
+        np.testing.assert_array_equal(plan.replay({"x": x}), m(Tensor(x)).numpy())
+        # Fresh inputs of the same shape replay through the same plan.
+        x2 = rng.normal(size=(5, 6))
+        np.testing.assert_array_equal(plan.replay({"x": x2}), m(Tensor(x2)).numpy())
+
+    def test_repeated_replay_reuses_buffers_without_corruption(self):
+        m = make_mlp()
+        rng = np.random.default_rng(2)
+        x1, x2 = rng.normal(size=(4, 6)), rng.normal(size=(4, 6))
+        plan = trace(lambda i: m(Tensor(i["x"])), {"x": x1}, module=m)
+        out1 = plan.replay({"x": x1})
+        out2 = plan.replay({"x": x2})
+        # out1 must be a copy, not a view of a buffer the second replay reused.
+        np.testing.assert_array_equal(out1, m(Tensor(x1)).numpy())
+        np.testing.assert_array_equal(out2, m(Tensor(x2)).numpy())
+        assert plan.num_buffers < plan.num_steps  # pooling collapsed buffers
+
+    def test_parameters_are_read_live(self):
+        m = make_mlp()
+        x = np.ones((3, 6))
+        plan = trace(lambda i: m(Tensor(i["x"])), {"x": x}, module=m)
+        before = plan.replay({"x": x})
+        for p in m.parameters():
+            p.data = p.data * 2.0  # reassignment, like the optimizers do
+        after = plan.replay({"x": x})
+        assert not np.allclose(before, after)
+        np.testing.assert_array_equal(after, m(Tensor(x)).numpy())
+
+    def test_constants_are_hoisted_and_ops_counted(self):
+        x = np.ones((2, 3))
+        scale = Tensor(np.full((2, 3), 2.5))
+        plan = trace(lambda i: (Tensor(i["x"]) * scale + 1.0).relu(), {"x": x})
+        assert plan.num_constants == 2  # the scale array and the scalar 1.0
+        assert plan.num_steps == 3
+        np.testing.assert_array_equal(
+            plan.replay({"x": x}), (Tensor(x) * scale + 1.0).relu().numpy()
+        )
+
+    def test_gather_indices_are_inputs_not_constants(self):
+        table = Linear(4, 4, np.random.default_rng(0)).weight  # any param-ish table
+        idx1 = np.array([0, 2, 3])
+        plan = trace(
+            lambda i: table.gather_rows(i["idx"]) * 2.0, {"idx": idx1}, params=[table]
+        )
+        idx2 = np.array([3, 3, 1])
+        np.testing.assert_array_equal(plan.replay({"idx": idx2}), table.data[idx2] * 2.0)
+
+
+class TestTraceErrors:
+    def test_shape_mismatch_raises(self):
+        m = make_mlp()
+        x = np.ones((4, 6))
+        plan = trace(lambda i: m(Tensor(i["x"])), {"x": x}, module=m)
+        with pytest.raises(TraceError, match="shape-specialized"):
+            plan.replay({"x": np.ones((5, 6))})
+
+    def test_missing_input_raises(self):
+        m = make_mlp()
+        plan = trace(lambda i: m(Tensor(i["x"])), {"x": np.ones((2, 6))}, module=m)
+        with pytest.raises(TraceError, match="missing plan input"):
+            plan.replay({})
+
+    def test_non_tensor_output_raises(self):
+        with pytest.raises(TraceError, match="must return a Tensor"):
+            trace(lambda i: i["x"], {"x": np.ones(3)})
+
+    def test_untraced_output_raises(self):
+        with pytest.raises(TraceError, match="not produced by tensor primitives"):
+            trace(lambda i: Tensor(i["x"]), {"x": np.ones(3)})
+
+    def test_tracing_flag_and_hook_cleanup_on_error(self):
+        assert not tracing()
+
+        def boom(i):
+            assert tracing()
+            raise RuntimeError("mid-trace failure")
+
+        with pytest.raises(RuntimeError, match="mid-trace failure"):
+            trace(boom, {"x": np.ones(3)})
+        assert not tracing()
+        # The tensor-op hook must be uninstalled: eager ops work normally.
+        out = (Tensor(np.ones(3), requires_grad=True) * 2).sum()
+        out.backward()
+
+
+class TestDerivedInputs:
+    def test_derived_recomputed_per_replay(self):
+        calls = []
+
+        def square(a):
+            calls.append(a.copy())
+            return a * a
+
+        def fn(i):
+            x = i["x"]
+            sq = square(x)
+            register_derived(sq, square, (x,))
+            return Tensor(x) * Tensor(sq)
+
+        x1 = np.array([1.0, 2.0, 3.0])
+        plan = trace(fn, {"x": x1})
+        x2 = np.array([2.0, 5.0, 7.0])
+        np.testing.assert_array_equal(plan.replay({"x": x2}), x2 * (x2 * x2))
+        # fn ran once at trace, then square re-ran per replay with live input.
+        np.testing.assert_array_equal(calls[-1], x2)
+
+    def test_register_derived_is_noop_outside_trace(self):
+        register_derived(np.ones(3), lambda a: a, (np.ones(3),))  # must not raise
+
+
+class TestOptimizationPasses:
+    def test_elementwise_fusion_counts_and_is_exact(self):
+        x = np.linspace(-2, 2, 12).reshape(3, 4)
+
+        def fn(i):
+            t = Tensor(i["x"])
+            return ((t * 3.0).tanh().relu() + 1.0).exp()
+
+        plan = trace(fn, {"x": x})
+        assert plan.num_fused >= 3  # tanh/relu/add/exp chain collapses in place
+        expected = ((Tensor(x) * 3.0).tanh().relu() + 1.0).exp().numpy()
+        np.testing.assert_array_equal(plan.replay({"x": x}), expected)
+
+    def test_fusion_never_mutates_a_multi_consumer_buffer(self):
+        x = np.linspace(-1, 1, 8).reshape(2, 4)
+
+        def fn(i):
+            t = Tensor(i["x"])
+            a = t * 2.0
+            return a.relu() + a  # `a` has two consumers: relu may not clobber it
+
+        plan = trace(fn, {"x": x})
+        a = x * 2.0
+        np.testing.assert_array_equal(plan.replay({"x": x}), np.where(a > 0, a, 0.0) + a)
+
+    def test_fusion_never_mutates_view_sources(self):
+        x = np.arange(6.0).reshape(2, 3)
+
+        def fn(i):
+            t = Tensor(i["x"])
+            v = t.transpose()  # view of the *input*: must never be written
+            return v.relu() + 0.0
+
+        plan = trace(fn, {"x": x})
+        out = plan.replay({"x": x})
+        np.testing.assert_array_equal(out, np.maximum(x.T, 0.0))
+        np.testing.assert_array_equal(x, np.arange(6.0).reshape(2, 3))  # untouched
+
+    def test_gemm_collapse_matches_batched_matmul(self):
+        rng = np.random.default_rng(3)
+        w = Tensor(rng.normal(size=(5, 4)))
+        x = rng.normal(size=(6, 3, 5))
+        plan = trace(lambda i: Tensor(i["x"]) @ w, {"x": x})
+        np.testing.assert_allclose(plan.replay({"x": x}), x @ w.data, atol=1e-12, rtol=0)
+
+    def test_concat_and_reductions_replay(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=(3, 2)), rng.normal(size=(3, 2))
+
+        def fn(i):
+            t = concat([Tensor(i["a"]), Tensor(i["b"])], axis=1)
+            return t.softmax(axis=-1).sum(axis=1) + t.max(axis=-1, keepdims=False)
+
+        plan = trace(fn, {"a": a, "b": b})
+        eager = fn({"a": a, "b": b}).numpy()
+        np.testing.assert_array_equal(plan.replay({"a": a, "b": b}), eager)
+
+
+class TestConcurrency:
+    def test_concurrent_replays_are_serialized_and_correct(self):
+        m = make_mlp(seed=5)
+        rng = np.random.default_rng(6)
+        xs = [rng.normal(size=(4, 6)) for _ in range(8)]
+        plan = trace(lambda i: m(Tensor(i["x"])), {"x": xs[0]}, module=m)
+        expected = [m(Tensor(x)).numpy() for x in xs]
+        errors = []
+
+        def worker(tid):
+            try:
+                for k in range(len(xs)):
+                    j = (k + tid) % len(xs)
+                    np.testing.assert_array_equal(plan.replay({"x": xs[j]}), expected[j])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        assert not errors, errors
+
+    def test_nested_tracing_rejected(self):
+        def fn(i):
+            trace(lambda j: Tensor(j["y"]) * 1.0, {"y": np.ones(2)})
+            return Tensor(i["x"]) * 1.0
+
+        with pytest.raises(TraceError, match="nested"):
+            trace(fn, {"x": np.ones(2)})
+        assert not tracing()
+
+    def test_training_thread_unaffected_by_concurrent_trace(self):
+        """A trace on one thread must not record (or disturb) tensor ops on
+        another thread — the hook is thread-local."""
+        m = make_mlp(seed=7)
+        stop = threading.Event()
+        errors = []
+
+        def train_loop():
+            x = Tensor(np.ones((2, 6)), requires_grad=True)
+            try:
+                while not stop.is_set():
+                    out = m(x).sum()
+                    out.backward()
+                    assert x.grad is not None
+                    x.zero_grad()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t = threading.Thread(target=train_loop)
+        t.start()
+        try:
+            for _ in range(10):
+                plan = trace(lambda i: m(Tensor(i["x"])), {"x": np.ones((3, 6))}, module=m)
+                assert isinstance(plan, CompiledPlan)
+        finally:
+            stop.set()
+            t.join(60.0)
+        assert not errors, errors

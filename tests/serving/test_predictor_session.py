@@ -157,6 +157,49 @@ class TestNoGradServing:
         assert grad_tensors == []
 
 
+class TestPlanCache:
+    def test_one_compile_per_device_and_bucket(self, mini_task, cfg):
+        s = PredictorSession(mini_task, cfg, seed=7).pretrain()
+        s.predict_batch("fpga", np.arange(10))  # chunks [8, 2] -> two compiles
+        assert s.stats.plan_compiles == 2
+        s.predict_batch("fpga", np.arange(12))  # chunks [8, 4]: hit 8, compile 4
+        assert (s.stats.plan_compiles, s.stats.plan_hits) == (3, 1)
+        s.predict_batch("fpga", np.arange(8))  # exact bucket -> pure hit
+        s.predict_batch("eyeriss", np.arange(8))  # other device -> compile
+        assert (s.stats.plan_compiles, s.stats.plan_hits) == (4, 2)
+        assert set(s._plans) == {("fpga", 8), ("fpga", 2), ("fpga", 4), ("eyeriss", 8)}
+
+    def test_eviction_drops_device_plans(self, mini_task, cfg):
+        s = PredictorSession(mini_task, cfg, seed=8, max_hot_devices=1).pretrain()
+        s.predict_batch("fpga", np.arange(8))
+        s.predict_batch("eyeriss", np.arange(8))  # evicts fpga + its plan
+        assert s.stats.plan_invalidations == 1
+        assert set(s._plans) == {("eyeriss", 8)}
+
+    def test_compiled_off_never_compiles(self, mini_task, cfg):
+        s = PredictorSession(mini_task, cfg, seed=9, use_compiled=False).pretrain()
+        s.predict_batch("fpga", np.arange(10))
+        assert s.stats.plan_compiles == 0 and not s._plans
+
+    def test_compiled_matches_eager_session(self, mini_task, cfg):
+        compiled = PredictorSession(mini_task, cfg, seed=10).pretrain()
+        eager = PredictorSession.from_pipeline(compiled.pipeline, use_compiled=False)
+        idx = np.arange(18)
+        np.testing.assert_allclose(
+            compiled.predict_batch("fpga", idx),
+            eager.predict_batch("fpga", idx),
+            atol=1e-6,
+            rtol=0,
+        )
+
+    def test_metrics_surface_plan_counters(self, mini_task, cfg):
+        s = PredictorSession(mini_task, cfg, seed=11).pretrain()
+        s.predict_batch("fpga", np.arange(4))
+        snap = s.stats.snapshot()
+        assert snap["plan_compiles"] == 1
+        assert {"plan_hits", "plan_invalidations"} <= set(snap)
+
+
 class TestThreadSafety:
     N_THREADS = 8
     ROUNDS = 4

@@ -26,6 +26,11 @@ class TestParser:
         assert args.task == "N1" and args.port == 0
         assert args.max_batch == 32 and args.max_wait_ms == 3.0
         assert args.host == "127.0.0.1"
+        assert args.compiled is True  # compiled serving is the default path
+
+    def test_serve_no_compiled_escape_hatch(self):
+        assert build_parser().parse_args(["serve", "--no-compiled"]).compiled is False
+        assert build_parser().parse_args(["serve", "--compiled"]).compiled is True
 
 
 class TestServeValidation:
