@@ -109,13 +109,23 @@ def _cmd_serve(args) -> int:
     cfg = quick_config(n_transfer_samples=args.samples)
     if args.checkpoint:
         session = PredictorSession.from_checkpoint(
-            args.checkpoint, task=args.task, config=cfg, use_compiled=args.compiled
+            args.checkpoint,
+            task=args.task,
+            config=cfg,
+            use_compiled=args.compiled,
+            use_compiled_adapt=args.compiled_adapt,
         )
     else:
         if not args.task:
             print("error: --task is required without --checkpoint", file=sys.stderr)
             return 2
-        session = PredictorSession(args.task, cfg, seed=args.seed, use_compiled=args.compiled)
+        session = PredictorSession(
+            args.task,
+            cfg,
+            seed=args.seed,
+            use_compiled=args.compiled,
+            use_compiled_adapt=args.compiled_adapt,
+        )
         print(f"No checkpoint given: pretraining a quick session on {args.task} ...", flush=True)
         session.pretrain()
 
@@ -234,6 +244,15 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="serve from traced replay plans (--no-compiled: eager forwards)",
+    )
+    p.add_argument(
+        "--compiled-adapt",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "run device cold-start fine-tuning through compiled training "
+            "plans (defaults to the --compiled setting)"
+        ),
     )
     p.set_defaults(func=_cmd_serve)
 

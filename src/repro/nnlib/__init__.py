@@ -14,7 +14,16 @@ The engine is intentionally small but exact: every op's gradient is verified
 against central finite differences in ``tests/nnlib/test_gradcheck.py``.
 """
 from repro.nnlib.tensor import Tensor, concat, stack, is_grad_enabled, no_grad
-from repro.nnlib.trace import CompiledPlan, TraceError, register_derived, trace, tracing
+from repro.nnlib.trace import (
+    CompiledPlan,
+    TraceError,
+    TrainingPlan,
+    notify_param_mutation,
+    register_derived,
+    trace,
+    trace_training_step,
+    tracing,
+)
 from repro.nnlib.modules import (
     Module,
     Parameter,
@@ -31,8 +40,9 @@ from repro.nnlib.modules import (
     Dropout,
 )
 from repro.nnlib.containers import ModuleList, ModuleDict
-from repro.nnlib.optim import SGD, Adam, Optimizer
+from repro.nnlib.optim import SGD, Adam, FusedAdam, FusedSGD, FusedOptimizer, Optimizer
 from repro.nnlib.losses import (
+    make_loss,
     mse_loss,
     cross_entropy_loss,
     l1_loss,
@@ -50,8 +60,11 @@ __all__ = [
     "is_grad_enabled",
     "CompiledPlan",
     "TraceError",
+    "TrainingPlan",
+    "notify_param_mutation",
     "register_derived",
     "trace",
+    "trace_training_step",
     "tracing",
     "Module",
     "Parameter",
@@ -70,7 +83,11 @@ __all__ = [
     "Dropout",
     "SGD",
     "Adam",
+    "FusedSGD",
+    "FusedAdam",
+    "FusedOptimizer",
     "Optimizer",
+    "make_loss",
     "mse_loss",
     "cross_entropy_loss",
     "l1_loss",

@@ -4,12 +4,19 @@
 that the paper uses for all predictor training (Table 20, "Loss Type:
 Pairwise Hinge Loss"): for every pair (i, j) with target_i > target_j the
 predictor is penalised unless pred_i exceeds pred_j by a margin.
+
+The training losses (hinge, MSE) are **trace-compilable**: under an active
+:mod:`repro.nnlib.trace` trace, arrays whose values derive from the target
+(the hinge's ranking mask and pair count) are registered as derived inputs,
+so a compiled training plan recomputes them for every fresh batch instead
+of freezing the example batch's ranking into the plan.
 """
 from __future__ import annotations
 
 import numpy as np
 
 from repro.nnlib.tensor import Tensor
+from repro.nnlib.trace import register_derived, tracing
 
 
 def _coerce(x) -> Tensor:
@@ -36,28 +43,53 @@ def bce_with_logits_loss(logits: Tensor, target) -> Tensor:
     return loss.mean()
 
 
+def _hinge_mask(target_np: np.ndarray) -> np.ndarray:
+    """``mask[i, j] = 1`` where target i should rank above target j."""
+    return (target_np[:, None] > target_np[None, :]).astype(np.float64)
+
+
+def _hinge_pair_count(mask: np.ndarray) -> np.ndarray:
+    """Ranked-pair count as a 0-d divisor, derived from the mask so replays
+    rank each batch once (1 when no pairs: the mask is all zero then, so
+    the loss is 0/1 instead of the eager path's shortcut)."""
+    return np.asarray(max(float(mask.sum()), 1.0))
+
+
 def pairwise_hinge_loss(pred: Tensor, target, margin: float = 0.1) -> Tensor:
     """Pairwise ranking hinge loss over all ordered pairs in a batch.
 
     For each pair where ``target[i] > target[j]`` the loss term is
     ``max(0, margin - (pred[i] - pred[j]))``.  Implemented with broadcast
     difference matrices so the whole batch is one vectorized expression.
+
+    Under an active trace, the ranking mask and the pair-count divisor are
+    registered as inputs *derived* from the target array, so a compiled
+    training plan re-ranks every replayed batch.  (The target must reach
+    this function unreshaped — derived inputs bind by array identity.)
     """
     target_np = target.data if isinstance(target, Tensor) else np.asarray(target, dtype=np.float64)
     if pred.ndim != 1:
         pred = pred.reshape(-1)
-    target_np = target_np.reshape(-1)
+    if target_np.ndim != 1:
+        target_np = target_np.reshape(-1)
     n = len(target_np)
-    if n < 2:
-        return (pred * 0.0).sum()
-    # mask[i, j] = 1 where target i should rank above target j
-    mask = (target_np[:, None] > target_np[None, :]).astype(np.float64)
-    n_pairs = mask.sum()
-    if n_pairs == 0:
-        return (pred * 0.0).sum()
+    if tracing():
+        mask = _hinge_mask(target_np)
+        pair_count = _hinge_pair_count(mask)
+        register_derived(mask, _hinge_mask, (target_np,))
+        register_derived(pair_count, _hinge_pair_count, (mask,))
+        denom = Tensor(pair_count)
+    else:
+        if n < 2:
+            return (pred * 0.0).sum()
+        mask = _hinge_mask(target_np)
+        n_pairs = mask.sum()
+        if n_pairs == 0:
+            return (pred * 0.0).sum()
+        denom = n_pairs
     diff = pred.reshape(n, 1) - pred.reshape(1, n)  # pred_i - pred_j
     hinge = (Tensor(margin) - diff).clip_min(0.0)
-    return (hinge * Tensor(mask)).sum() / n_pairs
+    return (hinge * Tensor(mask)).sum() / denom
 
 
 def cross_entropy_loss(logits: Tensor, targets, mask=None) -> Tensor:
@@ -78,6 +110,20 @@ def cross_entropy_loss(logits: Tensor, targets, mask=None) -> Tensor:
         denom = max(mask_np.sum(), 1.0)
         return (nll * Tensor(mask_np)).sum() / denom
     return nll.mean()
+
+
+def make_loss(name: str, margin: float = 0.1):
+    """Factory for the paper's training losses: ``fn(pred, target) -> Tensor``.
+
+    ``"hinge"`` is the pairwise ranking loss (Table 20 default), ``"mse"``
+    plain mean squared error.  Shared by the eager training loops and the
+    compiled training path (:func:`repro.nnlib.trace.trace_training_step`).
+    """
+    if name == "hinge":
+        return lambda pred, target: pairwise_hinge_loss(pred, target, margin=margin)
+    if name == "mse":
+        return lambda pred, target: mse_loss(pred, target)
+    raise ValueError(f"unknown loss {name!r}")
 
 
 def gaussian_kl_loss(mu: Tensor, logvar: Tensor) -> Tensor:

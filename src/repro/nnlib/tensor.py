@@ -250,13 +250,30 @@ class Tensor:
     __rmul__ = __mul__
 
     def __neg__(self) -> "Tensor":
-        return self * -1.0
+        out_data = np.negative(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(np.negative(out.grad))
+
+        out = Tensor._make_traced(out_data, (self,), backward, "neg")
+        return out
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-self._coerce(other))
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(np.negative(out.grad), other.shape))
+
+        out = Tensor._make_traced(out_data, (self, other), backward, "sub")
+        return out
 
     def __rsub__(self, other) -> "Tensor":
-        return self._coerce(other) + (-self)
+        return self._coerce(other) - self
 
     def __truediv__(self, other) -> "Tensor":
         other = self._coerce(other)

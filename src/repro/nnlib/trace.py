@@ -39,6 +39,18 @@ Replay is numerically faithful to the eager forward: each kernel performs the
 same numpy operations in the same order, so results agree to within a few
 ulps (the GEMM collapse may reorder blocked summation inside BLAS; the
 equivalence suite pins the error below 1e-6).
+
+**Training** is compiled the same way (:func:`trace_training_step`): one
+eager forward through the model *and* the loss is traced, then the recorded
+step list is differentiated symbolically — for every step a VJP rule appends
+backward steps mirroring the eager tape closures op for op — and the joint
+forward+backward program is lowered through the same optimization passes
+(buffer pooling, elementwise fusion, GEMM collapse).  The resulting
+:class:`TrainingPlan` replays to the loss value plus per-parameter gradient
+arrays, ready for a fused optimizer step
+(:class:`~repro.nnlib.optim.FusedAdam`).  Gradients match the eager tape to
+within accumulation-order rounding (the equivalence suite pins 1e-6; in
+practice ~1e-12).
 """
 from __future__ import annotations
 
@@ -49,12 +61,34 @@ from typing import Callable, NamedTuple
 import numpy as np
 
 from repro.nnlib import tensor as _tensor_mod
-from repro.nnlib.modules import Module, Parameter
+from repro.nnlib.modules import Dropout, Module, Parameter
 from repro.nnlib.tensor import Tensor, no_grad
 
 
 class TraceError(RuntimeError):
     """A forward could not be traced, or a plan was replayed incorrectly."""
+
+
+# Bumped by optimizers that mutate Parameter arrays IN PLACE (the fused
+# optimizers update views into one flat buffer, so the array object's
+# identity never changes).  Value caches keyed on array identity — the
+# negated-weight cache of the sigmoid fold — must revalidate when this
+# moves.  Plain int read/increment under the GIL; exactness matters, not
+# ordering.
+_PARAM_MUTATION_EPOCH = 0
+
+
+def notify_param_mutation() -> None:
+    """Record that some :class:`Parameter`'s array was mutated in place.
+
+    Optimizers that update parameters through views (``FusedAdam`` /
+    ``FusedSGD``) call this once per step; eager optimizers *replace*
+    ``param.data`` and need not.  Compiled plans always read parameter
+    values live, but identity-keyed caches of values *derived from*
+    parameters use this epoch to notice in-place changes.
+    """
+    global _PARAM_MUTATION_EPOCH
+    _PARAM_MUTATION_EPOCH += 1
 
 
 class Step(NamedTuple):
@@ -168,6 +202,23 @@ class _Tracer:
         self.pins.append(arr)
         return slot
 
+    # ------------------------------------------------------- direct emission
+    def emit(self, op: str, ins: tuple[int, ...], aux: dict | None, shape) -> int:
+        """Append a step built directly in slot form (the backward builder).
+
+        Unlike :meth:`record` there is no ``Tensor`` involved: the VJP rules
+        synthesize steps from already-assigned slots.
+        """
+        slot = self._new_slot()
+        shape = tuple(shape)
+        self.slot_shapes[slot] = shape
+        self.steps.append(Step(op, slot, tuple(ins), dict(aux) if aux else {}, shape))
+        return slot
+
+    def const(self, value) -> int:
+        """Slot for a hoisted constant array (e.g. the backward seed)."""
+        return self._array_slot(np.asarray(value, dtype=np.float64))
+
     # --------------------------------------------------------------- recording
     def record(self, op: str, out: Tensor, ins, aux: dict | None) -> None:
         in_slots = tuple(self._tensor_slot(t) for t in ins)
@@ -224,12 +275,19 @@ def trace(
 
 # --------------------------------------------------------------------- kernels
 
-_BINARY_UFUNCS = {"add": np.add, "mul": np.multiply, "div": np.true_divide}
-_UNARY_UFUNCS = {"exp": np.exp, "log": np.log, "tanh": np.tanh, "abs": np.abs}
+_BINARY_UFUNCS = {"add": np.add, "sub": np.subtract, "mul": np.multiply, "div": np.true_divide}
+_UNARY_UFUNCS = {"exp": np.exp, "log": np.log, "tanh": np.tanh, "abs": np.abs, "neg": np.negative}
 # Ops that may legally execute in place on their producer's buffer.
 _INPLACE_OPS = frozenset(
-    ["exp", "log", "tanh", "abs", "relu", "clip_min", "pow", "sigmoid", "add", "mul", "div"]
+    [
+        "exp", "log", "tanh", "abs", "neg", "relu", "clip_min", "pow", "sigmoid",
+        "add", "sub", "mul", "div", "bwd_mask", "bwd_sigmoid",
+    ]
 )
+# In-place ops whose kernel reads a non-first operand *after* writing starts:
+# only the first operand's buffer may be overwritten (bwd_sigmoid multiplies
+# into the target before re-reading the forward output).
+_INPLACE_FIRST_ONLY = frozenset(["bwd_sigmoid"])
 # Ops whose output aliases their input; never a fusion target (mutating the
 # view would corrupt the aliased slot, which may be an input or still-needed
 # buffer).
@@ -244,26 +302,37 @@ def _reduced_shape(shape: tuple[int, ...], axis: int) -> tuple[int, ...]:
 class _BufferPool:
     """Register-allocation-style buffer assignment at compile time.
 
-    Each step's output (and scratch) buffer is taken from a shape-keyed free
-    list and returned once every slot aliasing it is dead.  This keeps the
-    replay working set at the *live* activation set (a dozen arrays) instead
-    of one buffer per step — the difference between thrashing L2 on every
-    elementwise pass and staying cache-resident.
+    Each step's output (and scratch) buffer is taken from a free list and
+    returned once every slot aliasing it is dead.  This keeps the replay
+    working set at the *live* activation set instead of one buffer per step
+    — the difference between thrashing L2 on every elementwise pass and
+    staying cache-resident.
+
+    Storage is 1-D and keyed by **element count**, not shape — a
+    ``(B, N, F)`` activation and the ``(B*N, F)`` GEMM scratch share a size
+    class — and kernels capture reshaped views at compile time.  Training
+    plans (which must keep forward activations alive for the backward) see
+    a meaningfully smaller footprint than shape-exact pooling would give.
     """
 
     def __init__(self):
-        self.buffers: list[np.ndarray] = []
-        self._free: dict[tuple, list[int]] = {}
+        self.buffers: list[np.ndarray] = []  # 1-D bases
+        self._free: dict[int, list[int]] = {}
 
     def alloc(self, shape: tuple[int, ...]) -> int:
-        free = self._free.get(shape)
+        size = int(np.prod(shape, dtype=np.int64))
+        free = self._free.get(size)
         if free:
             return free.pop()
-        self.buffers.append(np.empty(shape))
+        self.buffers.append(np.empty(size))
         return len(self.buffers) - 1
 
+    def view(self, bid: int, shape: tuple[int, ...]) -> np.ndarray:
+        """The shaped alias of a base buffer a kernel writes through."""
+        return self.buffers[bid].reshape(shape)
+
     def release(self, bid: int) -> None:
-        self._free.setdefault(self.buffers[bid].shape, []).append(bid)
+        self._free.setdefault(self.buffers[bid].size, []).append(bid)
 
 
 def _scratch_shapes(st: Step, slot_shapes: dict[int, tuple]) -> list[tuple[int, ...]]:
@@ -284,6 +353,12 @@ def _scratch_shapes(st: Step, slot_shapes: dict[int, tuple]) -> list[tuple[int, 
         return [st.shape, _reduced_shape(st.shape, st.aux["axis"])]
     if st.op == "log_softmax":
         return [st.shape, st.shape, _reduced_shape(st.shape, st.aux["axis"])]
+    if st.op == "bwd_softmax" or st.op == "bwd_log_softmax":
+        return [st.shape, _reduced_shape(st.shape, st.aux["axis"])]
+    if st.op in ("bwd_sigmoid", "bwd_pow"):
+        return [st.shape, st.shape]
+    if st.op == "bwd_div_b":
+        return [st.shape, slot_shapes[st.ins[2]]]
     return [st.shape]
 
 
@@ -328,13 +403,17 @@ def _make_kernel(
         a, b = st.ins
         a_shape = slot_shapes[a]
         bdim, n, k = a_shape
-        cache: list = [None, None]
+        # The negated copy is revalidated on array identity *and* the
+        # param-mutation epoch: fused optimizers update weights through
+        # views, so the array object survives in-place steps.
+        cache: list = [None, None, -1]
 
         def run(slots, a=a, b=b, o=o, bdim=bdim, n=n, k=k, buf=out_buf, cache=cache):
             w = slots[b]
-            if cache[0] is not w:
+            if cache[0] is not w or cache[2] != _PARAM_MUTATION_EPOCH:
                 cache[0] = w
                 cache[1] = np.negative(w)
+                cache[2] = _PARAM_MUTATION_EPOCH
             np.matmul(slots[a].reshape(bdim * n, k), cache[1], out=buf)
             slots[o] = buf.reshape(bdim, n, buf.shape[1])
 
@@ -470,10 +549,10 @@ def _make_kernel(
         red_buf = bufs[1]
         def run(slots, a=a, o=o, axis=axis, buf=out_buf, red=red_buf):
             x = slots[a]
-            np.max(x, axis=axis, keepdims=True, out=red)
+            np.maximum.reduce(x, axis=axis, keepdims=True, out=red)
             np.subtract(x, red, out=buf)
             np.exp(buf, out=buf)
-            np.sum(buf, axis=axis, keepdims=True, out=red)
+            np.add.reduce(buf, axis=axis, keepdims=True, out=red)
             np.divide(buf, red, out=buf)
             slots[o] = buf
         return run
@@ -484,10 +563,10 @@ def _make_kernel(
         exp_buf, red_buf = bufs[1], bufs[2]
         def run(slots, a=a, o=o, axis=axis, buf=out_buf, ebuf=exp_buf, red=red_buf):
             x = slots[a]
-            np.max(x, axis=axis, keepdims=True, out=red)
+            np.maximum.reduce(x, axis=axis, keepdims=True, out=red)
             np.subtract(x, red, out=buf)  # shifted
             np.exp(buf, out=ebuf)
-            np.sum(ebuf, axis=axis, keepdims=True, out=red)
+            np.add.reduce(ebuf, axis=axis, keepdims=True, out=red)
             np.log(red, out=red)
             np.subtract(buf, red, out=buf)
             slots[o] = buf
@@ -496,7 +575,7 @@ def _make_kernel(
     if st.op in ("sum", "max"):
         (a,) = st.ins
         axis, keepdims = st.aux["axis"], st.aux["keepdims"]
-        reducer = np.sum if st.op == "sum" else np.max
+        reducer = np.add.reduce if st.op == "sum" else np.maximum.reduce
         def run(slots, a=a, o=o, reducer=reducer, axis=axis, keepdims=keepdims, buf=out_buf):
             reducer(slots[a], axis=axis, keepdims=keepdims, out=buf)
             slots[o] = buf
@@ -539,6 +618,240 @@ def _make_kernel(
             slots[o] = buf
         return run
 
+    # ----------------------------------------------------- backward kernels
+    # Each mirrors the corresponding eager tape closure's arithmetic op for
+    # op (same numpy calls, same association), so compiled gradients track
+    # the eager ones to within accumulation-order rounding.
+
+    if st.op == "bwd_unbroadcast":
+        # Sum a broadcast gradient back down to the operand's shape.
+        (a,) = st.ins
+        gshape = slot_shapes[a]
+        target = st.shape
+        extra = len(gshape) - len(target)
+        axes = tuple(range(extra)) + tuple(
+            extra + i
+            for i, s in enumerate(target)
+            if s == 1 and gshape[extra + i] != 1
+        )
+        mid_shape = tuple(s for i, s in enumerate(gshape) if i not in axes)
+        def run(slots, a=a, o=o, axes=axes, buf=out_buf, mid_shape=mid_shape):
+            np.add.reduce(slots[a], axis=axes, out=buf.reshape(mid_shape))
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_broadcast":
+        # Gradient of sum: spread g over the reduced axes of the input.
+        (a,) = st.ins
+        axis, keepdims = st.aux["axis"], st.aux["keepdims"]
+        target = st.shape
+        if axis is None:
+            expshape = (1,) * len(target)
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            axes = tuple(ax % len(target) for ax in axes)
+            expshape = tuple(1 if i in axes else s for i, s in enumerate(target))
+        if keepdims:
+            expshape = slot_shapes[a]
+        def run(slots, a=a, o=o, expshape=expshape, buf=out_buf):
+            np.copyto(buf, slots[a].reshape(expshape))
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_mask":
+        # relu / clip_min gradient: g where input > low, else 0.  The mask
+        # lands in a persistent bool scratch (the float pool can't hold it);
+        # it is fully materialized before the write, so overwriting either
+        # operand's buffer in place is safe.
+        g, x = st.ins
+        low = st.aux["low"]
+        mask_buf = np.empty(st.shape, dtype=bool)
+        if inplace_on is not None:
+            def run(slots, g=g, x=x, o=o, low=low, t=inplace_on, mask=mask_buf):
+                buf = slots[t]
+                np.greater(slots[x], low, out=mask)
+                np.multiply(slots[g], mask, out=buf)
+                slots[o] = buf
+        else:
+            def run(slots, g=g, x=x, o=o, low=low, buf=out_buf, mask=mask_buf):
+                np.greater(slots[x], low, out=mask)
+                np.multiply(slots[g], mask, out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op == "bwd_leaky":
+        # g * where(x > 0, 1, slope) == slope*g overwritten by g where x > 0.
+        g, x = st.ins
+        slope = st.aux["negative_slope"]
+        mask_buf = np.empty(st.shape, dtype=bool)
+        def run(slots, g=g, x=x, o=o, slope=slope, buf=out_buf, mask=mask_buf):
+            gv = slots[g]
+            np.greater(slots[x], 0, out=mask)
+            np.multiply(gv, slope, out=buf)
+            np.copyto(buf, gv, where=mask)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_sigmoid":
+        # Only the g operand's buffer may be the in-place target (the
+        # forward output is re-read after the first write).
+        g, out_fwd = st.ins
+        scratch = bufs[1]
+        if inplace_on is not None:
+            def run(slots, g=g, f=out_fwd, o=o, t=inplace_on, scratch=scratch):
+                buf = slots[t]
+                fv = slots[f]
+                np.multiply(slots[g], fv, out=buf)
+                np.subtract(1.0, fv, out=scratch)
+                np.multiply(buf, scratch, out=buf)
+                slots[o] = buf
+        else:
+            def run(slots, g=g, f=out_fwd, o=o, buf=out_buf, scratch=scratch):
+                fv = slots[f]
+                np.multiply(slots[g], fv, out=buf)
+                np.subtract(1.0, fv, out=scratch)
+                np.multiply(buf, scratch, out=buf)
+                slots[o] = buf
+        return run
+
+    if st.op == "bwd_tanh":
+        g, out_fwd = st.ins
+        def run(slots, g=g, f=out_fwd, o=o, buf=out_buf):
+            fv = slots[f]
+            np.multiply(fv, fv, out=buf)
+            np.subtract(1.0, buf, out=buf)
+            np.multiply(slots[g], buf, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_abs":
+        g, x = st.ins
+        def run(slots, g=g, x=x, o=o, buf=out_buf):
+            np.sign(slots[x], out=buf)
+            np.multiply(buf, slots[g], out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_pow":
+        g, x = st.ins
+        e = st.aux["exponent"]
+        scratch = bufs[1]
+        def run(slots, g=g, x=x, o=o, e=e, buf=out_buf, scratch=scratch):
+            np.multiply(slots[g], e, out=buf)
+            np.power(slots[x], e - 1, out=scratch)
+            np.multiply(buf, scratch, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_div_b":
+        # d(a/b)/db contribution: (-g * a) / b**2.
+        g, a, b = st.ins
+        bscratch = bufs[1]
+        def run(slots, g=g, a=a, b=b, o=o, buf=out_buf, bscratch=bscratch):
+            np.negative(slots[g], out=buf)
+            np.multiply(buf, slots[a], out=buf)
+            np.power(slots[b], 2, out=bscratch)
+            np.divide(buf, bscratch, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_softmax":
+        g, out_fwd = st.ins
+        axis = st.aux["axis"]
+        red = bufs[1]
+        def run(slots, g=g, f=out_fwd, o=o, axis=axis, buf=out_buf, red=red):
+            gv, fv = slots[g], slots[f]
+            np.multiply(gv, fv, out=buf)
+            np.add.reduce(buf, axis=axis, keepdims=True, out=red)
+            np.subtract(gv, red, out=buf)
+            np.multiply(fv, buf, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_log_softmax":
+        g, out_fwd = st.ins
+        axis = st.aux["axis"]
+        red = bufs[1]
+        def run(slots, g=g, f=out_fwd, o=o, axis=axis, buf=out_buf, red=red):
+            gv = slots[g]
+            np.add.reduce(gv, axis=axis, keepdims=True, out=red)
+            np.exp(slots[f], out=buf)
+            np.multiply(buf, red, out=buf)
+            np.subtract(gv, buf, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_max":
+        g, x, out_fwd = st.ins
+        axis, keepdims = st.aux["axis"], st.aux["keepdims"]
+        def run(slots, g=g, x=x, f=out_fwd, o=o, axis=axis, keepdims=keepdims, buf=out_buf):
+            gv, xv, fv = slots[g], slots[x], slots[f]
+            if axis is not None and not keepdims:
+                gv = np.expand_dims(gv, axis)
+                fv = np.expand_dims(fv, axis)
+            mask = xv == fv
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            np.divide(np.where(mask, gv, 0.0), counts, out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_scatter":
+        # Gradient of getitem: scatter-add g into a zeroed input-shaped
+        # buffer.  Basic indices (ints/slices) cannot repeat a position, so
+        # plain assignment replaces the much slower np.add.at.
+        (g,) = st.ins
+        index = st.aux["index"]
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(isinstance(p, (int, np.integer, slice, type(Ellipsis))) for p in parts)
+        if basic:
+            def run(slots, g=g, o=o, index=index, buf=out_buf):
+                buf[...] = 0.0
+                buf[index] = slots[g]
+                slots[o] = buf
+        else:
+            def run(slots, g=g, o=o, index=index, buf=out_buf):
+                buf[...] = 0.0
+                np.add.at(buf, index, slots[g])
+                slots[o] = buf
+        return run
+
+    if st.op == "bwd_matmul_acc":
+        # Weight gradient of a stacked (B, N, K) @ (K, M) matmul: the
+        # batched a^T @ g plus its sum over B collapse into one
+        # (K, B*N) @ (B*N, M) GEMM (same summation, BLAS-blocked order).
+        a, g = st.ins
+        bdim, n, k = slot_shapes[a]
+        m = st.shape[1]
+        def run(slots, a=a, g=g, o=o, bdim=bdim, n=n, k=k, m=m, buf=out_buf):
+            np.matmul(slots[a].reshape(bdim * n, k).T, slots[g].reshape(bdim * n, m), out=buf)
+            slots[o] = buf
+        return run
+
+    if st.op == "bwd_scatter_rows":
+        # Gradient of gather_rows: scatter-add rows back into the table.
+        # For a 2-D table this is a one-hot GEMM — (rows, n_src) @ (n_src,
+        # feat) — which beats np.add.at's per-element buffered loop by ~10x
+        # on embedding-sized tables (summation order is BLAS-blocked, ulps
+        # from the sequential order).
+        g, idx = st.ins
+        if len(st.shape) == 2:
+            n_src = int(np.prod(slot_shapes[idx], dtype=np.int64))
+            rows, feat = st.shape
+            onehot = np.zeros((rows, n_src))
+            cols = np.arange(n_src)
+            def run(slots, g=g, idx=idx, o=o, n_src=n_src, feat=feat,
+                    onehot=onehot, cols=cols, buf=out_buf):
+                onehot[...] = 0.0
+                onehot[slots[idx].reshape(-1), cols] = 1.0
+                np.matmul(onehot, slots[g].reshape(n_src, feat), out=buf)
+                slots[o] = buf
+        else:  # pragma: no cover - no N-d embedding tables in the repo
+            def run(slots, g=g, idx=idx, o=o, buf=out_buf):
+                buf[...] = 0.0
+                np.add.at(buf, slots[idx], slots[g])
+                slots[o] = buf
+        return run
+
     raise TraceError(f"no replay kernel for traced op {st.op!r}")  # pragma: no cover
 
 
@@ -552,10 +865,23 @@ class CompiledPlan:
     changes (a different module graph) require re-tracing.
     """
 
-    def __init__(self, tracer: _Tracer, output_slot: int):
+    def __init__(
+        self,
+        tracer: _Tracer,
+        output_slot: int,
+        extra_outputs: tuple[int, ...] = (),
+        output_buffers: dict[int, np.ndarray] | None = None,
+    ):
         self.input_slots = dict(tracer.input_slots)
         self.input_shapes = {n: tuple(np.shape(tracer.inputs[n])) for n in tracer.inputs}
         self.output_slot = output_slot
+        # Training plans keep every per-parameter gradient slot alive too.
+        self._output_set = frozenset((output_slot, *extra_outputs))
+        # Caller-fixed destination arrays for specific output slots: the
+        # producing kernel writes straight into them (a TrainingPlan bound
+        # to a fused optimizer lands gradients in the flat grad buffer with
+        # no copy-out pass).  Never pooled, never fusion targets.
+        self._output_buffers = dict(output_buffers or {})
         self.steps = list(tracer.steps)
         self._params = list(tracer.param_slots)
         self._derived = list(tracer.derived_slots)
@@ -583,7 +909,7 @@ class CompiledPlan:
         negated: set[int] = set()
         prenegated: set[int] = set()
         for st in self.steps:
-            if st.op != "matmul" or st.out == self.output_slot:
+            if st.op != "matmul" or st.out in self._output_set:
                 continue
             a, b = st.ins
             a_shape, b_shape = slot_shapes.get(a), slot_shapes.get(b)
@@ -607,8 +933,9 @@ class CompiledPlan:
                 use[s] += 1
                 last_use[s] = i
                 consumers.setdefault(s, []).append(st)
-        use[self.output_slot] += 1
-        last_use[self.output_slot] = len(steps)  # the output never dies
+        for out_slot in self._output_set:
+            use[out_slot] += 1
+            last_use[out_slot] = len(steps)  # outputs never die
         for _, _, deps in self._derived:
             for d in deps:
                 use[d] += 1
@@ -627,10 +954,28 @@ class CompiledPlan:
         execs = []
         fused = 0
         for i, st in enumerate(steps):
-            target = self._fusion_target(st, use, producers)
-            if target is not None:
+            bound = self._output_buffers.get(st.out)
+            target = None if bound is not None else self._fusion_target(st, use, producers)
+            if bound is not None and st.op not in _VIEW_OPS:
+                # Output with a caller-fixed destination: the kernel writes
+                # into the provided array; only scratch comes from the pool.
+                shapes = _scratch_shapes(st, tracer.slot_shapes)[1:]
+                scratch = [pool.alloc(shape) for shape in shapes]
+                bufs = [bound] + [pool.view(b, s) for b, s in zip(scratch, shapes)]
+                for b in scratch:
+                    pool.release(b)
+                bid = None
+            elif target is not None:
                 fused += 1
-                bufs: list[np.ndarray] = []
+                # A fused step needs no output buffer but may still need
+                # kernel scratch (bwd_sigmoid's (1 - out) pass).
+                shapes = _scratch_shapes(st, tracer.slot_shapes)[1:]
+                scratch = [pool.alloc(shape) for shape in shapes]
+                bufs: list[np.ndarray | None] = [None] + [
+                    pool.view(b, s) for b, s in zip(scratch, shapes)
+                ]
+                for b in scratch:
+                    pool.release(b)
                 bid = base_of[target]
             elif st.op in _VIEW_OPS:
                 bufs = []
@@ -640,8 +985,9 @@ class CompiledPlan:
                 # a kernel's out buffer can never alias one of its inputs
                 # (np.matmul requires a disjoint out; elementwise aliasing is
                 # handled explicitly by the fusion path instead).
-                bids = [pool.alloc(shape) for shape in _scratch_shapes(st, tracer.slot_shapes)]
-                bufs = [pool.buffers[b] for b in bids]
+                shapes = _scratch_shapes(st, tracer.slot_shapes)
+                bids = [pool.alloc(shape) for shape in shapes]
+                bufs = [pool.view(b, s) for b, s in zip(bids, shapes)]
                 bid = bids[0]
                 for scratch in bids[1:]:  # scratch lives only within the step
                     pool.release(scratch)
@@ -661,7 +1007,7 @@ class CompiledPlan:
             dying = {s for s in st.ins if last_use.get(s) == i}
             if target is not None:
                 dying.add(target)
-            if use.get(st.out, 0) == 0 and st.out != self.output_slot:
+            if use.get(st.out, 0) == 0 and st.out not in self._output_set:
                 dying.add(st.out)  # computed but never consumed
             for s in dying:
                 b = base_of.get(s)
@@ -680,7 +1026,8 @@ class CompiledPlan:
         """
         if st.op not in _INPLACE_OPS or len(st.ins) > 2:
             return None
-        for cand in st.ins:
+        candidates = st.ins[:1] if st.op in _INPLACE_FIRST_ONLY else st.ins
+        for cand in candidates:
             prod = producers.get(cand)
             if (
                 prod is not None
@@ -692,8 +1039,7 @@ class CompiledPlan:
         return None
 
     # ------------------------------------------------------------------ replay
-    def replay(self, inputs: dict[str, np.ndarray]) -> np.ndarray:
-        """Execute the plan on ``inputs``; returns a fresh output array."""
+    def _validate_inputs(self, inputs: dict[str, np.ndarray]) -> None:
         for name, expected in self.input_shapes.items():
             arr = inputs.get(name)
             if arr is None:
@@ -703,18 +1049,26 @@ class CompiledPlan:
                     f"plan input {name!r} has shape {np.shape(arr)}, expected {expected} "
                     "(plans are shape-specialized; compile one per shape bucket)"
                 )
+
+    def _bind_and_run(self, inputs: dict[str, np.ndarray]) -> list:
+        """Bind leaves and execute every kernel; caller holds ``_lock``."""
+        slots = list(self._template)
+        for slot, param in self._params:
+            slots[slot] = param.data
+        for name, slot in self.input_slots.items():
+            slots[slot] = inputs[name]
+        for slot, fn, deps in self._derived:
+            slots[slot] = fn(*(slots[d] for d in deps))
+        for run in self._exec:
+            run(slots)
+        return slots
+
+    def replay(self, inputs: dict[str, np.ndarray]) -> np.ndarray:
+        """Execute the plan on ``inputs``; returns a fresh output array."""
+        self._validate_inputs(inputs)
         with self._lock:
-            slots = list(self._template)
-            for slot, param in self._params:
-                slots[slot] = param.data
-            for name, slot in self.input_slots.items():
-                slots[slot] = inputs[name]
-            for slot, fn, deps in self._derived:
-                slots[slot] = fn(*(slots[d] for d in deps))
-            for run in self._exec:
-                run(slots)
-            out = slots[self.output_slot]
-            return np.array(out, copy=True)
+            slots = self._bind_and_run(inputs)
+            return np.array(slots[self.output_slot], copy=True)
 
     __call__ = replay
 
@@ -724,3 +1078,528 @@ class CompiledPlan:
             f"constants={self.num_constants}, parameters={self.num_parameters}, "
             f"inputs={sorted(self.input_shapes)})"
         )
+
+
+# ----------------------------------------------------- shared-LHS GEMM merge
+
+def _concat_columns(*weights: np.ndarray) -> np.ndarray:
+    return np.concatenate(weights, axis=1)
+
+
+def _merge_shared_lhs_matmuls(tracer: _Tracer) -> None:
+    """Merge matmuls that share a LHS activation against leaf 2-D weights.
+
+    The predictor computes many ``(B, N, K) @ (K, M_i)`` products of the
+    *same* activation — every GNN layer's gate projects the same refined
+    op features — each a small GEMM.  Concatenating the weights column-wise
+    turns a group into one ``(B·N, K) @ (K, ΣM)`` GEMM; members become
+    slice views of the merged output, so consumers are untouched.  The
+    concatenated weight is a derived slot rebuilt from the live parameter
+    arrays each replay (a few tens of KB).  The backward mirrors the merge
+    (see the ``merged_cols`` handling in :func:`_append_backward`): member
+    gradients concatenate once, the LHS gradient is one GEMM instead of one
+    per member plus accumulation adds, and the weight gradients slice one
+    merged GEMM-accumulate.  Per-element sums are regrouped relative to the
+    eager per-layer GEMMs (ulp-level, inside the 1e-6 equivalence budget).
+
+    Applied to training traces only — inference plans keep the PR-4 layout
+    (and its matmul→sigmoid negation fold, which the merge supersedes here).
+    """
+    steps = tracer.steps
+    shapes = tracer.slot_shapes
+    produced = {st.out for st in steps}
+    groups: dict[tuple[int, int], list[int]] = {}  # (lhs slot, K) -> step idxs
+    for i, st in enumerate(steps):
+        if st.op != "matmul" or st.aux:
+            continue
+        a, b = st.ins
+        a_shape, b_shape = shapes[a], shapes[b]
+        if len(a_shape) != 3 or len(b_shape) != 2:
+            continue
+        if b in produced:
+            continue  # weights must be stable leaves, not activations
+        groups.setdefault((a, a_shape[2]), []).append(i)
+
+    inserts: dict[int, list[Step]] = {}
+    gid = 0
+    for (lhs, k), idxs in sorted(groups.items(), key=lambda kv: kv[1][0]):
+        if len(idxs) < 2:
+            continue
+        b_slots = [steps[i].ins[1] for i in idxs]
+        widths = [shapes[b][1] for b in b_slots]
+        total = sum(widths)
+        bdim, n, _ = shapes[lhs]
+        wcat = tracer._new_slot()
+        shapes[wcat] = (k, total)
+        tracer.derived_slots.append((wcat, _concat_columns, tuple(b_slots)))
+        merged_out = tracer._new_slot()
+        mshape = (bdim, n, total)
+        shapes[merged_out] = mshape
+        cols = []
+        off = 0
+        for b, width in zip(b_slots, widths):
+            cols.append((b, off, width))
+            off += width
+        merged = Step(
+            "matmul", merged_out, (lhs, wcat), {"merged_cols": tuple(cols), "merged_gid": gid}, mshape
+        )
+        inserts.setdefault(min(idxs), []).append(merged)
+        off = 0
+        for pos, (i, width) in enumerate(zip(idxs, widths)):
+            st = steps[i]
+            steps[i] = Step(
+                "getitem",
+                st.out,
+                (merged_out,),
+                {
+                    "index": (Ellipsis, slice(off, off + width)),
+                    "merged_gid": gid,
+                    "merged_pos": pos,
+                },
+                st.shape,
+            )
+            off += width
+        gid += 1
+    if inserts:
+        rebuilt: list[Step] = []
+        for i, st in enumerate(steps):
+            rebuilt.extend(inserts.get(i, ()))
+            rebuilt.append(st)
+        tracer.steps[:] = rebuilt
+
+
+# ------------------------------------------------------- symbolic backward
+
+def _swapped_axes(ndim: int) -> tuple[int, ...]:
+    return tuple(range(ndim - 2)) + (ndim - 1, ndim - 2)
+
+
+def _swap_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    return shape[:-2] + (shape[-1], shape[-2])
+
+
+def _matmul_shape(a_shape: tuple[int, ...], b_shape: tuple[int, ...]) -> tuple[int, ...]:
+    batch = np.broadcast_shapes(a_shape[:-2], b_shape[:-2])
+    return tuple(batch) + (a_shape[-2], b_shape[-1])
+
+
+def _append_backward(tracer: _Tracer, loss_slot: int) -> dict[int, int | None]:
+    """Differentiate the recorded forward, appending VJP steps to the tracer.
+
+    Walks the step list in reverse.  Every rule emits steps whose kernels
+    mirror the corresponding eager tape closure (see the ``bwd_*`` kernels),
+    including the :func:`~repro.nnlib.tensor._unbroadcast` reductions for
+    broadcast operands; multiple consumers accumulate through explicit
+    ``add`` steps.  Returns ``{param_slot: grad_slot}`` (``None`` when the
+    loss does not reach that parameter).  Raises :class:`TraceError` for ops
+    without a VJP rule so callers can fall back to the eager tape.
+    """
+    steps_fwd = list(tracer.steps)
+    shapes = tracer.slot_shapes
+    param_slots = [slot for slot, _ in tracer.param_slots]
+    needs: set[int] = set(param_slots)
+    for st in steps_fwd:
+        if any(s in needs for s in st.ins) or any(
+            w in needs for w, _, _ in st.aux.get("merged_cols", ())
+        ):
+            # merged_cols: a merged matmul consumes its member weights via a
+            # derived concat slot, so the weight dependence is in aux.
+            needs.add(st.out)
+
+    grad_of: dict[int, int] = {}
+    # Per merged-GEMM group: member position -> gradient slot, stashed by the
+    # member slice steps and assembled into one concat when the walk reaches
+    # the merged matmul (see _merge_shared_lhs_matmuls).
+    merged_stash: dict[int, dict[int, int]] = {}
+    if loss_slot in needs:
+        grad_of[loss_slot] = tracer.const(np.ones(shapes[loss_slot]))
+
+    emit = tracer.emit
+    producer_of = {st.out: st for st in steps_fwd}
+
+    def _swap_source(slot: int) -> int | None:
+        """The slot this one is a last-two-axes transpose of, if any.
+
+        Powers the X @ Yᵀ backward peephole: instead of computing the
+        gradient of the transposed view and transposing it back (whose
+        batched GEMM has the *contraction* on the short axis — 8x slower
+        here), compute the source's gradient directly with the fast shape.
+        """
+        prod = producer_of.get(slot)
+        if prod is None or prod.op != "transpose":
+            return None
+        if tuple(prod.aux["axes"]) != _swapped_axes(len(shapes[slot])):
+            return None
+        return prod.ins[0]
+
+    def unb(g: int, target: tuple[int, ...]) -> int:
+        if tuple(shapes[g]) == tuple(target):
+            return g
+        return emit("bwd_unbroadcast", (g,), {}, target)
+
+    def add_grad(slot: int, g: int) -> None:
+        prev = grad_of.get(slot)
+        grad_of[slot] = g if prev is None else emit("add", (prev, g), {}, shapes[slot])
+
+    for st in reversed(steps_fwd):
+        if st.op == "matmul" and "merged_cols" in st.aux and st.out not in grad_of:
+            # Assemble the merged output's gradient from the member slices'
+            # stashed gradients (all member steps sit after the merged step,
+            # so their VJPs have already run); members the loss never
+            # reached contribute hoisted zeros.
+            stash = merged_stash.get(st.aux["merged_gid"])
+            if stash:
+                bdim, rows, _ = shapes[st.out]
+                parts = []
+                for pos, (_, _, width) in enumerate(st.aux["merged_cols"]):
+                    gslot = stash.get(pos)
+                    if gslot is None:
+                        gslot = tracer.const(np.zeros((bdim, rows, width)))
+                    parts.append(gslot)
+                grad_of[st.out] = emit("concat", tuple(parts), {"axis": -1}, shapes[st.out])
+        g = grad_of.get(st.out)
+        if g is None:
+            continue  # dead branch: the loss never consumed this value
+        op = st.op
+        gshape = shapes[g]
+        if op == "add":
+            a, b = st.ins
+            if a in needs:
+                add_grad(a, unb(g, shapes[a]))
+            if b in needs:
+                add_grad(b, unb(g, shapes[b]))
+        elif op == "sub":
+            a, b = st.ins
+            if a in needs:
+                add_grad(a, unb(g, shapes[a]))
+            if b in needs:
+                add_grad(b, unb(emit("neg", (g,), {}, gshape), shapes[b]))
+        elif op == "neg":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("neg", (g,), {}, gshape))
+        elif op == "mul":
+            a, b = st.ins
+            if a in needs:
+                add_grad(a, unb(emit("mul", (g, b), {}, gshape), shapes[a]))
+            if b in needs:
+                add_grad(b, unb(emit("mul", (g, a), {}, gshape), shapes[b]))
+        elif op == "div":
+            a, b = st.ins
+            if a in needs:
+                add_grad(a, unb(emit("div", (g, b), {}, gshape), shapes[a]))
+            if b in needs:
+                add_grad(b, unb(emit("bwd_div_b", (g, a, b), {}, gshape), shapes[b]))
+        elif op == "pow":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("bwd_pow", (g, a), {"exponent": st.aux["exponent"]}, gshape))
+        elif op == "matmul":
+            a, b = st.ins
+            a_shape, b_shape = shapes[a], shapes[b]
+            if len(a_shape) < 2 or len(b_shape) < 2:
+                raise TraceError("backward for 1-D matmul operands is not trace-compilable")
+            if a in needs:
+                a_src = _swap_source(a)
+                if a_src is not None:
+                    # a = srcᵀ: grad_src = (g @ bᵀ)ᵀ = b @ gᵀ, directly.
+                    sg = emit("transpose", (g,), {"axes": _swapped_axes(len(gshape))}, _swap_shape(gshape))
+                    full = emit("matmul", (b, sg), {}, _matmul_shape(b_shape, _swap_shape(gshape)))
+                    add_grad(a_src, unb(full, shapes[a_src]))
+                else:
+                    bt = emit("transpose", (b,), {"axes": _swapped_axes(len(b_shape))}, _swap_shape(b_shape))
+                    full = emit("matmul", (g, bt), {}, _matmul_shape(gshape, _swap_shape(b_shape)))
+                    add_grad(a, unb(full, a_shape))
+            if "merged_cols" in st.aux:
+                # Weight grads of a merged GEMM: one merged GEMM-accumulate,
+                # then each member's gradient is a column slice of it (the
+                # concatenated-weight slot itself is derived, not a param).
+                acc = emit("bwd_matmul_acc", (a, g), {}, b_shape)
+                for w_slot, off, width in st.aux["merged_cols"]:
+                    if w_slot in needs:
+                        index = (slice(None), slice(off, off + width))
+                        gw = emit("getitem", (acc,), {"index": index}, (b_shape[0], width))
+                        add_grad(w_slot, gw)
+            elif b in needs:
+                b_src = _swap_source(b)
+                if b_src is not None:
+                    # b = srcᵀ: grad_src = (aᵀ @ g)ᵀ = gᵀ @ a, directly.
+                    sg = emit("transpose", (g,), {"axes": _swapped_axes(len(gshape))}, _swap_shape(gshape))
+                    full = emit("matmul", (sg, a), {}, _matmul_shape(_swap_shape(gshape), a_shape))
+                    add_grad(b_src, unb(full, shapes[b_src]))
+                elif len(a_shape) == 3 and len(b_shape) == 2:
+                    # The Linear-layer pattern: batched a^T @ g then the
+                    # broadcast sum fold into one GEMM (bwd_matmul_acc).
+                    add_grad(b, emit("bwd_matmul_acc", (a, g), {}, b_shape))
+                else:
+                    at = emit("transpose", (a,), {"axes": _swapped_axes(len(a_shape))}, _swap_shape(a_shape))
+                    full = emit("matmul", (at, g), {}, _matmul_shape(_swap_shape(a_shape), gshape))
+                    add_grad(b, unb(full, b_shape))
+        elif op == "exp":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("mul", (g, st.out), {}, gshape))
+        elif op == "log":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("div", (g, a), {}, gshape))
+        elif op == "tanh":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("bwd_tanh", (g, st.out), {}, gshape))
+        elif op == "sigmoid":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("bwd_sigmoid", (g, st.out), {}, gshape))
+        elif op == "abs":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("bwd_abs", (g, a), {}, gshape))
+        elif op in ("relu", "clip_min"):
+            (a,) = st.ins
+            if a in needs:
+                low = 0.0 if op == "relu" else st.aux["low"]
+                add_grad(a, emit("bwd_mask", (g, a), {"low": low}, gshape))
+        elif op == "leaky_relu":
+            (a,) = st.ins
+            if a in needs:
+                aux = {"negative_slope": st.aux["negative_slope"]}
+                add_grad(a, emit("bwd_leaky", (g, a), aux, gshape))
+        elif op == "sum":
+            (a,) = st.ins
+            if a in needs:
+                aux = {"axis": st.aux["axis"], "keepdims": st.aux["keepdims"]}
+                add_grad(a, emit("bwd_broadcast", (g,), aux, shapes[a]))
+        elif op == "max":
+            (a,) = st.ins
+            if a in needs:
+                aux = {"axis": st.aux["axis"], "keepdims": st.aux["keepdims"]}
+                add_grad(a, emit("bwd_max", (g, a, st.out), aux, shapes[a]))
+        elif op == "softmax":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("bwd_softmax", (g, st.out), {"axis": st.aux["axis"]}, gshape))
+        elif op == "log_softmax":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("bwd_log_softmax", (g, st.out), {"axis": st.aux["axis"]}, gshape))
+        elif op == "reshape":
+            (a,) = st.ins
+            if a in needs:
+                add_grad(a, emit("reshape", (g,), {"shape": tuple(shapes[a])}, shapes[a]))
+        elif op == "transpose":
+            (a,) = st.ins
+            if a in needs:
+                inverse = tuple(int(i) for i in np.argsort(st.aux["axes"]))
+                add_grad(a, emit("transpose", (g,), {"axes": inverse}, shapes[a]))
+        elif op == "getitem":
+            if "merged_gid" in st.aux:
+                # Member slice of a merged GEMM: stash for the one-shot
+                # concat at the merged matmul instead of scatter-adding
+                # into a full-width zero buffer per member.
+                merged_stash.setdefault(st.aux["merged_gid"], {})[st.aux["merged_pos"]] = g
+            else:
+                (a,) = st.ins
+                if a in needs:
+                    add_grad(a, emit("bwd_scatter", (g,), {"index": st.aux["index"]}, shapes[a]))
+        elif op == "gather_rows":
+            table, idx = st.ins
+            if table in needs:
+                add_grad(table, emit("bwd_scatter_rows", (g, idx), {}, shapes[table]))
+        elif op == "concat":
+            ndim = len(shapes[st.out])
+            axis = st.aux["axis"] % ndim
+            offset = 0
+            for a in st.ins:
+                size = shapes[a][axis]
+                if a in needs:
+                    index = [slice(None)] * ndim
+                    index[axis] = slice(offset, offset + size)
+                    add_grad(a, emit("getitem", (g,), {"index": tuple(index)}, shapes[a]))
+                offset += size
+        elif op == "stack":
+            ndim = len(shapes[st.out])
+            axis = st.aux["axis"] % ndim
+            for i, a in enumerate(st.ins):
+                if a in needs:
+                    index = [slice(None)] * ndim
+                    index[axis] = i
+                    add_grad(a, emit("getitem", (g,), {"index": tuple(index)}, shapes[a]))
+        else:
+            raise TraceError(f"no VJP rule for traced op {op!r}")
+    return {slot: grad_of.get(slot) for slot in param_slots}
+
+
+class TrainingPlan:
+    """A compiled joint forward+backward step for one traced batch shape.
+
+    :meth:`replay_into` executes the plan and writes each parameter's
+    gradient into a caller-provided array — typically
+    :meth:`~repro.nnlib.optim.FusedAdam.grad_views`, the views into the
+    fused optimizer's flat gradient buffer, so one full training step is a
+    single plan replay plus a handful of vectorized optimizer ops.
+    Parameters the loss never reaches get zeros.
+
+    Parameter *values* are read live (fine-tuning the same plan across
+    epochs is the point); parameter *shape* changes (``add_device`` growing
+    an embedding table) stale the plan — gradient buffers were sized at
+    trace time — so callers must check :meth:`stale` and re-trace.
+    """
+
+    def __init__(self, plan: CompiledPlan, params: list[Parameter], grad_slots: list):
+        self.plan = plan
+        self.params = list(params)
+        self._grad_slots = list(grad_slots)
+        self._traced_shapes = [tuple(p.data.shape) for p in self.params]
+
+    def stale(self) -> bool:
+        """Whether any parameter's shape changed since tracing."""
+        return any(tuple(p.data.shape) != s for p, s in zip(self.params, self._traced_shapes))
+
+    def replay_into(self, inputs: dict[str, np.ndarray], grad_out) -> float:
+        """Run forward+backward; returns the loss, writes grads to ``grad_out``.
+
+        ``grad_out`` aligns with ``params``; a ``None`` entry skips that copy.
+        """
+        plan = self.plan
+        if self.stale():
+            raise TraceError(
+                "training plan is stale: a parameter's shape changed since tracing "
+                "(e.g. add_device grew an embedding table); re-trace the step"
+            )
+        plan._validate_inputs(inputs)
+        with plan._lock:
+            slots = plan._bind_and_run(inputs)
+            loss = float(np.asarray(slots[plan.output_slot]).reshape(()))
+            for dst, slot in zip(grad_out, self._grad_slots):
+                if dst is None:
+                    continue
+                if slot is None:
+                    dst[...] = 0.0
+                    continue
+                src = slots[slot]
+                if src is not dst:  # already written in place when bound
+                    np.copyto(dst, src)
+        return loss
+
+    def replay(self, inputs: dict[str, np.ndarray]) -> tuple[float, list[np.ndarray]]:
+        """Run forward+backward; returns ``(loss, per-parameter gradients)``."""
+        grads = [np.empty(s) for s in self._traced_shapes]
+        loss = self.replay_into(inputs, grads)
+        return loss, grads
+
+    def __repr__(self) -> str:
+        return f"TrainingPlan(params={len(self.params)}, {self.plan!r})"
+
+
+def trace_training_step(
+    model,
+    loss_fn: Callable,
+    inputs: dict[str, np.ndarray],
+    *,
+    target: str = "target",
+    params: list[Parameter] | None = None,
+    grad_buffers: list | None = None,
+) -> TrainingPlan:
+    """Trace one full training step — forward, loss, and backward — into a
+    replayable :class:`TrainingPlan`.
+
+    Runs ``loss_fn(forward(inputs), inputs[target])`` once under the trace
+    hook, where ``forward`` is ``model._forward_core`` when present (the
+    :class:`~repro.predictors.compiled.CompiledInference` convention) or
+    ``model`` itself as a callable.  The recorded forward is then
+    differentiated symbolically (:func:`_append_backward`) and the joint
+    graph compiled with the same passes as inference plans — liveness-pooled
+    buffers, in-place elementwise fusion, stacked-GEMM collapse — applied
+    across the forward *and* backward steps.
+
+    Losses whose structure depends on target *values* (the pairwise hinge
+    mask) must register those arrays via :func:`register_derived`, exactly
+    like input-dependent forward helpers; see
+    :func:`repro.nnlib.losses.pairwise_hinge_loss`.
+
+    Plans are specialized to the traced shapes.  Training losses couple the
+    rows of a batch (ranking losses compare all pairs), so callers compile
+    one plan per exact batch size rather than padding to buckets.
+    """
+    if params is None:
+        if not isinstance(model, Module):
+            raise TraceError("pass params= when tracing a bare function")
+        params = model.parameters()
+    params = list(params)
+    if isinstance(model, Module):
+        for m in model.modules():
+            if isinstance(m, Dropout) and m.p > 0 and m.training:
+                raise TraceError(
+                    "cannot trace-compile a training step through active Dropout "
+                    "(its random mask would freeze into the plan); eval() the "
+                    "module or use the eager path"
+                )
+    if target not in inputs:
+        raise TraceError(f"training inputs must include the loss target {target!r}")
+    if _active.tracer is not None:
+        raise TraceError("nested tracing is not supported")
+    forward = getattr(model, "_forward_core", model)
+    # The loss must consume the target array *by identity* for replay to
+    # rebind it, but losses coerce to float64 (copying anything else) — so
+    # normalize here, exactly as the loss will see it.
+    inputs = dict(inputs)
+    inputs[target] = np.ascontiguousarray(inputs[target], dtype=np.float64)
+    tracer = _Tracer(inputs, {id(p): p for p in params})
+    _active.tracer = tracer
+    _tensor_mod._trace.hook = tracer.record
+    try:
+        with no_grad():
+            pred = forward(inputs)
+            if not isinstance(pred, Tensor):
+                raise TraceError(
+                    f"traced forward must return a Tensor, got {type(pred).__name__}"
+                )
+            loss = loss_fn(pred, inputs[target])
+    finally:
+        _active.tracer = None
+        _tensor_mod._trace.hook = None
+    if not isinstance(loss, Tensor):
+        raise TraceError(f"loss function must return a Tensor, got {type(loss).__name__}")
+    loss_slot = tracer._tensor_slots.get(id(loss))
+    if loss_slot is None:
+        raise TraceError("loss was not produced by tensor primitives")
+    # A plan that never reads the target would silently train every replayed
+    # batch against the trace batch's targets (frozen as constants) — e.g. a
+    # loss that reshapes/copies the target before use, breaking identity.
+    target_slot = tracer.input_slots[target]
+    target_used = any(target_slot in st.ins for st in tracer.steps) or any(
+        target_slot in deps for _, _, deps in tracer.derived_slots
+    )
+    if not target_used:
+        raise TraceError(
+            f"the traced loss never consumed the {target!r} input by identity "
+            "(it was copied/reshaped before use, so replays would freeze the "
+            "trace batch's targets); pass the target through to the loss "
+            "unmodified, or register its derived arrays via register_derived"
+        )
+    _merge_shared_lhs_matmuls(tracer)
+    grads_by_slot = _append_backward(tracer, loss_slot)
+    slot_of_param = {id(p): slot for slot, p in tracer.param_slots}
+    grad_slots = [grads_by_slot.get(slot_of_param.get(id(p))) for p in params]
+    if not any(s is not None for s in grad_slots):
+        raise TraceError("loss is independent of every parameter; nothing to train")
+    extra = tuple(s for s in grad_slots if s is not None)
+    output_buffers: dict[int, np.ndarray] = {}
+    if grad_buffers is not None:
+        if len(grad_buffers) != len(params):
+            raise TraceError("grad_buffers must align with params")
+        # Bind each gradient's producing step to the caller's array so
+        # replay lands gradients with no copy-out (view-op producers keep
+        # the copy path; the replay identity check sorts it out per slot).
+        producer_op = {st.out: st.op for st in tracer.steps}
+        for p, slot, dst in zip(params, grad_slots, grad_buffers):
+            if slot is None or dst is None or producer_op.get(slot) in _VIEW_OPS:
+                continue
+            if tuple(np.shape(dst)) != tuple(p.data.shape):
+                raise TraceError(
+                    f"grad buffer shape {np.shape(dst)} != parameter shape {p.data.shape}"
+                )
+            output_buffers[slot] = dst
+    plan = CompiledPlan(tracer, loss_slot, extra_outputs=extra, output_buffers=output_buffers)
+    return TrainingPlan(plan, params, grad_slots)

@@ -13,6 +13,7 @@
   (pairwise hinge loss, per-device target standardization).
 """
 from repro.predictors.space_tensors import SpaceTensors
+from repro.predictors.compiled import CompiledInference, CompiledTraining
 from repro.predictors.gnn import DGFLayer, GATLayer, GNNStack
 from repro.predictors.nasflat import NASFLATPredictor, NASFLATConfig
 from repro.predictors.tagates import TAGATESPredictor, TAGATESConfig
@@ -33,6 +34,8 @@ from repro.predictors.training import (
 
 __all__ = [
     "SpaceTensors",
+    "CompiledInference",
+    "CompiledTraining",
     "DGFLayer",
     "GATLayer",
     "GNNStack",

@@ -23,12 +23,20 @@ in the batch-size range while serving arbitrary batch lengths.
 Plans read parameters live (see :class:`~repro.nnlib.trace.CompiledPlan`),
 so fine-tuning after compilation is honored; they are memoized per
 predictor instance and die with it — a freshly adapted clone starts clean.
+
+**Training** gets the same treatment via :class:`CompiledTraining`: one
+traced forward+backward per *exact* batch size (ranking losses couple the
+rows of a batch — a padded row would enter every pairwise comparison — so
+inference's padded power-of-two buckets are unsound here), replayed with
+gradients written straight into a fused optimizer's flat buffer.
 """
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nnlib.trace import CompiledPlan, trace
+from repro.nnlib.losses import make_loss
+from repro.nnlib.optim import FusedOptimizer
+from repro.nnlib.trace import CompiledPlan, TrainingPlan, trace, trace_training_step
 
 
 _MIN_CHUNK = 8  # below this, padding one small plan beats extra replays
@@ -102,6 +110,27 @@ class CompiledInference:
         """Drop memoized plans (needed only after *structural* changes)."""
         self.__dict__.pop("_plans", None)
 
+    def compile_training(self, loss: str = "hinge", margin: float = 0.1) -> "CompiledTraining":
+        """Memoized :class:`CompiledTraining` engine for this predictor.
+
+        One engine per ``(loss, margin)`` signature; each engine caches one
+        joint forward+backward plan per exact batch size.  Plans read
+        parameter values live, so the same engine serves a whole fine-tune
+        or pretraining run; parameter *shape* changes (``add_device``) are
+        detected per step and the affected plan is re-traced.
+        """
+        trainers = self.__dict__.setdefault("_trainers", {})
+        key = (loss, float(margin))
+        trainer = trainers.get(key)
+        if trainer is None:
+            trainer = trainers[key] = CompiledTraining(self, loss, margin)
+        return trainer
+
+    def clear_training_plans(self) -> None:
+        """Drop memoized training engines (hygiene after structural edits;
+        stale plans are also caught per-step by shape checks)."""
+        self.__dict__.pop("_trainers", None)
+
     def _replay_batch(self, raw_args: tuple) -> np.ndarray:
         """Score an ``n``-row batch through its power-of-two plan chunks."""
         n = len(raw_args[0])
@@ -123,3 +152,102 @@ class CompiledInference:
             outs.append(plan.replay(self._plan_inputs(*chunk))[:take])
             start += take
         return outs[0] if len(outs) == 1 else np.concatenate(outs)
+
+
+class CompiledTraining:
+    """Replayable forward+backward training steps for one predictor.
+
+    Wraps :func:`~repro.nnlib.trace.trace_training_step` with a per-exact-
+    batch-size plan cache (training losses couple batch rows, so padding to
+    buckets would change the loss; the sizes seen in a training run are few:
+    the configured batch size, the tail remainder, and the full-batch
+    fine-tune size).  A training step is then::
+
+        loss = trainer.step(opt, adj, ops, device_idx, supp, target)
+
+    — one plan replay writing gradients straight into the fused optimizer's
+    flat buffer, plus one vectorized optimizer update.  Plans are traced on
+    the first real batch of each size (in particular the hinge mask derives
+    from live targets; see ``losses.pairwise_hinge_loss``) and re-traced
+    automatically if a parameter's shape changed (``add_device``).
+    """
+
+    def __init__(self, model, loss: str = "hinge", margin: float = 0.1):
+        self.model = model
+        self.loss_name = loss
+        self.margin = float(margin)
+        self._loss_fn = make_loss(loss, margin)
+        self.params = model.parameters()
+        self._plans: dict[int, TrainingPlan] = {}
+        # ids of the gradient arrays each plan's outputs were bound to (the
+        # plan pins those arrays, so the ids cannot be recycled while the
+        # entry lives).
+        self._plan_bindings: dict[int, tuple | None] = {}
+        self.plan_compiles = 0
+        self.plan_retraces = 0
+
+    @staticmethod
+    def _binding_key(grad_out) -> tuple | None:
+        """Identity key of a bindable gradient-destination list, else None
+        (ephemeral arrays, or entries that are not plain ndarrays)."""
+        if grad_out is None or not all(
+            g is None or isinstance(g, np.ndarray) for g in grad_out
+        ):
+            return None
+        return tuple(None if g is None else id(g) for g in grad_out)
+
+    def _plan_for(self, inputs: dict[str, np.ndarray], n: int, grad_out=None) -> TrainingPlan:
+        plan = self._plans.get(n)
+        key = self._binding_key(grad_out)
+        if plan is not None and plan.stale():
+            self.plan_retraces += 1
+            plan = None
+        elif plan is not None and key is not None and self._plan_bindings.get(n) != key:
+            # Bound to a previous optimizer's buffers (fresh FusedAdam per
+            # fine-tune): re-trace against the live ones rather than paying
+            # a full per-parameter copy on every replay and pinning the dead
+            # optimizer's flat buffer for the plan's lifetime.
+            self.plan_retraces += 1
+            plan = None
+        if plan is None:
+            # Bind the caller's gradient arrays (normally the fused
+            # optimizer's flat-buffer views) as the plan's gradient
+            # destinations: replay then lands every gradient in place.
+            buffers = list(grad_out) if key is not None else None
+            plan = trace_training_step(
+                self.model, self._loss_fn, inputs, params=self.params, grad_buffers=buffers
+            )
+            self._plans[n] = plan
+            self._plan_bindings[n] = key
+            self.plan_compiles += 1
+        return plan
+
+    def loss_and_grads(
+        self,
+        adj: np.ndarray,
+        ops: np.ndarray,
+        device_idx: np.ndarray,
+        supplementary: np.ndarray | None,
+        target: np.ndarray,
+        grad_out,
+    ) -> float:
+        """Replay one step; returns the loss, writes gradients to ``grad_out``
+        (aligned with :attr:`params`, e.g. ``FusedOptimizer.grad_views()``)."""
+        inputs = self.model._plan_inputs(adj, ops, device_idx, supplementary)
+        inputs["target"] = np.ascontiguousarray(target, dtype=np.float64)
+        plan = self._plan_for(inputs, len(target), grad_out)
+        return plan.replay_into(inputs, grad_out)
+
+    def step(
+        self,
+        opt: FusedOptimizer,
+        adj: np.ndarray,
+        ops: np.ndarray,
+        device_idx: np.ndarray,
+        supplementary: np.ndarray | None,
+        target: np.ndarray,
+    ) -> float:
+        """One full compiled training step: replay + fused optimizer update."""
+        loss = self.loss_and_grads(adj, ops, device_idx, supplementary, target, opt.grad_views())
+        opt.step(grads_in_buffer=True)
+        return loss

@@ -122,6 +122,11 @@ class NASFLATPredictor(CompiledInference, Module):
         self.hw_emb.weight.data = np.vstack([table, new_row])
         self.hw_emb.num_embeddings += 1
         self.device_index[name] = idx
+        # Inference plans survive (parameter values are read live and the
+        # gather output shape is row-count independent), but training plans
+        # sized their hw-embedding gradient buffer at trace time — drop them
+        # so the next compiled step re-traces against the grown table.
+        self.clear_training_plans()
         return idx
 
     # --------------------------------------------------------------- forward
@@ -294,12 +299,14 @@ class NASFLATPredictor(CompiledInference, Module):
         config=None,
         supplementary: np.ndarray | None = None,
         sample_indices: dict[str, np.ndarray] | None = None,
+        compiled: bool = False,
     ) -> "NASFLATPredictor":
         """Pretrain on the source-device pool (§3.4).
 
         ``supplementary`` is the *full-table* encoding matrix matching
         ``config.supplementary_dim``; it is retained for :meth:`adapt` and
-        the index form of :meth:`predict`.
+        the index form of :meth:`predict`.  ``compiled=True`` trains through
+        replayed forward+backward plans and a fused optimizer.
         """
         from repro.predictors.training import pretrain_multidevice
 
@@ -315,6 +322,7 @@ class NASFLATPredictor(CompiledInference, Module):
             config=config,
             supplementary=supplementary,
             sample_indices=sample_indices,
+            compiled=compiled,
         )
         return self
 
@@ -326,11 +334,14 @@ class NASFLATPredictor(CompiledInference, Module):
         rng: np.random.Generator | None = None,
         config=None,
         init_from: str | None = "auto",
+        compiled: bool = False,
     ) -> "NASFLATPredictor":
         """Few-shot adaptation to one target device.
 
         ``init_from="auto"`` picks the most-correlated source device for the
         hardware-embedding initialization (§5.2); pass ``None`` to disable.
+        ``compiled=True`` runs the fine-tune epochs as replays of one traced
+        forward+backward plan (the serving cold-start fast path).
         """
         from repro.predictors.training import finetune_on_device
 
@@ -350,6 +361,7 @@ class NASFLATPredictor(CompiledInference, Module):
             rng if rng is not None else self._rng,
             config=config,
             supplementary=self._supplementary,
+            compiled=compiled,
         )
         return self
 

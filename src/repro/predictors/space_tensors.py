@@ -3,18 +3,32 @@
 Predictor training repeatedly assembles minibatches of (adjacency, ops)
 arrays; this helper materializes them once per space so batch assembly is a
 fancy-index away.
+
+``for_space`` memoizes instances in a bounded **identity-keyed** LRU (like
+the GAT mask cache): ``predict_latency``, ``pretrain_multidevice``,
+``finetune_on_device`` and ``PredictorSession`` all resolve tensors through
+it, so a space's full table is materialized once per live instance — not
+once per call, and without two same-named space instances (benchmarks
+re-register fresh ``GenericCellSpace("nb101")`` objects constantly)
+thrashing a shared name-keyed slot.  Entries pin their space object, so an
+``id()`` can never be recycled while its entry is live.
 """
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
 from repro.spaces.base import SearchSpace
 
-_CACHE: dict[str, "SpaceTensors"] = {}
-
 
 class SpaceTensors:
     """Dense per-space tables: ``adj`` (n, N, N) and ``ops`` (n, N)."""
+
+    _CAPACITY = 8
+    _cache: "OrderedDict[int, SpaceTensors]" = OrderedDict()
+    _lock = threading.Lock()
 
     def __init__(self, space: SearchSpace):
         self.space = space
@@ -28,9 +42,23 @@ class SpaceTensors:
 
     @classmethod
     def for_space(cls, space: SearchSpace) -> "SpaceTensors":
-        if space.name not in _CACHE or _CACHE[space.name].space is not space:
-            _CACHE[space.name] = cls(space)
-        return _CACHE[space.name]
+        key = id(space)
+        with cls._lock:
+            entry = cls._cache.get(key)
+            if entry is not None and entry.space is space:
+                cls._cache.move_to_end(key)
+                return entry
+        built = cls(space)  # build outside the lock: tables can be large
+        with cls._lock:
+            # A racing builder may have won; keep the resident entry.
+            entry = cls._cache.get(key)
+            if entry is not None and entry.space is space:
+                cls._cache.move_to_end(key)
+                return entry
+            cls._cache[key] = built
+            while len(cls._cache) > cls._CAPACITY:
+                cls._cache.popitem(last=False)
+            return built
 
     def batch(self, indices) -> tuple[np.ndarray, np.ndarray]:
         idx = np.asarray(indices, dtype=np.int64)

@@ -592,10 +592,13 @@ class PredictorServer:
         snap = self.metrics.snapshot()
         snap["queue_depth"] = self.batcher.queue_depth
         snap["batching"] = {"max_batch": self.batcher.max_batch, "max_wait_ms": self.batcher.max_wait_ms}
-        # Whether predictions replay compiled plans (None: the session has
-        # no compiled path).  Plan-cache counters ride along in session.*
-        # (plan_hits / plan_compiles / plan_invalidations).
+        # Whether predictions replay compiled plans and whether device
+        # cold-start fine-tuning runs the compiled training path (None: the
+        # session has no compiled path).  Plan-cache counters and adaptation
+        # wall-clock ride along in session.* (plan_hits / plan_compiles /
+        # plan_invalidations / adapt_seconds / last_adapt_seconds).
         snap["compiled_serving"] = getattr(self.session, "use_compiled", None)
+        snap["compiled_adapt"] = getattr(self.session, "use_compiled_adapt", None)
         stats = getattr(self.session, "stats", None)
         if stats is not None and hasattr(stats, "snapshot"):
             snap["session"] = stats.snapshot()

@@ -173,3 +173,78 @@ class TestBroadcastGradEndToEnd:
         (s * b).sum().backward()
         assert s.grad.shape == ()
         assert b.grad.shape == (2, 3)
+
+
+class TestSubNeg:
+    """sub/neg are true primitives now (one tape node, one traced step) —
+    their gradients must match central differences and broadcast rules."""
+
+    def test_sub_broadcast_gradcheck(self):
+        x = RNG.normal(size=(3, 4))
+        bias = Tensor(RNG.normal(size=(4,)))
+        w = Tensor(RNG.normal(size=(3, 4)))
+        check(lambda t: (t - bias) * w, x)
+
+    def test_sub_right_operand_gradcheck(self):
+        rhs = RNG.normal(size=(4,))
+        batch = Tensor(RNG.normal(size=(3, 4)))
+        w = Tensor(RNG.normal(size=(3, 4)))
+        check(lambda t: (batch - t) * w, rhs)
+
+    def test_rsub_and_neg_gradcheck(self):
+        x = RNG.normal(size=(2, 3))
+        w = Tensor(RNG.normal(size=(2, 3)))
+        check(lambda t: (1.5 - t) * w + (-t), x)
+
+    def test_matches_add_neg_composition_bitwise(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        (a - b).sum().backward()
+        ga, gb = a.grad.copy(), b.grad.copy()
+        a.zero_grad(); b.zero_grad()
+        (a + b * -1.0).sum().backward()
+        np.testing.assert_array_equal(ga, a.grad)
+        np.testing.assert_array_equal(gb, b.grad)
+
+
+class TestLossGradchecks:
+    """Finite-difference checks for the training losses the compiled
+    backward traces through (ISSUE 5 satellite)."""
+
+    def _fd_loss_grad(self, loss_fn, pred: np.ndarray) -> np.ndarray:
+        return numeric_grad(lambda arr: loss_fn(Tensor(arr)).item(), pred.copy())
+
+    def test_mse_loss(self):
+        pred = RNG.normal(size=6)
+        target = RNG.normal(size=6)
+        t = Tensor(pred.copy(), requires_grad=True)
+        from repro.nnlib import mse_loss
+
+        mse_loss(t, target).backward()
+        num = self._fd_loss_grad(lambda p: mse_loss(p, target), pred)
+        np.testing.assert_allclose(t.grad, num, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("margin", [0.05, 0.1, 0.5])
+    def test_pairwise_hinge_loss(self, margin):
+        from repro.nnlib import pairwise_hinge_loss
+
+        # Spread predictions so no pairwise difference sits within FD reach
+        # of the hinge kink at (pred_i - pred_j) == margin.
+        pred = np.array([0.9, -0.4, 0.31, -1.2, 0.02])
+        target = np.array([2.0, 0.5, 1.5, 0.1, 1.0])
+        t = Tensor(pred.copy(), requires_grad=True)
+        pairwise_hinge_loss(t, target, margin=margin).backward()
+        num = self._fd_loss_grad(lambda p: pairwise_hinge_loss(p, target, margin=margin), pred)
+        np.testing.assert_allclose(t.grad, num, rtol=RTOL, atol=ATOL)
+
+    def test_pairwise_hinge_degenerate_batches(self):
+        from repro.nnlib import pairwise_hinge_loss
+
+        single = Tensor(np.array([1.0]), requires_grad=True)
+        loss = pairwise_hinge_loss(single, np.array([3.0]))
+        assert loss.item() == 0.0
+        loss.backward()
+        np.testing.assert_array_equal(single.grad, [0.0])
+        tied = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = pairwise_hinge_loss(tied, np.array([5.0, 5.0]))
+        assert loss.item() == 0.0

@@ -1,0 +1,481 @@
+"""Compiled training steps: symbolic backward, TrainingPlan replay,
+derived loss inputs, fused-optimizer integration, staleness (ISSUE 5)."""
+import numpy as np
+import pytest
+
+from repro.nnlib import (
+    MLP,
+    Adam,
+    FusedAdam,
+    FusedSGD,
+    LayerNorm,
+    Linear,
+    SGD,
+    Tensor,
+    TraceError,
+    concat,
+    mse_loss,
+    pairwise_hinge_loss,
+    stack,
+    trace,
+    trace_training_step,
+    tracing,
+)
+from repro.nnlib.losses import make_loss
+from repro.nnlib.modules import Dropout, Module, Parameter
+
+
+def eager_grads(fn, loss_fn, inputs, params, target="target"):
+    for p in params:
+        p.zero_grad()
+    loss = loss_fn(fn(inputs), inputs[target])
+    loss.backward()
+    return loss.item(), [np.zeros_like(p.data) if p.grad is None else p.grad.copy() for p in params]
+
+
+def assert_training_equivalence(fn, loss_fn, inputs, params, atol=1e-12):
+    el, eg = eager_grads(fn, loss_fn, inputs, params)
+    plan = trace_training_step(fn, loss_fn, inputs, params=params)
+    cl, cg = plan.replay(inputs)
+    np.testing.assert_allclose(cl, el, atol=atol, rtol=0)
+    for a, b in zip(eg, cg):
+        np.testing.assert_allclose(b, a, atol=atol, rtol=0)
+    return plan
+
+
+class TestMLPTraining:
+    def test_hinge_grads_match_eager(self):
+        rng = np.random.default_rng(0)
+        m = MLP(6, [8, 8], 1, rng)
+        inputs = {"x": rng.normal(size=(5, 6)), "target": rng.normal(size=5)}
+        assert_training_equivalence(
+            lambda i: m(Tensor(i["x"])).reshape(5),
+            make_loss("hinge", 0.1),
+            inputs,
+            m.parameters(),
+        )
+
+    def test_mse_grads_match_eager(self):
+        rng = np.random.default_rng(1)
+        m = MLP(4, [6], 1, rng)
+        inputs = {"x": rng.normal(size=(3, 4)), "target": rng.normal(size=3)}
+        assert_training_equivalence(
+            lambda i: m(Tensor(i["x"])).reshape(3),
+            make_loss("mse"),
+            inputs,
+            m.parameters(),
+        )
+
+    def test_plan_generalizes_to_fresh_batches(self):
+        """One plan, many batches: fresh inputs AND fresh targets (the hinge
+        mask must re-derive from the live targets, not the traced batch)."""
+        rng = np.random.default_rng(2)
+        m = MLP(6, [8], 1, rng)
+        fn = lambda i: m(Tensor(i["x"])).reshape(5)
+        loss_fn = make_loss("hinge", 0.1)
+        inputs = {"x": rng.normal(size=(5, 6)), "target": rng.normal(size=5)}
+        plan = trace_training_step(fn, loss_fn, inputs, params=m.parameters())
+        for _ in range(3):
+            fresh = {"x": rng.normal(size=(5, 6)), "target": rng.normal(size=5)}
+            el, eg = eager_grads(fn, loss_fn, fresh, m.parameters())
+            cl, cg = plan.replay(fresh)
+            np.testing.assert_allclose(cl, el, atol=0, rtol=0)
+            for a, b in zip(eg, cg):
+                np.testing.assert_allclose(b, a, atol=1e-14, rtol=0)
+
+    def test_hinge_all_tied_targets_is_zero_loss(self):
+        """A replayed batch with no ranked pairs must produce loss 0 and
+        zero gradients (the derived pair count guards the division)."""
+        rng = np.random.default_rng(3)
+        m = MLP(4, [6], 1, rng)
+        fn = lambda i: m(Tensor(i["x"])).reshape(4)
+        inputs = {"x": rng.normal(size=(4, 4)), "target": rng.normal(size=4)}
+        plan = trace_training_step(fn, make_loss("hinge", 0.1), inputs, params=m.parameters())
+        tied = {"x": rng.normal(size=(4, 4)), "target": np.zeros(4)}
+        loss, grads = plan.replay(tied)
+        assert loss == 0.0
+        for g in grads:
+            np.testing.assert_array_equal(g, np.zeros_like(g))
+
+
+class TestPrimitiveCoverage:
+    """VJP rules across the op vocabulary the predictors use."""
+
+    def test_layernorm_and_broadcast_chain(self):
+        rng = np.random.default_rng(4)
+        norm = LayerNorm(6)
+        lin = Linear(6, 6, rng)
+
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.norm, self.lin = norm, lin
+
+        m = M()
+        inputs = {"x": rng.normal(size=(3, 4, 6)), "target": rng.normal(size=(3, 4, 6))}
+        assert_training_equivalence(
+            lambda i: norm(lin(Tensor(i["x"]))),
+            lambda pred, t: mse_loss(pred, t),
+            inputs,
+            m.parameters(),
+        )
+
+    def test_softmax_gather_concat_stack_transpose(self):
+        rng = np.random.default_rng(5)
+        table = Parameter(rng.normal(size=(7, 4)), name="table")
+        w = Parameter(rng.normal(size=(8, 5)), name="w")
+        idx = np.array([[0, 3, 6], [1, 1, 5]])
+
+        def fn(i):
+            rows = table.gather_rows(i["idx"])  # (2, 3, 4)
+            both = concat([rows, rows.transpose(0, 1, 2)], axis=-1)  # (2, 3, 8)
+            attn = (both @ w).softmax(axis=-1)  # (2, 3, 5)
+            piled = stack([attn, attn * 2.0], axis=0)  # (2, 2, 3, 5)
+            return piled.reshape(-1)
+
+        inputs = {"idx": idx, "target": rng.normal(size=60)}
+        assert_training_equivalence(fn, make_loss("mse"), inputs, [table, w])
+
+    def test_unary_chain(self):
+        rng = np.random.default_rng(6)
+        p = Parameter(rng.normal(size=(4, 5)), name="p")
+
+        def fn(i):
+            t = Tensor(i["x"]) * p
+            return (
+                t.tanh() + t.sigmoid() + t.exp() * 0.01 + (t * t + 1.0).log()
+                + t.abs() + t.leaky_relu(0.2) + t.clip_min(-0.5) - t.relu()
+            ).sum(axis=-1)
+
+        inputs = {"x": rng.normal(size=(4, 5)), "target": rng.normal(size=4)}
+        assert_training_equivalence(fn, make_loss("mse"), inputs, [p])
+
+    def test_max_and_getitem(self):
+        rng = np.random.default_rng(7)
+        p = Parameter(rng.normal(size=(3, 4, 5)), name="p")
+
+        def fn(i):
+            t = Tensor(i["x"]) * p
+            return t.max(axis=1)[:, -1] + t[:, 0, :].sum(axis=-1)
+
+        inputs = {"x": rng.normal(size=(3, 4, 5)), "target": rng.normal(size=3)}
+        assert_training_equivalence(fn, make_loss("mse"), inputs, [p])
+
+    def test_div_and_pow_vjps(self):
+        rng = np.random.default_rng(8)
+        a = Parameter(rng.normal(size=(3, 4)) + 3.0, name="a")
+        b = Parameter(rng.normal(size=(4,)) + 3.0, name="b")
+
+        def fn(i):
+            return ((Tensor(i["x"]) / a) ** 2 / b).sum(axis=-1) ** 0.5
+
+        inputs = {"x": rng.normal(size=(3, 4)), "target": rng.normal(size=3)}
+        assert_training_equivalence(fn, make_loss("mse"), inputs, [a, b])
+
+    def test_matmul_shapes(self):
+        """2-D @ 2-D, batched 3-D @ 2-D (GEMM-accumulate collapse) and
+        3-D @ 3-D all mirror the eager matmul backward."""
+        rng = np.random.default_rng(9)
+        w2 = Parameter(rng.normal(size=(5, 4)), name="w2")
+        w3 = Parameter(rng.normal(size=(4, 4)), name="w3")
+
+        def fn(i):
+            x = Tensor(i["x"])  # (2, 3, 5)
+            h = x @ w2  # 3D @ 2D
+            s = h @ h.transpose(0, 2, 1)  # 3D @ 3D
+            flat = (s @ h).reshape(6, 4) @ w3  # 2D @ 2D after reshape
+            return flat.sum(axis=-1)
+
+        inputs = {"x": rng.normal(size=(2, 3, 5)), "target": rng.normal(size=6)}
+        assert_training_equivalence(fn, make_loss("mse"), inputs, [w2, w3], atol=1e-9)
+
+
+class TestTrainingPlanContracts:
+    def test_parameters_read_live_across_replays(self):
+        rng = np.random.default_rng(10)
+        m = MLP(4, [6], 1, rng)
+        fn = lambda i: m(Tensor(i["x"])).reshape(3)
+        inputs = {"x": rng.normal(size=(3, 4)), "target": rng.normal(size=3)}
+        plan = trace_training_step(fn, make_loss("mse"), inputs, params=m.parameters())
+        plan.replay(inputs)
+        for p in m.parameters():
+            p.data = p.data * 0.5  # optimizer-style reassignment
+        el, eg = eager_grads(fn, make_loss("mse"), inputs, m.parameters())
+        cl, cg = plan.replay(inputs)
+        np.testing.assert_allclose(cl, el, rtol=0, atol=0)
+        for a, b in zip(eg, cg):
+            np.testing.assert_allclose(b, a, atol=1e-14, rtol=0)
+
+    def test_stale_after_param_shape_change(self):
+        rng = np.random.default_rng(11)
+        m = MLP(4, [6], 1, rng)
+        fn = lambda i: m(Tensor(i["x"])).reshape(3)
+        inputs = {"x": rng.normal(size=(3, 4)), "target": rng.normal(size=3)}
+        plan = trace_training_step(fn, make_loss("mse"), inputs, params=m.parameters())
+        assert not plan.stale()
+        p0 = m.parameters()[0]
+        p0.data = np.vstack([p0.data, np.zeros((1,) + p0.data.shape[1:])])
+        assert plan.stale()
+        with pytest.raises(TraceError, match="stale"):
+            plan.replay(inputs)
+
+    def test_grads_write_into_provided_buffers(self):
+        rng = np.random.default_rng(12)
+        m = MLP(4, [6], 1, rng)
+        fn = lambda i: m(Tensor(i["x"])).reshape(3)
+        inputs = {"x": rng.normal(size=(3, 4)), "target": rng.normal(size=3)}
+        plan = trace_training_step(fn, make_loss("mse"), inputs, params=m.parameters())
+        outs = [np.full(p.data.shape, np.nan) for p in m.parameters()]
+        plan.replay_into(inputs, outs)
+        _, eg = eager_grads(fn, make_loss("mse"), inputs, m.parameters())
+        for a, b in zip(eg, outs):
+            np.testing.assert_allclose(b, a, atol=1e-14, rtol=0)
+
+    def test_untouched_parameter_gets_zero_grad(self):
+        rng = np.random.default_rng(13)
+        used = Parameter(rng.normal(size=(3,)), name="used")
+        unused = Parameter(rng.normal(size=(2,)), name="unused")
+        fn = lambda i: Tensor(i["x"]) * used
+        inputs = {"x": rng.normal(size=(3,)), "target": rng.normal(size=3)}
+        plan = trace_training_step(fn, make_loss("mse"), inputs, params=[used, unused])
+        _, grads = plan.replay(inputs)
+        assert grads[0].shape == (3,)
+        np.testing.assert_array_equal(grads[1], np.zeros(2))
+
+    def test_active_dropout_rejected(self):
+        rng = np.random.default_rng(14)
+
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(4, 4, rng)
+                self.drop = Dropout(0.5, rng)
+
+            def _forward_core(self, inp):
+                return self.drop(self.lin(Tensor(inp["x"]))).reshape(-1)
+
+        m = M()
+        inputs = {"x": np.ones((2, 4)), "target": np.zeros(8)}
+        with pytest.raises(TraceError, match="Dropout"):
+            trace_training_step(m, make_loss("mse"), inputs)
+        m.eval()
+        trace_training_step(m, make_loss("mse"), inputs)  # eval mode traces fine
+
+    def test_loss_independent_of_params_rejected(self):
+        p = Parameter(np.ones(3), name="p")
+        fn = lambda i: Tensor(i["x"]) * 1.0
+        with pytest.raises(TraceError, match="independent"):
+            trace_training_step(fn, make_loss("mse"), {"x": np.ones(3), "target": np.zeros(3)}, params=[p])
+
+    def test_missing_target_rejected(self):
+        p = Parameter(np.ones(3), name="p")
+        with pytest.raises(TraceError, match="target"):
+            trace_training_step(lambda i: Tensor(i["x"]) * p, make_loss("mse"), {"x": np.ones(3)}, params=[p])
+
+    def test_non_float64_target_is_normalized_not_frozen(self):
+        """A float32 target would be copied by the loss's dtype coercion,
+        breaking identity binding — the trace must normalize it up front so
+        replays with fresh targets still re-rank (regression test)."""
+        rng = np.random.default_rng(16)
+        m = MLP(4, [6], 1, rng)
+        fn = lambda i: m(Tensor(i["x"])).reshape(5)
+        loss_fn = make_loss("hinge", 0.1)
+        inputs = {"x": rng.normal(size=(5, 4)), "target": rng.normal(size=5).astype(np.float32)}
+        plan = trace_training_step(fn, loss_fn, inputs, params=m.parameters())
+        fresh = {"x": inputs["x"], "target": np.ascontiguousarray(inputs["target"][::-1], dtype=np.float64)}
+        el, eg = eager_grads(fn, loss_fn, fresh, m.parameters())
+        cl, cg = plan.replay(fresh)
+        np.testing.assert_allclose(cl, el, atol=0, rtol=0)
+        for a, b in zip(eg, cg):
+            np.testing.assert_allclose(b, a, atol=1e-14, rtol=0)
+
+    def test_target_frozen_as_constant_rejected(self):
+        """A loss that copies the target before use (losing identity) must
+        be rejected instead of silently baking the trace batch's targets
+        into every replay."""
+        p = Parameter(np.ones(3), name="p")
+
+        def copying_loss(pred, target):
+            return mse_loss(pred, np.array(target, copy=True))
+
+        with pytest.raises(TraceError, match="never consumed"):
+            trace_training_step(
+                lambda i: Tensor(i["x"]) * p,
+                copying_loss,
+                {"x": np.ones(3), "target": np.zeros(3)},
+                params=[p],
+            )
+
+    def test_hook_cleanup_after_trace(self):
+        rng = np.random.default_rng(15)
+        m = MLP(4, [6], 1, rng)
+        inputs = {"x": rng.normal(size=(3, 4)), "target": rng.normal(size=3)}
+        trace_training_step(lambda i: m(Tensor(i["x"])).reshape(3), make_loss("mse"), inputs, params=m.parameters())
+        assert not tracing()
+        out = (Tensor(np.ones(3), requires_grad=True) * 2).sum()
+        out.backward()  # eager autodiff still works
+
+
+class TestFusedOptimizers:
+    def _grads(self, params, rng):
+        for p in params:
+            p.grad = rng.normal(size=p.data.shape)
+
+    def test_fused_adam_matches_adam_bitwise(self):
+        rng = np.random.default_rng(20)
+        shapes = [(5, 3), (3,), (4, 4), ()]
+        p1 = [Parameter(rng.normal(size=s)) for s in shapes]
+        p2 = [Parameter(q.data.copy()) for q in p1]
+        o1 = Adam(p1, lr=1e-2, weight_decay=1e-4)
+        o2 = FusedAdam(p2, lr=1e-2, weight_decay=1e-4)
+        for step in range(7):
+            grng = np.random.default_rng(100 + step)
+            self._grads(p1, grng)
+            grng = np.random.default_rng(100 + step)
+            self._grads(p2, grng)
+            o1.step()
+            o2.step()
+            for a, b in zip(p1, p2):
+                np.testing.assert_array_equal(a.data, b.data)
+
+    def test_fused_sgd_matches_sgd_bitwise(self):
+        rng = np.random.default_rng(21)
+        p1 = [Parameter(rng.normal(size=(4, 3))), Parameter(rng.normal(size=(3,)))]
+        p2 = [Parameter(q.data.copy()) for q in p1]
+        o1 = SGD(p1, lr=0.05, momentum=0.9, weight_decay=1e-3)
+        o2 = FusedSGD(p2, lr=0.05, momentum=0.9, weight_decay=1e-3)
+        for step in range(5):
+            grng = np.random.default_rng(200 + step)
+            self._grads(p1, grng)
+            grng = np.random.default_rng(200 + step)
+            self._grads(p2, grng)
+            o1.step()
+            o2.step()
+            for a, b in zip(p1, p2):
+                np.testing.assert_array_equal(a.data, b.data)
+
+    def test_param_data_is_view_into_flat_buffer(self):
+        p = [Parameter(np.ones((3, 2))), Parameter(np.zeros(4))]
+        opt = FusedAdam(p, lr=1e-3)
+        assert all(q.data.base is opt._flat for q in p)
+        np.testing.assert_array_equal(p[0].data, np.ones((3, 2)))  # values preserved
+
+    def test_grad_views_roundtrip_with_training_plan(self):
+        rng = np.random.default_rng(22)
+        m = MLP(4, [6], 1, rng)
+        fn = lambda i: m(Tensor(i["x"])).reshape(3)
+        inputs = {"x": rng.normal(size=(3, 4)), "target": rng.normal(size=3)}
+        plan = trace_training_step(fn, make_loss("mse"), inputs, params=m.parameters())
+        opt = FusedAdam(m.parameters(), lr=1e-3)
+        _, eg = eager_grads(fn, make_loss("mse"), inputs, m.parameters())
+        gv = opt.grad_views()
+        plan.replay_into(inputs, gv)
+        for a, b in zip(eg, gv):
+            np.testing.assert_allclose(b, a, atol=1e-14, rtol=0)
+        opt.step(grads_in_buffer=True)  # consumes the buffer without error
+
+    def test_self_heals_external_data_reassignment(self):
+        """load_state_dict-style replacement is re-absorbed into the flat
+        buffer on the next step."""
+        p = [Parameter(np.ones((2, 2))), Parameter(np.ones(3))]
+        opt = FusedSGD(p, lr=0.1)
+        p[0].data = np.full((2, 2), 5.0)  # external reassignment
+        for q in p:
+            q.grad = np.ones_like(q.data)
+        opt.step()
+        assert p[0].data.base is opt._flat
+        np.testing.assert_allclose(p[0].data, 5.0 - 0.1)
+
+    def test_rebuild_after_shape_change_preserves_moments(self):
+        """add_device-style growth re-flattens; unchanged params keep their
+        Adam moments (trajectories continue exactly)."""
+        rng = np.random.default_rng(23)
+        p = [Parameter(rng.normal(size=(2, 3))), Parameter(rng.normal(size=(4,)))]
+        ref = [Parameter(q.data.copy()) for q in p]
+        opt = FusedAdam(p, lr=1e-2)
+        opt_ref = Adam(ref, lr=1e-2)
+        g0 = [rng.normal(size=(2, 3)), rng.normal(size=(4,))]
+        for q, r, g in zip(p, ref, g0):
+            q.grad = g.copy()
+            r.grad = g.copy()
+        opt.step()
+        opt_ref.step()
+        # Grow the second parameter (like add_device growing hw_emb).
+        grown = np.concatenate([p[1].data, np.zeros(1)])
+        p[1].data = grown
+        g1 = rng.normal(size=(2, 3))
+        p[0].grad = g1.copy()
+        p[1].grad = np.zeros(5)
+        opt.step()
+        # The unchanged param's second step must match a reference Adam that
+        # kept its moments (the rebuild preserved m/v for matching shapes).
+        ref[0].grad = g1.copy()
+        ref[1].grad = None
+        opt_ref.step()
+        np.testing.assert_array_equal(p[0].data, ref[0].data)
+        assert p[1].data.shape == (5,)
+
+    def test_reset_state_and_set_lr(self):
+        p = [Parameter(np.ones(3))]
+        opt = FusedAdam(p, lr=0.1)
+        p[0].grad = np.ones(3)
+        opt.step()
+        assert opt._t == 1
+        opt.reset_state()
+        assert opt._t == 0 and np.all(opt._m == 0) and np.all(opt._v == 0)
+        opt.set_lr(0.5)
+        assert opt.lr == 0.5
+        sgd = FusedSGD([Parameter(np.ones(2))], lr=0.1, momentum=0.9)
+        sgd.params[0].grad = np.ones(2)
+        sgd.step()
+        sgd.reset_state()
+        assert np.all(sgd._velocity == 0)
+
+    def test_sgd_reset_state_eager(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.ones(2)
+        opt.step()
+        assert np.any(opt._velocity[0] != 0)
+        opt.reset_state()
+        assert np.all(opt._velocity[0] == 0)
+
+
+class TestInPlaceMutationSafety:
+    def test_negation_fold_cache_revalidates_after_fused_step(self):
+        """The sigmoid-fold's negated-weight cache is identity-keyed; fused
+        optimizers mutate weights in place, so the cache must revalidate via
+        the param-mutation epoch or serve stale negations."""
+        rng = np.random.default_rng(30)
+        w = Parameter(rng.normal(size=(5, 4)), name="w")
+
+        def fn(i):
+            return (Tensor(i["x"]) @ w).sigmoid().sum(axis=-1)  # matmul -> sigmoid fold
+
+        x = rng.normal(size=(2, 3, 5))
+        plan = trace(fn, {"x": x}, params=[w])
+        assert plan.num_folded_gates == 1
+        np.testing.assert_allclose(plan.replay({"x": x}), fn({"x": x}).numpy(), atol=0, rtol=0)
+        opt = FusedSGD([w], lr=0.5)
+        w.grad = np.ones_like(w.data)
+        opt.step()  # in-place update through the flat-buffer view
+        np.testing.assert_allclose(plan.replay({"x": x}), fn({"x": x}).numpy(), atol=0, rtol=0)
+
+    def test_negation_fold_cache_revalidates_after_sync_views_copy(self):
+        """_sync_views re-absorbs an externally reassigned param by copying
+        into the flat view — contents change, identity doesn't — so it must
+        bump the mutation epoch too (load_state_dict-after-compile path)."""
+        rng = np.random.default_rng(31)
+        w = Parameter(rng.normal(size=(5, 4)), name="w")
+
+        def fn(i):
+            return (Tensor(i["x"]) @ w).sigmoid().sum(axis=-1)
+
+        x = rng.normal(size=(2, 3, 5))
+        plan = trace(fn, {"x": x}, params=[w])
+        assert plan.num_folded_gates == 1
+        opt = FusedSGD([w], lr=0.5)
+        plan.replay({"x": x})  # populate the negated-weight cache
+        w.data = rng.normal(size=(5, 4))  # external reassignment (checkpoint load)
+        opt.grad_views()  # triggers _sync_views' in-place re-absorption
+        np.testing.assert_allclose(plan.replay({"x": x}), fn({"x": x}).numpy(), atol=0, rtol=0)

@@ -1,0 +1,174 @@
+"""Compiled training equivalence for the predictors (ISSUE 5).
+
+For every registered space, one compiled NASFLAT training step must produce
+the eager loss and per-parameter gradients within 1e-6 (in practice the
+loss is bitwise except GEMM-collapse reordering and gradients sit at
+~1e-12), including after ``add_device`` grows the hardware-embedding table
+(training plans must re-trace; inference plans survive).  The training
+*loops* with ``compiled=True`` must then track their eager trajectories.
+"""
+import numpy as np
+import pytest
+
+from repro.nnlib import Adam, FusedAdam, pairwise_hinge_loss
+from repro.nnlib.losses import make_loss
+from repro.predictors.nasflat import NASFLATConfig, NASFLATPredictor
+from repro.predictors.space_tensors import SpaceTensors
+from repro.predictors.training import (
+    FinetuneConfig,
+    PretrainConfig,
+    finetune_on_device,
+    pretrain_multidevice,
+)
+from repro.spaces.registry import get_space
+
+ATOL = 1e-6
+SPACES = ["nasbench201", "nasbench101", "fbnet"]
+
+
+def step_pair(model, adj, ops, didx, supp, target, loss="hinge", margin=0.1):
+    """(eager loss+grads, compiled loss+grads) for one batch, no updates."""
+    params = model.parameters()
+    model.zero_grad()
+    loss_t = make_loss(loss, margin)(model(adj, ops, didx, supp), target)
+    loss_t.backward()
+    eager = [np.zeros_like(p.data) if p.grad is None else p.grad.copy() for p in params]
+    trainer = model.compile_training(loss, margin)
+    grads = [np.empty_like(p.data) for p in params]
+    compiled_loss = trainer.loss_and_grads(adj, ops, didx, supp, target, grads)
+    return (loss_t.item(), eager), (compiled_loss, grads)
+
+
+def assert_step_equivalence(model, adj, ops, didx, supp, target, **kw):
+    (el, eg), (cl, cg) = step_pair(model, adj, ops, didx, supp, target, **kw)
+    np.testing.assert_allclose(cl, el, atol=ATOL, rtol=0)
+    for name_p, a, b in zip(model.named_parameters(), eg, cg):
+        np.testing.assert_allclose(b, a, atol=ATOL, rtol=0, err_msg=name_p[0])
+
+
+@pytest.mark.parametrize("space_name", SPACES)
+class TestEverySpace:
+    def test_nasflat_step_matches_eager(self, space_name):
+        space = get_space(space_name)
+        rng = np.random.default_rng(31)
+        model = NASFLATPredictor(space, ["pixel3", "pixel2"], rng)
+        tensors = SpaceTensors.for_space(space)
+        idx = rng.choice(space.num_architectures(), size=16, replace=False)
+        adj, ops = tensors.batch(idx)
+        didx = np.full(16, 0)
+        target = rng.normal(size=16)
+        assert_step_equivalence(model, adj, ops, didx, None, target)
+
+    def test_step_matches_after_add_device(self, space_name):
+        """add_device grows hw_emb: the cached training plan is stale and
+        must be re-traced, after which gradients (including the new row's)
+        match eager."""
+        space = get_space(space_name)
+        rng = np.random.default_rng(32)
+        model = NASFLATPredictor(space, ["pixel3"], rng)
+        tensors = SpaceTensors.for_space(space)
+        idx = rng.choice(space.num_architectures(), size=8, replace=False)
+        adj, ops = tensors.batch(idx)
+        target = rng.normal(size=8)
+        assert_step_equivalence(model, adj, ops, np.full(8, 0), None, target)
+        trainer = model.compile_training("hinge", 0.1)
+        compiles_before = trainer.plan_compiles
+        model.add_device("newdev", init_from="pixel3")
+        new_trainer = model.compile_training("hinge", 0.1)
+        assert new_trainer is not trainer  # add_device dropped the engines
+        assert_step_equivalence(model, adj, ops, np.full(8, 1), None, target)
+        assert new_trainer.plan_compiles >= 1
+        assert compiles_before >= 1
+
+
+class TestVariants:
+    def test_supplementary_encoding_step(self, tiny_space):
+        rng = np.random.default_rng(33)
+        cfg = NASFLATConfig(supplementary_dim=5)
+        model = NASFLATPredictor(tiny_space, ["pixel3"], rng, config=cfg)
+        tensors = SpaceTensors.for_space(tiny_space)
+        idx = rng.choice(tiny_space.num_architectures(), size=9, replace=False)
+        adj, ops = tensors.batch(idx)
+        supp = rng.normal(size=(9, 5))
+        assert_step_equivalence(model, adj, ops, np.full(9, 0), supp, rng.normal(size=9))
+
+    def test_no_op_hw_ablation_step(self, tiny_space):
+        rng = np.random.default_rng(34)
+        cfg = NASFLATConfig(use_op_hw=False)
+        model = NASFLATPredictor(tiny_space, ["pixel3", "pixel2"], rng, config=cfg)
+        tensors = SpaceTensors.for_space(tiny_space)
+        idx = rng.choice(tiny_space.num_architectures(), size=7, replace=False)
+        adj, ops = tensors.batch(idx)
+        assert_step_equivalence(model, adj, ops, np.full(7, 1), None, rng.normal(size=7))
+
+    def test_mse_loss_step(self, tiny_space):
+        rng = np.random.default_rng(35)
+        model = NASFLATPredictor(tiny_space, ["pixel3"], rng)
+        tensors = SpaceTensors.for_space(tiny_space)
+        idx = rng.choice(tiny_space.num_architectures(), size=6, replace=False)
+        adj, ops = tensors.batch(idx)
+        assert_step_equivalence(model, adj, ops, np.full(6, 0), None, rng.normal(size=6), loss="mse")
+
+    def test_plans_cached_per_batch_size(self, tiny_space):
+        rng = np.random.default_rng(36)
+        model = NASFLATPredictor(tiny_space, ["pixel3"], rng)
+        tensors = SpaceTensors.for_space(tiny_space)
+        trainer = model.compile_training("hinge", 0.1)
+        opt = FusedAdam(trainer.params, lr=1e-3)
+        for size in (8, 8, 5, 8, 5):
+            idx = rng.choice(tiny_space.num_architectures(), size=size, replace=False)
+            adj, ops = tensors.batch(idx)
+            trainer.step(opt, adj, ops, np.full(size, 0), None, rng.normal(size=size))
+        assert trainer.plan_compiles == 2  # one per distinct batch size
+        assert model.compile_training("hinge", 0.1) is trainer  # memoized
+
+
+class TestTrainingLoops:
+    def _setup(self, tiny_space, seed):
+        from repro.hardware.dataset import LatencyDataset
+
+        rng = np.random.default_rng(seed)
+        return rng, LatencyDataset(tiny_space)
+
+    def test_pretrain_compiled_tracks_eager(self, tiny_space):
+        _, dataset = self._setup(tiny_space, 40)
+        cfg = PretrainConfig(samples_per_device=24, epochs=2, batch_size=8)
+        m_e = NASFLATPredictor(tiny_space, ["pixel3", "pixel2"], np.random.default_rng(1))
+        m_c = NASFLATPredictor(tiny_space, ["pixel3", "pixel2"], np.random.default_rng(1))
+        pretrain_multidevice(m_e, dataset, ["pixel3", "pixel2"], np.random.default_rng(2), cfg)
+        pretrain_multidevice(
+            m_c, dataset, ["pixel3", "pixel2"], np.random.default_rng(2), cfg, compiled=True
+        )
+        for (name, a), b in zip(m_e.named_parameters(), m_c.parameters()):
+            np.testing.assert_allclose(b.data, a.data, atol=ATOL, rtol=0, err_msg=name)
+
+    def test_finetune_compiled_tracks_eager(self, tiny_space):
+        _, dataset = self._setup(tiny_space, 41)
+        cfg = FinetuneConfig(epochs=30)
+        idx = np.arange(10)
+        m_e = NASFLATPredictor(tiny_space, ["pixel3", "fpga"], np.random.default_rng(3))
+        m_c = NASFLATPredictor(tiny_space, ["pixel3", "fpga"], np.random.default_rng(3))
+        finetune_on_device(m_e, dataset, "fpga", idx, np.random.default_rng(4), cfg)
+        finetune_on_device(m_c, dataset, "fpga", idx, np.random.default_rng(4), cfg, compiled=True)
+        for (name, a), b in zip(m_e.named_parameters(), m_c.parameters()):
+            np.testing.assert_allclose(b.data, a.data, atol=ATOL, rtol=0, err_msg=name)
+        # Predictions after the compiled fine-tune match eager's within 1e-6.
+        tensors = SpaceTensors.for_space(tiny_space)
+        adj, ops = tensors.batch(np.arange(20))
+        np.testing.assert_allclose(
+            m_c.predict(adj, ops, "fpga"), m_e.predict(adj, ops, "fpga"), atol=ATOL, rtol=0
+        )
+
+    def test_estimator_protocol_compiled_kwargs(self, tiny_space):
+        """fit()/adapt() forward compiled= through the protocol surface."""
+        _, dataset = self._setup(tiny_space, 42)
+        model = NASFLATPredictor(tiny_space, ["pixel3", "pixel2"], np.random.default_rng(5))
+        model.fit(
+            dataset,
+            ["pixel3", "pixel2"],
+            config=PretrainConfig(samples_per_device=16, epochs=1, batch_size=8),
+            compiled=True,
+        )
+        model.adapt("fpga", np.arange(8), config=FinetuneConfig(epochs=4), compiled=True)
+        scores = model.predict("fpga", np.arange(12))
+        assert scores.shape == (12,) and np.all(np.isfinite(scores))

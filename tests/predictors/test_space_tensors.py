@@ -28,3 +28,33 @@ class TestSpaceTensors:
         tensors = SpaceTensors.for_space(nb201)
         # Every NB201 architecture shares the fixed 8-node skeleton.
         np.testing.assert_array_equal(tensors.adj[0], tensors.adj[12345])
+
+
+class TestIdentityKeyedCache:
+    def _space(self, n=12):
+        from repro.spaces import GenericCellSpace
+
+        return GenericCellSpace("nb101", table_size=n)
+
+    def test_two_same_named_instances_coexist(self):
+        """The cache keys on instance identity, not space name: two live
+        same-named spaces (the benchmark pattern) must not thrash."""
+        a, b = self._space(), self._space()
+        assert a.name == b.name
+        ta1 = SpaceTensors.for_space(a)
+        tb1 = SpaceTensors.for_space(b)
+        assert ta1 is not tb1
+        assert SpaceTensors.for_space(a) is ta1  # still resident: no rebuild
+        assert SpaceTensors.for_space(b) is tb1
+
+    def test_cache_is_bounded_lru(self):
+        spaces = [self._space() for _ in range(SpaceTensors._CAPACITY + 3)]
+        tensors = [SpaceTensors.for_space(s) for s in spaces]
+        # The oldest entries were evicted: resolving them again rebuilds.
+        assert SpaceTensors.for_space(spaces[0]) is not tensors[0]
+        # The most recent are still resident.
+        assert SpaceTensors.for_space(spaces[-1]) is tensors[-1]
+
+    def test_entry_pins_its_space(self):
+        tensors = SpaceTensors.for_space(self._space())  # space has no other ref
+        assert SpaceTensors.for_space(tensors.space) is tensors

@@ -106,7 +106,7 @@ class TestConfigs:
         assert f.epochs == 40 and f.lr == 3e-3
 
     def test_unknown_loss(self, tiny_dataset_module):
-        from repro.predictors.training import _loss_fn
+        from repro.nnlib.losses import make_loss
 
         with pytest.raises(ValueError):
-            _loss_fn("huber", 0.1)
+            make_loss("huber", 0.1)

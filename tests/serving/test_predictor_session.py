@@ -200,6 +200,53 @@ class TestPlanCache:
         assert {"plan_hits", "plan_invalidations"} <= set(snap)
 
 
+class TestCompiledAdapt:
+    def test_adapt_seconds_tracked(self, mini_task, cfg):
+        s = PredictorSession(mini_task, cfg, seed=12).pretrain()
+        assert s.stats.adapt_seconds == 0.0
+        s.predict_batch("fpga", np.arange(4))  # cold adapt
+        after_one = s.stats.adapt_seconds
+        assert after_one > 0.0
+        assert s.stats.last_adapt_seconds == after_one
+        s.predict_batch("fpga", np.arange(4))  # hot: no adaptation time added
+        assert s.stats.adapt_seconds == after_one
+        s.predict_batch("eyeriss", np.arange(4))  # second cold adapt accumulates
+        assert s.stats.adapt_seconds > after_one
+        assert {"adapt_seconds", "last_adapt_seconds"} <= set(s.stats.snapshot())
+
+    def test_compiled_adapt_defaults_follow_use_compiled(self, mini_task, cfg):
+        assert PredictorSession(mini_task, cfg).use_compiled_adapt is True
+        assert PredictorSession(mini_task, cfg, use_compiled=False).use_compiled_adapt is False
+        s = PredictorSession(mini_task, cfg, use_compiled=False, use_compiled_adapt=True)
+        assert s.use_compiled_adapt is True and s.use_compiled is False
+
+    def test_compiled_adapt_matches_eager_adapt(self, mini_task, cfg):
+        """Compiled fine-tuning (traced forward+backward + fused Adam) must
+        serve predictions within 1e-6 of the eager fine-tune on the same
+        checkpoint (measured divergence is ~1e-12)."""
+        compiled = PredictorSession(mini_task, cfg, seed=13).pretrain()
+        eager = PredictorSession.from_pipeline(
+            compiled.pipeline, use_compiled=False, use_compiled_adapt=False
+        )
+        idx = np.arange(24)
+        np.testing.assert_allclose(
+            compiled.predict_batch("raspi4", idx),
+            eager.predict_batch("raspi4", idx),
+            atol=1e-6,
+            rtol=0,
+        )
+
+    def test_eager_adapt_escape_hatch_is_bitwise_deterministic(self, mini_task, cfg):
+        """use_compiled_adapt=False preserves the exact eager trajectory:
+        two such sessions serve bitwise-identical predictions."""
+        a = PredictorSession(mini_task, cfg, seed=14, use_compiled_adapt=False).pretrain()
+        b = PredictorSession.from_pipeline(a.pipeline, use_compiled_adapt=False)
+        idx = np.arange(10)
+        np.testing.assert_array_equal(
+            a.predict_batch("fpga", idx), b.predict_batch("fpga", idx)
+        )
+
+
 class TestThreadSafety:
     N_THREADS = 8
     ROUNDS = 4

@@ -445,6 +445,15 @@ class TestRealSessionOverHTTP:
         assert m["session"]["queries"] >= 1
         assert m["session"]["architectures_scored"] >= 2
 
+    def test_metrics_exposes_compiled_adapt_and_timing(self, server):
+        """The compiled-training rollout is observable: /metrics reports the
+        adapt mode and the cold-start wall-clock counters."""
+        _post(server.url + "/predict", {"device": "fpga", "indices": [1]})
+        _, m = _get(server.url + "/metrics")
+        assert m["compiled_adapt"] in (True, False)
+        assert m["session"]["adapt_seconds"] > 0.0
+        assert m["session"]["last_adapt_seconds"] > 0.0
+
     def test_concurrent_http_clients_get_exact_results(self, server, session):
         expected = {i: session.predict_batch("fpga", [i, i + 1]) for i in range(12)}
         out = {}
