@@ -1,0 +1,96 @@
+"""Plan-warmup benchmark: time-to-first-prediction, cold vs warm.
+
+The zero-cold-start story (ISSUE 6): ``repro compile`` bakes adapted
+checkpoints + compiled plan artifacts into a bundle, and a session started
+with ``warmup_artifacts=`` serves its first request without paying
+adaptation or tracing.  This benchmark measures time-to-first-prediction
+(TTFP) for a fresh session both ways:
+
+- **cold**: ``from_checkpoint`` then ``predict_batch`` — the first request
+  pays device adaptation (finetune epochs) plus plan tracing.
+- **warm**: ``from_checkpoint(warmup_artifacts=...)`` then
+  ``predict_batch`` — construction loads the bundle (measured as part of
+  TTFP, since the server can't answer before it), and the first request
+  replays a pre-compiled plan.
+
+Acceptance: warm TTFP >= 5x faster than cold TTFP, and both paths return
+bitwise-identical predictions (adaptation is deterministic in
+``(seed, device)``).
+"""
+import time
+
+import numpy as np
+
+from bench_util import record_metric
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.serving import PredictorSession
+from repro.serving.artifacts import write_bundle
+from repro.tasks import Task
+from repro.transfer.pipeline import PipelineConfig
+
+ROUNDS = 3
+BATCH = 16
+DEVICES = ["fpga", "eyeriss"]
+
+
+def _make_session() -> PredictorSession:
+    from repro.spaces import GenericCellSpace
+    from repro.spaces.registry import _INSTANCES
+
+    sp = GenericCellSpace("nb101", table_size=400)
+    _INSTANCES[sp.name] = sp
+    task = Task(
+        "T-warmup",
+        sp.name,
+        train_devices=("pixel3", "pixel2"),
+        test_devices=("fpga", "eyeriss"),
+    )
+    cfg = PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        n_transfer_samples=8,
+        pretrain=PretrainConfig(samples_per_device=32, epochs=2, batch_size=16),
+        finetune=FinetuneConfig(epochs=30),
+        n_test=50,
+    )
+    return PredictorSession(task, cfg, seed=0).pretrain()
+
+
+def test_warm_start_beats_cold_start(tmp_path):
+    session = _make_session()
+    task, cfg = session.task, session.pipeline.config
+    ckpt = tmp_path / "ckpt.npz"
+    session.save(ckpt)
+    manifest = write_bundle(session, tmp_path / "plans", DEVICES, [BATCH])
+    assert len(manifest["devices"]) == len(DEVICES)
+    idx = np.arange(BATCH)
+
+    cold_times, warm_times = [], []
+    cold_out = warm_out = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        cold = PredictorSession.from_checkpoint(ckpt, task=task, config=cfg)
+        cold_out = cold.predict_batch(DEVICES[0], idx)
+        cold_times.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        warm = PredictorSession.from_checkpoint(
+            ckpt, task=task, config=cfg, warmup_artifacts=tmp_path / "plans"
+        )
+        warm_out = warm.predict_batch(DEVICES[0], idx)
+        warm_times.append(time.perf_counter() - t0)
+        assert warm.stats.adapt_calls == 0
+        assert warm.stats.plan_compiles == 0
+
+    cold_ttfp = min(cold_times)
+    warm_ttfp = min(warm_times)
+    speedup = cold_ttfp / warm_ttfp
+    print(
+        f"\nTTFP cold: {cold_ttfp * 1e3:.1f}ms   warm: {warm_ttfp * 1e3:.1f}ms   "
+        f"speedup: {speedup:.1f}x"
+    )
+    record_metric("cold_ttfp_ms", cold_ttfp * 1e3, "ms", suite="warmup")
+    record_metric("warm_ttfp_ms", warm_ttfp * 1e3, "ms", suite="warmup")
+    record_metric("warmup_speedup", speedup, "x", suite="warmup")
+    assert np.array_equal(cold_out, warm_out), "warm path must be bitwise-identical"
+    assert speedup >= 5.0, f"warm TTFP only {speedup:.2f}x faster than cold (need >= 5x)"

@@ -6,6 +6,8 @@ Commands
 ``devices``    list simulated devices (optionally per space).
 ``transfer``   pretrain on a task's source pool and adapt to target devices.
 ``predict``    serve batched latency predictions via a PredictorSession.
+``compile``    emit a plan-artifact bundle (adapted checkpoints + compiled
+               plans) for zero-cold-start serving.
 ``serve``      run the HTTP serving layer with dynamic micro-batching.
 ``nas``        run a latency-constrained NAS on an unseen device.
 ``partition``  run Algorithm 1 over a device list.
@@ -102,6 +104,26 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_compile(args) -> int:
+    from repro.serving import PredictorSession
+    from repro.serving.artifacts import write_bundle
+    from repro.transfer.pipeline import quick_config
+
+    cfg = quick_config(n_transfer_samples=args.samples)
+    session = PredictorSession.from_checkpoint(args.checkpoint, task=args.task, config=cfg)
+    print(
+        f"Compiling plans for task {session.task.name}: "
+        f"{len(args.devices)} device(s) x buckets {args.buckets} -> {args.out}",
+        flush=True,
+    )
+    manifest = write_bundle(session, args.out, args.devices, args.buckets)
+    for entry in manifest["devices"]:
+        buckets = [p["bucket"] for p in entry["plans"]]
+        print(f"  {entry['device']:<34} checkpoint + plans for buckets {buckets}")
+    print(f"bundle manifest: {args.out}/manifest.json")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import PredictorSession, PredictorServer
     from repro.transfer.pipeline import quick_config
@@ -115,7 +137,13 @@ def _cmd_serve(args) -> int:
             use_compiled=args.compiled,
             use_compiled_adapt=args.compiled_adapt,
         )
+        if args.plans:
+            loaded = session.load_warmup(args.plans)
+            print(f"Warmup: {loaded} compiled plan(s) loaded from {args.plans}", flush=True)
     else:
+        if args.plans:
+            print("error: --plans requires --checkpoint", file=sys.stderr)
+            return 2
         if not args.task:
             print("error: --task is required without --checkpoint", file=sys.stderr)
             return 2
@@ -230,9 +258,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_predict)
 
+    p = sub.add_parser("compile", help="emit plan artifacts for zero-cold-start serving")
+    p.add_argument("checkpoint", help="pretrained checkpoint (.npz) to compile from")
+    p.add_argument("--task", default=None, help="task name (read from checkpoint metadata if omitted)")
+    p.add_argument("--devices", nargs="+", required=True, help="target devices to adapt and compile")
+    p.add_argument(
+        "--buckets",
+        nargs="+",
+        type=int,
+        default=[32],
+        help="batch sizes to compile plans for (rounded to power-of-two buckets)",
+    )
+    p.add_argument("--out", default="plans", help="output bundle directory")
+    p.add_argument("--samples", type=int, default=20, help="on-device samples for adaptation")
+    p.set_defaults(func=_cmd_compile)
+
     p = sub.add_parser("serve", help="HTTP serving layer with dynamic micro-batching")
     p.add_argument("--task", default=None, help="task name (read from checkpoint metadata if omitted)")
     p.add_argument("--checkpoint", default=None, help="pretrained checkpoint (.npz) to serve from")
+    p.add_argument(
+        "--plans",
+        default=None,
+        help="plan-artifact bundle from 'repro compile': pre-load adapted "
+        "predictors and compiled plans (zero first-request compile stall)",
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8100, help="bind port (0 picks a free one)")
     p.add_argument("--max-batch", type=int, default=64, help="architectures coalesced per forward")

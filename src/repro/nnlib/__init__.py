@@ -14,6 +14,15 @@ The engine is intentionally small but exact: every op's gradient is verified
 against central finite differences in ``tests/nnlib/test_gradcheck.py``.
 """
 from repro.nnlib.tensor import Tensor, concat, stack, is_grad_enabled, no_grad
+from repro.nnlib.ir import (
+    PLAN_FORMAT_VERSION,
+    PlanIR,
+    PlanIRError,
+    load_plan,
+    read_plan_metadata,
+    register_derived_fn,
+    save_plan,
+)
 from repro.nnlib.trace import (
     CompiledPlan,
     TraceError,
@@ -59,8 +68,15 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "CompiledPlan",
+    "PLAN_FORMAT_VERSION",
+    "PlanIR",
+    "PlanIRError",
     "TraceError",
     "TrainingPlan",
+    "load_plan",
+    "read_plan_metadata",
+    "register_derived_fn",
+    "save_plan",
     "notify_param_mutation",
     "register_derived",
     "trace",

@@ -1,0 +1,628 @@
+"""Declarative intermediate representation for compiled plans.
+
+:mod:`repro.nnlib.trace` captures a forward (or forward+backward) pass as a
+flat program; this module gives that program a **data** form that can leave
+the process.  A :class:`PlanIR` holds:
+
+* an **op table** — :class:`Step` records (opcode, output slot, input slots,
+  aux attributes as plain values) in execution order;
+* a **buffer table** — per-slot shapes plus the size-class pooling layout
+  (:class:`BufferLayout`: pooled base sizes, each step's fusion target /
+  output buffer / scratch buffers, and the matmul→sigmoid fold decisions),
+  so a loaded plan reproduces the compiled memory plan exactly;
+* a **leaf-binding spec** — named inputs (bound per replay), parameter
+  *paths* (``head.net.layers.0.weight``, resolved against a live ``Module``
+  at load time so loaded plans read optimizer-updated weights exactly like
+  traced ones), derived-input recipes by registered name (see
+  :func:`register_derived_fn`), and hoisted constants.
+
+Everything in the IR is JSON- or ndarray-serializable; :func:`save_plan` /
+:func:`load_plan` persist it as a versioned ``.npz`` archive next to
+checkpoint v2 (see :mod:`repro.nnlib.serialization`).  Loading validates the
+format version, every opcode against the kernel registry, per-opcode aux
+attributes, and slot topology before any kernel is built, so a corrupt or
+future-format artifact fails with a :class:`PlanIRError` instead of a replay
+crash.  Because compilation (:func:`repro.nnlib.trace.compute_layout` +
+kernel building) is a deterministic function of the IR, a plan compiled in
+one process and loaded in another replays **bitwise-identically** to an
+in-process trace.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+from repro.nnlib import serialization as _ser
+from repro.nnlib.serialization import PLAN_FORMAT_VERSION
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "BufferLayout",
+    "PlanIR",
+    "PlanIRError",
+    "Step",
+    "derived_fn_name",
+    "ir_from_payload",
+    "load_plan",
+    "payload_from_ir",
+    "read_plan_metadata",
+    "register_derived_fn",
+    "resolve_derived_fn",
+    "save_plan",
+    "validate_ir",
+]
+
+
+class PlanIRError(RuntimeError):
+    """A plan artifact could not be serialized, validated, or re-bound."""
+
+
+class Step(NamedTuple):
+    """One recorded primitive: ``out_slot = op(*in_slots, **aux)``."""
+
+    op: str
+    out: int
+    ins: tuple[int, ...]
+    aux: dict
+    shape: tuple[int, ...]
+
+
+@dataclass
+class BufferLayout:
+    """The compiled memory plan, as data.
+
+    ``sizes`` lists the element counts of the pooled 1-D base buffers
+    (storage is keyed by size class, not shape; kernels reshape views).
+    ``steps`` aligns with the op table: ``(fusion_target, out_bid,
+    scratch_bids)`` — a non-``None`` fusion target means the step overwrites
+    that slot's buffer in place; ``out_bid`` indexes ``sizes`` (``None`` for
+    view ops, fused steps, and caller-bound outputs).  ``negated`` /
+    ``prenegated`` are step *indices* carrying the matmul→sigmoid negation
+    fold; ``bound`` records which output slots the layout assumed had
+    caller-fixed destination arrays (gradients bound to a fused optimizer).
+    """
+
+    sizes: list[int]
+    steps: list[tuple[int | None, int | None, tuple[int, ...]]]
+    negated: tuple[int, ...] = ()
+    prenegated: tuple[int, ...] = ()
+    bound: tuple[int, ...] = ()
+    num_fused: int = 0
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Total bytes of the pooled float64 base buffers."""
+        return 8 * sum(self.sizes)
+
+
+@dataclass
+class PlanIR:
+    """A compiled plan as pure, serializable data (see module docstring)."""
+
+    kind: str  # "inference" | "training"
+    n_slots: int
+    slot_shapes: dict[int, tuple[int, ...]]
+    ops: list[Step]
+    inputs: dict[str, int]
+    input_shapes: dict[str, tuple[int, ...]]
+    params: list[tuple[int, str | None]]  # (slot, dotted parameter path)
+    derived: list[tuple[int, str | None, tuple[int, ...]]]  # (slot, fn name, dep slots)
+    consts: list[tuple[int, np.ndarray]]
+    output_slot: int
+    extra_outputs: tuple[int, ...] = ()
+    # Training-plan extras: the full parameter list (paths in params() order,
+    # traced shapes for staleness checks, aligned gradient slots).
+    param_order: list[str | None] | None = None
+    param_shapes: list[tuple[int, ...]] | None = None
+    grad_slots: list[int | None] | None = None
+    layout: BufferLayout | None = field(default=None, repr=False)
+
+
+# ---------------------------------------------------- derived-input registry
+
+_DERIVED_FNS: dict[str, Callable] = {}
+_DERIVED_NAMES: dict[int, str] = {}
+
+# Modules that register derived-input recipes at import time.  A plan loaded
+# into a bare process (no predictor imported yet) resolves names by importing
+# these lazily before giving up.
+_DERIVED_PROVIDERS = (
+    "repro.nnlib.trace",
+    "repro.nnlib.losses",
+    "repro.predictors.gnn",
+)
+
+
+def register_derived_fn(name: str):
+    """Register a derived-input recipe under a stable ``name``.
+
+    Derived inputs (see :func:`repro.nnlib.trace.register_derived`) are
+    arrays recomputed from plan inputs at replay time.  In-process plans
+    hold the function object; a *serialized* plan can only store a name, so
+    every recipe that should survive :func:`save_plan` must be registered::
+
+        @register_derived_fn("losses.hinge_mask")
+        def _hinge_mask(target_np): ...
+
+    Names are part of the artifact format: renaming one orphans existing
+    artifacts.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        existing = _DERIVED_FNS.get(name)
+        if existing is not None and existing is not fn:
+            raise PlanIRError(f"derived fn name {name!r} is already registered")
+        _DERIVED_FNS[name] = fn
+        _DERIVED_NAMES[id(fn)] = name
+        return fn
+
+    return deco
+
+
+def derived_fn_name(fn: Callable) -> str | None:
+    """The registered name of a derived-input recipe, or ``None``."""
+    return _DERIVED_NAMES.get(id(fn))
+
+
+def resolve_derived_fn(name: str) -> Callable:
+    """Look up a registered derived-input recipe by name (for loading)."""
+    fn = _DERIVED_FNS.get(name)
+    if fn is None:
+        for provider in _DERIVED_PROVIDERS:
+            try:
+                import_module(provider)
+            except ImportError:  # pragma: no cover - all providers ship in-tree
+                continue
+            fn = _DERIVED_FNS.get(name)
+            if fn is not None:
+                break
+    if fn is None:
+        raise PlanIRError(
+            f"plan references unknown derived input recipe {name!r}; import the "
+            "module that registers it (register_derived_fn) before loading"
+        )
+    return fn
+
+
+# ------------------------------------------------------------- aux attributes
+
+# Per-opcode aux-attribute schema: (required keys, optional keys).  Load-time
+# validation rejects unknown opcodes and unknown/missing attributes before
+# any kernel is built.  tests assert this table matches the kernel registry.
+AUX_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {}
+_no = frozenset()
+for _op in ("add", "sub", "mul", "div", "exp", "log", "tanh", "abs", "neg",
+            "relu", "sigmoid", "gather_rows", "bwd_unbroadcast", "bwd_sigmoid",
+            "bwd_tanh", "bwd_abs", "bwd_div_b", "bwd_matmul_acc",
+            "bwd_scatter_rows"):
+    AUX_SCHEMA[_op] = (_no, _no)
+AUX_SCHEMA["clip_min"] = (frozenset({"low"}), _no)
+AUX_SCHEMA["bwd_mask"] = (frozenset({"low"}), _no)
+AUX_SCHEMA["pow"] = (frozenset({"exponent"}), _no)
+AUX_SCHEMA["bwd_pow"] = (frozenset({"exponent"}), _no)
+AUX_SCHEMA["leaky_relu"] = (frozenset({"negative_slope"}), _no)
+AUX_SCHEMA["bwd_leaky"] = (frozenset({"negative_slope"}), _no)
+AUX_SCHEMA["matmul"] = (_no, frozenset({"merged_cols", "merged_gid"}))
+AUX_SCHEMA["softmax"] = (frozenset({"axis"}), _no)
+AUX_SCHEMA["log_softmax"] = (frozenset({"axis"}), _no)
+AUX_SCHEMA["bwd_softmax"] = (frozenset({"axis"}), _no)
+AUX_SCHEMA["bwd_log_softmax"] = (frozenset({"axis"}), _no)
+AUX_SCHEMA["sum"] = (frozenset({"axis", "keepdims"}), _no)
+AUX_SCHEMA["max"] = (frozenset({"axis", "keepdims"}), _no)
+AUX_SCHEMA["bwd_broadcast"] = (frozenset({"axis", "keepdims"}), _no)
+AUX_SCHEMA["bwd_max"] = (frozenset({"axis", "keepdims"}), _no)
+AUX_SCHEMA["reshape"] = (frozenset({"shape"}), _no)
+AUX_SCHEMA["transpose"] = (frozenset({"axes"}), _no)
+AUX_SCHEMA["getitem"] = (frozenset({"index"}), frozenset({"merged_gid", "merged_pos"}))
+AUX_SCHEMA["bwd_scatter"] = (frozenset({"index"}), _no)
+AUX_SCHEMA["concat"] = (frozenset({"axis"}), _no)
+AUX_SCHEMA["stack"] = (frozenset({"axis"}), _no)
+del _op, _no
+
+
+def encode_aux_value(v):
+    """Lower one aux value to a JSON-safe tagged form (tuples, slices, and
+    ``Ellipsis`` — getitem indices — need tags to survive the round trip)."""
+    if v is None or isinstance(v, (bool, str)):
+        return v
+    if isinstance(v, (int, np.integer)):
+        return int(v)
+    if isinstance(v, (float, np.floating)):
+        return float(v)
+    if v is Ellipsis:
+        return {"$": "ellipsis"}
+    if isinstance(v, slice):
+        return {"$": "slice", "v": [encode_aux_value(x) for x in (v.start, v.stop, v.step)]}
+    if isinstance(v, tuple):
+        return {"$": "tuple", "v": [encode_aux_value(x) for x in v]}
+    if isinstance(v, list):
+        return {"$": "list", "v": [encode_aux_value(x) for x in v]}
+    raise PlanIRError(f"aux value of type {type(v).__name__} is not serializable: {v!r}")
+
+
+def decode_aux_value(v):
+    """Inverse of :func:`encode_aux_value`."""
+    if isinstance(v, dict):
+        tag = v.get("$")
+        if tag == "ellipsis":
+            return Ellipsis
+        if tag == "slice":
+            return slice(*(decode_aux_value(x) for x in v["v"]))
+        if tag == "tuple":
+            return tuple(decode_aux_value(x) for x in v["v"])
+        if tag == "list":
+            return [decode_aux_value(x) for x in v["v"]]
+        raise PlanIRError(f"unknown aux tag {tag!r}")
+    return v
+
+
+# ------------------------------------------------------------- serialization
+
+def payload_from_ir(ir: PlanIR) -> tuple[dict, dict[int, np.ndarray]]:
+    """Lower a :class:`PlanIR` to ``(JSON payload, const arrays)``."""
+    layout = None
+    if ir.layout is not None:
+        layout = {
+            "sizes": [int(s) for s in ir.layout.sizes],
+            "steps": [
+                [t, o, [int(b) for b in scratch]] for t, o, scratch in ir.layout.steps
+            ],
+            "negated": [int(i) for i in ir.layout.negated],
+            "prenegated": [int(i) for i in ir.layout.prenegated],
+            "bound": [int(s) for s in ir.layout.bound],
+            "num_fused": int(ir.layout.num_fused),
+        }
+    payload = {
+        "format": PLAN_FORMAT_VERSION,
+        "kind": ir.kind,
+        "n_slots": int(ir.n_slots),
+        "slot_shapes": {str(k): [int(d) for d in v] for k, v in ir.slot_shapes.items()},
+        "ops": [
+            [
+                st.op,
+                int(st.out),
+                [int(s) for s in st.ins],
+                {k: encode_aux_value(v) for k, v in st.aux.items()},
+                [int(d) for d in st.shape],
+            ]
+            for st in ir.ops
+        ],
+        "inputs": {name: int(slot) for name, slot in ir.inputs.items()},
+        "input_shapes": {name: [int(d) for d in s] for name, s in ir.input_shapes.items()},
+        "params": [[int(slot), path] for slot, path in ir.params],
+        "derived": [[int(slot), name, [int(d) for d in deps]] for slot, name, deps in ir.derived],
+        "const_slots": [int(slot) for slot, _ in ir.consts],
+        "output_slot": int(ir.output_slot),
+        "extra_outputs": [int(s) for s in ir.extra_outputs],
+        "param_order": ir.param_order,
+        "param_shapes": (
+            None if ir.param_shapes is None else [[int(d) for d in s] for s in ir.param_shapes]
+        ),
+        "grad_slots": ir.grad_slots,
+        "layout": layout,
+    }
+    consts = {int(slot): arr for slot, arr in ir.consts}
+    return payload, consts
+
+
+def ir_from_payload(payload: dict, consts: dict[int, np.ndarray]) -> PlanIR:
+    """Rebuild a :class:`PlanIR` from a deserialized archive payload."""
+    try:
+        layout = None
+        if payload.get("layout") is not None:
+            raw = payload["layout"]
+            layout = BufferLayout(
+                sizes=[int(s) for s in raw["sizes"]],
+                steps=[
+                    (
+                        None if t is None else int(t),
+                        None if o is None else int(o),
+                        tuple(int(b) for b in scratch),
+                    )
+                    for t, o, scratch in raw["steps"]
+                ],
+                negated=tuple(int(i) for i in raw.get("negated", ())),
+                prenegated=tuple(int(i) for i in raw.get("prenegated", ())),
+                bound=tuple(int(s) for s in raw.get("bound", ())),
+                num_fused=int(raw.get("num_fused", 0)),
+            )
+        const_slots = [int(s) for s in payload["const_slots"]]
+        missing = [s for s in const_slots if s not in consts]
+        if missing:
+            raise PlanIRError(f"plan archive is missing constant arrays for slots {missing}")
+        return PlanIR(
+            kind=payload["kind"],
+            n_slots=int(payload["n_slots"]),
+            slot_shapes={
+                int(k): tuple(int(d) for d in v) for k, v in payload["slot_shapes"].items()
+            },
+            ops=[
+                Step(
+                    op,
+                    int(out),
+                    tuple(int(s) for s in ins),
+                    {k: decode_aux_value(v) for k, v in aux.items()},
+                    tuple(int(d) for d in shape),
+                )
+                for op, out, ins, aux, shape in payload["ops"]
+            ],
+            inputs={name: int(slot) for name, slot in payload["inputs"].items()},
+            input_shapes={
+                name: tuple(int(d) for d in s) for name, s in payload["input_shapes"].items()
+            },
+            params=[(int(slot), path) for slot, path in payload["params"]],
+            derived=[
+                (int(slot), name, tuple(int(d) for d in deps))
+                for slot, name, deps in payload["derived"]
+            ],
+            consts=[(slot, consts[slot]) for slot in const_slots],
+            output_slot=int(payload["output_slot"]),
+            extra_outputs=tuple(int(s) for s in payload["extra_outputs"]),
+            param_order=payload.get("param_order"),
+            param_shapes=(
+                None
+                if payload.get("param_shapes") is None
+                else [tuple(int(d) for d in s) for s in payload["param_shapes"]]
+            ),
+            grad_slots=payload.get("grad_slots"),
+            layout=layout,
+        )
+    except PlanIRError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanIRError(f"malformed plan archive payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------- validation
+
+def validate_ir(ir: PlanIR) -> None:
+    """Structural validation of a (typically just-loaded) :class:`PlanIR`.
+
+    Checks opcodes against the replay-kernel registry, aux attributes
+    against :data:`AUX_SCHEMA`, slot ranges, leaf-table disjointness, and
+    def-before-use ordering.  Raises :class:`PlanIRError` on the first
+    violation.
+    """
+    from repro.nnlib.trace import known_ops
+
+    if ir.kind not in ("inference", "training"):
+        raise PlanIRError(f"unknown plan kind {ir.kind!r}")
+    if ir.n_slots < 1:
+        raise PlanIRError(f"invalid slot count {ir.n_slots}")
+
+    def check_slot(slot, what):
+        if not isinstance(slot, int) or not 0 <= slot < ir.n_slots:
+            raise PlanIRError(f"{what} slot {slot!r} out of range [0, {ir.n_slots})")
+
+    kernels = known_ops()
+    defined: set[int] = set()
+    for kind_name, slots in (
+        ("input", ir.inputs.values()),
+        ("parameter", (s for s, _ in ir.params)),
+        ("constant", (s for s, _ in ir.consts)),
+    ):
+        for slot in slots:
+            check_slot(slot, kind_name)
+            if slot in defined:
+                raise PlanIRError(f"slot {slot} is bound by more than one leaf table")
+            defined.add(slot)
+    for slot, name, deps in ir.derived:
+        check_slot(slot, "derived")
+        if slot in defined:
+            raise PlanIRError(f"slot {slot} is bound by more than one leaf table")
+        for d in deps:
+            check_slot(d, "derived dependency")
+            if d not in defined:
+                raise PlanIRError(
+                    f"derived slot {slot} ({name!r}) depends on slot {d}, which is "
+                    "not a leaf or earlier derived slot"
+                )
+        defined.add(slot)
+
+    for name in ir.inputs:
+        if name not in ir.input_shapes:
+            raise PlanIRError(f"input {name!r} has no recorded shape")
+
+    for i, st in enumerate(ir.ops):
+        if st.op not in kernels:
+            raise PlanIRError(
+                f"step {i}: no replay kernel registered for opcode {st.op!r} "
+                "(artifact from a newer format?)"
+            )
+        schema = AUX_SCHEMA.get(st.op)
+        if schema is None:
+            raise PlanIRError(f"step {i}: opcode {st.op!r} has no aux schema")
+        required, optional = schema
+        keys = set(st.aux)
+        if not required <= keys:
+            raise PlanIRError(
+                f"step {i} ({st.op}): missing aux attribute(s) {sorted(required - keys)}"
+            )
+        unknown = keys - required - optional
+        if unknown:
+            raise PlanIRError(
+                f"step {i} ({st.op}): unknown aux attribute(s) {sorted(unknown)}"
+            )
+        for s in st.ins:
+            check_slot(s, f"step {i} input")
+            if s not in defined:
+                raise PlanIRError(f"step {i} ({st.op}) reads slot {s} before it is defined")
+        check_slot(st.out, f"step {i} output")
+        if st.out in defined:
+            raise PlanIRError(f"step {i} ({st.op}) redefines slot {st.out}")
+        defined.add(st.out)
+        if st.out not in ir.slot_shapes:
+            raise PlanIRError(f"step {i} ({st.op}) output slot {st.out} has no shape")
+
+    check_slot(ir.output_slot, "output")
+    if ir.output_slot not in defined:
+        raise PlanIRError(f"output slot {ir.output_slot} is never defined")
+    for s in ir.extra_outputs:
+        check_slot(s, "extra output")
+
+    if ir.layout is not None:
+        layout = ir.layout
+        if len(layout.steps) != len(ir.ops):
+            raise PlanIRError(
+                f"layout covers {len(layout.steps)} steps, op table has {len(ir.ops)}"
+            )
+        n_bufs = len(layout.sizes)
+        for i, (target, out_bid, scratch) in enumerate(layout.steps):
+            for bid in (() if out_bid is None else (out_bid,)) + tuple(scratch):
+                if not 0 <= bid < n_bufs:
+                    raise PlanIRError(f"layout step {i}: buffer id {bid} out of range")
+        for idx in (*layout.negated, *layout.prenegated):
+            if not 0 <= idx < len(ir.ops):
+                raise PlanIRError(f"layout fold index {idx} out of range")
+
+    if ir.kind == "training":
+        if ir.param_order is None or ir.param_shapes is None or ir.grad_slots is None:
+            raise PlanIRError("training plan is missing param_order/param_shapes/grad_slots")
+        if not (len(ir.param_order) == len(ir.param_shapes) == len(ir.grad_slots)):
+            raise PlanIRError("training plan parameter tables are misaligned")
+        for s in ir.grad_slots:
+            if s is not None:
+                check_slot(s, "gradient")
+
+
+# ---------------------------------------------------------------- save / load
+
+def save_plan(plan, path, metadata: dict | None = None) -> None:
+    """Persist a :class:`~repro.nnlib.trace.CompiledPlan` or
+    :class:`~repro.nnlib.trace.TrainingPlan` as a versioned artifact.
+
+    The plan must have been traced with ``module=`` (parameter *paths* are
+    what the archive stores; :func:`load_plan` re-binds them against a live
+    module) and every derived input's recipe must be registered via
+    :func:`register_derived_fn`.
+    """
+    from repro.nnlib.trace import CompiledPlan, TrainingPlan, compute_layout
+
+    if isinstance(plan, TrainingPlan):
+        plan = plan.plan
+    if not isinstance(plan, CompiledPlan):
+        raise PlanIRError(f"cannot save a {type(plan).__name__} as a plan artifact")
+    ir = plan.ir
+    unresolved = [slot for slot, p in ir.params if p is None]
+    if unresolved:
+        raise PlanIRError(
+            f"plan has {len(unresolved)} parameter(s) with no dotted path (slots "
+            f"{unresolved}); trace with module= so parameters serialize as paths"
+        )
+    if ir.kind == "training" and ir.param_order is not None:
+        if any(p is None for p in ir.param_order):
+            raise PlanIRError(
+                "training plan has parameters with no dotted path; trace with a "
+                "Module model so every parameter serializes as a path"
+            )
+    unnamed = [slot for slot, name, _ in ir.derived if name is None]
+    if unnamed:
+        raise PlanIRError(
+            f"plan has derived input(s) with unregistered recipes (slots {unnamed}); "
+            "register them with repro.nnlib.ir.register_derived_fn"
+        )
+    if ir.layout is None or ir.layout.bound:
+        # Archives always carry the *unbound* layout: loaded plans have no
+        # caller-fixed output buffers, and replay must reuse the exact
+        # compiled memory plan for bitwise-identical results.
+        ir.layout = compute_layout(ir, ())
+    payload, consts = payload_from_ir(ir)
+    _ser.save_plan_archive(path, payload, consts, metadata)
+
+
+def _grown_gather_table_ok(ir: PlanIR, slot: int, traced, actual) -> bool:
+    """Whether a parameter-shape mismatch is benign row growth of a table
+    consumed only by ``gather_rows`` (``add_device`` appends embedding rows;
+    replay gathers the same rows for in-range indices, matching in-process
+    plans, which also survive table growth)."""
+    if len(actual) != len(traced) or actual[1:] != traced[1:] or actual[0] < traced[0]:
+        return False
+    for st in ir.ops:
+        positions = [i for i, s in enumerate(st.ins) if s == slot]
+        if positions and (st.op != "gather_rows" or positions != [0]):
+            return False
+    for _, _, deps in ir.derived:
+        if slot in deps:
+            return False
+    return True
+
+
+def load_plan(path, module=None):
+    """Load a plan artifact, re-binding parameters against ``module``.
+
+    Returns a :class:`~repro.nnlib.trace.CompiledPlan` (inference archives)
+    or a :class:`~repro.nnlib.trace.TrainingPlan` (training archives).
+    Parameters are bound by dotted path to ``module``'s live
+    :class:`~repro.nnlib.modules.Parameter` objects, so replays read
+    optimizer-updated weights exactly like an in-process trace.  Raises
+    :class:`PlanIRError` for future-format archives, unknown opcodes or
+    attributes, unresolvable parameter paths or derived recipes, and stale
+    artifacts (parameter shapes changed since compilation).
+    """
+    payload, consts, _meta, version = _ser.load_plan_archive(path)
+    if version > PLAN_FORMAT_VERSION:
+        raise PlanIRError(
+            f"plan artifact {path} has format v{version}, newer than this "
+            f"build's v{PLAN_FORMAT_VERSION}; re-compile the artifact or upgrade"
+        )
+    ir = ir_from_payload(payload, consts)
+    validate_ir(ir)
+    from repro.nnlib.trace import CompiledPlan, TrainingPlan
+
+    derived_fns = [resolve_derived_fn(name) for _, name, _ in ir.derived]
+
+    needs_params = bool(ir.params) or bool(ir.param_order)
+    by_path: dict = {}
+    if needs_params:
+        if module is None:
+            raise PlanIRError(
+                f"plan artifact {path} binds parameters by path; pass the module "
+                "to load_plan"
+            )
+        by_path = dict(module.named_parameters())
+
+    def resolve(ppath: str):
+        param = by_path.get(ppath)
+        if param is None:
+            raise PlanIRError(
+                f"plan artifact {path} references parameter {ppath!r}, which the "
+                "given module does not have (wrong module or structural change "
+                "since compilation)"
+            )
+        return param
+
+    param_objs = [resolve(ppath) for _, ppath in ir.params]
+    if ir.kind == "inference":
+        for (slot, ppath), param in zip(ir.params, param_objs):
+            traced = tuple(ir.slot_shapes[slot])
+            actual = tuple(param.data.shape)
+            if actual != traced and not _grown_gather_table_ok(ir, slot, traced, actual):
+                raise PlanIRError(
+                    f"stale plan artifact: parameter {ppath!r} has shape {actual}, "
+                    f"plan was compiled for {traced}; re-compile the artifact"
+                )
+    plan = CompiledPlan(ir, param_objs, derived_fns)
+    if ir.kind == "training":
+        full_params = [resolve(ppath) for ppath in ir.param_order]
+        tp = TrainingPlan(plan, full_params, ir.grad_slots, traced_shapes=ir.param_shapes)
+        if tp.stale():
+            changed = [
+                (ppath, tuple(p.data.shape), s)
+                for ppath, p, s in zip(ir.param_order, full_params, tp._traced_shapes)
+                if tuple(p.data.shape) != s
+            ]
+            raise PlanIRError(
+                "stale training-plan artifact: parameter shapes changed since "
+                f"compilation (e.g. add_device grew an embedding table): "
+                f"{[(n, a, e) for n, a, e in changed[:4]]}; re-compile the artifact"
+            )
+        return tp
+    return plan
+
+
+def read_plan_metadata(path) -> dict:
+    """User metadata of a plan artifact, without loading the plan."""
+    return _ser.read_plan_metadata(path)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nnlib.ir import register_derived_fn
 from repro.nnlib.tensor import Tensor
 from repro.nnlib.trace import register_derived, tracing
 
@@ -43,11 +44,13 @@ def bce_with_logits_loss(logits: Tensor, target) -> Tensor:
     return loss.mean()
 
 
+@register_derived_fn("losses.hinge_mask")
 def _hinge_mask(target_np: np.ndarray) -> np.ndarray:
     """``mask[i, j] = 1`` where target i should rank above target j."""
     return (target_np[:, None] > target_np[None, :]).astype(np.float64)
 
 
+@register_derived_fn("losses.hinge_pair_count")
 def _hinge_pair_count(mask: np.ndarray) -> np.ndarray:
     """Ranked-pair count as a 0-d divisor, derived from the mask so replays
     rank each batch once (1 when no pairs: the mask is all zero then, so

@@ -35,6 +35,17 @@ _RESERVED = (_META_KEY, _VERSION_KEY)
 #: Current checkpoint schema version (see module docstring for history).
 FORMAT_VERSION = 2
 
+# ------------------------------------------------------------ plan artifacts
+# Compiled-plan archives (see repro.nnlib.ir) share the .npz container and
+# the JSON-as-uint8 metadata idiom with checkpoints, but carry their own
+# format version: the plan IR schema evolves independently of state dicts.
+_PLAN_VERSION_KEY = "__repro_plan_format__"
+_PLAN_IR_KEY = "__repro_plan_ir__"
+_PLAN_CONST_PREFIX = "const::"
+
+#: Current plan-IR archive schema version.
+PLAN_FORMAT_VERSION = 1
+
 
 def _encode_meta(metadata: dict | None) -> np.ndarray:
     return np.frombuffer(json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
@@ -149,6 +160,71 @@ def load_state_bundle(
             bundle, _, param = key.partition("::")
             bundles.setdefault(bundle, {})[param] = archive[key]
     return bundles, json.loads(meta_raw), version
+
+
+def save_plan_archive(
+    path: str | Path,
+    payload: dict,
+    consts: dict[int, np.ndarray],
+    metadata: dict | None = None,
+) -> None:
+    """Write one serialized plan IR (JSON payload + constant arrays) to .npz.
+
+    ``payload`` is the plain-data IR description (see
+    :func:`repro.nnlib.ir.payload_from_ir`); ``consts`` maps slot id to the
+    hoisted constant array stored under ``const::<slot>``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {
+        # np.asarray (not ascontiguousarray, which promotes 0-d to 1-D):
+        # scalar constants must round-trip with their exact shape.
+        f"{_PLAN_CONST_PREFIX}{slot}": np.asarray(arr, order="C")
+        for slot, arr in consts.items()
+    }
+    arrays[_PLAN_IR_KEY] = np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
+    arrays[_META_KEY] = _encode_meta(metadata)
+    arrays[_PLAN_VERSION_KEY] = np.array(PLAN_FORMAT_VERSION)
+    np.savez(path, **arrays)
+
+
+def load_plan_archive(path: str | Path) -> tuple[dict, dict[int, np.ndarray], dict, int]:
+    """Read an archive written by :func:`save_plan_archive`.
+
+    Returns ``(payload, consts, metadata, format_version)``.  Raises
+    ``ValueError`` for archives that are not plan artifacts at all (e.g. a
+    checkpoint passed by mistake); format-version *compatibility* is the
+    caller's concern (:func:`repro.nnlib.ir.load_plan`).
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if _PLAN_VERSION_KEY not in archive or _PLAN_IR_KEY not in archive:
+            raise ValueError(f"{path} is not a compiled-plan artifact")
+        version = int(archive[_PLAN_VERSION_KEY])
+        payload = json.loads(archive[_PLAN_IR_KEY].tobytes().decode("utf-8"))
+        meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
+        consts = {
+            int(key[len(_PLAN_CONST_PREFIX):]): archive[key]
+            for key in archive.files
+            if key.startswith(_PLAN_CONST_PREFIX)
+        }
+    return payload, consts, json.loads(meta_raw), version
+
+
+def plan_format_version(path: str | Path) -> int:
+    """The plan-IR schema version of an artifact archive."""
+    with np.load(Path(path)) as archive:
+        if _PLAN_VERSION_KEY not in archive:
+            raise ValueError(f"{path} is not a compiled-plan artifact")
+        return int(archive[_PLAN_VERSION_KEY])
+
+
+def read_plan_metadata(path: str | Path) -> dict:
+    """Read just the user metadata of a plan artifact."""
+    with np.load(Path(path)) as archive:
+        if _META_KEY not in archive:
+            return {}
+        return json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
 
 
 def load_checkpoint(module: Module, path: str | Path, strict: bool | None = None) -> dict:

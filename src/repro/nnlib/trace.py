@@ -21,18 +21,23 @@ and rebuilt constant arrays.  This module removes all of it for inference:
    * **constant** — everything else (eye matrices, scalar coefficients);
      hoisted into the plan once.
 
-2. **Compile**: the flat, topologically ordered step list is lowered to
-   closures over pure numpy kernels with three optimizations: adjacent
-   single-consumer elementwise steps execute in place on their producer's
-   buffer (fusion), every kernel writes into a preallocated per-step buffer
-   reused across replays, and stacked ``(B, N, K) @ (K, M)`` matmuls (the
-   Linear layers) collapse into one ``(B*N, K) @ (K, M)`` GEMM instead of a
-   loop of B tiny ones.
+2. **Lower**: the flat, topologically ordered step list becomes a
+   :class:`~repro.nnlib.ir.PlanIR` — pure data: an op table, per-slot
+   shapes, and a leaf-binding spec.  The optimization passes are IR→IR
+   rewrites on that structure (:func:`_merge_shared_lhs_matmuls`,
+   :func:`_append_backward`), and :func:`compute_layout` plans the buffer
+   pool — in-place fusion, liveness-keyed size-class pooling, and the
+   matmul→sigmoid negation fold — as a deterministic function of the IR.
+   Because the IR and its layout are plain data, plans serialize
+   (:func:`repro.nnlib.ir.save_plan`) and a plan loaded in another process
+   replays bitwise-identically.
 
 3. **Replay**: :meth:`CompiledPlan.replay` binds inputs, recomputes derived
-   arrays, and runs the closures — no ``Tensor`` objects, no tape checks, no
-   ``__call__`` chains.  Plans are shape-specialized: inputs must match the
-   traced shapes exactly (callers bucket/pad batches; see
+   arrays, and runs per-op kernels looked up from a registry
+   (:func:`_kernel`) and specialized over the pooled buffers — no ``Tensor``
+   objects, no tape checks, no ``__call__`` chains.  Plans are
+   shape-specialized: inputs must match the traced shapes exactly (callers
+   bucket/pad batches; see
    :class:`repro.predictors.compiled.CompiledInference`).
 
 Replay is numerically faithful to the eager forward: each kernel performs the
@@ -56,11 +61,18 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
-from typing import Callable, NamedTuple
+from typing import Callable
 
 import numpy as np
 
 from repro.nnlib import tensor as _tensor_mod
+from repro.nnlib.ir import (
+    BufferLayout,
+    PlanIR,
+    Step,
+    derived_fn_name,
+    register_derived_fn,
+)
 from repro.nnlib.modules import Dropout, Module, Parameter
 from repro.nnlib.tensor import Tensor, no_grad
 
@@ -91,16 +103,6 @@ def notify_param_mutation() -> None:
     _PARAM_MUTATION_EPOCH += 1
 
 
-class Step(NamedTuple):
-    """One recorded primitive: ``out_slot = op(*in_slots, **aux)``."""
-
-    op: str
-    out: int
-    ins: tuple[int, ...]
-    aux: dict
-    shape: tuple[int, ...]
-
-
 class _ActiveTrace(threading.local):
     tracer = None
 
@@ -123,6 +125,9 @@ def register_derived(array: np.ndarray, fn: Callable, deps: tuple) -> None:
     inputs, other derived arrays, or constants) and returns the array.
 
     No-op when no trace is active, so modules call it unconditionally.
+    (To make plans that use ``fn`` *serializable*, also register ``fn``
+    under a stable name via
+    :func:`repro.nnlib.ir.register_derived_fn`.)
     """
     tracer = _active.tracer
     if tracer is not None:
@@ -202,23 +207,6 @@ class _Tracer:
         self.pins.append(arr)
         return slot
 
-    # ------------------------------------------------------- direct emission
-    def emit(self, op: str, ins: tuple[int, ...], aux: dict | None, shape) -> int:
-        """Append a step built directly in slot form (the backward builder).
-
-        Unlike :meth:`record` there is no ``Tensor`` involved: the VJP rules
-        synthesize steps from already-assigned slots.
-        """
-        slot = self._new_slot()
-        shape = tuple(shape)
-        self.slot_shapes[slot] = shape
-        self.steps.append(Step(op, slot, tuple(ins), dict(aux) if aux else {}, shape))
-        return slot
-
-    def const(self, value) -> int:
-        """Slot for a hoisted constant array (e.g. the backward seed)."""
-        return self._array_slot(np.asarray(value, dtype=np.float64))
-
     # --------------------------------------------------------------- recording
     def record(self, op: str, out: Tensor, ins, aux: dict | None) -> None:
         in_slots = tuple(self._tensor_slot(t) for t in ins)
@@ -234,6 +222,66 @@ class _Tracer:
         self.steps.append(Step(op, out_slot, in_slots, aux, out.data.shape))
 
 
+# ------------------------------------------------------------------- lowering
+
+def _lower_tracer(
+    tracer: _Tracer,
+    output_slot: int,
+    extra_outputs: tuple[int, ...] = (),
+    kind: str = "inference",
+    path_by_id: dict[int, str] | None = None,
+) -> tuple[PlanIR, list[Parameter], list[Callable]]:
+    """Lower a finished trace to ``(PlanIR, parameter objects, derived fns)``.
+
+    The IR is pure data; the parameter objects and derived-recipe callables
+    ride alongside it (aligned with ``ir.params`` / ``ir.derived``) to build
+    an in-process :class:`CompiledPlan`.  Parameter *paths* (for
+    serialization) come from ``path_by_id`` when the trace had a module.
+    """
+    path_by_id = path_by_id or {}
+    ir = PlanIR(
+        kind=kind,
+        n_slots=tracer.n_slots,
+        slot_shapes={s: tuple(sh) for s, sh in tracer.slot_shapes.items()},
+        ops=list(tracer.steps),
+        inputs=dict(tracer.input_slots),
+        input_shapes={n: tuple(np.shape(a)) for n, a in tracer.inputs.items()},
+        params=[(slot, path_by_id.get(id(p))) for slot, p in tracer.param_slots],
+        derived=[
+            (slot, derived_fn_name(fn), tuple(deps))
+            for slot, fn, deps in tracer.derived_slots
+        ],
+        consts=list(tracer.const_slots),
+        output_slot=output_slot,
+        extra_outputs=tuple(extra_outputs),
+    )
+    param_objs = [p for _, p in tracer.param_slots]
+    derived_fns = [fn for _, fn, _ in tracer.derived_slots]
+    return ir, param_objs, derived_fns
+
+
+def _ir_new_slot(ir: PlanIR, shape) -> int:
+    slot = ir.n_slots
+    ir.n_slots += 1
+    ir.slot_shapes[slot] = tuple(shape)
+    return slot
+
+
+def _ir_emit(ir: PlanIR, op: str, ins: tuple[int, ...], aux: dict | None, shape) -> int:
+    """Append a step built directly in slot form (the IR rewrite passes)."""
+    slot = _ir_new_slot(ir, shape)
+    ir.ops.append(Step(op, slot, tuple(ins), dict(aux) if aux else {}, tuple(shape)))
+    return slot
+
+
+def _ir_const(ir: PlanIR, value) -> int:
+    """Slot for a hoisted constant array (e.g. the backward seed)."""
+    arr = np.asarray(value, dtype=np.float64)
+    slot = _ir_new_slot(ir, arr.shape)
+    ir.consts.append((slot, arr))
+    return slot
+
+
 def trace(
     fn: Callable[[dict[str, np.ndarray]], Tensor],
     inputs: dict[str, np.ndarray],
@@ -247,10 +295,14 @@ def trace(
     inside ``fn``, that belongs in the caller's input-preparation step) and
     return a single ``Tensor``.  ``module`` (or an explicit ``params`` list)
     declares which leaves are live parameters rather than frozen constants.
+    Tracing with ``module=`` also records each parameter's dotted path, which
+    makes the plan serializable (:meth:`CompiledPlan.save`).
     """
     if _active.tracer is not None:
         raise TraceError("nested tracing is not supported")
+    path_by_id: dict[int, str] = {}
     if module is not None:
+        path_by_id = {id(p): name for name, p in module.named_parameters()}
         params_by_id = {id(p): p for _, p in module.named_parameters()}
     elif params:
         params_by_id = {id(p): p for p in params}
@@ -270,7 +322,8 @@ def trace(
     out_slot = tracer._tensor_slots.get(id(out))
     if out_slot is None:
         raise TraceError("traced function's output was not produced by tensor primitives")
-    return CompiledPlan(tracer, out_slot)
+    ir, param_objs, derived_fns = _lower_tracer(tracer, out_slot, path_by_id=path_by_id)
+    return CompiledPlan(ir, param_objs, derived_fns)
 
 
 # --------------------------------------------------------------------- kernels
@@ -297,42 +350,6 @@ _VIEW_OPS = frozenset(["transpose", "reshape", "getitem"])
 def _reduced_shape(shape: tuple[int, ...], axis: int) -> tuple[int, ...]:
     axis = axis % len(shape)
     return tuple(1 if i == axis else s for i, s in enumerate(shape))
-
-
-class _BufferPool:
-    """Register-allocation-style buffer assignment at compile time.
-
-    Each step's output (and scratch) buffer is taken from a free list and
-    returned once every slot aliasing it is dead.  This keeps the replay
-    working set at the *live* activation set instead of one buffer per step
-    — the difference between thrashing L2 on every elementwise pass and
-    staying cache-resident.
-
-    Storage is 1-D and keyed by **element count**, not shape — a
-    ``(B, N, F)`` activation and the ``(B*N, F)`` GEMM scratch share a size
-    class — and kernels capture reshaped views at compile time.  Training
-    plans (which must keep forward activations alive for the backward) see
-    a meaningfully smaller footprint than shape-exact pooling would give.
-    """
-
-    def __init__(self):
-        self.buffers: list[np.ndarray] = []  # 1-D bases
-        self._free: dict[int, list[int]] = {}
-
-    def alloc(self, shape: tuple[int, ...]) -> int:
-        size = int(np.prod(shape, dtype=np.int64))
-        free = self._free.get(size)
-        if free:
-            return free.pop()
-        self.buffers.append(np.empty(size))
-        return len(self.buffers) - 1
-
-    def view(self, bid: int, shape: tuple[int, ...]) -> np.ndarray:
-        """The shaped alias of a base buffer a kernel writes through."""
-        return self.buffers[bid].reshape(shape)
-
-    def release(self, bid: int) -> None:
-        self._free.setdefault(self.buffers[bid].size, []).append(bid)
 
 
 def _scratch_shapes(st: Step, slot_shapes: dict[int, tuple]) -> list[tuple[int, ...]]:
@@ -362,15 +379,39 @@ def _scratch_shapes(st: Step, slot_shapes: dict[int, tuple]) -> list[tuple[int, 
     return [st.shape]
 
 
+# Replay-kernel registry: opcode -> builder.  A builder lowers one step to a
+# ``run(slots)`` closure over numpy calls; this registry (not a closure
+# captured at trace time) is what executes deserialized plans, and
+# ``known_ops()`` is the authoritative opcode inventory that load-time
+# validation checks artifacts against.
+_KERNELS: dict[str, Callable] = {}
+
+
+def _kernel(*ops: str):
+    """Register a kernel builder for one or more opcodes."""
+
+    def deco(builder: Callable) -> Callable:
+        for op in ops:
+            _KERNELS[op] = builder
+        return builder
+
+    return deco
+
+
+def known_ops() -> frozenset:
+    """Every opcode the replay interpreter has a kernel for."""
+    return frozenset(_KERNELS)
+
+
 def _make_kernel(
     st: Step,
     slot_shapes: dict,
     inplace_on: int | None,
-    bufs: list[np.ndarray],
+    bufs: list,
     prenegated_sigmoid: bool = False,
     negate_rhs: bool = False,
 ):
-    """Lower one step to a ``run(slots)`` closure over numpy kernels.
+    """Lower one step to a ``run(slots)`` closure via the kernel registry.
 
     ``bufs`` holds the preallocated buffers from :func:`_scratch_shapes`
     (empty for view ops; ignored when ``inplace_on`` designates a producer
@@ -379,11 +420,97 @@ def _make_kernel(
     negated its weights (``negate_rhs``) — together they drop one full
     elementwise pass per gate, bitwise-faithfully.
     """
+    builder = _KERNELS.get(st.op)
+    if builder is None:
+        raise TraceError(
+            f"no replay kernel for traced op {st.op!r} (output shape {st.shape}, "
+            f"input shapes {[slot_shapes.get(s) for s in st.ins]})"
+        )
+    return builder(st, slot_shapes, inplace_on, bufs, prenegated_sigmoid, negate_rhs)
+
+
+@_kernel("add", "sub", "mul", "div")
+def _k_binary(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
     o = st.out
     out_buf = bufs[0] if bufs else None
+    uf = _BINARY_UFUNCS[st.op]
+    a, b = st.ins
+    if inplace_on is not None:
+        def run(slots, uf=uf, a=a, b=b, o=o, t=inplace_on):
+            buf = slots[t]
+            uf(slots[a], slots[b], out=buf)
+            slots[o] = buf
+    else:
+        def run(slots, uf=uf, a=a, b=b, o=o, buf=out_buf):
+            uf(slots[a], slots[b], out=buf)
+            slots[o] = buf
+    return run
 
-    if st.op == "sigmoid" and prenegated_sigmoid:
-        (a,) = st.ins
+
+@_kernel("exp", "log", "tanh", "abs", "neg")
+def _k_unary(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+    uf = _UNARY_UFUNCS[st.op]
+    (a,) = st.ins
+    if inplace_on is not None:
+        def run(slots, uf=uf, a=a, o=o):
+            buf = slots[a]
+            uf(buf, out=buf)
+            slots[o] = buf
+    else:
+        def run(slots, uf=uf, a=a, o=o, buf=out_buf):
+            uf(slots[a], out=buf)
+            slots[o] = buf
+    return run
+
+
+@_kernel("relu", "clip_min")
+def _k_clip(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+    (a,) = st.ins
+    low = 0.0 if st.op == "relu" else st.aux["low"]
+    if inplace_on is not None:
+        def run(slots, a=a, o=o, low=low):
+            buf = slots[a]
+            np.maximum(buf, low, out=buf)
+            slots[o] = buf
+    else:
+        def run(slots, a=a, o=o, low=low, buf=out_buf):
+            np.maximum(slots[a], low, out=buf)
+            slots[o] = buf
+    return run
+
+
+@_kernel("leaky_relu")
+def _k_leaky(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+    (a,) = st.ins
+    slope = st.aux["negative_slope"]
+    if 0.0 <= slope <= 1.0:
+        # max(x, slope*x) == where(x > 0, x, slope*x) for slope in [0, 1].
+        def run(slots, a=a, o=o, slope=slope, buf=out_buf):
+            x = slots[a]
+            np.multiply(x, slope, out=buf)
+            np.maximum(x, buf, out=buf)
+            slots[o] = buf
+    else:  # pragma: no cover - no such slope in the repo's models
+        def run(slots, a=a, o=o, slope=slope, buf=out_buf):
+            x = slots[a]
+            np.multiply(x, slope, out=buf)
+            np.copyto(buf, x, where=x > 0)
+            slots[o] = buf
+    return run
+
+
+@_kernel("sigmoid")
+def _k_sigmoid(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+    (a,) = st.ins
+    if prenegated:
         if inplace_on is not None:
             def run(slots, a=a, o=o):
                 buf = slots[a]
@@ -398,9 +525,62 @@ def _make_kernel(
                 np.divide(1.0, buf, out=buf)
                 slots[o] = buf
         return run
+    if inplace_on is not None:
+        def run(slots, a=a, o=o):
+            buf = slots[a]
+            np.negative(buf, out=buf)
+            np.exp(buf, out=buf)
+            np.add(buf, 1.0, out=buf)
+            np.divide(1.0, buf, out=buf)
+            slots[o] = buf
+    else:
+        def run(slots, a=a, o=o, buf=out_buf):
+            np.negative(slots[a], out=buf)
+            np.exp(buf, out=buf)
+            np.add(buf, 1.0, out=buf)
+            np.divide(1.0, buf, out=buf)
+            slots[o] = buf
+    return run
 
-    if st.op == "matmul" and negate_rhs:
-        a, b = st.ins
+
+@_kernel("pow")
+def _k_pow(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+    (a,) = st.ins
+    e = st.aux["exponent"]
+    if inplace_on is not None:
+        def run(slots, a=a, o=o, e=e):
+            buf = slots[a]
+            if e == 2:
+                np.multiply(buf, buf, out=buf)
+            elif e == 0.5:
+                np.sqrt(buf, out=buf)
+            else:
+                np.power(buf, e, out=buf)
+            slots[o] = buf
+    elif e == 2:
+        def run(slots, a=a, o=o, buf=out_buf):
+            x = slots[a]
+            np.multiply(x, x, out=buf)
+            slots[o] = buf
+    elif e == 0.5:
+        def run(slots, a=a, o=o, buf=out_buf):
+            np.sqrt(slots[a], out=buf)
+            slots[o] = buf
+    else:
+        def run(slots, a=a, o=o, e=e, buf=out_buf):
+            np.power(slots[a], e, out=buf)
+            slots[o] = buf
+    return run
+
+
+@_kernel("matmul")
+def _k_matmul(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+    a, b = st.ins
+    if negate_rhs:
         a_shape = slot_shapes[a]
         bdim, n, k = a_shape
         # The negated copy is revalidated on array identity *and* the
@@ -418,625 +598,735 @@ def _make_kernel(
             slots[o] = buf.reshape(bdim, n, buf.shape[1])
 
         return run
-
-    if st.op in _BINARY_UFUNCS:
-        uf = _BINARY_UFUNCS[st.op]
-        a, b = st.ins
-        if inplace_on is not None:
-            def run(slots, uf=uf, a=a, b=b, o=o, t=inplace_on):
-                buf = slots[t]
-                uf(slots[a], slots[b], out=buf)
-                slots[o] = buf
-        else:
-            def run(slots, uf=uf, a=a, b=b, o=o, buf=out_buf):
-                uf(slots[a], slots[b], out=buf)
-                slots[o] = buf
-        return run
-
-    if st.op in _UNARY_UFUNCS:
-        uf = _UNARY_UFUNCS[st.op]
-        (a,) = st.ins
-        if inplace_on is not None:
-            def run(slots, uf=uf, a=a, o=o):
-                buf = slots[a]
-                uf(buf, out=buf)
-                slots[o] = buf
-        else:
-            def run(slots, uf=uf, a=a, o=o, buf=out_buf):
-                uf(slots[a], out=buf)
-                slots[o] = buf
-        return run
-
-    if st.op in ("relu", "clip_min"):
-        (a,) = st.ins
-        low = 0.0 if st.op == "relu" else st.aux["low"]
-        if inplace_on is not None:
-            def run(slots, a=a, o=o, low=low):
-                buf = slots[a]
-                np.maximum(buf, low, out=buf)
-                slots[o] = buf
-        else:
-            def run(slots, a=a, o=o, low=low, buf=out_buf):
-                np.maximum(slots[a], low, out=buf)
-                slots[o] = buf
-        return run
-
-    if st.op == "leaky_relu":
-        (a,) = st.ins
-        slope = st.aux["negative_slope"]
-        if 0.0 <= slope <= 1.0:
-            # max(x, slope*x) == where(x > 0, x, slope*x) for slope in [0, 1].
-            def run(slots, a=a, o=o, slope=slope, buf=out_buf):
-                x = slots[a]
-                np.multiply(x, slope, out=buf)
-                np.maximum(x, buf, out=buf)
-                slots[o] = buf
-        else:  # pragma: no cover - no such slope in the repo's models
-            def run(slots, a=a, o=o, slope=slope, buf=out_buf):
-                x = slots[a]
-                np.multiply(x, slope, out=buf)
-                np.copyto(buf, x, where=x > 0)
-                slots[o] = buf
-        return run
-
-    if st.op == "sigmoid":
-        (a,) = st.ins
-        if inplace_on is not None:
-            def run(slots, a=a, o=o):
-                buf = slots[a]
-                np.negative(buf, out=buf)
-                np.exp(buf, out=buf)
-                np.add(buf, 1.0, out=buf)
-                np.divide(1.0, buf, out=buf)
-                slots[o] = buf
-        else:
-            def run(slots, a=a, o=o, buf=out_buf):
-                np.negative(slots[a], out=buf)
-                np.exp(buf, out=buf)
-                np.add(buf, 1.0, out=buf)
-                np.divide(1.0, buf, out=buf)
-                slots[o] = buf
-        return run
-
-    if st.op == "pow":
-        (a,) = st.ins
-        e = st.aux["exponent"]
-        if inplace_on is not None:
-            def run(slots, a=a, o=o, e=e):
-                buf = slots[a]
-                if e == 2:
-                    np.multiply(buf, buf, out=buf)
-                elif e == 0.5:
-                    np.sqrt(buf, out=buf)
-                else:
-                    np.power(buf, e, out=buf)
-                slots[o] = buf
-        elif e == 2:
-            def run(slots, a=a, o=o, buf=out_buf):
-                x = slots[a]
-                np.multiply(x, x, out=buf)
-                slots[o] = buf
-        elif e == 0.5:
-            def run(slots, a=a, o=o, buf=out_buf):
-                np.sqrt(slots[a], out=buf)
-                slots[o] = buf
-        else:
-            def run(slots, a=a, o=o, e=e, buf=out_buf):
-                np.power(slots[a], e, out=buf)
-                slots[o] = buf
-        return run
-
-    if st.op == "matmul":
-        a, b = st.ins
-        a_shape, b_shape = slot_shapes.get(a), slot_shapes.get(b)
-        if a_shape is not None and b_shape is not None and len(a_shape) == 3 and len(b_shape) == 2:
-            # Stacked (B, N, K) @ (K, M): one flattened GEMM beats numpy's
-            # loop of B tiny ones (N is ~8-24 in these graphs).
-            bdim, n, k = a_shape
-            m = b_shape[1]
-            def run(slots, a=a, b=b, o=o, k=k, bdim=bdim, n=n, m=m, buf=out_buf):
-                np.matmul(slots[a].reshape(bdim * n, k), slots[b], out=buf)
-                slots[o] = buf.reshape(bdim, n, m)
-        else:
-            def run(slots, a=a, b=b, o=o, buf=out_buf):
-                np.matmul(slots[a], slots[b], out=buf)
-                slots[o] = buf
-        return run
-
-    if st.op == "softmax":
-        (a,) = st.ins
-        axis = st.aux["axis"]
-        red_buf = bufs[1]
-        def run(slots, a=a, o=o, axis=axis, buf=out_buf, red=red_buf):
-            x = slots[a]
-            np.maximum.reduce(x, axis=axis, keepdims=True, out=red)
-            np.subtract(x, red, out=buf)
-            np.exp(buf, out=buf)
-            np.add.reduce(buf, axis=axis, keepdims=True, out=red)
-            np.divide(buf, red, out=buf)
+    a_shape, b_shape = slot_shapes.get(a), slot_shapes.get(b)
+    if a_shape is not None and b_shape is not None and len(a_shape) == 3 and len(b_shape) == 2:
+        # Stacked (B, N, K) @ (K, M): one flattened GEMM beats numpy's
+        # loop of B tiny ones (N is ~8-24 in these graphs).
+        bdim, n, k = a_shape
+        m = b_shape[1]
+        def run(slots, a=a, b=b, o=o, k=k, bdim=bdim, n=n, m=m, buf=out_buf):
+            np.matmul(slots[a].reshape(bdim * n, k), slots[b], out=buf)
+            slots[o] = buf.reshape(bdim, n, m)
+    else:
+        def run(slots, a=a, b=b, o=o, buf=out_buf):
+            np.matmul(slots[a], slots[b], out=buf)
             slots[o] = buf
-        return run
+    return run
 
-    if st.op == "log_softmax":
-        (a,) = st.ins
-        axis = st.aux["axis"]
-        exp_buf, red_buf = bufs[1], bufs[2]
-        def run(slots, a=a, o=o, axis=axis, buf=out_buf, ebuf=exp_buf, red=red_buf):
-            x = slots[a]
-            np.maximum.reduce(x, axis=axis, keepdims=True, out=red)
-            np.subtract(x, red, out=buf)  # shifted
-            np.exp(buf, out=ebuf)
-            np.add.reduce(ebuf, axis=axis, keepdims=True, out=red)
-            np.log(red, out=red)
-            np.subtract(buf, red, out=buf)
+
+@_kernel("softmax")
+def _k_softmax(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    (a,) = st.ins
+    axis = st.aux["axis"]
+    red_buf = bufs[1]
+    def run(slots, a=a, o=o, axis=axis, buf=out_buf, red=red_buf):
+        x = slots[a]
+        np.maximum.reduce(x, axis=axis, keepdims=True, out=red)
+        np.subtract(x, red, out=buf)
+        np.exp(buf, out=buf)
+        np.add.reduce(buf, axis=axis, keepdims=True, out=red)
+        np.divide(buf, red, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("log_softmax")
+def _k_log_softmax(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    (a,) = st.ins
+    axis = st.aux["axis"]
+    exp_buf, red_buf = bufs[1], bufs[2]
+    def run(slots, a=a, o=o, axis=axis, buf=out_buf, ebuf=exp_buf, red=red_buf):
+        x = slots[a]
+        np.maximum.reduce(x, axis=axis, keepdims=True, out=red)
+        np.subtract(x, red, out=buf)  # shifted
+        np.exp(buf, out=ebuf)
+        np.add.reduce(ebuf, axis=axis, keepdims=True, out=red)
+        np.log(red, out=red)
+        np.subtract(buf, red, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("sum", "max")
+def _k_reduce(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    (a,) = st.ins
+    axis, keepdims = st.aux["axis"], st.aux["keepdims"]
+    reducer = np.add.reduce if st.op == "sum" else np.maximum.reduce
+    def run(slots, a=a, o=o, reducer=reducer, axis=axis, keepdims=keepdims, buf=out_buf):
+        reducer(slots[a], axis=axis, keepdims=keepdims, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("reshape")
+def _k_reshape(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    (a,) = st.ins
+    shape = st.aux["shape"]
+    def run(slots, a=a, o=o, shape=shape):
+        slots[o] = slots[a].reshape(shape)
+    return run
+
+
+@_kernel("transpose")
+def _k_transpose(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    (a,) = st.ins
+    axes = st.aux["axes"]
+    def run(slots, a=a, o=o, axes=axes):
+        slots[o] = slots[a].transpose(axes)
+    return run
+
+
+@_kernel("getitem")
+def _k_getitem(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    (a,) = st.ins
+    index = st.aux["index"]
+    def run(slots, a=a, o=o, index=index):
+        slots[o] = slots[a][index]
+    return run
+
+
+@_kernel("gather_rows")
+def _k_gather_rows(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    table, idx = st.ins
+    def run(slots, table=table, idx=idx, o=o, buf=out_buf):
+        np.take(slots[table], slots[idx], axis=0, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("concat", "stack")
+def _k_join(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    ins = st.ins
+    axis = st.aux["axis"]
+    joiner = np.concatenate if st.op == "concat" else np.stack
+    def run(slots, ins=ins, o=o, joiner=joiner, axis=axis, buf=out_buf):
+        joiner([slots[s] for s in ins], axis=axis, out=buf)
+        slots[o] = buf
+    return run
+
+
+# ----------------------------------------------------------- backward kernels
+# Each mirrors the corresponding eager tape closure's arithmetic op for
+# op (same numpy calls, same association), so compiled gradients track
+# the eager ones to within accumulation-order rounding.
+
+
+@_kernel("bwd_unbroadcast")
+def _k_bwd_unbroadcast(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # Sum a broadcast gradient back down to the operand's shape.
+    o = st.out
+    out_buf = bufs[0]
+    (a,) = st.ins
+    gshape = slot_shapes[a]
+    target = st.shape
+    extra = len(gshape) - len(target)
+    axes = tuple(range(extra)) + tuple(
+        extra + i
+        for i, s in enumerate(target)
+        if s == 1 and gshape[extra + i] != 1
+    )
+    mid_shape = tuple(s for i, s in enumerate(gshape) if i not in axes)
+    def run(slots, a=a, o=o, axes=axes, buf=out_buf, mid_shape=mid_shape):
+        np.add.reduce(slots[a], axis=axes, out=buf.reshape(mid_shape))
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_broadcast")
+def _k_bwd_broadcast(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # Gradient of sum: spread g over the reduced axes of the input.
+    o = st.out
+    out_buf = bufs[0]
+    (a,) = st.ins
+    axis, keepdims = st.aux["axis"], st.aux["keepdims"]
+    target = st.shape
+    if axis is None:
+        expshape = (1,) * len(target)
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(ax % len(target) for ax in axes)
+        expshape = tuple(1 if i in axes else s for i, s in enumerate(target))
+    if keepdims:
+        expshape = slot_shapes[a]
+    def run(slots, a=a, o=o, expshape=expshape, buf=out_buf):
+        np.copyto(buf, slots[a].reshape(expshape))
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_mask")
+def _k_bwd_mask(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # relu / clip_min gradient: g where input > low, else 0.  The mask
+    # lands in a persistent bool scratch (the float pool can't hold it);
+    # it is fully materialized before the write, so overwriting either
+    # operand's buffer in place is safe.
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+    g, x = st.ins
+    low = st.aux["low"]
+    mask_buf = np.empty(st.shape, dtype=bool)
+    if inplace_on is not None:
+        def run(slots, g=g, x=x, o=o, low=low, t=inplace_on, mask=mask_buf):
+            buf = slots[t]
+            np.greater(slots[x], low, out=mask)
+            np.multiply(slots[g], mask, out=buf)
             slots[o] = buf
-        return run
-
-    if st.op in ("sum", "max"):
-        (a,) = st.ins
-        axis, keepdims = st.aux["axis"], st.aux["keepdims"]
-        reducer = np.add.reduce if st.op == "sum" else np.maximum.reduce
-        def run(slots, a=a, o=o, reducer=reducer, axis=axis, keepdims=keepdims, buf=out_buf):
-            reducer(slots[a], axis=axis, keepdims=keepdims, out=buf)
+    else:
+        def run(slots, g=g, x=x, o=o, low=low, buf=out_buf, mask=mask_buf):
+            np.greater(slots[x], low, out=mask)
+            np.multiply(slots[g], mask, out=buf)
             slots[o] = buf
-        return run
+    return run
 
-    if st.op == "reshape":
-        (a,) = st.ins
-        shape = st.aux["shape"]
-        def run(slots, a=a, o=o, shape=shape):
-            slots[o] = slots[a].reshape(shape)
-        return run
 
-    if st.op == "transpose":
-        (a,) = st.ins
-        axes = st.aux["axes"]
-        def run(slots, a=a, o=o, axes=axes):
-            slots[o] = slots[a].transpose(axes)
-        return run
+@_kernel("bwd_leaky")
+def _k_bwd_leaky(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # g * where(x > 0, 1, slope) == slope*g overwritten by g where x > 0.
+    o = st.out
+    out_buf = bufs[0]
+    g, x = st.ins
+    slope = st.aux["negative_slope"]
+    mask_buf = np.empty(st.shape, dtype=bool)
+    def run(slots, g=g, x=x, o=o, slope=slope, buf=out_buf, mask=mask_buf):
+        gv = slots[g]
+        np.greater(slots[x], 0, out=mask)
+        np.multiply(gv, slope, out=buf)
+        np.copyto(buf, gv, where=mask)
+        slots[o] = buf
+    return run
 
-    if st.op == "getitem":
-        (a,) = st.ins
-        index = st.aux["index"]
-        def run(slots, a=a, o=o, index=index):
-            slots[o] = slots[a][index]
-        return run
 
-    if st.op == "gather_rows":
-        table, idx = st.ins
-        def run(slots, table=table, idx=idx, o=o, buf=out_buf):
-            np.take(slots[table], slots[idx], axis=0, out=buf)
-            slots[o] = buf
-        return run
-
-    if st.op in ("concat", "stack"):
-        ins = st.ins
-        axis = st.aux["axis"]
-        joiner = np.concatenate if st.op == "concat" else np.stack
-        def run(slots, ins=ins, o=o, joiner=joiner, axis=axis, buf=out_buf):
-            joiner([slots[s] for s in ins], axis=axis, out=buf)
-            slots[o] = buf
-        return run
-
-    # ----------------------------------------------------- backward kernels
-    # Each mirrors the corresponding eager tape closure's arithmetic op for
-    # op (same numpy calls, same association), so compiled gradients track
-    # the eager ones to within accumulation-order rounding.
-
-    if st.op == "bwd_unbroadcast":
-        # Sum a broadcast gradient back down to the operand's shape.
-        (a,) = st.ins
-        gshape = slot_shapes[a]
-        target = st.shape
-        extra = len(gshape) - len(target)
-        axes = tuple(range(extra)) + tuple(
-            extra + i
-            for i, s in enumerate(target)
-            if s == 1 and gshape[extra + i] != 1
-        )
-        mid_shape = tuple(s for i, s in enumerate(gshape) if i not in axes)
-        def run(slots, a=a, o=o, axes=axes, buf=out_buf, mid_shape=mid_shape):
-            np.add.reduce(slots[a], axis=axes, out=buf.reshape(mid_shape))
-            slots[o] = buf
-        return run
-
-    if st.op == "bwd_broadcast":
-        # Gradient of sum: spread g over the reduced axes of the input.
-        (a,) = st.ins
-        axis, keepdims = st.aux["axis"], st.aux["keepdims"]
-        target = st.shape
-        if axis is None:
-            expshape = (1,) * len(target)
-        else:
-            axes = axis if isinstance(axis, tuple) else (axis,)
-            axes = tuple(ax % len(target) for ax in axes)
-            expshape = tuple(1 if i in axes else s for i, s in enumerate(target))
-        if keepdims:
-            expshape = slot_shapes[a]
-        def run(slots, a=a, o=o, expshape=expshape, buf=out_buf):
-            np.copyto(buf, slots[a].reshape(expshape))
-            slots[o] = buf
-        return run
-
-    if st.op == "bwd_mask":
-        # relu / clip_min gradient: g where input > low, else 0.  The mask
-        # lands in a persistent bool scratch (the float pool can't hold it);
-        # it is fully materialized before the write, so overwriting either
-        # operand's buffer in place is safe.
-        g, x = st.ins
-        low = st.aux["low"]
-        mask_buf = np.empty(st.shape, dtype=bool)
-        if inplace_on is not None:
-            def run(slots, g=g, x=x, o=o, low=low, t=inplace_on, mask=mask_buf):
-                buf = slots[t]
-                np.greater(slots[x], low, out=mask)
-                np.multiply(slots[g], mask, out=buf)
-                slots[o] = buf
-        else:
-            def run(slots, g=g, x=x, o=o, low=low, buf=out_buf, mask=mask_buf):
-                np.greater(slots[x], low, out=mask)
-                np.multiply(slots[g], mask, out=buf)
-                slots[o] = buf
-        return run
-
-    if st.op == "bwd_leaky":
-        # g * where(x > 0, 1, slope) == slope*g overwritten by g where x > 0.
-        g, x = st.ins
-        slope = st.aux["negative_slope"]
-        mask_buf = np.empty(st.shape, dtype=bool)
-        def run(slots, g=g, x=x, o=o, slope=slope, buf=out_buf, mask=mask_buf):
-            gv = slots[g]
-            np.greater(slots[x], 0, out=mask)
-            np.multiply(gv, slope, out=buf)
-            np.copyto(buf, gv, where=mask)
-            slots[o] = buf
-        return run
-
-    if st.op == "bwd_sigmoid":
-        # Only the g operand's buffer may be the in-place target (the
-        # forward output is re-read after the first write).
-        g, out_fwd = st.ins
-        scratch = bufs[1]
-        if inplace_on is not None:
-            def run(slots, g=g, f=out_fwd, o=o, t=inplace_on, scratch=scratch):
-                buf = slots[t]
-                fv = slots[f]
-                np.multiply(slots[g], fv, out=buf)
-                np.subtract(1.0, fv, out=scratch)
-                np.multiply(buf, scratch, out=buf)
-                slots[o] = buf
-        else:
-            def run(slots, g=g, f=out_fwd, o=o, buf=out_buf, scratch=scratch):
-                fv = slots[f]
-                np.multiply(slots[g], fv, out=buf)
-                np.subtract(1.0, fv, out=scratch)
-                np.multiply(buf, scratch, out=buf)
-                slots[o] = buf
-        return run
-
-    if st.op == "bwd_tanh":
-        g, out_fwd = st.ins
-        def run(slots, g=g, f=out_fwd, o=o, buf=out_buf):
+@_kernel("bwd_sigmoid")
+def _k_bwd_sigmoid(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # Only the g operand's buffer may be the in-place target (the
+    # forward output is re-read after the first write).
+    o = st.out
+    out_buf = bufs[0] if bufs else None
+    g, out_fwd = st.ins
+    scratch = bufs[1]
+    if inplace_on is not None:
+        def run(slots, g=g, f=out_fwd, o=o, t=inplace_on, scratch=scratch):
+            buf = slots[t]
             fv = slots[f]
-            np.multiply(fv, fv, out=buf)
-            np.subtract(1.0, buf, out=buf)
-            np.multiply(slots[g], buf, out=buf)
-            slots[o] = buf
-        return run
-
-    if st.op == "bwd_abs":
-        g, x = st.ins
-        def run(slots, g=g, x=x, o=o, buf=out_buf):
-            np.sign(slots[x], out=buf)
-            np.multiply(buf, slots[g], out=buf)
-            slots[o] = buf
-        return run
-
-    if st.op == "bwd_pow":
-        g, x = st.ins
-        e = st.aux["exponent"]
-        scratch = bufs[1]
-        def run(slots, g=g, x=x, o=o, e=e, buf=out_buf, scratch=scratch):
-            np.multiply(slots[g], e, out=buf)
-            np.power(slots[x], e - 1, out=scratch)
+            np.multiply(slots[g], fv, out=buf)
+            np.subtract(1.0, fv, out=scratch)
             np.multiply(buf, scratch, out=buf)
             slots[o] = buf
-        return run
-
-    if st.op == "bwd_div_b":
-        # d(a/b)/db contribution: (-g * a) / b**2.
-        g, a, b = st.ins
-        bscratch = bufs[1]
-        def run(slots, g=g, a=a, b=b, o=o, buf=out_buf, bscratch=bscratch):
-            np.negative(slots[g], out=buf)
-            np.multiply(buf, slots[a], out=buf)
-            np.power(slots[b], 2, out=bscratch)
-            np.divide(buf, bscratch, out=buf)
+    else:
+        def run(slots, g=g, f=out_fwd, o=o, buf=out_buf, scratch=scratch):
+            fv = slots[f]
+            np.multiply(slots[g], fv, out=buf)
+            np.subtract(1.0, fv, out=scratch)
+            np.multiply(buf, scratch, out=buf)
             slots[o] = buf
-        return run
+    return run
 
-    if st.op == "bwd_softmax":
-        g, out_fwd = st.ins
-        axis = st.aux["axis"]
-        red = bufs[1]
-        def run(slots, g=g, f=out_fwd, o=o, axis=axis, buf=out_buf, red=red):
-            gv, fv = slots[g], slots[f]
-            np.multiply(gv, fv, out=buf)
-            np.add.reduce(buf, axis=axis, keepdims=True, out=red)
-            np.subtract(gv, red, out=buf)
-            np.multiply(fv, buf, out=buf)
+
+@_kernel("bwd_tanh")
+def _k_bwd_tanh(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    g, out_fwd = st.ins
+    def run(slots, g=g, f=out_fwd, o=o, buf=out_buf):
+        fv = slots[f]
+        np.multiply(fv, fv, out=buf)
+        np.subtract(1.0, buf, out=buf)
+        np.multiply(slots[g], buf, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_abs")
+def _k_bwd_abs(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    g, x = st.ins
+    def run(slots, g=g, x=x, o=o, buf=out_buf):
+        np.sign(slots[x], out=buf)
+        np.multiply(buf, slots[g], out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_pow")
+def _k_bwd_pow(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    g, x = st.ins
+    e = st.aux["exponent"]
+    scratch = bufs[1]
+    def run(slots, g=g, x=x, o=o, e=e, buf=out_buf, scratch=scratch):
+        np.multiply(slots[g], e, out=buf)
+        np.power(slots[x], e - 1, out=scratch)
+        np.multiply(buf, scratch, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_div_b")
+def _k_bwd_div_b(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # d(a/b)/db contribution: (-g * a) / b**2.
+    o = st.out
+    out_buf = bufs[0]
+    g, a, b = st.ins
+    bscratch = bufs[1]
+    def run(slots, g=g, a=a, b=b, o=o, buf=out_buf, bscratch=bscratch):
+        np.negative(slots[g], out=buf)
+        np.multiply(buf, slots[a], out=buf)
+        np.power(slots[b], 2, out=bscratch)
+        np.divide(buf, bscratch, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_softmax")
+def _k_bwd_softmax(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    g, out_fwd = st.ins
+    axis = st.aux["axis"]
+    red = bufs[1]
+    def run(slots, g=g, f=out_fwd, o=o, axis=axis, buf=out_buf, red=red):
+        gv, fv = slots[g], slots[f]
+        np.multiply(gv, fv, out=buf)
+        np.add.reduce(buf, axis=axis, keepdims=True, out=red)
+        np.subtract(gv, red, out=buf)
+        np.multiply(fv, buf, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_log_softmax")
+def _k_bwd_log_softmax(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    g, out_fwd = st.ins
+    axis = st.aux["axis"]
+    red = bufs[1]
+    def run(slots, g=g, f=out_fwd, o=o, axis=axis, buf=out_buf, red=red):
+        gv = slots[g]
+        np.add.reduce(gv, axis=axis, keepdims=True, out=red)
+        np.exp(slots[f], out=buf)
+        np.multiply(buf, red, out=buf)
+        np.subtract(gv, buf, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_max")
+def _k_bwd_max(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    o = st.out
+    out_buf = bufs[0]
+    g, x, out_fwd = st.ins
+    axis, keepdims = st.aux["axis"], st.aux["keepdims"]
+    def run(slots, g=g, x=x, f=out_fwd, o=o, axis=axis, keepdims=keepdims, buf=out_buf):
+        gv, xv, fv = slots[g], slots[x], slots[f]
+        if axis is not None and not keepdims:
+            gv = np.expand_dims(gv, axis)
+            fv = np.expand_dims(fv, axis)
+        mask = xv == fv
+        counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+        np.divide(np.where(mask, gv, 0.0), counts, out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_scatter")
+def _k_bwd_scatter(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # Gradient of getitem: scatter-add g into a zeroed input-shaped
+    # buffer.  Basic indices (ints/slices) cannot repeat a position, so
+    # plain assignment replaces the much slower np.add.at.
+    o = st.out
+    out_buf = bufs[0]
+    (g,) = st.ins
+    index = st.aux["index"]
+    parts = index if isinstance(index, tuple) else (index,)
+    basic = all(isinstance(p, (int, np.integer, slice, type(Ellipsis))) for p in parts)
+    if basic:
+        def run(slots, g=g, o=o, index=index, buf=out_buf):
+            buf[...] = 0.0
+            buf[index] = slots[g]
             slots[o] = buf
-        return run
-
-    if st.op == "bwd_log_softmax":
-        g, out_fwd = st.ins
-        axis = st.aux["axis"]
-        red = bufs[1]
-        def run(slots, g=g, f=out_fwd, o=o, axis=axis, buf=out_buf, red=red):
-            gv = slots[g]
-            np.add.reduce(gv, axis=axis, keepdims=True, out=red)
-            np.exp(slots[f], out=buf)
-            np.multiply(buf, red, out=buf)
-            np.subtract(gv, buf, out=buf)
+    else:
+        def run(slots, g=g, o=o, index=index, buf=out_buf):
+            buf[...] = 0.0
+            np.add.at(buf, index, slots[g])
             slots[o] = buf
-        return run
+    return run
 
-    if st.op == "bwd_max":
-        g, x, out_fwd = st.ins
-        axis, keepdims = st.aux["axis"], st.aux["keepdims"]
-        def run(slots, g=g, x=x, f=out_fwd, o=o, axis=axis, keepdims=keepdims, buf=out_buf):
-            gv, xv, fv = slots[g], slots[x], slots[f]
-            if axis is not None and not keepdims:
-                gv = np.expand_dims(gv, axis)
-                fv = np.expand_dims(fv, axis)
-            mask = xv == fv
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            np.divide(np.where(mask, gv, 0.0), counts, out=buf)
+
+@_kernel("bwd_matmul_acc")
+def _k_bwd_matmul_acc(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # Weight gradient of a stacked (B, N, K) @ (K, M) matmul: the
+    # batched a^T @ g plus its sum over B collapse into one
+    # (K, B*N) @ (B*N, M) GEMM (same summation, BLAS-blocked order).
+    o = st.out
+    out_buf = bufs[0]
+    a, g = st.ins
+    bdim, n, k = slot_shapes[a]
+    m = st.shape[1]
+    def run(slots, a=a, g=g, o=o, bdim=bdim, n=n, k=k, m=m, buf=out_buf):
+        np.matmul(slots[a].reshape(bdim * n, k).T, slots[g].reshape(bdim * n, m), out=buf)
+        slots[o] = buf
+    return run
+
+
+@_kernel("bwd_scatter_rows")
+def _k_bwd_scatter_rows(st, slot_shapes, inplace_on, bufs, prenegated, negate_rhs):
+    # Gradient of gather_rows: scatter-add rows back into the table.
+    # For a 2-D table this is a one-hot GEMM — (rows, n_src) @ (n_src,
+    # feat) — which beats np.add.at's per-element buffered loop by ~10x
+    # on embedding-sized tables (summation order is BLAS-blocked, ulps
+    # from the sequential order).
+    o = st.out
+    out_buf = bufs[0]
+    g, idx = st.ins
+    if len(st.shape) == 2:
+        n_src = int(np.prod(slot_shapes[idx], dtype=np.int64))
+        rows, feat = st.shape
+        onehot = np.zeros((rows, n_src))
+        cols = np.arange(n_src)
+        def run(slots, g=g, idx=idx, o=o, n_src=n_src, feat=feat,
+                onehot=onehot, cols=cols, buf=out_buf):
+            onehot[...] = 0.0
+            onehot[slots[idx].reshape(-1), cols] = 1.0
+            np.matmul(onehot, slots[g].reshape(n_src, feat), out=buf)
             slots[o] = buf
-        return run
+    else:  # pragma: no cover - no N-d embedding tables in the repo
+        def run(slots, g=g, idx=idx, o=o, buf=out_buf):
+            buf[...] = 0.0
+            np.add.at(buf, slots[idx], slots[g])
+            slots[o] = buf
+    return run
 
-    if st.op == "bwd_scatter":
-        # Gradient of getitem: scatter-add g into a zeroed input-shaped
-        # buffer.  Basic indices (ints/slices) cannot repeat a position, so
-        # plain assignment replaces the much slower np.add.at.
-        (g,) = st.ins
-        index = st.aux["index"]
-        parts = index if isinstance(index, tuple) else (index,)
-        basic = all(isinstance(p, (int, np.integer, slice, type(Ellipsis))) for p in parts)
-        if basic:
-            def run(slots, g=g, o=o, index=index, buf=out_buf):
-                buf[...] = 0.0
-                buf[index] = slots[g]
-                slots[o] = buf
+
+# ------------------------------------------------------------- buffer layout
+
+class _PoolPlanner:
+    """Register-allocation-style buffer assignment at compile time.
+
+    Each step's output (and scratch) buffer id is taken from a free list and
+    returned once every slot aliasing it is dead.  This keeps the replay
+    working set at the *live* activation set instead of one buffer per step
+    — the difference between thrashing L2 on every elementwise pass and
+    staying cache-resident.
+
+    Storage is 1-D and keyed by **element count**, not shape — a
+    ``(B, N, F)`` activation and the ``(B*N, F)`` GEMM scratch share a size
+    class — and kernels capture reshaped views at build time.  Training
+    plans (which must keep forward activations alive for the backward) see
+    a meaningfully smaller footprint than shape-exact pooling would give.
+
+    The planner only assigns *ids* (the sizes land in
+    :class:`~repro.nnlib.ir.BufferLayout`); :func:`_build_exec` materializes
+    the arrays.  Keeping planning pure data is what lets a serialized plan
+    reproduce the exact same memory plan in another process.
+    """
+
+    def __init__(self):
+        self.sizes: list[int] = []  # element counts of the 1-D bases
+        self._free: dict[int, list[int]] = {}
+
+    def alloc(self, shape: tuple[int, ...]) -> int:
+        size = int(np.prod(shape, dtype=np.int64))
+        free = self._free.get(size)
+        if free:
+            return free.pop()
+        self.sizes.append(size)
+        return len(self.sizes) - 1
+
+    def release(self, bid: int) -> None:
+        self._free.setdefault(self.sizes[bid], []).append(bid)
+
+
+def _sigmoid_fold_plan(ir: PlanIR, use, consumers, leaf_rhs, output_set):
+    """Find matmul→sigmoid pairs eligible for the negation fold.
+
+    ``sigmoid(x) = 1 / (1 + exp(-x))`` spends a full elementwise pass
+    on the negation; when ``x = a @ W`` with a stable leaf weight, the
+    sign moves into the weight (``a @ (-W)``, cached per weight array,
+    exact in floating point) and sigmoid becomes the three-pass
+    ``1 / (1 + exp(x))`` — one fewer pass per gate, bitwise-faithful.
+    Returns ``(negated_step_idxs, prenegated_step_idxs)``.
+    """
+    steps = ir.ops
+    negated: set[int] = set()
+    prenegated: set[int] = set()
+    for i, st in enumerate(steps):
+        if st.op != "matmul" or st.out in output_set:
+            continue
+        a, b = st.ins
+        a_shape, b_shape = ir.slot_shapes.get(a), ir.slot_shapes.get(b)
+        if a_shape is None or b_shape is None or len(a_shape) != 3 or len(b_shape) != 2:
+            continue
+        if b not in leaf_rhs:  # weights must be stable leaves, not activations
+            continue
+        outs = consumers.get(st.out, ())
+        if use[st.out] == 1 and len(outs) == 1 and steps[outs[0]].op == "sigmoid":
+            negated.add(i)
+            prenegated.add(outs[0])
+    return negated, prenegated
+
+
+def _fusion_target(st: Step, steps: list[Step], use, producers) -> int | None:
+    """The slot whose buffer ``st`` may overwrite in place, if any.
+
+    Eligible: the candidate is this step's only consumer of a non-view
+    producer's buffer with the output's exact shape (broadcast operands
+    stay read-only, so elementwise aliasing is well-defined).
+    """
+    if st.op not in _INPLACE_OPS or len(st.ins) > 2:
+        return None
+    candidates = st.ins[:1] if st.op in _INPLACE_FIRST_ONLY else st.ins
+    for cand in candidates:
+        pi = producers.get(cand)
+        if pi is None:
+            continue
+        prod = steps[pi]
+        if use[cand] == 1 and prod.op not in _VIEW_OPS and prod.shape == st.shape:
+            return cand
+    return None
+
+
+def compute_layout(ir: PlanIR, bound_slots=()) -> BufferLayout:
+    """Plan the pooled buffer layout for an IR — deterministically.
+
+    Walks the op table once, assigning each step a fusion target (overwrite
+    a dying producer buffer in place), an output buffer id from the
+    size-class pool, and scratch buffer ids, releasing buffers as the last
+    consumer of each slot passes.  ``bound_slots`` are output slots whose
+    destination arrays the caller fixes at build time (gradients bound to a
+    fused optimizer): they take no pooled output buffer and are never
+    fusion targets.
+
+    The result is pure data (:class:`~repro.nnlib.ir.BufferLayout`) and a
+    function of the IR alone, so a layout computed here, serialized, and
+    rebuilt in another process drives a bitwise-identical replay.
+    """
+    bound_set = frozenset(bound_slots)
+    steps = ir.ops
+    output_set = frozenset((ir.output_slot, *ir.extra_outputs))
+    use = Counter()
+    last_use: dict[int, int] = {}
+    consumers: dict[int, list[int]] = {}
+    for i, st in enumerate(steps):
+        for s in st.ins:
+            use[s] += 1
+            last_use[s] = i
+            consumers.setdefault(s, []).append(i)
+    for out_slot in output_set:
+        use[out_slot] += 1
+        last_use[out_slot] = len(steps)  # outputs never die
+    for _, _, deps in ir.derived:
+        for d in deps:
+            use[d] += 1
+    producers = {st.out: i for i, st in enumerate(steps)}
+
+    leaf_rhs = {slot for slot, _ in ir.params}
+    leaf_rhs.update(slot for slot, _ in ir.consts)
+    negated, prenegated = _sigmoid_fold_plan(ir, use, consumers, leaf_rhs, output_set)
+
+    pool = _PoolPlanner()
+    base_of: dict[int, int] = {}  # slot -> pooled buffer id backing it
+    refcount: dict[int, int] = {}
+    entries: list[tuple[int | None, int | None, tuple[int, ...]]] = []
+    fused = 0
+    for i, st in enumerate(steps):
+        is_bound = st.out in bound_set
+        target = None if is_bound else _fusion_target(st, steps, use, producers)
+        if is_bound and st.op not in _VIEW_OPS:
+            # Output with a caller-fixed destination: the kernel writes
+            # into the provided array; only scratch comes from the pool.
+            shapes = _scratch_shapes(st, ir.slot_shapes)[1:]
+            scratch = tuple(pool.alloc(shape) for shape in shapes)
+            for b in scratch:
+                pool.release(b)
+            entries.append((None, None, scratch))
+            bid = None
+        elif target is not None:
+            fused += 1
+            # A fused step needs no output buffer but may still need
+            # kernel scratch (bwd_sigmoid's (1 - out) pass).
+            shapes = _scratch_shapes(st, ir.slot_shapes)[1:]
+            scratch = tuple(pool.alloc(shape) for shape in shapes)
+            for b in scratch:
+                pool.release(b)
+            entries.append((target, None, scratch))
+            bid = base_of[target]
+        elif st.op in _VIEW_OPS:
+            entries.append((None, None, ()))
+            bid = base_of.get(st.ins[0])  # None when viewing a leaf
         else:
-            def run(slots, g=g, o=o, index=index, buf=out_buf):
-                buf[...] = 0.0
-                np.add.at(buf, index, slots[g])
-                slots[o] = buf
-        return run
+            # Allocate the output first, then release dying operands, so
+            # a kernel's out buffer can never alias one of its inputs
+            # (np.matmul requires a disjoint out; elementwise aliasing is
+            # handled explicitly by the fusion path instead).
+            shapes = _scratch_shapes(st, ir.slot_shapes)
+            bids = [pool.alloc(shape) for shape in shapes]
+            bid = bids[0]
+            for scratch_bid in bids[1:]:  # scratch lives only within the step
+                pool.release(scratch_bid)
+            entries.append((None, bid, tuple(bids[1:])))
+        if bid is not None:
+            base_of[st.out] = bid
+            refcount[bid] = refcount.get(bid, 0) + 1
+        dying = {s for s in st.ins if last_use.get(s) == i}
+        if target is not None:
+            dying.add(target)
+        if use.get(st.out, 0) == 0 and st.out not in output_set:
+            dying.add(st.out)  # computed but never consumed
+        for s in dying:
+            b = base_of.get(s)
+            if b is not None:
+                refcount[b] -= 1
+                if refcount[b] == 0:
+                    pool.release(b)
+    return BufferLayout(
+        sizes=pool.sizes,
+        steps=entries,
+        negated=tuple(sorted(negated)),
+        prenegated=tuple(sorted(prenegated)),
+        bound=tuple(sorted(bound_set)),
+        num_fused=fused,
+    )
 
-    if st.op == "bwd_matmul_acc":
-        # Weight gradient of a stacked (B, N, K) @ (K, M) matmul: the
-        # batched a^T @ g plus its sum over B collapse into one
-        # (K, B*N) @ (B*N, M) GEMM (same summation, BLAS-blocked order).
-        a, g = st.ins
-        bdim, n, k = slot_shapes[a]
-        m = st.shape[1]
-        def run(slots, a=a, g=g, o=o, bdim=bdim, n=n, k=k, m=m, buf=out_buf):
-            np.matmul(slots[a].reshape(bdim * n, k).T, slots[g].reshape(bdim * n, m), out=buf)
-            slots[o] = buf
-        return run
 
-    if st.op == "bwd_scatter_rows":
-        # Gradient of gather_rows: scatter-add rows back into the table.
-        # For a 2-D table this is a one-hot GEMM — (rows, n_src) @ (n_src,
-        # feat) — which beats np.add.at's per-element buffered loop by ~10x
-        # on embedding-sized tables (summation order is BLAS-blocked, ulps
-        # from the sequential order).
-        g, idx = st.ins
-        if len(st.shape) == 2:
-            n_src = int(np.prod(slot_shapes[idx], dtype=np.int64))
-            rows, feat = st.shape
-            onehot = np.zeros((rows, n_src))
-            cols = np.arange(n_src)
-            def run(slots, g=g, idx=idx, o=o, n_src=n_src, feat=feat,
-                    onehot=onehot, cols=cols, buf=out_buf):
-                onehot[...] = 0.0
-                onehot[slots[idx].reshape(-1), cols] = 1.0
-                np.matmul(onehot, slots[g].reshape(n_src, feat), out=buf)
-                slots[o] = buf
-        else:  # pragma: no cover - no N-d embedding tables in the repo
-            def run(slots, g=g, idx=idx, o=o, buf=out_buf):
-                buf[...] = 0.0
-                np.add.at(buf, slots[idx], slots[g])
-                slots[o] = buf
-        return run
-
-    raise TraceError(f"no replay kernel for traced op {st.op!r}")  # pragma: no cover
+def _build_exec(
+    ir: PlanIR,
+    layout: BufferLayout,
+    output_buffers: dict[int, np.ndarray],
+) -> tuple[list, list[np.ndarray]]:
+    """Materialize the pooled buffers and build every step's kernel."""
+    bases = [np.empty(size) for size in layout.sizes]
+    negated = frozenset(layout.negated)
+    prenegated = frozenset(layout.prenegated)
+    execs = []
+    for i, st in enumerate(ir.ops):
+        target, out_bid, scratch = layout.steps[i]
+        if st.op in _VIEW_OPS:
+            bufs: list = []
+        else:
+            shapes = _scratch_shapes(st, ir.slot_shapes)
+            scratch_views = [
+                bases[b].reshape(s) for b, s in zip(scratch, shapes[len(shapes) - len(scratch):])
+            ]
+            if target is not None:
+                bufs = [None] + scratch_views
+            elif out_bid is not None:
+                bufs = [bases[out_bid].reshape(shapes[0])] + scratch_views
+            else:
+                dst = output_buffers.get(st.out)
+                if dst is None:
+                    raise TraceError(
+                        f"buffer layout binds step {i} ({st.op!r}) to a caller "
+                        "output buffer, but none was provided"
+                    )
+                bufs = [dst] + scratch_views
+        execs.append(
+            _make_kernel(
+                st,
+                ir.slot_shapes,
+                target,
+                bufs,
+                prenegated_sigmoid=i in prenegated,
+                negate_rhs=i in negated,
+            )
+        )
+    return execs, bases
 
 
 class CompiledPlan:
     """A flat, replayable numpy program captured from one traced forward.
 
-    Replay is thread-safe (a per-plan lock guards the reused buffers) and
-    shape-specialized: every named input must match the traced shape.
-    Parameters are read live from their ``Parameter`` objects at each
-    replay, so weight updates after compilation are honored; *structural*
-    changes (a different module graph) require re-tracing.
+    Wraps a :class:`~repro.nnlib.ir.PlanIR` (the declarative program) with
+    the live bindings an executable needs: the ``Parameter`` objects
+    (aligned with ``ir.params``) and the derived-input callables (aligned
+    with ``ir.derived``).  Replay is thread-safe (a per-plan lock guards the
+    reused buffers) and shape-specialized: every named input must match the
+    traced shape.  Parameters are read live from their ``Parameter`` objects
+    at each replay, so weight updates after compilation are honored;
+    *structural* changes (a different module graph) require re-tracing.
     """
 
     def __init__(
         self,
-        tracer: _Tracer,
-        output_slot: int,
-        extra_outputs: tuple[int, ...] = (),
+        ir: PlanIR,
+        params: list[Parameter],
+        derived_fns: list[Callable],
         output_buffers: dict[int, np.ndarray] | None = None,
     ):
-        self.input_slots = dict(tracer.input_slots)
-        self.input_shapes = {n: tuple(np.shape(tracer.inputs[n])) for n in tracer.inputs}
-        self.output_slot = output_slot
+        if len(params) != len(ir.params):
+            raise TraceError(
+                f"plan binds {len(ir.params)} parameters, got {len(params)} objects"
+            )
+        if len(derived_fns) != len(ir.derived):
+            raise TraceError(
+                f"plan has {len(ir.derived)} derived inputs, got {len(derived_fns)} recipes"
+            )
+        self.ir = ir
+        self.input_slots = dict(ir.inputs)
+        self.input_shapes = {n: tuple(s) for n, s in ir.input_shapes.items()}
+        self.output_slot = ir.output_slot
         # Training plans keep every per-parameter gradient slot alive too.
-        self._output_set = frozenset((output_slot, *extra_outputs))
+        self._output_set = frozenset((ir.output_slot, *ir.extra_outputs))
         # Caller-fixed destination arrays for specific output slots: the
         # producing kernel writes straight into them (a TrainingPlan bound
         # to a fused optimizer lands gradients in the flat grad buffer with
         # no copy-out pass).  Never pooled, never fusion targets.
         self._output_buffers = dict(output_buffers or {})
-        self.steps = list(tracer.steps)
-        self._params = list(tracer.param_slots)
-        self._derived = list(tracer.derived_slots)
-        self._template: list = [None] * tracer.n_slots
-        for slot, arr in tracer.const_slots:
+        self.steps = list(ir.ops)
+        self._params = [(slot, p) for (slot, _), p in zip(ir.params, params)]
+        self._derived = [
+            (slot, fn, deps) for (slot, _, deps), fn in zip(ir.derived, derived_fns)
+        ]
+        self._template: list = [None] * ir.n_slots
+        for slot, arr in ir.consts:
             self._template[slot] = arr
-        self.num_constants = len(tracer.const_slots)
+        self.num_constants = len(ir.consts)
         self.num_parameters = len(self._params)
-        self._exec, self.num_fused, self._buffers = self._compile(tracer)
+        bound = tuple(sorted(self._output_buffers))
+        layout = ir.layout
+        if layout is None or tuple(layout.bound) != bound:
+            layout = compute_layout(ir, bound)
+            if not bound:
+                # Cache the canonical (unbound) layout on the IR: save()
+                # serializes exactly what this process executes, so a loaded
+                # plan replays bitwise-identically.
+                ir.layout = layout
+        self._layout = layout
+        self.num_fused = layout.num_fused
+        self.num_folded_gates = len(layout.negated)
+        self._exec, self._buffers = _build_exec(ir, layout, self._output_buffers)
         self.num_steps = len(self.steps)
         self.num_buffers = len(self._buffers)
         self._lock = threading.Lock()
 
-    # ------------------------------------------------------------- compilation
-    def _sigmoid_fold_plan(self, use, consumers, leaf_rhs, slot_shapes):
-        """Find matmul→sigmoid pairs eligible for the negation fold.
+    @property
+    def buffer_bytes(self) -> int:
+        """Resident bytes of the pooled replay buffers (observability)."""
+        return sum(b.nbytes for b in self._buffers)
 
-        ``sigmoid(x) = 1 / (1 + exp(-x))`` spends a full elementwise pass
-        on the negation; when ``x = a @ W`` with a stable leaf weight, the
-        sign moves into the weight (``a @ (-W)``, cached per weight array,
-        exact in floating point) and sigmoid becomes the three-pass
-        ``1 / (1 + exp(x))`` — one fewer pass per gate, bitwise-faithful.
-        Returns ``(negated_matmul_ids, prenegated_sigmoid_ids)``.
-        """
-        negated: set[int] = set()
-        prenegated: set[int] = set()
-        for st in self.steps:
-            if st.op != "matmul" or st.out in self._output_set:
-                continue
-            a, b = st.ins
-            a_shape, b_shape = slot_shapes.get(a), slot_shapes.get(b)
-            if a_shape is None or b_shape is None or len(a_shape) != 3 or len(b_shape) != 2:
-                continue
-            if b not in leaf_rhs:  # weights must be stable leaves, not activations
-                continue
-            outs = consumers.get(st.out, ())
-            if use[st.out] == 1 and len(outs) == 1 and outs[0].op == "sigmoid":
-                negated.add(id(st))
-                prenegated.add(id(outs[0]))
-        return negated, prenegated
+    # ------------------------------------------------------------- persistence
+    def save(self, path, metadata: dict | None = None) -> None:
+        """Persist this plan as a versioned artifact (see
+        :func:`repro.nnlib.ir.save_plan`).  Requires the plan to have been
+        traced with ``module=`` and all derived recipes registered."""
+        from repro.nnlib.ir import save_plan
 
-    def _compile(self, tracer: _Tracer):
-        steps = self.steps
-        use = Counter()
-        last_use: dict[int, int] = {}
-        consumers: dict[int, list[Step]] = {}
-        for i, st in enumerate(steps):
-            for s in st.ins:
-                use[s] += 1
-                last_use[s] = i
-                consumers.setdefault(s, []).append(st)
-        for out_slot in self._output_set:
-            use[out_slot] += 1
-            last_use[out_slot] = len(steps)  # outputs never die
-        for _, _, deps in self._derived:
-            for d in deps:
-                use[d] += 1
-        producers = {st.out: st for st in steps}
-
-        leaf_rhs = {slot for slot, _ in self._params}
-        leaf_rhs.update(slot for slot, arr in enumerate(self._template) if arr is not None)
-        negated, prenegated = self._sigmoid_fold_plan(
-            use, consumers, leaf_rhs, tracer.slot_shapes
-        )
-        self.num_folded_gates = len(negated)
-
-        pool = _BufferPool()
-        base_of: dict[int, int] = {}  # slot -> pooled buffer id backing it
-        refcount: dict[int, int] = {}
-        execs = []
-        fused = 0
-        for i, st in enumerate(steps):
-            bound = self._output_buffers.get(st.out)
-            target = None if bound is not None else self._fusion_target(st, use, producers)
-            if bound is not None and st.op not in _VIEW_OPS:
-                # Output with a caller-fixed destination: the kernel writes
-                # into the provided array; only scratch comes from the pool.
-                shapes = _scratch_shapes(st, tracer.slot_shapes)[1:]
-                scratch = [pool.alloc(shape) for shape in shapes]
-                bufs = [bound] + [pool.view(b, s) for b, s in zip(scratch, shapes)]
-                for b in scratch:
-                    pool.release(b)
-                bid = None
-            elif target is not None:
-                fused += 1
-                # A fused step needs no output buffer but may still need
-                # kernel scratch (bwd_sigmoid's (1 - out) pass).
-                shapes = _scratch_shapes(st, tracer.slot_shapes)[1:]
-                scratch = [pool.alloc(shape) for shape in shapes]
-                bufs: list[np.ndarray | None] = [None] + [
-                    pool.view(b, s) for b, s in zip(scratch, shapes)
-                ]
-                for b in scratch:
-                    pool.release(b)
-                bid = base_of[target]
-            elif st.op in _VIEW_OPS:
-                bufs = []
-                bid = base_of.get(st.ins[0])  # None when viewing a leaf
-            else:
-                # Allocate the output first, then release dying operands, so
-                # a kernel's out buffer can never alias one of its inputs
-                # (np.matmul requires a disjoint out; elementwise aliasing is
-                # handled explicitly by the fusion path instead).
-                shapes = _scratch_shapes(st, tracer.slot_shapes)
-                bids = [pool.alloc(shape) for shape in shapes]
-                bufs = [pool.view(b, s) for b, s in zip(bids, shapes)]
-                bid = bids[0]
-                for scratch in bids[1:]:  # scratch lives only within the step
-                    pool.release(scratch)
-            if bid is not None:
-                base_of[st.out] = bid
-                refcount[bid] = refcount.get(bid, 0) + 1
-            execs.append(
-                _make_kernel(
-                    st,
-                    tracer.slot_shapes,
-                    target,
-                    bufs,
-                    prenegated_sigmoid=id(st) in prenegated,
-                    negate_rhs=id(st) in negated,
-                )
-            )
-            dying = {s for s in st.ins if last_use.get(s) == i}
-            if target is not None:
-                dying.add(target)
-            if use.get(st.out, 0) == 0 and st.out not in self._output_set:
-                dying.add(st.out)  # computed but never consumed
-            for s in dying:
-                b = base_of.get(s)
-                if b is not None:
-                    refcount[b] -= 1
-                    if refcount[b] == 0:
-                        pool.release(b)
-        return execs, fused, pool.buffers
-
-    def _fusion_target(self, st: Step, use, producers) -> int | None:
-        """The slot whose buffer ``st`` may overwrite in place, if any.
-
-        Eligible: the candidate is this step's only consumer of a non-view
-        producer's buffer with the output's exact shape (broadcast operands
-        stay read-only, so elementwise aliasing is well-defined).
-        """
-        if st.op not in _INPLACE_OPS or len(st.ins) > 2:
-            return None
-        candidates = st.ins[:1] if st.op in _INPLACE_FIRST_ONLY else st.ins
-        for cand in candidates:
-            prod = producers.get(cand)
-            if (
-                prod is not None
-                and use[cand] == 1
-                and prod.op not in _VIEW_OPS
-                and prod.shape == st.shape
-            ):
-                return cand
-        return None
+        save_plan(self, path, metadata)
 
     # ------------------------------------------------------------------ replay
     def _validate_inputs(self, inputs: dict[str, np.ndarray]) -> None:
@@ -1082,11 +1372,12 @@ class CompiledPlan:
 
 # ----------------------------------------------------- shared-LHS GEMM merge
 
+@register_derived_fn("trace.concat_columns")
 def _concat_columns(*weights: np.ndarray) -> np.ndarray:
     return np.concatenate(weights, axis=1)
 
 
-def _merge_shared_lhs_matmuls(tracer: _Tracer) -> None:
+def _merge_shared_lhs_matmuls(ir: PlanIR, derived_fns: list[Callable]) -> None:
     """Merge matmuls that share a LHS activation against leaf 2-D weights.
 
     The predictor computes many ``(B, N, K) @ (K, M_i)`` products of the
@@ -1102,11 +1393,12 @@ def _merge_shared_lhs_matmuls(tracer: _Tracer) -> None:
     merged GEMM-accumulate.  Per-element sums are regrouped relative to the
     eager per-layer GEMMs (ulp-level, inside the 1e-6 equivalence budget).
 
-    Applied to training traces only — inference plans keep the PR-4 layout
-    (and its matmul→sigmoid negation fold, which the merge supersedes here).
+    An IR→IR rewrite applied to training programs only — inference plans
+    keep the PR-4 layout (and its matmul→sigmoid negation fold, which the
+    merge supersedes here).
     """
-    steps = tracer.steps
-    shapes = tracer.slot_shapes
+    steps = ir.ops
+    shapes = ir.slot_shapes
     produced = {st.out for st in steps}
     groups: dict[tuple[int, int], list[int]] = {}  # (lhs slot, K) -> step idxs
     for i, st in enumerate(steps):
@@ -1129,12 +1421,11 @@ def _merge_shared_lhs_matmuls(tracer: _Tracer) -> None:
         widths = [shapes[b][1] for b in b_slots]
         total = sum(widths)
         bdim, n, _ = shapes[lhs]
-        wcat = tracer._new_slot()
-        shapes[wcat] = (k, total)
-        tracer.derived_slots.append((wcat, _concat_columns, tuple(b_slots)))
-        merged_out = tracer._new_slot()
+        wcat = _ir_new_slot(ir, (k, total))
+        ir.derived.append((wcat, "trace.concat_columns", tuple(b_slots)))
+        derived_fns.append(_concat_columns)
+        merged_out = _ir_new_slot(ir, (bdim, n, total))
         mshape = (bdim, n, total)
-        shapes[merged_out] = mshape
         cols = []
         off = 0
         for b, width in zip(b_slots, widths):
@@ -1165,7 +1456,7 @@ def _merge_shared_lhs_matmuls(tracer: _Tracer) -> None:
         for i, st in enumerate(steps):
             rebuilt.extend(inserts.get(i, ()))
             rebuilt.append(st)
-        tracer.steps[:] = rebuilt
+        ir.ops[:] = rebuilt
 
 
 # ------------------------------------------------------- symbolic backward
@@ -1183,20 +1474,21 @@ def _matmul_shape(a_shape: tuple[int, ...], b_shape: tuple[int, ...]) -> tuple[i
     return tuple(batch) + (a_shape[-2], b_shape[-1])
 
 
-def _append_backward(tracer: _Tracer, loss_slot: int) -> dict[int, int | None]:
-    """Differentiate the recorded forward, appending VJP steps to the tracer.
+def _append_backward(ir: PlanIR, loss_slot: int) -> dict[int, int | None]:
+    """Differentiate the recorded forward, appending VJP steps to the IR.
 
-    Walks the step list in reverse.  Every rule emits steps whose kernels
+    Walks the op table in reverse.  Every rule emits steps whose kernels
     mirror the corresponding eager tape closure (see the ``bwd_*`` kernels),
     including the :func:`~repro.nnlib.tensor._unbroadcast` reductions for
     broadcast operands; multiple consumers accumulate through explicit
     ``add`` steps.  Returns ``{param_slot: grad_slot}`` (``None`` when the
-    loss does not reach that parameter).  Raises :class:`TraceError` for ops
-    without a VJP rule so callers can fall back to the eager tape.
+    loss does not reach that parameter).  Raises :class:`TraceError` — with
+    the opcode and operand shapes, so eager fallback is diagnosable from
+    logs — for ops without a VJP rule.
     """
-    steps_fwd = list(tracer.steps)
-    shapes = tracer.slot_shapes
-    param_slots = [slot for slot, _ in tracer.param_slots]
+    steps_fwd = list(ir.ops)
+    shapes = ir.slot_shapes
+    param_slots = [slot for slot, _ in ir.params]
     needs: set[int] = set(param_slots)
     for st in steps_fwd:
         if any(s in needs for s in st.ins) or any(
@@ -1212,9 +1504,11 @@ def _append_backward(tracer: _Tracer, loss_slot: int) -> dict[int, int | None]:
     # the merged matmul (see _merge_shared_lhs_matmuls).
     merged_stash: dict[int, dict[int, int]] = {}
     if loss_slot in needs:
-        grad_of[loss_slot] = tracer.const(np.ones(shapes[loss_slot]))
+        grad_of[loss_slot] = _ir_const(ir, np.ones(shapes[loss_slot]))
 
-    emit = tracer.emit
+    def emit(op: str, ins: tuple[int, ...], aux: dict | None, shape) -> int:
+        return _ir_emit(ir, op, ins, aux, shape)
+
     producer_of = {st.out: st for st in steps_fwd}
 
     def _swap_source(slot: int) -> int | None:
@@ -1254,7 +1548,7 @@ def _append_backward(tracer: _Tracer, loss_slot: int) -> dict[int, int | None]:
                 for pos, (_, _, width) in enumerate(st.aux["merged_cols"]):
                     gslot = stash.get(pos)
                     if gslot is None:
-                        gslot = tracer.const(np.zeros((bdim, rows, width)))
+                        gslot = _ir_const(ir, np.zeros((bdim, rows, width)))
                     parts.append(gslot)
                 grad_of[st.out] = emit("concat", tuple(parts), {"axis": -1}, shapes[st.out])
         g = grad_of.get(st.out)
@@ -1298,7 +1592,11 @@ def _append_backward(tracer: _Tracer, loss_slot: int) -> dict[int, int | None]:
             a, b = st.ins
             a_shape, b_shape = shapes[a], shapes[b]
             if len(a_shape) < 2 or len(b_shape) < 2:
-                raise TraceError("backward for 1-D matmul operands is not trace-compilable")
+                raise TraceError(
+                    "no trace-compilable backward for op 'matmul' with 1-D "
+                    f"operands: operand shapes {tuple(a_shape)} @ {tuple(b_shape)}, "
+                    f"output shape {tuple(st.shape)}"
+                )
             if a in needs:
                 a_src = _swap_source(a)
                 if a_src is not None:
@@ -1426,7 +1724,10 @@ def _append_backward(tracer: _Tracer, loss_slot: int) -> dict[int, int | None]:
                     index[axis] = i
                     add_grad(a, emit("getitem", (g,), {"index": tuple(index)}, shapes[a]))
         else:
-            raise TraceError(f"no VJP rule for traced op {op!r}")
+            raise TraceError(
+                f"no VJP rule for traced op {op!r} (output shape {tuple(st.shape)}, "
+                f"input shapes {[tuple(shapes[s]) for s in st.ins]})"
+            )
     return {slot: grad_of.get(slot) for slot in param_slots}
 
 
@@ -1446,11 +1747,33 @@ class TrainingPlan:
     trace time — so callers must check :meth:`stale` and re-trace.
     """
 
-    def __init__(self, plan: CompiledPlan, params: list[Parameter], grad_slots: list):
+    def __init__(
+        self,
+        plan: CompiledPlan,
+        params: list[Parameter],
+        grad_slots: list,
+        traced_shapes: list[tuple[int, ...]] | None = None,
+    ):
         self.plan = plan
         self.params = list(params)
         self._grad_slots = list(grad_slots)
-        self._traced_shapes = [tuple(p.data.shape) for p in self.params]
+        # Loaded plans pass the shapes recorded at compile time (the live
+        # shapes could already have drifted — that's what stale() detects).
+        if traced_shapes is None:
+            traced_shapes = [tuple(p.data.shape) for p in self.params]
+        self._traced_shapes = [tuple(s) for s in traced_shapes]
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Resident bytes of the pooled replay buffers (observability)."""
+        return self.plan.buffer_bytes
+
+    def save(self, path, metadata: dict | None = None) -> None:
+        """Persist this training plan as a versioned artifact (see
+        :func:`repro.nnlib.ir.save_plan`)."""
+        from repro.nnlib.ir import save_plan
+
+        save_plan(self, path, metadata)
 
     def stale(self) -> bool:
         """Whether any parameter's shape changed since tracing."""
@@ -1507,11 +1830,11 @@ def trace_training_step(
     Runs ``loss_fn(forward(inputs), inputs[target])`` once under the trace
     hook, where ``forward`` is ``model._forward_core`` when present (the
     :class:`~repro.predictors.compiled.CompiledInference` convention) or
-    ``model`` itself as a callable.  The recorded forward is then
-    differentiated symbolically (:func:`_append_backward`) and the joint
-    graph compiled with the same passes as inference plans — liveness-pooled
-    buffers, in-place elementwise fusion, stacked-GEMM collapse — applied
-    across the forward *and* backward steps.
+    ``model`` itself as a callable.  The recorded forward is then lowered to
+    IR, differentiated symbolically (:func:`_append_backward`), and the
+    joint graph compiled with the same passes as inference plans —
+    liveness-pooled buffers, in-place elementwise fusion, stacked-GEMM
+    collapse — applied across the forward *and* backward steps.
 
     Losses whose structure depends on target *values* (the pairwise hinge
     mask) must register those arrays via :func:`register_derived`, exactly
@@ -1578,13 +1901,25 @@ def trace_training_step(
             "trace batch's targets); pass the target through to the loss "
             "unmodified, or register its derived arrays via register_derived"
         )
-    _merge_shared_lhs_matmuls(tracer)
-    grads_by_slot = _append_backward(tracer, loss_slot)
-    slot_of_param = {id(p): slot for slot, p in tracer.param_slots}
+    path_by_id: dict[int, str] = {}
+    if isinstance(model, Module):
+        path_by_id = {id(p): name for name, p in model.named_parameters()}
+    ir, param_objs, derived_fns = _lower_tracer(
+        tracer, loss_slot, kind="training", path_by_id=path_by_id
+    )
+    _merge_shared_lhs_matmuls(ir, derived_fns)
+    grads_by_slot = _append_backward(ir, loss_slot)
+    slot_of_param = {id(p): slot for (slot, _), p in zip(ir.params, param_objs)}
     grad_slots = [grads_by_slot.get(slot_of_param.get(id(p))) for p in params]
     if not any(s is not None for s in grad_slots):
         raise TraceError("loss is independent of every parameter; nothing to train")
-    extra = tuple(s for s in grad_slots if s is not None)
+    ir.extra_outputs = tuple(s for s in grad_slots if s is not None)
+    # Training-plan binding tables for serialization: the *full* parameter
+    # list in params() order (paths re-resolved at load), the traced shapes
+    # (staleness checks), and each parameter's gradient slot.
+    ir.param_order = [path_by_id.get(id(p)) for p in params]
+    ir.param_shapes = [tuple(p.data.shape) for p in params]
+    ir.grad_slots = list(grad_slots)
     output_buffers: dict[int, np.ndarray] = {}
     if grad_buffers is not None:
         if len(grad_buffers) != len(params):
@@ -1592,7 +1927,7 @@ def trace_training_step(
         # Bind each gradient's producing step to the caller's array so
         # replay lands gradients with no copy-out (view-op producers keep
         # the copy path; the replay identity check sorts it out per slot).
-        producer_op = {st.out: st.op for st in tracer.steps}
+        producer_op = {st.out: st.op for st in ir.ops}
         for p, slot, dst in zip(params, grad_slots, grad_buffers):
             if slot is None or dst is None or producer_op.get(slot) in _VIEW_OPS:
                 continue
@@ -1601,5 +1936,5 @@ def trace_training_step(
                     f"grad buffer shape {np.shape(dst)} != parameter shape {p.data.shape}"
                 )
             output_buffers[slot] = dst
-    plan = CompiledPlan(tracer, loss_slot, extra_outputs=extra, output_buffers=output_buffers)
+    plan = CompiledPlan(ir, param_objs, derived_fns, output_buffers=output_buffers)
     return TrainingPlan(plan, params, grad_slots)

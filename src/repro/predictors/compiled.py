@@ -153,6 +153,67 @@ class CompiledInference:
             start += take
         return outs[0] if len(outs) == 1 else np.concatenate(outs)
 
+    # ------------------------------------------------------------ artifacts
+    def install_plan(self, bucket: int, plan: CompiledPlan) -> None:
+        """Seed the plan cache with a pre-built (usually loaded) plan.
+
+        The plan must have been compiled for this predictor's input shapes
+        at ``bucket`` rows — checked against a freshly prepared example
+        batch, so a stale artifact (wrong space, wrong supplementary dim,
+        wrong device count) is rejected up front instead of failing deep
+        inside a replay.
+        """
+        expected = {
+            k: tuple(np.shape(v))
+            for k, v in self._plan_inputs(*self._example_batch(bucket)).items()
+        }
+        got = dict(plan.input_shapes)
+        if got != expected:
+            raise ValueError(
+                f"plan input shapes {got} do not match this predictor's "
+                f"bucket-{bucket} shapes {expected}"
+            )
+        self.__dict__.setdefault("_plans", {})[bucket] = plan
+
+    def save_plan(self, batch_size: int, path, metadata: dict | None = None) -> int:
+        """Compile (or reuse) the plan for ``batch_size`` and save it.
+
+        Returns the bucket the artifact serves; the bucket is recorded in
+        the artifact metadata so :meth:`load_plan` can reinstall it without
+        the caller tracking bucket arithmetic.
+        """
+        bucket = bucket_for(batch_size)
+        plan = self.compile(bucket)
+        meta = dict(metadata or {})
+        meta["bucket"] = bucket
+        plan.save(path, metadata=meta)
+        return bucket
+
+    def load_plan(self, path) -> tuple[int, CompiledPlan]:
+        """Load a plan artifact, bind it to this predictor, install it.
+
+        Parameter paths in the artifact are resolved against ``self`` (the
+        mixin host is a :class:`~repro.nnlib.modules.Module`), so the loaded
+        plan reads live weights exactly like a traced one.  Returns
+        ``(bucket, plan)``.
+        """
+        from repro.nnlib.ir import load_plan as _load_plan
+        from repro.nnlib.serialization import read_plan_metadata
+
+        meta = read_plan_metadata(path)
+        bucket = meta.get("bucket")
+        if bucket is None:
+            raise ValueError(
+                f"{path} has no 'bucket' metadata; was it saved by save_plan()?"
+            )
+        plan = _load_plan(path, module=self)
+        self.install_plan(int(bucket), plan)
+        return int(bucket), plan
+
+    def plan_buffer_bytes(self) -> int:
+        """Resident replay-buffer bytes across all cached inference plans."""
+        return sum(p.buffer_bytes for p in self.__dict__.get("_plans", {}).values())
+
 
 class CompiledTraining:
     """Replayable forward+backward training steps for one predictor.

@@ -26,6 +26,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.nnlib import LayerNorm, Linear, Module, ModuleDict, ModuleList, Parameter, Tensor, concat, init
+from repro.nnlib.ir import register_derived_fn
 from repro.nnlib.trace import register_derived
 
 _NEG_INF = -1e9
@@ -82,11 +83,13 @@ class _MaskCache:
 _MASKS = _MaskCache()
 
 
+@register_derived_fn("gnn.gat_mask")
 def _mask_array(adj_np: np.ndarray) -> np.ndarray:
     """Replay binder: recompute (or cache-hit) the mask for a new batch."""
     return _MASKS.get(adj_np)[0].data
 
 
+@register_derived_fn("gnn.gat_neg_inf")
 def _neg_inf_array(adj_np: np.ndarray) -> np.ndarray:
     return _MASKS.get(adj_np)[1].data
 

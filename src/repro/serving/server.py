@@ -602,4 +602,17 @@ class PredictorServer:
         stats = getattr(self.session, "stats", None)
         if stats is not None and hasattr(stats, "snapshot"):
             snap["session"] = stats.snapshot()
+            # Warmup-artifact observability, surfaced at the top level so a
+            # readiness probe needn't dig into session.*: did the bundle
+            # load, how many plans, and how long restoring them took.
+            sess = snap["session"]
+            for key in ("plans_loaded", "plan_load_seconds", "warmup_complete"):
+                if key in sess:
+                    snap[key] = sess[key]
+        entries = getattr(self.session, "plan_cache_entries", None)
+        if entries is not None:
+            snap["plan_cache_entries"] = dict(entries)
+        buf_bytes = getattr(self.session, "plan_buffer_bytes", None)
+        if buf_bytes is not None:
+            snap["plan_buffer_bytes"] = int(buf_bytes)
         return snap

@@ -66,6 +66,12 @@ class SessionStats:
     # them so the win is observable in production.
     adapt_seconds: float = 0.0
     last_adapt_seconds: float = 0.0
+    # Warmup-artifact loading (see ``load_warmup``): plans restored from
+    # disk, wall-clock spent restoring them, and whether a requested warmup
+    # ran to completion — the zero-cold-start claim is checkable per pod.
+    plans_loaded: int = 0
+    plan_load_seconds: float = 0.0
+    warmup_complete: bool = False
 
     def snapshot(self) -> dict:
         """Plain-dict copy of the counters (for ``/metrics`` serialization)."""
@@ -93,6 +99,11 @@ class PredictorSession:
         (``SessionStats.adapt_seconds``) drops about 2x.  Defaults to
         ``use_compiled``; pass ``False`` to pin the eager fine-tune while
         keeping compiled serving.
+    warmup_artifacts: path to a plan-artifact bundle written by
+        ``repro compile`` (see :mod:`repro.serving.artifacts`).  The bundle's
+        adapted predictors and compiled plans are loaded at construction, so
+        the first request for a warmed (device, bucket) replays a loaded
+        plan — no adaptation, no trace.
     """
 
     def __init__(
@@ -106,6 +117,7 @@ class PredictorSession:
         use_compiled: bool = True,
         use_compiled_adapt: bool | None = None,
         pipeline: NASFLATPipeline | None = None,
+        warmup_artifacts=None,
     ):
         if pipeline is not None:
             self.pipeline = pipeline
@@ -142,6 +154,8 @@ class PredictorSession:
         # pass itself (adapted predictors toggle train/eval state, which
         # must not interleave across threads).
         self._lock = threading.RLock()
+        if warmup_artifacts is not None:
+            self.load_warmup(warmup_artifacts)
 
     # -------------------------------------------------------------- lifecycle
     @classmethod
@@ -261,6 +275,86 @@ class PredictorSession:
         stale = {key for key in self._plans if key[0] == device}
         self._plans -= stale
         self.stats.plan_invalidations += len(stale)
+
+    # ---------------------------------------------------------------- warmup
+    def _load_warm_predictor(self, checkpoint) -> NASFLATPredictor:
+        """Rebuild one adapted predictor from a bundle checkpoint.
+
+        The checkpoint's roster metadata registers the adapted device before
+        weights load, so embedding-table shapes line up; the clone then binds
+        this session's dataset/supplementary tables (checkpoints carry only
+        parameters) and is pinned to eval mode like any served predictor.
+        """
+        clone = NASFLATPredictor(
+            self.pipeline.space,
+            list(self.task.train_devices),
+            np.random.default_rng(self.seed),
+            config=self.pipeline.predictor.config,
+        )
+        clone._dataset = self.pipeline.dataset
+        clone._supplementary = self.pipeline.supplementary
+        clone._source_devices = list(self.task.train_devices)
+        clone.load(checkpoint)
+        clone.eval()
+        return clone
+
+    def load_warmup(self, source) -> int:
+        """Pre-populate the hot-device LRU and plan cache from a bundle.
+
+        ``source`` is a bundle directory (or its ``manifest.json``) written
+        by :func:`repro.serving.artifacts.write_bundle`.  Each bundled device
+        becomes a hot entry served by its *loaded* adapted checkpoint, and
+        each bundled plan artifact is installed in that predictor's plan
+        cache — so the first request is a pure replay.  Returns the number
+        of plans loaded; counters land in ``stats.plans_loaded`` /
+        ``plan_load_seconds`` / ``warmup_complete``.
+        """
+        from repro.serving.artifacts import read_manifest
+
+        manifest, bundle_dir = read_manifest(source)
+        if manifest.get("task") not in (None, self.task.name):
+            raise ValueError(
+                f"plan bundle was compiled for task {manifest.get('task')!r}, "
+                f"not {self.task.name!r}"
+            )
+        loaded = 0
+        t0 = time.perf_counter()
+        with self._lock:
+            for entry in manifest.get("devices", []):
+                device = entry["device"]
+                predictor = self._load_warm_predictor(bundle_dir / entry["checkpoint"])
+                self._invalidate_plans(device)
+                self._hot[device] = predictor
+                self._hot.move_to_end(device)
+                for plan_entry in entry.get("plans", []):
+                    bucket, _ = predictor.load_plan(bundle_dir / plan_entry["path"])
+                    self._plans.add((device, bucket))
+                    loaded += 1
+                while len(self._hot) > self.max_hot_devices:
+                    evicted, _ = self._hot.popitem(last=False)
+                    self.stats.device_evictions += 1
+                    self._invalidate_plans(evicted)
+            self._hot_names = tuple(self._hot)
+            self.stats.plans_loaded += loaded
+            self.stats.plan_load_seconds += time.perf_counter() - t0
+            self.stats.warmup_complete = True
+        return loaded
+
+    # --------------------------------------------------------- observability
+    @property
+    def plan_cache_entries(self) -> dict[str, int]:
+        """Resident compiled-plan count per device (inference plan cache)."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for device, _bucket in self._plans:
+                counts[device] = counts.get(device, 0) + 1
+            return counts
+
+    @property
+    def plan_buffer_bytes(self) -> int:
+        """Total replay-buffer bytes resident across hot predictors' plans."""
+        with self._lock:
+            return sum(p.plan_buffer_bytes() for p in self._hot.values())
 
     # -------------------------------------------------------------- inference
     def _encode_batch(self, idx: np.ndarray) -> tuple:

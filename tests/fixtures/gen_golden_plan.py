@@ -1,0 +1,33 @@
+"""Regenerate the committed golden plan artifacts.
+
+Run from the repo root whenever ``PLAN_FORMAT_VERSION`` is bumped::
+
+    PYTHONPATH=src python tests/fixtures/gen_golden_plan.py
+
+and commit the refreshed ``golden_fwd_v<N>.npz`` / ``golden_train_v<N>.npz``
+(delete the previous version's files in the same commit — the compat test
+globs for the current version only).
+"""
+from pathlib import Path
+
+from repro.nnlib import mse_loss, trace, trace_training_step
+from repro.nnlib.serialization import PLAN_FORMAT_VERSION
+
+from golden_plan_model import build_model, forward_inputs, training_inputs
+
+
+def main() -> None:
+    here = Path(__file__).resolve().parent
+    model = build_model()
+    fwd = trace(model._forward_core, forward_inputs(), module=model)
+    fwd_path = here / f"golden_fwd_v{PLAN_FORMAT_VERSION}.npz"
+    fwd.save(fwd_path, metadata={"fixture": "golden_fwd"})
+    train = trace_training_step(model, mse_loss, training_inputs())
+    train_path = here / f"golden_train_v{PLAN_FORMAT_VERSION}.npz"
+    train.save(train_path, metadata={"fixture": "golden_train"})
+    print(f"wrote {fwd_path}")
+    print(f"wrote {train_path}")
+
+
+if __name__ == "__main__":
+    main()

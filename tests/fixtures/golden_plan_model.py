@@ -1,0 +1,50 @@
+"""The deterministic model behind the committed golden plan artifacts.
+
+The golden fixtures (``golden_fwd_v1.npz`` / ``golden_train_v1.npz``) are
+compiled from this exact model — same seed, same shapes — so the compat
+test can rebuild it bit-for-bit and compare a loaded replay against an
+in-process trace.  Keep this file frozen: changing the architecture or
+seeds invalidates the committed artifacts (regenerate them with
+``gen_golden_plan.py`` and bump the ``_v<N>`` suffix alongside a
+``PLAN_FORMAT_VERSION`` bump).
+"""
+import numpy as np
+
+from repro.nnlib import Linear, Module, Tensor
+
+SEED = 20240
+BATCH, IN_DIM, HIDDEN = 6, 5, 9
+
+
+class GoldenNet(Module):
+    """Small but representative: matmuls, fused elementwise, a reduction."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(SEED)
+        self.a = Linear(IN_DIM, HIDDEN, rng=rng)
+        self.b = Linear(HIDDEN, HIDDEN, rng=rng)
+        self.c = Linear(HIDDEN, 1, rng=rng)
+
+    def _forward_core(self, inputs):
+        x = Tensor(inputs["x"])
+        h = self.a(x).relu()
+        h = self.b(h).sigmoid()
+        return self.c(h)
+
+
+def build_model() -> GoldenNet:
+    return GoldenNet().eval()
+
+
+def forward_inputs() -> dict:
+    rng = np.random.default_rng(SEED + 1)
+    return {"x": rng.standard_normal((BATCH, IN_DIM))}
+
+
+def training_inputs() -> dict:
+    rng = np.random.default_rng(SEED + 2)
+    return {
+        "x": rng.standard_normal((BATCH, IN_DIM)),
+        "target": rng.standard_normal((BATCH, 1)),
+    }

@@ -1,0 +1,279 @@
+"""Plan IR: serialization round-trips, load-time validation, re-binding.
+
+The contract under test: a compiled plan lowered to :class:`PlanIR`,
+saved, and loaded into a fresh plan replays **bitwise-identically** —
+including the optimizer-visible behaviours (live parameter reads, derived
+inputs recomputed per batch) — and malformed or stale artifacts are
+rejected with :class:`PlanIRError` at load time, not mid-replay.
+"""
+import numpy as np
+import pytest
+
+from repro.nnlib import (
+    Linear,
+    Module,
+    Tensor,
+    mse_loss,
+    pairwise_hinge_loss,
+    trace,
+    trace_training_step,
+)
+from repro.nnlib.ir import (
+    PlanIRError,
+    derived_fn_name,
+    ir_from_payload,
+    load_plan,
+    payload_from_ir,
+    read_plan_metadata,
+    register_derived_fn,
+    resolve_derived_fn,
+    save_plan,
+    validate_ir,
+)
+from repro.nnlib.serialization import (
+    PLAN_FORMAT_VERSION,
+    load_plan_archive,
+    plan_format_version,
+    save_plan_archive,
+)
+from repro.nnlib.trace import TraceError, notify_param_mutation
+
+
+class TinyNet(Module):
+    def __init__(self, rng, in_dim=6, hidden=10):
+        super().__init__()
+        self.a = Linear(in_dim, hidden, rng=rng)
+        self.b = Linear(hidden, 1, rng=rng)
+
+    def _forward_core(self, inputs):
+        x = Tensor(inputs["x"])
+        return self.b(self.a(x).relu().sigmoid())
+
+
+@pytest.fixture
+def net():
+    return TinyNet(np.random.default_rng(7)).eval()
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(3)
+    return {"x": rng.standard_normal((5, 6))}
+
+
+class TestPayloadRoundTrip:
+    def test_ir_survives_payload_codec(self, net, batch):
+        plan = trace(net._forward_core, batch, module=net)
+        payload, consts = payload_from_ir(plan.ir)
+        ir2 = ir_from_payload(payload, consts)
+        validate_ir(ir2)
+        p2, c2 = payload_from_ir(ir2)
+        assert payload == p2
+        assert all(np.array_equal(consts[k], c2[k]) for k in consts)
+
+    def test_payload_is_json_plain(self, net, batch):
+        import json
+
+        plan = trace(net._forward_core, batch, module=net)
+        payload, _ = payload_from_ir(plan.ir)
+        json.dumps(payload)  # no ndarray/tuple leakage
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(PlanIRError, match="malformed plan archive payload"):
+            ir_from_payload({"kind": "inference"}, {})
+
+
+class TestArchiveRoundTrip:
+    def test_inference_bitwise(self, net, batch, tmp_path):
+        plan = trace(net._forward_core, batch, module=net)
+        path = tmp_path / "fwd.npz"
+        plan.save(path, metadata={"note": "t"})
+        loaded = load_plan(path, module=net)
+        fresh = {"x": np.random.default_rng(11).standard_normal((5, 6))}
+        assert np.array_equal(plan.replay(fresh), loaded.replay(fresh))
+        assert read_plan_metadata(path)["note"] == "t"
+        assert plan_format_version(path) == PLAN_FORMAT_VERSION
+
+    def test_scalar_consts_keep_0d_shape(self, net, batch, tmp_path):
+        # Regression: np.ascontiguousarray promotes () to (1,), which made
+        # loaded plans fail in-place kernels on scalar-output steps.
+        rng = np.random.default_rng(0)
+        tgt = rng.standard_normal((5, 1))
+        tp = trace_training_step(net, mse_loss, {**batch, "target": tgt})
+        path = tmp_path / "train.npz"
+        tp.save(path)
+        _, consts, _, _ = load_plan_archive(path)
+        shapes_in = {slot: np.shape(a) for slot, a in tp.plan.ir.consts}
+        for slot, arr in consts.items():
+            assert arr.shape == shapes_in[slot]
+
+    def test_training_bitwise_and_live_weights(self, net, batch, tmp_path):
+        rng = np.random.default_rng(0)
+        inputs = {**batch, "target": rng.standard_normal((5, 1))}
+        tp = trace_training_step(net, mse_loss, inputs)
+        path = tmp_path / "train.npz"
+        tp.save(path)
+        tp2 = load_plan(path, module=net)
+        l0, g0 = tp.replay(inputs)
+        l1, g1 = tp2.replay(inputs)
+        assert l0 == l1
+        assert all(np.array_equal(a, b) for a, b in zip(g0, g1))
+        # Loaded plans bind Parameters by path: a weight update must be
+        # visible to both plans identically (no weights frozen in the IR).
+        for p in net.parameters():
+            p.data *= 1.01
+        notify_param_mutation()
+        l0b, _ = tp.replay(inputs)
+        l1b, _ = tp2.replay(inputs)
+        assert l0b == l1b
+        assert l0b != l0
+
+    def test_derived_inputs_recompute_per_batch(self, net, batch, tmp_path):
+        # The hinge mask/pair-count are derived from the live target; a
+        # loaded plan must resolve the registered recipes and re-rank.
+        rng = np.random.default_rng(1)
+        inputs = {**batch, "target": rng.standard_normal(5)}
+        tp = trace_training_step(net, pairwise_hinge_loss, inputs)
+        path = tmp_path / "hinge.npz"
+        tp.save(path)
+        tp2 = load_plan(path, module=net)
+        fresh = {
+            "x": rng.standard_normal((5, 6)),
+            "target": rng.standard_normal(5),
+        }
+        l0, g0 = tp.replay(fresh)
+        l1, g1 = tp2.replay(fresh)
+        assert l0 == l1
+        assert all(np.array_equal(a, b) for a, b in zip(g0, g1))
+
+    def test_checkpoint_is_not_a_plan(self, net, tmp_path):
+        from repro.nnlib.serialization import save_checkpoint
+
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(net, path)
+        with pytest.raises(ValueError, match="not a compiled-plan artifact"):
+            load_plan(path, module=net)
+
+
+class TestLoadValidation:
+    def _tampered(self, net, batch, tmp_path, mutate):
+        plan = trace(net._forward_core, batch, module=net)
+        path = tmp_path / "fwd.npz"
+        plan.save(path)
+        payload, consts, meta, _ = load_plan_archive(path)
+        mutate(payload)
+        save_plan_archive(path, payload, consts, meta)
+        return path
+
+    def test_unknown_opcode_rejected(self, net, batch, tmp_path):
+        def mutate(payload):
+            payload["ops"][0][0] = "quantized_matmul"  # [op, out, ins, aux, shape]
+
+        path = self._tampered(net, batch, tmp_path, mutate)
+        with pytest.raises(PlanIRError, match="no replay kernel registered for opcode"):
+            load_plan(path, module=net)
+
+    def test_unknown_aux_attr_rejected(self, net, batch, tmp_path):
+        def mutate(payload):
+            payload["ops"][0][3]["precision"] = "f32"  # aux dict of step 0
+
+        path = self._tampered(net, batch, tmp_path, mutate)
+        with pytest.raises(PlanIRError, match="unknown aux attribute"):
+            load_plan(path, module=net)
+
+    def test_future_format_rejected(self, net, batch, tmp_path, monkeypatch):
+        import repro.nnlib.serialization as ser
+
+        plan = trace(net._forward_core, batch, module=net)
+        path = tmp_path / "fwd.npz"
+        monkeypatch.setattr(ser, "PLAN_FORMAT_VERSION", PLAN_FORMAT_VERSION + 1)
+        plan.save(path)
+        monkeypatch.undo()
+        with pytest.raises(PlanIRError, match="newer than this build"):
+            load_plan(path, module=net)
+
+    def test_wrong_module_rejected(self, net, batch, tmp_path):
+        plan = trace(net._forward_core, batch, module=net)
+        path = tmp_path / "fwd.npz"
+        plan.save(path)
+        other = Linear(6, 1, rng=np.random.default_rng(0))
+        with pytest.raises(PlanIRError, match="which the given module does not have"):
+            load_plan(path, module=other)
+
+    def test_module_required_when_params_bound(self, net, batch, tmp_path):
+        plan = trace(net._forward_core, batch, module=net)
+        path = tmp_path / "fwd.npz"
+        plan.save(path)
+        with pytest.raises(PlanIRError, match="pass the module"):
+            load_plan(path)
+
+    def test_stale_training_artifact_rejected(self, batch, tmp_path):
+        net = TinyNet(np.random.default_rng(7)).eval()
+        rng = np.random.default_rng(0)
+        inputs = {**batch, "target": rng.standard_normal((5, 1))}
+        tp = trace_training_step(net, mse_loss, inputs)
+        path = tmp_path / "train.npz"
+        tp.save(path)
+        w = net.a.weight
+        w.data = np.concatenate([w.data, w.data[:1]], axis=0)
+        notify_param_mutation()
+        with pytest.raises(PlanIRError, match="stale training-plan artifact"):
+            load_plan(path, module=net)
+
+    def test_unmodule_plan_cannot_save(self, batch):
+        # Traced without module=: parameters have no dotted paths.
+        net = TinyNet(np.random.default_rng(7)).eval()
+        plan = trace(net._forward_core, batch, params=net.parameters())
+        with pytest.raises(PlanIRError, match="no dotted path"):
+            save_plan(plan, "unused.npz")
+
+
+class TestDerivedRegistry:
+    def test_known_recipes_resolve(self):
+        for name in (
+            "losses.hinge_mask",
+            "losses.hinge_pair_count",
+            "trace.concat_columns",
+            "gnn.gat_mask",
+            "gnn.gat_neg_inf",
+        ):
+            fn = resolve_derived_fn(name)
+            assert callable(fn)
+            assert derived_fn_name(fn) == name
+
+    def test_unknown_recipe_raises(self):
+        with pytest.raises(PlanIRError, match="unknown derived input recipe"):
+            resolve_derived_fn("nope.not_registered")
+
+    def test_conflicting_registration_raises(self):
+        @register_derived_fn("test.plan_ir_conflict")
+        def one(x):
+            return x
+
+        with pytest.raises(PlanIRError, match="already registered"):
+
+            @register_derived_fn("test.plan_ir_conflict")
+            def two(x):
+                return x
+
+
+class TestTraceErrorContext:
+    def test_1d_matmul_backward_names_op_and_shapes(self):
+        # Satellite fix: unsupported-op errors must carry opcode and the
+        # operand shapes so an eager fallback is diagnosable from logs.
+        class VecNet(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Linear(4, 4, rng=np.random.default_rng(0))
+
+            def _forward_core(self, inputs):
+                x = Tensor(inputs["x"])  # (4,) vector: 1-D @ 2-D matmul
+                return x @ self.w.weight
+
+        net = VecNet().eval()
+        inputs = {
+            "x": np.random.default_rng(0).standard_normal(4),
+            "target": np.random.default_rng(1).standard_normal(4),
+        }
+        with pytest.raises(TraceError, match=r"matmul.*1-D.*\(4,\)"):
+            trace_training_step(net, mse_loss, inputs)

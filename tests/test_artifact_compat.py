@@ -1,0 +1,64 @@
+"""Golden-artifact compatibility gate (CI ``artifact-compat`` job).
+
+The committed ``tests/fixtures/golden_*_v<N>.npz`` artifacts were compiled
+by an earlier build at plan-IR format ``<N>``.  This suite loads them with
+*today's* code and replays them against an in-process trace of the same
+(deterministically rebuilt) model.  If the IR schema changes shape without
+a ``PLAN_FORMAT_VERSION`` bump, the load or the replay comparison breaks
+here — before any user's saved plan does.
+"""
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.nnlib import mse_loss, trace, trace_training_step
+from repro.nnlib.ir import load_plan, read_plan_metadata
+from repro.nnlib.serialization import PLAN_FORMAT_VERSION, plan_format_version
+from tests.fixtures.golden_plan_model import build_model, forward_inputs, training_inputs
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+GOLDEN_FWD = FIXTURES / f"golden_fwd_v{PLAN_FORMAT_VERSION}.npz"
+GOLDEN_TRAIN = FIXTURES / f"golden_train_v{PLAN_FORMAT_VERSION}.npz"
+
+
+class TestGoldenArtifacts:
+    def test_fixtures_exist_for_current_format(self):
+        # A PLAN_FORMAT_VERSION bump must ship regenerated fixtures
+        # (tests/fixtures/gen_golden_plan.py) in the same change.
+        assert GOLDEN_FWD.is_file(), f"missing {GOLDEN_FWD.name}"
+        assert GOLDEN_TRAIN.is_file(), f"missing {GOLDEN_TRAIN.name}"
+
+    def test_version_tags(self):
+        assert plan_format_version(GOLDEN_FWD) == PLAN_FORMAT_VERSION
+        assert plan_format_version(GOLDEN_TRAIN) == PLAN_FORMAT_VERSION
+        assert read_plan_metadata(GOLDEN_FWD)["fixture"] == "golden_fwd"
+        assert read_plan_metadata(GOLDEN_TRAIN)["fixture"] == "golden_train"
+
+    def test_forward_replay_matches_in_process_trace(self):
+        model = build_model()
+        inputs = forward_inputs()
+        golden = load_plan(GOLDEN_FWD, module=model)
+        fresh = trace(model._forward_core, inputs, module=model)
+        np.testing.assert_array_equal(golden.replay(inputs), fresh.replay(inputs))
+
+    def test_training_replay_matches_in_process_trace(self):
+        model = build_model()
+        inputs = training_inputs()
+        golden = load_plan(GOLDEN_TRAIN, module=model)
+        fresh = trace_training_step(model, mse_loss, inputs)
+        l_gold, g_gold = golden.replay(inputs)
+        l_fresh, g_fresh = fresh.replay(inputs)
+        assert l_gold == l_fresh
+        assert len(g_gold) == len(g_fresh)
+        for a, b in zip(g_gold, g_fresh):
+            np.testing.assert_array_equal(a, b)
+
+    def test_forward_replay_is_finite_and_shaped(self):
+        # Defense in depth: even if the in-process trace changed, the loaded
+        # artifact must still produce a sane result on its own.
+        model = build_model()
+        golden = load_plan(GOLDEN_FWD, module=model)
+        out = golden.replay(forward_inputs())
+        assert out.shape == (6, 1)
+        assert np.all(np.isfinite(out))

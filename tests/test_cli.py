@@ -32,11 +32,29 @@ class TestParser:
         assert build_parser().parse_args(["serve", "--no-compiled"]).compiled is False
         assert build_parser().parse_args(["serve", "--compiled"]).compiled is True
 
+    def test_compile_args(self):
+        args = build_parser().parse_args(
+            ["compile", "ckpt.npz", "--devices", "fpga", "eyeriss", "--buckets", "16", "30"]
+        )
+        assert args.checkpoint == "ckpt.npz"
+        assert args.devices == ["fpga", "eyeriss"]
+        assert args.buckets == [16, 30]
+        assert args.out == "plans"
+
+    def test_serve_plans_arg(self):
+        args = build_parser().parse_args(["serve", "--checkpoint", "c.npz", "--plans", "plans/"])
+        assert args.plans == "plans/"
+        assert build_parser().parse_args(["serve", "--task", "N1"]).plans is None
+
 
 class TestServeValidation:
     def test_requires_task_or_checkpoint(self, capsys):
         assert main(["serve"]) == 2
         assert "--task is required" in capsys.readouterr().err
+
+    def test_plans_requires_checkpoint(self, capsys):
+        assert main(["serve", "--task", "N1", "--plans", "plans/"]) == 2
+        assert "--plans requires --checkpoint" in capsys.readouterr().err
 
 
 class TestListings:
