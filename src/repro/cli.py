@@ -129,6 +129,8 @@ def _cmd_serve(args) -> int:
     from repro.transfer.pipeline import quick_config
 
     cfg = quick_config(n_transfer_samples=args.samples)
+    if args.workers > 1:
+        return _serve_sharded(args, cfg)
     if args.checkpoint:
         session = PredictorSession.from_checkpoint(
             args.checkpoint,
@@ -176,6 +178,49 @@ def _cmd_serve(args) -> int:
     try:
         server.wait()  # returns on Ctrl-C
         print("\nShutting down: draining queued predictions ...", flush=True)
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _serve_sharded(args, cfg) -> int:
+    """``repro serve --workers N``: multi-process device-affinity serving."""
+    from repro.serving import PredictorServer, ShardedRouter, WorkerSpec
+
+    if not args.checkpoint:
+        print("error: --workers > 1 requires --checkpoint (workers load it)", file=sys.stderr)
+        return 2
+    spec = WorkerSpec(
+        checkpoint=args.checkpoint,
+        task=args.task,
+        config=cfg,
+        plans=args.plans,
+        use_compiled=args.compiled,
+        use_compiled_adapt=args.compiled_adapt,
+    )
+    router = ShardedRouter(
+        spec,
+        n_workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    print(f"Spawning {args.workers} predictor worker(s) ...", flush=True)
+    router.start()
+    warm = sum(len(h.warm_devices) for h in router._handles if h is not None)
+    if args.plans:
+        print(f"Warmup: {warm} device shard(s) loaded from {args.plans}", flush=True)
+    server = PredictorServer(router, host=args.host, port=args.port)
+    server.start()
+    print(
+        f"Serving on {server.url} — {args.workers} workers, device-affinity "
+        f"sharding (batching per shard: max_batch={args.max_batch}, "
+        f"max_wait_ms={args.max_wait_ms})",
+        flush=True,
+    )
+    print(f"  GET  {server.url}/metrics   (workers_alive, per-shard rollup; Ctrl-C drains and exits)")
+    try:
+        server.wait()
+        print("\nShutting down: draining shards, stopping workers ...", flush=True)
     finally:
         server.shutdown()
     return 0
@@ -283,7 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
         "predictors and compiled plans (zero first-request compile stall)",
     )
     p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=8100, help="bind port (0 picks a free one)")
+    p.add_argument("--port", type=int, default=8100, help="bind port (0 picks a free one; /metrics reports the choice)")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="predictor worker processes; > 1 enables device-affinity "
+        "sharding (requires --checkpoint; pair with --plans for "
+        "zero-cold-start workers)",
+    )
     p.add_argument("--max-batch", type=int, default=64, help="architectures coalesced per forward")
     p.add_argument("--max-wait-ms", type=float, default=5.0, help="batch window after first request")
     p.add_argument("--samples", type=int, default=20, help="on-device samples for adaptation")

@@ -14,9 +14,17 @@ HTTP server that fronts a session with dynamic micro-batching
 ``/predict`` requests into single vectorized forwards) and exposes
 ``/healthz``, ``/devices`` and ``/metrics`` for operations.  See
 ``docs/SERVING.md`` for the operator guide.
+
+For multi-core machines, :class:`~repro.serving.router.ShardedRouter`
+replaces the in-process session behind the same HTTP server with a pool of
+device-affinity worker processes (:mod:`repro.serving.worker`), each warmed
+from a ``repro compile`` artifact bundle and fronted by its own batch
+window — ``repro serve --workers N --plans <dir>``.
 """
+from repro.serving.router import ShardedRouter, WorkerStartupError, WorkerUnavailableError
 from repro.serving.server import MicroBatcher, PredictorServer, ServerMetrics
 from repro.serving.session import PredictorSession, SessionStats
+from repro.serving.worker import WorkerSpec
 
 __all__ = [
     "MicroBatcher",
@@ -24,4 +32,8 @@ __all__ = [
     "PredictorSession",
     "ServerMetrics",
     "SessionStats",
+    "ShardedRouter",
+    "WorkerSpec",
+    "WorkerStartupError",
+    "WorkerUnavailableError",
 ]

@@ -1,0 +1,575 @@
+"""Sharded worker-pool router: device-affinity fan-out over processes.
+
+One GIL-bound process caps serving throughput at single-core BLAS speed no
+matter how well micro-batching amortizes overhead.  The router breaks that
+ceiling by spreading the fleet over N worker *processes*
+(:mod:`repro.serving.worker`), sharded by **device affinity**: every device
+hashes to exactly one worker (:func:`~repro.serving.transport.shard_for`),
+so its adapted predictor and compiled-plan cache live on one process and
+stay hot there — the multi-process generalization of the session's
+hot-device LRU.
+
+Request flow::
+
+    HTTP handler threads
+        └─ ShardedRouter.submit(device, indices)
+             └─ per-shard MicroBatcher        (coalesces, groups by device)
+                  └─ frame RPC to the shard's worker process
+                       └─ PredictorSession.predict_batch (warm plans)
+
+Each shard gets its **own** :class:`~repro.serving.server.MicroBatcher`,
+so batch windows close independently and N workers compute genuinely in
+parallel — a single global dispatcher would re-serialize the fleet.
+
+Fault model: predictions are deterministic in ``(seed, device)`` (and
+adaptation in ``(seed, device, indices)``), i.e. **idempotent** — so when
+a worker dies mid-request (SIGKILL, OOM), the router respawns the shard's
+worker (warmed from the same artifact bundle, hence equivalent) and
+retries the in-flight request on it.  The reply channel died with the old
+worker, so a retried request can never be double-answered.  A background
+monitor respawns crashed workers even when the shard is idle, so
+``/healthz`` degrades and then recovers without needing traffic.
+
+The router deliberately mirrors the :class:`MicroBatcher` surface
+(``start`` / ``stop`` / ``submit`` / ``queue_depth``) so
+:class:`~repro.serving.server.PredictorServer` can front either, and adds
+fleet observability: ``workers_alive``, per-shard queue depths, death /
+respawn / retry counters, and a per-worker metrics rollup.
+"""
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+import time
+from numbers import Number
+
+import numpy as np
+
+from repro.serving.server import MicroBatcher, ServerMetrics
+from repro.serving.transport import (
+    TransportError,
+    recv_frame,
+    send_frame,
+    shard_for,
+)
+from repro.serving.worker import WorkerSpec, worker_main
+
+__all__ = [
+    "ShardedRouter",
+    "WorkerSpec",
+    "WorkerStartupError",
+    "WorkerUnavailableError",
+]
+
+
+class WorkerStartupError(RuntimeError):
+    """A worker process failed to come up (bad checkpoint, bad bundle...)."""
+
+
+class WorkerUnavailableError(RuntimeError):
+    """A shard's worker kept dying; the request exhausted its retries."""
+
+
+class _WorkerHandle:
+    """Router-side state for one live worker process."""
+
+    __slots__ = ("worker_id", "process", "sock", "lock", "pid", "warm_devices", "seq")
+
+    def __init__(self, worker_id, process, sock, pid, warm_devices):
+        self.worker_id = worker_id
+        self.process = process
+        self.sock = sock
+        # Serializes request/response pairs on the socket: the shard's
+        # dispatcher thread, adapt() callers, and metrics rollups must not
+        # interleave their frames.
+        self.lock = threading.Lock()
+        self.pid = pid
+        self.warm_devices = list(warm_devices)
+        self.seq = 0
+
+
+class ShardedRouter:
+    """Route ``(device, indices)`` predictions to device-affinity workers.
+
+    Parameters
+    ----------
+    spec: :class:`~repro.serving.worker.WorkerSpec` — how each worker
+        builds its session (checkpoint, optional plan bundle, flags).  All
+        workers share one spec; the shard hash decides which bundle
+        devices each one warms.
+    n_workers: shard count.  Devices hash across shards with crc32, so the
+        mapping is stable across restarts and identical in every process.
+    max_batch, max_wait_ms: per-shard micro-batching window (same meaning
+        as on :class:`~repro.serving.server.MicroBatcher`).
+    request_timeout_s: socket deadline for one worker RPC.  Covers cold
+        adaptation (seconds); a worker that blows it is presumed wedged
+        and is killed and respawned.
+    max_retries: in-flight retries after a worker death before the request
+        fails with :class:`WorkerUnavailableError`.
+    monitor_interval_s: cadence of the respawn monitor (0 disables it;
+        dead workers then respawn lazily on the next request).
+    startup_timeout_s: deadline for a worker's ready handshake.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        n_workers: int,
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 5.0,
+        request_timeout_s: float = 300.0,
+        max_retries: int = 2,
+        monitor_interval_s: float = 1.0,
+        startup_timeout_s: float = 300.0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "sharded serving requires the 'fork' start method "
+                "(POSIX only); this platform does not support it"
+            )
+        self.spec = spec
+        self.n_workers = int(n_workers)
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.request_timeout_s = float(request_timeout_s)
+        self.max_retries = int(max_retries)
+        self.monitor_interval_s = float(monitor_interval_s)
+        self.startup_timeout_s = float(startup_timeout_s)
+        self.metrics = ServerMetrics()  # per-shard batchers share one sink
+        self.task = self._resolve_task(spec.task)
+        self._ctx = multiprocessing.get_context("fork")
+        self._handles: list[_WorkerHandle | None] = [None] * self.n_workers
+        self._batchers: list[MicroBatcher] = []
+        # One lock for all spawn/despawn transitions: spawning forks the
+        # router process, and a concurrent spawn could leak the new
+        # socketpair's worker end into an unrelated child (masking that
+        # worker's death from EOF detection).
+        self._spawn_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        # Explicit re-adapt log (device -> pinned measurement indices).  A
+        # respawned worker warms from the *bundle*, which predates any
+        # mid-stream ``adapt(device, indices)`` — replaying the log restores
+        # the shard's exact serving state (adaptation is deterministic in
+        # (seed, device, indices)), so a crash is invisible to clients.
+        self._adapt_log: dict[str, list[int]] = {}
+        self.deaths_total = 0
+        self.respawns_total = 0
+        self.retries_total = 0
+        self._started = False
+        self._closed = False
+        self._monitor: threading.Thread | None = None
+        self._monitor_stop = threading.Event()
+
+    @staticmethod
+    def _resolve_task(task):
+        if task is None or isinstance(task, str):
+            try:
+                from repro.tasks.devsets import get_task
+
+                return get_task(task) if isinstance(task, str) else None
+            except KeyError:
+                return None
+        return task
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "ShardedRouter":
+        """Spawn the fleet and the per-shard batchers (idempotent)."""
+        if self._started:
+            return self
+        if self._closed:
+            raise RuntimeError("router was stopped; build a new one")
+        for wid in range(self.n_workers):
+            self._spawn(wid)
+        self._batchers = [
+            MicroBatcher(
+                self._make_predict_fn(wid),
+                max_batch=self.max_batch,
+                max_wait_ms=self.max_wait_ms,
+                metrics=self.metrics,
+            ).start()
+            for wid in range(self.n_workers)
+        ]
+        if self.monitor_interval_s > 0:
+            self._monitor_stop.clear()
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="worker-monitor", daemon=True
+            )
+            self._monitor.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Graceful drain, in order: stop respawning, drain every shard's
+        queued requests (their workers still answer), then shut the workers
+        down and reap the processes."""
+        if not self._started:
+            return
+        self._started = False  # submit() refuses new work from here on
+        if self._monitor is not None:
+            self._monitor_stop.set()
+            self._monitor.join()
+            self._monitor = None
+        for batcher in self._batchers:
+            # Drains: queued predictions still answer (a worker dying this
+            # late is even respawned for them — _closed isn't set yet).
+            batcher.stop()
+        self._batchers = []
+        self._closed = True
+        with self._spawn_lock:
+            for wid, handle in enumerate(self._handles):
+                if handle is None:
+                    continue
+                self._shutdown_worker(handle)
+                self._handles[wid] = None
+
+    def _shutdown_worker(self, handle: _WorkerHandle) -> None:
+        with handle.lock:
+            try:
+                handle.sock.settimeout(5.0)
+                send_frame(handle.sock, {"op": "shutdown"})
+                recv_frame(handle.sock)
+            except (TransportError, OSError):
+                pass  # already dead — reaped below either way
+            try:
+                handle.sock.close()
+            except OSError:
+                pass
+        handle.process.join(timeout=5.0)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=2.0)
+        if handle.process.is_alive():  # pragma: no cover - last resort
+            handle.process.kill()
+            handle.process.join(timeout=2.0)
+
+    def __enter__(self) -> "ShardedRouter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- spawning
+    def _spawn(self, wid: int) -> _WorkerHandle:
+        """Fork one worker and wait for its ready handshake."""
+        with self._spawn_lock:
+            existing = self._handles[wid]
+            if existing is not None and existing.process.is_alive():
+                return existing  # raced with the monitor; already respawned
+            if existing is not None:
+                self._reap(wid, existing)
+            router_end, worker_end = socket.socketpair()
+            # Sockets of *other* live workers, for the child to close: a
+            # worker holding a sibling's channel would keep it open past
+            # that sibling's death and break the router's EOF detection.
+            stray = tuple(h.sock for h in self._handles if h is not None)
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(worker_end, self.spec, wid, self.n_workers, stray),
+                name=f"repro-worker-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            worker_end.close()  # child owns its end; EOF semantics need ours gone
+            router_end.settimeout(self.startup_timeout_s)
+            try:
+                ready = recv_frame(router_end)
+            except (TransportError, OSError, TimeoutError) as exc:
+                router_end.close()
+                proc.terminate()
+                proc.join(timeout=2.0)
+                raise WorkerStartupError(
+                    f"worker {wid} died before its ready handshake: {exc}"
+                ) from exc
+            if not ready.get("ready"):
+                router_end.close()
+                proc.join(timeout=2.0)
+                raise WorkerStartupError(
+                    f"worker {wid} failed to start: {ready.get('error', 'unknown error')}"
+                )
+            handle = _WorkerHandle(
+                wid, proc, router_end, ready.get("pid"), ready.get("warm_devices", ())
+            )
+            if self._started:  # a replacement, not part of initial start()
+                with self._stats_lock:
+                    self.respawns_total += 1
+            with self._stats_lock:
+                replay = {
+                    device: idx
+                    for device, idx in self._adapt_log.items()
+                    if shard_for(device, self.n_workers) == wid
+                }
+            for device, idx in replay.items():
+                try:
+                    reply = self._request(
+                        handle,
+                        {"op": "adapt", "device": device, "indices": idx},
+                        self.request_timeout_s,
+                    )
+                except (TransportError, OSError, TimeoutError) as exc:
+                    self._reap(wid, handle)
+                    raise WorkerStartupError(
+                        f"worker {wid} died replaying the re-adapt log "
+                        f"for {device!r}: {exc}"
+                    ) from exc
+                if not reply.get("ok"):
+                    self._reap(wid, handle)
+                    raise WorkerStartupError(
+                        f"worker {wid} failed to replay re-adapt of "
+                        f"{device!r}: {reply.get('error')}"
+                    )
+            self._handles[wid] = handle
+            return handle
+
+    def _reap(self, wid: int, handle: _WorkerHandle) -> None:
+        """Retire a dead handle (caller holds the spawn lock)."""
+        try:
+            handle.sock.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=2.0)
+        self._handles[wid] = None
+        with self._stats_lock:
+            self.deaths_total += 1
+
+    def _ensure_worker(self, wid: int) -> _WorkerHandle:
+        """Live handle for shard ``wid``, respawning a dead worker if needed."""
+        handle = self._handles[wid]
+        if handle is not None and handle.process.is_alive():
+            return handle
+        if self._closed:
+            raise RuntimeError("router is not running")
+        return self._spawn(wid)
+
+    def _note_death(self, wid: int, handle: _WorkerHandle) -> None:
+        """Record that ``handle``'s worker failed us (idempotent per handle)."""
+        with self._spawn_lock:
+            if self._handles[wid] is handle:
+                self._reap(wid, handle)
+
+    def _monitor_loop(self) -> None:
+        """Respawn crashed workers proactively so health recovers while idle."""
+        while not self._monitor_stop.wait(self.monitor_interval_s):
+            for wid in range(self.n_workers):
+                handle = self._handles[wid]
+                if handle is not None and not handle.process.is_alive():
+                    self._note_death(wid, handle)
+                    handle = None
+                if handle is None and not self._closed:
+                    try:
+                        self._ensure_worker(wid)
+                    except (WorkerStartupError, RuntimeError):
+                        pass  # keep monitoring; next tick tries again
+
+    # ------------------------------------------------------------------- rpc
+    def _request(self, handle: _WorkerHandle, msg: dict, timeout: float):
+        """One request/response exchange on a worker's socket."""
+        with handle.lock:
+            handle.seq += 1
+            msg = dict(msg, id=handle.seq)
+            handle.sock.settimeout(timeout)
+            send_frame(handle.sock, msg)
+            reply = recv_frame(handle.sock)
+            if reply.get("id") != msg["id"]:
+                raise TransportError(
+                    f"worker {handle.worker_id} replied to request "
+                    f"{reply.get('id')!r}, expected {msg['id']}"
+                )
+            return reply
+
+    @staticmethod
+    def _raise_worker_error(reply: dict) -> None:
+        kind = reply.get("kind")
+        message = f"{reply.get('error', 'worker error')}"
+        if kind in ("KeyError", "ValueError", "IndexError"):
+            raise ValueError(message)  # client-fixable -> HTTP 400
+        raise RuntimeError(f"worker error ({kind}): {message}")
+
+    def _rpc_with_retry(self, wid: int, msg: dict):
+        """Send ``msg`` to shard ``wid``; on worker death, respawn and retry.
+
+        Safe because every routed operation is idempotent: predictions and
+        adaptation are deterministic in ``(seed, device[, indices])``, and
+        the dead worker's reply channel died with it, so a retry cannot
+        produce a second answer for the same request.
+        """
+        last_exc: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            handle = self._ensure_worker(wid)
+            try:
+                reply = self._request(handle, msg, self.request_timeout_s)
+            except TimeoutError as exc:
+                # Wedged (or hopelessly slow) worker: a retry would wedge
+                # again, so kill it and surface the timeout to the caller.
+                self._note_death(wid, handle)
+                raise TimeoutError(
+                    f"worker {wid} exceeded {self.request_timeout_s}s for "
+                    f"op {msg.get('op')!r}"
+                ) from exc
+            except (TransportError, OSError) as exc:
+                self._note_death(wid, handle)
+                last_exc = exc
+                if attempt < self.max_retries:
+                    with self._stats_lock:
+                        self.retries_total += 1
+                continue
+            if not reply.get("ok"):
+                self._raise_worker_error(reply)
+            return reply
+        raise WorkerUnavailableError(
+            f"worker {wid} died {self.max_retries + 1} time(s) serving "
+            f"op {msg.get('op')!r}: {last_exc}"
+        )
+
+    # --------------------------------------------------------------- serving
+    def shard_of(self, device: str) -> int:
+        """Which worker owns ``device`` (stable crc32 hash)."""
+        return shard_for(device, self.n_workers)
+
+    def _make_predict_fn(self, wid: int):
+        def predict(device: str, indices) -> np.ndarray:
+            msg = {
+                "op": "predict",
+                "device": device,
+                "indices": [int(i) for i in np.asarray(indices).ravel()],
+            }
+            reply = self._rpc_with_retry(wid, msg)
+            return np.asarray(reply["scores"], dtype=np.float64)
+
+        return predict
+
+    def submit(self, device: str, indices, timeout: float | None = None) -> np.ndarray:
+        """Enqueue one prediction on the owning shard's batch window."""
+        if not self._started:
+            raise RuntimeError("router is not running")
+        return self._batchers[self.shard_of(device)].submit(device, indices, timeout)
+
+    def predict_batch(self, device: str, indices) -> np.ndarray:
+        """Session-compatible alias: route, coalesce, and predict."""
+        return self.submit(device, indices, timeout=self.request_timeout_s)
+
+    def adapt(self, device: str, indices=None) -> None:
+        """(Re-)adapt ``device`` on its owning worker — the mid-stream
+        refresh path; deterministic in ``(seed, device, indices)``."""
+        msg: dict = {"op": "adapt", "device": device}
+        if indices is not None:
+            msg["indices"] = [int(i) for i in np.asarray(indices).ravel()]
+        self._rpc_with_retry(self.shard_of(device), msg)
+        if indices is not None:
+            # Only *pinned* adapts enter the respawn log: a default-sampler
+            # adapt reproduces itself on the respawned worker's first touch
+            # of the device (same (seed, device) stream), no replay needed.
+            with self._stats_lock:
+                self._adapt_log[device] = msg["indices"]
+
+    def num_architectures(self) -> int | None:
+        """Table size for request validation, when the space is resolvable."""
+        task = self.task if self.task is not None else self.spec.task
+        space_name = getattr(task, "space", None)
+        if space_name is None:
+            return None
+        try:
+            from repro.spaces.registry import get_space
+
+            return int(get_space(space_name).num_architectures())
+        except Exception:
+            return None
+
+    # --------------------------------------------------------- observability
+    @property
+    def workers_alive(self) -> int:
+        """Live worker processes right now (computed, not cached)."""
+        return sum(
+            1 for h in self._handles if h is not None and h.process.is_alive()
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting across every shard's batch window."""
+        return sum(b.queue_depth for b in self._batchers)
+
+    @property
+    def queue_depths(self) -> list[int]:
+        """Per-shard queue depths, indexed by worker id."""
+        return [b.queue_depth for b in self._batchers]
+
+    @property
+    def hot_devices(self) -> list[str]:
+        """Union of warm/adapted devices across live workers (best effort)."""
+        devices: list[str] = []
+        for entry in self.metrics_rollup()["per_worker"]:
+            devices.extend(entry.get("hot_devices", ()))
+        return devices
+
+    def metrics_rollup(self) -> dict:
+        """Fleet metrics: per-worker snapshots plus aggregate gauges.
+
+        Per-worker stats are fetched over the worker channel with a short
+        deadline and a non-blocking lock grab — observability must not
+        stall behind an in-flight multi-second adaptation; a busy worker
+        just reports ``stats: null`` this scrape.
+        """
+        per_worker: list[dict] = []
+        for wid in range(self.n_workers):
+            handle = self._handles[wid]
+            entry: dict = {
+                "worker": wid,
+                "alive": bool(handle is not None and handle.process.is_alive()),
+                "pid": None if handle is None else handle.pid,
+                "stats": None,
+            }
+            if entry["alive"] and handle.lock.acquire(timeout=0.25):
+                try:
+                    handle.seq += 1
+                    msg = {"op": "metrics", "id": handle.seq}
+                    handle.sock.settimeout(5.0)
+                    send_frame(handle.sock, msg)
+                    reply = recv_frame(handle.sock)
+                    if reply.get("ok") and reply.get("id") == msg["id"]:
+                        for key in (
+                            "stats",
+                            "hot_devices",
+                            "plan_cache_entries",
+                            "plan_buffer_bytes",
+                        ):
+                            entry[key] = reply.get(key)
+                except (TransportError, OSError, TimeoutError):
+                    pass  # reported as stats: null; the monitor handles death
+                finally:
+                    handle.lock.release()
+            per_worker.append(entry)
+        aggregate: dict = {}
+        complete = []
+        for entry in per_worker:
+            stats = entry.get("stats")
+            if not stats:
+                continue
+            complete.append(stats.get("warmup_complete", False))
+            for key, value in stats.items():
+                if isinstance(value, bool):
+                    continue
+                if isinstance(value, Number):
+                    aggregate[key] = aggregate.get(key, 0) + value
+        if complete:
+            aggregate["warmup_complete"] = all(complete)
+        with self._stats_lock:
+            deaths, respawns, retries = (
+                self.deaths_total,
+                self.respawns_total,
+                self.retries_total,
+            )
+        return {
+            "workers_alive": self.workers_alive,
+            "workers_total": self.n_workers,
+            "worker_deaths_total": deaths,
+            "worker_respawns_total": respawns,
+            "retries_total": retries,
+            "shard_queue_depths": self.queue_depths,
+            "per_worker": per_worker,
+            "session": aggregate,
+        }

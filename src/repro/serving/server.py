@@ -433,10 +433,20 @@ class PredictorServer:
         self.request_timeout_s = float(request_timeout_s)
         self.max_indices = int(max_indices)
         self.metrics = ServerMetrics()
-        predict_fn = getattr(session, "predict_batch", None) or session.predict
-        self.batcher = MicroBatcher(
-            predict_fn, max_batch=max_batch, max_wait_ms=max_wait_ms, metrics=self.metrics
-        )
+        # Mode dispatch: a sharded router (multi-process worker pool) ships
+        # its own per-shard batchers and already speaks the batcher surface
+        # (start/stop/submit/queue_depth); a plain session gets fronted by
+        # one in-process MicroBatcher.  Duck-typed so serving does not
+        # import the router (and its multiprocessing machinery) unless a
+        # router is actually used.
+        self.sharded = hasattr(session, "submit") and hasattr(session, "workers_alive")
+        if self.sharded:
+            self.batcher = session
+        else:
+            predict_fn = getattr(session, "predict_batch", None) or session.predict
+            self.batcher = MicroBatcher(
+                predict_fn, max_batch=max_batch, max_wait_ms=max_wait_ms, metrics=self.metrics
+            )
         self._httpd: _HTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._shutdown_lock = threading.Lock()
@@ -518,6 +528,9 @@ class PredictorServer:
 
     # ------------------------------------------------------------- endpoints
     def _num_architectures(self) -> int | None:
+        fn = getattr(self.session, "num_architectures", None)
+        if fn is not None:  # a router resolves its space itself (may be None)
+            return fn()
         try:
             return int(self.session.pipeline.space.num_architectures())
         except AttributeError:
@@ -564,22 +577,37 @@ class PredictorServer:
 
     def health(self) -> dict:
         pipeline = getattr(self.session, "pipeline", None)
-        return {
+        payload = {
             "status": "ok",
             "pretrained": bool(getattr(pipeline, "is_pretrained", True)),
             "task": getattr(getattr(self.session, "task", None), "name", None),
             "uptime_seconds": time.time() - self.metrics.started_at,
             "queue_depth": self.batcher.queue_depth,
         }
+        if self.sharded:
+            # Health degrades while any shard's worker is down (its devices
+            # queue or retry until the monitor respawns it) and recovers on
+            # its own — the fault-injection suite pins this trajectory.
+            alive = self.session.workers_alive
+            total = self.session.n_workers
+            payload["workers_alive"] = alive
+            payload["workers_total"] = total
+            if alive < total:
+                payload["status"] = "degraded"
+        return payload
 
     def devices(self) -> dict:
         known: list[str] = []
         space = None
         try:
             space = self.session.pipeline.space.name
+        except AttributeError:
+            # A router carries no pipeline; its task names the space.
+            space = getattr(getattr(self.session, "task", None), "space", None)
+        try:
             from repro.hardware.registry import devices_for_space
 
-            known = list(devices_for_space(space))
+            known = list(devices_for_space(space)) if space else []
         except (AttributeError, KeyError):
             pass
         return {
@@ -590,8 +618,14 @@ class PredictorServer:
 
     def metrics_snapshot(self) -> dict:
         snap = self.metrics.snapshot()
+        # The bound address: with port=0 the kernel picks, and parallel CI
+        # jobs (or a fleet supervisor) read the real port from here.
+        snap["host"] = self.host
+        snap["port"] = self.port
         snap["queue_depth"] = self.batcher.queue_depth
         snap["batching"] = {"max_batch": self.batcher.max_batch, "max_wait_ms": self.batcher.max_wait_ms}
+        if self.sharded:
+            return self._sharded_snapshot(snap)
         # Whether predictions replay compiled plans and whether device
         # cold-start fine-tuning runs the compiled training path (None: the
         # session has no compiled path).  Plan-cache counters and adaptation
@@ -615,4 +649,41 @@ class PredictorServer:
         buf_bytes = getattr(self.session, "plan_buffer_bytes", None)
         if buf_bytes is not None:
             snap["plan_buffer_bytes"] = int(buf_bytes)
+        return snap
+
+    def _sharded_snapshot(self, snap: dict) -> dict:
+        """Worker-pool ``/metrics``: rollup of per-worker stats + fleet gauges.
+
+        Request counters and latency histograms come from this server's own
+        metrics (recorded at the HTTP layer); batch-window counters come
+        from the router's shared per-shard batcher metrics; session-level
+        counters are summed across workers, with each worker's raw snapshot
+        preserved under ``workers.per_worker``.
+        """
+        router = self.session
+        batch_snap = router.metrics.snapshot()
+        for key in (
+            "batches_total",
+            "batched_requests_total",
+            "batched_archs_total",
+            "batch_seconds_total",
+            "mean_batch_requests",
+            "mean_batch_archs",
+            "batch_size_hist",
+        ):
+            snap[key] = batch_snap[key]
+        snap["batching"] = {
+            "max_batch": router.max_batch,
+            "max_wait_ms": router.max_wait_ms,
+        }
+        rollup = router.metrics_rollup()
+        snap["session"] = rollup.pop("session")
+        snap["workers_alive"] = rollup["workers_alive"]
+        snap["workers_total"] = rollup["workers_total"]
+        snap["workers"] = rollup
+        snap["compiled_serving"] = getattr(router.spec, "use_compiled", None)
+        snap["compiled_adapt"] = getattr(router.spec, "use_compiled_adapt", None)
+        for key in ("plans_loaded", "plan_load_seconds", "warmup_complete"):
+            if key in snap["session"]:
+                snap[key] = snap["session"][key]
         return snap

@@ -298,16 +298,18 @@ class PredictorSession:
         clone.eval()
         return clone
 
-    def load_warmup(self, source) -> int:
+    def load_warmup(self, source, devices=None) -> int:
         """Pre-populate the hot-device LRU and plan cache from a bundle.
 
         ``source`` is a bundle directory (or its ``manifest.json``) written
         by :func:`repro.serving.artifacts.write_bundle`.  Each bundled device
         becomes a hot entry served by its *loaded* adapted checkpoint, and
         each bundled plan artifact is installed in that predictor's plan
-        cache — so the first request is a pure replay.  Returns the number
-        of plans loaded; counters land in ``stats.plans_loaded`` /
-        ``plan_load_seconds`` / ``warmup_complete``.
+        cache — so the first request is a pure replay.  ``devices`` restricts
+        loading to that subset of the bundle's devices (how a sharded worker
+        warms only its own shard instead of the whole fleet's artifacts).
+        Returns the number of plans loaded; counters land in
+        ``stats.plans_loaded`` / ``plan_load_seconds`` / ``warmup_complete``.
         """
         from repro.serving.artifacts import read_manifest
 
@@ -317,11 +319,14 @@ class PredictorSession:
                 f"plan bundle was compiled for task {manifest.get('task')!r}, "
                 f"not {self.task.name!r}"
             )
+        wanted = None if devices is None else set(devices)
         loaded = 0
         t0 = time.perf_counter()
         with self._lock:
             for entry in manifest.get("devices", []):
                 device = entry["device"]
+                if wanted is not None and device not in wanted:
+                    continue
                 predictor = self._load_warm_predictor(bundle_dir / entry["checkpoint"])
                 self._invalidate_plans(device)
                 self._hot[device] = predictor

@@ -1,0 +1,134 @@
+"""Length-prefixed frame transport for router <-> worker IPC.
+
+The worker pool speaks a deliberately tiny wire protocol over stream
+sockets (``socketpair`` between the router and each worker process): every
+message is one *frame* —
+
+::
+
+    +----------+----------------+------------------+
+    | magic    | payload length | payload          |
+    | 4 bytes  | 4 bytes, BE    | UTF-8 JSON bytes |
+    +----------+----------------+------------------+
+
+JSON is the payload codec on purpose: Python serializes an f64 with
+``repr`` (shortest round-tripping decimal), so prediction scores cross the
+process boundary **bitwise-exactly** — the property the sharded-equivalence
+suite pins down.
+
+Failure behavior is the contract here, not a detail.  A reader must never
+hang on a malformed frame and must never mistake one failure for another,
+so every way a frame can be bad has a *named* error:
+
+* :class:`TruncatedFrameError` — the peer closed (or the stream ended) mid
+  frame.  This is how a SIGKILL'd worker announces itself to the router.
+* :class:`FrameTooLargeError` — declared payload length exceeds the cap;
+  raised *before* reading (or sending) the payload, so a corrupt length
+  can't make the reader try to buffer gigabytes.
+* :class:`FrameProtocolError` — bad magic (stream desync, e.g. after
+  interleaved writes) or a payload that is not valid JSON.
+
+All three subclass :class:`TransportError`.  Socket timeouts propagate as
+``socket.timeout`` (``TimeoutError``) — a slow peer is the caller's policy
+decision, not a protocol violation.
+"""
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+
+#: Frame magic: "Repro Serving Frame", protocol revision 1.  A reader that
+#: sees anything else is desynchronized and must drop the connection.
+FRAME_MAGIC = b"RSF1"
+
+_HEADER = struct.Struct("!4sI")  # magic + unsigned big-endian payload length
+
+#: Default cap on a single frame's payload.  Generous for this protocol
+#: (a 4096-index predict reply is ~100 KB of JSON) while keeping a corrupt
+#: length prefix from turning into an unbounded buffer.
+MAX_FRAME_BYTES = 16 << 20
+
+
+class TransportError(RuntimeError):
+    """Base class for frame-protocol failures."""
+
+
+class TruncatedFrameError(TransportError):
+    """The stream ended before a complete frame arrived (peer died/closed)."""
+
+
+class FrameTooLargeError(TransportError):
+    """A frame declared (or would need) a payload above the size cap."""
+
+
+class FrameProtocolError(TransportError):
+    """The stream is not speaking this protocol (bad magic / bad JSON)."""
+
+
+def shard_for(device: str, n_shards: int) -> int:
+    """Stable shard index for ``device`` — crc32, identical across processes
+    and Python runs (unlike ``hash``, which is salted per process)."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return zlib.crc32(device.encode()) % n_shards
+
+
+def encode_frame(obj, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message to its wire bytes (header + JSON payload)."""
+    payload = json.dumps(obj, separators=(",", ":"), allow_nan=False).encode()
+    if len(payload) > max_bytes:
+        raise FrameTooLargeError(
+            f"frame payload is {len(payload)} bytes; cap is {max_bytes}"
+        )
+    return _HEADER.pack(FRAME_MAGIC, len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, obj, max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Write one frame to ``sock`` (blocking, honors the socket timeout)."""
+    sock.sendall(encode_frame(obj, max_bytes))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`TruncatedFrameError`.
+
+    ``recv`` returning ``b""`` means the peer is gone; a loop that ignored
+    it would spin forever — the "reader thread hangs on a dead worker"
+    failure mode this module exists to rule out.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            raise TruncatedFrameError(
+                f"stream ended after {got} of {n} expected bytes"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES):
+    """Read one frame from ``sock`` and return the decoded message.
+
+    Raises the named :class:`TransportError` subclasses on malformed input
+    and ``socket.timeout`` if the socket has a timeout and the peer stalls.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    magic, length = _HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise FrameProtocolError(
+            f"bad frame magic {magic!r} (expected {FRAME_MAGIC!r}); "
+            "stream is desynchronized"
+        )
+    if length > max_bytes:
+        raise FrameTooLargeError(
+            f"frame declares a {length}-byte payload; cap is {max_bytes}"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        return json.loads(payload)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FrameProtocolError(f"frame payload is not valid JSON: {exc}") from None

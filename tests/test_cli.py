@@ -46,6 +46,11 @@ class TestParser:
         assert args.plans == "plans/"
         assert build_parser().parse_args(["serve", "--task", "N1"]).plans is None
 
+    def test_serve_workers_arg(self):
+        args = build_parser().parse_args(["serve", "--checkpoint", "c.npz", "--workers", "4"])
+        assert args.workers == 4
+        assert build_parser().parse_args(["serve", "--task", "N1"]).workers == 1
+
 
 class TestServeValidation:
     def test_requires_task_or_checkpoint(self, capsys):
@@ -55,6 +60,10 @@ class TestServeValidation:
     def test_plans_requires_checkpoint(self, capsys):
         assert main(["serve", "--task", "N1", "--plans", "plans/"]) == 2
         assert "--plans requires --checkpoint" in capsys.readouterr().err
+
+    def test_workers_require_checkpoint(self, capsys):
+        assert main(["serve", "--task", "N1", "--workers", "4"]) == 2
+        assert "--workers > 1 requires --checkpoint" in capsys.readouterr().err
 
 
 class TestListings:
