@@ -1,0 +1,181 @@
+"""Mixed-precision payoff benchmark: f32 plans vs f64 plans (PR 8).
+
+Same predictor, same plans, two execution dtypes.  The win comes from
+halving the memory traffic and letting BLAS run sgemm instead of dgemm,
+so it scales with how GEMM-bound the bucket is: single-digit batches are
+dominated by per-op dispatch (small win), the 32/64 coalescing-ceiling
+buckets are where sgemm pays (>= 1.3x floor).  Everywhere else f32 must
+simply never lose to f64 (1.0x floor) — if the cast caches ever started
+thrashing, this is the gate that catches it.
+
+Both gates sit behind an accuracy precondition: the f32 scores must rank
+like the f64 scores (Spearman >= 0.999) on every measured batch — a
+speedup that breaks ranking is a bug, not a win.
+
+Metrics land in ``BENCH_mixed_precision.json`` (CI perf-smoke uploads
+it): per-bucket throughputs and ratios, plus the compiled training-step
+ratio at the pretraining batch size.
+"""
+import time
+
+import numpy as np
+
+from bench_util import print_table, record_metric
+from repro.eval.metrics import spearman
+from repro.nnlib.optim import FusedAdam
+from repro.predictors.nasflat import NASFLATPredictor
+from repro.predictors.space_tensors import SpaceTensors
+from repro.spaces import GenericCellSpace
+from repro.spaces.registry import _INSTANCES
+
+SERVING_BATCH_SIZES = (1, 2, 4, 8, 16)  # request-scale: never-slower floor
+GEMM_BATCH_SIZES = (32, 64)  # coalescing ceiling: sgemm must pay here
+MIN_GEMM_SPEEDUP = 1.3
+MIN_FLOOR_SPEEDUP = 1.0  # f32 may never lose to f64 at any size
+MIN_TRAIN_SPEEDUP = 1.1
+MIN_SPEARMAN = 0.999
+TRAIN_BATCH = 32
+TRIALS = 3  # best-of, to shrug off scheduler noise on shared CI cores
+ATTEMPTS = 3  # full re-measurements before declaring a regression
+
+
+def _rate(fn, archs: int, min_seconds: float = 0.4) -> float:
+    """archs/second over one timed window of at least ``min_seconds``."""
+    t0 = time.perf_counter()
+    n = 0
+    while time.perf_counter() - t0 < min_seconds:
+        fn()
+        n += 1
+    return n * archs / (time.perf_counter() - t0)
+
+
+def _paired_best(f64_fn, f32_fn, archs: int) -> tuple[float, float]:
+    """Best rate per dtype over interleaved trials (see
+    ``test_compiled_inference._paired_best`` for the rationale)."""
+    f64_fn()  # warm caches / compile plans outside the timed regions
+    f32_fn()
+    best_64 = best_32 = 0.0
+    for _ in range(TRIALS):
+        best_64 = max(best_64, _rate(f64_fn, archs))
+        best_32 = max(best_32, _rate(f32_fn, archs))
+    return best_64, best_32
+
+
+def _twin_predictors():
+    space = GenericCellSpace("nb101", table_size=400)
+    _INSTANCES[space.name] = space
+    p64 = NASFLATPredictor(space, ["pixel3", "pixel2"], np.random.default_rng(7))
+    p32 = NASFLATPredictor(space, ["pixel3", "pixel2"], np.random.default_rng(7))
+    p32.set_plan_dtype("f32")
+    return space, p64, p32
+
+
+def test_f32_serving_beats_f64(benchmark):
+    space, p64, p32 = _twin_predictors()
+    tensors = SpaceTensors.for_space(space)
+    rng = np.random.default_rng(0)
+
+    def measure(batch):
+        idx = rng.choice(400, size=batch, replace=False)
+        adj, ops = tensors.batch(idx)
+        s64 = p64.compiled_predict(adj, ops, "pixel3", batch_size=batch)
+        s32 = p32.compiled_predict(adj, ops, "pixel3", batch_size=batch)
+        if batch >= 2:  # accuracy gate before timing anything
+            rho = spearman(s32, s64)
+            assert rho >= MIN_SPEARMAN, f"B={batch}: f32 vs f64 Spearman {rho}"
+        np.testing.assert_allclose(s32, s64, atol=1e-4, rtol=0)
+        return _paired_best(
+            lambda: p64.compiled_predict(adj, ops, "pixel3", batch_size=batch),
+            lambda: p32.compiled_predict(adj, ops, "pixel3", batch_size=batch),
+            batch,
+        )
+
+    def run():
+        rows = []
+        for batch in (*SERVING_BATCH_SIZES, *GEMM_BATCH_SIZES):
+            r64, r32 = measure(batch)
+            rows.append([batch, r64, r32, r32 / r64])
+        return rows
+
+    def passes(rows_):
+        gemm_ok = all(r[3] >= MIN_GEMM_SPEEDUP for r in rows_ if r[0] in GEMM_BATCH_SIZES)
+        floor_ok = all(r[3] >= MIN_FLOOR_SPEEDUP for r in rows_)
+        return gemm_ok and floor_ok
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for _ in range(ATTEMPTS - 1):  # re-measure before declaring a regression
+        if passes(rows):
+            break
+        retry = run()
+        if passes(retry) or min(r[3] for r in retry) > min(r[3] for r in rows):
+            rows = retry
+    print_table(
+        "f32 vs f64 compiled predict (archs/s)",
+        ["batch", "f64", "f32", "speedup"],
+        rows,
+    )
+    for batch, r64, r32, ratio in rows:
+        record_metric(f"f64_throughput_b{batch}", r64, "archs/s", suite="mixed_precision")
+        record_metric(f"f32_throughput_b{batch}", r32, "archs/s", suite="mixed_precision")
+        record_metric(f"serving_speedup_b{batch}", ratio, "x", suite="mixed_precision")
+    for batch, _, _, ratio in rows:
+        if batch in GEMM_BATCH_SIZES:
+            assert ratio >= MIN_GEMM_SPEEDUP, (
+                f"f32 only {ratio:.2f}x f64 at GEMM-bound batch {batch} "
+                f"(need >= {MIN_GEMM_SPEEDUP}x)"
+            )
+        else:
+            assert ratio >= MIN_FLOOR_SPEEDUP, (
+                f"f32 regressed below f64 at batch {batch} ({ratio:.2f}x; "
+                f"floor {MIN_FLOOR_SPEEDUP}x)"
+            )
+
+
+def test_f32_training_step_beats_f64(benchmark):
+    """Compiled training step at the pretraining batch size: f32 forward+
+    backward GEMMs against the f64 baseline, both feeding the same f64
+    FusedAdam master state."""
+    space, p64, p32 = _twin_predictors()
+    tensors = SpaceTensors.for_space(space)
+    rng = np.random.default_rng(1)
+    idx = rng.choice(400, size=TRAIN_BATCH, replace=False)
+    adj, ops = tensors.batch(idx)
+    didx = np.full(TRAIN_BATCH, 0)
+    target = rng.normal(size=TRAIN_BATCH)
+
+    t64 = p64.compile_training("hinge", 0.1)
+    t32 = p32.compile_training("hinge", 0.1)
+    assert t64.dtype == "f64" and t32.dtype == "f32"
+    opt64 = FusedAdam(p64.parameters(), lr=1e-3, weight_decay=1e-5)
+    opt32 = FusedAdam(p32.parameters(), lr=1e-3, weight_decay=1e-5)
+    # Accuracy precondition: one step's loss agrees to f32 rounding.
+    l64 = t64.step(opt64, adj, ops, didx, None, target)
+    l32 = t32.step(opt32, adj, ops, didx, None, target)
+    assert abs(l32 - l64) <= 1e-4 * max(1.0, abs(l64))
+
+    def run():
+        return _paired_best(
+            lambda: t64.step(opt64, adj, ops, didx, None, target),
+            lambda: t32.step(opt32, adj, ops, didx, None, target),
+            1,
+        )
+
+    r64, r32 = benchmark.pedantic(run, rounds=1, iterations=1)
+    for _ in range(ATTEMPTS - 1):
+        if r32 / r64 >= MIN_TRAIN_SPEEDUP:
+            break
+        time.sleep(0.5)  # sample a different co-tenant phase
+        retry_64, retry_32 = run()
+        if retry_32 / retry_64 > r32 / r64:
+            r64, r32 = retry_64, retry_32
+    ratio = r32 / r64
+    print(
+        f"\ncompiled training step (B={TRAIN_BATCH}): f64 {r64:.1f} steps/s   "
+        f"f32 {r32:.1f} steps/s   speedup {ratio:.2f}x"
+    )
+    record_metric("f64_train_steps_per_s", r64, "steps/s", suite="mixed_precision")
+    record_metric("f32_train_steps_per_s", r32, "steps/s", suite="mixed_precision")
+    record_metric("training_speedup", ratio, "x", suite="mixed_precision")
+    assert ratio >= MIN_TRAIN_SPEEDUP, (
+        f"f32 training step only {ratio:.2f}x f64 (need >= {MIN_TRAIN_SPEEDUP}x)"
+    )

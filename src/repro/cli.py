@@ -110,10 +110,13 @@ def _cmd_compile(args) -> int:
     from repro.transfer.pipeline import quick_config
 
     cfg = quick_config(n_transfer_samples=args.samples)
-    session = PredictorSession.from_checkpoint(args.checkpoint, task=args.task, config=cfg)
+    session = PredictorSession.from_checkpoint(
+        args.checkpoint, task=args.task, config=cfg, plan_dtype=args.dtype
+    )
     print(
         f"Compiling plans for task {session.task.name}: "
-        f"{len(args.devices)} device(s) x buckets {args.buckets} -> {args.out}",
+        f"{len(args.devices)} device(s) x buckets {args.buckets} -> {args.out} "
+        f"(dtype {args.dtype})",
         flush=True,
     )
     manifest = write_bundle(session, args.out, args.devices, args.buckets)
@@ -138,6 +141,7 @@ def _cmd_serve(args) -> int:
             config=cfg,
             use_compiled=args.compiled,
             use_compiled_adapt=args.compiled_adapt,
+            plan_dtype=args.dtype,
         )
         if args.plans:
             loaded = session.load_warmup(args.plans)
@@ -155,6 +159,7 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             use_compiled=args.compiled,
             use_compiled_adapt=args.compiled_adapt,
+            plan_dtype=args.dtype,
         )
         print(f"No checkpoint given: pretraining a quick session on {args.task} ...", flush=True)
         session.pretrain()
@@ -167,7 +172,7 @@ def _cmd_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
     )
     server.start()
-    mode = "compiled plans" if args.compiled else "eager forwards"
+    mode = f"compiled plans, dtype {args.dtype}" if args.compiled else "eager forwards"
     print(f"Serving task {session.task.name} on {server.url} ({mode})", flush=True)
     print(
         f"  POST {server.url}/predict   "
@@ -197,6 +202,7 @@ def _serve_sharded(args, cfg) -> int:
         plans=args.plans,
         use_compiled=args.compiled,
         use_compiled_adapt=args.compiled_adapt,
+        dtype=args.dtype,
     )
     router = ShardedRouter(
         spec,
@@ -316,6 +322,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default="plans", help="output bundle directory")
     p.add_argument("--samples", type=int, default=20, help="on-device samples for adaptation")
+    p.add_argument(
+        "--dtype",
+        choices=["f64", "f32"],
+        default="f64",
+        help="plan execution precision: f32 halves replay bandwidth (rank "
+        "correlation vs f64 gated in CI); the bundle records it and serving "
+        "must use the matching --dtype",
+    )
     p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser("serve", help="HTTP serving layer with dynamic micro-batching")
@@ -355,6 +369,13 @@ def build_parser() -> argparse.ArgumentParser:
             "run device cold-start fine-tuning through compiled training "
             "plans (defaults to the --compiled setting)"
         ),
+    )
+    p.add_argument(
+        "--dtype",
+        choices=["f64", "f32"],
+        default="f64",
+        help="plan execution precision for serving and compiled adapt; must "
+        "match the --plans bundle's recorded dtype (named error otherwise)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -39,8 +39,10 @@ from repro.nnlib import serialization as _ser
 from repro.nnlib.serialization import PLAN_FORMAT_VERSION
 
 __all__ = [
+    "PLAN_DTYPES",
     "PLAN_FORMAT_VERSION",
     "BufferLayout",
+    "check_plan_dtype",
     "PlanIR",
     "PlanIRError",
     "Step",
@@ -58,6 +60,22 @@ __all__ = [
 
 class PlanIRError(RuntimeError):
     """A plan artifact could not be serialized, validated, or re-bound."""
+
+
+#: Execution dtypes a plan may declare.  ``"f64"`` is the bitwise-reference
+#: default; ``"f32"`` runs the hot kernels in single precision while keeping
+#: every single-element buffer (loss/scalar reductions) in f64 — see the
+#: mixed-precision notes in :mod:`repro.nnlib.trace`.
+PLAN_DTYPES = ("f64", "f32")
+
+
+def check_plan_dtype(dtype: str) -> str:
+    """Validate a plan dtype string, returning it (raises PlanIRError)."""
+    if dtype not in PLAN_DTYPES:
+        raise PlanIRError(
+            f"unknown plan dtype {dtype!r}; expected one of {PLAN_DTYPES}"
+        )
+    return dtype
 
 
 class Step(NamedTuple):
@@ -94,7 +112,9 @@ class BufferLayout:
 
     @property
     def buffer_bytes(self) -> int:
-        """Total bytes of the pooled float64 base buffers."""
+        """Upper-bound bytes of the pooled base buffers (f64 itemsize; f32
+        plans allocate less — ``CompiledPlan.buffer_bytes`` reports the
+        actual resident footprint)."""
         return 8 * sum(self.sizes)
 
 
@@ -113,6 +133,11 @@ class PlanIR:
     consts: list[tuple[int, np.ndarray]]
     output_slot: int
     extra_outputs: tuple[int, ...] = ()
+    # Execution dtype policy: "f64" (default, bitwise-reference) or "f32"
+    # (single-precision compute with f64 scalar accumulation — see
+    # PLAN_DTYPES and repro.nnlib.trace).  Serialized additively: archives
+    # written before this field existed load as "f64".
+    dtype: str = "f64"
     # Training-plan extras: the full parameter list (paths in params() order,
     # traced shapes for staleness checks, aligned gradient slots).
     param_order: list[str | None] | None = None
@@ -297,6 +322,7 @@ def payload_from_ir(ir: PlanIR) -> tuple[dict, dict[int, np.ndarray]]:
         "const_slots": [int(slot) for slot, _ in ir.consts],
         "output_slot": int(ir.output_slot),
         "extra_outputs": [int(s) for s in ir.extra_outputs],
+        "dtype": ir.dtype,
         "param_order": ir.param_order,
         "param_shapes": (
             None if ir.param_shapes is None else [[int(d) for d in s] for s in ir.param_shapes]
@@ -361,6 +387,8 @@ def ir_from_payload(payload: dict, consts: dict[int, np.ndarray]) -> PlanIR:
             consts=[(slot, consts[slot]) for slot in const_slots],
             output_slot=int(payload["output_slot"]),
             extra_outputs=tuple(int(s) for s in payload["extra_outputs"]),
+            # Archives written before the dtype policy existed are f64 plans.
+            dtype=payload.get("dtype", "f64"),
             param_order=payload.get("param_order"),
             param_shapes=(
                 None
@@ -390,6 +418,10 @@ def validate_ir(ir: PlanIR) -> None:
 
     if ir.kind not in ("inference", "training"):
         raise PlanIRError(f"unknown plan kind {ir.kind!r}")
+    if ir.dtype not in PLAN_DTYPES:
+        raise PlanIRError(
+            f"unknown plan dtype {ir.dtype!r} (artifact from a newer format?)"
+        )
     if ir.n_slots < 1:
         raise PlanIRError(f"invalid slot count {ir.n_slots}")
 
@@ -530,7 +562,11 @@ def save_plan(plan, path, metadata: dict | None = None) -> None:
         # compiled memory plan for bitwise-identical results.
         ir.layout = compute_layout(ir, ())
     payload, consts = payload_from_ir(ir)
-    _ser.save_plan_archive(path, payload, consts, metadata)
+    # Surface the execution dtype in user metadata so bundle manifests and
+    # read_plan_metadata can report it without deserializing the IR.
+    meta = dict(metadata or {})
+    meta.setdefault("dtype", ir.dtype)
+    _ser.save_plan_archive(path, payload, consts, meta)
 
 
 def _grown_gather_table_ok(ir: PlanIR, slot: int, traced, actual) -> bool:

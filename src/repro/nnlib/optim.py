@@ -190,8 +190,13 @@ class FusedOptimizer(Optimizer):
         offsets = np.concatenate([[0], np.cumsum(sizes)])
         total = int(offsets[-1])
         self._offsets, self._total = offsets, total
-        self._flat = np.empty(total)
-        self._grad = np.zeros(total)
+        # Master state is float64 regardless of any plan's execution dtype:
+        # f32 training plans upcast gradients at the replay copy-out into
+        # _grad's views, so parameters, gradients, and (subclass) moments
+        # always accumulate in double — the Adam-moment half of the
+        # mixed-precision policy.
+        self._flat = np.empty(total, dtype=np.float64)
+        self._grad = np.zeros(total, dtype=np.float64)
         self._views: list[np.ndarray] = []
         self._grad_views: list[np.ndarray] = []
         for p, off, size, shape in zip(self.params, offsets, sizes, shapes):

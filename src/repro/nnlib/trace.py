@@ -70,6 +70,7 @@ from repro.nnlib.ir import (
     BufferLayout,
     PlanIR,
     Step,
+    check_plan_dtype,
     derived_fn_name,
     register_derived_fn,
 )
@@ -101,6 +102,67 @@ def notify_param_mutation() -> None:
     """
     global _PARAM_MUTATION_EPOCH
     _PARAM_MUTATION_EPOCH += 1
+
+
+# --------------------------------------------------------- mixed precision
+#
+# An f32 plan ("dtype" on the PlanIR) executes the same op table with two
+# dtype rules, both pure functions of data already in the IR:
+#
+# * **buffers**: every pooled base with more than one element is f32; every
+#   single-element base stays f64.  Scalar reduction tails (the loss sum,
+#   its pair-count divisor, per-scalar backward steps) therefore accumulate
+#   in double — numpy's reduce with a f64 ``out`` runs the accumulation in
+#   the out dtype — which is the plan's f64 accumulation point.
+# * **leaves**: float64 leaf arrays (inputs, parameters, constants, derived
+#   inputs) are cast to f32 once at the replay-input boundary; integer and
+#   bool leaves (gather indices, masks) are never touched.  Parameters stay
+#   f64 master copies — the cast is a cached shadow revalidated on identity
+#   and on the in-place-mutation epoch, so optimizers keep full precision.
+#
+# f64 plans skip all of this: the default path allocates and binds exactly
+# as before, bitwise-unchanged.
+
+
+def _base_dtype(plan_dtype: str, size: int):
+    """Storage dtype for one pooled base buffer of ``size`` elements."""
+    if plan_dtype == "f32" and size > 1:
+        return np.float32
+    return np.float64
+
+
+def _leaf32(arr):
+    """f32 image of one leaf: float64 arrays drop to f32, all else as-is."""
+    if getattr(arr, "dtype", None) == np.float64:
+        return arr.astype(np.float32)
+    return arr
+
+
+class _Cast32Cache:
+    """Identity-keyed f32 shadow of one leaf binding site.
+
+    Pins the source array (so its id cannot be recycled) and revalidates on
+    identity plus the in-place-mutation epoch — the same contract as the
+    sigmoid fold's negated-weight cache.  Repeat replays against the same
+    source array (benchmark loops, live parameters between optimizer steps)
+    reuse the shadow instead of re-casting.
+    """
+
+    __slots__ = ("src", "out", "epoch")
+
+    def __init__(self):
+        self.src = None
+        self.out = None
+        self.epoch = -1
+
+    def get(self, arr, epoch: int = -1):
+        if arr is self.src and epoch == self.epoch:
+            return self.out
+        out = _leaf32(arr)
+        self.src = arr
+        self.out = out
+        self.epoch = epoch
+        return out
 
 
 class _ActiveTrace(threading.local):
@@ -287,6 +349,7 @@ def trace(
     inputs: dict[str, np.ndarray],
     module: Module | None = None,
     params: list[Parameter] | None = None,
+    dtype: str = "f64",
 ) -> "CompiledPlan":
     """Run ``fn(inputs)`` once, recording a replayable :class:`CompiledPlan`.
 
@@ -297,7 +360,16 @@ def trace(
     declares which leaves are live parameters rather than frozen constants.
     Tracing with ``module=`` also records each parameter's dotted path, which
     makes the plan serializable (:meth:`CompiledPlan.save`).
+
+    ``dtype`` selects the plan's execution precision: ``"f64"`` (default)
+    replays bitwise-identically to the eager forward; ``"f32"`` runs the
+    pooled buffers and leaf bindings in single precision (float64 leaves are
+    cast once at the replay-input boundary, integer/bool leaves untouched)
+    while every single-element buffer stays f64 so scalar reduction tails
+    accumulate in double.  The trace itself always runs in f64 — dtype is a
+    property of the compiled plan, not of the recording.
     """
+    check_plan_dtype(dtype)
     if _active.tracer is not None:
         raise TraceError("nested tracing is not supported")
     path_by_id: dict[int, str] = {}
@@ -323,6 +395,7 @@ def trace(
     if out_slot is None:
         raise TraceError("traced function's output was not produced by tensor primitives")
     ir, param_objs, derived_fns = _lower_tracer(tracer, out_slot, path_by_id=path_by_id)
+    ir.dtype = dtype
     return CompiledPlan(ir, param_objs, derived_fns)
 
 
@@ -997,7 +1070,9 @@ def _k_bwd_scatter_rows(st, slot_shapes, inplace_on, bufs, prenegated, negate_rh
     if len(st.shape) == 2:
         n_src = int(np.prod(slot_shapes[idx], dtype=np.int64))
         rows, feat = st.shape
-        onehot = np.zeros((rows, n_src))
+        # The one-hot scratch matches the destination's dtype so the GEMM
+        # runs in the plan's precision (f32 plans scatter in f32).
+        onehot = np.zeros((rows, n_src), dtype=out_buf.dtype)
         cols = np.arange(n_src)
         def run(slots, g=g, idx=idx, o=o, n_src=n_src, feat=feat,
                 onehot=onehot, cols=cols, buf=out_buf):
@@ -1210,7 +1285,7 @@ def _build_exec(
     output_buffers: dict[int, np.ndarray],
 ) -> tuple[list, list[np.ndarray]]:
     """Materialize the pooled buffers and build every step's kernel."""
-    bases = [np.empty(size) for size in layout.sizes]
+    bases = [np.empty(size, dtype=_base_dtype(ir.dtype, size)) for size in layout.sizes]
     negated = frozenset(layout.negated)
     prenegated = frozenset(layout.prenegated)
     execs = []
@@ -1293,8 +1368,17 @@ class CompiledPlan:
             (slot, fn, deps) for (slot, _, deps), fn in zip(ir.derived, derived_fns)
         ]
         self._template: list = [None] * ir.n_slots
+        # f32 plans cast leaves once at the binding boundary: constants here
+        # (the IR keeps the f64 originals — serialization is dtype-agnostic),
+        # parameters/inputs/derived through per-site _Cast32Cache cells in
+        # _bind_and_run.  f64 plans bind leaves untouched, as always.
+        self._cast32 = ir.dtype == "f32"
         for slot, arr in ir.consts:
-            self._template[slot] = arr
+            self._template[slot] = _leaf32(arr) if self._cast32 else arr
+        if self._cast32:
+            self._param_casts = [_Cast32Cache() for _ in self._params]
+            self._input_casts = {name: _Cast32Cache() for name in ir.inputs}
+            self._derived_casts = [_Cast32Cache() for _ in self._derived]
         self.num_constants = len(ir.consts)
         self.num_parameters = len(self._params)
         bound = tuple(sorted(self._output_buffers))
@@ -1318,6 +1402,11 @@ class CompiledPlan:
     def buffer_bytes(self) -> int:
         """Resident bytes of the pooled replay buffers (observability)."""
         return sum(b.nbytes for b in self._buffers)
+
+    @property
+    def dtype(self) -> str:
+        """Execution dtype policy of this plan (``"f64"`` or ``"f32"``)."""
+        return self.ir.dtype
 
     # ------------------------------------------------------------- persistence
     def save(self, path, metadata: dict | None = None) -> None:
@@ -1343,12 +1432,21 @@ class CompiledPlan:
     def _bind_and_run(self, inputs: dict[str, np.ndarray]) -> list:
         """Bind leaves and execute every kernel; caller holds ``_lock``."""
         slots = list(self._template)
-        for slot, param in self._params:
-            slots[slot] = param.data
-        for name, slot in self.input_slots.items():
-            slots[slot] = inputs[name]
-        for slot, fn, deps in self._derived:
-            slots[slot] = fn(*(slots[d] for d in deps))
+        if self._cast32:
+            epoch = _PARAM_MUTATION_EPOCH
+            for (slot, param), cache in zip(self._params, self._param_casts):
+                slots[slot] = cache.get(param.data, epoch)
+            for name, slot in self.input_slots.items():
+                slots[slot] = self._input_casts[name].get(inputs[name])
+            for (slot, fn, deps), cache in zip(self._derived, self._derived_casts):
+                slots[slot] = cache.get(fn(*(slots[d] for d in deps)))
+        else:
+            for slot, param in self._params:
+                slots[slot] = param.data
+            for name, slot in self.input_slots.items():
+                slots[slot] = inputs[name]
+            for slot, fn, deps in self._derived:
+                slots[slot] = fn(*(slots[d] for d in deps))
         for run in self._exec:
             run(slots)
         return slots
@@ -1768,6 +1866,11 @@ class TrainingPlan:
         """Resident bytes of the pooled replay buffers (observability)."""
         return self.plan.buffer_bytes
 
+    @property
+    def dtype(self) -> str:
+        """Execution dtype policy of this plan (``"f64"`` or ``"f32"``)."""
+        return self.plan.dtype
+
     def save(self, path, metadata: dict | None = None) -> None:
         """Persist this training plan as a versioned artifact (see
         :func:`repro.nnlib.ir.save_plan`)."""
@@ -1823,6 +1926,7 @@ def trace_training_step(
     target: str = "target",
     params: list[Parameter] | None = None,
     grad_buffers: list | None = None,
+    dtype: str = "f64",
 ) -> TrainingPlan:
     """Trace one full training step — forward, loss, and backward — into a
     replayable :class:`TrainingPlan`.
@@ -1844,7 +1948,17 @@ def trace_training_step(
     Plans are specialized to the traced shapes.  Training losses couple the
     rows of a batch (ranking losses compare all pairs), so callers compile
     one plan per exact batch size rather than padding to buckets.
+
+    ``dtype="f32"`` compiles a mixed-precision step: forward and backward
+    GEMMs/elementwise kernels run in f32, the scalar loss reduction
+    accumulates in f64 (single-element buffers stay double), and gradients
+    are upcast to f64 at the :meth:`TrainingPlan.replay_into` copy-out —
+    which is why ``grad_buffers`` binding is ignored for f32 plans: binding
+    a kernel's ``out=`` to the optimizer's f64 arrays would silently pull
+    that GEMM back to double.  Optimizer state (``FusedAdam`` flat params,
+    grads, moments) stays f64 master precision either way.
     """
+    check_plan_dtype(dtype)
     if params is None:
         if not isinstance(model, Module):
             raise TraceError("pass params= when tracing a bare function")
@@ -1920,6 +2034,11 @@ def trace_training_step(
     ir.param_order = [path_by_id.get(id(p)) for p in params]
     ir.param_shapes = [tuple(p.data.shape) for p in params]
     ir.grad_slots = list(grad_slots)
+    ir.dtype = dtype
+    if dtype != "f64":
+        # See the docstring: f64 grad buffers as kernel out= would upcast
+        # the producing GEMMs; replay_into's copy-out is the cast boundary.
+        grad_buffers = None
     output_buffers: dict[int, np.ndarray] = {}
     if grad_buffers is not None:
         if len(grad_buffers) != len(params):

@@ -34,12 +34,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nnlib.ir import check_plan_dtype
 from repro.nnlib.losses import make_loss
 from repro.nnlib.optim import FusedOptimizer
 from repro.nnlib.trace import CompiledPlan, TrainingPlan, trace, trace_training_step
 
 
 _MIN_CHUNK = 8  # below this, padding one small plan beats extra replays
+
+
+class PlanDtypeMismatchError(RuntimeError):
+    """A plan or bundle compiled at one dtype was offered to a consumer
+    pinned to another.  Raised instead of silently serving mixed precisions
+    (e.g. an f64 shard next to f32 shards behind one router)."""
 
 
 def bucket_for(n: int) -> int:
@@ -85,6 +92,25 @@ class CompiledInference:
     def _example_batch(self, bucket: int) -> tuple:
         raise NotImplementedError
 
+    @property
+    def plan_dtype(self) -> str:
+        """Execution dtype new plans compile at (``"f64"`` default)."""
+        return self.__dict__.get("_plan_dtype", "f64")
+
+    def set_plan_dtype(self, dtype: str) -> None:
+        """Pin the execution dtype for plans this predictor compiles.
+
+        Changing the policy drops every memoized plan and training engine —
+        a predictor never serves mixed precisions.  Parameters themselves
+        stay f64 master copies; f32 plans shadow-cast them at replay.
+        """
+        check_plan_dtype(dtype)
+        if dtype == self.plan_dtype:
+            return
+        self.__dict__["_plan_dtype"] = dtype
+        self.clear_plans()
+        self.clear_training_plans()
+
     def compile(self, batch_size: int) -> CompiledPlan:
         """Build (and memoize) the replay plan for ``batch_size``'s bucket.
 
@@ -99,7 +125,7 @@ class CompiledInference:
             was_training = self.training
             self.eval()
             try:
-                plan = trace(self._forward_core, inputs, module=self)
+                plan = trace(self._forward_core, inputs, module=self, dtype=self.plan_dtype)
             finally:
                 if was_training:
                     self.train()
@@ -110,20 +136,27 @@ class CompiledInference:
         """Drop memoized plans (needed only after *structural* changes)."""
         self.__dict__.pop("_plans", None)
 
-    def compile_training(self, loss: str = "hinge", margin: float = 0.1) -> "CompiledTraining":
+    def compile_training(
+        self, loss: str = "hinge", margin: float = 0.1, dtype: str | None = None
+    ) -> "CompiledTraining":
         """Memoized :class:`CompiledTraining` engine for this predictor.
 
-        One engine per ``(loss, margin)`` signature; each engine caches one
-        joint forward+backward plan per exact batch size.  Plans read
-        parameter values live, so the same engine serves a whole fine-tune
-        or pretraining run; parameter *shape* changes (``add_device``) are
-        detected per step and the affected plan is re-traced.
+        One engine per ``(loss, margin, dtype)`` signature; each engine
+        caches one joint forward+backward plan per exact batch size.  Plans
+        read parameter values live, so the same engine serves a whole
+        fine-tune or pretraining run; parameter *shape* changes
+        (``add_device``) are detected per step and the affected plan is
+        re-traced.  ``dtype`` defaults to the predictor's
+        :attr:`plan_dtype` policy.
         """
+        if dtype is None:
+            dtype = self.plan_dtype
+        check_plan_dtype(dtype)
         trainers = self.__dict__.setdefault("_trainers", {})
-        key = (loss, float(margin))
+        key = (loss, float(margin), dtype)
         trainer = trainers.get(key)
         if trainer is None:
-            trainer = trainers[key] = CompiledTraining(self, loss, margin)
+            trainer = trainers[key] = CompiledTraining(self, loss, margin, dtype=dtype)
         return trainer
 
     def clear_training_plans(self) -> None:
@@ -161,8 +194,16 @@ class CompiledInference:
         at ``bucket`` rows — checked against a freshly prepared example
         batch, so a stale artifact (wrong space, wrong supplementary dim,
         wrong device count) is rejected up front instead of failing deep
-        inside a replay.
+        inside a replay — and at this predictor's :attr:`plan_dtype`
+        (:class:`PlanDtypeMismatchError` otherwise: one predictor never
+        serves mixed precisions).
         """
+        if plan.dtype != self.plan_dtype:
+            raise PlanDtypeMismatchError(
+                f"plan was compiled at dtype {plan.dtype!r} but this predictor "
+                f"serves {self.plan_dtype!r}; re-compile the artifact or set "
+                "the matching plan dtype"
+            )
         expected = {
             k: tuple(np.shape(v))
             for k, v in self._plan_inputs(*self._example_batch(bucket)).items()
@@ -233,10 +274,11 @@ class CompiledTraining:
     automatically if a parameter's shape changed (``add_device``).
     """
 
-    def __init__(self, model, loss: str = "hinge", margin: float = 0.1):
+    def __init__(self, model, loss: str = "hinge", margin: float = 0.1, dtype: str = "f64"):
         self.model = model
         self.loss_name = loss
         self.margin = float(margin)
+        self.dtype = check_plan_dtype(dtype)
         self._loss_fn = make_loss(loss, margin)
         self.params = model.parameters()
         self._plans: dict[int, TrainingPlan] = {}
@@ -259,7 +301,10 @@ class CompiledTraining:
 
     def _plan_for(self, inputs: dict[str, np.ndarray], n: int, grad_out=None) -> TrainingPlan:
         plan = self._plans.get(n)
-        key = self._binding_key(grad_out)
+        # f32 plans never bind the optimizer's f64 grad arrays as kernel
+        # outputs (that would pull the producing GEMMs back to double);
+        # replay_into's copy-out performs the f32 -> f64 upcast instead.
+        key = self._binding_key(grad_out) if self.dtype == "f64" else None
         if plan is not None and plan.stale():
             self.plan_retraces += 1
             plan = None
@@ -276,7 +321,12 @@ class CompiledTraining:
             # destinations: replay then lands every gradient in place.
             buffers = list(grad_out) if key is not None else None
             plan = trace_training_step(
-                self.model, self._loss_fn, inputs, params=self.params, grad_buffers=buffers
+                self.model,
+                self._loss_fn,
+                inputs,
+                params=self.params,
+                grad_buffers=buffers,
+                dtype=self.dtype,
             )
             self._plans[n] = plan
             self._plan_bindings[n] = key

@@ -21,6 +21,7 @@ device-affinity worker processes (:mod:`repro.serving.worker`), each warmed
 from a ``repro compile`` artifact bundle and fronted by its own batch
 window — ``repro serve --workers N --plans <dir>``.
 """
+from repro.predictors.compiled import PlanDtypeMismatchError
 from repro.serving.router import ShardedRouter, WorkerStartupError, WorkerUnavailableError
 from repro.serving.server import MicroBatcher, PredictorServer, ServerMetrics
 from repro.serving.session import PredictorSession, SessionStats
@@ -28,6 +29,7 @@ from repro.serving.worker import WorkerSpec
 
 __all__ = [
     "MicroBatcher",
+    "PlanDtypeMismatchError",
     "PredictorServer",
     "PredictorSession",
     "ServerMetrics",

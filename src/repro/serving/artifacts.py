@@ -74,6 +74,10 @@ def write_bundle(
         "task": session.task.name,
         "space": session.task.space,
         "seed": session.seed,
+        # Execution precision every plan in the bundle was compiled at.
+        # Additive key (same format version): bundles written before the
+        # dtype policy existed are read as f64 by load_warmup.
+        "dtype": getattr(session, "plan_dtype", "f64"),
         "devices": entries,
         "metadata": metadata or {},
     }

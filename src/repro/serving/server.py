@@ -633,6 +633,9 @@ class PredictorServer:
         # plan_invalidations / adapt_seconds / last_adapt_seconds).
         snap["compiled_serving"] = getattr(self.session, "use_compiled", None)
         snap["compiled_adapt"] = getattr(self.session, "use_compiled_adapt", None)
+        # Execution precision of served plans ("f64" | "f32"; None when the
+        # session has no dtype policy, e.g. a bare predict_fn stub).
+        snap["plan_dtype"] = getattr(self.session, "plan_dtype", None)
         stats = getattr(self.session, "stats", None)
         if stats is not None and hasattr(stats, "snapshot"):
             snap["session"] = stats.snapshot()
@@ -683,6 +686,8 @@ class PredictorServer:
         snap["workers"] = rollup
         snap["compiled_serving"] = getattr(router.spec, "use_compiled", None)
         snap["compiled_adapt"] = getattr(router.spec, "use_compiled_adapt", None)
+        # Every shard serves the spec's dtype (worker warmup enforces it).
+        snap["plan_dtype"] = getattr(router.spec, "dtype", None)
         for key in ("plans_loaded", "plan_load_seconds", "warmup_complete"):
             if key in snap["session"]:
                 snap[key] = snap["session"][key]

@@ -104,6 +104,14 @@ class PredictorSession:
         adapted predictors and compiled plans are loaded at construction, so
         the first request for a warmed (device, bucket) replays a loaded
         plan — no adaptation, no trace.
+    plan_dtype: execution precision for every plan this session compiles or
+        loads — ``"f64"`` (default, bitwise-reference) or ``"f32"``
+        (mixed-precision replay: f32 kernels, f64 scalar accumulation; see
+        :func:`repro.nnlib.trace.trace`).  Applied to each adapted clone, so
+        both serving plans and compiled adapt run at this precision.
+        Warmup bundles must have been compiled at the same dtype
+        (:class:`~repro.predictors.compiled.PlanDtypeMismatchError`
+        otherwise — a fleet never silently mixes precisions across shards).
     """
 
     def __init__(
@@ -118,7 +126,11 @@ class PredictorSession:
         use_compiled_adapt: bool | None = None,
         pipeline: NASFLATPipeline | None = None,
         warmup_artifacts=None,
+        plan_dtype: str = "f64",
     ):
+        from repro.nnlib.ir import check_plan_dtype
+
+        check_plan_dtype(plan_dtype)
         if pipeline is not None:
             self.pipeline = pipeline
             self.task = pipeline.task
@@ -135,6 +147,7 @@ class PredictorSession:
         self.use_compiled_adapt = (
             bool(use_compiled) if use_compiled_adapt is None else bool(use_compiled_adapt)
         )
+        self.plan_dtype = plan_dtype
         self.stats = SessionStats()
         self._hot: OrderedDict[str, NASFLATPredictor] = OrderedDict()
         # (device, shape bucket) pairs whose compiled replay plan is resident
@@ -243,6 +256,9 @@ class PredictorSession:
                 )
             idx = np.asarray(indices, dtype=np.int64)
             predictor = self.pipeline._clone_pretrained()
+            # The clone inherits the session's precision policy before any
+            # plan exists: compiled adapt and serving plans share one dtype.
+            predictor.set_plan_dtype(self.plan_dtype)
             init_device = None
             if self.pipeline.config.hw_init:
                 from repro.transfer.hw_init import select_init_device
@@ -294,6 +310,7 @@ class PredictorSession:
         clone._dataset = self.pipeline.dataset
         clone._supplementary = self.pipeline.supplementary
         clone._source_devices = list(self.task.train_devices)
+        clone.set_plan_dtype(self.plan_dtype)
         clone.load(checkpoint)
         clone.eval()
         return clone
@@ -310,7 +327,14 @@ class PredictorSession:
         warms only its own shard instead of the whole fleet's artifacts).
         Returns the number of plans loaded; counters land in
         ``stats.plans_loaded`` / ``plan_load_seconds`` / ``warmup_complete``.
+
+        The bundle's recorded dtype must match this session's ``plan_dtype``
+        (bundles without one are f64); a
+        :class:`~repro.predictors.compiled.PlanDtypeMismatchError` is raised
+        before any device loads, so a sharded fleet can never end up with
+        one shard serving a different precision than its peers.
         """
+        from repro.predictors.compiled import PlanDtypeMismatchError
         from repro.serving.artifacts import read_manifest
 
         manifest, bundle_dir = read_manifest(source)
@@ -318,6 +342,13 @@ class PredictorSession:
             raise ValueError(
                 f"plan bundle was compiled for task {manifest.get('task')!r}, "
                 f"not {self.task.name!r}"
+            )
+        bundle_dtype = manifest.get("dtype", "f64")
+        if bundle_dtype != self.plan_dtype:
+            raise PlanDtypeMismatchError(
+                f"plan bundle was compiled at dtype {bundle_dtype!r} but this "
+                f"session serves plan_dtype {self.plan_dtype!r}; re-compile the "
+                "bundle or start the server with the matching --dtype"
             )
         wanted = None if devices is None else set(devices)
         loaded = 0

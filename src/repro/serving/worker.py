@@ -65,6 +65,11 @@ class WorkerSpec:
     plans: str | Path | None = None
     use_compiled: bool = True
     use_compiled_adapt: bool | None = None
+    # Plan execution precision for every shard ("f64" | "f32").  Warmup
+    # fails with PlanDtypeMismatchError if `plans` was compiled at a
+    # different dtype — the startup handshake surfaces it as a named error
+    # instead of one shard silently serving another precision.
+    dtype: str = "f64"
 
 
 def build_worker_session(spec: WorkerSpec, worker_id: int, n_workers: int):
@@ -83,6 +88,7 @@ def build_worker_session(spec: WorkerSpec, worker_id: int, n_workers: int):
         config=spec.config,
         use_compiled=spec.use_compiled,
         use_compiled_adapt=spec.use_compiled_adapt,
+        plan_dtype=getattr(spec, "dtype", "f64"),
     )
     warm: list[str] = []
     if spec.plans is not None:
@@ -107,6 +113,7 @@ def _snapshot(session, worker_id: int) -> dict:
         "stats": session.stats.snapshot(),
         "plan_cache_entries": dict(session.plan_cache_entries),
         "plan_buffer_bytes": int(session.plan_buffer_bytes),
+        "plan_dtype": getattr(session, "plan_dtype", "f64"),
     }
 
 

@@ -4,10 +4,21 @@ Run from the repo root whenever ``PLAN_FORMAT_VERSION`` is bumped::
 
     PYTHONPATH=src python tests/fixtures/gen_golden_plan.py
 
-and commit the refreshed ``golden_fwd_v<N>.npz`` / ``golden_train_v<N>.npz``
-(delete the previous version's files in the same commit — the compat test
-globs for the current version only).
+and commit the refreshed ``golden_*_v<N>.npz`` files (delete the previous
+version's files in the same commit — the compat test globs for the
+current version only).
+
+Two precisions are committed per plan kind: the default-f64 pair and an
+``_f32`` pair compiled under ``dtype="f32"``.  On a same-version run you
+can regenerate one precision in isolation with ``--dtype f32`` (or
+``f64``).  NOTE: the committed *f64* fixtures were written before the
+plan ``dtype`` field existed — their payload has no ``dtype`` key, which
+is exactly what makes them the compat proof that dtype-less artifacts
+load as f64.  Do not regenerate them except on a format bump (on a bump
+the dtype-less case stays covered by the compat test's synthetic
+strip-the-key check).
 """
+import sys
 from pathlib import Path
 
 from repro.nnlib import mse_loss, trace, trace_training_step
@@ -17,16 +28,23 @@ from golden_plan_model import build_model, forward_inputs, training_inputs
 
 
 def main() -> None:
+    wanted = sys.argv[2] if sys.argv[1:2] == ["--dtype"] else "all"
+    if wanted not in ("all", "f64", "f32"):
+        raise SystemExit(f"usage: gen_golden_plan.py [--dtype f64|f32] (got {wanted!r})")
     here = Path(__file__).resolve().parent
-    model = build_model()
-    fwd = trace(model._forward_core, forward_inputs(), module=model)
-    fwd_path = here / f"golden_fwd_v{PLAN_FORMAT_VERSION}.npz"
-    fwd.save(fwd_path, metadata={"fixture": "golden_fwd"})
-    train = trace_training_step(model, mse_loss, training_inputs())
-    train_path = here / f"golden_train_v{PLAN_FORMAT_VERSION}.npz"
-    train.save(train_path, metadata={"fixture": "golden_train"})
-    print(f"wrote {fwd_path}")
-    print(f"wrote {train_path}")
+    for dtype in ("f64", "f32"):
+        if wanted not in ("all", dtype):
+            continue
+        tag = "" if dtype == "f64" else f"_{dtype}"
+        model = build_model()
+        fwd = trace(model._forward_core, forward_inputs(), module=model, dtype=dtype)
+        fwd_path = here / f"golden_fwd{tag}_v{PLAN_FORMAT_VERSION}.npz"
+        fwd.save(fwd_path, metadata={"fixture": f"golden_fwd{tag}"})
+        train = trace_training_step(model, mse_loss, training_inputs(), dtype=dtype)
+        train_path = here / f"golden_train{tag}_v{PLAN_FORMAT_VERSION}.npz"
+        train.save(train_path, metadata={"fixture": f"golden_train{tag}"})
+        print(f"wrote {fwd_path}")
+        print(f"wrote {train_path}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,244 @@
+"""Per-kernel f32/f64 property tests for the mixed-precision plan policy.
+
+Every op family that the tracer compiles gets the same treatment: trace
+the expression twice — once at the default f64, once at f32 — replay both
+on unit-scale random inputs, and bound the relative error by the family's
+expected single-precision behaviour (elementwise ~1e-6, GEMMs scaled by
+the contraction dimension, data movement exact).  The last class pins the
+policy's accumulation guarantee: scalar reductions run with an f64
+accumulator even inside f32 plans, demonstrated on a cancellation batch
+that a naive f32 sum gets exactly wrong.
+"""
+import numpy as np
+import pytest
+
+from repro.nnlib import Linear, Tensor, concat, mse_loss, trace, trace_training_step
+from repro.nnlib.ir import PlanIRError, check_plan_dtype
+from repro.nnlib.trace import _base_dtype
+
+#: Elementwise single-precision rounding: a handful of ulps at unit scale.
+EW_RTOL = 1e-5
+#: GEMM error grows ~sqrt(K) in the contraction dim; K<=64 here.
+MM_RTOL = 1e-4
+
+
+def _pair(fn, inputs):
+    """Trace ``fn`` at both dtypes and replay on the same inputs."""
+    p64 = trace(fn, inputs, dtype="f64")
+    p32 = trace(fn, inputs, dtype="f32")
+    assert p64.dtype == "f64" and p32.dtype == "f32"
+    return np.asarray(p64.replay(inputs)), np.asarray(p32.replay(inputs))
+
+
+def _check(fn, inputs, rtol=EW_RTOL, atol=1e-6):
+    ref, got = _pair(fn, inputs)
+    np.testing.assert_allclose(
+        got.astype(np.float64), ref, rtol=rtol, atol=atol
+    )
+    return ref, got
+
+
+RNG = np.random.default_rng(1234)
+X = RNG.normal(size=(8, 6))
+Y = RNG.normal(size=(8, 6))
+POS = np.abs(RNG.normal(size=(8, 6))) + 0.5  # safe for log/div/pow
+
+
+class TestElementwiseFamilies:
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("add", lambda i: Tensor(i["x"]) + Tensor(i["y"])),
+            ("sub", lambda i: Tensor(i["x"]) - Tensor(i["y"])),
+            ("mul", lambda i: Tensor(i["x"]) * Tensor(i["y"])),
+            ("neg", lambda i: -Tensor(i["x"])),
+        ],
+    )
+    def test_ring_ops(self, name, fn):
+        _check(fn, {"x": X, "y": Y})
+
+    def test_div(self):
+        _check(lambda i: Tensor(i["x"]) / Tensor(i["p"]), {"x": X, "p": POS})
+
+    def test_pow(self):
+        _check(lambda i: Tensor(i["p"]) ** 1.7, {"p": POS})
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("exp", lambda i: Tensor(i["x"]).exp()),
+            ("log", lambda i: Tensor(i["p"]).log()),
+            ("tanh", lambda i: Tensor(i["x"]).tanh()),
+            ("abs", lambda i: Tensor(i["x"]).abs()),
+            ("sigmoid", lambda i: Tensor(i["x"]).sigmoid()),
+            ("relu", lambda i: Tensor(i["x"]).relu()),
+            ("leaky_relu", lambda i: Tensor(i["x"]).leaky_relu(0.01)),
+            ("clip_min", lambda i: Tensor(i["x"]).clip_min(-0.25)),
+        ],
+    )
+    def test_transcendental_and_threshold(self, name, fn):
+        _check(fn, {"x": X, "p": POS})
+
+    def test_scalar_broadcast_stays_f32(self):
+        # A 0-d f64 constant (like the hinge margin) must not promote the
+        # whole elementwise op back to f64 inside an f32 plan.
+        plan = trace(lambda i: Tensor(i["x"]) * 2.5 + 0.125, {"x": X}, dtype="f32")
+        out = plan.replay({"x": X})
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out.astype(np.float64), X * 2.5 + 0.125, rtol=EW_RTOL)
+
+
+class TestContractionFamilies:
+    def test_matmul(self):
+        a = RNG.normal(size=(16, 64))
+        b = RNG.normal(size=(64, 12))
+        _check(
+            lambda i: Tensor(i["a"]) @ Tensor(i["b"]),
+            {"a": a, "b": b},
+            rtol=MM_RTOL,
+            atol=1e-5,
+        )
+
+    def test_linear_layer_chain(self):
+        lin = Linear(6, 4, np.random.default_rng(5))
+        _check(
+            lambda i: lin(Tensor(i["x"])).relu(),
+            {"x": X},
+            rtol=MM_RTOL,
+            atol=1e-5,
+        )
+
+    @pytest.mark.parametrize("axis", [-1, 0])
+    def test_softmax_families(self, axis):
+        _check(lambda i: Tensor(i["x"]).softmax(axis=axis), {"x": X})
+        _check(lambda i: Tensor(i["x"]).log_softmax(axis=axis), {"x": X})
+
+
+class TestDataMovementIsExact:
+    """Shape ops move bits, they don't round: the f32 result must equal the
+    f64 result cast to f32 exactly."""
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("reshape", lambda i: (Tensor(i["x"]) * 1.0).reshape(48)),
+            ("transpose", lambda i: (Tensor(i["x"]) * 1.0).transpose()),
+            ("getitem", lambda i: (Tensor(i["x"]) * 1.0)[2:5]),
+            ("concat", lambda i: concat([Tensor(i["x"]) * 1.0, Tensor(i["y"]) * 1.0], axis=1)),
+        ],
+    )
+    def test_movement(self, name, fn):
+        ref, got = _pair(fn, {"x": X, "y": Y})
+        np.testing.assert_array_equal(got, ref.astype(np.float32))
+
+    def test_gather_rows(self):
+        table = Linear(4, 5, np.random.default_rng(6)).weight
+        idx = np.array([0, 2, 2, 3])
+        plan64 = trace(lambda i: table.gather_rows(i["idx"]) * 1.0, {"idx": idx}, params=[table])
+        plan32 = trace(
+            lambda i: table.gather_rows(i["idx"]) * 1.0, {"idx": idx}, params=[table], dtype="f32"
+        )
+        ref = plan64.replay({"idx": idx})
+        got = plan32.replay({"idx": idx})
+        np.testing.assert_array_equal(got, ref.astype(np.float32))
+
+
+class TestReductionAccumulation:
+    """The policy's one deliberate f64 island inside f32 plans: scalar
+    reduction buffers stay f64 and numpy accumulates into them in f64."""
+
+    def test_sum_reduces_in_f64(self):
+        # 1e8 and 1.0 are exactly representable in f32, but their sum is
+        # not: a naive f32 left-to-right sum of [1e8, 1, -1e8] rounds
+        # 1e8 + 1 back to 1e8 and returns exactly 0.0.  The plan must
+        # return 1.0 because the reduction writes an f64 accumulator.
+        x = np.array([1e8, 1.0, -1e8])
+        naive = np.float32(0.0)
+        for v in x.astype(np.float32):
+            naive += v
+        assert naive == 0.0  # the failure mode being guarded against
+        plan = trace(lambda i: Tensor(i["x"]).sum(), {"x": x}, dtype="f32")
+        assert plan.replay({"x": x}) == 1.0
+
+    def test_loss_reduction_in_training_plan_is_f64(self):
+        # Absorption batch routed through a real training step: one row
+        # contributes a squared error of 2^26, 1024 rows contribute 1.0
+        # each.  A naive f32 running sum absorbs every small term (ulp at
+        # 2^26 is 8.0), landing 1.5e-5 away from the truth; the plan's
+        # f64 accumulator keeps them, leaving only the ~3e-8 rounding of
+        # the f32 mean-scale constant.
+        lin = Linear(1, 1, np.random.default_rng(7), bias=False)
+        lin.weight.data = np.array([[1.0]])
+        x = np.full((1025, 1), 1.0)
+        x[0, 0] = 8192.0  # 8192^2 == 2^26, exact in f32
+        inputs = {"x": x, "target": np.zeros((1025, 1))}
+        sq = (x[:, 0] ** 2).astype(np.float32)
+        naive = np.float32(0.0)
+        for v in sq:  # the failure mode being guarded against
+            naive += v
+        assert naive == 2.0**26  # all 1024 small terms absorbed
+        step = trace_training_step(
+            lambda i: lin(Tensor(i["x"])), mse_loss, inputs,
+            params=lin.parameters(), dtype="f32",
+        )
+        assert step.dtype == "f32"
+        loss, _ = step.replay(inputs)
+        expected = (2.0**26 + 1024.0) / 1025.0
+        rel = abs(loss - expected) / expected
+        assert rel < 1e-6, rel  # naive f32 accumulation sits at 1.5e-5
+
+    def test_max_reduction(self):
+        _check(lambda i: Tensor(i["x"]).max(axis=1), {"x": X})
+
+    def test_mean_matches_f64_at_unit_scale(self):
+        _check(lambda i: Tensor(i["x"]).mean(axis=0), {"x": X})
+
+
+class TestPolicyMechanics:
+    def test_base_dtype_rule(self):
+        # Pooled buffers: f32 for real tensors, f64 for the scalar tail.
+        assert _base_dtype("f32", 128) == np.float32
+        assert _base_dtype("f32", 2) == np.float32
+        assert _base_dtype("f32", 1) == np.float64
+        assert _base_dtype("f32", 0) == np.float64
+        assert _base_dtype("f64", 128) == np.float64
+
+    def test_check_plan_dtype(self):
+        assert check_plan_dtype("f64") == "f64"
+        assert check_plan_dtype("f32") == "f32"
+        with pytest.raises(PlanIRError):
+            check_plan_dtype("f16")
+
+    def test_unknown_dtype_rejected_at_trace(self):
+        with pytest.raises(PlanIRError):
+            trace(lambda i: Tensor(i["x"]) * 1.0, {"x": X}, dtype="bf16")
+
+    def test_f32_plan_buffers_are_half_the_bytes(self):
+        lin = Linear(6, 4, np.random.default_rng(8))
+        p64 = trace(lambda i: lin(Tensor(i["x"])).relu(), {"x": X})
+        p32 = trace(lambda i: lin(Tensor(i["x"])).relu(), {"x": X}, dtype="f32")
+        assert p32.buffer_bytes < p64.buffer_bytes
+
+    def test_int_and_bool_leaves_pass_through(self):
+        # Only f64 leaves are cast; index inputs keep their integer dtype.
+        table = Linear(4, 5, np.random.default_rng(9)).weight
+        idx = np.array([1, 3], dtype=np.int64)
+        plan = trace(
+            lambda i: table.gather_rows(i["idx"]) * 1.0, {"idx": idx}, params=[table], dtype="f32"
+        )
+        out = plan.replay({"idx": np.array([0, 3], dtype=np.int64)})
+        np.testing.assert_array_equal(out, table.data[[0, 3]].astype(np.float32))
+
+    def test_param_mutation_recast(self):
+        # Optimizers reassign p.data; the cast cache must notice and re-cast
+        # rather than replay the stale f32 image.
+        lin = Linear(6, 4, np.random.default_rng(10))
+        plan = trace(lambda i: lin(Tensor(i["x"])), {"x": X}, module=lin, dtype="f32")
+        before = plan.replay({"x": X}).copy()
+        for p in lin.parameters():
+            p.data = p.data * 2.0
+        after = plan.replay({"x": X})
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(
+            after.astype(np.float64), lin(Tensor(X)).numpy(), rtol=MM_RTOL, atol=1e-5
+        )

@@ -1,0 +1,187 @@
+"""Mixed-precision accuracy gate: f32 plans must rank like f64 plans.
+
+The dtype policy (``docs/ARCHITECTURE.md``, "Mixed-precision execution")
+promises that an f32-compiled plan is a *ranking-equivalent* drop-in for
+the f64 plan of the same predictor: latency predictors are consumed
+through rank correlation, so the gate is Spearman >= 0.999 between the
+two precisions on held-out batches — per registered space, after
+adaptation, across the padding path, and after ``add_device``.  The f64
+path itself must be untouched by the policy (bitwise gate at the end).
+"""
+import numpy as np
+import pytest
+
+from repro.eval.metrics import spearman
+from repro.predictors.compiled import PlanDtypeMismatchError
+from repro.predictors.nasflat import NASFLATPredictor
+from repro.predictors.space_tensors import SpaceTensors
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.serving import PredictorSession
+from repro.spaces.registry import get_space
+from repro.tasks import Task
+from repro.transfer.pipeline import PipelineConfig
+
+#: The accuracy gate from the issue: f32 ranks must be indistinguishable
+#: from f64 ranks for serving purposes.
+MIN_SPEARMAN = 0.999
+SPACES = ["nasbench201", "nasbench101", "fbnet"]
+
+
+def _twins(space, seed=7, devices=("pixel3", "pixel2")):
+    """Two predictors with identical parameters, one per plan dtype."""
+    p64 = NASFLATPredictor(space, list(devices), np.random.default_rng(seed))
+    p32 = NASFLATPredictor(space, list(devices), np.random.default_rng(seed))
+    p32.set_plan_dtype("f32")
+    return p64, p32
+
+
+def _held_out(space, rng, n):
+    tensors = SpaceTensors.for_space(space)
+    idx = rng.choice(space.num_architectures(), size=n, replace=False)
+    return tensors.batch(idx)
+
+
+@pytest.mark.parametrize("space_name", SPACES)
+class TestEverySpaceRankGate:
+    def test_f32_ranks_match_f64(self, space_name):
+        space = get_space(space_name)
+        rng = np.random.default_rng(31)
+        p64, p32 = _twins(space)
+        for trial in range(3):  # independent held-out batches
+            adj, ops = _held_out(space, rng, 64)
+            s64 = p64.compiled_predict(adj, ops, "pixel3", batch_size=64)
+            s32 = p32.compiled_predict(adj, ops, "pixel3", batch_size=64)
+            rho = spearman(s32, s64)
+            assert rho >= MIN_SPEARMAN, f"{space_name} trial {trial}: rho={rho}"
+
+    def test_f32_values_stay_close(self, space_name):
+        # Belt and braces under the rank gate: raw scores agree to single
+        # precision (unit-scale network, so absolute tolerance is fine).
+        space = get_space(space_name)
+        rng = np.random.default_rng(32)
+        p64, p32 = _twins(space)
+        adj, ops = _held_out(space, rng, 32)
+        s64 = p64.compiled_predict(adj, ops, "pixel3", batch_size=32)
+        s32 = p32.compiled_predict(adj, ops, "pixel3", batch_size=32)
+        np.testing.assert_allclose(s32, s64, atol=1e-4, rtol=0)
+
+
+class TestPaddingAndGrowth:
+    def test_odd_batches_pad_correctly_under_f32(self, tiny_space):
+        # 5 and 33 are off-bucket: rows beyond the batch are zero padding,
+        # which must not contaminate real rows in single precision either.
+        rng = np.random.default_rng(33)
+        p64, p32 = _twins(tiny_space)
+        for n in (1, 5, 33):
+            adj, ops = _held_out(tiny_space, rng, n)
+            s64 = p64.compiled_predict(adj, ops, "pixel3")
+            s32 = p32.compiled_predict(adj, ops, "pixel3")
+            assert s32.shape == s64.shape == (n,)
+            np.testing.assert_allclose(s32, s64, atol=1e-4, rtol=0, err_msg=f"B={n}")
+
+    def test_plans_survive_add_device_under_f32(self, tiny_space):
+        # Growing the hardware-embedding table re-binds a *new* parameter
+        # array; the f32 cast cache must re-cast rather than serve the old
+        # table's image.
+        rng = np.random.default_rng(34)
+        p64, p32 = _twins(tiny_space)
+        adj, ops = _held_out(tiny_space, rng, 6)
+        p32.compiled_predict(adj, ops, "pixel3")  # compile before growing
+        p64.add_device("newdev", init_from="pixel3")
+        p32.add_device("newdev", init_from="pixel3")
+        s64 = p64.compiled_predict(adj, ops, "newdev")
+        s32 = p32.compiled_predict(adj, ops, "newdev")
+        np.testing.assert_allclose(s32, s64, atol=1e-4, rtol=0)
+
+    def test_mismatched_plan_rejected_by_name(self, tiny_space):
+        # install_plan refuses to mix precisions inside one predictor.
+        p64, p32 = _twins(tiny_space)
+        plan32 = p32.compile(8)
+        assert plan32.dtype == "f32"
+        with pytest.raises(PlanDtypeMismatchError):
+            p64.install_plan(8, plan32)
+
+
+@pytest.fixture(scope="module")
+def mp_task():
+    from repro.spaces import GenericCellSpace
+    from repro.spaces.registry import _INSTANCES
+
+    sp = GenericCellSpace("nb101", table_size=300)
+    _INSTANCES[sp.name] = sp
+    return Task(
+        "T-mixed",
+        sp.name,
+        train_devices=("pixel3", "pixel2"),
+        test_devices=("fpga", "eyeriss"),
+    )
+
+
+@pytest.fixture(scope="module")
+def mp_cfg():
+    return PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        n_transfer_samples=8,
+        pretrain=PretrainConfig(samples_per_device=24, epochs=2, batch_size=16),
+        finetune=FinetuneConfig(epochs=4),
+        n_test=50,
+    )
+
+
+@pytest.fixture(scope="module")
+def adapted_pair(mp_task, mp_cfg):
+    """One f64 and one f32 session over the same pretrained weights."""
+    s64 = PredictorSession(mp_task, mp_cfg, seed=0).pretrain()
+    s32 = PredictorSession(mp_task, mp_cfg, seed=0, plan_dtype="f32").pretrain()
+    assert s64.plan_dtype == "f64" and s32.plan_dtype == "f32"
+    return s64, s32
+
+
+class TestCompiledAdaptQuality:
+    """f32 compiled-adapt (training plans run in f32, Adam state in f64)
+    must land on a predictor of the same *quality* as f64 adapt — the
+    trajectories diverge bitwise, so the gate is against ground truth."""
+
+    def test_adapted_predictions_rank_identically(self, adapted_pair):
+        s64, s32 = adapted_pair
+        rng = np.random.default_rng(36)
+        for device in ("fpga", "eyeriss"):
+            idx = rng.choice(300, size=48, replace=False)
+            rho = spearman(s32.predict_batch(device, idx), s64.predict_batch(device, idx))
+            assert rho >= MIN_SPEARMAN, f"{device}: rho={rho}"
+
+    def test_adapt_quality_vs_ground_truth(self, adapted_pair):
+        s64, s32 = adapted_pair
+        dataset = s64.pipeline.dataset
+        rng = np.random.default_rng(37)
+        idx = rng.choice(300, size=64, replace=False)
+        for device in ("fpga", "eyeriss"):
+            truth = dataset.latency_of(device, idx)
+            q64 = spearman(s64.predict_batch(device, idx), truth)
+            q32 = spearman(s32.predict_batch(device, idx), truth)
+            # f32 training noise must not cost measurable predictor quality.
+            assert q32 >= q64 - 0.02, f"{device}: f64={q64:.4f} f32={q32:.4f}"
+
+
+class TestDefaultPathUntouched:
+    def test_f64_remains_the_default_everywhere(self, tiny_space):
+        p = NASFLATPredictor(tiny_space, ["pixel3"], np.random.default_rng(38))
+        assert p.plan_dtype == "f64"
+        session_default = PredictorSession.__init__.__kwdefaults__ or {}
+        assert session_default.get("plan_dtype", "f64") == "f64"
+
+    def test_f64_twin_is_bitwise_stable_under_the_policy(self, tiny_space):
+        # The dtype machinery must be a no-op branch for f64 plans: two
+        # identically-seeded predictors, one constructed before and one
+        # after a set_plan_dtype round trip, produce identical bits.
+        rng = np.random.default_rng(39)
+        adj, ops = _held_out(tiny_space, rng, 16)
+        p_ref = NASFLATPredictor(tiny_space, ["pixel3"], np.random.default_rng(9))
+        p_rt = NASFLATPredictor(tiny_space, ["pixel3"], np.random.default_rng(9))
+        p_rt.set_plan_dtype("f32")
+        p_rt.set_plan_dtype("f64")
+        np.testing.assert_array_equal(
+            p_ref.compiled_predict(adj, ops, "pixel3"),
+            p_rt.compiled_predict(adj, ops, "pixel3"),
+        )

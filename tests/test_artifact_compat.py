@@ -7,19 +7,26 @@ by an earlier build at plan-IR format ``<N>``.  This suite loads them with
 a ``PLAN_FORMAT_VERSION`` bump, the load or the replay comparison breaks
 here — before any user's saved plan does.
 """
+import json
 from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.nnlib import mse_loss, trace, trace_training_step
-from repro.nnlib.ir import load_plan, read_plan_metadata
-from repro.nnlib.serialization import PLAN_FORMAT_VERSION, plan_format_version
+from repro.nnlib.ir import ir_from_payload, load_plan, read_plan_metadata
+from repro.nnlib.serialization import (
+    PLAN_FORMAT_VERSION,
+    load_plan_archive,
+    plan_format_version,
+)
 from tests.fixtures.golden_plan_model import build_model, forward_inputs, training_inputs
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 GOLDEN_FWD = FIXTURES / f"golden_fwd_v{PLAN_FORMAT_VERSION}.npz"
 GOLDEN_TRAIN = FIXTURES / f"golden_train_v{PLAN_FORMAT_VERSION}.npz"
+GOLDEN_FWD_F32 = FIXTURES / f"golden_fwd_f32_v{PLAN_FORMAT_VERSION}.npz"
+GOLDEN_TRAIN_F32 = FIXTURES / f"golden_train_f32_v{PLAN_FORMAT_VERSION}.npz"
 
 
 class TestGoldenArtifacts:
@@ -62,3 +69,78 @@ class TestGoldenArtifacts:
         out = golden.replay(forward_inputs())
         assert out.shape == (6, 1)
         assert np.all(np.isfinite(out))
+
+
+class TestDtypeCompat:
+    """The plan ``dtype`` field is serialized additively (same
+    ``PLAN_FORMAT_VERSION``): artifacts written before it existed must
+    keep loading as f64, and the committed f32 goldens must round-trip as
+    f32.  The committed f64 fixtures double as the real pre-dtype
+    artifacts — they were written by a build without the field."""
+
+    def test_committed_f64_goldens_are_really_dtype_less(self):
+        # Guard the guard: if someone regenerates the f64 fixtures with a
+        # dtype-aware build, this compat class stops testing anything.
+        for path in (GOLDEN_FWD, GOLDEN_TRAIN):
+            payload, _, _, _ = load_plan_archive(path)
+            assert "dtype" not in payload, f"{path.name} was regenerated"
+
+    def test_dtype_less_artifacts_load_as_f64(self):
+        model = build_model()
+        assert load_plan(GOLDEN_FWD, module=model).dtype == "f64"
+        assert load_plan(GOLDEN_TRAIN, module=build_model()).dtype == "f64"
+
+    def test_stripping_the_dtype_key_still_loads_as_f64(self):
+        # Synthetic pre-dtype payload: the defaulting must not depend on
+        # which build wrote the fixture.
+        payload, consts, _, _ = load_plan_archive(GOLDEN_FWD_F32)
+        assert payload["dtype"] == "f32"
+        stripped = json.loads(json.dumps(payload))
+        del stripped["dtype"]
+        assert ir_from_payload(stripped, consts).dtype == "f64"
+
+    def test_f32_fixtures_exist_for_current_format(self):
+        assert GOLDEN_FWD_F32.is_file(), f"missing {GOLDEN_FWD_F32.name}"
+        assert GOLDEN_TRAIN_F32.is_file(), f"missing {GOLDEN_TRAIN_F32.name}"
+        assert plan_format_version(GOLDEN_FWD_F32) == PLAN_FORMAT_VERSION
+        assert plan_format_version(GOLDEN_TRAIN_F32) == PLAN_FORMAT_VERSION
+        assert read_plan_metadata(GOLDEN_FWD_F32)["fixture"] == "golden_fwd_f32"
+        assert read_plan_metadata(GOLDEN_FWD_F32)["dtype"] == "f32"
+
+    def test_f32_forward_golden_replays_like_a_fresh_f32_trace(self):
+        model = build_model()
+        inputs = forward_inputs()
+        golden = load_plan(GOLDEN_FWD_F32, module=model)
+        assert golden.dtype == "f32"
+        fresh = trace(model._forward_core, inputs, module=model, dtype="f32")
+        np.testing.assert_array_equal(golden.replay(inputs), fresh.replay(inputs))
+
+    def test_f32_training_golden_replays_like_a_fresh_f32_trace(self):
+        model = build_model()
+        inputs = training_inputs()
+        golden = load_plan(GOLDEN_TRAIN_F32, module=model)
+        assert golden.dtype == "f32"
+        fresh = trace_training_step(model, mse_loss, inputs, dtype="f32")
+        l_gold, g_gold = golden.replay(inputs)
+        l_fresh, g_fresh = fresh.replay(inputs)
+        assert l_gold == l_fresh
+        for a, b in zip(g_gold, g_fresh):
+            np.testing.assert_array_equal(a, b)
+
+    def test_f32_golden_tracks_the_f64_golden(self):
+        # Cross-precision sanity: the two committed artifact families
+        # describe the same model, so their replays agree to f32 rounding.
+        model = build_model()
+        inputs = forward_inputs()
+        out64 = load_plan(GOLDEN_FWD, module=model).replay(inputs)
+        out32 = load_plan(GOLDEN_FWD_F32, module=build_model()).replay(inputs)
+        np.testing.assert_allclose(out32.astype(np.float64), out64, rtol=1e-5, atol=1e-6)
+
+    def test_unknown_dtype_rejected_with_a_clear_error(self):
+        from repro.nnlib.ir import PlanIRError, validate_ir
+
+        payload, consts, _, _ = load_plan_archive(GOLDEN_FWD_F32)
+        mutated = json.loads(json.dumps(payload))
+        mutated["dtype"] = "f16"
+        with pytest.raises(PlanIRError, match="dtype"):
+            validate_ir(ir_from_payload(mutated, consts))
