@@ -142,6 +142,7 @@ def _cmd_serve(args) -> int:
             use_compiled=args.compiled,
             use_compiled_adapt=args.compiled_adapt,
             plan_dtype=args.dtype,
+            max_cached_scores=args.score_cache,
         )
         if args.plans:
             loaded = session.load_warmup(args.plans)
@@ -160,6 +161,7 @@ def _cmd_serve(args) -> int:
             use_compiled=args.compiled,
             use_compiled_adapt=args.compiled_adapt,
             plan_dtype=args.dtype,
+            max_cached_scores=args.score_cache,
         )
         print(f"No checkpoint given: pretraining a quick session on {args.task} ...", flush=True)
         session.pretrain()
@@ -203,12 +205,15 @@ def _serve_sharded(args, cfg) -> int:
         use_compiled=args.compiled,
         use_compiled_adapt=args.compiled_adapt,
         dtype=args.dtype,
+        score_cache=args.score_cache,
     )
     router = ShardedRouter(
         spec,
         n_workers=args.workers,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        binary=(args.wire == "rsf2"),
+        pipeline_depth=args.pipeline_depth,
     )
     print(f"Spawning {args.workers} predictor worker(s) ...", flush=True)
     router.start()
@@ -219,7 +224,8 @@ def _serve_sharded(args, cfg) -> int:
     server.start()
     print(
         f"Serving on {server.url} — {args.workers} workers, device-affinity "
-        f"sharding (batching per shard: max_batch={args.max_batch}, "
+        f"sharding, {args.wire.upper()} wire, pipeline depth "
+        f"{args.pipeline_depth} (batching per shard: max_batch={args.max_batch}, "
         f"max_wait_ms={args.max_wait_ms})",
         flush=True,
     )
@@ -376,6 +382,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="f64",
         help="plan execution precision for serving and compiled adapt; must "
         "match the --plans bundle's recorded dtype (named error otherwise)",
+    )
+    p.add_argument(
+        "--score-cache",
+        type=int,
+        default=65536,
+        help="hot-score cache capacity per session/worker — memoized "
+        "(device, arch) predictions, bitwise-transparent for compiled "
+        "serving (0 disables)",
+    )
+    p.add_argument(
+        "--wire",
+        choices=["rsf2", "rsf1"],
+        default="rsf2",
+        help="router<->worker predict wire: rsf2 = binary frames (raw "
+        "index/score buffers), rsf1 = JSON fallback (sharded mode only)",
+    )
+    p.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=2,
+        help="outstanding micro-batch windows per shard (1 = strict "
+        "send-then-wait; sharded mode only)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -42,6 +42,15 @@ from repro.nnlib.trace import CompiledPlan, TrainingPlan, trace, trace_training_
 
 _MIN_CHUNK = 8  # below this, padding one small plan beats extra replays
 
+#: Smallest bucket any plan is ever built for.  BLAS dispatches 1- and
+#: 2-row GEMMs to matvec/tiny-kernel paths whose per-row reduction order
+#: differs from the >=4-row kernels, so the *bits* of a row's score would
+#: depend on which bucket it rode in.  Flooring every bucket at 4 makes row
+#: values independent of batch composition — the invariant the serving
+#: score cache (and hit/miss batch splitting) relies on for bitwise
+#: equivalence with cache-off serving.
+_MIN_BUCKET = 4
+
 
 class PlanDtypeMismatchError(RuntimeError):
     """A plan or bundle compiled at one dtype was offered to a consumer
@@ -60,8 +69,9 @@ def plan_buckets(n: int) -> list[int]:
     """Plan buckets covering an ``n``-row batch, largest chunk first.
 
     The binary decomposition of ``n`` down to ``_MIN_CHUNK``; a smaller
-    remainder becomes one padded bucket.  ``sum(min(b, remaining))``
-    over the result always covers exactly ``n`` rows.
+    remainder becomes one padded bucket, never below ``_MIN_BUCKET`` (see
+    its note on row-value composition stability).  ``sum(min(b,
+    remaining))`` over the result always covers exactly ``n`` rows.
     """
     if n < 1:
         raise ValueError(f"batch size must be >= 1, got {n}")
@@ -72,7 +82,7 @@ def plan_buckets(n: int) -> list[int]:
         buckets.append(size)
         remaining -= size
     if remaining:
-        buckets.append(bucket_for(remaining))
+        buckets.append(max(_MIN_BUCKET, bucket_for(remaining)))
     return buckets
 
 

@@ -25,6 +25,7 @@ from repro.predictors.compiled import PlanDtypeMismatchError
 from repro.serving.router import ShardedRouter, WorkerStartupError, WorkerUnavailableError
 from repro.serving.server import MicroBatcher, PredictorServer, ServerMetrics
 from repro.serving.session import PredictorSession, SessionStats
+from repro.serving.transport import ProtocolNegotiationError, TransportError
 from repro.serving.worker import WorkerSpec
 
 __all__ = [
@@ -32,9 +33,11 @@ __all__ = [
     "PlanDtypeMismatchError",
     "PredictorServer",
     "PredictorSession",
+    "ProtocolNegotiationError",
     "ServerMetrics",
     "SessionStats",
     "ShardedRouter",
+    "TransportError",
     "WorkerSpec",
     "WorkerStartupError",
     "WorkerUnavailableError",

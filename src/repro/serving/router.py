@@ -21,6 +21,18 @@ Each shard gets its **own** :class:`~repro.serving.server.MicroBatcher`,
 so batch windows close independently and N workers compute genuinely in
 parallel — a single global dispatcher would re-serialize the fleet.
 
+The shard link is a :class:`_ShardChannel`: a multiplexed request/reply
+channel (requests tagged with ids, one reader thread matching replies)
+rather than a lock-serialized exchange.  Two things fall out.  First,
+**pipelining**: each shard runs ``pipeline_depth`` dispatcher threads, so
+the next micro-batch window is already on the wire while the worker
+computes the previous one — transport and compute overlap instead of
+alternating.  Second, the **binary data plane**: with ``binary=True``
+(default, negotiated at spawn via the worker's advertised protocol list)
+predict traffic rides RSF2 frames — raw little-endian index/score buffers,
+no float → decimal → float round trip — while control ops (adapt, metrics,
+ping, shutdown) stay on RSF1 JSON.
+
 Fault model: predictions are deterministic in ``(seed, device)`` (and
 adaptation in ``(seed, device, indices)``), i.e. **idempotent** — so when
 a worker dies mid-request (SIGKILL, OOM), the router respawns the shard's
@@ -48,8 +60,12 @@ import numpy as np
 
 from repro.serving.server import MicroBatcher, ServerMetrics
 from repro.serving.transport import (
+    BIN_PREDICT,
     TransportError,
+    negotiated_wire,
     recv_frame,
+    recv_frame_any,
+    send_binary_frame,
     send_frame,
     shard_for,
 )
@@ -71,22 +87,190 @@ class WorkerUnavailableError(RuntimeError):
     """A shard's worker kept dying; the request exhausted its retries."""
 
 
+class _PendingReply:
+    """One in-flight request's parking spot on a shard channel."""
+
+    __slots__ = ("event", "reply", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.reply = None
+        self.error: Exception | None = None
+
+
+class _ShardChannel:
+    """Multiplexed request/reply channel to one worker process.
+
+    Senders tag each frame with a fresh id under a send lock and park on a
+    per-request event; one reader thread receives every reply — RSF1 JSON
+    or RSF2 binary — and wakes the matching waiter.  That split is what
+    allows several requests *outstanding at once* on a single socket (the
+    router's pipelining) where the previous design lock-serialized whole
+    request/response exchanges.
+
+    Failure semantics: a transport error (worker death, desync) fails every
+    pending request with the same named error and poisons the channel —
+    each caller then retries through the router's respawn path
+    independently.  A request that *times out* is discarded so its late
+    reply (if any) is dropped on arrival; whether the timeout also kills
+    the worker is the caller's policy (predict: yes, metrics scrape: no).
+    The socket carries one fixed generous timeout that bounds a stalled
+    ``sendall``; the reader treats its periodic recv timeouts as idle
+    ticks, since per-request deadlines live with the waiters.
+    """
+
+    def __init__(self, sock: socket.socket, worker_id: int, wire: str, io_timeout_s: float):
+        self.sock = sock
+        self.worker_id = worker_id
+        self.wire = wire
+        sock.settimeout(max(io_timeout_s, 1.0))
+        self._send_lock = threading.Lock()
+        self._plock = threading.Lock()
+        self._pending: dict[int, _PendingReply] = {}
+        self._next_id = 0
+        self._dead: Exception | None = None
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shard-reader-{worker_id}", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------- send side
+    def _register(self) -> tuple[int, _PendingReply]:
+        with self._plock:
+            if self._dead is not None:
+                raise self._dead
+            self._next_id = (self._next_id % 0xFFFFFFFF) + 1  # u32 for RSF2 headers
+            entry = _PendingReply()
+            self._pending[self._next_id] = entry
+            return self._next_id, entry
+
+    def _discard(self, rid: int) -> None:
+        with self._plock:
+            self._pending.pop(rid, None)
+
+    def request(self, msg: dict, timeout: float):
+        """JSON control RPC: send ``msg`` (id added) and await its reply."""
+        rid, entry = self._register()
+        try:
+            with self._send_lock:
+                send_frame(self.sock, dict(msg, id=rid))
+        except BaseException:
+            self._discard(rid)
+            raise
+        return self._await(rid, entry, timeout, msg.get("op"))
+
+    def predict(self, device: str, indices: np.ndarray, timeout: float):
+        """Predict RPC on the negotiated wire.
+
+        RSF2 ships the i64 index buffer raw and returns the reply's score
+        array bitwise (f64 or f32, whatever the shard's plans produce);
+        RSF1 is the JSON fallback for old workers.  Either wire may return
+        an error dict instead (the worker always reports failures as JSON).
+        """
+        rid, entry = self._register()
+        idx = np.ascontiguousarray(np.asarray(indices, dtype=np.int64).ravel())
+        try:
+            with self._send_lock:
+                if self.wire == "RSF2":
+                    send_binary_frame(self.sock, BIN_PREDICT, rid, idx, device)
+                else:
+                    send_frame(
+                        self.sock,
+                        {"op": "predict", "id": rid, "device": device, "indices": idx.tolist()},
+                    )
+        except BaseException:
+            self._discard(rid)
+            raise
+        return self._await(rid, entry, timeout, "predict")
+
+    def _await(self, rid: int, entry: _PendingReply, timeout: float, op):
+        if not entry.event.wait(timeout):
+            self._discard(rid)
+            raise TimeoutError(
+                f"worker {self.worker_id} gave no reply within {timeout}s for op {op!r}"
+            )
+        if entry.error is not None:
+            raise entry.error
+        return entry.reply
+
+    # ------------------------------------------------------------- read side
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                kind, payload = recv_frame_any(self.sock)
+            except TimeoutError:
+                continue  # idle tick; per-request deadlines live with the waiters
+            except (TransportError, OSError) as exc:
+                self._fail_all(exc)
+                return
+            if kind == "bin":
+                rid, result = payload.request_id, payload.array
+            else:
+                rid, result = payload.get("id"), payload
+            with self._plock:
+                entry = self._pending.pop(rid, None)
+            if entry is not None:
+                entry.reply = result
+                entry.event.set()
+            # else: late reply for a discarded (timed-out) request — dropped.
+
+    def _fail_all(self, exc: Exception) -> None:
+        with self._plock:
+            if self._dead is None:
+                self._dead = exc
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for entry in pending:
+            entry.error = exc
+            entry.event.set()
+
+    def close(self) -> None:
+        """Tear the channel down and reap the reader thread.
+
+        ``shutdown`` (not just ``close``) wakes a reader blocked in
+        ``recv`` — closing an fd another thread is reading does not."""
+        with self._plock:
+            if self._dead is None:
+                self._dead = TransportError(
+                    f"channel to worker {self.worker_id} was closed"
+                )
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self._reader.join(timeout=5.0)
+
+
 class _WorkerHandle:
     """Router-side state for one live worker process."""
 
-    __slots__ = ("worker_id", "process", "sock", "lock", "pid", "warm_devices", "seq")
+    __slots__ = ("worker_id", "process", "channel", "pid", "warm_devices")
 
-    def __init__(self, worker_id, process, sock, pid, warm_devices):
+    def __init__(self, worker_id, process, channel, pid, warm_devices):
         self.worker_id = worker_id
         self.process = process
-        self.sock = sock
-        # Serializes request/response pairs on the socket: the shard's
-        # dispatcher thread, adapt() callers, and metrics rollups must not
-        # interleave their frames.
-        self.lock = threading.Lock()
+        self.channel = channel
         self.pid = pid
         self.warm_devices = list(warm_devices)
-        self.seq = 0
+
+    @property
+    def sock(self) -> socket.socket:
+        return self.channel.sock
+
+
+class _PredictCall:
+    """Marker routing an RPC through the channel's predict wire (instead of
+    a JSON control frame)."""
+
+    __slots__ = ("device", "indices")
+
+    def __init__(self, device: str, indices):
+        self.device = device
+        self.indices = indices
 
 
 class ShardedRouter:
@@ -110,6 +294,16 @@ class ShardedRouter:
     monitor_interval_s: cadence of the respawn monitor (0 disables it;
         dead workers then respawn lazily on the next request).
     startup_timeout_s: deadline for a worker's ready handshake.
+    binary: carry predict traffic on RSF2 binary frames (raw index/score
+        buffers, bitwise, no JSON decimal round trip).  Negotiated against
+        each worker's advertised protocol list at spawn; a pre-RSF2 worker
+        fails fast with
+        :class:`~repro.serving.transport.ProtocolNegotiationError`.
+        ``False`` pins the RSF1 JSON data plane.
+    pipeline_depth: dispatcher threads per shard — how many micro-batch
+        windows may be outstanding on a shard's channel at once.  Depth 2
+        overlaps transport with worker compute; depth 1 restores the
+        strict send-then-wait data plane.
     """
 
     def __init__(
@@ -123,6 +317,8 @@ class ShardedRouter:
         max_retries: int = 2,
         monitor_interval_s: float = 1.0,
         startup_timeout_s: float = 300.0,
+        binary: bool = True,
+        pipeline_depth: int = 2,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -139,6 +335,10 @@ class ShardedRouter:
         self.max_retries = int(max_retries)
         self.monitor_interval_s = float(monitor_interval_s)
         self.startup_timeout_s = float(startup_timeout_s)
+        self.binary = bool(binary)
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
+        self.pipeline_depth = int(pipeline_depth)
         self.metrics = ServerMetrics()  # per-shard batchers share one sink
         self.task = self._resolve_task(spec.task)
         self._ctx = multiprocessing.get_context("fork")
@@ -190,6 +390,7 @@ class ShardedRouter:
                 max_batch=self.max_batch,
                 max_wait_ms=self.max_wait_ms,
                 metrics=self.metrics,
+                n_dispatchers=self.pipeline_depth,
             ).start()
             for wid in range(self.n_workers)
         ]
@@ -227,17 +428,11 @@ class ShardedRouter:
                 self._handles[wid] = None
 
     def _shutdown_worker(self, handle: _WorkerHandle) -> None:
-        with handle.lock:
-            try:
-                handle.sock.settimeout(5.0)
-                send_frame(handle.sock, {"op": "shutdown"})
-                recv_frame(handle.sock)
-            except (TransportError, OSError):
-                pass  # already dead — reaped below either way
-            try:
-                handle.sock.close()
-            except OSError:
-                pass
+        try:
+            handle.channel.request({"op": "shutdown"}, 5.0)
+        except (TransportError, OSError, TimeoutError):
+            pass  # already dead — reaped below either way
+        handle.channel.close()
         handle.process.join(timeout=5.0)
         if handle.process.is_alive():
             handle.process.terminate()
@@ -290,8 +485,21 @@ class ShardedRouter:
                 raise WorkerStartupError(
                     f"worker {wid} failed to start: {ready.get('error', 'unknown error')}"
                 )
+            # Version negotiation rides the (JSON) ready handshake: a worker
+            # that can't speak the requested wire fails here, by name, not
+            # mid-stream with a desync.
+            try:
+                wire = negotiated_wire(ready.get("proto"), self.binary)
+            except TransportError:
+                router_end.close()
+                proc.terminate()
+                proc.join(timeout=2.0)
+                raise
+            channel = _ShardChannel(
+                router_end, wid, wire=wire, io_timeout_s=self.request_timeout_s
+            )
             handle = _WorkerHandle(
-                wid, proc, router_end, ready.get("pid"), ready.get("warm_devices", ())
+                wid, proc, channel, ready.get("pid"), ready.get("warm_devices", ())
             )
             if self._started:  # a replacement, not part of initial start()
                 with self._stats_lock:
@@ -326,10 +534,7 @@ class ShardedRouter:
 
     def _reap(self, wid: int, handle: _WorkerHandle) -> None:
         """Retire a dead handle (caller holds the spawn lock)."""
-        try:
-            handle.sock.close()
-        except OSError:
-            pass
+        handle.channel.close()
         if handle.process.is_alive():
             handle.process.terminate()
         handle.process.join(timeout=2.0)
@@ -368,19 +573,9 @@ class ShardedRouter:
 
     # ------------------------------------------------------------------- rpc
     def _request(self, handle: _WorkerHandle, msg: dict, timeout: float):
-        """One request/response exchange on a worker's socket."""
-        with handle.lock:
-            handle.seq += 1
-            msg = dict(msg, id=handle.seq)
-            handle.sock.settimeout(timeout)
-            send_frame(handle.sock, msg)
-            reply = recv_frame(handle.sock)
-            if reply.get("id") != msg["id"]:
-                raise TransportError(
-                    f"worker {handle.worker_id} replied to request "
-                    f"{reply.get('id')!r}, expected {msg['id']}"
-                )
-            return reply
+        """One JSON RPC on a worker's channel (id matching is the channel's
+        job; the exchange may share the socket with in-flight predicts)."""
+        return handle.channel.request(msg, timeout)
 
     @staticmethod
     def _raise_worker_error(reply: dict) -> None:
@@ -390,26 +585,36 @@ class ShardedRouter:
             raise ValueError(message)  # client-fixable -> HTTP 400
         raise RuntimeError(f"worker error ({kind}): {message}")
 
-    def _rpc_with_retry(self, wid: int, msg: dict):
+    def _rpc_with_retry(self, wid: int, msg):
         """Send ``msg`` to shard ``wid``; on worker death, respawn and retry.
 
-        Safe because every routed operation is idempotent: predictions and
-        adaptation are deterministic in ``(seed, device[, indices])``, and
-        the dead worker's reply channel died with it, so a retry cannot
-        produce a second answer for the same request.
+        ``msg`` is either a JSON control dict or a :class:`_PredictCall`
+        (routed over the negotiated predict wire — RSF2 binary frames in
+        binary mode).  Safe because every routed operation is idempotent:
+        predictions and adaptation are deterministic in
+        ``(seed, device[, indices])``, and the dead worker's reply channel
+        died with it, so a retry cannot produce a second answer for the
+        same request.
         """
+        is_predict = isinstance(msg, _PredictCall)
+        op = "predict" if is_predict else msg.get("op")
         last_exc: Exception | None = None
         for attempt in range(self.max_retries + 1):
             handle = self._ensure_worker(wid)
             try:
-                reply = self._request(handle, msg, self.request_timeout_s)
+                if is_predict:
+                    reply = handle.channel.predict(
+                        msg.device, msg.indices, self.request_timeout_s
+                    )
+                else:
+                    reply = self._request(handle, msg, self.request_timeout_s)
             except TimeoutError as exc:
                 # Wedged (or hopelessly slow) worker: a retry would wedge
                 # again, so kill it and surface the timeout to the caller.
                 self._note_death(wid, handle)
                 raise TimeoutError(
                     f"worker {wid} exceeded {self.request_timeout_s}s for "
-                    f"op {msg.get('op')!r}"
+                    f"op {op!r}"
                 ) from exc
             except (TransportError, OSError) as exc:
                 self._note_death(wid, handle)
@@ -418,12 +623,14 @@ class ShardedRouter:
                     with self._stats_lock:
                         self.retries_total += 1
                 continue
+            if isinstance(reply, np.ndarray):  # binary score buffer: success
+                return reply
             if not reply.get("ok"):
                 self._raise_worker_error(reply)
             return reply
         raise WorkerUnavailableError(
             f"worker {wid} died {self.max_retries + 1} time(s) serving "
-            f"op {msg.get('op')!r}: {last_exc}"
+            f"op {op!r}: {last_exc}"
         )
 
     # --------------------------------------------------------------- serving
@@ -433,12 +640,11 @@ class ShardedRouter:
 
     def _make_predict_fn(self, wid: int):
         def predict(device: str, indices) -> np.ndarray:
-            msg = {
-                "op": "predict",
-                "device": device,
-                "indices": [int(i) for i in np.asarray(indices).ravel()],
-            }
-            reply = self._rpc_with_retry(wid, msg)
+            reply = self._rpc_with_retry(wid, _PredictCall(device, indices))
+            if isinstance(reply, np.ndarray):
+                # Binary reply: f64 passes through bitwise; an f32 shard's
+                # scores widen exactly (same contract as JSON repr floats).
+                return np.asarray(reply, dtype=np.float64)
             return np.asarray(reply["scores"], dtype=np.float64)
 
         return predict
@@ -510,9 +716,10 @@ class ShardedRouter:
         """Fleet metrics: per-worker snapshots plus aggregate gauges.
 
         Per-worker stats are fetched over the worker channel with a short
-        deadline and a non-blocking lock grab — observability must not
-        stall behind an in-flight multi-second adaptation; a busy worker
-        just reports ``stats: null`` this scrape.
+        soft deadline — observability must not stall behind an in-flight
+        multi-second adaptation, and a scrape timeout never kills the
+        worker (the channel drops the late reply); a busy worker just
+        reports ``stats: null`` this scrape.
         """
         per_worker: list[dict] = []
         for wid in range(self.n_workers):
@@ -523,25 +730,20 @@ class ShardedRouter:
                 "pid": None if handle is None else handle.pid,
                 "stats": None,
             }
-            if entry["alive"] and handle.lock.acquire(timeout=0.25):
+            if entry["alive"]:
                 try:
-                    handle.seq += 1
-                    msg = {"op": "metrics", "id": handle.seq}
-                    handle.sock.settimeout(5.0)
-                    send_frame(handle.sock, msg)
-                    reply = recv_frame(handle.sock)
-                    if reply.get("ok") and reply.get("id") == msg["id"]:
+                    reply = handle.channel.request({"op": "metrics"}, 2.0)
+                    if isinstance(reply, dict) and reply.get("ok"):
                         for key in (
                             "stats",
                             "hot_devices",
                             "plan_cache_entries",
                             "plan_buffer_bytes",
+                            "score_cache_entries",
                         ):
                             entry[key] = reply.get(key)
                 except (TransportError, OSError, TimeoutError):
                     pass  # reported as stats: null; the monitor handles death
-                finally:
-                    handle.lock.release()
             per_worker.append(entry)
         aggregate: dict = {}
         complete = []

@@ -68,6 +68,11 @@ class ServerMetrics:
         self.batch_size_hist = {_bucket_key(b, BATCH_SIZE_BUCKETS): 0 for b in BATCH_SIZE_BUCKETS}
         self.latency_hist_ms = {_bucket_key(b, LATENCY_BUCKETS_MS): 0 for b in LATENCY_BUCKETS_MS}
         self._recent_ms: deque[float] = deque(maxlen=window)
+        # Percentiles memoized per window version: a busy /metrics poller
+        # must not re-sort the whole window on every scrape (nor tax the
+        # request path's lock).
+        self._recent_version = 0
+        self._pct_cache: tuple[int, dict] = (-1, {})
 
     # ------------------------------------------------------------- recording
     def record_request(self, seconds: float, error: bool = False) -> None:
@@ -79,6 +84,7 @@ class ServerMetrics:
                 self.errors_total += 1
             self.latency_hist_ms[_bucket_key(ms, LATENCY_BUCKETS_MS)] += 1
             self._recent_ms.append(ms)
+            self._recent_version += 1
 
     def record_batch(self, n_requests: int, n_archs: int, seconds: float) -> None:
         """One coalesced dispatch (one vectorized predict call)."""
@@ -92,13 +98,31 @@ class ServerMetrics:
     # ------------------------------------------------------------- reporting
     def latency_percentiles(self) -> dict:
         with self._lock:
-            recent = list(self._recent_ms)
-        if not recent:
-            return {"p50_ms": None, "p90_ms": None, "p99_ms": None}
-        arr = np.sort(np.asarray(recent))
-        # Nearest-rank percentile: ceil(q*n)-th order statistic (1-indexed).
-        pick = lambda q: float(arr[max(0, min(len(arr) - 1, int(np.ceil(q * len(arr))) - 1))])
-        return {"p50_ms": pick(0.50), "p90_ms": pick(0.90), "p99_ms": pick(0.99)}
+            version = self._recent_version
+            cached_version, cached = self._pct_cache
+            if cached_version == version:
+                return dict(cached)
+            arr = np.asarray(self._recent_ms)
+        if arr.size == 0:
+            result = {"p50_ms": None, "p90_ms": None, "p99_ms": None}
+        else:
+            # Nearest-rank percentile: ceil(q*n)-th order statistic
+            # (1-indexed).  np.partition places every requested rank at its
+            # sorted position in O(n) — no full sort of the window.
+            n = arr.size
+            rank = lambda q: max(0, min(n - 1, int(np.ceil(q * n)) - 1))
+            ranks = sorted({rank(q) for q in (0.50, 0.90, 0.99)})
+            part = np.partition(arr, ranks)
+            result = {
+                "p50_ms": float(part[rank(0.50)]),
+                "p90_ms": float(part[rank(0.90)]),
+                "p99_ms": float(part[rank(0.99)]),
+            }
+        with self._lock:
+            # Stamped with the version the window had when snapshotted, so a
+            # racing append just means one extra recompute next scrape.
+            self._pct_cache = (version, result)
+        return dict(result)
 
     def snapshot(self) -> dict:
         """Plain-dict view of every counter (the ``/metrics`` payload core)."""
@@ -149,51 +173,70 @@ class MicroBatcher:
         waiting: whatever is queued at dispatch time is taken, so lone
         requests are never delayed.
     metrics: optional :class:`ServerMetrics` receiving per-batch records.
+    n_dispatchers: dispatcher thread count.  With more than one, up to
+        ``n_dispatchers`` batch windows are *in flight* concurrently — the
+        outstanding-window credit that lets transport to a sharded worker
+        overlap that worker's compute (pipelining).  ``predict_fn`` must
+        then be safe to call from several threads at once.
 
     Requests for different devices may share a window; dispatch groups by
     device and issues one predict call per device group, preserving
     arrival order within each group.
     """
 
-    def __init__(self, predict_fn, max_batch: int = 64, max_wait_ms: float = 5.0, metrics: ServerMetrics | None = None):
+    def __init__(
+        self,
+        predict_fn,
+        max_batch: int = 64,
+        max_wait_ms: float = 5.0,
+        metrics: ServerMetrics | None = None,
+        n_dispatchers: int = 1,
+    ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if n_dispatchers < 1:
+            raise ValueError(f"n_dispatchers must be >= 1, got {n_dispatchers}")
         self.predict_fn = predict_fn
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.metrics = metrics
+        self.n_dispatchers = int(n_dispatchers)
         self._queue: deque[_Pending] = deque()
         self._cv = threading.Condition()
         self._closed = False
-        self._thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> "MicroBatcher":
         with self._cv:
             # Guard and publication share the lock: concurrent start() calls
-            # must not each spawn a dispatcher, and a submit() racing start()
-            # must see the thread once the lock is released.
-            if self._thread is not None:
+            # must not each spawn dispatchers, and a submit() racing start()
+            # must see the threads once the lock is released.
+            if self._threads:
                 raise RuntimeError("batcher already started")
             self._closed = False
-            self._thread = threading.Thread(target=self._run, name="micro-batcher", daemon=True)
-            self._thread.start()
+            self._threads = [
+                threading.Thread(target=self._run, name=f"micro-batcher-{i}", daemon=True)
+                for i in range(self.n_dispatchers)
+            ]
+            for t in self._threads:
+                t.start()
         return self
 
     def stop(self) -> None:
         """Graceful shutdown: refuse new requests, drain queued ones.
 
         Every request enqueued before ``stop()`` still receives its result;
-        the dispatcher thread exits only once the queue is empty.
+        the dispatcher threads exit only once the queue is empty.
         """
         with self._cv:
             self._closed = True
             self._cv.notify_all()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+        for t in self._threads:
+            t.join()
+        self._threads = []
 
     @property
     def queue_depth(self) -> int:
@@ -211,7 +254,7 @@ class MicroBatcher:
         """
         req = _Pending(device, np.asarray(indices, dtype=np.int64))
         with self._cv:
-            if self._closed or self._thread is None:
+            if self._closed or not self._threads:
                 raise RuntimeError("batcher is not running")
             self._queue.append(req)
             self._cv.notify_all()
@@ -317,7 +360,8 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # the /metrics endpoint is the observability surface, not stderr
 
     def _json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
+        # Compact separators: no payload byte is spent on whitespace.
+        body = json.dumps(payload, separators=(",", ":")).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -652,6 +696,11 @@ class PredictorServer:
         buf_bytes = getattr(self.session, "plan_buffer_bytes", None)
         if buf_bytes is not None:
             snap["plan_buffer_bytes"] = int(buf_bytes)
+        # Hot-score cache residency (hit/miss/bypass counters ride along in
+        # session.*: score_hits / score_misses / score_bypass / ...).
+        cached_scores = getattr(self.session, "score_cache_entries", None)
+        if cached_scores is not None:
+            snap["score_cache_entries"] = int(cached_scores)
         return snap
 
     def _sharded_snapshot(self, snap: dict) -> dict:
@@ -688,6 +737,13 @@ class PredictorServer:
         snap["compiled_adapt"] = getattr(router.spec, "use_compiled_adapt", None)
         # Every shard serves the spec's dtype (worker warmup enforces it).
         snap["plan_dtype"] = getattr(router.spec, "dtype", None)
+        # Data-plane shape: which wire revision router<->worker frames use
+        # and how many batch windows may be in flight per shard.
+        snap["wire_protocol"] = "RSF2" if getattr(router, "binary", False) else "RSF1"
+        snap["pipeline_depth"] = int(getattr(router, "pipeline_depth", 1))
+        snap["score_cache_entries"] = sum(
+            entry.get("score_cache_entries") or 0 for entry in rollup["per_worker"]
+        )
         for key in ("plans_loaded", "plan_load_seconds", "warmup_complete"):
             if key in snap["session"]:
                 snap[key] = snap["session"][key]

@@ -13,7 +13,16 @@ devices are queried over and over with fresh architecture batches.  A
 4. compiled replay plans — one traced
    :class:`~repro.nnlib.trace.CompiledPlan` per (device, shape bucket),
    so steady-state serving runs pure numpy kernels with no tensor-engine
-   overhead (``use_compiled=False`` falls back to the eager forward).
+   overhead (``use_compiled=False`` falls back to the eager forward);
+5. hot scores — a bounded per-``(device, arch-index)`` LRU of predicted
+   scores consulted *before* the forward: hits are subtracted from the
+   batch, only misses replay a plan, and the reply is merged.  Sound
+   bitwise because every plan bucket is >= 4 rows (see
+   ``predictors.compiled._MIN_BUCKET``), which makes a row's compiled
+   score independent of the batch it rides in; the eager path has no such
+   guarantee, so ``use_compiled=False`` bypasses the cache (counted).
+   Invalidated per device on re-adapt and hot-LRU eviction, and wholesale
+   on :meth:`add_device` and :meth:`set_plan_dtype`.
 
 ``predict_batch`` then runs one vectorized forward pass over the whole
 batch.  Plans are invalidated whenever their device's adapted predictor
@@ -60,6 +69,15 @@ class SessionStats:
     plan_hits: int = 0
     plan_compiles: int = 0
     plan_invalidations: int = 0
+    # Hot-score cache (per-(device, arch) memoized predictions).  ``bypass``
+    # counts rows served around the cache entirely (eager path or cache
+    # disabled) — a high bypass under use_compiled=False is expected, not a
+    # miss-rate problem.
+    score_hits: int = 0
+    score_misses: int = 0
+    score_bypass: int = 0
+    score_evictions: int = 0
+    score_invalidations: int = 0
     # Device cold-start cost: cumulative wall-clock spent inside adaptation
     # (sampling + fine-tuning) and the most recent single adaptation.  The
     # compiled training path exists to push these down; /metrics exposes
@@ -88,6 +106,10 @@ class PredictorSession:
     seed: controls pretraining and the per-device adaptation streams.
     max_hot_devices: LRU capacity for adapted predictors.
     max_cached_batches: LRU capacity for encoded architecture batches.
+    max_cached_scores: LRU capacity for the hot-score cache — memoized
+        per-(device, arch-index) predictions consulted before the forward
+        (0 disables).  Bitwise-transparent for compiled serving; the eager
+        path bypasses it (``stats.score_bypass``).
     use_compiled: serve ``predict_batch`` from traced replay plans (one per
         (device, shape bucket), cached alongside the adapted-predictor LRU
         and invalidated with it) instead of the eager tensor engine.  The
@@ -121,6 +143,7 @@ class PredictorSession:
         seed: int = 0,
         max_hot_devices: int = 8,
         max_cached_batches: int = 32,
+        max_cached_scores: int = 65536,
         *,
         use_compiled: bool = True,
         use_compiled_adapt: bool | None = None,
@@ -143,6 +166,7 @@ class PredictorSession:
             self.pipeline = NASFLATPipeline(self.task, config or quick_config(), seed=seed)
         self.max_hot_devices = max_hot_devices
         self.max_cached_batches = max_cached_batches
+        self.max_cached_scores = int(max_cached_scores)
         self.use_compiled = bool(use_compiled)
         self.use_compiled_adapt = (
             bool(use_compiled) if use_compiled_adapt is None else bool(use_compiled_adapt)
@@ -156,6 +180,11 @@ class PredictorSession:
         # with its hot-LRU entry (re-adapt or eviction) — a fresh clone means
         # fresh parameters, so its plans must be re-traced.
         self._plans: set[tuple[str, int]] = set()
+        # Hot-score LRU: (device, arch index) -> numpy scalar with the exact
+        # bits (and dtype) the compiled plan produced.  Lives and dies with
+        # the device's adapted predictor: anything that replaces or drops a
+        # hot entry flushes its scores.
+        self._scores: OrderedDict[tuple[str, int], np.floating] = OrderedDict()
         # Lock-free snapshot of the hot-LRU keys: read-only introspection
         # (/devices, hot_devices) must not stall behind a multi-second
         # cold-device adaptation holding the session lock.
@@ -238,8 +267,10 @@ class PredictorSession:
                 return self._hot[device]
             # Cold adapt (or explicit refresh): the device gets a freshly
             # cloned predictor, so any plans traced from the old one are
-            # stale — they reference the old clone's parameters.
+            # stale — they reference the old clone's parameters — and any
+            # memoized scores describe the old weights.
             self._invalidate_plans(device)
+            self._invalidate_scores(device)
             if not self.pipeline.is_pretrained:
                 raise RuntimeError("no pretrained checkpoint: call pretrain() or from_checkpoint()")
             t_start = time.perf_counter()
@@ -283,6 +314,7 @@ class PredictorSession:
                 evicted, _ = self._hot.popitem(last=False)
                 self.stats.device_evictions += 1
                 self._invalidate_plans(evicted)
+                self._invalidate_scores(evicted)
             self._hot_names = tuple(self._hot)
             return predictor
 
@@ -291,6 +323,49 @@ class PredictorSession:
         stale = {key for key in self._plans if key[0] == device}
         self._plans -= stale
         self.stats.plan_invalidations += len(stale)
+
+    def _invalidate_scores(self, device: str | None = None) -> None:
+        """Drop memoized scores for ``device`` — or all of them — (caller
+        holds the lock)."""
+        if device is None:
+            dropped = len(self._scores)
+            self._scores.clear()
+        else:
+            stale = [key for key in self._scores if key[0] == device]
+            for key in stale:
+                del self._scores[key]
+            dropped = len(stale)
+        self.stats.score_invalidations += dropped
+
+    def add_device(self, device: str, init_from: str | None = None) -> None:
+        """Register a new device row on every hot predictor's embedding
+        table (see :meth:`NASFLATPredictor.add_device`), flushing the score
+        cache — cache policy is conservative around roster changes even
+        though existing rows are copied bitwise."""
+        with self._lock:
+            for predictor in self._hot.values():
+                predictor.add_device(device, init_from=init_from)
+            self._invalidate_scores()
+
+    def set_plan_dtype(self, dtype: str) -> None:
+        """Re-pin the session's plan execution precision.
+
+        Drops every compiled plan (they were traced at the old dtype) and
+        the whole score cache (its values carry the old precision's bits);
+        subsequent requests re-trace and re-fill at ``dtype``.
+        """
+        from repro.nnlib.ir import check_plan_dtype
+
+        check_plan_dtype(dtype)
+        with self._lock:
+            if dtype == self.plan_dtype:
+                return
+            self.plan_dtype = dtype
+            for predictor in self._hot.values():
+                predictor.set_plan_dtype(dtype)
+            self.stats.plan_invalidations += len(self._plans)
+            self._plans.clear()
+            self._invalidate_scores()
 
     # ---------------------------------------------------------------- warmup
     def _load_warm_predictor(self, checkpoint) -> NASFLATPredictor:
@@ -360,6 +435,7 @@ class PredictorSession:
                     continue
                 predictor = self._load_warm_predictor(bundle_dir / entry["checkpoint"])
                 self._invalidate_plans(device)
+                self._invalidate_scores(device)
                 self._hot[device] = predictor
                 self._hot.move_to_end(device)
                 for plan_entry in entry.get("plans", []):
@@ -370,6 +446,7 @@ class PredictorSession:
                     evicted, _ = self._hot.popitem(last=False)
                     self.stats.device_evictions += 1
                     self._invalidate_plans(evicted)
+                    self._invalidate_scores(evicted)
             self._hot_names = tuple(self._hot)
             self.stats.plans_loaded += loaded
             self.stats.plan_load_seconds += time.perf_counter() - t0
@@ -392,6 +469,12 @@ class PredictorSession:
         with self._lock:
             return sum(p.plan_buffer_bytes() for p in self._hot.values())
 
+    @property
+    def score_cache_entries(self) -> int:
+        """Resident hot-score cache entries (gauge for ``/metrics``)."""
+        with self._lock:
+            return len(self._scores)
+
     # -------------------------------------------------------------- inference
     def _encode_batch(self, idx: np.ndarray) -> tuple:
         with self._lock:
@@ -413,7 +496,9 @@ class PredictorSession:
         """Latency scores for ``indices`` on ``device``, one forward pass.
 
         Adapts the device on first use (sampler-chosen measurement set),
-        then serves from the hot predictor.  The whole batch runs as a
+        then serves from the hot predictor.  Compiled serving consults the
+        hot-score cache first — hits are merged, only misses run — with
+        bitwise-identical output either way.  The forward runs as a
         single vectorized chunk — by default a replayed
         :class:`~repro.nnlib.trace.CompiledPlan` for the batch's shape
         bucket (see ``use_compiled``), otherwise the eager path under
@@ -428,12 +513,62 @@ class PredictorSession:
             self.stats.architectures_scored += len(idx)
             if len(idx) == 0:
                 return np.empty(0)
-            adj, ops, supp = self._encode_batch(idx)
-            if self.use_compiled:
-                self._plan_for(device, predictor, len(idx))
-                return predictor.compiled_predict(adj, ops, device, supp, batch_size=len(idx))
-            with no_grad():
-                return predictor.predict(adj, ops, device, supp, batch_size=len(idx))
+            if not (self.use_compiled and self.max_cached_scores > 0):
+                # Eager forwards are not composition-stable (a row's bits can
+                # depend on its batch), so memoizing them would break the
+                # bitwise cache-off equivalence guarantee: bypass.
+                self.stats.score_bypass += len(idx)
+                return self._forward(device, predictor, idx)
+            cache = self._scores
+            arch_ids = idx.tolist()
+            miss_pos: list[int] = []
+            for pos, arch in enumerate(arch_ids):
+                key = (device, arch)
+                if key in cache:
+                    cache.move_to_end(key)
+                else:
+                    miss_pos.append(pos)
+            self.stats.score_hits += len(idx) - len(miss_pos)
+            self.stats.score_misses += len(miss_pos)
+            if not miss_pos:
+                return np.array([cache[(device, arch)] for arch in arch_ids])
+            if len(miss_pos) == len(idx):
+                scores = self._forward(device, predictor, idx)
+                self._store_scores(device, arch_ids, scores)
+                return scores
+            # Mixed batch: replay the plan over the misses only, then merge
+            # with the memoized rows — bitwise-identical to computing the
+            # full batch, because bucket->=4 plans make row values
+            # independent of batch composition.
+            computed = self._forward(device, predictor, idx[miss_pos])
+            out = np.empty(len(idx), dtype=computed.dtype)
+            out[miss_pos] = computed
+            hit_mark = np.ones(len(idx), dtype=bool)
+            hit_mark[miss_pos] = False
+            for pos in np.flatnonzero(hit_mark):
+                out[pos] = cache[(device, arch_ids[pos])]
+            self._store_scores(device, [arch_ids[p] for p in miss_pos], computed)
+            return out
+
+    def _forward(self, device: str, predictor: NASFLATPredictor, idx: np.ndarray) -> np.ndarray:
+        """One vectorized forward over ``idx`` (caller holds the lock)."""
+        adj, ops, supp = self._encode_batch(idx)
+        if self.use_compiled:
+            self._plan_for(device, predictor, len(idx))
+            return predictor.compiled_predict(adj, ops, device, supp, batch_size=len(idx))
+        with no_grad():
+            return predictor.predict(adj, ops, device, supp, batch_size=len(idx))
+
+    def _store_scores(self, device: str, arch_ids: list[int], scores: np.ndarray) -> None:
+        """Memoize freshly computed scores (caller holds the lock)."""
+        cache = self._scores
+        for arch, value in zip(arch_ids, scores):
+            key = (device, arch)
+            cache[key] = value
+            cache.move_to_end(key)
+        while len(cache) > self.max_cached_scores:
+            cache.popitem(last=False)
+            self.stats.score_evictions += 1
 
     def _plan_for(self, device: str, predictor: NASFLATPredictor, n: int) -> None:
         """Resolve the replay plans for an ``n``-row batch (caller holds the

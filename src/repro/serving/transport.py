@@ -38,10 +38,23 @@ import json
 import socket
 import struct
 import zlib
+from dataclasses import dataclass
+
+import numpy as np
 
 #: Frame magic: "Repro Serving Frame", protocol revision 1.  A reader that
 #: sees anything else is desynchronized and must drop the connection.
 FRAME_MAGIC = b"RSF1"
+
+#: Revision 2: binary data-plane frames (predict requests / score replies)
+#: carrying struct-packed headers plus raw little-endian numpy payloads.
+#: Control ops (ping/metrics/shutdown/adapt) and version negotiation stay
+#: on RSF1 JSON; an RSF1-only peer offered an RSF2 frame fails fast with
+#: :class:`FrameProtocolError` (bad magic), by name.
+FRAME_MAGIC2 = b"RSF2"
+
+#: Protocols this build speaks, advertised in the worker ready handshake.
+PROTOCOL_VERSIONS = ("RSF1", "RSF2")
 
 _HEADER = struct.Struct("!4sI")  # magic + unsigned big-endian payload length
 
@@ -64,7 +77,13 @@ class FrameTooLargeError(TransportError):
 
 
 class FrameProtocolError(TransportError):
-    """The stream is not speaking this protocol (bad magic / bad JSON)."""
+    """The stream is not speaking this protocol (bad magic / bad JSON /
+    malformed binary payload)."""
+
+
+class ProtocolNegotiationError(TransportError):
+    """The peer's advertised protocol list can't satisfy the requested wire
+    format (e.g. a pre-RSF2 worker behind a binary-mode router)."""
 
 
 def shard_for(device: str, n_shards: int) -> int:
@@ -132,3 +151,236 @@ def recv_frame(sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES):
         return json.loads(payload)
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise FrameProtocolError(f"frame payload is not valid JSON: {exc}") from None
+
+
+# --------------------------------------------------------------------------
+# RSF2: binary data-plane frames
+#
+#     +----------+----------------+--------------------------------------+
+#     | "RSF2"   | payload length | kind | dtype | dev len | id | count  |
+#     | 4 bytes  | 4 bytes, BE    | u8   | u8    | u16     | u32 | u32   |  <- _BIN_HEADER, LE
+#     +----------+----------------+--------------------------------------+
+#                                 | device (UTF-8) | raw LE array bytes  |
+#                                 +----------------+---------------------+
+#
+# The outer (magic, length) prefix is shared with RSF1, so one reader can
+# demultiplex both revisions from the same stream.  Array bytes are the
+# native little-endian buffer — an f64 score crosses the boundary bitwise,
+# with no float -> decimal -> float round trip and no per-element decode.
+
+#: Binary message kinds.
+BIN_PREDICT = 1  # router -> worker: device + i64 architecture indices
+BIN_SCORES = 2  # worker -> router: f64/f32 score buffer
+
+_BIN_HEADER = struct.Struct("<BBHII")  # kind, dtype tag, device len, request id, element count
+
+#: Wire dtype tags.  Explicitly little-endian: the tag names the byte
+#: order, not the host's, so a big-endian peer converts rather than
+#: corrupts.
+_TAG_TO_DTYPE = {
+    0: np.dtype("<i8"),
+    1: np.dtype("<f8"),
+    2: np.dtype("<f4"),
+}
+_KIND_NAMES = {BIN_PREDICT: "predict", BIN_SCORES: "scores"}
+
+
+def _wire_tag(dtype: np.dtype) -> int:
+    for tag, wire in _TAG_TO_DTYPE.items():
+        if wire == dtype.newbyteorder("<"):
+            return tag
+    raise FrameProtocolError(
+        f"dtype {dtype} has no RSF2 wire tag (supported: i8/f8/f4)"
+    )
+
+
+@dataclass(frozen=True)
+class BinaryMessage:
+    """One decoded RSF2 frame.  ``array`` is a zero-copy view over the
+    receive buffer — consume (or copy) it before that buffer is reused."""
+
+    kind: int
+    request_id: int
+    device: str
+    array: np.ndarray
+
+
+class ReceiveArena:
+    """Reusable per-connection receive buffer for zero-copy decode.
+
+    ``recv_frame_any`` reads each binary payload straight into this buffer
+    and ``np.frombuffer``'s over it — no per-frame allocation on the hot
+    path.  The returned views alias the arena, so it suits strictly serial
+    consumers (the worker loop: decode, predict, reply, only then recv
+    again).  Pass ``arena=None`` where views must outlive the next recv.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self, initial_bytes: int = 1 << 16):
+        self._buf = bytearray(max(int(initial_bytes), _BIN_HEADER.size))
+
+    @property
+    def capacity(self) -> int:
+        return len(self._buf)
+
+    def take(self, n: int) -> memoryview:
+        if len(self._buf) < n:
+            self._buf = bytearray(max(n, 2 * len(self._buf)))
+        return memoryview(self._buf)[:n]
+
+
+def encode_binary_frame(
+    kind: int,
+    request_id: int,
+    array: np.ndarray,
+    device: str = "",
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialize one RSF2 message to its wire bytes."""
+    if kind not in _KIND_NAMES:
+        raise FrameProtocolError(f"unknown binary message kind {kind}")
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    tag = _wire_tag(arr.dtype)
+    wire = np.ascontiguousarray(arr, dtype=_TAG_TO_DTYPE[tag])
+    device_b = device.encode()
+    if len(device_b) > 0xFFFF:
+        raise FrameProtocolError(f"device name is {len(device_b)} bytes; cap is 65535")
+    if not 0 <= request_id <= 0xFFFFFFFF:
+        raise FrameProtocolError(f"request id {request_id} out of u32 range")
+    if wire.size > 0xFFFFFFFF:
+        raise FrameTooLargeError(f"array has {wire.size} elements; cap is u32")
+    payload_len = _BIN_HEADER.size + len(device_b) + wire.nbytes
+    if payload_len > max_bytes:
+        raise FrameTooLargeError(
+            f"frame payload is {payload_len} bytes; cap is {max_bytes}"
+        )
+    return b"".join(
+        (
+            _HEADER.pack(FRAME_MAGIC2, payload_len),
+            _BIN_HEADER.pack(kind, tag, len(device_b), request_id, wire.size),
+            device_b,
+            wire.tobytes(),
+        )
+    )
+
+
+def send_binary_frame(
+    sock: socket.socket,
+    kind: int,
+    request_id: int,
+    array: np.ndarray,
+    device: str = "",
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> None:
+    """Write one RSF2 frame to ``sock`` (blocking, honors the socket timeout)."""
+    sock.sendall(encode_binary_frame(kind, request_id, array, device, max_bytes))
+
+
+def decode_binary_payload(payload) -> BinaryMessage:
+    """Decode one RSF2 payload (everything after the outer header).
+
+    ``payload`` may be ``bytes`` or a ``memoryview``; the returned array is
+    a zero-copy view over it.  Every malformed shape has a named error:
+    short header, unknown kind, unknown dtype tag, and any length mismatch
+    (truncated array or trailing garbage) all raise
+    :class:`FrameProtocolError` immediately — never a hang, never a
+    silently wrong array.
+    """
+    view = memoryview(payload)
+    if len(view) < _BIN_HEADER.size:
+        raise FrameProtocolError(
+            f"binary payload is {len(view)} bytes; header alone is {_BIN_HEADER.size}"
+        )
+    kind, tag, device_len, request_id, count = _BIN_HEADER.unpack_from(view)
+    if kind not in _KIND_NAMES:
+        raise FrameProtocolError(f"unknown binary message kind {kind}")
+    wire_dtype = _TAG_TO_DTYPE.get(tag)
+    if wire_dtype is None:
+        raise FrameProtocolError(
+            f"unknown dtype tag {tag} (supported: 0=i8, 1=f8, 2=f4)"
+        )
+    expected = _BIN_HEADER.size + device_len + count * wire_dtype.itemsize
+    if len(view) != expected:
+        raise FrameProtocolError(
+            f"binary payload is {len(view)} bytes but the header declares "
+            f"{expected} (truncated array or trailing garbage)"
+        )
+    try:
+        device = bytes(view[_BIN_HEADER.size : _BIN_HEADER.size + device_len]).decode()
+    except UnicodeDecodeError as exc:
+        raise FrameProtocolError(f"device name is not valid UTF-8: {exc}") from None
+    array = np.frombuffer(
+        view, dtype=wire_dtype, count=count, offset=_BIN_HEADER.size + device_len
+    )
+    return BinaryMessage(kind=kind, request_id=request_id, device=device, array=array)
+
+
+def recv_frame_any(
+    sock: socket.socket,
+    max_bytes: int = MAX_FRAME_BYTES,
+    arena: ReceiveArena | None = None,
+):
+    """Read one frame of either revision.
+
+    Returns ``("json", obj)`` for RSF1 frames and ``("bin", BinaryMessage)``
+    for RSF2 frames.  With an ``arena``, binary payloads land in its
+    reusable buffer (zero-copy decode, views invalidated by the next call);
+    without one, each binary frame gets a fresh buffer its views can keep.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    magic, length = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameTooLargeError(
+            f"frame declares a {length}-byte payload; cap is {max_bytes}"
+        )
+    if magic == FRAME_MAGIC:
+        payload = _recv_exact(sock, length)
+        try:
+            return "json", json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FrameProtocolError(
+                f"frame payload is not valid JSON: {exc}"
+            ) from None
+    if magic == FRAME_MAGIC2:
+        if arena is not None:
+            view = arena.take(length)
+        else:
+            view = memoryview(bytearray(length))
+        _recv_exact_into(sock, view)
+        return "bin", decode_binary_payload(view)
+    raise FrameProtocolError(
+        f"bad frame magic {magic!r} (expected {FRAME_MAGIC!r} or {FRAME_MAGIC2!r}); "
+        "stream is desynchronized"
+    )
+
+
+def _recv_exact_into(sock: socket.socket, view: memoryview) -> None:
+    """``_recv_exact`` into a caller-owned buffer (no allocation)."""
+    got = 0
+    n = len(view)
+    while got < n:
+        chunk = sock.recv_into(view[got:], n - got)
+        if not chunk:
+            raise TruncatedFrameError(
+                f"stream ended after {got} of {n} expected bytes"
+            )
+        got += chunk
+
+
+def negotiated_wire(peer_protocols, want_binary: bool) -> str:
+    """Pick the wire format for a connection from the peer's advertised
+    protocol list (its ready-handshake ``proto`` field; a pre-RSF2 peer
+    advertises nothing and is treated as RSF1-only).  Raises
+    :class:`ProtocolNegotiationError` when the request can't be met, so a
+    mixed-version fleet fails by name at spawn instead of desynchronizing
+    mid-stream."""
+    protos = tuple(peer_protocols) if peer_protocols else ("RSF1",)
+    want = "RSF2" if want_binary else "RSF1"
+    if want not in protos:
+        raise ProtocolNegotiationError(
+            f"peer speaks {protos}; {want} is required for this connection"
+        )
+    return want

@@ -10,14 +10,20 @@ adapting and tracing in-process, which is also what makes a respawned
 worker equivalent to the one it replaces.
 
 The worker speaks the length-prefixed frame protocol of
-:mod:`repro.serving.transport` over a single stream socket to the router,
-strictly request/response (the router serializes access per worker, and a
-worker's session is lock-serialized anyway).  Operations:
+:mod:`repro.serving.transport` over a single stream socket to the router.
+Requests may arrive *pipelined* (several outstanding frames; the router
+tags each with an id and matches replies by id), but the worker itself
+stays strictly serial: decode one frame — binary payloads land zero-copy
+in a per-connection :class:`~repro.serving.transport.ReceiveArena` —
+serve it, reply, then recv again, so arena reuse is safe.  Operations:
 
-``predict``   ``{"op": "predict", "id": n, "device": d, "indices": [...]}``
-              → ``{"id": n, "ok": true, "scores": [...]}``.  Scores travel
-              as JSON floats (``repr`` round-trips f64 exactly, so sharded
-              serving is bitwise-identical to in-process serving).
+``predict``   JSON ``{"op": "predict", "id": n, "device": d, "indices":
+              [...]}`` → ``{"id": n, "ok": true, "scores": [...]}``
+              (``repr`` round-trips f64 exactly), or the RSF2 binary
+              equivalent: an i64 index frame in, a raw f64/f32 score
+              buffer out — bitwise either way, with no float → decimal →
+              float trip on the binary path.  Binary predict failures
+              reply as RSF1 JSON errors carrying the same id.
 ``adapt``     re-adapt a device, optionally pinning explicit measurement
               ``indices`` (mid-stream refresh; deterministic in
               ``(seed, device, indices)``).
@@ -45,7 +51,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.serving.transport import TransportError, recv_frame, send_frame, shard_for
+from repro.serving.transport import (
+    BIN_PREDICT,
+    BIN_SCORES,
+    PROTOCOL_VERSIONS,
+    BinaryMessage,
+    ReceiveArena,
+    TransportError,
+    recv_frame_any,
+    send_binary_frame,
+    send_frame,
+    shard_for,
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +87,8 @@ class WorkerSpec:
     # different dtype — the startup handshake surfaces it as a named error
     # instead of one shard silently serving another precision.
     dtype: str = "f64"
+    # Hot-score cache capacity per worker session (0 disables).
+    score_cache: int = 65536
 
 
 def build_worker_session(spec: WorkerSpec, worker_id: int, n_workers: int):
@@ -89,6 +108,7 @@ def build_worker_session(spec: WorkerSpec, worker_id: int, n_workers: int):
         use_compiled=spec.use_compiled,
         use_compiled_adapt=spec.use_compiled_adapt,
         plan_dtype=getattr(spec, "dtype", "f64"),
+        max_cached_scores=getattr(spec, "score_cache", 65536),
     )
     warm: list[str] = []
     if spec.plans is not None:
@@ -114,6 +134,7 @@ def _snapshot(session, worker_id: int) -> dict:
         "plan_cache_entries": dict(session.plan_cache_entries),
         "plan_buffer_bytes": int(session.plan_buffer_bytes),
         "plan_dtype": getattr(session, "plan_dtype", "f64"),
+        "score_cache_entries": int(getattr(session, "score_cache_entries", 0)),
     }
 
 
@@ -150,13 +171,25 @@ def worker_main(
         return
     send_frame(
         conn,
-        {"ready": True, "pid": os.getpid(), "worker": worker_id, "warm_devices": warm},
+        {
+            "ready": True,
+            "pid": os.getpid(),
+            "worker": worker_id,
+            "warm_devices": warm,
+            "proto": list(PROTOCOL_VERSIONS),
+        },
     )
+    arena = ReceiveArena()
     while True:
         try:
-            req = recv_frame(conn)
+            kind, req = recv_frame_any(conn, arena=arena)
         except (TransportError, OSError):
             return  # router is gone; nothing left to serve
+        if kind == "bin":
+            ok = _handle_binary(session, worker_id, conn, req)
+            if not ok:
+                return
+            continue
         reply = _handle(session, worker_id, req)
         try:
             send_frame(conn, reply)
@@ -164,6 +197,41 @@ def worker_main(
             return
         if req.get("op") == "shutdown":
             return
+
+
+def _handle_binary(
+    session, worker_id: int, conn: socket.socket, msg: BinaryMessage
+) -> bool:
+    """Serve one RSF2 frame; returns False when the router socket is gone.
+
+    ``msg.array`` is a zero-copy view into the receive arena — the predict
+    below consumes it before the next ``recv`` can clobber the buffer.
+    Failures reply as RSF1 JSON with the same request id, so the router's
+    demultiplexer resolves the waiter either way.
+    """
+    try:
+        if msg.kind != BIN_PREDICT:
+            raise ValueError(f"unexpected binary frame kind {msg.kind}")
+        scores = session.predict_batch(msg.device, msg.array)
+        send_binary_frame(conn, BIN_SCORES, msg.request_id, scores)
+        return True
+    except (TransportError, OSError):
+        return False
+    except Exception as exc:
+        try:
+            send_frame(
+                conn,
+                {
+                    "id": msg.request_id,
+                    "worker": worker_id,
+                    "ok": False,
+                    "error": str(exc),
+                    "kind": type(exc).__name__,
+                },
+            )
+            return True
+        except (TransportError, OSError):
+            return False
 
 
 def _handle(session, worker_id: int, req: dict) -> dict:

@@ -41,12 +41,33 @@ class TestBucketing:
             bucket_for(0)
 
     def test_plan_buckets_binary_decomposition(self):
-        # Exact chunks down to the minimum; only a tiny tail gets padded.
+        # Exact chunks down to the minimum; only a tiny tail gets padded,
+        # and no bucket drops below 4 (1/2-row GEMMs take different BLAS
+        # paths, which would make row bits depend on batch composition).
         assert plan_buckets(64) == [64]
         assert plan_buckets(100) == [64, 32, 4]
-        assert plan_buckets(65) == [64, 1]
+        assert plan_buckets(65) == [64, 4]
         assert plan_buckets(5) == [8]  # sub-minimum: one padded bucket
-        assert plan_buckets(1) == [1]
+        assert plan_buckets(1) == [4]
+        assert plan_buckets(2) == [4]
+        assert plan_buckets(3) == [4]
+
+    def test_row_bits_independent_of_batch_composition(self):
+        """The invariant the serving score cache rests on: a row's compiled
+        score is bitwise-identical whether it's computed alone, in a subset,
+        or inside a larger batch (every bucket is >= 4 rows, so BLAS always
+        takes the same per-row reduction path)."""
+        space = get_space("nasbench201")
+        rng = np.random.default_rng(23)
+        predictor = NASFLATPredictor(space, ["pixel3", "pixel2"], rng)
+        tensors = SpaceTensors.for_space(space)
+        idx = rng.choice(space.num_architectures(), size=16, replace=False)
+        adj, ops = tensors.batch(idx)
+        full = predictor.compiled_predict(adj, ops, "pixel3", batch_size=64)
+        for sel in ([0], [3, 7], [1, 4, 9], list(range(6)), list(range(16))):
+            sadj, sops = tensors.batch(idx[sel])
+            sub = predictor.compiled_predict(sadj, sops, "pixel3", batch_size=64)
+            np.testing.assert_array_equal(sub, full[sel], err_msg=f"sel={sel}")
 
     def test_plan_buckets_cover_every_row(self):
         for n in (1, 7, 8, 33, 100, 1000):

@@ -63,13 +63,28 @@ class TestServing:
         assert session.stats.adapt_calls == before  # already hot from prior test
 
     def test_encode_cache_hits(self, session):
-        idx = np.arange(7)
-        misses_before = session.stats.encode_misses
-        session.predict_batch("fpga", idx)
-        hits_before = session.stats.encode_hits
-        session.predict_batch("fpga", idx)
-        assert session.stats.encode_hits == hits_before + 1
-        assert session.stats.encode_misses == misses_before + 1
+        # Score-cache off for this test: a repeated batch would otherwise be
+        # served entirely from memoized scores and never reach the encoder.
+        saved = session.max_cached_scores
+        session.max_cached_scores = 0
+        try:
+            idx = np.arange(7)
+            misses_before = session.stats.encode_misses
+            session.predict_batch("fpga", idx)
+            hits_before = session.stats.encode_hits
+            session.predict_batch("fpga", idx)
+            assert session.stats.encode_hits == hits_before + 1
+            assert session.stats.encode_misses == misses_before + 1
+        finally:
+            session.max_cached_scores = saved
+
+    def test_repeat_batch_served_from_score_cache(self, session):
+        idx = np.arange(40, 52)
+        first = session.predict_batch("fpga", idx)
+        hits_before = session.stats.score_hits
+        again = session.predict_batch("fpga", idx)
+        assert session.stats.score_hits == hits_before + len(idx)
+        np.testing.assert_array_equal(first, again)
 
     def test_empty_batch(self, session):
         assert session.predict_batch("fpga", []).shape == (0,)
@@ -159,15 +174,17 @@ class TestNoGradServing:
 
 class TestPlanCache:
     def test_one_compile_per_device_and_bucket(self, mini_task, cfg):
-        s = PredictorSession(mini_task, cfg, seed=7).pretrain()
-        s.predict_batch("fpga", np.arange(10))  # chunks [8, 2] -> two compiles
+        # Score-cache off: plan traffic must be driven by batch shapes, not
+        # by which rows happen to be memoized.
+        s = PredictorSession(mini_task, cfg, seed=7, max_cached_scores=0).pretrain()
+        s.predict_batch("fpga", np.arange(10))  # chunks [8, 4] -> two compiles
         assert s.stats.plan_compiles == 2
-        s.predict_batch("fpga", np.arange(12))  # chunks [8, 4]: hit 8, compile 4
-        assert (s.stats.plan_compiles, s.stats.plan_hits) == (3, 1)
+        s.predict_batch("fpga", np.arange(12))  # chunks [8, 4]: both hit
+        assert (s.stats.plan_compiles, s.stats.plan_hits) == (2, 2)
         s.predict_batch("fpga", np.arange(8))  # exact bucket -> pure hit
         s.predict_batch("eyeriss", np.arange(8))  # other device -> compile
-        assert (s.stats.plan_compiles, s.stats.plan_hits) == (4, 2)
-        assert set(s._plans) == {("fpga", 8), ("fpga", 2), ("fpga", 4), ("eyeriss", 8)}
+        assert (s.stats.plan_compiles, s.stats.plan_hits) == (3, 3)
+        assert set(s._plans) == {("fpga", 8), ("fpga", 4), ("eyeriss", 8)}
 
     def test_eviction_drops_device_plans(self, mini_task, cfg):
         s = PredictorSession(mini_task, cfg, seed=8, max_hot_devices=1).pretrain()

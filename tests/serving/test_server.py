@@ -236,6 +236,77 @@ class TestMicroBatcher:
             MicroBatcher(lambda d, i: i, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(lambda d, i: i, max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda d, i: i, n_dispatchers=0)
+
+    def test_pipelined_dispatchers_overlap_windows(self):
+        """With n_dispatchers=2, a slow forward must not serialize the next
+        window behind it — that overlap is the router's shard pipelining."""
+        stub = StubSession(delay=0.15)
+        mb = MicroBatcher(stub.predict_batch, max_batch=1, max_wait_ms=0, n_dispatchers=2).start()
+        results = {}
+
+        def client(i):
+            results[i] = mb.submit("d", [i])
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        elapsed = time.perf_counter() - t0
+        mb.stop()
+        for i in range(4):
+            np.testing.assert_allclose(results[i], [i * 0.5])
+        # 4 serial forwards would take >= 0.6s; two lanes halve that.
+        assert elapsed < 0.55, f"windows did not overlap ({elapsed:.2f}s)"
+
+
+class TestPercentileCache:
+    def _fill(self, metrics, values_ms):
+        for ms in values_ms:
+            metrics.record_request(ms / 1e3)
+
+    def test_matches_full_sort_reference(self):
+        metrics = ServerMetrics(window=512)
+        rng = np.random.default_rng(3)
+        samples = rng.lognormal(mean=1.0, sigma=1.5, size=400) # heavy tail
+        self._fill(metrics, samples)
+        pct = metrics.latency_percentiles()
+        ordered = np.sort(samples)
+        for q, key in ((0.50, "p50_ms"), (0.90, "p90_ms"), (0.99, "p99_ms")):
+            want = ordered[int(np.ceil(q * len(ordered))) - 1]  # nearest rank
+            assert pct[key] == pytest.approx(want)
+
+    def test_scrapes_between_requests_reuse_the_cache(self):
+        metrics = ServerMetrics()
+        self._fill(metrics, [1.0, 2.0, 3.0])
+        first = metrics.latency_percentiles()
+        version = metrics._pct_cache[0]
+        for _ in range(10):  # a busy poller between requests
+            assert metrics.latency_percentiles() == first
+        assert metrics._pct_cache[0] == version  # never recomputed
+
+    def test_new_request_invalidates(self):
+        metrics = ServerMetrics()
+        self._fill(metrics, [1.0, 1.0, 1.0])
+        assert metrics.latency_percentiles()["p99_ms"] == pytest.approx(1.0)
+        metrics.record_request(9.0)
+        assert metrics.latency_percentiles()["p99_ms"] == pytest.approx(9000.0)
+
+    def test_empty_window(self):
+        assert ServerMetrics().latency_percentiles() == {
+            "p50_ms": None,
+            "p90_ms": None,
+            "p99_ms": None,
+        }
+
+    def test_callers_cannot_corrupt_the_cache(self):
+        metrics = ServerMetrics()
+        self._fill(metrics, [1.0, 2.0])
+        metrics.latency_percentiles()["p50_ms"] = -1  # mutate the returned dict
+        assert metrics.latency_percentiles()["p50_ms"] != -1
 
 
 class TestEndpointsWithStub:

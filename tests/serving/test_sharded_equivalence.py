@@ -148,6 +148,46 @@ class TestShardedEquivalence:
                 assert wid == router.shard_of(device)
 
 
+class TestWireModes:
+    """RSF2 binary (the default above) and RSF1 JSON must serve the same
+    bits — the wire is a transport choice, never a numerics choice."""
+
+    def test_json_unpipelined_stream_matches_reference(self, spec, reference):
+        # binary=False + pipeline_depth=1 is exactly the PR 7 data plane.
+        with ShardedRouter(
+            spec, n_workers=N_WORKERS, monitor_interval_s=0, binary=False, pipeline_depth=1
+        ) as router:
+            for device, idx in _request_stream(seed=4, n=12):
+                want = reference.predict_batch(device, idx)
+                got = router.submit(device, idx, timeout=120)
+                assert got.dtype == np.float64
+                assert np.array_equal(want, got), (device, idx)
+
+    def test_json_wire_survives_mid_stream_readapt(self, spec, reference):
+        with ShardedRouter(
+            spec, n_workers=2, monitor_interval_s=0, binary=False
+        ) as router:
+            pinned = np.arange(70, 78)
+            reference.adapt("fpga", pinned)
+            router.adapt("fpga", pinned)
+            idx = np.arange(17)
+            assert np.array_equal(
+                reference.predict_batch("fpga", idx),
+                router.submit("fpga", idx, timeout=120),
+            )
+
+    def test_metrics_report_negotiated_wire_and_depth(self, spec):
+        for binary, depth, wire in ((True, 3, "RSF2"), (False, 1, "RSF1")):
+            router = ShardedRouter(
+                spec, n_workers=2, monitor_interval_s=0, binary=binary, pipeline_depth=depth
+            )
+            with PredictorServer(router, port=0) as srv:
+                with urllib.request.urlopen(f"{srv.url}/metrics", timeout=30) as r:
+                    snap = json.loads(r.read())
+                assert snap["wire_protocol"] == wire
+                assert snap["pipeline_depth"] == depth
+
+
 class TestShardedHTTP:
     def test_http_stream_matches_single_process_http(self, spec, reference):
         """End to end over real sockets: the sharded server's JSON scores

@@ -51,6 +51,21 @@ class TestParser:
         assert args.workers == 4
         assert build_parser().parse_args(["serve", "--task", "N1"]).workers == 1
 
+    def test_serve_data_plane_args(self):
+        args = build_parser().parse_args(["serve", "--task", "N1"])
+        assert args.wire == "rsf2"  # binary data plane is the default
+        assert args.pipeline_depth == 2
+        assert args.score_cache == 65536
+        args = build_parser().parse_args(
+            ["serve", "--task", "N1", "--wire", "rsf1", "--pipeline-depth", "1",
+             "--score-cache", "0"]
+        )
+        assert args.wire == "rsf1"
+        assert args.pipeline_depth == 1
+        assert args.score_cache == 0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--task", "N1", "--wire", "grpc"])
+
 
 class TestServeValidation:
     def test_requires_task_or_checkpoint(self, capsys):
