@@ -1,0 +1,238 @@
+"""Chaos perf-smoke: trace replay with mid-stream drift injection.
+
+The steady-state data plane is gated by ``test_trace_replay``; this leg
+measures the *control* plane under fire.  A Zipf trace replays against a
+live 1-process server while a drifted measurement window lands mid-stream
+on the hot device.  The background adaptation loop must detect the drift,
+build and shadow-evaluate a candidate, and hot-swap it — all while the
+replay keeps hammering ``/predict``.
+
+Recorded to ``BENCH_serving_server.json``:
+
+* ``chaos_replay_throughput`` — req/s sustained across both halves, the
+  second of which overlaps the background re-adapt;
+* ``adaptation_lag_s`` — drift-first-seen to promotion, as reported by
+  the manager's own gauge (the operator-facing number in ``/metrics``);
+* ``chaos_promotion_overhead`` — post-half / pre-half throughput ratio,
+  how much the overlapped re-adapt cost live traffic.
+
+Gates are robustness, not speed: the promotion must land (within 60 s of
+drift), zero replay requests may fail, pre-swap traffic must serve the
+old version's exact bits and post-swap traffic the deterministic rebuild
+of the new one.
+"""
+import http.client
+import json
+import time
+
+import numpy as np
+import pytest
+
+from bench_util import record_metric
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.serving import (
+    AdaptationManager,
+    PredictorServer,
+    PredictorSession,
+)
+from repro.serving.artifacts import write_bundle
+from repro.tasks import Task
+from repro.transfer.pipeline import PipelineConfig
+
+TABLE = 288
+DEVICES = ("fpga", "eyeriss")
+REQ_INDICES = 8
+TRACE_LEN = 160  # per timed half
+ZIPF_ALPHA = 1.1
+DRIFT_DEVICE = "fpga"
+WINDOW = np.arange(40, 56)  # 12 train + 4 held-back validation
+
+
+def _make_session() -> PredictorSession:
+    from repro.spaces import GenericCellSpace
+    from repro.spaces.registry import _INSTANCES
+
+    sp = GenericCellSpace("nb101", table_size=TABLE)
+    _INSTANCES[sp.name] = sp
+    task = Task(
+        "T-chaos",
+        sp.name,
+        train_devices=("pixel3", "pixel2"),
+        test_devices=DEVICES,
+    )
+    cfg = PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        n_transfer_samples=8,
+        pretrain=PretrainConfig(samples_per_device=24, epochs=2, batch_size=16),
+        finetune=FinetuneConfig(epochs=4),
+        n_test=50,
+    )
+    return PredictorSession(task, cfg, seed=0).pretrain()
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    session = _make_session()
+    root = tmp_path_factory.mktemp("adapt_chaos")
+    ckpt = root / "ckpt.npz"
+    session.save(ckpt)
+    write_bundle(session, root / "plans", list(DEVICES), [4, REQ_INDICES])
+    return session.task, session.pipeline.config, ckpt, root / "plans"
+
+
+def _fresh(stack) -> PredictorSession:
+    task, cfg, ckpt, plans = stack
+    return PredictorSession.from_checkpoint(
+        ckpt, task=task, config=cfg, warmup_artifacts=plans
+    )
+
+
+def _zipf_weights(n: int, alpha: float) -> np.ndarray:
+    w = np.arange(1, n + 1, dtype=np.float64) ** -alpha
+    return w / w.sum()
+
+
+def _make_trace(seed: int, n_requests: int) -> list[tuple[str, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    dev_w = _zipf_weights(len(DEVICES), ZIPF_ALPHA)
+    arch_w = np.empty(TABLE)
+    arch_w[rng.permutation(TABLE)] = _zipf_weights(TABLE, ZIPF_ALPHA)
+    trace = []
+    for _ in range(n_requests):
+        device = DEVICES[int(rng.choice(len(DEVICES), p=dev_w))]
+        idx = rng.choice(TABLE, size=REQ_INDICES, replace=False, p=arch_w)
+        trace.append((device, np.sort(idx)))
+    return trace
+
+
+def _post(conn, path, payload) -> tuple[int, dict]:
+    conn.request("POST", path, json.dumps(payload), {"Content-Type": "application/json"})
+    resp = conn.getresponse()
+    return resp.status, json.loads(resp.read())
+
+
+def _get(host, port, path) -> dict:
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("GET", path)
+        return json.loads(conn.getresponse().read())
+    finally:
+        conn.close()
+
+
+def _replay(host, port, trace) -> float:
+    """Closed-loop replay on one persistent connection; returns req/s.
+    Every request must succeed — a 5xx during the hot-swap is a gate
+    failure, not a statistic."""
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        t0 = time.perf_counter()
+        for device, idx in trace:
+            status, payload = _post(
+                conn, "/predict", {"device": device, "indices": [int(i) for i in idx]}
+            )
+            assert status == 200, payload
+        return len(trace) / (time.perf_counter() - t0)
+    finally:
+        conn.close()
+
+
+def _spot_check(host, port, trace, reference, n=6):
+    conn = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        for device, idx in trace[:n]:
+            status, payload = _post(
+                conn, "/predict", {"device": device, "indices": [int(i) for i in idx]}
+            )
+            assert status == 200
+            want = [float(s) for s in reference.predict_batch(device, idx)]
+            assert payload["scores"] == want, (device, idx)
+    finally:
+        conn.close()
+
+
+def test_drift_injection_promotes_under_load(benchmark, stack):
+    session = _fresh(stack)
+    reference = _fresh(stack)  # the pre-swap bits
+    train, val = WINDOW[:12], WINDOW[12:]
+    # A forced-promotion window: anticorrelated train observations trip the
+    # drift detector; validation observations equal to the candidate's own
+    # shadow scores (precomputed in a twin — adaptation is deterministic in
+    # (seed, device, indices)) make the candidate unbeatable.
+    served = reference.predict_batch(DRIFT_DEVICE, WINDOW)
+    candidate = reference.adapt_candidate(DRIFT_DEVICE, train)
+    candidate_val = reference._shadow_scores(DRIFT_DEVICE, candidate, val)
+    observed = np.concatenate([-served[:12], candidate_val])
+    reference_after = _fresh(stack)  # deterministic rebuild of the promotion
+    assert reference_after.readapt(
+        DRIFT_DEVICE, train, val, candidate_val, min_improvement=-1e-9
+    )["promoted"]
+
+    half1 = _make_trace(seed=71, n_requests=TRACE_LEN)
+    half2 = _make_trace(seed=72, n_requests=TRACE_LEN)
+    manager = AdaptationManager(
+        session,
+        adapt_interval_s=0.2,
+        min_window=8,
+        min_improvement=-1e-9,
+        jitter_rng=np.random.default_rng(0),
+    )
+
+    def run():
+        with PredictorServer(session, adaptation=manager, max_wait_ms=1.0) as srv:
+            _spot_check(srv.host, srv.port, half1, reference)
+            _replay(srv.host, srv.port, half1[:32])  # warm untimed
+            tp1 = _replay(srv.host, srv.port, half1)
+            # Mid-stream drift: the window lands, the background loop wakes,
+            # and the second timed half overlaps the whole re-adapt.
+            conn = http.client.HTTPConnection(srv.host, srv.port, timeout=60)
+            try:
+                status, body = _post(
+                    conn,
+                    "/measurements",
+                    {
+                        "device": DRIFT_DEVICE,
+                        "indices": [int(a) for a in WINDOW],
+                        "latencies": [float(v) for v in observed],
+                    },
+                )
+            finally:
+                conn.close()
+            assert status == 200 and body["accepted"] == len(WINDOW), body
+            tp2 = _replay(srv.host, srv.port, half2)
+            deadline = time.monotonic() + 60.0
+            while True:
+                metrics = _get(srv.host, srv.port, "/metrics")["adaptation"]
+                if metrics["promotions_total"] >= 1:
+                    break
+                assert time.monotonic() < deadline, f"promotion never landed: {metrics}"
+                time.sleep(0.1)
+            # Post-swap traffic serves the promoted version's exact bits.
+            _spot_check(srv.host, srv.port, half2, reference_after)
+            health = _get(srv.host, srv.port, "/healthz")
+            assert health["adaptation"]["status"] == "ok", health
+            return {
+                "tp": 2 * TRACE_LEN / (TRACE_LEN / tp1 + TRACE_LEN / tp2),
+                "overhead": tp2 / tp1,
+                "lag_s": metrics["adaptation_lag_seconds"],
+                "version": metrics["devices"][DRIFT_DEVICE]["version"],
+            }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(
+        f"\nchaos replay: {results['tp']:.1f} req/s   "
+        f"adaptation lag: {results['lag_s']:.2f}s   "
+        f"overlapped-half throughput ratio: {results['overhead']:.2f}x   "
+        f"promoted version: {results['version']}"
+    )
+    record_metric(
+        "chaos_replay_throughput", results["tp"], "req/s", suite="serving_server"
+    )
+    record_metric("adaptation_lag_s", results["lag_s"], "s", suite="serving_server")
+    record_metric(
+        "chaos_promotion_overhead", results["overhead"], "x", suite="serving_server"
+    )
+    assert results["version"] == 2
+    assert results["lag_s"] is not None and results["lag_s"] < 60.0

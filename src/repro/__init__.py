@@ -31,7 +31,7 @@ overview; every component family (spaces, samplers, encodings, devices)
 resolves through :class:`repro.core.Registry`, and every predictor speaks
 the :class:`repro.core.LatencyEstimator` protocol.
 """
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro.core import LatencyEstimator, Registry
 from repro.spaces.registry import get_space

@@ -127,6 +127,23 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _make_adaptation(args, backend):
+    """Online-adaptation manager for ``repro serve`` (both modes).
+
+    Always constructed — ``--no-auto-adapt`` keeps ``/measurements`` ingest
+    and the drift gauges live but never triggers a re-adapt.
+    """
+    from repro.serving import AdaptationManager
+
+    return AdaptationManager(
+        backend,
+        drift_threshold=args.drift_threshold,
+        adapt_interval_s=args.adapt_interval,
+        min_window=args.drift_window,
+        auto_adapt=args.auto_adapt,
+    )
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import PredictorSession, PredictorServer
     from repro.transfer.pipeline import quick_config
@@ -172,6 +189,7 @@ def _cmd_serve(args) -> int:
         port=args.port,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        adaptation=_make_adaptation(args, session),
     )
     server.start()
     mode = f"compiled plans, dtype {args.dtype}" if args.compiled else "eager forwards"
@@ -180,6 +198,12 @@ def _cmd_serve(args) -> int:
         f"  POST {server.url}/predict   "
         '{"device": "<name>", "indices": [0, 1, ...]}  '
         f"(batching: max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms})"
+    )
+    print(
+        f"  POST {server.url}/measurements   "
+        '{"device": "<name>", "indices": [...], "latencies": [...]}  '
+        f"(drift-gated re-adapt: {'on' if args.auto_adapt else 'off'}, "
+        f"threshold {args.drift_threshold}, window {args.drift_window})"
     )
     print(f"  GET  {server.url}/devices | /healthz | /metrics   (Ctrl-C drains and exits)")
     try:
@@ -220,7 +244,9 @@ def _serve_sharded(args, cfg) -> int:
     warm = sum(len(h.warm_devices) for h in router._handles if h is not None)
     if args.plans:
         print(f"Warmup: {warm} device shard(s) loaded from {args.plans}", flush=True)
-    server = PredictorServer(router, host=args.host, port=args.port)
+    server = PredictorServer(
+        router, host=args.host, port=args.port, adaptation=_make_adaptation(args, router)
+    )
     server.start()
     print(
         f"Serving on {server.url} — {args.workers} workers, device-affinity "
@@ -404,6 +430,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="outstanding micro-batch windows per shard (1 = strict "
         "send-then-wait; sharded mode only)",
+    )
+    p.add_argument(
+        "--auto-adapt",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="drift-gated background re-adaptation from POST /measurements "
+        "(--no-auto-adapt: keep ingest and drift gauges live but never "
+        "re-adapt)",
+    )
+    p.add_argument(
+        "--adapt-interval",
+        type=float,
+        default=5.0,
+        help="seconds between background drift checks (ingest wakes the "
+        "loop early)",
+    )
+    p.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.6,
+        help="Spearman floor of served scores vs observed latencies; a "
+        "defined correlation below it triggers re-adaptation",
+    )
+    p.add_argument(
+        "--drift-window",
+        type=int,
+        default=16,
+        help="observed measurements required per device before drift is "
+        "evaluated",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -20,8 +20,22 @@ replaces the in-process session behind the same HTTP server with a pool of
 device-affinity worker processes (:mod:`repro.serving.worker`), each warmed
 from a ``repro compile`` artifact bundle and fronted by its own batch
 window — ``repro serve --workers N --plans <dir>``.
+
+:mod:`repro.serving.adaptation` closes the loop against the hardware:
+``POST /measurements`` streams observed latencies into an
+:class:`~repro.serving.adaptation.AdaptationManager`, whose drift detector
+(rolling Spearman of served scores vs observations) triggers background
+re-adaptation with shadow evaluation, versioned hot-swap on improvement,
+and rollback — plus a crash-loop circuit breaker — on anything else.
 """
 from repro.predictors.compiled import PlanDtypeMismatchError
+from repro.serving.adaptation import (
+    AdaptationManager,
+    DriftDetector,
+    DriftVerdict,
+    MeasurementError,
+    rank_correlation,
+)
 from repro.serving.router import ShardedRouter, WorkerStartupError, WorkerUnavailableError
 from repro.serving.server import MicroBatcher, PredictorServer, ServerMetrics
 from repro.serving.session import PredictorSession, SessionStats
@@ -29,7 +43,12 @@ from repro.serving.transport import ProtocolNegotiationError, TransportError
 from repro.serving.worker import WorkerSpec
 
 __all__ = [
+    "AdaptationManager",
+    "DriftDetector",
+    "DriftVerdict",
+    "MeasurementError",
     "MicroBatcher",
+    "rank_correlation",
     "PlanDtypeMismatchError",
     "PredictorServer",
     "PredictorSession",

@@ -1,0 +1,618 @@
+"""Online fleet adaptation: drift-gated background re-adapt with rollback.
+
+The paper's few-shot transfer is a one-shot offline act; compiled adapt
+made it cheap enough (~0.6s) to run *continually*.  This module is the
+machinery that makes continual adaptation survivable in production: a bad
+adaptation must never degrade live traffic, so every candidate is built
+off to the side, shadow-evaluated against held-back observations, and
+promoted atomically — or rolled back to the last-good version with a
+recorded reason.  Three pieces:
+
+* :class:`DriftDetector` — rolling rank-correlation (Spearman) of the
+  predictor's *served* scores against observed latencies streamed in via
+  ``POST /measurements``.  Degenerate windows (fewer than two points, or
+  constant on either side) have **no defined rank correlation**; the
+  detector reports them as ``score=None, drifted=False`` instead of
+  manufacturing a zero that would read as catastrophic drift.
+* :class:`AdaptationManager` — the service loop.  Per-device rolling
+  measurement windows (bounded, de-duplicated: the latest observation for
+  a ``(device, arch)`` pair wins), a background thread that re-checks
+  drift every ``adapt_interval_s`` (woken early by ingest), and the
+  promote/rollback state machine::
+
+      idle ──drift < threshold──▶ drifted ──backoff clear──▶ adapting
+        ▲                                                       │
+        │   promoted (version += 1, caches flushed, lag gauge)  │
+        ├───────────────────────────────────────────────────────┤
+        │   rejected / failed (last-good keeps serving,         │
+        │   consecutive_failures += 1, exponential backoff      │
+        ▼   with jitter; >= failure_threshold ⇒ stalled)        ▼
+      idle ◀───────────────────────────────────────────── rolled back
+
+  The circuit breaker is the crash-loop guard: consecutive failed or
+  rejected adaptations back off exponentially (bounded, jittered) and
+  eventually degrade to "serve last-good, report ``adaptation: stalled``
+  in ``/healthz``" instead of burning a core re-adapting forever.
+* :exc:`MeasurementError` — named ingest rejections (non-finite
+  latencies, unknown architectures, malformed payloads) surfaced as HTTP
+  400s with a machine-readable ``kind``.
+
+The manager drives any *backend* exposing ``predict_batch(device,
+indices)`` and ``readapt(device, train_indices, val_indices,
+val_observed, min_improvement)`` — a 1-process
+:class:`~repro.serving.session.PredictorSession` or a multi-process
+:class:`~repro.serving.router.ShardedRouter` (which forwards the re-adapt
+to the owning shard and, on promotion, records the pinned train slice in
+its respawn replay log so a promoted version survives worker death).
+
+Shadow evaluation itself lives with the session
+(:meth:`PredictorSession.readapt`): the candidate is trained on the
+window's older slice, both the candidate and the live predictor score the
+held-back newest slice, and the candidate is installed only if its rank
+correlation against the observations improves on the live one.  Because
+adaptation is deterministic in ``(seed, device, indices)``, a promoted
+candidate is bitwise-reproducible from its pinned train slice — the
+property the fault-injection suite leans on.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "AdaptationManager",
+    "DriftDetector",
+    "DriftVerdict",
+    "MeasurementError",
+    "rank_correlation",
+]
+
+
+class MeasurementError(ValueError):
+    """A rejected ``POST /measurements`` payload, with a machine-readable
+    ``kind`` so clients can branch without parsing prose."""
+
+    def __init__(self, message: str, kind: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+def rank_correlation(pred, obs) -> float | None:
+    """Spearman rank correlation, or ``None`` when it is undefined.
+
+    Unlike :func:`repro.eval.metrics.spearman` (which clamps degenerate
+    inputs to ``0.0`` for aggregate tables), drift detection must
+    *distinguish* "no signal" from "catastrophically wrong ranking":
+    fewer than two points, or a constant vector on either side, returns
+    ``None`` — no rank ordering exists to disagree with.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    obs = np.asarray(obs, dtype=np.float64)
+    if pred.shape != obs.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {obs.shape}")
+    if pred.size < 2 or np.all(pred == pred[0]) or np.all(obs == obs[0]):
+        return None
+    from scipy import stats
+
+    rho, _ = stats.spearmanr(pred, obs)
+    if not np.isfinite(rho):  # ties can still collapse the variance
+        return None
+    return float(rho)
+
+
+@dataclass(frozen=True)
+class DriftVerdict:
+    """Outcome of one drift evaluation over a device's window."""
+
+    score: float | None  # Spearman(served predictions, observations); None = undefined
+    drifted: bool  # score defined and below the threshold
+    reason: str  # why (not) drifted — for logs and /metrics
+
+
+class DriftDetector:
+    """Rolling rank-correlation drift gate.
+
+    ``threshold`` is the Spearman floor: a *defined* correlation below it
+    means the served predictor no longer ranks this device's architectures
+    the way the hardware does.  ``min_window`` gates evaluation entirely —
+    correlations over a handful of points are noise, not signal.
+    """
+
+    def __init__(self, threshold: float = 0.6, min_window: int = 8):
+        if not -1.0 <= threshold <= 1.0:
+            raise ValueError(f"drift threshold must be in [-1, 1], got {threshold}")
+        if min_window < 2:
+            raise ValueError(f"min_window must be >= 2, got {min_window}")
+        self.threshold = float(threshold)
+        self.min_window = int(min_window)
+
+    def evaluate(self, predictions, observations) -> DriftVerdict:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        if predictions.size < self.min_window:
+            return DriftVerdict(
+                None, False, f"window {predictions.size} < min_window {self.min_window}"
+            )
+        score = rank_correlation(predictions, observations)
+        if score is None:
+            return DriftVerdict(None, False, "degenerate window: rank correlation undefined")
+        if score < self.threshold:
+            return DriftVerdict(score, True, f"spearman {score:.4f} < threshold {self.threshold}")
+        return DriftVerdict(score, False, f"spearman {score:.4f} >= threshold {self.threshold}")
+
+
+@dataclass
+class _DeviceState:
+    """Everything the manager tracks for one device."""
+
+    # arch index -> latest observed latency; insertion order is measurement
+    # order (a re-measured arch moves to the end), which is what makes the
+    # "hold back the newest slice" validation split meaningful.
+    window: OrderedDict = field(default_factory=OrderedDict)
+    version: int = 1  # the last-good predictor version clients are served
+    last_drift: float | None = None
+    drift_reason: str = ""
+    drift_since: float | None = None  # monotonic time drift was first seen
+    dirty: bool = False  # new measurements since the last adapt attempt
+    adapting: bool = False
+    stalled: bool = False
+    consecutive_failures: int = 0
+    next_attempt_at: float = 0.0  # monotonic; 0 = no backoff
+    last_backoff_s: float = 0.0
+    promotions: int = 0
+    rejections: int = 0
+    failures: int = 0
+    last_rejection_reason: str | None = None
+    last_error: str | None = None
+    adaptation_lag_s: float | None = None  # drift first seen -> promotion
+
+    def phase(self) -> str:
+        if self.adapting:
+            return "adapting"
+        if self.stalled:
+            return "stalled"
+        if self.drift_since is not None:
+            return "drifted"
+        return "idle"
+
+
+class AdaptationManager:
+    """Drift-gated background re-adaptation over a serving backend.
+
+    Parameters
+    ----------
+    backend: object with ``predict_batch(device, indices)`` and
+        ``readapt(device, train_indices, val_indices, val_observed,
+        min_improvement)`` — a :class:`PredictorSession` or
+        :class:`ShardedRouter`.
+    drift_threshold: Spearman floor below which a device counts as
+        drifted (see :class:`DriftDetector`).
+    adapt_interval_s: background re-check cadence; ingest wakes the loop
+        early, so a drifting device never waits a full idle interval.
+    min_window: observations required before drift is evaluated at all.
+    max_window: rolling-window capacity per device (oldest evicted).
+    validation_fraction: share of the window (its *newest* measurements)
+        held back from training and used for shadow evaluation.
+    max_train_samples: cap on the train slice handed to few-shot
+        adaptation (the newest train-slice measurements win).
+    min_improvement: promotion margin — the candidate's validation
+        Spearman must exceed the live predictor's by more than this.
+        ``0.0`` demands strict improvement; a small negative value allows
+        promotion on ties (useful when re-adapting to refresh rather than
+        to improve).
+    failure_threshold: consecutive failed/rejected adaptations after
+        which the device reports ``stalled`` (circuit open) in /healthz.
+    backoff_base_s, backoff_max_s: bounded exponential backoff between
+        failed attempts, jittered to ±25% so a fleet of stalled devices
+        does not re-adapt in lockstep.
+    auto_adapt: ``False`` keeps ingest and the drift gauge live but never
+        triggers a re-adapt (the ``--no-auto-adapt`` observability mode).
+    num_architectures: optional table size for ingest range-checking;
+        resolved from the backend when omitted.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        drift_threshold: float = 0.6,
+        adapt_interval_s: float = 5.0,
+        min_window: int = 8,
+        max_window: int = 256,
+        validation_fraction: float = 0.25,
+        max_train_samples: int = 32,
+        min_improvement: float = 0.0,
+        failure_threshold: int = 3,
+        backoff_base_s: float = 1.0,
+        backoff_max_s: float = 60.0,
+        auto_adapt: bool = True,
+        num_architectures: int | None = None,
+        jitter_rng: np.random.Generator | None = None,
+    ):
+        if adapt_interval_s <= 0:
+            raise ValueError(f"adapt_interval_s must be > 0, got {adapt_interval_s}")
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValueError(
+                f"validation_fraction must be in (0, 1), got {validation_fraction}"
+            )
+        if max_window < min_window:
+            raise ValueError(
+                f"max_window {max_window} < min_window {min_window}"
+            )
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.backend = backend
+        self.detector = DriftDetector(drift_threshold, min_window)
+        self.adapt_interval_s = float(adapt_interval_s)
+        self.max_window = int(max_window)
+        self.validation_fraction = float(validation_fraction)
+        self.max_train_samples = int(max_train_samples)
+        self.min_improvement = float(min_improvement)
+        self.failure_threshold = int(failure_threshold)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.auto_adapt = bool(auto_adapt)
+        self._num_archs = (
+            int(num_architectures)
+            if num_architectures is not None
+            else self._resolve_num_archs(backend)
+        )
+        self._jitter = jitter_rng if jitter_rng is not None else np.random.default_rng()
+        self._states: dict[str, _DeviceState] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        # Fleet counters (/metrics): every attempt ends in exactly one of
+        # promoted / rejected / failed; rollbacks = rejected + failed (the
+        # attempts that ended back on the last-good version).
+        self.measurements_total = 0
+        self.measurements_rejected_total = 0
+        self.duplicates_coalesced_total = 0
+        self.drift_checks_total = 0
+        self.adaptations_total = 0
+        self.promotions_total = 0
+        self.rejections_total = 0
+        self.failures_total = 0
+        self.last_adaptation_lag_s: float | None = None
+
+    @staticmethod
+    def _resolve_num_archs(backend) -> int | None:
+        fn = getattr(backend, "num_architectures", None)
+        if callable(fn):
+            try:
+                n = fn()
+                return None if n is None else int(n)
+            except Exception:
+                return None
+        try:
+            return int(backend.pipeline.space.num_architectures())
+        except AttributeError:
+            return None
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "AdaptationManager":
+        """Start the background drift/re-adapt loop (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._wake.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="adaptation-manager", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the loop; an in-flight adaptation finishes (bounded wait)."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while True:
+            self._wake.wait(self.adapt_interval_s)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            for device in list(self._states):
+                if self._stop.is_set():
+                    return
+                try:
+                    self.check_device(device)
+                except Exception as exc:  # the loop must never die
+                    with self._lock:
+                        state = self._states.get(device)
+                        if state is not None:
+                            state.last_error = f"{type(exc).__name__}: {exc}"
+
+    # ----------------------------------------------------------------- ingest
+    def _reject(self, message: str, kind: str) -> MeasurementError:
+        with self._lock:
+            self.measurements_rejected_total += 1
+        return MeasurementError(message, kind)
+
+    def ingest(self, device: str, archs, latencies) -> dict:
+        """Validate and fold one measurement batch into the device's window.
+
+        Raises :exc:`MeasurementError` (with ``kind``) on malformed input;
+        nothing is ingested from a rejected batch — validation is
+        all-or-nothing so a poisoned payload cannot half-land.
+        """
+        if not isinstance(device, str) or not device:
+            raise self._reject("'device' must be a non-empty string", "invalid-measurement")
+        if not isinstance(archs, (list, tuple, np.ndarray)) or len(archs) == 0:
+            raise self._reject(
+                "'archs' must be a non-empty list of architecture indices",
+                "invalid-measurement",
+            )
+        if not isinstance(latencies, (list, tuple, np.ndarray)) or len(latencies) != len(archs):
+            raise self._reject(
+                f"'latencies' must match 'archs' in length "
+                f"({len(archs)} archs)",
+                "invalid-measurement",
+            )
+        arch_ids: list[int] = []
+        for a in archs:
+            if isinstance(a, bool) or not isinstance(a, (int, np.integer)):
+                raise self._reject(
+                    f"architecture indices must be integers, got {a!r}",
+                    "invalid-measurement",
+                )
+            arch_ids.append(int(a))
+        try:
+            observed = np.asarray(latencies, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise self._reject(
+                "latencies must be numbers", "invalid-measurement"
+            ) from None
+        if not np.all(np.isfinite(observed)):
+            bad = [float(v) for v in observed[~np.isfinite(observed)][:4]]
+            raise self._reject(
+                f"non-finite observed latency for device {device!r}: {bad}",
+                "non-finite-latency",
+            )
+        if self._num_archs is not None:
+            out = [a for a in arch_ids if not 0 <= a < self._num_archs]
+            if out:
+                raise self._reject(
+                    f"architecture indices out of range [0, {self._num_archs}): {out[:8]}",
+                    "unknown-architecture",
+                )
+        with self._lock:
+            state = self._states.setdefault(device, _DeviceState())
+            coalesced = 0
+            for arch, value in zip(arch_ids, observed):
+                if arch in state.window:
+                    coalesced += 1  # de-dup: the newest observation wins
+                state.window[arch] = float(value)
+                state.window.move_to_end(arch)
+            while len(state.window) > self.max_window:
+                state.window.popitem(last=False)
+            state.dirty = True
+            self.measurements_total += len(arch_ids)
+            self.duplicates_coalesced_total += coalesced
+            snapshot = {
+                "device": device,
+                "accepted": len(arch_ids),
+                "coalesced": coalesced,
+                "window": len(state.window),
+                "drift": state.last_drift,
+            }
+        self._wake.set()  # the loop re-checks drift without waiting a full tick
+        return snapshot
+
+    # ------------------------------------------------------------ drift check
+    def window_of(self, device: str) -> dict[int, float]:
+        """Copy of the device's rolling window (for tests/inspection)."""
+        with self._lock:
+            state = self._states.get(device)
+            return dict(state.window) if state is not None else {}
+
+    def check_device(self, device: str) -> dict | None:
+        """One synchronous drift evaluation (and possible re-adapt).
+
+        This is exactly what the background loop runs per device per tick;
+        exposed so tests and operators can drive the state machine
+        deterministically.  Returns a report dict, or ``None`` when the
+        device is unknown or an adaptation is already in flight.
+        """
+        with self._lock:
+            state = self._states.get(device)
+            if state is None or state.adapting:
+                return None
+            archs = np.fromiter(state.window.keys(), dtype=np.int64, count=len(state.window))
+            observed = np.fromiter(
+                state.window.values(), dtype=np.float64, count=len(state.window)
+            )
+        if len(archs) < self.detector.min_window:
+            return {
+                "device": device,
+                "drift": None,
+                "drifted": False,
+                "action": "window-too-small",
+            }
+        # Served bits, not a shadow forward: drift is measured on exactly
+        # what clients are getting (for a router this rides the normal
+        # shard batch windows).
+        predictions = np.asarray(self.backend.predict_batch(device, archs), dtype=np.float64)
+        verdict = self.detector.evaluate(predictions, observed)
+        now = time.monotonic()
+        with self._lock:
+            state = self._states.get(device)
+            if state is None or state.adapting:
+                return None
+            self.drift_checks_total += 1
+            state.last_drift = verdict.score
+            state.drift_reason = verdict.reason
+            report = {
+                "device": device,
+                "drift": verdict.score,
+                "drifted": verdict.drifted,
+                "reason": verdict.reason,
+            }
+            if not verdict.drifted:
+                state.drift_since = None
+                report["action"] = "none"
+                return report
+            if state.drift_since is None:
+                state.drift_since = now
+            if not self.auto_adapt:
+                report["action"] = "auto-adapt-disabled"
+                return report
+            if not state.dirty:
+                # No fresh evidence since the last attempt: re-adapting on
+                # the same window would rebuild the same candidate.
+                report["action"] = "no-new-measurements"
+                return report
+            if now < state.next_attempt_at:
+                report["action"] = "backing-off"
+                report["retry_in_s"] = state.next_attempt_at - now
+                return report
+            n_val = max(2, int(round(len(archs) * self.validation_fraction)))
+            if len(archs) - n_val < 2:
+                report["action"] = "window-too-small"
+                return report
+            train = archs[: len(archs) - n_val][-self.max_train_samples :]
+            val, val_obs = archs[len(archs) - n_val :], observed[len(archs) - n_val :]
+            state.adapting = True
+            state.dirty = False
+            self.adaptations_total += 1
+        return self._attempt(device, train, val, val_obs, report)
+
+    def _attempt(self, device, train, val, val_obs, report: dict) -> dict:
+        """Run one shadow-evaluated re-adapt; the caller set ``adapting``."""
+        t0 = time.monotonic()
+        try:
+            result = self.backend.readapt(
+                device,
+                [int(i) for i in train],
+                [int(i) for i in val],
+                [float(v) for v in val_obs],
+                min_improvement=self.min_improvement,
+            )
+        except Exception as exc:
+            with self._lock:
+                state = self._states[device]
+                state.adapting = False
+                state.failures += 1
+                state.last_error = f"{type(exc).__name__}: {exc}"
+                self.failures_total += 1
+                self._record_setback(state)
+            report.update(action="failed", error=f"{type(exc).__name__}: {exc}")
+            return report
+        with self._lock:
+            state = self._states[device]
+            state.adapting = False
+            if result.get("promoted"):
+                state.version += 1
+                state.promotions += 1
+                state.consecutive_failures = 0
+                state.stalled = False
+                state.next_attempt_at = 0.0
+                state.last_backoff_s = 0.0
+                lag = time.monotonic() - (state.drift_since or t0)
+                state.adaptation_lag_s = lag
+                state.drift_since = None
+                self.promotions_total += 1
+                self.last_adaptation_lag_s = lag
+                report.update(
+                    action="promoted",
+                    version=state.version,
+                    adaptation_lag_s=lag,
+                    rho_current=result.get("rho_current"),
+                    rho_candidate=result.get("rho_candidate"),
+                )
+            else:
+                state.rejections += 1
+                state.last_rejection_reason = result.get("reason")
+                self.rejections_total += 1
+                self._record_setback(state)
+                report.update(
+                    action="rejected",
+                    reason=result.get("reason"),
+                    rho_current=result.get("rho_current"),
+                    rho_candidate=result.get("rho_candidate"),
+                )
+        return report
+
+    def _record_setback(self, state: _DeviceState) -> None:
+        """Backoff + circuit breaker after a failed/rejected attempt (caller
+        holds the lock)."""
+        state.consecutive_failures += 1
+        delay = min(
+            self.backoff_max_s,
+            self.backoff_base_s * (2.0 ** (state.consecutive_failures - 1)),
+        )
+        delay *= 0.75 + 0.5 * float(self._jitter.random())  # ±25% jitter
+        state.last_backoff_s = delay
+        state.next_attempt_at = time.monotonic() + delay
+        if state.consecutive_failures >= self.failure_threshold:
+            state.stalled = True  # circuit open: /healthz reports it
+
+    # --------------------------------------------------------- observability
+    @property
+    def rollbacks_total(self) -> int:
+        """Attempts that ended back on the last-good version."""
+        return self.rejections_total + self.failures_total
+
+    def stalled_devices(self) -> list[str]:
+        with self._lock:
+            return sorted(d for d, s in self._states.items() if s.stalled)
+
+    def health(self) -> dict:
+        """The ``/healthz`` adaptation block."""
+        stalled = self.stalled_devices()
+        if not self.auto_adapt:
+            status = "disabled"
+        elif stalled:
+            status = "stalled"
+        else:
+            status = "ok"
+        return {"status": status, "stalled_devices": stalled}
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` adaptation block: fleet counters + per-device."""
+        now = time.monotonic()
+        with self._lock:
+            devices = {}
+            for device, s in self._states.items():
+                devices[device] = {
+                    "version": s.version,
+                    "state": s.phase(),
+                    "window": len(s.window),
+                    "drift": s.last_drift,
+                    "drift_reason": s.drift_reason,
+                    "consecutive_failures": s.consecutive_failures,
+                    "promotions": s.promotions,
+                    "rejections": s.rejections,
+                    "failures": s.failures,
+                    "last_rejection_reason": s.last_rejection_reason,
+                    "last_error": s.last_error,
+                    "adaptation_lag_seconds": s.adaptation_lag_s,
+                    "retry_in_s": max(0.0, s.next_attempt_at - now)
+                    if s.next_attempt_at
+                    else None,
+                }
+            return {
+                "auto_adapt": self.auto_adapt,
+                "drift_threshold": self.detector.threshold,
+                "min_window": self.detector.min_window,
+                "adapt_interval_s": self.adapt_interval_s,
+                "measurements_total": self.measurements_total,
+                "measurements_rejected_total": self.measurements_rejected_total,
+                "duplicates_coalesced_total": self.duplicates_coalesced_total,
+                "drift_checks_total": self.drift_checks_total,
+                "adaptations_total": self.adaptations_total,
+                "promotions_total": self.promotions_total,
+                "rejections_total": self.rejections_total,
+                "failures_total": self.failures_total,
+                "rollbacks_total": self.rollbacks_total,
+                "adaptation_lag_seconds": self.last_adaptation_lag_s,
+                "devices": devices,
+            }

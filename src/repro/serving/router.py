@@ -304,6 +304,16 @@ class ShardedRouter:
         windows may be outstanding on a shard's channel at once.  Depth 2
         overlaps transport with worker compute; depth 1 restores the
         strict send-then-wait data plane.
+    spawn_backoff_base_s, spawn_backoff_max_s: bounded exponential backoff
+        (with +/-25% jitter) between respawn attempts after a worker fails
+        to come up — a shard whose checkpoint or bundle went bad must not
+        fork-spin.  While a shard is backing off, requests routed to it
+        fail fast with :class:`WorkerUnavailableError` instead of queueing
+        behind doomed spawns.
+    spawn_failure_threshold: consecutive startup failures after which the
+        shard is reported in ``degraded_shards`` (surfaced by
+        ``/healthz``).  Respawn attempts continue at the capped backoff
+        cadence; one success clears the state.
     """
 
     def __init__(
@@ -319,6 +329,9 @@ class ShardedRouter:
         startup_timeout_s: float = 300.0,
         binary: bool = True,
         pipeline_depth: int = 2,
+        spawn_backoff_base_s: float = 0.5,
+        spawn_backoff_max_s: float = 30.0,
+        spawn_failure_threshold: int = 3,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -356,6 +369,18 @@ class ShardedRouter:
         # the shard's exact serving state (adaptation is deterministic in
         # (seed, device, indices)), so a crash is invisible to clients.
         self._adapt_log: dict[str, list[int]] = {}
+        # Respawn circuit breaker: consecutive *startup* failures per shard
+        # (handshake death, bad bundle, failed replay) and the monotonic
+        # deadline before which no respawn is attempted.  Deliberately
+        # excludes post-ready deaths — SIGKILL of a healthy worker respawns
+        # immediately; only a worker that cannot come up backs off.
+        self.spawn_backoff_base_s = float(spawn_backoff_base_s)
+        self.spawn_backoff_max_s = float(spawn_backoff_max_s)
+        self.spawn_failure_threshold = int(spawn_failure_threshold)
+        self._spawn_failures: list[int] = [0] * self.n_workers
+        self._spawn_deadline: list[float] = [0.0] * self.n_workers
+        self._backoff_rng = np.random.default_rng()
+        self.spawn_failures_total = 0
         self.deaths_total = 0
         self.respawns_total = 0
         self.retries_total = 0
@@ -449,88 +474,120 @@ class ShardedRouter:
 
     # ------------------------------------------------------------- spawning
     def _spawn(self, wid: int) -> _WorkerHandle:
-        """Fork one worker and wait for its ready handshake."""
+        """Fork one worker and wait for its ready handshake.
+
+        Startup failures feed the respawn circuit breaker: each one arms a
+        jittered exponential backoff for the shard, a success clears it.
+        """
         with self._spawn_lock:
             existing = self._handles[wid]
             if existing is not None and existing.process.is_alive():
                 return existing  # raced with the monitor; already respawned
             if existing is not None:
                 self._reap(wid, existing)
-            router_end, worker_end = socket.socketpair()
-            # Sockets of *other* live workers, for the child to close: a
-            # worker holding a sibling's channel would keep it open past
-            # that sibling's death and break the router's EOF detection.
-            stray = tuple(h.sock for h in self._handles if h is not None)
-            proc = self._ctx.Process(
-                target=worker_main,
-                args=(worker_end, self.spec, wid, self.n_workers, stray),
-                name=f"repro-worker-{wid}",
-                daemon=True,
-            )
-            proc.start()
-            worker_end.close()  # child owns its end; EOF semantics need ours gone
-            router_end.settimeout(self.startup_timeout_s)
             try:
-                ready = recv_frame(router_end)
-            except (TransportError, OSError, TimeoutError) as exc:
-                router_end.close()
-                proc.terminate()
-                proc.join(timeout=2.0)
-                raise WorkerStartupError(
-                    f"worker {wid} died before its ready handshake: {exc}"
-                ) from exc
-            if not ready.get("ready"):
-                router_end.close()
-                proc.join(timeout=2.0)
-                raise WorkerStartupError(
-                    f"worker {wid} failed to start: {ready.get('error', 'unknown error')}"
-                )
-            # Version negotiation rides the (JSON) ready handshake: a worker
-            # that can't speak the requested wire fails here, by name, not
-            # mid-stream with a desync.
-            try:
-                wire = negotiated_wire(ready.get("proto"), self.binary)
-            except TransportError:
-                router_end.close()
-                proc.terminate()
-                proc.join(timeout=2.0)
+                handle = self._spawn_locked(wid)
+            except Exception:
+                self._record_spawn_failure(wid)
                 raise
-            channel = _ShardChannel(
-                router_end, wid, wire=wire, io_timeout_s=self.request_timeout_s
-            )
-            handle = _WorkerHandle(
-                wid, proc, channel, ready.get("pid"), ready.get("warm_devices", ())
-            )
-            if self._started:  # a replacement, not part of initial start()
-                with self._stats_lock:
-                    self.respawns_total += 1
             with self._stats_lock:
-                replay = {
-                    device: idx
-                    for device, idx in self._adapt_log.items()
-                    if shard_for(device, self.n_workers) == wid
-                }
-            for device, idx in replay.items():
-                try:
-                    reply = self._request(
-                        handle,
-                        {"op": "adapt", "device": device, "indices": idx},
-                        self.request_timeout_s,
-                    )
-                except (TransportError, OSError, TimeoutError) as exc:
-                    self._reap(wid, handle)
-                    raise WorkerStartupError(
-                        f"worker {wid} died replaying the re-adapt log "
-                        f"for {device!r}: {exc}"
-                    ) from exc
-                if not reply.get("ok"):
-                    self._reap(wid, handle)
-                    raise WorkerStartupError(
-                        f"worker {wid} failed to replay re-adapt of "
-                        f"{device!r}: {reply.get('error')}"
-                    )
+                self._spawn_failures[wid] = 0
+                self._spawn_deadline[wid] = 0.0
             self._handles[wid] = handle
             return handle
+
+    def _spawn_locked(self, wid: int) -> _WorkerHandle:
+        """Fork + handshake + adapt-log replay (caller holds the spawn lock)."""
+        router_end, worker_end = socket.socketpair()
+        # Sockets of *other* live workers, for the child to close: a
+        # worker holding a sibling's channel would keep it open past
+        # that sibling's death and break the router's EOF detection.
+        stray = tuple(h.sock for h in self._handles if h is not None)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(worker_end, self.spec, wid, self.n_workers, stray),
+            name=f"repro-worker-{wid}",
+            daemon=True,
+        )
+        proc.start()
+        worker_end.close()  # child owns its end; EOF semantics need ours gone
+        router_end.settimeout(self.startup_timeout_s)
+        try:
+            ready = recv_frame(router_end)
+        except (TransportError, OSError, TimeoutError) as exc:
+            router_end.close()
+            proc.terminate()
+            proc.join(timeout=2.0)
+            raise WorkerStartupError(
+                f"worker {wid} died before its ready handshake: {exc}"
+            ) from exc
+        if not ready.get("ready"):
+            router_end.close()
+            proc.join(timeout=2.0)
+            raise WorkerStartupError(
+                f"worker {wid} failed to start: {ready.get('error', 'unknown error')}"
+            )
+        # Version negotiation rides the (JSON) ready handshake: a worker
+        # that can't speak the requested wire fails here, by name, not
+        # mid-stream with a desync.
+        try:
+            wire = negotiated_wire(ready.get("proto"), self.binary)
+        except TransportError:
+            router_end.close()
+            proc.terminate()
+            proc.join(timeout=2.0)
+            raise
+        channel = _ShardChannel(
+            router_end, wid, wire=wire, io_timeout_s=self.request_timeout_s
+        )
+        handle = _WorkerHandle(
+            wid, proc, channel, ready.get("pid"), ready.get("warm_devices", ())
+        )
+        if self._started:  # a replacement, not part of initial start()
+            with self._stats_lock:
+                self.respawns_total += 1
+        with self._stats_lock:
+            replay = {
+                device: idx
+                for device, idx in self._adapt_log.items()
+                if shard_for(device, self.n_workers) == wid
+            }
+        for device, idx in replay.items():
+            try:
+                reply = self._request(
+                    handle,
+                    {"op": "adapt", "device": device, "indices": idx},
+                    self.request_timeout_s,
+                )
+            except (TransportError, OSError, TimeoutError) as exc:
+                self._reap(wid, handle)
+                raise WorkerStartupError(
+                    f"worker {wid} died replaying the re-adapt log "
+                    f"for {device!r}: {exc}"
+                ) from exc
+            if not reply.get("ok"):
+                self._reap(wid, handle)
+                raise WorkerStartupError(
+                    f"worker {wid} failed to replay re-adapt of "
+                    f"{device!r}: {reply.get('error')}"
+                )
+        return handle
+
+    def _record_spawn_failure(self, wid: int) -> None:
+        """Arm the shard's respawn backoff after a startup failure.
+
+        Bounded exponential with +/-25% jitter, so a fleet whose shared
+        artifact went bad doesn't thundering-herd its retries.
+        """
+        jitter = 0.75 + 0.5 * float(self._backoff_rng.random())
+        with self._stats_lock:
+            self._spawn_failures[wid] += 1
+            self.spawn_failures_total += 1
+            delay = min(
+                self.spawn_backoff_max_s,
+                self.spawn_backoff_base_s * 2 ** (self._spawn_failures[wid] - 1),
+            )
+            self._spawn_deadline[wid] = time.monotonic() + delay * jitter
 
     def _reap(self, wid: int, handle: _WorkerHandle) -> None:
         """Retire a dead handle (caller holds the spawn lock)."""
@@ -543,12 +600,29 @@ class ShardedRouter:
             self.deaths_total += 1
 
     def _ensure_worker(self, wid: int) -> _WorkerHandle:
-        """Live handle for shard ``wid``, respawning a dead worker if needed."""
+        """Live handle for shard ``wid``, respawning a dead worker if needed.
+
+        A shard inside its respawn backoff window fails fast with
+        :class:`WorkerUnavailableError` — requests must not pile up behind
+        spawn attempts the breaker already predicts will fail.
+        """
         handle = self._handles[wid]
         if handle is not None and handle.process.is_alive():
             return handle
         if self._closed:
             raise RuntimeError("router is not running")
+        with self._stats_lock:
+            deadline = self._spawn_deadline[wid]
+            failures = self._spawn_failures[wid]
+        retry_in = deadline - time.monotonic()
+        if retry_in > 0:
+            state = (
+                "degraded" if failures >= self.spawn_failure_threshold else "backing off"
+            )
+            raise WorkerUnavailableError(
+                f"shard {wid} is {state} after {failures} consecutive spawn "
+                f"failure(s); next respawn attempt in {retry_in:.1f}s"
+            )
         return self._spawn(wid)
 
     def _note_death(self, wid: int, handle: _WorkerHandle) -> None:
@@ -673,6 +747,51 @@ class ShardedRouter:
             with self._stats_lock:
                 self._adapt_log[device] = msg["indices"]
 
+    def readapt(
+        self,
+        device: str,
+        train_indices,
+        val_indices,
+        val_observed,
+        *,
+        min_improvement: float = 0.0,
+    ) -> dict:
+        """Drift-recovery attempt on ``device``'s owning worker (see
+        :meth:`PredictorSession.readapt`): shadow candidate on the pinned
+        ``train_indices``, scored against ``val_observed`` on the held-back
+        ``val_indices``, promoted only on rank-quality improvement.
+
+        A *promoted* device enters the pinned-adapt replay log — promotion
+        changed the shard's serving state, and a respawned worker must
+        rebuild exactly those weights (deterministic in ``(seed, device,
+        train_indices)``) rather than revert to the bundle's.  Rejections
+        log nothing: the last-good state was never replaced.
+        """
+        msg = {
+            "op": "readapt",
+            "device": device,
+            "train_indices": [int(i) for i in np.asarray(train_indices).ravel()],
+            "val_indices": [int(i) for i in np.asarray(val_indices).ravel()],
+            "val_observed": [float(v) for v in np.asarray(val_observed).ravel()],
+            "min_improvement": float(min_improvement),
+        }
+        reply = self._rpc_with_retry(self.shard_of(device), msg)
+        if reply.get("promoted"):
+            with self._stats_lock:
+                self._adapt_log[device] = msg["train_indices"]
+        return {
+            key: reply.get(key)
+            for key in (
+                "device",
+                "promoted",
+                "version",
+                "rho_current",
+                "rho_candidate",
+                "reason",
+                "seconds",
+            )
+        }
+
     def num_architectures(self) -> int | None:
         """Table size for request validation, when the space is resolvable."""
         task = self.task if self.task is not None else self.spec.task
@@ -693,6 +812,17 @@ class ShardedRouter:
         return sum(
             1 for h in self._handles if h is not None and h.process.is_alive()
         )
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Shards at/over the consecutive-spawn-failure threshold (the
+        respawn circuit breaker tripped; ``/healthz`` reports them)."""
+        with self._stats_lock:
+            return [
+                wid
+                for wid, failures in enumerate(self._spawn_failures)
+                if failures >= self.spawn_failure_threshold
+            ]
 
     @property
     def queue_depth(self) -> int:
@@ -740,6 +870,7 @@ class ShardedRouter:
                             "plan_cache_entries",
                             "plan_buffer_bytes",
                             "score_cache_entries",
+                            "predictor_versions",
                         ):
                             entry[key] = reply.get(key)
                 except (TransportError, OSError, TimeoutError):
@@ -759,19 +890,30 @@ class ShardedRouter:
                     aggregate[key] = aggregate.get(key, 0) + value
         if complete:
             aggregate["warmup_complete"] = all(complete)
+        # Device affinity means each device's version counter lives on
+        # exactly one worker — the fleet view is a plain merge.
+        versions: dict[str, int] = {}
+        for entry in per_worker:
+            versions.update(entry.get("predictor_versions") or {})
         with self._stats_lock:
             deaths, respawns, retries = (
                 self.deaths_total,
                 self.respawns_total,
                 self.retries_total,
             )
+            spawn_failures = list(self._spawn_failures)
+            spawn_failures_total = self.spawn_failures_total
         return {
             "workers_alive": self.workers_alive,
             "workers_total": self.n_workers,
             "worker_deaths_total": deaths,
             "worker_respawns_total": respawns,
             "retries_total": retries,
+            "spawn_failures_total": spawn_failures_total,
+            "shard_spawn_failures": spawn_failures,
+            "degraded_shards": self.degraded_shards,
             "shard_queue_depths": self.queue_depths,
+            "predictor_versions": versions,
             "per_worker": per_worker,
             "session": aggregate,
         }

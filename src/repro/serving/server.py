@@ -13,9 +13,12 @@ network service.  Three pieces, each usable on its own:
 * :class:`ServerMetrics` — thread-safe counters plus batch-size and
   request-latency histograms, serialized by ``GET /metrics``.
 * :class:`PredictorServer` — a stdlib ``ThreadingHTTPServer`` exposing the
-  JSON API (``POST /predict``, ``GET /devices``, ``GET /healthz``,
-  ``GET /metrics``) with graceful shutdown: stop accepting, then drain
-  every queued prediction before the dispatcher exits.
+  JSON API (``POST /predict``, ``POST /measurements``, ``GET /devices``,
+  ``GET /healthz``, ``GET /metrics``) with graceful shutdown: stop
+  accepting, then drain every queued prediction before the dispatcher
+  exits.  ``/measurements`` feeds an optional
+  :class:`~repro.serving.adaptation.AdaptationManager` (drift-gated
+  background re-adaptation); the manager's lifecycle rides the server's.
 
 The server only requires ``predict_batch(device, indices) -> scores`` (or
 the :class:`~repro.core.estimator.LatencyEstimator` ``predict`` form) from
@@ -416,7 +419,11 @@ class _Handler(BaseHTTPRequestHandler):
         app = self.server.app
         path = urlsplit(self.path).path
         body, body_err = self._read_body()
-        if path != "/predict":
+        handler = {
+            "/predict": app.handle_predict,
+            "/measurements": app.handle_measurements,
+        }.get(path)
+        if handler is None:
             self._json(404, {"error": f"unknown path {path!r}"})
             return
         app._request_started()
@@ -431,7 +438,7 @@ class _Handler(BaseHTTPRequestHandler):
                     except json.JSONDecodeError as exc:
                         status, payload = 400, {"error": f"invalid JSON body: {exc}"}
                     else:
-                        status, payload = app.handle_predict(payload_in)
+                        status, payload = handler(payload_in)
             except Exception as exc:  # never let a handler thread die silently
                 status, payload = 500, {"error": f"internal error: {exc}"}
             app.metrics.record_request(time.perf_counter() - t0, error=status >= 400)
@@ -456,6 +463,12 @@ class PredictorServer:
     max_indices: cap on architectures per request (a single request is
         never split across windows, so without a cap one client could
         monopolize the dispatcher with an arbitrarily large forward).
+    adaptation: optional
+        :class:`~repro.serving.adaptation.AdaptationManager` fed by
+        ``POST /measurements``.  The server owns its lifecycle — started
+        with :meth:`start`, stopped first in :meth:`shutdown` (an
+        in-flight re-adapt must finish while the backend still answers) —
+        and surfaces its state in ``/healthz`` and ``/metrics``.
 
     Use as a context manager or call :meth:`start` / :meth:`shutdown`;
     :meth:`serve_forever` blocks (the ``repro serve`` CLI entry point).
@@ -470,8 +483,10 @@ class PredictorServer:
         max_wait_ms: float = 5.0,
         request_timeout_s: float = 300.0,
         max_indices: int = 4096,
+        adaptation=None,
     ):
         self.session = session
+        self.adaptation = adaptation
         self.host = host
         self.port = port
         self.request_timeout_s = float(request_timeout_s)
@@ -495,6 +510,9 @@ class PredictorServer:
         self._thread: threading.Thread | None = None
         self._shutdown_lock = threading.Lock()
         self._running = False
+        # Set by shutdown(); wait() parks on it instead of poll-sleeping, so
+        # a drain begins the instant it is requested.
+        self._stopped = threading.Event()
         # In-flight /predict responses; shutdown waits for this to drain so
         # "every accepted request is answered" holds through process exit
         # (handler threads are daemonic and would otherwise die mid-write).
@@ -515,7 +533,10 @@ class PredictorServer:
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(target=self._httpd.serve_forever, name="http-server", daemon=True)
         self._thread.start()
+        self._stopped.clear()
         self._running = True
+        if self.adaptation is not None:
+            self.adaptation.start()
         return self
 
     def shutdown(self) -> None:
@@ -524,6 +545,11 @@ class PredictorServer:
             if not self._running:
                 return
             self._running = False
+            self._stopped.set()
+        if self.adaptation is not None:
+            # First: a background re-adapt in flight needs the batcher (and,
+            # sharded, the workers) alive to finish or fail cleanly.
+            self.adaptation.stop()
         self._httpd.shutdown()
         self._thread.join()
         self.batcher.stop()  # drains: every accepted request still answers
@@ -550,10 +576,14 @@ class PredictorServer:
 
     def wait(self) -> None:
         """Block while the server runs; returns on ``KeyboardInterrupt``
-        (without shutting down — the caller decides when to drain)."""
+        (without shutting down — the caller decides when to drain).
+
+        Event-driven: parks on the shutdown event rather than polling, so
+        a concurrent :meth:`shutdown` releases the waiter immediately
+        instead of after the next poll tick.
+        """
         try:
-            while self._running:
-                time.sleep(0.5)
+            self._stopped.wait()
         except KeyboardInterrupt:
             pass
 
@@ -619,6 +649,46 @@ class PredictorServer:
             return 500, {"error": f"predictor produced non-finite scores for device {device!r}"}
         return 200, {"device": device, "count": len(out), "scores": out}
 
+    def handle_measurements(self, payload) -> tuple[int, dict]:
+        """Validate one ``POST /measurements`` payload and ingest it.
+
+        Payload shape mirrors ``/predict``: ``{"device": d, "indices":
+        [...], "latencies": [...]}`` — parallel arrays of architecture
+        indices and their *observed* latencies on the device.  Ingest is
+        all-or-nothing; a rejected batch answers 400 with the named
+        rejection ``kind`` (see
+        :class:`~repro.serving.adaptation.MeasurementError`) and mutates
+        nothing.
+        """
+        from repro.serving.adaptation import MeasurementError
+
+        if self.adaptation is None:
+            return 404, {"error": "online adaptation is not enabled on this server"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "body must be a JSON object"}
+        device = payload.get("device")
+        indices = payload.get("indices")
+        latencies = payload.get("latencies")
+        if not isinstance(device, str) or not device:
+            return 400, {"error": "'device' must be a non-empty string"}
+        if not isinstance(indices, list) or not indices:
+            return 400, {"error": "'indices' must be a non-empty list of integers"}
+        if not all(isinstance(i, int) and not isinstance(i, bool) for i in indices):
+            return 400, {"error": "'indices' must contain only integers"}
+        if not isinstance(latencies, list) or len(latencies) != len(indices):
+            return 400, {
+                "error": "'latencies' must be a list of numbers, one per index"
+            }
+        if not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in latencies
+        ):
+            return 400, {"error": "'latencies' must contain only numbers"}
+        try:
+            result = self.adaptation.ingest(device, indices, latencies)
+        except MeasurementError as exc:
+            return 400, {"error": str(exc), "kind": exc.kind}
+        return 200, result
+
     def health(self) -> dict:
         pipeline = getattr(self.session, "pipeline", None)
         payload = {
@@ -637,6 +707,21 @@ class PredictorServer:
             payload["workers_alive"] = alive
             payload["workers_total"] = total
             if alive < total:
+                payload["status"] = "degraded"
+            # Shards whose respawn circuit breaker tripped (consecutive
+            # startup failures): they stay degraded until a spawn succeeds,
+            # unlike a plain dead worker the monitor revives next tick.
+            degraded = list(getattr(self.session, "degraded_shards", []))
+            payload["degraded_shards"] = degraded
+            if degraded:
+                payload["status"] = "degraded"
+        if self.adaptation is not None:
+            # "stalled" means the crash-loop breaker tripped: the fleet
+            # keeps serving last-good weights, but drift recovery for the
+            # named devices is paused until their backoff expires.
+            adapt_health = self.adaptation.health()
+            payload["adaptation"] = adapt_health
+            if adapt_health.get("status") == "stalled":
                 payload["status"] = "degraded"
         return payload
 
@@ -668,6 +753,11 @@ class PredictorServer:
         snap["port"] = self.port
         snap["queue_depth"] = self.batcher.queue_depth
         snap["batching"] = {"max_batch": self.batcher.max_batch, "max_wait_ms": self.batcher.max_wait_ms}
+        if self.adaptation is not None:
+            # Online-adaptation observability: per-device drift scores,
+            # predictor versions, adaptation lag, and the fleet's
+            # promotion/rejection/rollback counters.
+            snap["adaptation"] = self.adaptation.snapshot()
         if self.sharded:
             return self._sharded_snapshot(snap)
         # Whether predictions replay compiled plans and whether device
@@ -701,6 +791,11 @@ class PredictorServer:
         cached_scores = getattr(self.session, "score_cache_entries", None)
         if cached_scores is not None:
             snap["score_cache_entries"] = int(cached_scores)
+        # Which install-generation each device is serving (bumps on cold
+        # adapt, warmup load, and promotion — never resets on eviction).
+        versions = getattr(self.session, "predictor_versions", None)
+        if versions is not None:
+            snap["predictor_versions"] = dict(versions)
         return snap
 
     def _sharded_snapshot(self, snap: dict) -> dict:
@@ -744,6 +839,10 @@ class PredictorServer:
         snap["score_cache_entries"] = sum(
             entry.get("score_cache_entries") or 0 for entry in rollup["per_worker"]
         )
+        # Merged across shards (device affinity: each device's counter lives
+        # on exactly one worker).  Resets with a respawned worker's session;
+        # the AdaptationManager's counters are the respawn-proof view.
+        snap["predictor_versions"] = dict(rollup.get("predictor_versions", {}))
         for key in ("plans_loaded", "plan_load_seconds", "warmup_complete"):
             if key in snap["session"]:
                 snap[key] = snap["session"][key]

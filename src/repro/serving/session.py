@@ -90,6 +90,12 @@ class SessionStats:
     plans_loaded: int = 0
     plan_load_seconds: float = 0.0
     warmup_complete: bool = False
+    # Online adaptation (see ``readapt``): shadow candidates built off the
+    # serving lock, and how each shadow evaluation ended.  A rejection means
+    # the candidate was discarded and the last-good version kept serving.
+    candidate_adapts: int = 0
+    promotions: int = 0
+    rejections: int = 0
 
     def snapshot(self) -> dict:
         """Plain-dict copy of the counters (for ``/metrics`` serialization)."""
@@ -185,6 +191,11 @@ class PredictorSession:
         # the device's adapted predictor: anything that replaces or drops a
         # hot entry flushes its scores.
         self._scores: OrderedDict[tuple[str, int], np.floating] = OrderedDict()
+        # Monotonic per-device predictor version: bumped on every install
+        # (cold adapt, pinned refresh, warmup load, promotion) and never
+        # reset by eviction — "which weights is this device serving" is
+        # answerable across the whole session lifetime.
+        self._versions: dict[str, int] = {}
         # Lock-free snapshot of the hot-LRU keys: read-only introspection
         # (/devices, hot_devices) must not stall behind a multi-second
         # cold-device adaptation holding the session lock.
@@ -265,12 +276,6 @@ class PredictorSession:
                 self._hot.move_to_end(device)
                 self._hot_names = tuple(self._hot)
                 return self._hot[device]
-            # Cold adapt (or explicit refresh): the device gets a freshly
-            # cloned predictor, so any plans traced from the old one are
-            # stale — they reference the old clone's parameters — and any
-            # memoized scores describe the old weights.
-            self._invalidate_plans(device)
-            self._invalidate_scores(device)
             if not self.pipeline.is_pretrained:
                 raise RuntimeError("no pretrained checkpoint: call pretrain() or from_checkpoint()")
             t_start = time.perf_counter()
@@ -286,37 +291,190 @@ class PredictorSession:
                     self.pipeline.space, self.pipeline.config.n_transfer_samples, rng
                 )
             idx = np.asarray(indices, dtype=np.int64)
-            predictor = self.pipeline._clone_pretrained()
-            # The clone inherits the session's precision policy before any
-            # plan exists: compiled adapt and serving plans share one dtype.
-            predictor.set_plan_dtype(self.plan_dtype)
-            init_device = None
-            if self.pipeline.config.hw_init:
-                from repro.transfer.hw_init import select_init_device
-
-                init_device = select_init_device(
-                    self.pipeline.dataset, device, idx, list(self.task.train_devices)
-                )
-            predictor.adapt(
-                device,
-                idx,
-                rng=rng,
-                config=self.pipeline.config.finetune,
-                init_from=init_device,
-                compiled=self.use_compiled_adapt,
-            )
+            predictor = self._build_adapted(device, idx, rng)
             self.stats.adapt_calls += 1
             self.stats.last_adapt_seconds = time.perf_counter() - t_start
             self.stats.adapt_seconds += self.stats.last_adapt_seconds
-            self._hot[device] = predictor
-            self._hot.move_to_end(device)
-            while len(self._hot) > self.max_hot_devices:
-                evicted, _ = self._hot.popitem(last=False)
-                self.stats.device_evictions += 1
-                self._invalidate_plans(evicted)
-                self._invalidate_scores(evicted)
-            self._hot_names = tuple(self._hot)
+            self._install(device, predictor)
             return predictor
+
+    def _build_adapted(self, device: str, idx: np.ndarray, rng) -> NASFLATPredictor:
+        """Clone the pretrained checkpoint and few-shot adapt it to
+        ``device`` on the pinned ``idx`` — *without* installing it.
+
+        Deliberately lock-free: the clone is private until installed, the
+        pretrained state and dataset are read-only after ``pretrain()``,
+        and autodiff mode is thread-local — so a background candidate
+        build runs concurrently with live serving (see
+        :meth:`adapt_candidate`).  Deterministic in ``(seed, device,
+        idx)`` given the session's config.
+        """
+        predictor = self.pipeline._clone_pretrained()
+        # The clone inherits the session's precision policy before any
+        # plan exists: compiled adapt and serving plans share one dtype.
+        predictor.set_plan_dtype(self.plan_dtype)
+        init_device = None
+        if self.pipeline.config.hw_init:
+            from repro.transfer.hw_init import select_init_device
+
+            init_device = select_init_device(
+                self.pipeline.dataset, device, idx, list(self.task.train_devices)
+            )
+        predictor.adapt(
+            device,
+            idx,
+            rng=rng,
+            config=self.pipeline.config.finetune,
+            init_from=init_device,
+            compiled=self.use_compiled_adapt,
+        )
+        return predictor
+
+    def _install(self, device: str, predictor: NASFLATPredictor) -> None:
+        """Atomically make ``predictor`` the served version for ``device``
+        (caller holds the lock).
+
+        The swap invalidates exactly what the new weights obsolete — the
+        device's compiled plans (traced from the old clone's parameters)
+        and its memoized scores — bumps the device's version, and applies
+        LRU eviction.  Until this point the old predictor served every
+        request, which is what makes shadow-evaluated promotion (and
+        rollback-by-not-installing) safe under concurrent traffic.
+        """
+        self._invalidate_plans(device)
+        self._invalidate_scores(device)
+        self._hot[device] = predictor
+        self._hot.move_to_end(device)
+        self._versions[device] = self._versions.get(device, 0) + 1
+        while len(self._hot) > self.max_hot_devices:
+            evicted, _ = self._hot.popitem(last=False)
+            self.stats.device_evictions += 1
+            self._invalidate_plans(evicted)
+            self._invalidate_scores(evicted)
+        self._hot_names = tuple(self._hot)
+
+    # ------------------------------------------------------ online adaptation
+    def adapt_candidate(self, device: str, indices) -> NASFLATPredictor:
+        """Build a *shadow* candidate for ``device`` on pinned ``indices``
+        without touching the served version.
+
+        Runs the full clone + fine-tune **off the serving lock** — live
+        ``predict_batch`` traffic proceeds concurrently — and returns the
+        candidate for shadow evaluation.  Nothing is installed: discarding
+        the return value *is* the rollback.  Deterministic in ``(seed,
+        device, indices)``, so a promoted candidate can be rebuilt
+        bitwise-identically after a crash from the pinned slice alone.
+        """
+        if not self.pipeline.is_pretrained:
+            raise RuntimeError("no pretrained checkpoint: call pretrain() or from_checkpoint()")
+        idx = np.asarray(indices, dtype=np.int64)
+        rng = self._device_rng(device)
+        predictor = self._build_adapted(device, idx, rng)
+        with self._lock:
+            self.stats.candidate_adapts += 1
+        return predictor
+
+    def _shadow_scores(
+        self, device: str, predictor: NASFLATPredictor, idx: np.ndarray
+    ) -> np.ndarray:
+        """Score ``idx`` with an *uninstalled* candidate (eager, no caches).
+
+        The candidate has no compiled plans and must not pollute the
+        serving caches, so this is a plain eager forward under
+        :func:`~repro.nnlib.no_grad`; only the batch encode briefly takes
+        the session lock.
+        """
+        adj, ops, supp = self._encode_batch(idx)
+        with no_grad():
+            return predictor.predict(adj, ops, device, supp, batch_size=len(idx))
+
+    def promote(self, device: str, predictor: NASFLATPredictor) -> int:
+        """Hot-swap ``predictor`` in as ``device``'s served version.
+
+        The swap itself is a brief locked :meth:`_install` — plan + score
+        caches for the device flush, the version bumps — so concurrent
+        ``predict_batch`` callers see either the old version or the new
+        one, never a mix.  Returns the new version number.
+        """
+        with self._lock:
+            self._install(device, predictor)
+            self.stats.promotions += 1
+            return self._versions[device]
+
+    def readapt(
+        self,
+        device: str,
+        train_indices,
+        val_indices,
+        val_observed,
+        *,
+        min_improvement: float = 0.0,
+    ) -> dict:
+        """One drift-recovery attempt: build a candidate on fresh
+        measurements, shadow-evaluate it, and promote only if it wins.
+
+        ``train_indices`` pin the candidate's fine-tune slice;
+        ``val_indices``/``val_observed`` are the held-back validation
+        measurements neither the current version nor the candidate trained
+        on.  Both versions are scored on the validation slice and ranked
+        against the observations (Spearman, via
+        :func:`repro.serving.adaptation.rank_correlation`); the candidate
+        is installed only when ``rho_candidate > rho_current +
+        min_improvement``.  A losing — or rank-degenerate — candidate is
+        discarded, which *is* the rollback: the last-good version never
+        stopped serving.  Returns a report dict (``promoted``,
+        ``version``, ``rho_current``, ``rho_candidate``, ``reason``,
+        ``seconds``).
+        """
+        from repro.serving.adaptation import rank_correlation
+
+        t0 = time.perf_counter()
+        train_idx = np.asarray(train_indices, dtype=np.int64)
+        val_idx = np.asarray(val_indices, dtype=np.int64)
+        observed = np.asarray(val_observed, dtype=np.float64)
+        if len(val_idx) != len(observed):
+            raise ValueError("val_indices and val_observed must have equal length")
+        # Current version's view of the validation slice: served through the
+        # normal predict path (adapts the device cold if it never served).
+        current_scores = self.predict_batch(device, val_idx)
+        candidate = self.adapt_candidate(device, train_idx)
+        candidate_scores = self._shadow_scores(device, candidate, val_idx)
+        rho_current = rank_correlation(current_scores, observed)
+        rho_candidate = rank_correlation(candidate_scores, observed)
+        report = {
+            "device": device,
+            "promoted": False,
+            "rho_current": rho_current,
+            "rho_candidate": rho_candidate,
+            "reason": None,
+        }
+        if rho_candidate is None:
+            report["reason"] = "candidate-rank-degenerate"
+        elif rho_current is not None and not (rho_candidate > rho_current + min_improvement):
+            report["reason"] = (
+                f"no-improvement: candidate rho {rho_candidate:.4f} vs "
+                f"current {rho_current:.4f} (min_improvement {min_improvement:g})"
+            )
+        if report["reason"] is not None:
+            with self._lock:
+                self.stats.rejections += 1
+                report["version"] = self._versions.get(device, 0)
+        else:
+            report["promoted"] = True
+            report["version"] = self.promote(device, candidate)
+        report["seconds"] = time.perf_counter() - t0
+        return report
+
+    def predictor_version(self, device: str) -> int:
+        """Installed-version counter for ``device`` (0 = never installed)."""
+        with self._lock:
+            return self._versions.get(device, 0)
+
+    @property
+    def predictor_versions(self) -> dict[str, int]:
+        """Per-device install counters (monotonic; survive eviction)."""
+        with self._lock:
+            return dict(self._versions)
 
     def _invalidate_plans(self, device: str) -> None:
         """Drop compiled plans for ``device`` (caller holds the lock)."""
@@ -434,20 +592,11 @@ class PredictorSession:
                 if wanted is not None and device not in wanted:
                     continue
                 predictor = self._load_warm_predictor(bundle_dir / entry["checkpoint"])
-                self._invalidate_plans(device)
-                self._invalidate_scores(device)
-                self._hot[device] = predictor
-                self._hot.move_to_end(device)
+                self._install(device, predictor)
                 for plan_entry in entry.get("plans", []):
                     bucket, _ = predictor.load_plan(bundle_dir / plan_entry["path"])
                     self._plans.add((device, bucket))
                     loaded += 1
-                while len(self._hot) > self.max_hot_devices:
-                    evicted, _ = self._hot.popitem(last=False)
-                    self.stats.device_evictions += 1
-                    self._invalidate_plans(evicted)
-                    self._invalidate_scores(evicted)
-            self._hot_names = tuple(self._hot)
             self.stats.plans_loaded += loaded
             self.stats.plan_load_seconds += time.perf_counter() - t0
             self.stats.warmup_complete = True

@@ -27,6 +27,12 @@ serve it, reply, then recv again, so arena reuse is safe.  Operations:
 ``adapt``     re-adapt a device, optionally pinning explicit measurement
               ``indices`` (mid-stream refresh; deterministic in
               ``(seed, device, indices)``).
+``readapt``   drift-recovery attempt: build a shadow candidate on the
+              pinned ``train_indices``, score both versions on the
+              held-back ``val_indices`` against ``val_observed``, promote
+              only on rank-quality improvement (see
+              :meth:`PredictorSession.readapt`).  Occupies the worker for
+              the fine-tune — a documented trade-off of the serial loop.
 ``metrics``   per-worker observability snapshot: session stats, hot
               devices, resident plan gauges, pid.
 ``ping``      liveness probe.
@@ -135,6 +141,7 @@ def _snapshot(session, worker_id: int) -> dict:
         "plan_buffer_bytes": int(session.plan_buffer_bytes),
         "plan_dtype": getattr(session, "plan_dtype", "f64"),
         "score_cache_entries": int(getattr(session, "score_cache_entries", 0)),
+        "predictor_versions": dict(getattr(session, "predictor_versions", {})),
     }
 
 
@@ -245,6 +252,15 @@ def _handle(session, worker_id: int, req: dict) -> dict:
         elif op == "adapt":
             session.adapt(req["device"], indices=req.get("indices"))
             reply.update(ok=True, device=req["device"])
+        elif op == "readapt":
+            result = session.readapt(
+                req["device"],
+                req["train_indices"],
+                req["val_indices"],
+                req["val_observed"],
+                min_improvement=float(req.get("min_improvement", 0.0)),
+            )
+            reply.update(ok=True, **result)
         elif op == "metrics":
             reply.update(ok=True, **_snapshot(session, worker_id))
         elif op == "ping":

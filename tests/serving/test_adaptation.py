@@ -1,0 +1,469 @@
+"""Unit suite for the online-adaptation service: drift detection,
+measurement ingest, and the promote/rollback/backoff state machine.
+
+Everything here runs against a stub backend — the state machine must be
+testable without paying for a real fine-tune.  The end-to-end behavior
+(real candidates, bitwise rollback guarantees, sharded fan-out) lives in
+``test_adaptation_faults.py``.
+"""
+import numpy as np
+import pytest
+
+from repro.serving.adaptation import (
+    AdaptationManager,
+    DriftDetector,
+    MeasurementError,
+    rank_correlation,
+)
+
+DEVICE = "fpga"
+
+
+class StubBackend:
+    """Deterministic backend: scores == arch index; readapt programmable."""
+
+    def __init__(self, n_archs=1000):
+        self.n_archs = n_archs
+        self.readapt_calls = []
+        self.version = 1
+        # Each queued entry is a dict reply or an Exception to raise.
+        self.readapt_results = []
+
+    def num_architectures(self):
+        return self.n_archs
+
+    def predict_batch(self, device, indices):
+        return np.asarray(indices, dtype=np.float64)
+
+    def readapt(self, device, train_indices, val_indices, val_observed, *, min_improvement=0.0):
+        self.readapt_calls.append(
+            {
+                "device": device,
+                "train": list(train_indices),
+                "val": list(val_indices),
+                "observed": list(val_observed),
+                "min_improvement": min_improvement,
+            }
+        )
+        result = self.readapt_results.pop(0) if self.readapt_results else {"promoted": False}
+        if isinstance(result, Exception):
+            raise result
+        if result.get("promoted"):
+            self.version += 1
+            result.setdefault("version", self.version)
+        return dict(result, device=device)
+
+
+def make_manager(backend=None, **kwargs):
+    backend = backend if backend is not None else StubBackend()
+    kwargs.setdefault("min_window", 4)
+    kwargs.setdefault("adapt_interval_s", 60.0)  # driven synchronously
+    kwargs.setdefault("jitter_rng", np.random.default_rng(0))
+    return backend, AdaptationManager(backend, **kwargs)
+
+
+# ---------------------------------------------------------------- correlation
+class TestRankCorrelation:
+    def test_perfect_agreement(self):
+        assert rank_correlation([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_reversal(self):
+        assert rank_correlation([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_is_invisible(self):
+        pred = np.array([0.1, 0.4, 0.2, 0.9])
+        assert rank_correlation(pred, np.exp(pred)) == pytest.approx(1.0)
+
+    def test_constant_predictions_undefined(self):
+        assert rank_correlation([5.0, 5.0, 5.0], [1.0, 2.0, 3.0]) is None
+
+    def test_constant_observations_undefined(self):
+        assert rank_correlation([1.0, 2.0, 3.0], [7.0, 7.0, 7.0]) is None
+
+    def test_fewer_than_two_points_undefined(self):
+        assert rank_correlation([1.0], [2.0]) is None
+        assert rank_correlation([], []) is None
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            rank_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+# --------------------------------------------------------------- drift gate
+class TestDriftDetector:
+    def test_below_min_window_is_not_drift(self):
+        verdict = DriftDetector(threshold=0.6, min_window=8).evaluate(
+            [1.0, 2.0, 3.0], [3.0, 2.0, 1.0]
+        )
+        assert verdict.score is None
+        assert not verdict.drifted
+        assert "min_window" in verdict.reason
+
+    def test_degenerate_window_is_not_drift(self):
+        # Constant observations: no rank ordering exists to disagree with.
+        # The eval-metrics spearman() would clamp this to 0.0, which a
+        # threshold of 0.6 would misread as catastrophic drift.
+        verdict = DriftDetector(threshold=0.6, min_window=4).evaluate(
+            [1.0, 2.0, 3.0, 4.0], [5.0, 5.0, 5.0, 5.0]
+        )
+        assert verdict.score is None
+        assert not verdict.drifted
+        assert "degenerate" in verdict.reason
+
+    def test_anticorrelated_window_drifts(self):
+        verdict = DriftDetector(threshold=0.6, min_window=4).evaluate(
+            [1.0, 2.0, 3.0, 4.0], [4.0, 3.0, 2.0, 1.0]
+        )
+        assert verdict.score == pytest.approx(-1.0)
+        assert verdict.drifted
+
+    def test_correlated_window_is_healthy(self):
+        verdict = DriftDetector(threshold=0.6, min_window=4).evaluate(
+            [1.0, 2.0, 3.0, 4.0], [1.1, 2.2, 3.1, 4.4]
+        )
+        assert verdict.score == pytest.approx(1.0)
+        assert not verdict.drifted
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=1.5)
+        with pytest.raises(ValueError):
+            DriftDetector(min_window=1)
+
+
+# -------------------------------------------------------------------- ingest
+class TestIngest:
+    def test_accepts_and_reports(self):
+        _, mgr = make_manager()
+        out = mgr.ingest(DEVICE, [1, 2, 3], [0.1, 0.2, 0.3])
+        assert out["accepted"] == 3
+        assert out["coalesced"] == 0
+        assert out["window"] == 3
+        assert mgr.measurements_total == 3
+        assert mgr.window_of(DEVICE) == {1: 0.1, 2: 0.2, 3: 0.3}
+
+    def test_duplicate_arch_latest_wins(self):
+        _, mgr = make_manager()
+        mgr.ingest(DEVICE, [1, 2], [0.1, 0.2])
+        out = mgr.ingest(DEVICE, [2, 3], [0.9, 0.3])
+        assert out["coalesced"] == 1
+        assert mgr.window_of(DEVICE)[2] == 0.9
+        assert mgr.duplicates_coalesced_total == 1
+        # De-dup keeps the window one-entry-per-arch, not append-only.
+        assert out["window"] == 3
+
+    def test_window_is_bounded(self):
+        _, mgr = make_manager(min_window=2, max_window=4)
+        mgr.ingest(DEVICE, list(range(10)), [float(i) for i in range(10)])
+        window = mgr.window_of(DEVICE)
+        assert len(window) == 4
+        assert set(window) == {6, 7, 8, 9}  # oldest evicted
+
+    def test_nan_latency_rejected_by_name(self):
+        _, mgr = make_manager()
+        with pytest.raises(MeasurementError) as err:
+            mgr.ingest(DEVICE, [1, 2], [0.1, float("nan")])
+        assert err.value.kind == "non-finite-latency"
+
+    def test_inf_latency_rejected_by_name(self):
+        _, mgr = make_manager()
+        with pytest.raises(MeasurementError) as err:
+            mgr.ingest(DEVICE, [1], [float("inf")])
+        assert err.value.kind == "non-finite-latency"
+
+    def test_unknown_architecture_rejected_by_name(self):
+        backend, mgr = make_manager(StubBackend(n_archs=100))
+        with pytest.raises(MeasurementError) as err:
+            mgr.ingest(DEVICE, [1, 100], [0.1, 0.2])
+        assert err.value.kind == "unknown-architecture"
+
+    @pytest.mark.parametrize(
+        "archs,latencies",
+        [
+            ([], []),
+            ([1, 2], [0.1]),
+            ([1, True], [0.1, 0.2]),
+            ([1, 2.5], [0.1, 0.2]),
+        ],
+    )
+    def test_malformed_payloads_rejected(self, archs, latencies):
+        _, mgr = make_manager()
+        with pytest.raises(MeasurementError) as err:
+            mgr.ingest(DEVICE, archs, latencies)
+        assert err.value.kind == "invalid-measurement"
+
+    def test_rejection_is_all_or_nothing(self):
+        _, mgr = make_manager()
+        mgr.ingest(DEVICE, [1], [0.5])
+        with pytest.raises(MeasurementError):
+            mgr.ingest(DEVICE, [2, 3], [0.2, float("nan")])
+        # The poisoned batch left no partial state behind.
+        assert mgr.window_of(DEVICE) == {1: 0.5}
+        assert mgr.measurements_total == 1
+        assert mgr.measurements_rejected_total == 1
+
+
+# -------------------------------------------------------------- state machine
+def ingest_drifted(mgr, n=8):
+    """Window whose observations exactly reverse the stub's predictions."""
+    archs = list(range(1, n + 1))
+    mgr.ingest(DEVICE, archs, [float(n + 1 - a) for a in archs])
+    return archs
+
+
+def ingest_healthy(mgr, n=8):
+    archs = list(range(1, n + 1))
+    mgr.ingest(DEVICE, archs, [float(a) for a in archs])
+    return archs
+
+
+class TestCheckDevice:
+    def test_unknown_device_is_none(self):
+        _, mgr = make_manager()
+        assert mgr.check_device("never-seen") is None
+
+    def test_window_too_small(self):
+        _, mgr = make_manager(min_window=8)
+        mgr.ingest(DEVICE, [1, 2], [2.0, 1.0])
+        report = mgr.check_device(DEVICE)
+        assert report["action"] == "window-too-small"
+
+    def test_healthy_device_does_nothing(self):
+        backend, mgr = make_manager()
+        ingest_healthy(mgr)
+        report = mgr.check_device(DEVICE)
+        assert report["action"] == "none"
+        assert not report["drifted"]
+        assert report["drift"] == pytest.approx(1.0)
+        assert backend.readapt_calls == []
+
+    def test_auto_adapt_off_observes_but_never_adapts(self):
+        backend, mgr = make_manager(auto_adapt=False)
+        ingest_drifted(mgr)
+        report = mgr.check_device(DEVICE)
+        assert report["drifted"]
+        assert report["action"] == "auto-adapt-disabled"
+        assert backend.readapt_calls == []
+        # Drift gauges stay live for /metrics even though nothing triggers.
+        assert mgr.snapshot()["devices"][DEVICE]["drift"] == pytest.approx(-1.0)
+        assert mgr.health()["status"] == "disabled"
+
+    def test_drift_triggers_shadow_attempt_with_holdback_split(self):
+        backend, mgr = make_manager(validation_fraction=0.25)
+        archs = ingest_drifted(mgr, n=8)
+        backend.readapt_results.append({"promoted": True})
+        report = mgr.check_device(DEVICE)
+        assert report["action"] == "promoted"
+        call = backend.readapt_calls[0]
+        # Newest 2 (= max(2, 8*0.25)) held back for validation, older 6 train.
+        assert call["val"] == archs[-2:]
+        assert call["train"] == archs[:-2]
+        assert call["observed"] == [2.0, 1.0]
+        assert mgr.promotions_total == 1
+        assert mgr.snapshot()["devices"][DEVICE]["version"] == 2
+        assert report["adaptation_lag_s"] >= 0.0
+        assert mgr.last_adaptation_lag_s is not None
+
+    def test_train_slice_is_capped(self):
+        backend, mgr = make_manager(max_train_samples=3, min_window=8)
+        ingest_drifted(mgr, n=12)
+        backend.readapt_results.append({"promoted": True})
+        mgr.check_device(DEVICE)
+        assert len(backend.readapt_calls[0]["train"]) == 3
+
+    def test_no_new_measurements_gate(self):
+        backend, mgr = make_manager()
+        ingest_drifted(mgr)
+        backend.readapt_results.append({"promoted": False})
+        assert mgr.check_device(DEVICE)["action"] == "rejected"
+        # Same window again: nothing new to learn from, no second attempt
+        # (re-adapting on identical pins would rebuild the identical
+        # candidate and lose the same shadow eval).
+        assert mgr.check_device(DEVICE)["action"] == "no-new-measurements"
+        assert len(backend.readapt_calls) == 1
+
+    def test_rejection_rolls_back_and_backs_off(self):
+        backend, mgr = make_manager(backoff_base_s=120.0)
+        ingest_drifted(mgr)
+        backend.readapt_results.append({"promoted": False, "reason": "no-improvement"})
+        report = mgr.check_device(DEVICE)
+        assert report["action"] == "rejected"
+        assert report["reason"] == "no-improvement"
+        assert mgr.rejections_total == 1
+        assert mgr.rollbacks_total == 1
+        # Fresh evidence arrives, but the backoff window holds.
+        ingest_drifted(mgr)
+        report = mgr.check_device(DEVICE)
+        assert report["action"] == "backing-off"
+        assert 0 < report["retry_in_s"] <= 150.0
+        snap = mgr.snapshot()["devices"][DEVICE]
+        assert snap["last_rejection_reason"] == "no-improvement"
+        assert snap["consecutive_failures"] == 1
+
+    def test_backoff_grows_exponentially_and_is_bounded(self):
+        _, mgr = make_manager(
+            backoff_base_s=1.0, backoff_max_s=4.0, failure_threshold=99
+        )
+        # Drive _record_setback directly; jitter_rng(0) is deterministic.
+        from repro.serving.adaptation import _DeviceState
+
+        state = _DeviceState()
+        delays = []
+        for _ in range(5):
+            mgr._record_setback(state)
+            delays.append(state.last_backoff_s)
+        # Jitter is +/-25%: each delay sits inside its doubling envelope...
+        for i, d in enumerate(delays):
+            nominal = min(4.0, 2.0**i)
+            assert 0.75 * nominal <= d <= 1.25 * nominal
+        # ...and the cap keeps the tail bounded.
+        assert max(delays) <= 4.0 * 1.25
+
+    def test_crash_loop_stalls_the_circuit(self):
+        backend, mgr = make_manager(failure_threshold=2, backoff_base_s=0.0)
+        ingest_drifted(mgr)
+        backend.readapt_results.append(RuntimeError("worker exploded"))
+        report = mgr.check_device(DEVICE)
+        assert report["action"] == "failed"
+        assert "worker exploded" in report["error"]
+        assert mgr.failures_total == 1
+        assert mgr.health()["status"] == "ok"  # one failure: breaker still closed
+        ingest_drifted(mgr)
+        backend.readapt_results.append(RuntimeError("worker exploded again"))
+        assert mgr.check_device(DEVICE)["action"] == "failed"
+        # Threshold reached: circuit open, /healthz reports it by name.
+        assert mgr.health() == {"status": "stalled", "stalled_devices": [DEVICE]}
+        assert mgr.snapshot()["devices"][DEVICE]["state"] == "stalled"
+        assert mgr.rollbacks_total == 2
+
+    def test_promotion_closes_the_circuit(self):
+        backend, mgr = make_manager(failure_threshold=1, backoff_base_s=0.0)
+        ingest_drifted(mgr)
+        backend.readapt_results.append(RuntimeError("boom"))
+        mgr.check_device(DEVICE)
+        assert mgr.health()["status"] == "stalled"
+        ingest_drifted(mgr)
+        backend.readapt_results.append({"promoted": True})
+        report = mgr.check_device(DEVICE)
+        assert report["action"] == "promoted"
+        assert mgr.health()["status"] == "ok"
+        snap = mgr.snapshot()["devices"][DEVICE]
+        assert snap["consecutive_failures"] == 0
+        assert snap["state"] == "idle"
+
+    def test_background_loop_reacts_to_ingest_wake(self):
+        backend, mgr = make_manager(adapt_interval_s=30.0, backoff_base_s=0.0)
+        backend.readapt_results.append({"promoted": True})
+        mgr.start()
+        try:
+            # The interval is 30s; only the ingest wake can trigger this fast.
+            ingest_drifted(mgr)
+            deadline = __import__("time").monotonic() + 10.0
+            while mgr.promotions_total == 0:
+                assert __import__("time").monotonic() < deadline, (
+                    "background loop never picked up the drifted window"
+                )
+                __import__("time").sleep(0.02)
+        finally:
+            mgr.stop()
+        assert mgr.promotions_total == 1
+
+    def test_snapshot_shape(self):
+        _, mgr = make_manager()
+        ingest_healthy(mgr)
+        mgr.check_device(DEVICE)
+        snap = mgr.snapshot()
+        for key in (
+            "auto_adapt",
+            "drift_threshold",
+            "measurements_total",
+            "drift_checks_total",
+            "promotions_total",
+            "rejections_total",
+            "failures_total",
+            "rollbacks_total",
+            "adaptation_lag_seconds",
+            "devices",
+        ):
+            assert key in snap
+        dev = snap["devices"][DEVICE]
+        assert dev["state"] == "idle"
+        assert dev["window"] == 8
+        assert dev["version"] == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            make_manager(adapt_interval_s=0.0)
+        with pytest.raises(ValueError):
+            make_manager(validation_fraction=1.0)
+        with pytest.raises(ValueError):
+            make_manager(min_window=8, max_window=4)
+        with pytest.raises(ValueError):
+            make_manager(failure_threshold=0)
+
+
+# -------------------------------------------------- HTTP validation (no sockets)
+class TestMeasurementsEndpoint:
+    """``handle_measurements`` routing/validation, driven without sockets
+    (exactly like the existing ``handle_predict`` unit tests)."""
+
+    def make_server(self, **mgr_kwargs):
+        from repro.serving.server import PredictorServer
+
+        backend, mgr = make_manager(**mgr_kwargs)
+        server = PredictorServer(backend, adaptation=mgr)
+        return backend, mgr, server
+
+    def test_not_enabled_is_404(self):
+        from repro.serving.server import PredictorServer
+
+        status, payload = PredictorServer(StubBackend()).handle_measurements(
+            {"device": DEVICE, "indices": [1], "latencies": [0.1]}
+        )
+        assert status == 404
+        assert "not enabled" in payload["error"]
+
+    def test_accepts_and_reports(self):
+        _, mgr, server = self.make_server()
+        status, payload = server.handle_measurements(
+            {"device": DEVICE, "indices": [1, 2], "latencies": [0.1, 0.2]}
+        )
+        assert status == 200
+        assert payload["accepted"] == 2
+        assert mgr.measurements_total == 2
+
+    def test_nan_latency_is_400_with_named_kind(self):
+        _, mgr, server = self.make_server()
+        status, payload = server.handle_measurements(
+            {"device": DEVICE, "indices": [1, 2], "latencies": [0.1, float("nan")]}
+        )
+        assert status == 400
+        assert payload["kind"] == "non-finite-latency"
+        assert mgr.window_of(DEVICE) == {}  # nothing half-landed
+
+    def test_unknown_architecture_is_400_with_named_kind(self):
+        _, mgr, server = self.make_server()
+        status, payload = server.handle_measurements(
+            {"device": DEVICE, "indices": [10_000], "latencies": [0.1]}
+        )
+        assert status == 400
+        assert payload["kind"] == "unknown-architecture"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not-a-dict",
+            {"indices": [1], "latencies": [0.1]},
+            {"device": "", "indices": [1], "latencies": [0.1]},
+            {"device": DEVICE, "indices": [], "latencies": []},
+            {"device": DEVICE, "indices": [1, "x"], "latencies": [0.1, 0.2]},
+            {"device": DEVICE, "indices": [1, 2], "latencies": [0.1]},
+            {"device": DEVICE, "indices": [1], "latencies": ["fast"]},
+            {"device": DEVICE, "indices": [1], "latencies": [True]},
+        ],
+    )
+    def test_malformed_payloads_are_400(self, payload):
+        _, _, server = self.make_server()
+        status, body = server.handle_measurements(payload)
+        assert status == 400
+        assert "error" in body

@@ -1,0 +1,408 @@
+"""Fault-injection suite for online adaptation: prove that nothing an
+adaptation attempt does — rejection, promotion, SIGKILL mid-flight, a
+poisoned measurement stream, a crash-looping spawn — can change what live
+``/predict`` traffic sees, except an explicit, versioned promotion.
+
+The bitwise claims all reduce to one property: adaptation is
+deterministic in ``(seed, device, indices)``, so a twin session (or a
+respawned worker replaying the pinned-adapt log) rebuilds byte-identical
+weights.  Windows are crafted so the shadow-eval outcome is *forced*:
+
+* rejection — the held-back validation observations are set to the
+  currently-served scores, giving the live predictor a perfect rank
+  correlation no candidate can strictly beat;
+* promotion — the validation observations are set to the candidate's own
+  shadow scores (built in a twin), giving the candidate a perfect score,
+  with ``min_improvement=-1e-9`` admitting the tie.
+"""
+import json
+import os
+import signal
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.predictors.training import FinetuneConfig, PretrainConfig
+from repro.serving import (
+    AdaptationManager,
+    PredictorServer,
+    PredictorSession,
+    ShardedRouter,
+    WorkerSpec,
+)
+from repro.serving.artifacts import write_bundle
+from repro.serving.router import WorkerStartupError, WorkerUnavailableError
+from repro.tasks import Task
+from repro.transfer.pipeline import PipelineConfig
+
+TABLE = 288
+DEVICES = ("fpga", "eyeriss")
+WINDOW = np.arange(40, 56)  # 16 measurements: 12 train + 4 held-back val
+PROBE = np.arange(100, 108)  # live-traffic slice, disjoint from the window
+
+
+@pytest.fixture(scope="module")
+def mini_task():
+    from repro.spaces import GenericCellSpace
+    from repro.spaces.registry import _INSTANCES
+
+    sp = GenericCellSpace("nb101", table_size=TABLE)
+    _INSTANCES[sp.name] = sp
+    return Task(
+        "T-adapt-faults",
+        sp.name,
+        train_devices=("pixel3", "pixel2"),
+        test_devices=DEVICES,
+    )
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return PipelineConfig(
+        sampler="random",
+        supplementary=None,
+        n_transfer_samples=8,
+        pretrain=PretrainConfig(samples_per_device=24, epochs=2, batch_size=16),
+        finetune=FinetuneConfig(epochs=4),
+        n_test=50,
+    )
+
+
+@pytest.fixture(scope="module")
+def spec(mini_task, cfg, tmp_path_factory):
+    root = tmp_path_factory.mktemp("adapt-faults")
+    session = PredictorSession(mini_task, cfg, seed=0).pretrain()
+    ckpt = root / "ckpt.npz"
+    session.save(ckpt)
+    write_bundle(session, root / "plans", list(DEVICES), [8, 16])
+    return WorkerSpec(checkpoint=ckpt, task=mini_task, config=cfg, plans=root / "plans")
+
+
+def fresh(spec, mini_task, cfg) -> PredictorSession:
+    """A warm twin: same checkpoint, same bundle — bitwise-equal serving."""
+    return PredictorSession.from_checkpoint(
+        spec.checkpoint, task=mini_task, config=cfg, warmup_artifacts=spec.plans
+    )
+
+
+def make_manager(backend, **kwargs):
+    kwargs.setdefault("min_window", 8)
+    kwargs.setdefault("adapt_interval_s", 60.0)  # driven synchronously
+    kwargs.setdefault("jitter_rng", np.random.default_rng(0))
+    return AdaptationManager(backend, **kwargs)
+
+
+def rejection_window(served_scores: np.ndarray) -> np.ndarray:
+    """Observations that force drift *and* shadow-eval rejection: the train
+    slice anti-correlates (drift), the held-back validation slice equals
+    the served scores (the live predictor is unbeatable there)."""
+    return np.concatenate([-served_scores[:12], served_scores[12:]])
+
+
+def _occupy(router, wid, seconds):
+    """Park shard ``wid``'s worker in a ``sleep`` RPC — the kill window."""
+    handle = router._handles[wid]
+
+    def _rpc():
+        try:
+            router._request(handle, {"op": "sleep", "seconds": seconds}, seconds + 30)
+        except Exception:
+            pass  # SIGKILL severs the socket mid-RPC; that's the point
+
+    t = threading.Thread(target=_rpc, daemon=True)
+    t.start()
+    time.sleep(0.1)  # let the frame land so the worker is provably asleep
+    return t
+
+
+def _post(url, payload):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as resp:
+        return json.loads(resp.read())
+
+
+# ------------------------------------------------------------ 1-process mode
+class TestSingleProcess:
+    def test_shadow_rejection_keeps_serving_bitwise(self, spec, mini_task, cfg):
+        device = "fpga"
+        session = fresh(spec, mini_task, cfg)
+        reference = fresh(spec, mini_task, cfg)  # untouched: the last-good bits
+        served = session.predict_batch(device, WINDOW)
+        mgr = make_manager(session)
+        mgr.ingest(device, WINDOW, rejection_window(served))
+        report = mgr.check_device(device)
+        assert report["drifted"], report
+        assert report["action"] == "rejected"
+        # Rollback is the *absence* of an install: the candidate was built
+        # and evaluated, but the served weights never changed.
+        assert session.stats.candidate_adapts == 1
+        assert session.stats.rejections == 1
+        assert session.stats.promotions == 0
+        assert session.predictor_version(device) == 1  # warmup install only
+        assert np.array_equal(
+            session.predict_batch(device, PROBE),
+            reference.predict_batch(device, PROBE),
+        )
+        snap = mgr.snapshot()
+        assert snap["rejections_total"] == 1
+        assert snap["rollbacks_total"] == 1
+        assert snap["devices"][device]["version"] == 1
+        assert snap["devices"][device]["last_rejection_reason"]
+
+    def test_promotion_is_versioned_and_deterministic(self, spec, mini_task, cfg):
+        device = "eyeriss"
+        session = fresh(spec, mini_task, cfg)
+        twin = fresh(spec, mini_task, cfg)
+        served = session.predict_batch(device, WINDOW)
+        train, val = WINDOW[:12], WINDOW[12:]
+        # The candidate is deterministic in (seed, device, train), so a twin
+        # can precompute its validation scores — observations equal to them
+        # give the candidate a perfect rank correlation.
+        candidate = twin.adapt_candidate(device, train)
+        candidate_val = twin._shadow_scores(device, candidate, val)
+        observed = np.concatenate([-served[:12], candidate_val])
+        mgr = make_manager(session, min_improvement=-1e-9)
+        mgr.ingest(device, WINDOW, observed)
+        report = mgr.check_device(device)
+        assert report["action"] == "promoted", report
+        assert report["version"] == 2
+        assert session.predictor_version(device) == 2
+        assert session.stats.promotions == 1
+        assert mgr.promotions_total == 1
+        assert mgr.snapshot()["devices"][device]["adaptation_lag_seconds"] >= 0.0
+        # The hot-swap really swapped: the bundle's weights no longer serve...
+        assert not np.array_equal(
+            session.predict_batch(device, PROBE),
+            twin.predict_batch(device, PROBE),
+        )
+        # ...and a second session applying the same pinned readapt rebuilds
+        # the promoted version bitwise (the crash-recovery property).
+        twin2 = fresh(spec, mini_task, cfg)
+        replay = twin2.readapt(device, train, val, candidate_val, min_improvement=-1e-9)
+        assert replay["promoted"]
+        assert np.array_equal(
+            session.predict_batch(device, PROBE),
+            twin2.predict_batch(device, PROBE),
+        )
+
+    def test_http_poisoned_stream_then_stall_serves_last_good(
+        self, spec, mini_task, cfg
+    ):
+        device = "fpga"
+        session = fresh(spec, mini_task, cfg)
+        reference = fresh(spec, mini_task, cfg)
+        served = reference.predict_batch(device, WINDOW)  # == the served bits
+        mgr = make_manager(
+            session,
+            adapt_interval_s=0.5,
+            failure_threshold=1,
+            backoff_base_s=60.0,
+        )
+        with PredictorServer(session, adaptation=mgr) as server:
+            probe = [int(i) for i in PROBE]
+            _, baseline = _post(
+                f"{server.url}/predict", {"device": device, "indices": probe}
+            )
+            # Poisoned stream: named 400s, and nothing half-lands.
+            status, body = _post(
+                f"{server.url}/measurements",
+                {"device": device, "indices": [1, 2], "latencies": [0.1, float("nan")]},
+            )
+            assert status == 400
+            assert body["kind"] == "non-finite-latency"
+            status, body = _post(
+                f"{server.url}/measurements",
+                {"device": device, "indices": [0, TABLE], "latencies": [0.1, 0.2]},
+            )
+            assert status == 400
+            assert body["kind"] == "unknown-architecture"
+            assert mgr.window_of(device) == {}
+            # A forced-rejection window with failure_threshold=1: the
+            # background loop (woken by ingest) attempts once, rolls back,
+            # and opens the circuit.
+            status, body = _post(
+                f"{server.url}/measurements",
+                {
+                    "device": device,
+                    "indices": [int(a) for a in WINDOW],
+                    "latencies": [float(v) for v in rejection_window(served)],
+                },
+            )
+            assert status == 200
+            assert body["accepted"] == len(WINDOW)
+            deadline = time.monotonic() + 120.0
+            while True:
+                health = _get(f"{server.url}/healthz")
+                if health["adaptation"]["status"] == "stalled":
+                    break
+                assert time.monotonic() < deadline, f"never stalled: {health}"
+                time.sleep(0.1)
+            assert health["status"] == "degraded"
+            assert health["adaptation"]["stalled_devices"] == [device]
+            # Stalled means *adaptation* stopped — serving did not: /predict
+            # still answers with the last-good bits.
+            _, after = _post(
+                f"{server.url}/predict", {"device": device, "indices": probe}
+            )
+            assert after["scores"] == baseline["scores"]
+            metrics = _get(f"{server.url}/metrics")
+            adapt = metrics["adaptation"]
+            assert adapt["rejections_total"] >= 1
+            assert adapt["rollbacks_total"] >= 1
+            assert adapt["devices"][device]["state"] == "stalled"
+            assert metrics["predictor_versions"][device] == 1
+            assert metrics["session"]["candidate_adapts"] >= 1
+
+
+# --------------------------------------------------------------- sharded mode
+class TestSharded:
+    def test_promotion_survives_worker_sigkill(self, spec, mini_task, cfg):
+        device = "fpga"
+        twin = fresh(spec, mini_task, cfg)
+        train, val = WINDOW[:12], WINDOW[12:]
+        candidate = twin.adapt_candidate(device, train)
+        candidate_val = twin._shadow_scores(device, candidate, val)
+        with ShardedRouter(spec, n_workers=2, monitor_interval_s=0.2) as router:
+            reply = router.readapt(
+                device, train, val, candidate_val, min_improvement=-1e-9
+            )
+            assert reply["promoted"], reply
+            assert reply["version"] == 2
+            promoted = router.predict_batch(device, PROBE)
+            # The promoted version is the deterministic rebuild of the
+            # twin's candidate: a twin session applying the same pinned
+            # readapt serves identical bits.
+            twin2 = fresh(spec, mini_task, cfg)
+            twin2.readapt(device, train, val, candidate_val, min_improvement=-1e-9)
+            assert np.array_equal(promoted, twin2.predict_batch(device, PROBE))
+            assert router.metrics_rollup()["predictor_versions"][device] == 2
+            # SIGKILL the owning worker: the respawn replays the pinned
+            # train slice, so the *promoted* weights come back — not the
+            # bundle's stale ones.
+            wid = router.shard_of(device)
+            pid = router._handles[wid].pid
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            while True:
+                handle = router._handles[wid]
+                if handle is not None and handle.pid != pid and handle.process.is_alive():
+                    break
+                assert time.monotonic() < deadline, "worker never respawned"
+                time.sleep(0.05)
+            assert np.array_equal(router.predict_batch(device, PROBE), promoted)
+            assert router.deaths_total >= 1
+            assert router.respawns_total >= 1
+
+    def test_sigkill_mid_readapt_serves_last_good(self, spec, mini_task, cfg):
+        device = "eyeriss"
+        reference = fresh(spec, mini_task, cfg)
+        with ShardedRouter(spec, n_workers=2, monitor_interval_s=0) as router:
+            train, val = WINDOW[:12], WINDOW[12:]
+            served_val = router.predict_batch(device, val)  # forces rejection
+            baseline = router.predict_batch(device, PROBE)
+            wid = router.shard_of(device)
+            pid = router._handles[wid].pid
+            occupier = _occupy(router, wid, seconds=20.0)
+            results = []
+            attempt = threading.Thread(
+                target=lambda: results.append(
+                    router.readapt(device, train, val, served_val)
+                )
+            )
+            attempt.start()  # queued behind the sleeping worker
+            time.sleep(0.2)
+            os.kill(pid, signal.SIGKILL)  # lands while the readapt is in flight
+            attempt.join(timeout=300)
+            occupier.join(timeout=5)
+            assert not attempt.is_alive(), "readapt never completed after kill"
+            # The retried attempt ran to a clean verdict on the respawned
+            # worker — and the verdict is rejection, because the held-back
+            # observations equal the served scores.
+            assert results and results[0]["promoted"] is False
+            assert router.deaths_total == 1
+            assert router.respawns_total == 1
+            # Live serving never left the last-good version, bitwise.
+            assert np.array_equal(router.predict_batch(device, PROBE), baseline)
+            assert np.array_equal(baseline, reference.predict_batch(device, PROBE))
+
+    def test_spawn_crash_loop_degrades_then_recovers(
+        self, spec, mini_task, cfg, tmp_path
+    ):
+        device = "fpga"
+        ckpt = tmp_path / "ckpt.npz"
+        good_bytes = open(spec.checkpoint, "rb").read()
+        ckpt.write_bytes(good_bytes)
+        solo = WorkerSpec(checkpoint=ckpt, task=mini_task, config=cfg)
+        router = ShardedRouter(
+            solo,
+            n_workers=1,
+            monitor_interval_s=0,
+            spawn_backoff_base_s=0.0,  # count failures without timed gates
+            spawn_failure_threshold=2,
+        )
+        router.start()
+        try:
+            pid = router._handles[0].pid
+            ckpt.write_bytes(b"this is not a checkpoint")
+            os.kill(pid, signal.SIGKILL)
+            time.sleep(0.2)
+            # Every respawn now dies at startup: a crash loop, not a blip.
+            for expected_failures in (1, 2):
+                with pytest.raises(WorkerStartupError):
+                    router.predict_batch(device, PROBE)
+                assert router.spawn_failures_total == expected_failures
+            assert router.degraded_shards == [0]
+            health = PredictorServer(router).health()
+            assert health["status"] == "degraded"
+            assert health["degraded_shards"] == [0]
+            rollup = router.metrics_rollup()
+            assert rollup["degraded_shards"] == [0]
+            assert rollup["shard_spawn_failures"] == [2]
+            # The artifact is repaired: one successful spawn closes the
+            # breaker and serving returns, equivalent to a fresh 1-process
+            # session over the same checkpoint.
+            ckpt.write_bytes(good_bytes)
+            scores = router.predict_batch(device, PROBE)
+            assert router.degraded_shards == []
+            assert PredictorServer(router).health()["status"] == "ok"
+            twin = PredictorSession.from_checkpoint(ckpt, task=mini_task, config=cfg)
+            assert np.array_equal(scores, twin.predict_batch(device, PROBE))
+        finally:
+            router.stop()
+
+    def test_backoff_gate_fails_fast_while_degraded(self, mini_task, cfg, tmp_path):
+        bad = tmp_path / "garbage.npz"
+        bad.write_bytes(b"definitely not a checkpoint")
+        router = ShardedRouter(
+            WorkerSpec(checkpoint=bad, task=mini_task, config=cfg),
+            n_workers=1,
+            monitor_interval_s=0,
+            spawn_backoff_base_s=60.0,
+            spawn_failure_threshold=1,
+        )
+        with pytest.raises(WorkerStartupError):
+            router.start()
+        assert router.degraded_shards == [0]
+        # Inside the backoff window the shard refuses instantly — no fork,
+        # no handshake wait — naming the state and the retry horizon.
+        t0 = time.monotonic()
+        with pytest.raises(WorkerUnavailableError, match="degraded"):
+            router._ensure_worker(0)
+        assert time.monotonic() - t0 < 1.0
+        assert router.spawn_failures_total == 1  # the gate attempted no spawn

@@ -460,6 +460,27 @@ class TestEndpointsWithStub:
         srv.shutdown()
         srv.shutdown()  # second call is a no-op, not an error
 
+    def test_wait_unblocks_promptly_on_shutdown(self):
+        # wait() is event-driven: a waiter returns as soon as shutdown()
+        # fires, not at the next tick of a polling loop.
+        srv = PredictorServer(StubSession(), port=0).start()
+        woke_after = {}
+
+        def waiter():
+            srv.wait()
+            woke_after["s"] = time.monotonic() - t0
+
+        t = threading.Thread(target=waiter)
+        t0 = time.monotonic()
+        t.start()
+        time.sleep(0.1)  # waiter is parked on the event
+        srv.shutdown()
+        t.join(5.0)
+        assert not t.is_alive()
+        # The old implementation polled on a 0.5 s sleep; an event-driven
+        # wait returns well inside that budget.
+        assert woke_after["s"] - 0.1 < 0.4
+
 
 class TestRealSessionOverHTTP:
     @pytest.fixture(scope="class")
